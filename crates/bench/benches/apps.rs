@@ -1,0 +1,36 @@
+//! Criterion benches for the application figures: YCSB (Figs. 11–13) and
+//! SPEC (Figs. 14–16).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use here_bench::experiments::apps::{
+    run_spec_figure, run_ycsb_figure, FIG11_CONFIGS, FIG12_CONFIGS, FIG13_CONFIGS,
+};
+use here_bench::Scale;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("apps");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(40));
+    g.bench_function("fig11_ycsb_fixed", |b| {
+        b.iter(|| run_ycsb_figure(Scale::Quick, &FIG11_CONFIGS))
+    });
+    g.bench_function("fig12_ycsb_degradation", |b| {
+        b.iter(|| run_ycsb_figure(Scale::Quick, &FIG12_CONFIGS))
+    });
+    g.bench_function("fig13_ycsb_both", |b| {
+        b.iter(|| run_ycsb_figure(Scale::Quick, &FIG13_CONFIGS))
+    });
+    g.bench_function("fig14_spec_fixed", |b| {
+        b.iter(|| run_spec_figure(Scale::Quick, &FIG11_CONFIGS))
+    });
+    g.bench_function("fig15_spec_degradation", |b| {
+        b.iter(|| run_spec_figure(Scale::Quick, &FIG12_CONFIGS))
+    });
+    g.bench_function("fig16_spec_both", |b| {
+        b.iter(|| run_spec_figure(Scale::Quick, &FIG13_CONFIGS))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Criterion benches for Fig. 5 (linearity) and Fig. 8 (checkpoint
+//! transfer).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use here_bench::experiments::checkpoint::{run_fig5, run_fig8};
+use here_bench::Scale;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("checkpoint");
+    g.sample_size(10);
+    g.bench_function("fig5_linear", |b| b.iter(|| run_fig5(Scale::Quick)));
+    g.bench_function("fig8_idle", |b| b.iter(|| run_fig8(Scale::Quick, false)));
+    g.bench_function("fig8_loaded", |b| b.iter(|| run_fig8(Scale::Quick, true)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Criterion benches for the dynamic period manager: Fig. 9 and Fig. 10.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use here_bench::experiments::dynamic::{run_fig10, run_fig9};
+use here_bench::Scale;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dynamic");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(30));
+    g.bench_function("fig9_phased", |b| b.iter(|| run_fig9(Scale::Quick)));
+    g.bench_function("fig10_ycsb_a", |b| b.iter(|| run_fig10(Scale::Quick)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Criterion benches for Fig. 6 (migration) and Fig. 7 (resumption).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use here_bench::experiments::migration::{run_fig6_idle, run_fig6_loaded, run_fig7};
+use here_bench::Scale;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("migration");
+    g.sample_size(10);
+    g.bench_function("fig6_idle", |b| b.iter(|| run_fig6_idle(Scale::Quick)));
+    g.bench_function("fig6_loaded", |b| b.iter(|| run_fig6_loaded(Scale::Quick)));
+    g.bench_function("fig7_resumption", |b| b.iter(|| run_fig7(Scale::Quick, false)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

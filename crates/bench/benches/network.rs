@@ -1,0 +1,16 @@
+//! Criterion bench for Fig. 17 (Sockperf latency).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use here_bench::experiments::network::run_fig17;
+use here_bench::Scale;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("network");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(30));
+    g.bench_function("fig17_sockperf", |b| b.iter(|| run_fig17(Scale::Quick)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

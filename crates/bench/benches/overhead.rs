@@ -1,0 +1,15 @@
+//! Criterion bench for §8.7 (replication engine overhead).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use here_bench::experiments::overhead::run_overhead;
+use here_bench::Scale;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("overhead");
+    g.sample_size(10);
+    g.bench_function("sec8_7_overhead", |b| b.iter(|| run_overhead(Scale::Quick)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Criterion benches for the security artefacts: Table 1, Table 2, Table 5,
+//! and the heterogeneity demo.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use here_bench::experiments::security::{
+    run_heterogeneity_demo, run_table1, run_table2, run_table5,
+};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("security");
+    g.sample_size(10);
+    g.bench_function("tab1_vulnstats", |b| b.iter(run_table1));
+    g.bench_function("tab5_classification", |b| b.iter(run_table5));
+    g.bench_function("tab2_coverage", |b| b.iter(run_table2));
+    g.bench_function("heterogeneity_demo", |b| b.iter(run_heterogeneity_demo));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,410 @@
+//! `repro` — regenerate every table and figure of the HERE paper.
+//!
+//! ```text
+//! repro [--quick] [EXPERIMENT...]
+//! ```
+//!
+//! With no experiment arguments, runs everything. Experiments: `tab1`,
+//! `tab2`, `tab5`, `demo`, `fig5`, `fig6`, `fig7`, `fig8`, `fig9`, `fig10`,
+//! `fig11`, `fig12`, `fig13`, `fig14`, `fig15`, `fig16`, `fig17`,
+//! `overhead`. `--quick` uses scaled-down configurations.
+
+use std::process::ExitCode;
+
+use here_bench::experiments::apps::{
+    run_spec_figure, run_ycsb_figure, Config, FIG11_CONFIGS, FIG12_CONFIGS, FIG13_CONFIGS,
+};
+use here_bench::experiments::checkpoint::{run_fig5, run_fig8};
+use here_bench::experiments::dynamic::{run_fig10, run_fig9};
+use here_bench::experiments::migration::{run_fig6_idle, run_fig6_loaded, run_fig7};
+use here_bench::experiments::network::run_fig17;
+use here_bench::experiments::overhead::run_overhead;
+use here_bench::experiments::security::{
+    run_heterogeneity_demo, run_table1, run_table2, run_table5,
+};
+use here_bench::tables::{num, render};
+use here_bench::Scale;
+
+const ALL: &[&str] = &[
+    "tab1", "tab2", "tab5", "demo", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+    "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "overhead",
+];
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let scale = if quick { Scale::Quick } else { Scale::Paper };
+    let wanted: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|a| a.to_lowercase())
+        .collect();
+    let wanted: Vec<&str> = if wanted.is_empty() {
+        ALL.to_vec()
+    } else {
+        wanted.iter().map(String::as_str).collect()
+    };
+    for w in &wanted {
+        if !ALL.contains(w) {
+            eprintln!("unknown experiment '{w}'; known: {}", ALL.join(", "));
+            return ExitCode::FAILURE;
+        }
+    }
+    println!(
+        "HERE reproduction — scale: {}\n",
+        if quick { "quick" } else { "paper" }
+    );
+    for w in wanted {
+        run_one(w, scale);
+    }
+    ExitCode::SUCCESS
+}
+
+fn run_one(which: &str, scale: Scale) {
+    match which {
+        "tab1" => tab1(),
+        "tab2" => tab2(),
+        "tab5" => tab5(),
+        "demo" => demo(),
+        "fig5" => fig5(scale),
+        "fig6" => fig6(scale),
+        "fig7" => fig7(scale),
+        "fig8" => fig8(scale),
+        "fig9" => fig9(scale),
+        "fig10" => fig10(scale),
+        "fig11" => ycsb_fig("Figure 11 — YCSB, fixed periods", scale, &FIG11_CONFIGS),
+        "fig12" => ycsb_fig("Figure 12 — YCSB, degradation targets", scale, &FIG12_CONFIGS),
+        "fig13" => ycsb_fig(
+            "Figure 13 — YCSB, degradation + T_max",
+            scale,
+            &FIG13_CONFIGS,
+        ),
+        "fig14" => spec_fig("Figure 14 — SPEC, fixed periods", scale, &FIG11_CONFIGS),
+        "fig15" => spec_fig("Figure 15 — SPEC, degradation targets", scale, &FIG12_CONFIGS),
+        "fig16" => spec_fig(
+            "Figure 16 — SPEC, degradation + T_max",
+            scale,
+            &FIG13_CONFIGS,
+        ),
+        "fig17" => fig17(scale),
+        "overhead" => overhead(scale),
+        _ => unreachable!("validated in main"),
+    }
+}
+
+fn tab1() {
+    println!("Table 1 — DoS vulnerability stats by hypervisor, 2013-2020");
+    let rows: Vec<Vec<String>> = run_table1()
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.product.to_string(),
+                r.cves.to_string(),
+                r.avail.to_string(),
+                format!("{}%", num(r.avail_pct, 1)),
+                r.dos.to_string(),
+                format!("{}%", num(r.dos_pct, 1)),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render(&["Product", "CVEs", "Avail", "Avail%", "DoS", "DoS%"], &rows)
+    );
+}
+
+fn tab2() {
+    println!("Table 2 — HERE's coverage of DoS issues from various sources");
+    println!("(host-failure cells validated by running a failover scenario each)");
+    let rows: Vec<Vec<String>> = run_table2()
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.source.label().to_string(),
+                if r.guest_covered { "Yes" } else { "No" }.into(),
+                if r.host_covered { "Yes" } else { "No" }.into(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render(&["Source", "Guest failure", "Host failure"], &rows)
+    );
+}
+
+fn tab5() {
+    println!("Table 5 — Distribution of DoS-only vulnerabilities (Xen)");
+    let rows: Vec<Vec<String>> = run_table5()
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.target.label().to_string(),
+                r.outcome.to_string(),
+                format!("{}%", num(r.share_pct, 1)),
+                if r.here_applicable { "Applicable" } else { "-" }.into(),
+            ]
+        })
+        .collect();
+    println!("{}", render(&["Target", "Outcome", "Share", "HERE"], &rows));
+}
+
+fn demo() {
+    println!("Heterogeneity demo — same zero-day, primary then failover re-attack");
+    let d = run_heterogeneity_demo();
+    let rows = vec![
+        vec!["exploited CVE".into(), d.cve_id.clone()],
+        vec![
+            "HERE primary (Xen) downed".into(),
+            d.here_primary_down.to_string(),
+        ],
+        vec![
+            "HERE service survives re-attack on KVM replica".into(),
+            d.here_service_survived.to_string(),
+        ],
+        vec![
+            "HERE client-visible outage (ms)".into(),
+            num(d.here_outage_ms, 1),
+        ],
+        vec![
+            "homogeneous (Remus) survives re-attack".into(),
+            d.homogeneous_service_survived.to_string(),
+        ],
+        vec![
+            "CVEs shared by HERE's pair (Xen-PV / KVM+kvmtool)".into(),
+            d.shared_cves_here_pair.to_string(),
+        ],
+        vec![
+            "CVEs a Xen+QEMU / QEMU-KVM pair would share".into(),
+            d.shared_cves_qemu_pair.to_string(),
+        ],
+    ];
+    println!("{}", render(&["Property", "Value"], &rows));
+}
+
+fn fig5(scale: Scale) {
+    println!("Figure 5 — linearity of page send time f(N) = alpha*N");
+    let out = run_fig5(scale);
+    println!(
+        "  {} checkpoints observed; fit: slope = {} us/page, intercept = {} ms, r^2 = {}\n",
+        out.points.len(),
+        num(out.fit.slope * 1e6, 3),
+        num(out.fit.intercept * 1e3, 2),
+        num(out.fit.r_squared, 4),
+    );
+    // A decimated scatter for the series.
+    let step = (out.points.len() / 12).max(1);
+    let rows: Vec<Vec<String>> = out
+        .points
+        .iter()
+        .step_by(step)
+        .map(|&(n, t)| vec![format!("{:.0}", n / 1000.0), num(t, 3)])
+        .collect();
+    println!("{}", render(&["Dirty pages (K)", "Send time (s)"], &rows));
+}
+
+fn fig6(scale: Scale) {
+    println!("Figure 6 (left) — migration time, idle VM");
+    let rows: Vec<Vec<String>> = run_fig6_idle(scale)
+        .iter()
+        .map(|r| {
+            vec![
+                r.x.to_string(),
+                num(r.xen_secs, 1),
+                num(r.here_secs, 1),
+                format!("{}%", num(r.improvement_pct(), 1)),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render(&["Memory (GiB)", "Xen (s)", "HERE (s)", "HERE gain"], &rows)
+    );
+    println!("Figure 6 (right) — migration time, VM under memory load");
+    let rows: Vec<Vec<String>> = run_fig6_loaded(scale)
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{}%", r.x),
+                num(r.xen_secs, 1),
+                num(r.here_secs, 1),
+                format!("{}%", num(r.improvement_pct(), 1)),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render(&["Load", "Xen (s)", "HERE (s)", "HERE gain"], &rows)
+    );
+}
+
+fn fig7(scale: Scale) {
+    println!("Figure 7 — replica resumption time (paper: ~10 ms, flat in memory)");
+    let idle = run_fig7(scale, false);
+    let loaded = run_fig7(scale, true);
+    let rows: Vec<Vec<String>> = idle
+        .iter()
+        .zip(&loaded)
+        .map(|(i, l)| {
+            vec![
+                i.gib.to_string(),
+                num(i.resumption_ms, 2),
+                num(l.resumption_ms, 2),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render(&["Memory (GiB)", "Idle (ms)", "Loaded (ms)"], &rows)
+    );
+}
+
+fn fig8(scale: Scale) {
+    for (loaded, label) in [(false, "idle VM (panes a/c)"), (true, "30% load (panes b/d)")] {
+        println!("Figure 8 — checkpoint transfer & degradation, {label}, T = 8 s");
+        let rows: Vec<Vec<String>> = run_fig8(scale, loaded)
+            .iter()
+            .map(|r| {
+                vec![
+                    r.gib.to_string(),
+                    num(r.remus_secs * 1e3, 1),
+                    num(r.here_secs * 1e3, 1),
+                    format!("{}%", num(r.improvement_pct(), 0)),
+                    format!("{}%", num(r.remus_deg_pct, 2)),
+                    format!("{}%", num(r.here_deg_pct, 2)),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render(
+                &[
+                    "Memory (GiB)",
+                    "Remus (ms)",
+                    "HERE (ms)",
+                    "HERE gain",
+                    "Remus deg",
+                    "HERE deg"
+                ],
+                &rows
+            )
+        );
+    }
+}
+
+fn series_table(series: &[(f64, f64)], every: usize, col: &str) -> String {
+    let rows: Vec<Vec<String>> = series
+        .iter()
+        .step_by(every.max(1))
+        .map(|&(t, v)| vec![num(t, 1), num(v, 2)])
+        .collect();
+    render(&["Time (s)", col], &rows)
+}
+
+fn fig9(scale: Scale) {
+    println!("Figure 9 — dynamic period vs load (D = 30%, T_max = 25 s, load 20->80->5%)");
+    let out = run_fig9(scale);
+    println!(
+        "  steady-state mean overhead: {}% (set: {}%)\n",
+        num(out.steady_mean_deg_pct, 1),
+        num(out.target_pct, 0)
+    );
+    println!("Period over time:");
+    print!(
+        "{}",
+        series_table(&out.period, out.period.len() / 18, "Period (s)")
+    );
+    println!("Measured overhead over time:");
+    print!(
+        "{}",
+        series_table(&out.degradation, out.degradation.len() / 18, "Overhead (%)")
+    );
+    println!();
+}
+
+fn fig10(scale: Scale) {
+    println!("Figure 10 — dynamic period under YCSB workload A (D = 30%)");
+    let out = run_fig10(scale);
+    println!(
+        "  throughput: HERE {} ops/s vs baseline {} ops/s -> slowdown {}% (paper: 28406 vs 42779, 33.6%)\n",
+        num(out.here_ops_per_sec, 0),
+        num(out.baseline_ops_per_sec, 0),
+        num(out.slowdown_pct(), 1)
+    );
+    println!("Period over time:");
+    print!(
+        "{}",
+        series_table(&out.series.period, out.series.period.len() / 15, "Period (s)")
+    );
+    println!();
+}
+
+fn ycsb_fig(title: &str, scale: Scale, configs: &[Config]) {
+    println!("{title}");
+    let bars = run_ycsb_figure(scale, configs);
+    let rows: Vec<Vec<String>> = bars
+        .iter()
+        .map(|b| {
+            vec![
+                b.mix.to_string(),
+                b.config.label().to_string(),
+                num(b.ops_per_sec / 1000.0, 1),
+                format!("{}%", num(b.degradation_pct, 0)),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render(&["Workload", "Config", "Kops/s", "Degradation"], &rows)
+    );
+}
+
+fn spec_fig(title: &str, scale: Scale, configs: &[Config]) {
+    println!("{title}");
+    let bars = run_spec_figure(scale, configs);
+    let rows: Vec<Vec<String>> = bars
+        .iter()
+        .map(|b| {
+            vec![
+                b.benchmark.name().to_string(),
+                b.config.label().to_string(),
+                num(b.rate, 2),
+                format!("{}%", num(b.degradation_pct, 0)),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render(&["Benchmark", "Config", "Rate (ops/s)", "Degradation"], &rows)
+    );
+}
+
+fn fig17(scale: Scale) {
+    println!("Figure 17 — Sockperf mean latency (log-scale in the paper)");
+    let bars = run_fig17(scale);
+    let rows: Vec<Vec<String>> = bars
+        .iter()
+        .map(|b| {
+            vec![
+                format!("load {}", b.load.label()),
+                b.config.label().to_string(),
+                num(b.mean_latency_us, 1),
+                num(b.mean_latency_us / 1000.0, 2),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render(&["Load", "Config", "Latency (us)", "Latency (ms)"], &rows)
+    );
+}
+
+fn overhead(scale: Scale) {
+    println!("Section 8.7 — replication engine overhead (paper: 62% CPU, 314 MB)");
+    let out = run_overhead(scale);
+    let rows = vec![
+        vec!["CPU (% of one core)".into(), num(out.cpu_core_pct, 1)],
+        vec!["RSS (MiB)".into(), num(out.rss_mib, 1)],
+        vec!["checkpoints in window".into(), out.checkpoints.to_string()],
+    ];
+    println!("{}", render(&["Metric", "Value"], &rows));
+}

@@ -1,0 +1,286 @@
+//! Application benchmarks: YCSB (Figs. 11–13) and SPEC CPU (Figs. 14–16)
+//! under the Table 6 configurations.
+
+use here_core::{ReplicationConfig, Scenario};
+use here_sim_core::time::SimDuration;
+use here_workloads::spec::{SpecBenchmark, SpecKernel, ALL_BENCHMARKS};
+use here_workloads::traits::Workload;
+use here_workloads::ycsb::{Ycsb, YcsbMix, YcsbSpec, ALL_MIXES};
+
+use super::Scale;
+
+/// The named configurations of Table 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Config {
+    /// Xen without replication.
+    Xen,
+    /// HERE with D = 0 % and T_max = 3 s (fixed 3 s period).
+    Here3s0,
+    /// HERE with D = 0 % and T_max = 5 s (fixed 5 s period).
+    Here5s0,
+    /// HERE with D = 20 % and T_max = ∞.
+    HereInf20,
+    /// HERE with D = 30 % and T_max = ∞.
+    HereInf30,
+    /// HERE with D = 40 % and T_max = ∞.
+    HereInf40,
+    /// HERE with D = 30 % and T_max = 5 s.
+    Here5s30,
+    /// HERE with D = 40 % and T_max = 3 s.
+    Here3s40,
+    /// Remus with T = 3 s.
+    Remus3s,
+    /// Remus with T = 5 s.
+    Remus5s,
+}
+
+impl Config {
+    /// Table 6-style acronym.
+    pub fn label(self) -> &'static str {
+        match self {
+            Config::Xen => "Xen",
+            Config::Here3s0 => "HERE(3Sec,0%)",
+            Config::Here5s0 => "HERE(5Sec,0%)",
+            Config::HereInf20 => "HERE(inf,20%)",
+            Config::HereInf30 => "HERE(inf,30%)",
+            Config::HereInf40 => "HERE(inf,40%)",
+            Config::Here5s30 => "HERE(5Sec,30%)",
+            Config::Here3s40 => "HERE(3Sec,40%)",
+            Config::Remus3s => "Remus3Sec",
+            Config::Remus5s => "Remus5Sec",
+        }
+    }
+
+    /// The replication configuration, or `None` for the bare baseline.
+    pub fn replication(self) -> Option<ReplicationConfig> {
+        match self {
+            Config::Xen => None,
+            Config::Here3s0 => Some(ReplicationConfig::fixed_period(SimDuration::from_secs(3))),
+            Config::Here5s0 => Some(ReplicationConfig::fixed_period(SimDuration::from_secs(5))),
+            Config::HereInf20 => Some(ReplicationConfig::dynamic(0.20, SimDuration::MAX)),
+            Config::HereInf30 => Some(ReplicationConfig::dynamic(0.30, SimDuration::MAX)),
+            Config::HereInf40 => Some(ReplicationConfig::dynamic(0.40, SimDuration::MAX)),
+            Config::Here5s30 => Some(ReplicationConfig::dynamic(0.30, SimDuration::from_secs(5))),
+            Config::Here3s40 => Some(ReplicationConfig::dynamic(0.40, SimDuration::from_secs(3))),
+            Config::Remus3s => Some(ReplicationConfig::remus(SimDuration::from_secs(3))),
+            Config::Remus5s => Some(ReplicationConfig::remus(SimDuration::from_secs(5))),
+        }
+    }
+}
+
+/// Fig. 11's config set.
+pub const FIG11_CONFIGS: [Config; 5] = [
+    Config::Xen,
+    Config::Here3s0,
+    Config::Here5s0,
+    Config::Remus3s,
+    Config::Remus5s,
+];
+
+/// Fig. 12's config set.
+pub const FIG12_CONFIGS: [Config; 4] = [
+    Config::Xen,
+    Config::HereInf20,
+    Config::HereInf30,
+    Config::HereInf40,
+];
+
+/// Fig. 13's config set.
+pub const FIG13_CONFIGS: [Config; 3] = [Config::Xen, Config::Here3s40, Config::Here5s30];
+
+/// One bar of a YCSB figure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct YcsbBar {
+    /// Which YCSB workload.
+    pub mix: YcsbMix,
+    /// Which configuration.
+    pub config: Config,
+    /// Throughput in operations per second.
+    pub ops_per_sec: f64,
+    /// Degradation vs. the Xen baseline, percent (the number above the
+    /// paper's bars).
+    pub degradation_pct: f64,
+}
+
+/// Warmup long enough for Algorithm 1 to descend from any of Table 6's
+/// starting periods before measurement opens.
+pub(super) fn dynamic_warmup(config: &ReplicationConfig) -> SimDuration {
+    match config.period {
+        here_core::PeriodPolicy::Dynamic { .. } => SimDuration::from_secs(60),
+        here_core::PeriodPolicy::Fixed(_) => SimDuration::ZERO,
+    }
+}
+
+fn run_ycsb_once(spec: YcsbSpec, config: Config) -> f64 {
+    let driver = Ycsb::new(spec).expect("valid spec");
+    let mem_mib =
+        (driver.required_pages() * here_hypervisor::PAGE_SIZE).div_ceil(1024 * 1024) + 64;
+    let mut b = Scenario::builder()
+        .name(format!("ycsb-{}-{}", spec.mix.label(), config.label()))
+        .vm_memory_mib(mem_mib)
+        .vcpus(4)
+        .workload(Box::new(driver))
+        .duration(SimDuration::from_secs(1200));
+    b = match config.replication() {
+        Some(cfg) => {
+            let warmup = dynamic_warmup(&cfg);
+            b.config(cfg).warmup_under_load(warmup)
+        }
+        None => b.unprotected(),
+    };
+    b.build().expect("valid scenario").run().throughput_ops_per_sec
+}
+
+/// Runs a YCSB figure: every workload × every configuration in `configs`.
+pub fn run_ycsb_figure(scale: Scale, configs: &[Config]) -> Vec<YcsbBar> {
+    let mixes: &[YcsbMix] = match scale {
+        Scale::Paper => &ALL_MIXES,
+        Scale::Quick => &[YcsbMix::A, YcsbMix::C],
+    };
+    let mut bars = Vec::new();
+    for &mix in mixes {
+        let spec = match scale {
+            Scale::Paper => YcsbSpec::paper(mix),
+            Scale::Quick => YcsbSpec::small(mix),
+        };
+        let baseline = run_ycsb_once(spec, Config::Xen);
+        for &config in configs {
+            let ops = if config == Config::Xen {
+                baseline
+            } else {
+                run_ycsb_once(spec, config)
+            };
+            bars.push(YcsbBar {
+                mix,
+                config,
+                ops_per_sec: ops,
+                degradation_pct: (baseline - ops) / baseline * 100.0,
+            });
+        }
+    }
+    bars
+}
+
+/// One bar of a SPEC figure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpecBar {
+    /// Which benchmark.
+    pub benchmark: SpecBenchmark,
+    /// Which configuration.
+    pub config: Config,
+    /// SPEC-style rate in operations per second.
+    pub rate: f64,
+    /// Degradation vs. the Xen baseline, percent.
+    pub degradation_pct: f64,
+}
+
+fn run_spec_once(benchmark: SpecBenchmark, config: Config, duration: SimDuration) -> f64 {
+    let kernel = SpecKernel::new(benchmark);
+    let mem_mib = kernel.profile().footprint_mib + 128;
+    let mut b = Scenario::builder()
+        .name(format!("spec-{}-{}", kernel.name(), config.label()))
+        .vm_memory_mib(mem_mib)
+        .vcpus(4)
+        .workload(Box::new(kernel))
+        .duration(duration);
+    b = match config.replication() {
+        Some(cfg) => {
+            let warmup = dynamic_warmup(&cfg);
+            b.config(cfg).warmup_under_load(warmup)
+        }
+        None => b.unprotected(),
+    };
+    b.build().expect("valid scenario").run().throughput_ops_per_sec
+}
+
+/// Runs a SPEC figure: every benchmark × every configuration in `configs`.
+pub fn run_spec_figure(scale: Scale, configs: &[Config]) -> Vec<SpecBar> {
+    let (benchmarks, duration): (&[SpecBenchmark], SimDuration) = match scale {
+        Scale::Paper => (&ALL_BENCHMARKS, SimDuration::from_secs(240)),
+        Scale::Quick => (
+            &[SpecBenchmark::Gcc, SpecBenchmark::Lbm],
+            SimDuration::from_secs(60),
+        ),
+    };
+    let mut bars = Vec::new();
+    for &benchmark in benchmarks {
+        let baseline = run_spec_once(benchmark, Config::Xen, duration);
+        for &config in configs {
+            let rate = if config == Config::Xen {
+                baseline
+            } else {
+                run_spec_once(benchmark, config, duration)
+            };
+            bars.push(SpecBar {
+                benchmark,
+                config,
+                rate,
+                degradation_pct: (baseline - rate) / baseline * 100.0,
+            });
+        }
+    }
+    bars
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bar<'a>(bars: &'a [YcsbBar], mix: YcsbMix, config: Config) -> &'a YcsbBar {
+        bars.iter()
+            .find(|b| b.mix == mix && b.config == config)
+            .expect("bar present")
+    }
+
+    #[test]
+    fn fig11_ordering_here_beats_remus_at_equal_period() {
+        let bars = run_ycsb_figure(Scale::Quick, &FIG11_CONFIGS);
+        for &mix in &[YcsbMix::A, YcsbMix::C] {
+            let xen = bar(&bars, mix, Config::Xen).ops_per_sec;
+            let here3 = bar(&bars, mix, Config::Here3s0).ops_per_sec;
+            let remus3 = bar(&bars, mix, Config::Remus3s).ops_per_sec;
+            assert!(xen > here3, "{mix:?}: baseline must be fastest");
+            assert!(
+                here3 > remus3,
+                "{mix:?}: HERE(3s) {here3} must beat Remus(3s) {remus3}"
+            );
+        }
+    }
+
+    #[test]
+    fn fig12_degradation_tracks_the_target() {
+        let bars = run_ycsb_figure(Scale::Quick, &[Config::Xen, Config::HereInf20]);
+        let d = bar(&bars, YcsbMix::A, Config::HereInf20).degradation_pct;
+        assert!(
+            (10.0..35.0).contains(&d),
+            "HERE(inf,20%) degradation {d} should be near 20"
+        );
+    }
+
+    #[test]
+    fn spec_bars_have_positive_rates_and_sane_degradations() {
+        let bars = run_spec_figure(Scale::Quick, &[Config::Xen, Config::Here3s0]);
+        for b in &bars {
+            assert!(b.rate > 0.0);
+            assert!(b.degradation_pct >= -1.0 && b.degradation_pct < 90.0);
+        }
+        // Replication visibly degrades both kernels; at the quick scale
+        // both footprints clamp to the small VM, so lbm's higher dirty
+        // rate keeps it at least on par with gcc.
+        let gcc = bars
+            .iter()
+            .find(|b| b.benchmark == SpecBenchmark::Gcc && b.config == Config::Here3s0)
+            .unwrap();
+        let lbm = bars
+            .iter()
+            .find(|b| b.benchmark == SpecBenchmark::Lbm && b.config == Config::Here3s0)
+            .unwrap();
+        assert!(gcc.degradation_pct > 2.0, "gcc {}", gcc.degradation_pct);
+        assert!(
+            lbm.degradation_pct > gcc.degradation_pct - 2.0,
+            "lbm {} vs gcc {}",
+            lbm.degradation_pct,
+            gcc.degradation_pct
+        );
+    }
+}

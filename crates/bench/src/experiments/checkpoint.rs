@@ -1,0 +1,162 @@
+//! Checkpoint experiments: Fig. 5 (linearity of page send time) and Fig. 8
+//! (checkpoint transfer times and degradations, Remus vs HERE).
+
+use here_core::{ReplicationConfig, Scenario, Strategy};
+use here_sim_core::stats::{linear_fit, LinearFit};
+use here_sim_core::time::SimDuration;
+use here_workloads::memstress::MemStress;
+
+use super::Scale;
+
+/// Fig. 5's dataset: `(dirty pages, send time seconds)` scatter plus the
+/// least-squares fit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig5Result {
+    /// One point per checkpoint observed.
+    pub points: Vec<(f64, f64)>,
+    /// The fitted line (the paper's claim: `f(N) = αN`, so `r_squared`
+    /// must be ≈ 1 and the intercept small).
+    pub fit: LinearFit,
+}
+
+/// Fig. 5: sweep the microbenchmark load so checkpoints carry widely
+/// varying dirty-page counts, then fit send time against count.
+pub fn run_fig5(scale: Scale) -> Fig5Result {
+    let (gib, loads): (u64, &[u8]) = match scale {
+        Scale::Paper => (20, &[2, 5, 10, 20, 30, 45, 60, 80]),
+        Scale::Quick => (1, &[10, 40, 80]),
+    };
+    let mut points = Vec::new();
+    for &pct in loads {
+        let report = Scenario::builder()
+            .name(format!("fig5-{pct}"))
+            .vm_memory_gib(gib)
+            .vcpus(4)
+            .workload(Box::new(MemStress::with_percent(pct)))
+            // Single-stream sender, as in the paper's Fig. 5 setup.
+            .config(ReplicationConfig::remus(SimDuration::from_secs(8)))
+            .duration(SimDuration::from_secs(40))
+            .build()
+            .expect("valid scenario")
+            .run();
+        for c in &report.checkpoints {
+            points.push((c.dirty_pages as f64, c.pause.as_secs_f64()));
+        }
+    }
+    let fit = linear_fit(&points).expect("enough checkpoints for a fit");
+    Fig5Result { points, fit }
+}
+
+/// One memory size of Fig. 8.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig8Row {
+    /// VM memory size in GiB.
+    pub gib: u64,
+    /// Remus mean checkpoint transfer time (seconds).
+    pub remus_secs: f64,
+    /// HERE mean checkpoint transfer time (seconds).
+    pub here_secs: f64,
+    /// Remus mean degradation, percent.
+    pub remus_deg_pct: f64,
+    /// HERE mean degradation, percent.
+    pub here_deg_pct: f64,
+}
+
+impl Fig8Row {
+    /// HERE's transfer-time reduction over Remus, percent.
+    pub fn improvement_pct(&self) -> f64 {
+        (self.remus_secs - self.here_secs) / self.remus_secs * 100.0
+    }
+}
+
+fn one_fig8_run(gib: u64, loaded: bool, strategy: Strategy) -> (f64, f64) {
+    let period = SimDuration::from_secs(8);
+    let config = match strategy {
+        Strategy::Remus => ReplicationConfig::remus(period),
+        Strategy::Here => ReplicationConfig::fixed_period(period),
+    };
+    let mut builder = Scenario::builder()
+        .name(format!("fig8-{gib}gib"))
+        .vm_memory_gib(gib)
+        .vcpus(4)
+        .config(config)
+        .duration(SimDuration::from_secs(60));
+    if loaded {
+        builder = builder.workload(Box::new(MemStress::with_percent(30)));
+    }
+    let report = builder.build().expect("valid scenario").run();
+    (
+        report.mean_pause().expect("checkpoints ran").as_secs_f64(),
+        report.mean_degradation().expect("checkpoints ran") * 100.0,
+    )
+}
+
+/// Fig. 8: checkpoint transfer times and degradations across memory sizes.
+/// `loaded = false` reproduces panes (a)/(c); `true` reproduces (b)/(d).
+pub fn run_fig8(scale: Scale, loaded: bool) -> Vec<Fig8Row> {
+    scale
+        .memory_sweep_gib()
+        .iter()
+        .map(|&gib| {
+            let (remus_secs, remus_deg_pct) = one_fig8_run(gib, loaded, Strategy::Remus);
+            let (here_secs, here_deg_pct) = one_fig8_run(gib, loaded, Strategy::Here);
+            Fig8Row {
+                gib,
+                remus_secs,
+                here_secs,
+                remus_deg_pct,
+                here_deg_pct,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig5_send_time_is_linear_in_dirty_pages() {
+        let result = run_fig5(Scale::Quick);
+        assert!(result.points.len() >= 10);
+        assert!(
+            result.fit.r_squared > 0.98,
+            "r² = {}",
+            result.fit.r_squared
+        );
+        assert!(result.fit.slope > 0.0);
+    }
+
+    #[test]
+    fn fig8_here_beats_remus_and_load_dominates_idle() {
+        let idle = run_fig8(Scale::Quick, false);
+        let loaded = run_fig8(Scale::Quick, true);
+        for (i, l) in idle.iter().zip(&loaded) {
+            assert!(
+                i.improvement_pct() > 20.0,
+                "idle improvement {}",
+                i.improvement_pct()
+            );
+            assert!(
+                l.improvement_pct() > 20.0,
+                "loaded improvement {}",
+                l.improvement_pct()
+            );
+            assert!(l.remus_secs > i.remus_secs * 5.0, "load must dominate");
+            assert!(l.remus_deg_pct > i.remus_deg_pct);
+        }
+    }
+
+    #[test]
+    fn fig8_idle_degradation_is_below_one_percent() {
+        let idle = run_fig8(Scale::Quick, false);
+        for row in &idle {
+            assert!(
+                row.remus_deg_pct < 1.0,
+                "{} GiB idle Remus degradation {}",
+                row.gib,
+                row.remus_deg_pct
+            );
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Network latency experiment: Fig. 17 (Sockperf under-load).
+
+use here_core::Scenario;
+use here_sim_core::time::SimDuration;
+use here_workloads::sockperf::{Sockperf, SockperfLoad, ALL_LOADS};
+
+use super::apps::Config;
+use super::Scale;
+
+/// Fig. 17's config set.
+pub const FIG17_CONFIGS: [Config; 5] = [
+    Config::Xen,
+    Config::Here3s40,
+    Config::Here5s30,
+    Config::Remus3s,
+    Config::Remus5s,
+];
+
+/// One bar of Fig. 17.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig17Bar {
+    /// Payload configuration.
+    pub load: SockperfLoad,
+    /// Replication configuration.
+    pub config: Config,
+    /// Mean client-observed latency in microseconds (the paper plots this
+    /// on a log scale).
+    pub mean_latency_us: f64,
+}
+
+fn run_sockperf_once(load: SockperfLoad, config: Config, duration: SimDuration) -> f64 {
+    let mut b = Scenario::builder()
+        .name(format!("sockperf-{}-{}", load.label(), config.label()))
+        .vm_memory_mib(512)
+        .vcpus(4)
+        .workload(Box::new(Sockperf::new(load)))
+        .duration(duration);
+    b = match config.replication() {
+        Some(cfg) => {
+            let warmup = super::apps::dynamic_warmup(&cfg);
+            b.config(cfg).warmup_under_load(warmup)
+        }
+        None => b.unprotected(),
+    };
+    let report = b.build().expect("valid scenario").run();
+    report
+        .packet_latencies
+        .mean()
+        .expect("sockperf always emits replies")
+        * 1e6
+}
+
+/// Fig. 17: every payload load × every configuration.
+pub fn run_fig17(scale: Scale) -> Vec<Fig17Bar> {
+    let (loads, duration): (&[SockperfLoad], SimDuration) = match scale {
+        Scale::Paper => (&ALL_LOADS, SimDuration::from_secs(120)),
+        Scale::Quick => (&[SockperfLoad::A, SockperfLoad::C], SimDuration::from_secs(60)),
+    };
+    let mut bars = Vec::new();
+    for &load in loads {
+        for &config in &FIG17_CONFIGS {
+            bars.push(Fig17Bar {
+                load,
+                config,
+                mean_latency_us: run_sockperf_once(load, config, duration),
+            });
+        }
+    }
+    bars
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn latency(bars: &[Fig17Bar], load: SockperfLoad, config: Config) -> f64 {
+        bars.iter()
+            .find(|b| b.load == load && b.config == config)
+            .expect("bar present")
+            .mean_latency_us
+    }
+
+    #[test]
+    fn fig17_latency_ordering_matches_the_paper() {
+        let bars = run_fig17(Scale::Quick);
+        for &load in &[SockperfLoad::A, SockperfLoad::C] {
+            let xen = latency(&bars, load, Config::Xen);
+            let here3 = latency(&bars, load, Config::Here3s40);
+            let here5 = latency(&bars, load, Config::Here5s30);
+            let remus3 = latency(&bars, load, Config::Remus3s);
+            let remus5 = latency(&bars, load, Config::Remus5s);
+            // Bare Xen: sub-millisecond. Remus: checkpoint-period scale,
+            // with Remus5 > Remus3. HERE dynamic: far below Remus.
+            assert!(xen < 1_000.0, "xen {xen}");
+            assert!(remus5 > remus3, "remus5 {remus5} vs remus3 {remus3}");
+            assert!(remus3 > 3.0 * here3, "remus3 {remus3} vs here {here3}");
+            assert!(here3 < 400_000.0, "here3 {here3}");
+            assert!(here5 < 500_000.0, "here5 {here5}");
+        }
+    }
+
+    #[test]
+    fn fig17_baseline_latency_scales_with_packet_size() {
+        let bars = run_fig17(Scale::Quick);
+        let a = latency(&bars, SockperfLoad::A, Config::Xen);
+        let c = latency(&bars, SockperfLoad::C, Config::Xen);
+        assert!(c > a, "jumbo frames must cost more on the baseline");
+    }
+}

@@ -1,0 +1,59 @@
+//! §8.7: CPU and memory overhead of the replication engine itself.
+
+use here_core::{ReplicationConfig, Scenario};
+use here_sim_core::time::SimDuration;
+use here_workloads::memstress::MemStress;
+
+use super::Scale;
+
+/// The §8.7 measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverheadResult {
+    /// Engine CPU use as a percentage of one core (paper: 62 %).
+    pub cpu_core_pct: f64,
+    /// Engine resident set in MiB (paper: 314 MB).
+    pub rss_mib: f64,
+    /// Checkpoints performed during the measurement window.
+    pub checkpoints: usize,
+}
+
+/// Replicates a 4 vCPU VM running the microbenchmark with a fixed 1-second
+/// period (the paper's §8.7 configuration: 16 GB VM).
+pub fn run_overhead(scale: Scale) -> OverheadResult {
+    let gib = match scale {
+        Scale::Paper => 16,
+        Scale::Quick => 1,
+    };
+    let report = Scenario::builder()
+        .name("overhead")
+        .vm_memory_gib(gib)
+        .vcpus(4)
+        .workload(Box::new(MemStress::with_percent(30)))
+        .config(ReplicationConfig::fixed_period(SimDuration::from_secs(1)))
+        .duration(SimDuration::from_secs(60))
+        .build()
+        .expect("valid scenario")
+        .run();
+    OverheadResult {
+        cpu_core_pct: report.resources.cpu_core_pct,
+        rss_mib: report.resources.rss.as_mib_f64(),
+        checkpoints: report.checkpoints.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_is_a_fraction_of_one_core_with_bounded_rss() {
+        let out = run_overhead(Scale::Quick);
+        assert!(out.checkpoints > 10);
+        assert!(
+            (5.0..100.0).contains(&out.cpu_core_pct),
+            "cpu {}",
+            out.cpu_core_pct
+        );
+        assert!(out.rss_mib > 32.0 && out.rss_mib < 1024.0, "rss {}", out.rss_mib);
+    }
+}

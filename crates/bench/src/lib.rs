@@ -1,0 +1,31 @@
+//! # here-bench — the experiment harness
+//!
+//! Regenerates every table and figure of the paper's evaluation (§8) from
+//! the simulated stack. Each experiment has a typed runner in
+//! [`experiments`]; the `repro` binary prints them as text tables, and the
+//! Criterion benches in `benches/` time scaled-down versions of the same
+//! runners.
+//!
+//! | Paper artefact | Runner |
+//! |---|---|
+//! | Table 1 | [`experiments::security::run_table1`] |
+//! | Table 2 | [`experiments::security::run_table2`] |
+//! | Table 5 | [`experiments::security::run_table5`] |
+//! | Fig. 5 | [`experiments::checkpoint::run_fig5`] |
+//! | Fig. 6 | [`experiments::migration::run_fig6_idle`] / [`experiments::migration::run_fig6_loaded`] |
+//! | Fig. 7 | [`experiments::migration::run_fig7`] |
+//! | Fig. 8 | [`experiments::checkpoint::run_fig8`] |
+//! | Fig. 9 | [`experiments::dynamic::run_fig9`] |
+//! | Fig. 10 | [`experiments::dynamic::run_fig10`] |
+//! | Figs. 11–13 | [`experiments::apps::run_ycsb_figure`] |
+//! | Figs. 14–16 | [`experiments::apps::run_spec_figure`] |
+//! | Fig. 17 | [`experiments::network::run_fig17`] |
+//! | §8.7 | [`experiments::overhead::run_overhead`] |
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod experiments;
+pub mod tables;
+
+pub use experiments::Scale;

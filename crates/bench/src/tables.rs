@@ -1,0 +1,92 @@
+//! Fixed-width text rendering for experiment output.
+//!
+//! The `repro` binary prints every regenerated table and figure series as
+//! aligned text, mirroring the rows the paper reports.
+
+/// Renders an aligned text table.
+///
+/// # Examples
+///
+/// ```
+/// use here_bench::tables::render;
+///
+/// let out = render(
+///     &["product", "cves"],
+///     &[vec!["Xen".into(), "312".into()], vec!["KVM".into(), "74".into()]],
+/// );
+/// assert!(out.contains("Xen"));
+/// assert!(out.lines().count() >= 4);
+/// ```
+pub fn render(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let rule: String = widths
+        .iter()
+        .map(|w| "-".repeat(w + 2))
+        .collect::<Vec<_>>()
+        .join("+");
+    out.push_str(&rule);
+    out.push('\n');
+    let header_line: Vec<String> = headers
+        .iter()
+        .zip(&widths)
+        .map(|(h, w)| format!(" {h:<w$} "))
+        .collect();
+    out.push_str(&header_line.join("|"));
+    out.push('\n');
+    out.push_str(&rule);
+    out.push('\n');
+    for row in rows {
+        let line: Vec<String> = row
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!(" {c:<w$} "))
+            .collect();
+        out.push_str(&line.join("|"));
+        out.push('\n');
+    }
+    out.push_str(&rule);
+    out.push('\n');
+    out
+}
+
+/// Formats a float with `digits` decimal places.
+pub fn num(value: f64, digits: usize) -> String {
+    format!("{value:.digits$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let out = render(
+            &["a", "long-header"],
+            &[vec!["xxxxxx".into(), "1".into()]],
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 5);
+        // All lines are the same width.
+        let w = lines[0].len();
+        assert!(lines.iter().all(|l| l.len() == w));
+    }
+
+    #[test]
+    fn empty_rows_still_render_headers() {
+        let out = render(&["x"], &[]);
+        assert!(out.contains('x'));
+    }
+
+    #[test]
+    fn num_formats() {
+        assert_eq!(num(3.14159, 2), "3.14");
+        assert_eq!(num(10.0, 0), "10");
+    }
+}

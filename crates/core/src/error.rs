@@ -1,0 +1,84 @@
+//! Error type of the replication engine.
+
+use std::error::Error;
+use std::fmt;
+
+use here_hypervisor::HvError;
+use here_vmstate::{TranslateError, WireError};
+
+/// Errors raised by session setup or the replication loop.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A scenario or configuration value was rejected.
+    InvalidScenario(String),
+    /// A hypervisor operation failed.
+    Hypervisor(HvError),
+    /// State translation failed.
+    Translate(TranslateError),
+    /// The replication stream was corrupted.
+    Wire(WireError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidScenario(msg) => write!(f, "invalid scenario: {msg}"),
+            CoreError::Hypervisor(e) => write!(f, "hypervisor error: {e}"),
+            CoreError::Translate(e) => write!(f, "translation error: {e}"),
+            CoreError::Wire(e) => write!(f, "replication stream error: {e}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::InvalidScenario(_) => None,
+            CoreError::Hypervisor(e) => Some(e),
+            CoreError::Translate(e) => Some(e),
+            CoreError::Wire(e) => Some(e),
+        }
+    }
+}
+
+impl From<HvError> for CoreError {
+    fn from(e: HvError) -> Self {
+        CoreError::Hypervisor(e)
+    }
+}
+
+impl From<TranslateError> for CoreError {
+    fn from(e: TranslateError) -> Self {
+        CoreError::Translate(e)
+    }
+}
+
+impl From<WireError> for CoreError {
+    fn from(e: WireError) -> Self {
+        CoreError::Wire(e)
+    }
+}
+
+/// Convenience alias for engine results.
+pub type CoreResult<T> = Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_sources() {
+        let e: CoreError = HvError::NoSuchVm(3).into();
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("no VM with id 3"));
+        let e: CoreError = WireError::Truncated.into();
+        assert!(e.to_string().contains("stream"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

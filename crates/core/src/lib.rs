@@ -1,0 +1,53 @@
+//! # here-core — heterogeneous live VM replication (the HERE system)
+//!
+//! The paper's primary contribution: a platform that replicates a protected
+//! VM *across hypervisor boundaries* (Xen primary → KVM/kvmtool secondary)
+//! using asynchronous state replication, so that neither accidental host
+//! failures nor zero-day DoS exploits against one hypervisor can take the
+//! service down.
+//!
+//! - [`config`]: replication configuration and the calibrated cost model;
+//! - [`period`]: the dynamic checkpoint period manager — Algorithm 1;
+//! - [`transfer`]: the multithreaded data plane (per-vCPU seeding threads,
+//!   round-robin 2 MiB chunk workers, problematic-page tracking);
+//! - [`devmgr`]: outgoing-I/O buffering and the failover device switch;
+//! - [`failover`]: heartbeat-based detection and replica activation;
+//! - [`engine`]: [`Scenario`](engine::Scenario) — the public API tying the
+//!   whole stack together;
+//! - [`report`]: the measurements each run produces.
+//!
+//! ## Example
+//!
+//! ```
+//! use here_core::{ReplicationConfig, Scenario};
+//! use here_sim_core::time::SimDuration;
+//!
+//! let report = Scenario::builder()
+//!     .vm_memory_mib(64)
+//!     .vcpus(2)
+//!     .config(ReplicationConfig::fixed_period(SimDuration::from_secs(3)))
+//!     .duration(SimDuration::from_secs(15))
+//!     .build()?
+//!     .run();
+//! assert!(report.checkpoints.len() >= 4);
+//! # Ok::<(), here_core::CoreError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod config;
+pub mod devmgr;
+pub mod engine;
+pub mod error;
+pub mod failover;
+pub mod period;
+pub mod report;
+pub mod transfer;
+
+pub use config::{CostModel, PeriodPolicy, ReplicationConfig, Strategy};
+pub use engine::{FailureCause, FailurePlan, Scenario, ScenarioBuilder};
+pub use error::{CoreError, CoreResult};
+pub use failover::FailoverRecord;
+pub use period::{degradation, DynamicPeriodManager, PeriodManager};
+pub use report::{CheckpointRecord, MigrationOutcome, RunReport};

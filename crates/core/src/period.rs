@@ -1,0 +1,290 @@
+//! The dynamic checkpoint period manager — Algorithm 1 of the paper.
+//!
+//! The goal (§5.4, Equation 2): find the *smallest* checkpoint period `T`
+//! (more frequent checkpoints = less data loss on failover) such that the
+//! measured performance degradation `D_T = t / (t + T)` stays near the
+//! user's soft target `D`, while never exceeding the hard cap `T_max`.
+//!
+//! The algorithm is a step-based search: while within the degradation
+//! budget, shrink `T` by one step `σ` (remembering the last-known-good
+//! value); on overshoot, first walk back to the remembered value, and if
+//! that is also over budget, jump to the midpoint between the current `T`
+//! and `T_max` (rounded to `σ`).
+
+use serde::{Deserialize, Serialize};
+
+use here_sim_core::time::SimDuration;
+
+use crate::config::PeriodPolicy;
+
+/// Measured degradation for a pause `t` within period `T`:
+/// `D_T = t / (t + T)` (Equation 1).
+pub fn degradation(pause: SimDuration, period: SimDuration) -> f64 {
+    let t = pause.as_secs_f64();
+    let total = t + period.as_secs_f64();
+    if total == 0.0 {
+        0.0
+    } else {
+        t / total
+    }
+}
+
+/// The period controller: either a fixed period or Algorithm 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PeriodManager {
+    /// Fixed `T` (Remus, and HERE's `D = 0 %` rows).
+    Fixed(SimDuration),
+    /// Algorithm 1 state.
+    Dynamic(DynamicPeriodManager),
+}
+
+impl PeriodManager {
+    /// Builds the controller for a policy.
+    pub fn new(policy: PeriodPolicy) -> Self {
+        match policy {
+            PeriodPolicy::Fixed(t) => PeriodManager::Fixed(t),
+            PeriodPolicy::Dynamic {
+                d_target,
+                t_max,
+                sigma,
+            } => PeriodManager::Dynamic(DynamicPeriodManager::new(d_target, t_max, sigma)),
+        }
+    }
+
+    /// The period to run the next epoch with.
+    pub fn current(&self) -> SimDuration {
+        match self {
+            PeriodManager::Fixed(t) => *t,
+            PeriodManager::Dynamic(d) => d.current(),
+        }
+    }
+
+    /// Feeds the measured pause of the checkpoint that just completed;
+    /// returns the period for the next epoch.
+    pub fn on_checkpoint(&mut self, pause: SimDuration) -> SimDuration {
+        match self {
+            PeriodManager::Fixed(t) => *t,
+            PeriodManager::Dynamic(d) => d.on_checkpoint(pause),
+        }
+    }
+}
+
+/// Algorithm 1's mutable state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DynamicPeriodManager {
+    d_target: f64,
+    t_max: SimDuration,
+    sigma: SimDuration,
+    t: SimDuration,
+    t_prev: SimDuration,
+    d_prev: f64,
+}
+
+impl DynamicPeriodManager {
+    /// Creates the controller. Initially `T = T_max` ("to avoid exceeding
+    /// the replication interval constraint", line 1) and `D_prev = D`
+    /// (line 2). An unbounded `T_max` ([`SimDuration::MAX`]) starts from a
+    /// practical stand-in of 30 s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d_target` is outside `(0, 1)` or `sigma` is zero.
+    pub fn new(d_target: f64, t_max: SimDuration, sigma: SimDuration) -> Self {
+        assert!(
+            d_target > 0.0 && d_target < 1.0,
+            "degradation target must be in (0,1), got {d_target}"
+        );
+        assert!(!sigma.is_zero(), "sigma must be non-zero");
+        let start = if t_max == SimDuration::MAX {
+            SimDuration::from_secs(30)
+        } else {
+            t_max
+        };
+        DynamicPeriodManager {
+            d_target,
+            t_max,
+            sigma,
+            t: start,
+            t_prev: start,
+            d_prev: d_target,
+        }
+    }
+
+    /// The degradation target `D`.
+    pub fn target(&self) -> f64 {
+        self.d_target
+    }
+
+    /// The hard cap `T_max`.
+    pub fn t_max(&self) -> SimDuration {
+        self.t_max
+    }
+
+    /// The period for the next epoch.
+    pub fn current(&self) -> SimDuration {
+        self.t
+    }
+
+    /// One iteration of Algorithm 1's loop body, fed with the measured
+    /// pause duration `t_curr` of the checkpoint that just completed.
+    /// Returns the new period.
+    pub fn on_checkpoint(&mut self, t_curr: SimDuration) -> SimDuration {
+        let d_curr = degradation(t_curr, self.t);
+        if d_curr <= self.d_target {
+            // Within budget: remember this period and probe lower (lines
+            // 7–8). Near the target the probe is one step sigma; when the
+            // measured degradation is far below target (half or less) the
+            // controller descends multiplicatively instead — Algorithm 1
+            // specifies the sigma step near equilibrium, and without a
+            // fast path the descent from T = T_max would take hundreds of
+            // checkpoints. The period never drops below one step.
+            self.t_prev = self.t;
+            self.t = if d_curr <= self.d_target / 2.0 {
+                (self.t / 2).round_to(self.sigma).max(self.sigma)
+            } else {
+                self.t.saturating_sub(self.sigma).max(self.sigma)
+            };
+        } else if self.d_prev <= self.d_target {
+            // First overshoot: walk back to the last-known-good period
+            // (line 10).
+            self.t = self.t_prev;
+        } else {
+            // Still over budget: jump to the midpoint between the current
+            // period and T_max, rounded to sigma (lines 12–13). With an
+            // unbounded T_max the recovery doubles the period instead.
+            self.t_prev = self.t;
+            self.t = if self.t_max == SimDuration::MAX {
+                (self.t * 2).round_to(self.sigma).max(self.sigma)
+            } else {
+                ((self.t + self.t_max) / 2).round_to(self.sigma).max(self.sigma)
+            };
+        }
+        if self.t_max != SimDuration::MAX {
+            self.t = self.t.clamp(self.sigma, self.t_max);
+        }
+        self.d_prev = d_curr;
+        self.t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SEC: SimDuration = SimDuration::from_secs(1);
+
+    fn mgr(d: f64, t_max_secs: u64) -> DynamicPeriodManager {
+        DynamicPeriodManager::new(d, SimDuration::from_secs(t_max_secs), SEC)
+    }
+
+    #[test]
+    fn degradation_matches_equation_1() {
+        let d = degradation(SimDuration::from_secs(2), SimDuration::from_secs(8));
+        assert!((d - 0.2).abs() < 1e-12);
+        assert_eq!(degradation(SimDuration::ZERO, SimDuration::ZERO), 0.0);
+    }
+
+    #[test]
+    fn starts_at_t_max() {
+        let m = mgr(0.3, 25);
+        assert_eq!(m.current(), SimDuration::from_secs(25));
+    }
+
+    #[test]
+    fn shrinks_while_within_budget() {
+        let mut m = mgr(0.3, 10);
+        // A tiny pause keeps D_curr ~ 0: far below target, so the fast
+        // descent halves the period.
+        let t1 = m.on_checkpoint(SimDuration::from_millis(10));
+        assert_eq!(t1, SimDuration::from_secs(5));
+        let t2 = m.on_checkpoint(SimDuration::from_millis(10));
+        assert_eq!(t2, SimDuration::from_secs(3));
+        // Close to the target (D_curr in (D/2, D]): single sigma steps.
+        // t = 1 s at T = 3 s gives D_curr = 0.25, within (0.15, 0.3].
+        let t3 = m.on_checkpoint(SimDuration::from_secs(1));
+        assert_eq!(t3, SimDuration::from_secs(2));
+    }
+
+    #[test]
+    fn never_shrinks_below_sigma() {
+        let mut m = DynamicPeriodManager::new(0.5, SimDuration::from_secs(2), SEC);
+        for _ in 0..10 {
+            m.on_checkpoint(SimDuration::from_millis(1));
+        }
+        assert_eq!(m.current(), SEC);
+    }
+
+    #[test]
+    fn single_overshoot_walks_back_to_last_good() {
+        let mut m = mgr(0.3, 10);
+        // t = 3 s at T = 10 s gives D_curr = 0.23 in (0.15, 0.3]: sigma step.
+        m.on_checkpoint(SimDuration::from_secs(3)); // T: 10 -> 9, good
+        m.on_checkpoint(SimDuration::from_secs(3)); // T: 9 -> 8, good
+        // Now a big pause at T=8: D = 8/(8+8) = 0.5 > 0.3; D_prev was good,
+        // so walk back to T_prev = 9.
+        let t = m.on_checkpoint(SimDuration::from_secs(8));
+        assert_eq!(t, SimDuration::from_secs(9));
+    }
+
+    #[test]
+    fn sustained_overshoot_jumps_toward_t_max() {
+        let mut m = mgr(0.2, 20);
+        // Drive T down to the floor with tiny pauses.
+        for _ in 0..15 {
+            m.on_checkpoint(SimDuration::from_millis(1));
+        }
+        assert_eq!(m.current(), SEC);
+        // Bring it to a mid value: overshoot once (walk back), then settle.
+        // Instead, directly verify the two-overshoot recovery from 5 s.
+        let mut m = mgr(0.2, 20);
+        for _ in 0..2 {
+            m.on_checkpoint(SimDuration::from_millis(1)); // 20 -> 10 -> 5
+        }
+        assert_eq!(m.current(), SimDuration::from_secs(5));
+        // Overshoot twice: first walks back (to the remembered 10), second
+        // jumps to the midpoint of (10, 20) = 15.
+        m.on_checkpoint(SimDuration::from_secs(30));
+        assert_eq!(m.current(), SimDuration::from_secs(10));
+        m.on_checkpoint(SimDuration::from_secs(30));
+        assert_eq!(m.current(), SimDuration::from_secs(15));
+    }
+
+    #[test]
+    fn unbounded_t_max_recovers_by_doubling() {
+        let mut m = DynamicPeriodManager::new(0.2, SimDuration::MAX, SEC);
+        assert_eq!(m.current(), SimDuration::from_secs(30));
+        for _ in 0..5 {
+            m.on_checkpoint(SimDuration::from_millis(1)); // fast descent
+        }
+        assert_eq!(m.current(), SEC);
+        m.on_checkpoint(SimDuration::from_secs(60)); // overshoot #1: back to 2
+        assert_eq!(m.current(), SimDuration::from_secs(2));
+        m.on_checkpoint(SimDuration::from_secs(60)); // overshoot #2: double
+        assert_eq!(m.current(), SimDuration::from_secs(4));
+    }
+
+    #[test]
+    fn converges_near_target_for_stable_load() {
+        // Pause is a fixed function of the workload: t = 0.9 s. The
+        // equilibrium T* solving D = t/(t+T) at D=0.3 is T* = 2.1 s. The
+        // controller should oscillate within a couple of sigma of T*.
+        let mut m = DynamicPeriodManager::new(
+            0.3,
+            SimDuration::from_secs(25),
+            SimDuration::from_millis(250),
+        );
+        let pause = SimDuration::from_millis(900);
+        for _ in 0..200 {
+            m.on_checkpoint(pause);
+        }
+        let t = m.current().as_secs_f64();
+        assert!((1.5..3.2).contains(&t), "converged to {t}");
+    }
+
+    #[test]
+    fn fixed_manager_never_moves() {
+        let mut m = PeriodManager::new(PeriodPolicy::Fixed(SimDuration::from_secs(8)));
+        assert_eq!(m.on_checkpoint(SimDuration::from_secs(100)), SimDuration::from_secs(8));
+        assert_eq!(m.current(), SimDuration::from_secs(8));
+    }
+}

@@ -1,0 +1,196 @@
+//! Run records — what the experiment harness consumes to regenerate the
+//! paper's tables and figures.
+
+use serde::{Deserialize, Serialize};
+
+use here_sim_core::metrics::{Histogram, TimeSeries};
+use here_sim_core::rate::ByteSize;
+use here_sim_core::time::{SimDuration, SimTime};
+
+use crate::failover::FailoverRecord;
+
+/// One checkpoint round.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CheckpointRecord {
+    /// Sequence number (1-based).
+    pub seq: u64,
+    /// When the pause began.
+    pub paused_at: SimTime,
+    /// The epoch length `T` that preceded this checkpoint.
+    pub period: SimDuration,
+    /// The measured pause `t`.
+    pub pause: SimDuration,
+    /// Dirty pages copied.
+    pub dirty_pages: u64,
+    /// Measured degradation `D_T = t / (t + T)`.
+    pub degradation: f64,
+}
+
+/// One pre-copy migration iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IterationStats {
+    /// Iteration index (0 = full-memory pass).
+    pub index: u32,
+    /// Pages transferred.
+    pub pages: u64,
+    /// Wall time of the copy round.
+    pub duration: SimDuration,
+    /// Pages newly flagged problematic during this round (HERE seeding).
+    pub problematic_new: u64,
+}
+
+/// Outcome of the seeding migration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MigrationOutcome {
+    /// Per-iteration statistics.
+    pub iterations: Vec<IterationStats>,
+    /// Total wall time including the final stop-and-copy.
+    pub total: SimDuration,
+    /// VM downtime during the final stop-and-copy.
+    pub downtime: SimDuration,
+    /// Total pages moved.
+    pub pages_sent: u64,
+    /// Problematic pages resent in the final pass.
+    pub problematic_resent: u64,
+}
+
+/// Replication engine resource usage (§8.7).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResourceUsage {
+    /// CPU consumption as a percentage of one fully loaded core.
+    pub cpu_core_pct: f64,
+    /// Peak resident set of the replication engine.
+    pub rss: ByteSize,
+}
+
+/// Everything measured over one scenario run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Scenario name.
+    pub name: String,
+    /// Virtual time the run covered.
+    pub elapsed: SimDuration,
+    /// Application operations completed (committed work only; work rolled
+    /// back by a failover is excluded).
+    pub ops_completed: f64,
+    /// `ops_completed / elapsed` in operations per second.
+    pub throughput_ops_per_sec: f64,
+    /// The seeding migration, if replication was active.
+    pub migration: Option<MigrationOutcome>,
+    /// Every checkpoint round, in order.
+    pub checkpoints: Vec<CheckpointRecord>,
+    /// Checkpoint period over time (Fig. 9/10 top panes).
+    pub period_series: TimeSeries,
+    /// Measured degradation over time (Fig. 9/10 bottom panes).
+    pub degradation_series: TimeSeries,
+    /// Client-observed latency of every released packet, in seconds
+    /// (Fig. 17).
+    pub packet_latencies: Histogram,
+    /// The failover, if a failure was injected and handled.
+    pub failover: Option<FailoverRecord>,
+    /// Replication engine resource usage.
+    pub resources: ResourceUsage,
+    /// Number of checkpoints at which replica/primary equality was
+    /// verified (non-zero only when the scenario enables verification).
+    pub consistency_checks: u64,
+}
+
+impl RunReport {
+    /// Mean checkpoint pause `t` across the run.
+    pub fn mean_pause(&self) -> Option<SimDuration> {
+        if self.checkpoints.is_empty() {
+            return None;
+        }
+        let total: SimDuration = self.checkpoints.iter().map(|c| c.pause).sum();
+        Some(total / self.checkpoints.len() as u64)
+    }
+
+    /// Mean measured degradation across the run.
+    pub fn mean_degradation(&self) -> Option<f64> {
+        if self.checkpoints.is_empty() {
+            return None;
+        }
+        Some(
+            self.checkpoints.iter().map(|c| c.degradation).sum::<f64>()
+                / self.checkpoints.len() as f64,
+        )
+    }
+
+    /// Mean dirty pages per checkpoint.
+    pub fn mean_dirty_pages(&self) -> Option<f64> {
+        if self.checkpoints.is_empty() {
+            return None;
+        }
+        Some(
+            self.checkpoints.iter().map(|c| c.dirty_pages as f64).sum::<f64>()
+                / self.checkpoints.len() as f64,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ckpt(seq: u64, pause_ms: u64, period_s: u64, pages: u64) -> CheckpointRecord {
+        let pause = SimDuration::from_millis(pause_ms);
+        let period = SimDuration::from_secs(period_s);
+        CheckpointRecord {
+            seq,
+            paused_at: SimTime::from_secs(seq * period_s),
+            period,
+            pause,
+            dirty_pages: pages,
+            degradation: pause.as_secs_f64() / (pause + period).as_secs_f64(),
+        }
+    }
+
+    #[test]
+    fn report_summaries() {
+        let report = RunReport {
+            name: "t".into(),
+            elapsed: SimDuration::from_secs(10),
+            ops_completed: 1000.0,
+            throughput_ops_per_sec: 100.0,
+            migration: None,
+            checkpoints: vec![ckpt(1, 100, 2, 10), ckpt(2, 300, 2, 30)],
+            period_series: TimeSeries::new("period"),
+            degradation_series: TimeSeries::new("deg"),
+            packet_latencies: Histogram::new(),
+            failover: None,
+            resources: ResourceUsage {
+                cpu_core_pct: 10.0,
+                rss: ByteSize::from_mib(100),
+            },
+            consistency_checks: 0,
+        };
+        assert_eq!(report.mean_pause(), Some(SimDuration::from_millis(200)));
+        assert_eq!(report.mean_dirty_pages(), Some(20.0));
+        let d = report.mean_degradation().unwrap();
+        assert!(d > 0.0 && d < 0.2);
+    }
+
+    #[test]
+    fn empty_report_summaries_are_none() {
+        let report = RunReport {
+            name: "empty".into(),
+            elapsed: SimDuration::ZERO,
+            ops_completed: 0.0,
+            throughput_ops_per_sec: 0.0,
+            migration: None,
+            checkpoints: vec![],
+            period_series: TimeSeries::new("period"),
+            degradation_series: TimeSeries::new("deg"),
+            packet_latencies: Histogram::new(),
+            failover: None,
+            resources: ResourceUsage {
+                cpu_core_pct: 0.0,
+                rss: ByteSize::ZERO,
+            },
+            consistency_checks: 0,
+        };
+        assert!(report.mean_pause().is_none());
+        assert!(report.mean_degradation().is_none());
+        assert!(report.mean_dirty_pages().is_none());
+    }
+}

@@ -1,0 +1,300 @@
+//! The multithreaded replication data plane (§7.2).
+//!
+//! Two genuinely concurrent collection paths, matching the paper's two
+//! schemes:
+//!
+//! 1. **Continuous checkpointing** — guest memory is split into 2 MiB
+//!    chunks, assigned round-robin to worker threads; during each
+//!    checkpoint every worker scans the shared dirty bitmap over its own
+//!    chunks and copies the pages it owns ([`collect_chunked`]).
+//! 2. **Seeding** — one migrator thread per vCPU harvests that vCPU's PML
+//!    ring and sends its own dirty pages ([`collect_per_vcpu`]); pages
+//!    transferred by *different* threads across rounds are "problematic"
+//!    (possible cross-vCPU write races) and are tracked by
+//!    [`ProblematicTracker`] for mandatory resend in the final
+//!    stop-and-copy.
+//!
+//! The worker threads are real (`crossbeam::scope`); only the *reported
+//! durations* come from the calibrated [`CostModel`], keeping results
+//! host-independent.
+//!
+//! [`CostModel`]: crate::config::CostModel
+
+use std::collections::HashMap;
+
+use here_hypervisor::dirty::DirtyBitmap;
+use here_hypervisor::memory::GuestMemory;
+use here_hypervisor::PageId;
+use here_vmstate::MemoryDelta;
+
+/// HERE's chunk size: 2 MiB (§7.2).
+pub const CHUNK_BYTES: u64 = 2 * 1024 * 1024;
+/// Pages per chunk.
+pub const PAGES_PER_CHUNK: u64 = CHUNK_BYTES / here_hypervisor::PAGE_SIZE;
+
+/// Scans `dirty` over `memory` with `workers` round-robin chunk workers and
+/// returns the combined delta (ascending frame order).
+///
+/// Every chunk belongs to exactly one worker, so workers write disjoint
+/// outputs and need no synchronisation — the same property the paper
+/// relies on for its round-robin region assignment.
+///
+/// # Panics
+///
+/// Panics if `workers` is zero.
+pub fn collect_chunked(memory: &GuestMemory, dirty: &DirtyBitmap, workers: u32) -> MemoryDelta {
+    assert!(workers >= 1, "at least one transfer worker is required");
+    let num_pages = memory.num_pages();
+    let num_chunks = num_pages.div_ceil(PAGES_PER_CHUNK);
+    if workers == 1 || num_chunks <= 1 {
+        return collect_lane(memory, dirty, num_chunks, 0, 1);
+    }
+    let workers = workers.min(num_chunks as u32);
+    let mut lane_outputs: Vec<MemoryDelta> = Vec::with_capacity(workers as usize);
+    crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|lane| {
+                s.spawn(move |_| collect_lane(memory, dirty, num_chunks, lane, workers))
+            })
+            .collect();
+        for h in handles {
+            lane_outputs.push(h.join().expect("chunk worker must not panic"));
+        }
+    })
+    .expect("crossbeam scope must not fail");
+
+    // Merge lane outputs back into ascending frame order by walking chunks
+    // round-robin (each lane's output is already chunk-ordered).
+    let mut merged = MemoryDelta::new();
+    for d in &lane_outputs {
+        for &(page, rec) in d.entries() {
+            merged.push(page, rec);
+        }
+    }
+    let mut entries: Vec<_> = merged.entries().to_vec();
+    entries.sort_by_key(|&(p, _)| p);
+    MemoryDelta::from_entries(entries)
+}
+
+fn collect_lane(
+    memory: &GuestMemory,
+    dirty: &DirtyBitmap,
+    num_chunks: u64,
+    lane: u32,
+    stride: u32,
+) -> MemoryDelta {
+    let mut delta = MemoryDelta::new();
+    let mut chunk = lane as u64;
+    while chunk < num_chunks {
+        let lo = chunk * PAGES_PER_CHUNK;
+        let hi = lo + PAGES_PER_CHUNK;
+        for page in dirty.pages_in_range(lo, hi) {
+            let rec = memory
+                .page(page)
+                .expect("dirty bitmap only marks in-range pages");
+            delta.push(page, rec);
+        }
+        chunk += stride as u64;
+    }
+    delta
+}
+
+/// Per-vCPU seeding collection: turns each vCPU's harvested ring into its
+/// own delta, one real thread per vCPU.
+///
+/// Returns one delta per input ring (parallel arrays).
+pub fn collect_per_vcpu(memory: &GuestMemory, harvests: &[Vec<PageId>]) -> Vec<MemoryDelta> {
+    if harvests.len() <= 1 {
+        return harvests
+            .iter()
+            .map(|pages| pages_to_delta(memory, pages))
+            .collect();
+    }
+    let mut out: Vec<MemoryDelta> = Vec::with_capacity(harvests.len());
+    crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = harvests
+            .iter()
+            .map(|pages| s.spawn(move |_| pages_to_delta(memory, pages)))
+            .collect();
+        for h in handles {
+            out.push(h.join().expect("seeding worker must not panic"));
+        }
+    })
+    .expect("crossbeam scope must not fail");
+    out
+}
+
+fn pages_to_delta(memory: &GuestMemory, pages: &[PageId]) -> MemoryDelta {
+    let mut delta = MemoryDelta::new();
+    let mut last = None;
+    for &page in pages {
+        // Rings log duplicates; skip immediate repeats cheaply.
+        if last == Some(page) {
+            continue;
+        }
+        last = Some(page);
+        let rec = memory
+            .page(page)
+            .expect("PML rings only log in-range pages");
+        delta.push(page, rec);
+    }
+    delta
+}
+
+/// Tracks pages sent by more than one seeding thread across migration
+/// rounds — the paper's "problematic" pages (§7.2, scheme 1), which may
+/// have been modified by multiple vCPUs mid-copy and must be resent during
+/// the final stop-and-copy.
+#[derive(Debug, Default)]
+pub struct ProblematicTracker {
+    last_sender: HashMap<u64, u16>,
+    problematic: HashMap<u64, ()>,
+}
+
+impl ProblematicTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        ProblematicTracker::default()
+    }
+
+    /// Records that seeding thread `sender` transferred `page` this round.
+    /// A page previously transferred by a *different* thread becomes
+    /// problematic.
+    pub fn record(&mut self, page: PageId, sender: u16) {
+        match self.last_sender.insert(page.frame(), sender) {
+            Some(prev) if prev != sender => {
+                self.problematic.insert(page.frame(), ());
+            }
+            _ => {}
+        }
+    }
+
+    /// Records a whole per-thread delta.
+    pub fn record_delta(&mut self, delta: &MemoryDelta, sender: u16) {
+        for &(page, _) in delta.entries() {
+            self.record(page, sender);
+        }
+    }
+
+    /// Number of problematic pages so far.
+    pub fn len(&self) -> usize {
+        self.problematic.len()
+    }
+
+    /// `true` if no page is problematic.
+    pub fn is_empty(&self) -> bool {
+        self.problematic.is_empty()
+    }
+
+    /// The problematic pages, ascending — the resend list for the final
+    /// stop-and-copy.
+    pub fn resend_list(&self) -> Vec<PageId> {
+        let mut v: Vec<u64> = self.problematic.keys().copied().collect();
+        v.sort_unstable();
+        v.into_iter().map(PageId::new).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use here_hypervisor::memory::PageVersion;
+    use here_hypervisor::VcpuId;
+    use here_sim_core::rate::ByteSize;
+
+    fn memory_with_dirty(frames: &[u64]) -> (GuestMemory, DirtyBitmap) {
+        let mut mem = GuestMemory::new(ByteSize::from_mib(32)).unwrap(); // 8192 pages
+        let mut bm = DirtyBitmap::new(mem.num_pages());
+        for &f in frames {
+            mem.write_page(PageId::new(f), VcpuId::new(0)).unwrap();
+            bm.mark(PageId::new(f));
+        }
+        (mem, bm)
+    }
+
+    #[test]
+    fn chunked_collection_matches_single_threaded() {
+        let frames: Vec<u64> = (0..8192).step_by(7).collect();
+        let (mem, bm) = memory_with_dirty(&frames);
+        let single = collect_chunked(&mem, &bm, 1);
+        for workers in [2, 3, 4, 8] {
+            let multi = collect_chunked(&mem, &bm, workers);
+            assert_eq!(multi, single, "workers={workers}");
+        }
+        assert_eq!(single.len(), frames.len());
+    }
+
+    #[test]
+    fn chunked_collection_carries_correct_versions() {
+        let (mut mem, mut bm) = memory_with_dirty(&[10, 600, 4000]);
+        mem.write_page(PageId::new(600), VcpuId::new(2)).unwrap();
+        bm.mark(PageId::new(600));
+        let delta = collect_chunked(&mem, &bm, 4);
+        let v600 = delta
+            .entries()
+            .iter()
+            .find(|&&(p, _)| p.frame() == 600)
+            .unwrap()
+            .1;
+        assert_eq!(
+            v600,
+            PageVersion {
+                version: 2,
+                last_writer: 2
+            }
+        );
+    }
+
+    #[test]
+    fn empty_bitmap_collects_nothing() {
+        let (mem, _) = memory_with_dirty(&[]);
+        let bm = DirtyBitmap::new(mem.num_pages());
+        assert!(collect_chunked(&mem, &bm, 4).is_empty());
+    }
+
+    #[test]
+    fn more_workers_than_chunks_is_fine() {
+        let mut mem = GuestMemory::new(ByteSize::from_mib(4)).unwrap(); // 2 chunks
+        let mut bm = DirtyBitmap::new(mem.num_pages());
+        mem.write_page(PageId::new(5), VcpuId::new(0)).unwrap();
+        bm.mark(PageId::new(5));
+        let delta = collect_chunked(&mem, &bm, 64);
+        assert_eq!(delta.len(), 1);
+    }
+
+    #[test]
+    fn per_vcpu_collection_dedups_ring_repeats() {
+        let (mem, _) = memory_with_dirty(&[1, 2, 3]);
+        let harvests = vec![
+            vec![PageId::new(1), PageId::new(1), PageId::new(2)],
+            vec![PageId::new(3)],
+        ];
+        let deltas = collect_per_vcpu(&mem, &harvests);
+        assert_eq!(deltas.len(), 2);
+        assert_eq!(deltas[0].len(), 2);
+        assert_eq!(deltas[1].len(), 1);
+    }
+
+    #[test]
+    fn problematic_tracker_flags_cross_thread_pages() {
+        let mut t = ProblematicTracker::new();
+        t.record(PageId::new(7), 0);
+        t.record(PageId::new(7), 0); // same thread again: fine
+        assert!(t.is_empty());
+        t.record(PageId::new(7), 1); // a different vCPU sent it: problematic
+        t.record(PageId::new(9), 2);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.resend_list(), vec![PageId::new(7)]);
+    }
+
+    #[test]
+    fn problematic_tracker_via_deltas() {
+        let (mem, _) = memory_with_dirty(&[1, 2]);
+        let d0 = pages_to_delta(&mem, &[PageId::new(1), PageId::new(2)]);
+        let d1 = pages_to_delta(&mem, &[PageId::new(2)]);
+        let mut t = ProblematicTracker::new();
+        t.record_delta(&d0, 0);
+        t.record_delta(&d1, 1);
+        assert_eq!(t.resend_list(), vec![PageId::new(2)]);
+    }
+}

@@ -1,0 +1,217 @@
+//! Architecture-level guest CPU state, independent of any hypervisor.
+//!
+//! [`ArchRegs`] is the *ground truth* of a virtual CPU: the register values
+//! the guest would observe. Each simulated hypervisor stores this truth in
+//! its own incompatible layout ([`crate::vcpu::XenVcpuState`] vs
+//! [`crate::vcpu::KvmVcpuState`]), which is exactly what forces the paper's
+//! state translator to exist. Keeping a neutral representation lets tests
+//! assert that a Xen→KVM translation preserved every architectural value.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of general-purpose registers tracked (x86-64: RAX..R15).
+pub const GPR_COUNT: usize = 16;
+
+/// Indices into [`ArchRegs::gprs`] in *architectural* (instruction encoding)
+/// order. Both hypervisor formats permute this order differently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Gpr {
+    Rax = 0,
+    Rcx = 1,
+    Rdx = 2,
+    Rbx = 3,
+    Rsp = 4,
+    Rbp = 5,
+    Rsi = 6,
+    Rdi = 7,
+    R8 = 8,
+    R9 = 9,
+    R10 = 10,
+    R11 = 11,
+    R12 = 12,
+    R13 = 13,
+    R14 = 14,
+    R15 = 15,
+}
+
+/// A segment register (selector + cached descriptor), simplified to the
+/// fields both hypervisors serialise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash, Serialize, Deserialize)]
+pub struct Segment {
+    /// Segment selector.
+    pub selector: u16,
+    /// Segment base address.
+    pub base: u64,
+    /// Segment limit.
+    pub limit: u32,
+    /// Access-rights / attribute byte(s).
+    pub attributes: u16,
+}
+
+/// Control, debug and model-specific register state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash, Serialize, Deserialize)]
+pub struct SystemRegs {
+    /// CR0 — protection enable, paging, etc.
+    pub cr0: u64,
+    /// CR2 — page-fault linear address.
+    pub cr2: u64,
+    /// CR3 — page-table base.
+    pub cr3: u64,
+    /// CR4 — feature control.
+    pub cr4: u64,
+    /// EFER MSR — long mode, NX.
+    pub efer: u64,
+    /// IA32_APIC_BASE MSR.
+    pub apic_base: u64,
+    /// SYSENTER/SYSCALL MSR block, condensed.
+    pub star: u64,
+    /// LSTAR MSR (64-bit syscall entry).
+    pub lstar: u64,
+    /// GS base for the kernel (KERNEL_GS_BASE MSR).
+    pub kernel_gs_base: u64,
+}
+
+/// The complete architectural register file of one virtual CPU.
+///
+/// # Examples
+///
+/// ```
+/// use here_hypervisor::arch::{ArchRegs, Gpr};
+///
+/// let mut regs = ArchRegs::reset_state();
+/// regs.set_gpr(Gpr::Rax, 0x1234);
+/// assert_eq!(regs.gpr(Gpr::Rax), 0x1234);
+/// assert_eq!(regs.rip, 0xfff0); // x86 reset vector offset
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default, Hash, Serialize, Deserialize)]
+pub struct ArchRegs {
+    /// General-purpose registers in architectural order.
+    pub gprs: [u64; GPR_COUNT],
+    /// Instruction pointer.
+    pub rip: u64,
+    /// Flags register.
+    pub rflags: u64,
+    /// Code/data/stack and auxiliary segments.
+    pub cs: Segment,
+    /// Data segment.
+    pub ds: Segment,
+    /// Extra segment.
+    pub es: Segment,
+    /// FS segment.
+    pub fs: Segment,
+    /// GS segment.
+    pub gs: Segment,
+    /// Stack segment.
+    pub ss: Segment,
+    /// Task register.
+    pub tr: Segment,
+    /// Control/debug/MSR state.
+    pub system: SystemRegs,
+    /// Guest TSC value at the moment of capture, in *cycles*.
+    pub tsc: u64,
+    /// Pending interrupt vector, if the vCPU was captured with one latched.
+    pub pending_interrupt: Option<u8>,
+}
+
+impl ArchRegs {
+    /// The register file of a freshly reset x86 vCPU.
+    pub fn reset_state() -> Self {
+        let mut regs = ArchRegs::default();
+        regs.rip = 0xfff0;
+        regs.rflags = 0x2;
+        regs.cs = Segment {
+            selector: 0xf000,
+            base: 0xffff_0000,
+            limit: 0xffff,
+            attributes: 0x9b,
+        };
+        regs.system.cr0 = 0x6000_0010;
+        regs
+    }
+
+    /// Reads a general-purpose register.
+    pub fn gpr(&self, which: Gpr) -> u64 {
+        self.gprs[which as usize]
+    }
+
+    /// Writes a general-purpose register.
+    pub fn set_gpr(&mut self, which: Gpr, value: u64) {
+        self.gprs[which as usize] = value;
+    }
+
+    /// A quick structural checksum used by replication tests to compare
+    /// register files cheaply. Not cryptographic.
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |v: u64| {
+            h ^= v;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        };
+        for &g in &self.gprs {
+            mix(g);
+        }
+        mix(self.rip);
+        mix(self.rflags);
+        for seg in [&self.cs, &self.ds, &self.es, &self.fs, &self.gs, &self.ss, &self.tr] {
+            mix(seg.selector as u64);
+            mix(seg.base);
+            mix(seg.limit as u64);
+            mix(seg.attributes as u64);
+        }
+        mix(self.system.cr0);
+        mix(self.system.cr2);
+        mix(self.system.cr3);
+        mix(self.system.cr4);
+        mix(self.system.efer);
+        mix(self.system.apic_base);
+        mix(self.system.star);
+        mix(self.system.lstar);
+        mix(self.system.kernel_gs_base);
+        mix(self.tsc);
+        mix(match self.pending_interrupt {
+            Some(v) => 0x100 | v as u64,
+            None => 0,
+        });
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reset_state_matches_x86_conventions() {
+        let regs = ArchRegs::reset_state();
+        assert_eq!(regs.rip, 0xfff0);
+        assert_eq!(regs.cs.selector, 0xf000);
+        assert_eq!(regs.rflags & 0x2, 0x2);
+    }
+
+    #[test]
+    fn gpr_round_trip() {
+        let mut regs = ArchRegs::default();
+        regs.set_gpr(Gpr::R15, 99);
+        assert_eq!(regs.gpr(Gpr::R15), 99);
+        assert_eq!(regs.gpr(Gpr::Rax), 0);
+    }
+
+    #[test]
+    fn digest_changes_with_any_field() {
+        let base = ArchRegs::reset_state();
+        let mut changed = base.clone();
+        changed.system.cr3 = 0x1000;
+        assert_ne!(base.digest(), changed.digest());
+        let mut changed2 = base.clone();
+        changed2.pending_interrupt = Some(0x20);
+        assert_ne!(base.digest(), changed2.digest());
+    }
+
+    #[test]
+    fn digest_stable_for_equal_state() {
+        let a = ArchRegs::reset_state();
+        let b = ArchRegs::reset_state();
+        assert_eq!(a.digest(), b.digest());
+    }
+}

@@ -1,0 +1,269 @@
+//! CPUID feature policy and cross-hypervisor compatibility masking.
+//!
+//! HERE "adjusted CPU features of the protected VM exposed by the CPUID
+//! instruction on both Xen and KVM to make sure that the protected VM can
+//! safely resume on the secondary hypervisor" (§7.4). This module models
+//! that: each hypervisor exposes a default feature policy; before
+//! replication starts, the two policies are intersected and the common
+//! policy is installed on both sides, so the guest never observes a feature
+//! disappearing across a failover.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A guest-visible CPU feature bit.
+///
+/// A condensed selection of the leaf-1/leaf-7 feature flags that real
+/// heterogeneous-migration work must reconcile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum CpuFeature {
+    Sse42 = 0,
+    Avx = 1,
+    Avx2 = 2,
+    Avx512f = 3,
+    Aes = 4,
+    Rdrand = 5,
+    Rdseed = 6,
+    Tsx = 7,
+    Mpx = 8,
+    Pku = 9,
+    Xsave = 10,
+    InvariantTsc = 11,
+    X2apic = 12,
+    Pcid = 13,
+    Smep = 14,
+    Smap = 15,
+}
+
+/// All feature variants, for iteration.
+pub const ALL_FEATURES: [CpuFeature; 16] = [
+    CpuFeature::Sse42,
+    CpuFeature::Avx,
+    CpuFeature::Avx2,
+    CpuFeature::Avx512f,
+    CpuFeature::Aes,
+    CpuFeature::Rdrand,
+    CpuFeature::Rdseed,
+    CpuFeature::Tsx,
+    CpuFeature::Mpx,
+    CpuFeature::Pku,
+    CpuFeature::Xsave,
+    CpuFeature::InvariantTsc,
+    CpuFeature::X2apic,
+    CpuFeature::Pcid,
+    CpuFeature::Smep,
+    CpuFeature::Smap,
+];
+
+/// The CPUID policy a hypervisor exposes to a guest.
+///
+/// # Examples
+///
+/// ```
+/// use here_hypervisor::cpuid::{CpuFeature, CpuidPolicy};
+///
+/// let xen = CpuidPolicy::xen_default();
+/// let kvm = CpuidPolicy::kvm_default();
+/// let common = xen.intersect(&kvm);
+/// // The intersection is compatible with both sides.
+/// assert!(common.is_subset_of(&xen));
+/// assert!(common.is_subset_of(&kvm));
+/// assert!(common.has(CpuFeature::Sse42));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CpuidPolicy {
+    /// CPU vendor string as exposed in leaf 0.
+    pub vendor: String,
+    /// Family/model/stepping word as exposed in leaf 1.
+    pub family_model: u32,
+    features: u64,
+}
+
+impl CpuidPolicy {
+    /// An empty policy (no optional features).
+    pub fn new(vendor: impl Into<String>, family_model: u32) -> Self {
+        CpuidPolicy {
+            vendor: vendor.into(),
+            family_model,
+            features: 0,
+        }
+    }
+
+    /// The policy Xen 4.12 exposes on the testbed's Xeon Gold 6130
+    /// (Skylake-SP): everything except the bits Xen masks by default.
+    pub fn xen_default() -> Self {
+        let mut p = CpuidPolicy::new("GenuineIntel", 0x0005_0654);
+        for f in [
+            CpuFeature::Sse42,
+            CpuFeature::Avx,
+            CpuFeature::Avx2,
+            CpuFeature::Avx512f,
+            CpuFeature::Aes,
+            CpuFeature::Rdrand,
+            CpuFeature::Rdseed,
+            CpuFeature::Xsave,
+            CpuFeature::InvariantTsc,
+            CpuFeature::X2apic,
+            CpuFeature::Pcid,
+            CpuFeature::Smep,
+            CpuFeature::Smap,
+            CpuFeature::Tsx,
+        ] {
+            p.enable(f);
+        }
+        p
+    }
+
+    /// The policy KVM/kvmtool exposes on the same hardware. kvmtool is more
+    /// conservative: no TSX (disabled after TAA), no AVX-512 (it does not
+    /// manage the extended XSAVE area), but it does pass PKU through.
+    pub fn kvm_default() -> Self {
+        let mut p = CpuidPolicy::new("GenuineIntel", 0x0005_0654);
+        for f in [
+            CpuFeature::Sse42,
+            CpuFeature::Avx,
+            CpuFeature::Avx2,
+            CpuFeature::Aes,
+            CpuFeature::Rdrand,
+            CpuFeature::Rdseed,
+            CpuFeature::Xsave,
+            CpuFeature::InvariantTsc,
+            CpuFeature::X2apic,
+            CpuFeature::Pcid,
+            CpuFeature::Smep,
+            CpuFeature::Smap,
+            CpuFeature::Pku,
+        ] {
+            p.enable(f);
+        }
+        p
+    }
+
+    /// Enables `feature`.
+    pub fn enable(&mut self, feature: CpuFeature) {
+        self.features |= 1 << feature as u32;
+    }
+
+    /// Disables `feature`.
+    pub fn disable(&mut self, feature: CpuFeature) {
+        self.features &= !(1 << feature as u32);
+    }
+
+    /// `true` if `feature` is exposed.
+    pub fn has(&self, feature: CpuFeature) -> bool {
+        self.features & (1 << feature as u32) != 0
+    }
+
+    /// Number of exposed features.
+    pub fn feature_count(&self) -> u32 {
+        self.features.count_ones()
+    }
+
+    /// The greatest-common-denominator policy of `self` and `other`:
+    /// identical vendor/family metadata is required; features are
+    /// intersected. This is what HERE installs on both hypervisors before
+    /// replication starts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vendors differ (heterogeneous *hardware* is out of
+    /// scope, as in the paper's §8.1).
+    pub fn intersect(&self, other: &CpuidPolicy) -> CpuidPolicy {
+        assert_eq!(
+            self.vendor, other.vendor,
+            "cross-vendor replication is unsupported (paper limits HERE to homogeneous hardware)"
+        );
+        CpuidPolicy {
+            vendor: self.vendor.clone(),
+            family_model: self.family_model.min(other.family_model),
+            features: self.features & other.features,
+        }
+    }
+
+    /// `true` if every feature of `self` is also in `other`.
+    pub fn is_subset_of(&self, other: &CpuidPolicy) -> bool {
+        self.features & !other.features == 0
+    }
+
+    /// Features present in `self` but masked in `other` — the set a guest
+    /// would "lose" when failing over without prior reconciliation.
+    pub fn lost_versus(&self, other: &CpuidPolicy) -> Vec<CpuFeature> {
+        ALL_FEATURES
+            .iter()
+            .copied()
+            .filter(|&f| self.has(f) && !other.has(f))
+            .collect()
+    }
+}
+
+impl fmt::Display for CpuidPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} fam {:#x} ({} features)",
+            self.vendor,
+            self.family_model,
+            self.feature_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_differ_meaningfully() {
+        let xen = CpuidPolicy::xen_default();
+        let kvm = CpuidPolicy::kvm_default();
+        assert!(xen.has(CpuFeature::Avx512f) && !kvm.has(CpuFeature::Avx512f));
+        assert!(xen.has(CpuFeature::Tsx) && !kvm.has(CpuFeature::Tsx));
+        assert!(kvm.has(CpuFeature::Pku) && !xen.has(CpuFeature::Pku));
+    }
+
+    #[test]
+    fn intersection_is_commutative_and_subset() {
+        let xen = CpuidPolicy::xen_default();
+        let kvm = CpuidPolicy::kvm_default();
+        let a = xen.intersect(&kvm);
+        let b = kvm.intersect(&xen);
+        assert_eq!(a, b);
+        assert!(a.is_subset_of(&xen) && a.is_subset_of(&kvm));
+        assert!(!a.has(CpuFeature::Avx512f));
+        assert!(!a.has(CpuFeature::Pku));
+    }
+
+    #[test]
+    fn lost_features_enumerates_the_gap() {
+        let xen = CpuidPolicy::xen_default();
+        let kvm = CpuidPolicy::kvm_default();
+        let lost = xen.lost_versus(&kvm);
+        assert!(lost.contains(&CpuFeature::Avx512f));
+        assert!(lost.contains(&CpuFeature::Tsx));
+        assert!(!lost.contains(&CpuFeature::Sse42));
+        // After reconciliation nothing is lost in either direction.
+        let common = xen.intersect(&kvm);
+        assert!(common.lost_versus(&kvm).is_empty());
+        assert!(common.lost_versus(&xen).is_empty());
+    }
+
+    #[test]
+    fn enable_disable_round_trip() {
+        let mut p = CpuidPolicy::new("GenuineIntel", 1);
+        assert!(!p.has(CpuFeature::Avx));
+        p.enable(CpuFeature::Avx);
+        assert!(p.has(CpuFeature::Avx));
+        p.disable(CpuFeature::Avx);
+        assert!(!p.has(CpuFeature::Avx));
+    }
+
+    #[test]
+    #[should_panic(expected = "cross-vendor")]
+    fn cross_vendor_intersection_panics() {
+        let intel = CpuidPolicy::new("GenuineIntel", 1);
+        let amd = CpuidPolicy::new("AuthenticAMD", 1);
+        let _ = intel.intersect(&amd);
+    }
+}

@@ -1,0 +1,459 @@
+//! Paravirtual device models and the in-guest device-switch agent.
+//!
+//! HERE uses a *heterogeneous device model* strategy (§5.2): the primary and
+//! secondary hypervisors expose **different** device implementations to the
+//! protected VM, so that a device-model vulnerability on one side does not
+//! exist on the other. On failover, the secondary's device manager instructs
+//! the guest (via a small kernel module, §7.6) to unplug the old PV devices
+//! and plug hypervisor-native replacements that preserve the *stable
+//! identity* (MAC address, disk geometry) while resetting transient ring
+//! state.
+//!
+//! Per the paper, only paravirtual devices are supported — passthrough
+//! devices cannot be replicated (§7.3).
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{HvError, HvResult};
+use crate::kind::HypervisorKind;
+
+/// The functional class of a virtual device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceClass {
+    /// Network interface.
+    Net,
+    /// Block storage.
+    Block,
+    /// Serial console.
+    Console,
+}
+
+/// A concrete device model implementation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceModel {
+    /// Xen netfront/netback PV network device.
+    XenPvNet,
+    /// Xen blkfront/blkback PV block device.
+    XenPvBlk,
+    /// Xen PV console.
+    XenConsole,
+    /// virtio-net device (kvmtool).
+    VirtioNet,
+    /// virtio-blk device (kvmtool).
+    VirtioBlk,
+    /// virtio-console device (kvmtool).
+    VirtioConsole,
+}
+
+impl DeviceModel {
+    /// The functional class this model implements.
+    pub fn class(self) -> DeviceClass {
+        match self {
+            DeviceModel::XenPvNet | DeviceModel::VirtioNet => DeviceClass::Net,
+            DeviceModel::XenPvBlk | DeviceModel::VirtioBlk => DeviceClass::Block,
+            DeviceModel::XenConsole | DeviceModel::VirtioConsole => DeviceClass::Console,
+        }
+    }
+
+    /// The hypervisor family that provides this model.
+    pub fn family(self) -> HypervisorKind {
+        match self {
+            DeviceModel::XenPvNet | DeviceModel::XenPvBlk | DeviceModel::XenConsole => {
+                HypervisorKind::Xen
+            }
+            DeviceModel::VirtioNet | DeviceModel::VirtioBlk | DeviceModel::VirtioConsole => {
+                HypervisorKind::Kvm
+            }
+        }
+    }
+
+    /// The model of the same class offered by `family`.
+    pub fn counterpart(self, family: HypervisorKind) -> DeviceModel {
+        match (self.class(), family) {
+            (DeviceClass::Net, HypervisorKind::Xen) => DeviceModel::XenPvNet,
+            (DeviceClass::Net, HypervisorKind::Kvm) => DeviceModel::VirtioNet,
+            (DeviceClass::Block, HypervisorKind::Xen) => DeviceModel::XenPvBlk,
+            (DeviceClass::Block, HypervisorKind::Kvm) => DeviceModel::VirtioBlk,
+            (DeviceClass::Console, HypervisorKind::Xen) => DeviceModel::XenConsole,
+            (DeviceClass::Console, HypervisorKind::Kvm) => DeviceModel::VirtioConsole,
+        }
+    }
+}
+
+/// Stable device identity that must survive a failover unchanged (the guest
+/// would otherwise see its NIC change MAC or its disk change size).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DeviceIdentity {
+    /// A network interface.
+    Net {
+        /// MAC address.
+        mac: [u8; 6],
+        /// Maximum transmission unit.
+        mtu: u16,
+    },
+    /// A block device.
+    Block {
+        /// Backend volume identifier.
+        volume_id: u64,
+        /// Capacity in 512-byte sectors.
+        capacity_sectors: u64,
+        /// Whether writes are readonly-rejected.
+        read_only: bool,
+    },
+    /// A console (no identity beyond existing).
+    Console,
+}
+
+impl DeviceIdentity {
+    /// The class this identity belongs to.
+    pub fn class(&self) -> DeviceClass {
+        match self {
+            DeviceIdentity::Net { .. } => DeviceClass::Net,
+            DeviceIdentity::Block { .. } => DeviceClass::Block,
+            DeviceIdentity::Console => DeviceClass::Console,
+        }
+    }
+}
+
+/// Transient, hypervisor-specific ring state. This is what gets *reset*
+/// (not translated) on a device switch: in-flight requests are implicitly
+/// replayed by the guest driver after replug.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RingState {
+    /// A Xen shared-ring: producer/consumer indices for requests and
+    /// responses, plus the event-channel port.
+    XenRing {
+        /// Request producer index.
+        req_prod: u32,
+        /// Request consumer index.
+        req_cons: u32,
+        /// Response producer index.
+        rsp_prod: u32,
+        /// Response consumer index.
+        rsp_cons: u32,
+        /// Event channel port number.
+        evtchn_port: u32,
+    },
+    /// A virtio virtqueue: available/used indices plus negotiated features.
+    Vring {
+        /// Available-ring index.
+        avail_idx: u16,
+        /// Used-ring index.
+        used_idx: u16,
+        /// Negotiated VIRTIO feature bits.
+        features: u64,
+        /// MSI-X vector assigned to the queue.
+        msix_vector: u16,
+    },
+}
+
+impl RingState {
+    /// A fresh (empty) ring for a device of `model`.
+    pub fn fresh_for(model: DeviceModel) -> RingState {
+        match model.family() {
+            HypervisorKind::Xen => RingState::XenRing {
+                req_prod: 0,
+                req_cons: 0,
+                rsp_prod: 0,
+                rsp_cons: 0,
+                evtchn_port: 0,
+            },
+            HypervisorKind::Kvm => RingState::Vring {
+                avail_idx: 0,
+                used_idx: 0,
+                features: 0x0001_0000_0000, // VIRTIO_F_VERSION_1
+                msix_vector: 0,
+            },
+        }
+    }
+
+    /// `true` if the ring has no in-flight work.
+    pub fn is_quiescent(&self) -> bool {
+        match *self {
+            RingState::XenRing {
+                req_prod,
+                req_cons,
+                rsp_prod,
+                rsp_cons,
+                ..
+            } => req_prod == req_cons && rsp_prod == rsp_cons,
+            RingState::Vring {
+                avail_idx, used_idx, ..
+            } => avail_idx == used_idx,
+        }
+    }
+}
+
+/// One attached virtual device: model + identity + ring state.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeviceInstance {
+    /// The implementing device model.
+    pub model: DeviceModel,
+    /// Stable identity preserved across failover.
+    pub identity: DeviceIdentity,
+    /// Transient ring state.
+    pub ring: RingState,
+}
+
+impl DeviceInstance {
+    /// Creates a device of `model` with `identity` and a fresh ring.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HvError::Device`] if the identity's class does not match
+    /// the model's class.
+    pub fn new(model: DeviceModel, identity: DeviceIdentity) -> HvResult<Self> {
+        if model.class() != identity.class() {
+            return Err(HvError::Device(format!(
+                "identity class {:?} does not match model {:?}",
+                identity.class(),
+                model
+            )));
+        }
+        Ok(DeviceInstance {
+            ring: RingState::fresh_for(model),
+            model,
+            identity,
+        })
+    }
+
+    /// The equivalent device on hypervisor `family`: same identity, the
+    /// family's model for the class, and a *fresh* ring (the paper's
+    /// unplug-and-replug strategy — ring state is never translated).
+    pub fn rehosted_for(&self, family: HypervisorKind) -> DeviceInstance {
+        let model = self.model.counterpart(family);
+        DeviceInstance {
+            model,
+            identity: self.identity.clone(),
+            ring: RingState::fresh_for(model),
+        }
+    }
+
+    /// Advances the ring to reflect `n` completed I/O operations.
+    pub fn complete_io(&mut self, n: u32) {
+        match &mut self.ring {
+            RingState::XenRing {
+                req_prod,
+                req_cons,
+                rsp_prod,
+                rsp_cons,
+                ..
+            } => {
+                *req_prod = req_prod.wrapping_add(n);
+                *req_cons = req_cons.wrapping_add(n);
+                *rsp_prod = rsp_prod.wrapping_add(n);
+                *rsp_cons = rsp_cons.wrapping_add(n);
+            }
+            RingState::Vring {
+                avail_idx, used_idx, ..
+            } => {
+                *avail_idx = avail_idx.wrapping_add(n as u16);
+                *used_idx = used_idx.wrapping_add(n as u16);
+            }
+        }
+    }
+}
+
+/// The standard PV device set the experiments attach: one NIC, one disk,
+/// one console, in the given hypervisor family's native models.
+pub fn standard_device_set(family: HypervisorKind) -> Vec<DeviceInstance> {
+    let nic = DeviceIdentity::Net {
+        mac: [0x52, 0x54, 0x00, 0x12, 0x34, 0x56],
+        mtu: 1500,
+    };
+    let disk = DeviceIdentity::Block {
+        volume_id: 1,
+        capacity_sectors: 2 * 1024 * 1024 * 1024 / 512, // 2 GiB
+        read_only: false,
+    };
+    vec![
+        DeviceInstance::new(
+            DeviceModel::XenPvNet.counterpart(family),
+            nic,
+        )
+        .expect("net identity matches net model"),
+        DeviceInstance::new(
+            DeviceModel::XenPvBlk.counterpart(family),
+            disk,
+        )
+        .expect("block identity matches block model"),
+        DeviceInstance::new(
+            DeviceModel::XenConsole.counterpart(family),
+            DeviceIdentity::Console,
+        )
+        .expect("console identity matches console model"),
+    ]
+}
+
+/// Events the in-guest agent (the paper's 150-line kernel module) receives
+/// from the device manager.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AgentEvent {
+    /// Safely unplug every PV device (failover step 1).
+    UnplugAll,
+    /// Plug a device compatible with the new hypervisor (failover step 2).
+    Plug(DeviceInstance),
+    /// Informational: migration/failover completed.
+    MigrationComplete {
+        /// The hypervisor family the guest now runs on.
+        now_on: HypervisorKind,
+    },
+}
+
+/// The in-guest device-switch agent.
+///
+/// # Examples
+///
+/// ```
+/// use here_hypervisor::devices::{standard_device_set, AgentEvent, GuestAgent};
+/// use here_hypervisor::kind::HypervisorKind;
+///
+/// let mut agent = GuestAgent::new(standard_device_set(HypervisorKind::Xen));
+/// agent.handle(AgentEvent::UnplugAll);
+/// assert_eq!(agent.devices().len(), 0);
+/// for dev in standard_device_set(HypervisorKind::Kvm) {
+///     agent.handle(AgentEvent::Plug(dev));
+/// }
+/// assert_eq!(agent.devices().len(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GuestAgent {
+    devices: Vec<DeviceInstance>,
+    log: Vec<AgentEvent>,
+}
+
+impl GuestAgent {
+    /// Creates an agent managing `devices`.
+    pub fn new(devices: Vec<DeviceInstance>) -> Self {
+        GuestAgent {
+            devices,
+            log: Vec::new(),
+        }
+    }
+
+    /// Processes one event from the device manager.
+    pub fn handle(&mut self, event: AgentEvent) {
+        match &event {
+            AgentEvent::UnplugAll => self.devices.clear(),
+            AgentEvent::Plug(dev) => self.devices.push(dev.clone()),
+            AgentEvent::MigrationComplete { .. } => {}
+        }
+        self.log.push(event);
+    }
+
+    /// Devices currently visible to the guest.
+    pub fn devices(&self) -> &[DeviceInstance] {
+        &self.devices
+    }
+
+    /// Every event received, in order (tests assert the unplug-then-plug
+    /// protocol).
+    pub fn event_log(&self) -> &[AgentEvent] {
+        &self.log
+    }
+
+    /// The hypervisor family of the guest's current devices, if they are
+    /// uniform (`None` if mixed or empty).
+    pub fn device_family(&self) -> Option<HypervisorKind> {
+        let first = self.devices.first()?.model.family();
+        self.devices
+            .iter()
+            .all(|d| d.model.family() == first)
+            .then_some(first)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_classes_and_families() {
+        assert_eq!(DeviceModel::XenPvNet.class(), DeviceClass::Net);
+        assert_eq!(DeviceModel::VirtioBlk.class(), DeviceClass::Block);
+        assert_eq!(DeviceModel::XenPvNet.family(), HypervisorKind::Xen);
+        assert_eq!(DeviceModel::VirtioConsole.family(), HypervisorKind::Kvm);
+    }
+
+    #[test]
+    fn counterpart_preserves_class_and_switches_family() {
+        for model in [
+            DeviceModel::XenPvNet,
+            DeviceModel::XenPvBlk,
+            DeviceModel::XenConsole,
+        ] {
+            let c = model.counterpart(HypervisorKind::Kvm);
+            assert_eq!(c.class(), model.class());
+            assert_eq!(c.family(), HypervisorKind::Kvm);
+        }
+    }
+
+    #[test]
+    fn identity_model_mismatch_is_rejected() {
+        let err = DeviceInstance::new(DeviceModel::XenPvNet, DeviceIdentity::Console);
+        assert!(matches!(err, Err(HvError::Device(_))));
+    }
+
+    #[test]
+    fn rehost_preserves_identity_and_resets_ring() {
+        let mut dev = DeviceInstance::new(
+            DeviceModel::XenPvNet,
+            DeviceIdentity::Net {
+                mac: [1, 2, 3, 4, 5, 6],
+                mtu: 9000,
+            },
+        )
+        .unwrap();
+        dev.complete_io(17);
+        assert!(!dev.ring.is_quiescent() || matches!(dev.ring, RingState::XenRing { .. }));
+        let rehosted = dev.rehosted_for(HypervisorKind::Kvm);
+        assert_eq!(rehosted.model, DeviceModel::VirtioNet);
+        assert_eq!(rehosted.identity, dev.identity);
+        assert!(rehosted.ring.is_quiescent());
+        assert!(matches!(rehosted.ring, RingState::Vring { .. }));
+    }
+
+    #[test]
+    fn standard_set_has_one_of_each_class() {
+        for family in [HypervisorKind::Xen, HypervisorKind::Kvm] {
+            let set = standard_device_set(family);
+            assert_eq!(set.len(), 3);
+            assert!(set.iter().all(|d| d.model.family() == family));
+            let classes: Vec<DeviceClass> = set.iter().map(|d| d.model.class()).collect();
+            assert!(classes.contains(&DeviceClass::Net));
+            assert!(classes.contains(&DeviceClass::Block));
+            assert!(classes.contains(&DeviceClass::Console));
+        }
+    }
+
+    #[test]
+    fn agent_switch_protocol() {
+        let mut agent = GuestAgent::new(standard_device_set(HypervisorKind::Xen));
+        assert_eq!(agent.device_family(), Some(HypervisorKind::Xen));
+        agent.handle(AgentEvent::UnplugAll);
+        for dev in standard_device_set(HypervisorKind::Kvm) {
+            agent.handle(AgentEvent::Plug(dev));
+        }
+        agent.handle(AgentEvent::MigrationComplete {
+            now_on: HypervisorKind::Kvm,
+        });
+        assert_eq!(agent.device_family(), Some(HypervisorKind::Kvm));
+        assert_eq!(agent.event_log().len(), 5);
+        assert!(matches!(agent.event_log()[0], AgentEvent::UnplugAll));
+    }
+
+    #[test]
+    fn xen_ring_io_advances_indices() {
+        let mut dev = standard_device_set(HypervisorKind::Xen).remove(0);
+        dev.complete_io(3);
+        match dev.ring {
+            RingState::XenRing { req_prod, rsp_prod, .. } => {
+                assert_eq!(req_prod, 3);
+                assert_eq!(rsp_prod, 3);
+            }
+            _ => panic!("expected xen ring"),
+        }
+        // Completed I/O leaves the ring quiescent (prod == cons).
+        assert!(dev.ring.is_quiescent());
+    }
+}

@@ -1,0 +1,459 @@
+//! Dirty page tracking: shadow-paging bitmap and per-vCPU PML rings.
+//!
+//! The paper's state manager (§7.2) extends Xen with *per-vCPU* dirty
+//! tracking built on Intel Page Modification Logging, so that each migrator
+//! thread can harvest its own vCPU's dirty pages "without having to
+//! interrupt other vCPUs". This module provides both mechanisms:
+//!
+//! - [`DirtyBitmap`] — the classic global log-dirty bitmap that Xen's shadow
+//!   paging maintains (used by the Remus baseline and as the PML overflow
+//!   fallback);
+//! - [`PmlRing`] — a fixed-capacity per-vCPU ring of dirtied frames, with an
+//!   overflow ("full") flag that forces a bitmap resync, mirroring PML's
+//!   512-entry hardware buffer semantics.
+
+use serde::{Deserialize, Serialize};
+
+use crate::memory::PageId;
+
+/// Capacity of a hardware PML buffer (512 entries of 8 bytes = one page).
+pub const PML_HW_CAPACITY: usize = 512;
+
+/// A global dirty-page bitmap, as maintained by shadow paging or harvested
+/// from PML buffers.
+///
+/// # Examples
+///
+/// ```
+/// use here_hypervisor::dirty::DirtyBitmap;
+/// use here_hypervisor::memory::PageId;
+///
+/// let mut bm = DirtyBitmap::new(1024);
+/// bm.mark(PageId::new(3));
+/// bm.mark(PageId::new(3)); // idempotent
+/// assert_eq!(bm.count(), 1);
+/// assert_eq!(bm.drain(), vec![PageId::new(3)]);
+/// assert_eq!(bm.count(), 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DirtyBitmap {
+    words: Vec<u64>,
+    num_pages: u64,
+    count: u64,
+}
+
+impl DirtyBitmap {
+    /// Creates a clean bitmap covering `num_pages` frames.
+    pub fn new(num_pages: u64) -> Self {
+        let words = vec![0u64; num_pages.div_ceil(64) as usize];
+        DirtyBitmap {
+            words,
+            num_pages,
+            count: 0,
+        }
+    }
+
+    /// Number of frames covered.
+    pub fn num_pages(&self) -> u64 {
+        self.num_pages
+    }
+
+    /// Marks `page` dirty. Out-of-range frames are ignored (matching the
+    /// hardware, which cannot log frames outside the guest's address space).
+    pub fn mark(&mut self, page: PageId) {
+        let frame = page.frame();
+        if frame >= self.num_pages {
+            return;
+        }
+        let (w, b) = (frame / 64, frame % 64);
+        let word = &mut self.words[w as usize];
+        if *word & (1 << b) == 0 {
+            *word |= 1 << b;
+            self.count += 1;
+        }
+    }
+
+    /// `true` if `page` is marked dirty.
+    pub fn is_dirty(&self, page: PageId) -> bool {
+        let frame = page.frame();
+        if frame >= self.num_pages {
+            return false;
+        }
+        self.words[(frame / 64) as usize] & (1 << (frame % 64)) != 0
+    }
+
+    /// Number of dirty frames.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// `true` if no frame is dirty.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Returns all dirty frames in ascending order and clears the bitmap —
+    /// the "read and clear" hypercall the migration code uses.
+    pub fn drain(&mut self) -> Vec<PageId> {
+        let pages = self.peek();
+        self.clear();
+        pages
+    }
+
+    /// Returns all dirty frames in ascending order without clearing.
+    pub fn peek(&self) -> Vec<PageId> {
+        let mut pages = Vec::with_capacity(self.count as usize);
+        for (wi, &word) in self.words.iter().enumerate() {
+            let mut w = word;
+            while w != 0 {
+                let bit = w.trailing_zeros() as u64;
+                pages.push(PageId::new(wi as u64 * 64 + bit));
+                w &= w - 1;
+            }
+        }
+        pages
+    }
+
+    /// Dirty frames whose number satisfies `frame % stride == lane`; used by
+    /// HERE's round-robin chunk assignment tests.
+    pub fn peek_lane(&self, stride: u64, lane: u64, pages_per_chunk: u64) -> Vec<PageId> {
+        assert!(stride > 0 && pages_per_chunk > 0, "stride and chunk size must be positive");
+        self.peek()
+            .into_iter()
+            .filter(|p| (p.frame() / pages_per_chunk) % stride == lane)
+            .collect()
+    }
+
+    /// Dirty frames in the half-open range `[lo, hi)`, ascending. This is
+    /// the primitive HERE's chunk workers scan with: each worker reads only
+    /// its own chunks' words, so concurrent workers never contend.
+    pub fn pages_in_range(&self, lo: u64, hi: u64) -> Vec<PageId> {
+        let hi = hi.min(self.num_pages);
+        if lo >= hi {
+            return Vec::new();
+        }
+        let mut pages = Vec::new();
+        let (wlo, whi) = (lo / 64, hi.div_ceil(64));
+        for wi in wlo..whi {
+            let mut w = self.words[wi as usize];
+            while w != 0 {
+                let bit = w.trailing_zeros() as u64;
+                let frame = wi * 64 + bit;
+                if frame >= lo && frame < hi {
+                    pages.push(PageId::new(frame));
+                }
+                w &= w - 1;
+            }
+        }
+        pages
+    }
+
+    /// Clears every dirty bit.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+        self.count = 0;
+    }
+
+    /// Merges every dirty bit of `other` into `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two bitmaps cover a different number of frames.
+    pub fn union_with(&mut self, other: &DirtyBitmap) {
+        assert_eq!(
+            self.num_pages, other.num_pages,
+            "bitmap union requires equal coverage"
+        );
+        let mut count = 0;
+        for (a, &b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a |= b;
+            count += a.count_ones() as u64;
+        }
+        self.count = count;
+    }
+}
+
+/// One vCPU's Page Modification Logging buffer.
+///
+/// The hardware appends the guest-physical address of each newly dirtied
+/// page; when the buffer fills, a VM exit lets software harvest it. We model
+/// an overflow flag instead of the exit: once full, subsequent writes set
+/// [`PmlRing::overflowed`] and the harvester must fall back to a bitmap
+/// resync for correctness.
+///
+/// # Examples
+///
+/// ```
+/// use here_hypervisor::dirty::PmlRing;
+/// use here_hypervisor::memory::PageId;
+///
+/// let mut ring = PmlRing::with_capacity(2);
+/// ring.log(PageId::new(1));
+/// ring.log(PageId::new(2));
+/// ring.log(PageId::new(3)); // overflow
+/// assert!(ring.overflowed());
+/// assert_eq!(ring.harvest().len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PmlRing {
+    entries: Vec<PageId>,
+    capacity: usize,
+    overflowed: bool,
+    total_logged: u64,
+}
+
+impl PmlRing {
+    /// Creates a ring with the hardware capacity ([`PML_HW_CAPACITY`]).
+    pub fn new() -> Self {
+        PmlRing::with_capacity(PML_HW_CAPACITY)
+    }
+
+    /// Creates a ring holding at most `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "PML capacity must be positive");
+        PmlRing {
+            entries: Vec::with_capacity(capacity.min(PML_HW_CAPACITY * 16)),
+            capacity,
+            overflowed: false,
+            total_logged: 0,
+        }
+    }
+
+    /// Logs a dirtied frame. Duplicate frames are recorded as the hardware
+    /// records them (no dedup).
+    pub fn log(&mut self, page: PageId) {
+        self.total_logged += 1;
+        if self.entries.len() >= self.capacity {
+            self.overflowed = true;
+            return;
+        }
+        self.entries.push(page);
+    }
+
+    /// Number of buffered entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// `true` once at least one log was dropped for lack of space.
+    pub fn overflowed(&self) -> bool {
+        self.overflowed
+    }
+
+    /// Lifetime count of log attempts (including dropped ones).
+    pub fn total_logged(&self) -> u64 {
+        self.total_logged
+    }
+
+    /// Takes the buffered entries and resets the ring (including the
+    /// overflow flag). The caller must resync from the global bitmap if
+    /// [`PmlRing::overflowed`] was set before harvesting.
+    pub fn harvest(&mut self) -> Vec<PageId> {
+        self.overflowed = false;
+        std::mem::take(&mut self.entries)
+    }
+}
+
+impl Default for PmlRing {
+    fn default() -> Self {
+        PmlRing::new()
+    }
+}
+
+/// Combined per-VM dirty tracking state: one global bitmap plus one PML ring
+/// per vCPU, as built by the paper's modified Xen.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DirtyTracker {
+    bitmap: DirtyBitmap,
+    rings: Vec<PmlRing>,
+    logging_enabled: bool,
+}
+
+impl DirtyTracker {
+    /// Creates tracking state for `num_pages` frames and `vcpus` vCPUs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vcpus` is zero.
+    pub fn new(num_pages: u64, vcpus: usize) -> Self {
+        assert!(vcpus > 0, "a VM needs at least one vCPU");
+        DirtyTracker {
+            bitmap: DirtyBitmap::new(num_pages),
+            rings: (0..vcpus).map(|_| PmlRing::new()).collect(),
+            logging_enabled: false,
+        }
+    }
+
+    /// Turns dirty logging on (the `XEN_DOMCTL_SHADOW_OP_ENABLE_LOGDIRTY`
+    /// moment). Clears any stale state.
+    pub fn enable_logging(&mut self) {
+        self.logging_enabled = true;
+        self.bitmap.clear();
+        for ring in &mut self.rings {
+            ring.harvest();
+        }
+    }
+
+    /// Turns dirty logging off.
+    pub fn disable_logging(&mut self) {
+        self.logging_enabled = false;
+    }
+
+    /// `true` while dirty logging is active.
+    pub fn logging_enabled(&self) -> bool {
+        self.logging_enabled
+    }
+
+    /// Records a write by `vcpu_index` to `page` into both mechanisms.
+    /// A no-op while logging is disabled.
+    pub fn record_write(&mut self, page: PageId, vcpu_index: usize) {
+        if !self.logging_enabled {
+            return;
+        }
+        self.bitmap.mark(page);
+        if let Some(ring) = self.rings.get_mut(vcpu_index) {
+            ring.log(page);
+        }
+    }
+
+    /// The global bitmap.
+    pub fn bitmap(&self) -> &DirtyBitmap {
+        &self.bitmap
+    }
+
+    /// Mutable access to the global bitmap (the migration code's
+    /// read-and-clear path).
+    pub fn bitmap_mut(&mut self) -> &mut DirtyBitmap {
+        &mut self.bitmap
+    }
+
+    /// The PML ring of `vcpu_index`, if it exists.
+    pub fn ring(&self, vcpu_index: usize) -> Option<&PmlRing> {
+        self.rings.get(vcpu_index)
+    }
+
+    /// Harvests the PML ring of `vcpu_index`: returns `(pages, overflowed)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vcpu_index` is out of range.
+    pub fn harvest_ring(&mut self, vcpu_index: usize) -> (Vec<PageId>, bool) {
+        let ring = &mut self.rings[vcpu_index];
+        let overflowed = ring.overflowed();
+        (ring.harvest(), overflowed)
+    }
+
+    /// Number of vCPU rings.
+    pub fn vcpu_count(&self) -> usize {
+        self.rings.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitmap_mark_and_drain() {
+        let mut bm = DirtyBitmap::new(256);
+        for f in [0u64, 63, 64, 255] {
+            bm.mark(PageId::new(f));
+        }
+        assert_eq!(bm.count(), 4);
+        assert!(bm.is_dirty(PageId::new(63)));
+        let drained = bm.drain();
+        assert_eq!(
+            drained,
+            vec![0, 63, 64, 255]
+                .into_iter()
+                .map(PageId::new)
+                .collect::<Vec<_>>()
+        );
+        assert!(bm.is_empty());
+    }
+
+    #[test]
+    fn bitmap_ignores_out_of_range() {
+        let mut bm = DirtyBitmap::new(10);
+        bm.mark(PageId::new(100));
+        assert_eq!(bm.count(), 0);
+        assert!(!bm.is_dirty(PageId::new(100)));
+    }
+
+    #[test]
+    fn bitmap_union() {
+        let mut a = DirtyBitmap::new(128);
+        let mut b = DirtyBitmap::new(128);
+        a.mark(PageId::new(1));
+        b.mark(PageId::new(1));
+        b.mark(PageId::new(2));
+        a.union_with(&b);
+        assert_eq!(a.count(), 2);
+    }
+
+    #[test]
+    fn bitmap_lane_partition_is_disjoint_and_complete() {
+        let mut bm = DirtyBitmap::new(4096);
+        for f in (0..4096).step_by(3) {
+            bm.mark(PageId::new(f));
+        }
+        let stride = 4;
+        let pages_per_chunk = 512 / 4; // 2 MiB chunks of 4 KiB pages = 512; use small here
+        let mut seen = Vec::new();
+        for lane in 0..stride {
+            seen.extend(bm.peek_lane(stride, lane, pages_per_chunk));
+        }
+        seen.sort();
+        assert_eq!(seen, bm.peek());
+    }
+
+    #[test]
+    fn pml_ring_overflow_semantics() {
+        let mut ring = PmlRing::with_capacity(3);
+        for f in 0..5 {
+            ring.log(PageId::new(f));
+        }
+        assert!(ring.overflowed());
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.total_logged(), 5);
+        let pages = ring.harvest();
+        assert_eq!(pages.len(), 3);
+        assert!(!ring.overflowed());
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn tracker_routes_writes_to_both_mechanisms() {
+        let mut t = DirtyTracker::new(1024, 2);
+        t.record_write(PageId::new(10), 0); // logging disabled: dropped
+        assert_eq!(t.bitmap().count(), 0);
+        t.enable_logging();
+        t.record_write(PageId::new(10), 0);
+        t.record_write(PageId::new(20), 1);
+        assert_eq!(t.bitmap().count(), 2);
+        assert_eq!(t.ring(0).unwrap().len(), 1);
+        assert_eq!(t.ring(1).unwrap().len(), 1);
+        let (pages, overflow) = t.harvest_ring(0);
+        assert_eq!(pages, vec![PageId::new(10)]);
+        assert!(!overflow);
+    }
+
+    #[test]
+    fn tracker_enable_clears_stale_state() {
+        let mut t = DirtyTracker::new(64, 1);
+        t.enable_logging();
+        t.record_write(PageId::new(1), 0);
+        t.enable_logging();
+        assert_eq!(t.bitmap().count(), 0);
+        assert!(t.ring(0).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,83 @@
+//! Error type shared by the hypervisor substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by hypervisor operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum HvError {
+    /// A configuration value was rejected.
+    InvalidConfig(String),
+    /// A guest frame number was outside the VM's address space.
+    PageOutOfRange {
+        /// The offending frame number.
+        page: u64,
+        /// Number of frames in the address space.
+        limit: u64,
+    },
+    /// The referenced VM does not exist on this host.
+    NoSuchVm(u64),
+    /// The referenced vCPU does not exist in this VM.
+    NoSuchVcpu(u32),
+    /// The operation is invalid in the VM's current run state.
+    WrongRunState {
+        /// What the caller attempted.
+        op: &'static str,
+        /// The state the VM was actually in.
+        state: &'static str,
+    },
+    /// The host hypervisor is down (crashed, hung, or starved) and cannot
+    /// service requests.
+    HostDown(&'static str),
+    /// A device operation failed.
+    Device(String),
+    /// The guest and host disagree on a platform capability.
+    Incompatible(String),
+}
+
+impl fmt::Display for HvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HvError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            HvError::PageOutOfRange { page, limit } => {
+                write!(f, "page {page} outside guest address space of {limit} pages")
+            }
+            HvError::NoSuchVm(id) => write!(f, "no VM with id {id} on this host"),
+            HvError::NoSuchVcpu(id) => write!(f, "no vCPU {id} in this VM"),
+            HvError::WrongRunState { op, state } => {
+                write!(f, "cannot {op} while VM is {state}")
+            }
+            HvError::HostDown(kind) => write!(f, "host hypervisor is down ({kind})"),
+            HvError::Device(msg) => write!(f, "device error: {msg}"),
+            HvError::Incompatible(msg) => write!(f, "platform incompatibility: {msg}"),
+        }
+    }
+}
+
+impl Error for HvError {}
+
+/// Convenience alias for hypervisor results.
+pub type HvResult<T> = Result<T, HvError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = HvError::PageOutOfRange { page: 9, limit: 4 };
+        assert_eq!(e.to_string(), "page 9 outside guest address space of 4 pages");
+        let e = HvError::WrongRunState {
+            op: "pause",
+            state: "destroyed",
+        };
+        assert!(e.to_string().contains("cannot pause"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<HvError>();
+    }
+}

@@ -1,0 +1,55 @@
+//! Hypervisor identity.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Which hypervisor implementation a host runs.
+///
+/// The whole point of HERE is that the primary and secondary values of this
+/// enum *differ*: two different implementations are overwhelmingly unlikely
+/// to share a DoS vulnerability (§2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HypervisorKind {
+    /// Xen 4.12 with the xl/libxl/libxc toolstack (type-1).
+    Xen,
+    /// Linux KVM with the kvmtool userspace (type-2).
+    Kvm,
+}
+
+impl HypervisorKind {
+    /// The other kind — what a heterogeneous deployment pairs this with.
+    pub fn opposite(self) -> HypervisorKind {
+        match self {
+            HypervisorKind::Xen => HypervisorKind::Kvm,
+            HypervisorKind::Kvm => HypervisorKind::Xen,
+        }
+    }
+
+    /// Lowercase label.
+    pub fn label(self) -> &'static str {
+        match self {
+            HypervisorKind::Xen => "xen",
+            HypervisorKind::Kvm => "kvm",
+        }
+    }
+}
+
+impl fmt::Display for HypervisorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opposite_is_an_involution() {
+        for k in [HypervisorKind::Xen, HypervisorKind::Kvm] {
+            assert_ne!(k.opposite(), k);
+            assert_eq!(k.opposite().opposite(), k);
+        }
+    }
+}

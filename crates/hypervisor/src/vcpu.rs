@@ -1,0 +1,449 @@
+//! Virtual CPUs and the two hypervisor-specific vCPU state formats.
+//!
+//! Xen captures vCPU state as a `vcpu_guest_context` (GPRs in kernel
+//! push-order, segments in a flat array, the pending interrupt expressed as
+//! an event-channel upcall); KVM captures the same truth as separate
+//! `kvm_regs` / `kvm_sregs` / MSR-list structures with a different register
+//! order and a 256-bit interrupt bitmap. The two formats are deliberately
+//! *incompatible at the byte level* — converting between them is the job of
+//! the state translator ([`here-vmstate`]), exactly as in the paper (§7.4).
+//!
+//! [`here-vmstate`]: ../../here_vmstate/index.html
+
+use serde::{Deserialize, Serialize};
+
+use crate::arch::{ArchRegs, Segment, GPR_COUNT};
+
+/// Identifier of a vCPU within one VM.
+///
+/// # Examples
+///
+/// ```
+/// use here_hypervisor::vcpu::VcpuId;
+///
+/// let v = VcpuId::new(2);
+/// assert_eq!(v.index(), 2);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct VcpuId(u32);
+
+impl VcpuId {
+    /// Creates the id of the vCPU at `index`.
+    pub const fn new(index: u32) -> Self {
+        VcpuId(index)
+    }
+
+    /// The zero-based vCPU index.
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl From<u32> for VcpuId {
+    fn from(index: u32) -> Self {
+        VcpuId(index)
+    }
+}
+
+/// A running vCPU: its identity plus the architectural truth it executes on.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Vcpu {
+    /// Which vCPU of the VM this is.
+    pub id: VcpuId,
+    /// The architectural register file.
+    pub regs: ArchRegs,
+    /// Whether the vCPU is online (has been started by the guest).
+    pub online: bool,
+}
+
+impl Vcpu {
+    /// Creates an online vCPU in the x86 reset state.
+    pub fn new(id: VcpuId) -> Self {
+        Vcpu {
+            id,
+            regs: ArchRegs::reset_state(),
+            online: true,
+        }
+    }
+}
+
+/// Order in which Xen's `cpu_user_regs` stores the GPRs (kernel push order).
+const XEN_GPR_ORDER: [usize; GPR_COUNT] = [
+    15, 14, 13, 12, 5, 3, 11, 10, 9, 8, 0, 1, 2, 6, 7, 4,
+    // r15 r14 r13 r12 rbp rbx r11 r10 r9 r8 rax rcx rdx rsi rdi rsp
+];
+
+/// Order in which KVM's `kvm_regs` stores the GPRs.
+const KVM_GPR_ORDER: [usize; GPR_COUNT] = [
+    0, 3, 1, 2, 6, 7, 4, 5, 8, 9, 10, 11, 12, 13, 14, 15,
+    // rax rbx rcx rdx rsi rdi rsp rbp r8..r15
+];
+
+/// Xen's segment ordering inside `vcpu_guest_context`.
+const XEN_SEG_COUNT: usize = 7;
+
+/// Xen-format vCPU state: the shape `xc_domain_save` emits.
+///
+/// Field layout follows Xen's `vcpu_guest_context`: GPRs in kernel
+/// push-order, a packed flat segment array, the TSC split into two 32-bit
+/// halves, and interrupt delivery expressed as an event-channel upcall.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct XenVcpuState {
+    /// `VGCF_*` flag bits (bit 0: online, bit 1: in-kernel).
+    pub flags: u64,
+    /// GPRs in Xen's `cpu_user_regs` order (see `XEN_GPR_ORDER`).
+    pub user_regs: [u64; GPR_COUNT],
+    /// Instruction pointer.
+    pub rip: u64,
+    /// Flags register.
+    pub rflags: u64,
+    /// Segments in Xen order: cs, ds, es, fs, gs, ss, tr.
+    pub segments: [Segment; XEN_SEG_COUNT],
+    /// Control registers `cr0..cr4` packed as Xen's `ctrlreg` array
+    /// (index 1 unused, as in Xen).
+    pub ctrlreg: [u64; 5],
+    /// EFER, STAR, LSTAR, KERNEL_GS_BASE, APIC_BASE in Xen MSR order.
+    pub msrs: [u64; 5],
+    /// High half of the captured TSC.
+    pub tsc_hi: u32,
+    /// Low half of the captured TSC.
+    pub tsc_lo: u32,
+    /// Event-channel upcall pending flag.
+    pub evtchn_upcall_pending: bool,
+    /// Vector the upcall maps to (meaningful only when pending).
+    pub evtchn_pending_vector: u8,
+}
+
+impl XenVcpuState {
+    /// Captures architectural state into Xen's format.
+    pub fn from_arch(regs: &ArchRegs, online: bool) -> Self {
+        let mut user_regs = [0u64; GPR_COUNT];
+        for (slot, &arch_idx) in XEN_GPR_ORDER.iter().enumerate() {
+            user_regs[slot] = regs.gprs[arch_idx];
+        }
+        XenVcpuState {
+            flags: u64::from(online),
+            user_regs,
+            rip: regs.rip,
+            rflags: regs.rflags,
+            segments: [regs.cs, regs.ds, regs.es, regs.fs, regs.gs, regs.ss, regs.tr],
+            ctrlreg: [regs.system.cr0, 0, regs.system.cr2, regs.system.cr3, regs.system.cr4],
+            msrs: [
+                regs.system.efer,
+                regs.system.star,
+                regs.system.lstar,
+                regs.system.kernel_gs_base,
+                regs.system.apic_base,
+            ],
+            tsc_hi: (regs.tsc >> 32) as u32,
+            tsc_lo: regs.tsc as u32,
+            evtchn_upcall_pending: regs.pending_interrupt.is_some(),
+            evtchn_pending_vector: regs.pending_interrupt.unwrap_or(0),
+        }
+    }
+
+    /// Restores architectural state from Xen's format.
+    pub fn to_arch(&self) -> ArchRegs {
+        let mut regs = ArchRegs::default();
+        for (slot, &arch_idx) in XEN_GPR_ORDER.iter().enumerate() {
+            regs.gprs[arch_idx] = self.user_regs[slot];
+        }
+        regs.rip = self.rip;
+        regs.rflags = self.rflags;
+        [regs.cs, regs.ds, regs.es, regs.fs, regs.gs, regs.ss, regs.tr] = self.segments;
+        regs.system.cr0 = self.ctrlreg[0];
+        regs.system.cr2 = self.ctrlreg[2];
+        regs.system.cr3 = self.ctrlreg[3];
+        regs.system.cr4 = self.ctrlreg[4];
+        regs.system.efer = self.msrs[0];
+        regs.system.star = self.msrs[1];
+        regs.system.lstar = self.msrs[2];
+        regs.system.kernel_gs_base = self.msrs[3];
+        regs.system.apic_base = self.msrs[4];
+        regs.tsc = (self.tsc_hi as u64) << 32 | self.tsc_lo as u64;
+        regs.pending_interrupt = self
+            .evtchn_upcall_pending
+            .then_some(self.evtchn_pending_vector);
+        regs
+    }
+
+    /// `true` if the online flag bit is set.
+    pub fn is_online(&self) -> bool {
+        self.flags & 1 != 0
+    }
+}
+
+/// KVM-format vCPU state: what `KVM_GET_REGS` / `KVM_GET_SREGS` /
+/// `KVM_GET_MSRS` return, as kvmtool would snapshot them.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KvmVcpuState {
+    /// GPRs in `kvm_regs` order (see `KVM_GPR_ORDER`), plus rip and rflags.
+    pub regs: KvmRegs,
+    /// Segment and control registers (`kvm_sregs`).
+    pub sregs: KvmSregs,
+    /// Explicit MSR list, as `KVM_GET_MSRS` returns.
+    pub msr_entries: Vec<(u32, u64)>,
+    /// 256-bit pending-interrupt bitmap (`kvm_sregs.interrupt_bitmap`).
+    pub interrupt_bitmap: [u64; 4],
+    /// Captured TSC in cycles.
+    pub tsc: u64,
+    /// Whether the vCPU is online from kvmtool's point of view.
+    pub online: bool,
+}
+
+/// The `kvm_regs` block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KvmRegs {
+    /// GPRs in KVM order.
+    pub gprs: [u64; GPR_COUNT],
+    /// Instruction pointer.
+    pub rip: u64,
+    /// Flags register.
+    pub rflags: u64,
+}
+
+/// The `kvm_sregs` block (segments + control registers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KvmSregs {
+    /// Code segment.
+    pub cs: Segment,
+    /// Data segment.
+    pub ds: Segment,
+    /// Extra segment.
+    pub es: Segment,
+    /// FS segment.
+    pub fs: Segment,
+    /// GS segment.
+    pub gs: Segment,
+    /// Stack segment.
+    pub ss: Segment,
+    /// Task register.
+    pub tr: Segment,
+    /// CR0.
+    pub cr0: u64,
+    /// CR2.
+    pub cr2: u64,
+    /// CR3.
+    pub cr3: u64,
+    /// CR4.
+    pub cr4: u64,
+    /// EFER.
+    pub efer: u64,
+    /// APIC base MSR.
+    pub apic_base: u64,
+}
+
+/// MSR indices KVM serialises explicitly.
+pub mod msr_index {
+    /// IA32_STAR.
+    pub const STAR: u32 = 0xc000_0081;
+    /// IA32_LSTAR.
+    pub const LSTAR: u32 = 0xc000_0082;
+    /// KERNEL_GS_BASE.
+    pub const KERNEL_GS_BASE: u32 = 0xc000_0102;
+}
+
+impl KvmVcpuState {
+    /// Captures architectural state into KVM's format.
+    pub fn from_arch(regs: &ArchRegs, online: bool) -> Self {
+        let mut gprs = [0u64; GPR_COUNT];
+        for (slot, &arch_idx) in KVM_GPR_ORDER.iter().enumerate() {
+            gprs[slot] = regs.gprs[arch_idx];
+        }
+        let mut interrupt_bitmap = [0u64; 4];
+        if let Some(vec) = regs.pending_interrupt {
+            interrupt_bitmap[(vec / 64) as usize] |= 1 << (vec % 64);
+        }
+        KvmVcpuState {
+            regs: KvmRegs {
+                gprs,
+                rip: regs.rip,
+                rflags: regs.rflags,
+            },
+            sregs: KvmSregs {
+                cs: regs.cs,
+                ds: regs.ds,
+                es: regs.es,
+                fs: regs.fs,
+                gs: regs.gs,
+                ss: regs.ss,
+                tr: regs.tr,
+                cr0: regs.system.cr0,
+                cr2: regs.system.cr2,
+                cr3: regs.system.cr3,
+                cr4: regs.system.cr4,
+                efer: regs.system.efer,
+                apic_base: regs.system.apic_base,
+            },
+            msr_entries: vec![
+                (msr_index::STAR, regs.system.star),
+                (msr_index::LSTAR, regs.system.lstar),
+                (msr_index::KERNEL_GS_BASE, regs.system.kernel_gs_base),
+            ],
+            interrupt_bitmap,
+            tsc: regs.tsc,
+            online,
+        }
+    }
+
+    /// Restores architectural state from KVM's format.
+    pub fn to_arch(&self) -> ArchRegs {
+        let mut regs = ArchRegs::default();
+        for (slot, &arch_idx) in KVM_GPR_ORDER.iter().enumerate() {
+            regs.gprs[arch_idx] = self.regs.gprs[slot];
+        }
+        regs.rip = self.regs.rip;
+        regs.rflags = self.regs.rflags;
+        regs.cs = self.sregs.cs;
+        regs.ds = self.sregs.ds;
+        regs.es = self.sregs.es;
+        regs.fs = self.sregs.fs;
+        regs.gs = self.sregs.gs;
+        regs.ss = self.sregs.ss;
+        regs.tr = self.sregs.tr;
+        regs.system.cr0 = self.sregs.cr0;
+        regs.system.cr2 = self.sregs.cr2;
+        regs.system.cr3 = self.sregs.cr3;
+        regs.system.cr4 = self.sregs.cr4;
+        regs.system.efer = self.sregs.efer;
+        regs.system.apic_base = self.sregs.apic_base;
+        for &(idx, val) in &self.msr_entries {
+            match idx {
+                msr_index::STAR => regs.system.star = val,
+                msr_index::LSTAR => regs.system.lstar = val,
+                msr_index::KERNEL_GS_BASE => regs.system.kernel_gs_base = val,
+                _ => {}
+            }
+        }
+        regs.tsc = self.tsc;
+        regs.pending_interrupt = self
+            .interrupt_bitmap
+            .iter()
+            .enumerate()
+            .find_map(|(word, &bits)| {
+                (bits != 0).then(|| (word as u8) * 64 + bits.trailing_zeros() as u8)
+            });
+        regs
+    }
+}
+
+/// A hypervisor-specific vCPU state blob, as moved over the wire.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum VcpuStateBlob {
+    /// Xen `vcpu_guest_context` format.
+    Xen(XenVcpuState),
+    /// KVM `kvm_regs`/`kvm_sregs`/MSR-list format.
+    Kvm(KvmVcpuState),
+}
+
+impl VcpuStateBlob {
+    /// Decodes the blob back to architectural truth, regardless of format.
+    pub fn to_arch(&self) -> ArchRegs {
+        match self {
+            VcpuStateBlob::Xen(x) => x.to_arch(),
+            VcpuStateBlob::Kvm(k) => k.to_arch(),
+        }
+    }
+
+    /// Whether the contained vCPU was online.
+    pub fn is_online(&self) -> bool {
+        match self {
+            VcpuStateBlob::Xen(x) => x.is_online(),
+            VcpuStateBlob::Kvm(k) => k.online,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::Gpr;
+
+    fn busy_regs() -> ArchRegs {
+        let mut regs = ArchRegs::reset_state();
+        for i in 0..GPR_COUNT {
+            regs.gprs[i] = 0x1000 + i as u64 * 7;
+        }
+        regs.rip = 0xffff_ffff_8100_0000;
+        regs.rflags = 0x246;
+        regs.system.cr3 = 0x3fff_d000;
+        regs.system.efer = 0xd01;
+        regs.system.lstar = 0xffff_ffff_8160_0000;
+        regs.tsc = 0x1234_5678_9abc_def0;
+        regs.pending_interrupt = Some(0xec);
+        regs
+    }
+
+    #[test]
+    fn xen_round_trip_preserves_arch_state() {
+        let regs = busy_regs();
+        let xen = XenVcpuState::from_arch(&regs, true);
+        assert_eq!(xen.to_arch(), regs);
+        assert!(xen.is_online());
+    }
+
+    #[test]
+    fn kvm_round_trip_preserves_arch_state() {
+        let regs = busy_regs();
+        let kvm = KvmVcpuState::from_arch(&regs, true);
+        assert_eq!(kvm.to_arch(), regs);
+        assert!(kvm.online);
+    }
+
+    #[test]
+    fn formats_permute_gprs_differently() {
+        let mut regs = ArchRegs::default();
+        regs.set_gpr(Gpr::Rax, 0xAA);
+        regs.set_gpr(Gpr::Rbx, 0xBB);
+        let xen = XenVcpuState::from_arch(&regs, true);
+        let kvm = KvmVcpuState::from_arch(&regs, true);
+        // Xen puts rax at slot 10; KVM puts it at slot 0.
+        assert_eq!(xen.user_regs[10], 0xAA);
+        assert_eq!(kvm.regs.gprs[0], 0xAA);
+        // Xen puts rbx at slot 5; KVM at slot 1.
+        assert_eq!(xen.user_regs[5], 0xBB);
+        assert_eq!(kvm.regs.gprs[1], 0xBB);
+    }
+
+    #[test]
+    fn tsc_split_reassembles() {
+        let mut regs = ArchRegs::default();
+        regs.tsc = u64::MAX - 5;
+        let xen = XenVcpuState::from_arch(&regs, true);
+        assert_eq!(xen.to_arch().tsc, u64::MAX - 5);
+    }
+
+    #[test]
+    fn pending_interrupt_encodings_differ_but_agree() {
+        let mut regs = ArchRegs::default();
+        regs.pending_interrupt = Some(0x31);
+        let xen = XenVcpuState::from_arch(&regs, true);
+        let kvm = KvmVcpuState::from_arch(&regs, true);
+        assert!(xen.evtchn_upcall_pending);
+        assert_eq!(xen.evtchn_pending_vector, 0x31);
+        assert_eq!(kvm.interrupt_bitmap[0], 1 << 0x31);
+        assert_eq!(xen.to_arch().pending_interrupt, Some(0x31));
+        assert_eq!(kvm.to_arch().pending_interrupt, Some(0x31));
+    }
+
+    #[test]
+    fn blob_decodes_either_format() {
+        let regs = busy_regs();
+        let xen_blob = VcpuStateBlob::Xen(XenVcpuState::from_arch(&regs, true));
+        let kvm_blob = VcpuStateBlob::Kvm(KvmVcpuState::from_arch(&regs, true));
+        assert_eq!(xen_blob.to_arch(), regs);
+        assert_eq!(kvm_blob.to_arch(), regs);
+        assert!(xen_blob.is_online() && kvm_blob.is_online());
+    }
+
+    #[test]
+    fn offline_vcpu_flag_round_trips() {
+        let regs = ArchRegs::default();
+        let xen = XenVcpuState::from_arch(&regs, false);
+        assert!(!xen.is_online());
+        let kvm = KvmVcpuState::from_arch(&regs, false);
+        assert!(!kvm.online);
+    }
+}

@@ -1,0 +1,211 @@
+//! Bandwidth and byte-count units.
+//!
+//! Converting between link bandwidth and per-transfer durations is done in
+//! one place so every component (migration engine, checkpoint transfer,
+//! client traffic) prices bytes identically.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimDuration;
+
+/// A quantity of bytes.
+///
+/// # Examples
+///
+/// ```
+/// use here_sim_core::rate::ByteSize;
+///
+/// assert_eq!(ByteSize::from_gib(1).as_bytes(), 1024 * 1024 * 1024);
+/// assert_eq!(ByteSize::from_mib(2) + ByteSize::from_mib(3), ByteSize::from_mib(5));
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct ByteSize(u64);
+
+impl ByteSize {
+    /// Zero bytes.
+    pub const ZERO: ByteSize = ByteSize(0);
+
+    /// Creates a size of `bytes` bytes.
+    pub const fn from_bytes(bytes: u64) -> Self {
+        ByteSize(bytes)
+    }
+
+    /// Creates a size of `kib` kibibytes.
+    pub const fn from_kib(kib: u64) -> Self {
+        ByteSize(kib * 1024)
+    }
+
+    /// Creates a size of `mib` mebibytes.
+    pub const fn from_mib(mib: u64) -> Self {
+        ByteSize(mib * 1024 * 1024)
+    }
+
+    /// Creates a size of `gib` gibibytes.
+    pub const fn from_gib(gib: u64) -> Self {
+        ByteSize(gib * 1024 * 1024 * 1024)
+    }
+
+    /// The size in bytes.
+    pub const fn as_bytes(self) -> u64 {
+        self.0
+    }
+
+    /// The size in mebibytes, as a float.
+    pub fn as_mib_f64(self) -> f64 {
+        self.0 as f64 / (1024.0 * 1024.0)
+    }
+
+    /// The size in gibibytes, as a float.
+    pub fn as_gib_f64(self) -> f64 {
+        self.0 as f64 / (1024.0 * 1024.0 * 1024.0)
+    }
+}
+
+impl std::ops::Add for ByteSize {
+    type Output = ByteSize;
+    fn add(self, rhs: ByteSize) -> ByteSize {
+        ByteSize(self.0 + rhs.0)
+    }
+}
+
+impl std::ops::AddAssign for ByteSize {
+    fn add_assign(&mut self, rhs: ByteSize) {
+        self.0 += rhs.0;
+    }
+}
+
+impl std::ops::Mul<u64> for ByteSize {
+    type Output = ByteSize;
+    fn mul(self, rhs: u64) -> ByteSize {
+        ByteSize(self.0 * rhs)
+    }
+}
+
+impl fmt::Display for ByteSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1024 * 1024 * 1024 {
+            write!(f, "{:.2} GiB", self.as_gib_f64())
+        } else if self.0 >= 1024 * 1024 {
+            write!(f, "{:.2} MiB", self.as_mib_f64())
+        } else if self.0 >= 1024 {
+            write!(f, "{:.2} KiB", self.0 as f64 / 1024.0)
+        } else {
+            write!(f, "{} B", self.0)
+        }
+    }
+}
+
+/// A transmission rate in bits per second.
+///
+/// # Examples
+///
+/// ```
+/// use here_sim_core::rate::{Bandwidth, ByteSize};
+/// use here_sim_core::time::SimDuration;
+///
+/// let link = Bandwidth::from_gbps(10);
+/// let t = link.transfer_time(ByteSize::from_mib(1));
+/// // 1 MiB over 10 Gb/s ≈ 0.84 ms
+/// assert!(t > SimDuration::from_micros(800) && t < SimDuration::from_micros(900));
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Bandwidth(u64);
+
+impl Bandwidth {
+    /// Creates a rate of `bps` bits per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bps` is zero (a zero-rate link can never deliver).
+    pub fn from_bps(bps: u64) -> Self {
+        assert!(bps > 0, "bandwidth must be positive");
+        Bandwidth(bps)
+    }
+
+    /// Creates a rate of `mbps` megabits per second.
+    pub fn from_mbps(mbps: u64) -> Self {
+        Bandwidth::from_bps(mbps * 1_000_000)
+    }
+
+    /// Creates a rate of `gbps` gigabits per second.
+    pub fn from_gbps(gbps: u64) -> Self {
+        Bandwidth::from_bps(gbps * 1_000_000_000)
+    }
+
+    /// The rate in bits per second.
+    pub const fn as_bps(self) -> u64 {
+        self.0
+    }
+
+    /// Time to serialise `size` onto the wire at this rate.
+    pub fn transfer_time(self, size: ByteSize) -> SimDuration {
+        let bits = size.as_bytes() as u128 * 8;
+        let nanos = bits * 1_000_000_000 / self.0 as u128;
+        SimDuration::from_nanos(nanos.min(u64::MAX as u128) as u64)
+    }
+
+    /// Bytes deliverable in `window` at this rate.
+    pub fn bytes_in(self, window: SimDuration) -> ByteSize {
+        let bits = self.0 as u128 * window.as_nanos() as u128 / 1_000_000_000;
+        ByteSize::from_bytes((bits / 8).min(u64::MAX as u128) as u64)
+    }
+}
+
+impl fmt::Display for Bandwidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.1} Gb/s", self.0 as f64 / 1e9)
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.1} Mb/s", self.0 as f64 / 1e6)
+        } else {
+            write!(f, "{} b/s", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_matches_hand_calculation() {
+        // 100 Gb/s: 4 KiB page = 32768 bits -> 327.68 ns
+        let omni_path = Bandwidth::from_gbps(100);
+        let t = omni_path.transfer_time(ByteSize::from_kib(4));
+        assert_eq!(t.as_nanos(), 327);
+    }
+
+    #[test]
+    fn transfer_and_window_are_inverse() {
+        let bw = Bandwidth::from_gbps(10);
+        let size = ByteSize::from_mib(64);
+        let t = bw.transfer_time(size);
+        let back = bw.bytes_in(t);
+        let diff = size.as_bytes().abs_diff(back.as_bytes());
+        assert!(diff <= 16, "round trip lost {diff} bytes");
+    }
+
+    #[test]
+    fn bytesize_display() {
+        assert_eq!(ByteSize::from_bytes(512).to_string(), "512 B");
+        assert_eq!(ByteSize::from_gib(20).to_string(), "20.00 GiB");
+    }
+
+    #[test]
+    fn bandwidth_display() {
+        assert_eq!(Bandwidth::from_gbps(100).to_string(), "100.0 Gb/s");
+        assert_eq!(Bandwidth::from_mbps(10).to_string(), "10.0 Mb/s");
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn zero_bandwidth_rejected() {
+        Bandwidth::from_bps(0);
+    }
+}

@@ -1,0 +1,156 @@
+//! Small statistics toolbox: summary statistics and least-squares fitting.
+//!
+//! The linear fit is used to validate the paper's Fig. 5 claim — that page
+//! send time is linear in the number of dirty pages, `f(N) = αN` — and to
+//! estimate `α` online in the dynamic checkpoint period manager.
+
+/// Result of an ordinary least-squares line fit `y = slope · x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    /// Slope of the fitted line.
+    pub slope: f64,
+    /// Intercept of the fitted line.
+    pub intercept: f64,
+    /// Coefficient of determination in `[0, 1]`; 1 means a perfect fit.
+    pub r_squared: f64,
+}
+
+/// Fits a least-squares line through `(x, y)` points.
+///
+/// Returns `None` for fewer than two points or when all `x` are identical
+/// (the slope would be undefined).
+///
+/// # Examples
+///
+/// ```
+/// use here_sim_core::stats::linear_fit;
+///
+/// let pts: Vec<(f64, f64)> = (1..=10).map(|n| (n as f64, 3.0 * n as f64 + 1.0)).collect();
+/// let fit = linear_fit(&pts).unwrap();
+/// assert!((fit.slope - 3.0).abs() < 1e-9);
+/// assert!((fit.intercept - 1.0).abs() < 1e-9);
+/// assert!(fit.r_squared > 0.999);
+/// ```
+pub fn linear_fit(points: &[(f64, f64)]) -> Option<LinearFit> {
+    if points.len() < 2 {
+        return None;
+    }
+    let n = points.len() as f64;
+    let mean_x = points.iter().map(|p| p.0).sum::<f64>() / n;
+    let mean_y = points.iter().map(|p| p.1).sum::<f64>() / n;
+    let sxx: f64 = points.iter().map(|p| (p.0 - mean_x).powi(2)).sum();
+    if sxx == 0.0 {
+        return None;
+    }
+    let sxy: f64 = points
+        .iter()
+        .map(|p| (p.0 - mean_x) * (p.1 - mean_y))
+        .sum();
+    let slope = sxy / sxx;
+    let intercept = mean_y - slope * mean_x;
+    let ss_tot: f64 = points.iter().map(|p| (p.1 - mean_y).powi(2)).sum();
+    let ss_res: f64 = points
+        .iter()
+        .map(|p| (p.1 - (slope * p.0 + intercept)).powi(2))
+        .sum();
+    let r_squared = if ss_tot == 0.0 {
+        1.0
+    } else {
+        (1.0 - ss_res / ss_tot).clamp(0.0, 1.0)
+    };
+    Some(LinearFit {
+        slope,
+        intercept,
+        r_squared,
+    })
+}
+
+/// Arithmetic mean; `None` when `values` is empty.
+pub fn mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    Some(values.iter().sum::<f64>() / values.len() as f64)
+}
+
+/// Sample standard deviation (n − 1 denominator); `None` for fewer than two
+/// values.
+pub fn stddev(values: &[f64]) -> Option<f64> {
+    if values.len() < 2 {
+        return None;
+    }
+    let m = mean(values)?;
+    let var = values.iter().map(|v| (v - m).powi(2)).sum::<f64>() / (values.len() as f64 - 1.0);
+    Some(var.sqrt())
+}
+
+/// Relative change from `baseline` to `observed` as a percentage.
+///
+/// Positive means `observed` is *smaller* (an improvement for durations), so
+/// `percent_improvement(10.0, 5.0) == 50.0`, matching the paper's phrasing
+/// "HERE improved migration time by nearly 49%".
+///
+/// # Panics
+///
+/// Panics if `baseline` is zero.
+pub fn percent_improvement(baseline: f64, observed: f64) -> f64 {
+    assert!(baseline != 0.0, "baseline must be non-zero");
+    (baseline - observed) / baseline * 100.0
+}
+
+/// Performance degradation as a percentage relative to `baseline` throughput:
+/// `degradation_percent(100.0, 68.0) == 32.0`, matching the figures'
+/// above-bar annotations.
+///
+/// # Panics
+///
+/// Panics if `baseline` is zero.
+pub fn degradation_percent(baseline: f64, observed: f64) -> f64 {
+    assert!(baseline != 0.0, "baseline must be non-zero");
+    (baseline - observed) / baseline * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_recovers_exact_line() {
+        let pts: Vec<(f64, f64)> = (0..20).map(|n| (n as f64, 2.5 * n as f64 - 4.0)).collect();
+        let fit = linear_fit(&pts).unwrap();
+        assert!((fit.slope - 2.5).abs() < 1e-9);
+        assert!((fit.intercept + 4.0).abs() < 1e-9);
+        assert!((fit.r_squared - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fit_rejects_degenerate_inputs() {
+        assert!(linear_fit(&[]).is_none());
+        assert!(linear_fit(&[(1.0, 1.0)]).is_none());
+        assert!(linear_fit(&[(2.0, 1.0), (2.0, 5.0)]).is_none());
+    }
+
+    #[test]
+    fn fit_r_squared_drops_with_noise() {
+        // A V shape is badly explained by a line.
+        let pts = [(0.0, 1.0), (1.0, 0.0), (2.0, 1.0)];
+        let fit = linear_fit(&pts).unwrap();
+        assert!(fit.r_squared < 0.5);
+    }
+
+    #[test]
+    fn mean_and_stddev() {
+        assert_eq!(mean(&[]), None);
+        assert_eq!(mean(&[2.0, 4.0]), Some(3.0));
+        assert_eq!(stddev(&[1.0]), None);
+        let sd = stddev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert!((sd - 2.138).abs() < 0.01);
+    }
+
+    #[test]
+    fn improvement_and_degradation() {
+        assert_eq!(percent_improvement(10.0, 5.0), 50.0);
+        assert_eq!(degradation_percent(100.0, 68.0), 32.0);
+        assert!(percent_improvement(10.0, 12.0) < 0.0);
+    }
+}

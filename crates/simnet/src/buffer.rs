@@ -1,0 +1,199 @@
+//! Outgoing I/O buffering — the heart of ASR's consistency guarantee.
+//!
+//! In asynchronous state replication "all outgoing I/O traffic of the
+//! primary VM is buffered during the entire execution period T, and only
+//! released once the corresponding checkpoint has completed" (§3.2). If the
+//! primary dies, unreleased packets are discarded together with the
+//! unreplicated execution they witnessed, so external clients never observe
+//! state the replica does not have.
+//!
+//! The buffering delay is exactly what the Sockperf experiment (Fig. 17)
+//! measures: client-visible latency under ASR is dominated by how long
+//! replies sit in this buffer waiting for the next checkpoint commit.
+
+use serde::{Deserialize, Serialize};
+
+use here_sim_core::rate::ByteSize;
+use here_sim_core::time::{SimDuration, SimTime};
+
+/// An outgoing packet produced by the protected VM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Packet {
+    /// Monotonic packet id (for tracing).
+    pub id: u64,
+    /// Payload size.
+    pub size: ByteSize,
+    /// When the guest emitted the packet.
+    pub created_at: SimTime,
+}
+
+/// A packet after release, annotated with the buffering delay it suffered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReleasedPacket {
+    /// The packet itself.
+    pub packet: Packet,
+    /// When the commit released it.
+    pub released_at: SimTime,
+}
+
+impl ReleasedPacket {
+    /// Time the packet spent buffered.
+    pub fn buffering_delay(&self) -> SimDuration {
+        self.released_at
+            .saturating_duration_since(self.packet.created_at)
+    }
+}
+
+/// The outgoing I/O buffer of a replicated VM.
+///
+/// # Examples
+///
+/// ```
+/// use here_simnet::buffer::IoBuffer;
+/// use here_sim_core::rate::ByteSize;
+/// use here_sim_core::time::{SimDuration, SimTime};
+///
+/// let mut buf = IoBuffer::new();
+/// buf.enqueue(ByteSize::from_bytes(1400), SimTime::from_secs(1));
+/// let released = buf.release_all(SimTime::from_secs(4));
+/// assert_eq!(released.len(), 1);
+/// assert_eq!(released[0].buffering_delay(), SimDuration::from_secs(3));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct IoBuffer {
+    pending: Vec<Packet>,
+    next_id: u64,
+    buffered_bytes: ByteSize,
+    high_watermark: ByteSize,
+    total_released: u64,
+    total_discarded: u64,
+}
+
+impl IoBuffer {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        IoBuffer::default()
+    }
+
+    /// Buffers one outgoing packet; returns its id.
+    pub fn enqueue(&mut self, size: ByteSize, now: SimTime) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.pending.push(Packet {
+            id,
+            size,
+            created_at: now,
+        });
+        self.buffered_bytes += size;
+        if self.buffered_bytes > self.high_watermark {
+            self.high_watermark = self.buffered_bytes;
+        }
+        id
+    }
+
+    /// Number of packets currently held.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// `true` when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Bytes currently held.
+    pub fn buffered_bytes(&self) -> ByteSize {
+        self.buffered_bytes
+    }
+
+    /// The largest byte backlog ever observed (§8.7 resource accounting).
+    pub fn high_watermark(&self) -> ByteSize {
+        self.high_watermark
+    }
+
+    /// Lifetime count of packets released to clients.
+    pub fn total_released(&self) -> u64 {
+        self.total_released
+    }
+
+    /// Lifetime count of packets discarded by failovers.
+    pub fn total_discarded(&self) -> u64 {
+        self.total_discarded
+    }
+
+    /// Checkpoint commit: every buffered packet is released to the outside
+    /// world at instant `now`, in emission order.
+    pub fn release_all(&mut self, now: SimTime) -> Vec<ReleasedPacket> {
+        self.buffered_bytes = ByteSize::ZERO;
+        self.total_released += self.pending.len() as u64;
+        std::mem::take(&mut self.pending)
+            .into_iter()
+            .map(|packet| ReleasedPacket {
+                packet,
+                released_at: now,
+            })
+            .collect()
+    }
+
+    /// Primary failure: buffered packets are discarded — the execution they
+    /// witnessed is being rolled back to the last committed checkpoint.
+    /// Returns how many packets were lost.
+    pub fn discard_all(&mut self) -> usize {
+        let lost = self.pending.len();
+        self.total_discarded += lost as u64;
+        self.pending.clear();
+        self.buffered_bytes = ByteSize::ZERO;
+        lost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn release_preserves_emission_order_and_counts_delay() {
+        let mut buf = IoBuffer::new();
+        buf.enqueue(ByteSize::from_bytes(100), SimTime::from_secs(1));
+        buf.enqueue(ByteSize::from_bytes(200), SimTime::from_secs(2));
+        assert_eq!(buf.buffered_bytes(), ByteSize::from_bytes(300));
+        let out = buf.release_all(SimTime::from_secs(5));
+        assert_eq!(out.len(), 2);
+        assert!(out[0].packet.id < out[1].packet.id);
+        assert_eq!(out[0].buffering_delay(), SimDuration::from_secs(4));
+        assert_eq!(out[1].buffering_delay(), SimDuration::from_secs(3));
+        assert!(buf.is_empty());
+        assert_eq!(buf.buffered_bytes(), ByteSize::ZERO);
+        assert_eq!(buf.total_released(), 2);
+    }
+
+    #[test]
+    fn discard_loses_uncommitted_output() {
+        let mut buf = IoBuffer::new();
+        for _ in 0..5 {
+            buf.enqueue(ByteSize::from_bytes(64), SimTime::ZERO);
+        }
+        assert_eq!(buf.discard_all(), 5);
+        assert!(buf.is_empty());
+        assert_eq!(buf.total_discarded(), 5);
+        assert_eq!(buf.total_released(), 0);
+    }
+
+    #[test]
+    fn high_watermark_tracks_peak_backlog() {
+        let mut buf = IoBuffer::new();
+        buf.enqueue(ByteSize::from_kib(10), SimTime::ZERO);
+        buf.release_all(SimTime::ZERO);
+        buf.enqueue(ByteSize::from_kib(4), SimTime::ZERO);
+        assert_eq!(buf.high_watermark(), ByteSize::from_kib(10));
+    }
+
+    #[test]
+    fn packet_ids_are_unique_and_monotonic() {
+        let mut buf = IoBuffer::new();
+        let a = buf.enqueue(ByteSize::from_bytes(1), SimTime::ZERO);
+        buf.release_all(SimTime::ZERO);
+        let b = buf.enqueue(ByteSize::from_bytes(1), SimTime::ZERO);
+        assert!(b > a);
+    }
+}

@@ -1,0 +1,139 @@
+//! Platform compatibility reconciliation between replication peers.
+//!
+//! "HERE ensures virtualization compatibility between both hypervisors by
+//! adjusting platform features as necessary" (§5.3): before replication
+//! starts, the two hosts' CPUID policies are intersected and the common
+//! policy is what the protected VM boots with, so no feature the guest has
+//! observed can vanish on failover.
+
+use std::error::Error;
+use std::fmt;
+
+use here_hypervisor::cpuid::{CpuFeature, CpuidPolicy};
+
+/// Errors raised by compatibility checking.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CompatError {
+    /// The guest's policy exposes features the target host cannot provide;
+    /// resuming there would let the guest execute unsupported instructions.
+    MissingFeatures(Vec<CpuFeature>),
+    /// The two hosts disagree on non-maskable platform properties.
+    PlatformMismatch(String),
+}
+
+impl fmt::Display for CompatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompatError::MissingFeatures(features) => {
+                write!(f, "target host lacks guest-visible features: {features:?}")
+            }
+            CompatError::PlatformMismatch(msg) => write!(f, "platform mismatch: {msg}"),
+        }
+    }
+}
+
+impl Error for CompatError {}
+
+/// The reconciled platform contract both hosts agree to honour.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlatformContract {
+    /// The feature policy to install on the protected VM.
+    pub cpuid: CpuidPolicy,
+    /// Features each side had to mask to reach agreement (diagnostics).
+    pub masked_on_primary: Vec<CpuFeature>,
+    /// Features masked relative to the secondary's default.
+    pub masked_on_secondary: Vec<CpuFeature>,
+}
+
+/// Computes the platform contract for a primary/secondary pair.
+///
+/// # Examples
+///
+/// ```
+/// use here_hypervisor::cpuid::CpuidPolicy;
+/// use here_vmstate::compat::reconcile;
+///
+/// let contract = reconcile(&CpuidPolicy::xen_default(), &CpuidPolicy::kvm_default());
+/// assert!(contract.cpuid.is_subset_of(&CpuidPolicy::xen_default()));
+/// assert!(contract.cpuid.is_subset_of(&CpuidPolicy::kvm_default()));
+/// ```
+///
+/// # Panics
+///
+/// Panics if the hosts have different CPU vendors (heterogeneous hardware
+/// is the paper's stated future work, §8.1).
+pub fn reconcile(primary: &CpuidPolicy, secondary: &CpuidPolicy) -> PlatformContract {
+    let common = primary.intersect(secondary);
+    PlatformContract {
+        masked_on_primary: primary.lost_versus(&common),
+        masked_on_secondary: secondary.lost_versus(&common),
+        cpuid: common,
+    }
+}
+
+/// Verifies that a guest running with `guest_policy` can safely resume on a
+/// host offering `host_policy`.
+///
+/// # Errors
+///
+/// Returns [`CompatError::MissingFeatures`] listing every guest-visible
+/// feature the host lacks.
+pub fn check_resumable(
+    guest_policy: &CpuidPolicy,
+    host_policy: &CpuidPolicy,
+) -> Result<(), CompatError> {
+    if guest_policy.vendor != host_policy.vendor {
+        return Err(CompatError::PlatformMismatch(format!(
+            "guest vendor {} vs host vendor {}",
+            guest_policy.vendor, host_policy.vendor
+        )));
+    }
+    let missing = guest_policy.lost_versus(host_policy);
+    if missing.is_empty() {
+        Ok(())
+    } else {
+        Err(CompatError::MissingFeatures(missing))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reconciled_contract_is_resumable_on_both_sides() {
+        let xen = CpuidPolicy::xen_default();
+        let kvm = CpuidPolicy::kvm_default();
+        let contract = reconcile(&xen, &kvm);
+        assert!(check_resumable(&contract.cpuid, &xen).is_ok());
+        assert!(check_resumable(&contract.cpuid, &kvm).is_ok());
+        // Each side masked something (the defaults genuinely differ).
+        assert!(!contract.masked_on_primary.is_empty());
+        assert!(!contract.masked_on_secondary.is_empty());
+    }
+
+    #[test]
+    fn unreconciled_guest_cannot_resume_on_kvm() {
+        let xen = CpuidPolicy::xen_default();
+        let kvm = CpuidPolicy::kvm_default();
+        let err = check_resumable(&xen, &kvm).unwrap_err();
+        match err {
+            CompatError::MissingFeatures(missing) => {
+                assert!(missing.contains(&CpuFeature::Avx512f));
+                assert!(missing.contains(&CpuFeature::Tsx));
+            }
+            other => panic!("unexpected error: {other}"),
+        }
+    }
+
+    #[test]
+    fn vendor_mismatch_is_a_platform_error() {
+        let intel = CpuidPolicy::new("GenuineIntel", 1);
+        let amd = CpuidPolicy::new("AuthenticAMD", 1);
+        assert!(matches!(
+            check_resumable(&intel, &amd),
+            Err(CompatError::PlatformMismatch(_))
+        ));
+    }
+}

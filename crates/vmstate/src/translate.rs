@@ -1,0 +1,247 @@
+//! The state translator: Xen ⇄ CIR ⇄ KVM.
+//!
+//! "A prerequisite of heterogeneous replication is the ability to translate
+//! VM states from one hypervisor to another" (§5.3). The translator decodes
+//! a source-format blob into the common intermediate representation and
+//! re-encodes it for the target. It refuses blobs in the wrong source
+//! format — catching miswired replication pipelines at the boundary instead
+//! of corrupting the replica.
+
+use std::error::Error;
+use std::fmt;
+
+use here_hypervisor::devices::DeviceInstance;
+use here_hypervisor::kind::HypervisorKind;
+use here_hypervisor::vcpu::{KvmVcpuState, VcpuStateBlob, XenVcpuState};
+
+use crate::cir::CpuStateCir;
+
+/// Errors raised by state translation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TranslateError {
+    /// The blob was not in the translator's configured source format.
+    FormatMismatch {
+        /// The format the translator expected.
+        expected: HypervisorKind,
+        /// The format the blob was actually in.
+        got: HypervisorKind,
+    },
+    /// Source and target are the same hypervisor — translation is an
+    /// identity and the caller should skip it (Remus-style homogeneous
+    /// replication path).
+    Homogeneous(HypervisorKind),
+}
+
+impl fmt::Display for TranslateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TranslateError::FormatMismatch { expected, got } => {
+                write!(f, "expected a {expected}-format blob, got {got}")
+            }
+            TranslateError::Homogeneous(kind) => {
+                write!(f, "source and target are both {kind}; translation is not needed")
+            }
+        }
+    }
+}
+
+impl Error for TranslateError {}
+
+/// Convenience alias for translation results.
+pub type TranslateResult<T> = Result<T, TranslateError>;
+
+/// A configured one-directional translator between two hypervisor formats.
+///
+/// # Examples
+///
+/// ```
+/// use here_hypervisor::arch::ArchRegs;
+/// use here_hypervisor::kind::HypervisorKind;
+/// use here_hypervisor::vcpu::{VcpuStateBlob, XenVcpuState};
+/// use here_vmstate::translate::StateTranslator;
+///
+/// let tr = StateTranslator::new(HypervisorKind::Xen, HypervisorKind::Kvm).unwrap();
+/// let mut regs = ArchRegs::reset_state();
+/// regs.tsc = 42;
+/// let xen_blob = VcpuStateBlob::Xen(XenVcpuState::from_arch(&regs, true));
+/// let kvm_blob = tr.translate_vcpu(&xen_blob).unwrap();
+/// assert!(matches!(kvm_blob, VcpuStateBlob::Kvm(_)));
+/// assert_eq!(kvm_blob.to_arch(), regs);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StateTranslator {
+    source: HypervisorKind,
+    target: HypervisorKind,
+}
+
+impl StateTranslator {
+    /// Creates a translator from `source`-format state to `target`-format
+    /// state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TranslateError::Homogeneous`] when source and target are
+    /// the same implementation.
+    pub fn new(source: HypervisorKind, target: HypervisorKind) -> TranslateResult<Self> {
+        if source == target {
+            return Err(TranslateError::Homogeneous(source));
+        }
+        Ok(StateTranslator { source, target })
+    }
+
+    /// The source format.
+    pub fn source(&self) -> HypervisorKind {
+        self.source
+    }
+
+    /// The target format.
+    pub fn target(&self) -> HypervisorKind {
+        self.target
+    }
+
+    /// The reverse translator (used after fail-back).
+    pub fn reversed(&self) -> StateTranslator {
+        StateTranslator {
+            source: self.target,
+            target: self.source,
+        }
+    }
+
+    /// Decodes a source-format blob into the common format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TranslateError::FormatMismatch`] if the blob is not in the
+    /// configured source format.
+    pub fn decode_to_cir(&self, blob: &VcpuStateBlob) -> TranslateResult<CpuStateCir> {
+        let blob_kind = match blob {
+            VcpuStateBlob::Xen(_) => HypervisorKind::Xen,
+            VcpuStateBlob::Kvm(_) => HypervisorKind::Kvm,
+        };
+        if blob_kind != self.source {
+            return Err(TranslateError::FormatMismatch {
+                expected: self.source,
+                got: blob_kind,
+            });
+        }
+        Ok(CpuStateCir {
+            regs: blob.to_arch(),
+            online: blob.is_online(),
+        })
+    }
+
+    /// Encodes common-format state into the target hypervisor's format.
+    pub fn encode_from_cir(&self, cir: &CpuStateCir) -> VcpuStateBlob {
+        match self.target {
+            HypervisorKind::Xen => {
+                VcpuStateBlob::Xen(XenVcpuState::from_arch(&cir.regs, cir.online))
+            }
+            HypervisorKind::Kvm => {
+                VcpuStateBlob::Kvm(KvmVcpuState::from_arch(&cir.regs, cir.online))
+            }
+        }
+    }
+
+    /// Full translation: source blob → CIR → target blob.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TranslateError::FormatMismatch`] if the blob is not in the
+    /// configured source format.
+    pub fn translate_vcpu(&self, blob: &VcpuStateBlob) -> TranslateResult<VcpuStateBlob> {
+        let cir = self.decode_to_cir(blob)?;
+        Ok(self.encode_from_cir(&cir))
+    }
+
+    /// Translates a device set: stable identities are preserved, models are
+    /// switched to the target family's equivalents, rings are reset (the
+    /// unplug/replug strategy of §5.2 — ring state never crosses the
+    /// boundary).
+    pub fn translate_devices(&self, devices: &[DeviceInstance]) -> Vec<DeviceInstance> {
+        devices
+            .iter()
+            .map(|d| d.rehosted_for(self.target))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use here_hypervisor::arch::{ArchRegs, Gpr};
+    use here_hypervisor::devices::{standard_device_set, RingState};
+
+    fn xen_to_kvm() -> StateTranslator {
+        StateTranslator::new(HypervisorKind::Xen, HypervisorKind::Kvm).unwrap()
+    }
+
+    fn busy_regs() -> ArchRegs {
+        let mut regs = ArchRegs::reset_state();
+        regs.set_gpr(Gpr::Rax, 0xdead_beef);
+        regs.set_gpr(Gpr::R12, 0xfeed);
+        regs.system.cr3 = 0x7000;
+        regs.tsc = 123_456_789;
+        regs.pending_interrupt = Some(0x30);
+        regs
+    }
+
+    #[test]
+    fn homogeneous_pairs_are_rejected() {
+        assert_eq!(
+            StateTranslator::new(HypervisorKind::Xen, HypervisorKind::Xen),
+            Err(TranslateError::Homogeneous(HypervisorKind::Xen))
+        );
+    }
+
+    #[test]
+    fn xen_to_kvm_preserves_every_architectural_value() {
+        let tr = xen_to_kvm();
+        let regs = busy_regs();
+        let src = VcpuStateBlob::Xen(XenVcpuState::from_arch(&regs, true));
+        let dst = tr.translate_vcpu(&src).unwrap();
+        assert!(matches!(dst, VcpuStateBlob::Kvm(_)));
+        assert_eq!(dst.to_arch(), regs);
+        assert!(dst.is_online());
+    }
+
+    #[test]
+    fn round_trip_through_both_directions_is_identity() {
+        let fwd = xen_to_kvm();
+        let back = fwd.reversed();
+        let regs = busy_regs();
+        let src = VcpuStateBlob::Xen(XenVcpuState::from_arch(&regs, false));
+        let there = fwd.translate_vcpu(&src).unwrap();
+        let back_again = back.translate_vcpu(&there).unwrap();
+        assert_eq!(back_again.to_arch(), regs);
+        assert!(!back_again.is_online());
+    }
+
+    #[test]
+    fn wrong_source_format_is_refused() {
+        let tr = xen_to_kvm();
+        let kvm_blob = VcpuStateBlob::Kvm(KvmVcpuState::from_arch(&ArchRegs::default(), true));
+        assert_eq!(
+            tr.translate_vcpu(&kvm_blob),
+            Err(TranslateError::FormatMismatch {
+                expected: HypervisorKind::Xen,
+                got: HypervisorKind::Kvm,
+            })
+        );
+    }
+
+    #[test]
+    fn device_translation_switches_models_and_resets_rings() {
+        let tr = xen_to_kvm();
+        let mut xen_devs = standard_device_set(HypervisorKind::Xen);
+        xen_devs[0].complete_io(10);
+        let kvm_devs = tr.translate_devices(&xen_devs);
+        assert_eq!(kvm_devs.len(), xen_devs.len());
+        for (x, k) in xen_devs.iter().zip(&kvm_devs) {
+            assert_eq!(k.identity, x.identity);
+            assert_eq!(k.model.family(), HypervisorKind::Kvm);
+            assert!(matches!(k.ring, RingState::Vring { .. }));
+            assert!(k.ring.is_quiescent());
+        }
+    }
+}

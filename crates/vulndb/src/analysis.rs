@@ -1,0 +1,197 @@
+//! Aggregations that regenerate the paper's vulnerability tables.
+
+use serde::{Deserialize, Serialize};
+
+use here_hypervisor::fault::DosOutcome;
+
+use crate::record::{CveRecord, Deployment, Product, Target};
+
+/// One row of Table 1: "DoS vulnerability stats by hypervisor, 2013–2020".
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table1Row {
+    /// The product.
+    pub product: Product,
+    /// Total CVEs in the window.
+    pub cves: u32,
+    /// CVEs with availability impact Partial or higher.
+    pub avail: u32,
+    /// `avail / cves` as a percentage.
+    pub avail_pct: f64,
+    /// DoS-only CVEs.
+    pub dos: u32,
+    /// `dos / cves` as a percentage.
+    pub dos_pct: f64,
+}
+
+/// Computes Table 1 from a corpus.
+///
+/// # Examples
+///
+/// ```
+/// use here_vulndb::analysis::table1;
+/// use here_vulndb::dataset::nvd_corpus;
+///
+/// let rows = table1(&nvd_corpus());
+/// let xen = &rows[0];
+/// assert_eq!(xen.cves, 312);
+/// assert!((xen.avail_pct - 90.4).abs() < 0.1);
+/// assert!((xen.dos_pct - 48.7).abs() < 0.1);
+/// ```
+pub fn table1(corpus: &[CveRecord]) -> Vec<Table1Row> {
+    crate::record::ALL_PRODUCTS
+        .iter()
+        .map(|&product| {
+            let recs: Vec<&CveRecord> =
+                corpus.iter().filter(|r| r.product == product).collect();
+            let cves = recs.len() as u32;
+            let avail = recs.iter().filter(|r| r.affects_availability()).count() as u32;
+            let dos = recs.iter().filter(|r| r.is_dos_only()).count() as u32;
+            Table1Row {
+                product,
+                cves,
+                avail,
+                avail_pct: percentage(avail, cves),
+                dos,
+                dos_pct: percentage(dos, cves),
+            }
+        })
+        .collect()
+}
+
+/// One row of Table 5: Xen's DoS-only CVEs by target and outcome, with the
+/// applicability of HERE.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table5Row {
+    /// The targeted component.
+    pub target: Target,
+    /// The post-attack outcome.
+    pub outcome: DosOutcome,
+    /// Share of all DoS-only CVEs, as a percentage.
+    pub share_pct: f64,
+    /// Whether HERE is applicable as a countermeasure. Always `true` in the
+    /// paper's analysis: every outcome eventually manifests as a missed
+    /// heartbeat (or is converted to a crash by an attack detector).
+    pub here_applicable: bool,
+}
+
+/// Computes Table 5 from a corpus (Xen DoS-only records).
+pub fn table5(corpus: &[CveRecord]) -> Vec<Table5Row> {
+    let dos: Vec<&CveRecord> = corpus
+        .iter()
+        .filter(|r| r.product == Product::Xen && r.is_dos_only())
+        .collect();
+    let total = dos.len() as u32;
+    let mut rows = Vec::new();
+    for target in [Target::HypervisorCore, Target::GuestOs, Target::OtherSoftware] {
+        for outcome in [DosOutcome::Crash, DosOutcome::Hang, DosOutcome::Starvation] {
+            let count = dos
+                .iter()
+                .filter(|r| r.target == target && r.outcome == Some(outcome))
+                .count() as u32;
+            if count > 0 {
+                rows.push(Table5Row {
+                    target,
+                    outcome,
+                    share_pct: percentage(count, total),
+                    here_applicable: true,
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// CVEs shared between two deployments — the quantitative core of the
+/// heterogeneity argument: HERE's pair shares *none*, while same-device-
+/// model pairs share every QEMU bug.
+pub fn shared_vulnerabilities<'a>(
+    corpus: &'a [CveRecord],
+    a: Deployment,
+    b: Deployment,
+) -> Vec<&'a CveRecord> {
+    corpus
+        .iter()
+        .filter(|r| a.is_vulnerable_to(r) && b.is_vulnerable_to(r))
+        .collect()
+}
+
+fn percentage(part: u32, whole: u32) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        part as f64 / whole as f64 * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::nvd_corpus;
+
+    #[test]
+    fn table1_reproduces_paper_percentages() {
+        let rows = table1(&nvd_corpus());
+        let expect = [
+            (Product::Xen, 90.4, 48.7),
+            (Product::Kvm, 91.9, 51.4),
+            (Product::Qemu, 94.2, 62.3),
+            (Product::Esxi, 78.6, 22.9),
+            (Product::HyperV, 81.9, 37.9),
+        ];
+        for (row, (product, avail_pct, dos_pct)) in rows.iter().zip(expect) {
+            assert_eq!(row.product, product);
+            assert!(
+                (row.avail_pct - avail_pct).abs() < 0.1,
+                "{product}: avail {} vs paper {avail_pct}",
+                row.avail_pct
+            );
+            assert!(
+                (row.dos_pct - dos_pct).abs() < 0.1,
+                "{product}: dos {} vs paper {dos_pct}",
+                row.dos_pct
+            );
+        }
+    }
+
+    #[test]
+    fn table5_reproduces_paper_shares() {
+        let rows = table5(&nvd_corpus());
+        // Paper: 66 / 13 / 5.5 / 10 / 2.5 / 3 (percent of 152).
+        let find = |t: Target, o: DosOutcome| {
+            rows.iter()
+                .find(|r| r.target == t && r.outcome == o)
+                .unwrap_or_else(|| panic!("missing row {t:?}/{o}"))
+                .share_pct
+        };
+        assert!((find(Target::HypervisorCore, DosOutcome::Crash) - 66.0).abs() < 1.0);
+        assert!((find(Target::HypervisorCore, DosOutcome::Hang) - 13.0).abs() < 1.0);
+        assert!((find(Target::HypervisorCore, DosOutcome::Starvation) - 5.5).abs() < 1.0);
+        assert!((find(Target::GuestOs, DosOutcome::Crash) - 10.0).abs() < 1.0);
+        assert!((find(Target::GuestOs, DosOutcome::Starvation) - 2.5).abs() < 1.0);
+        assert!((find(Target::OtherSoftware, DosOutcome::Crash) - 3.0).abs() < 1.0);
+        assert!(rows.iter().all(|r| r.here_applicable));
+        let total: f64 = rows.iter().map(|r| r.share_pct).sum();
+        assert!((total - 100.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn here_pair_shares_nothing_qemu_pairs_share_everything_qemu() {
+        let corpus = nvd_corpus();
+        let here_shared =
+            shared_vulnerabilities(&corpus, Deployment::XenPv, Deployment::KvmKvmtool);
+        assert!(here_shared.is_empty(), "HERE's pair must share no CVEs");
+        let qemu_shared =
+            shared_vulnerabilities(&corpus, Deployment::XenQemu, Deployment::QemuKvm);
+        assert_eq!(
+            qemu_shared.len(),
+            308,
+            "Xen+QEMU and QEMU-KVM share every QEMU CVE"
+        );
+        assert!(qemu_shared.iter().any(|r| r.id == "CVE-2015-3456"));
+    }
+
+    #[test]
+    fn percentage_handles_zero_denominator() {
+        assert_eq!(percentage(5, 0), 0.0);
+    }
+}

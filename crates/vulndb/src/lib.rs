@@ -1,0 +1,42 @@
+//! # here-vulndb — hypervisor vulnerability dataset and exploit injection
+//!
+//! The security-study substrate of the HERE reproduction (§2, §4, §8.2):
+//!
+//! - [`record`]: the CVE schema — products, CVSS impacts, components,
+//!   attack vectors, targets, outcomes — plus the [`record::Deployment`]
+//!   model that decides which hosts share which vulnerabilities;
+//! - [`dataset`]: an embedded synthetic corpus whose marginals match every
+//!   number the paper reports (Table 1, Table 5, §8.2's breakdowns);
+//! - [`analysis`]: aggregations regenerating Table 1 and Table 5 and the
+//!   cross-deployment overlap computation;
+//! - [`exploit`]: weaponised DoS CVEs that can be launched at the simulated
+//!   hosts — succeeding only where the vulnerable component actually runs,
+//!   which is the mechanism behind heterogeneous replication's security
+//!   benefit.
+//!
+//! ## Example
+//!
+//! ```
+//! use here_vulndb::analysis::{shared_vulnerabilities, table1};
+//! use here_vulndb::dataset::nvd_corpus;
+//! use here_vulndb::record::Deployment;
+//!
+//! let corpus = nvd_corpus();
+//! let t1 = table1(&corpus);
+//! assert_eq!(t1[0].cves, 312); // Xen row
+//! // HERE's deployment pair shares no vulnerabilities at all.
+//! assert!(shared_vulnerabilities(&corpus, Deployment::XenPv, Deployment::KvmKvmtool).is_empty());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod analysis;
+pub mod dataset;
+pub mod exploit;
+pub mod record;
+
+pub use analysis::{table1, table5, Table1Row, Table5Row};
+pub use dataset::nvd_corpus;
+pub use exploit::{DosSource, Exploit, ExploitResult};
+pub use record::{CveRecord, Deployment, Product};

@@ -1,0 +1,284 @@
+//! The CVE record schema used by the vulnerability study (§2, §8.2).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use here_hypervisor::fault::DosOutcome;
+use here_hypervisor::kind::HypervisorKind;
+
+/// The five virtualization products the paper surveys (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Product {
+    /// Xen hypervisor.
+    Xen,
+    /// Linux KVM (kernel module).
+    Kvm,
+    /// QEMU (userspace device emulation).
+    Qemu,
+    /// VMware ESXi.
+    Esxi,
+    /// Microsoft Hyper-V.
+    HyperV,
+}
+
+/// All products, in Table 1 order.
+pub const ALL_PRODUCTS: [Product; 5] = [
+    Product::Xen,
+    Product::Kvm,
+    Product::Qemu,
+    Product::Esxi,
+    Product::HyperV,
+];
+
+impl Product {
+    /// Display name as used in Table 1.
+    pub fn label(self) -> &'static str {
+        match self {
+            Product::Xen => "Xen",
+            Product::Kvm => "KVM",
+            Product::Qemu => "QEMU",
+            Product::Esxi => "ESXi",
+            Product::HyperV => "Hyper-V",
+        }
+    }
+}
+
+impl fmt::Display for Product {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A CVSS 2.0 impact level on one of the C/I/A axes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Impact {
+    /// No impact.
+    None,
+    /// Partial impact.
+    Partial,
+    /// Complete impact.
+    Complete,
+}
+
+/// Where the vulnerable code lives — determines which *deployments* share
+/// the vulnerability (the basis of the heterogeneity argument).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Component {
+    /// The Xen hypervisor core.
+    XenCore,
+    /// Xen's Dom0 toolstack (xl/libxl/libxc, xenstore).
+    XenTools,
+    /// The Linux KVM kernel module.
+    KvmModule,
+    /// QEMU userspace (device emulation).
+    QemuUserspace,
+    /// kvmtool userspace.
+    KvmtoolUserspace,
+    /// ESXi's proprietary kernel.
+    EsxiCore,
+    /// Hyper-V's hypervisor and VSPs.
+    HyperVCore,
+}
+
+/// The subsystem a vulnerability's attack passes through (§8.2's vector
+/// breakdown).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AttackVector {
+    /// Virtual device management (emulated, PV or passthrough).
+    DeviceManagement,
+    /// Hypercall processing.
+    Hypercall,
+    /// vCPU management.
+    VcpuManagement,
+    /// Shadow paging.
+    ShadowPaging,
+    /// VM-exit handling.
+    VmExit,
+    /// Any other component.
+    Other,
+}
+
+/// What the vulnerability takes down (Table 5's target column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Target {
+    /// The hypervisor core, Dom0 and tools.
+    HypervisorCore,
+    /// The guest OS only.
+    GuestOs,
+    /// Other software (e.g. Xenstore).
+    OtherSoftware,
+}
+
+impl Target {
+    /// Table 5 row label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Target::HypervisorCore => "Xen, Dom0, Tools",
+            Target::GuestOs => "Guest OS",
+            Target::OtherSoftware => "Other software",
+        }
+    }
+}
+
+/// Privilege required to launch the exploit (§8.2: about half need only a
+/// guest user-space process).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Privilege {
+    /// An unprivileged process inside a guest.
+    GuestUser,
+    /// Ring-0 inside a guest.
+    GuestKernel,
+}
+
+/// One CVE record.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CveRecord {
+    /// Identifier, e.g. `CVE-2015-3456`.
+    pub id: String,
+    /// Product the CVE was filed against.
+    pub product: Product,
+    /// Publication year (2013–2020 in the survey window).
+    pub year: u16,
+    /// Vulnerable component (drives deployment overlap).
+    pub component: Component,
+    /// CVSS 2.0 confidentiality impact.
+    pub confidentiality: Impact,
+    /// CVSS 2.0 integrity impact.
+    pub integrity: Impact,
+    /// CVSS 2.0 availability impact.
+    pub availability: Impact,
+    /// Attack vector subsystem.
+    pub vector: AttackVector,
+    /// What goes down on successful exploitation.
+    pub target: Target,
+    /// Post-attack outcome, when the CVE is exploitable for DoS.
+    pub outcome: Option<DosOutcome>,
+    /// Privilege needed to launch.
+    pub privilege: Privilege,
+}
+
+impl CveRecord {
+    /// `true` if the CVE has an availability impact of Partial or higher
+    /// (Table 1's "Avail" column).
+    pub fn affects_availability(&self) -> bool {
+        self.availability >= Impact::Partial
+    }
+
+    /// `true` if the CVE *only* impacts availability — a "DoS exploit" in
+    /// the paper's terminology (Table 1's "DoS" column).
+    pub fn is_dos_only(&self) -> bool {
+        self.confidentiality == Impact::None
+            && self.integrity == Impact::None
+            && self.affects_availability()
+    }
+}
+
+/// A deployment: the set of components a host actually runs. Two
+/// deployments share a vulnerability iff they share its component — which
+/// is why HERE pairs Xen (PV devices, no QEMU) with KVM + *kvmtool* rather
+/// than KVM + QEMU (§8.2's CVE-2015-3456 example).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Deployment {
+    /// Xen with PV device models only (HERE's primary).
+    XenPv,
+    /// Xen using QEMU as device model (qemu-dm).
+    XenQemu,
+    /// Linux KVM with QEMU userspace.
+    QemuKvm,
+    /// Linux KVM with kvmtool userspace (HERE's secondary).
+    KvmKvmtool,
+    /// VMware ESXi.
+    Esxi,
+    /// Microsoft Hyper-V.
+    HyperV,
+}
+
+impl Deployment {
+    /// The components this deployment runs.
+    pub fn components(self) -> &'static [Component] {
+        match self {
+            Deployment::XenPv => &[Component::XenCore, Component::XenTools],
+            Deployment::XenQemu => &[
+                Component::XenCore,
+                Component::XenTools,
+                Component::QemuUserspace,
+            ],
+            Deployment::QemuKvm => &[Component::KvmModule, Component::QemuUserspace],
+            Deployment::KvmKvmtool => &[Component::KvmModule, Component::KvmtoolUserspace],
+            Deployment::Esxi => &[Component::EsxiCore],
+            Deployment::HyperV => &[Component::HyperVCore],
+        }
+    }
+
+    /// Whether a CVE applies to this deployment.
+    pub fn is_vulnerable_to(self, cve: &CveRecord) -> bool {
+        self.components().contains(&cve.component)
+    }
+
+    /// The deployment HERE's simulated hosts run for each hypervisor kind.
+    pub fn for_kind(kind: HypervisorKind) -> Deployment {
+        match kind {
+            HypervisorKind::Xen => Deployment::XenPv,
+            HypervisorKind::Kvm => Deployment::KvmKvmtool,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(c: Impact, i: Impact, a: Impact) -> CveRecord {
+        CveRecord {
+            id: "CVE-2020-0001".into(),
+            product: Product::Xen,
+            year: 2020,
+            component: Component::XenCore,
+            confidentiality: c,
+            integrity: i,
+            availability: a,
+            vector: AttackVector::Hypercall,
+            target: Target::HypervisorCore,
+            outcome: Some(DosOutcome::Crash),
+            privilege: Privilege::GuestUser,
+        }
+    }
+
+    #[test]
+    fn dos_only_requires_pure_availability_impact() {
+        assert!(record(Impact::None, Impact::None, Impact::Complete).is_dos_only());
+        assert!(record(Impact::None, Impact::None, Impact::Partial).is_dos_only());
+        assert!(!record(Impact::Partial, Impact::None, Impact::Complete).is_dos_only());
+        assert!(!record(Impact::None, Impact::Partial, Impact::Complete).is_dos_only());
+        assert!(!record(Impact::None, Impact::None, Impact::None).is_dos_only());
+    }
+
+    #[test]
+    fn availability_impact_ordering() {
+        assert!(record(Impact::None, Impact::None, Impact::Partial).affects_availability());
+        assert!(!record(Impact::Complete, Impact::Complete, Impact::None).affects_availability());
+    }
+
+    #[test]
+    fn venom_scenario_deployment_overlap() {
+        // A QEMU device-emulation bug (like CVE-2015-3456) hits every
+        // deployment that runs QEMU — but not HERE's Xen-PV/kvmtool pair.
+        let mut venom = record(Impact::None, Impact::None, Impact::Complete);
+        venom.component = Component::QemuUserspace;
+        venom.product = Product::Qemu;
+        assert!(Deployment::XenQemu.is_vulnerable_to(&venom));
+        assert!(Deployment::QemuKvm.is_vulnerable_to(&venom));
+        assert!(!Deployment::XenPv.is_vulnerable_to(&venom));
+        assert!(!Deployment::KvmKvmtool.is_vulnerable_to(&venom));
+    }
+
+    #[test]
+    fn here_deployments_share_no_components() {
+        let primary = Deployment::for_kind(HypervisorKind::Xen);
+        let secondary = Deployment::for_kind(HypervisorKind::Kvm);
+        for c in primary.components() {
+            assert!(!secondary.components().contains(c));
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! # here-workloads — guest applications for the HERE evaluation
+//!
+//! Implementations of every workload the paper's evaluation (§8) runs
+//! inside the protected VM:
+//!
+//! - [`memstress`]: the write-intensive memory microbenchmark (Figs. 5–9);
+//! - [`ycsb`] over [`kv`]: the YCSB database suite, workloads A–F, against
+//!   an in-memory LSM-flavoured store standing in for RocksDB
+//!   (Figs. 10–13);
+//! - [`spec`]: SPEC CPU 2006-like kernels — gcc, cactuBSSN, namd, lbm
+//!   (Figs. 14–16);
+//! - [`sockperf`]: the network latency responder (Fig. 17);
+//! - [`phased`]: time-varying loads for the dynamic period manager
+//!   (Fig. 9);
+//! - [`zipf`]: YCSB's request-distribution generators.
+//!
+//! All workloads implement [`traits::Workload`]: they are advanced over
+//! virtual-time slices, mutate guest memory through the VM's normal write
+//! path (so dirty tracking observes them exactly as it would a real guest),
+//! and report application-level progress.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod idle;
+pub mod kv;
+pub mod memstress;
+pub mod phased;
+pub mod sockperf;
+pub mod spec;
+pub mod traits;
+pub mod ycsb;
+pub mod zipf;
+
+pub use idle::IdleGuest;
+pub use memstress::MemStress;
+pub use phased::PhasedMemStress;
+pub use sockperf::Sockperf;
+pub use spec::SpecKernel;
+pub use traits::{Progress, Workload};
+pub use ycsb::{Ycsb, YcsbMix, YcsbSpec};

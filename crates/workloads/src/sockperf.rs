@@ -1,0 +1,222 @@
+//! Sockperf-like network latency workload (under-load mode).
+//!
+//! The paper's Fig. 17 runs Sockperf "under-load", where the VM replies to
+//! a stream of incoming packets from a remote server, with three payload
+//! configurations: 64 B ("load a"), 1400 B ("load b") and 8900 B ("load c").
+//! Under asynchronous state replication each reply sits in the outgoing
+//! I/O buffer until the next checkpoint commits, which is why replicated
+//! latency is dominated by checkpoint frequency rather than payload size.
+
+use here_hypervisor::vm::Vm;
+use here_hypervisor::{PageId, VcpuId};
+use here_sim_core::rate::ByteSize;
+use here_sim_core::rng::SimRng;
+use here_sim_core::time::{SimDuration, SimTime};
+
+use crate::traits::{Emission, Progress, Workload};
+
+/// The three payload configurations of Fig. 17.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SockperfLoad {
+    /// 64-byte packets.
+    A,
+    /// 1400-byte packets.
+    B,
+    /// 8900-byte (jumbo) packets.
+    C,
+}
+
+/// All loads, in paper order.
+pub const ALL_LOADS: [SockperfLoad; 3] = [SockperfLoad::A, SockperfLoad::B, SockperfLoad::C];
+
+impl SockperfLoad {
+    /// The payload size of this load.
+    pub fn payload(self) -> ByteSize {
+        match self {
+            SockperfLoad::A => ByteSize::from_bytes(64),
+            SockperfLoad::B => ByteSize::from_bytes(1400),
+            SockperfLoad::C => ByteSize::from_bytes(8900),
+        }
+    }
+
+    /// Lowercase label ("load a").
+    pub fn label(self) -> &'static str {
+        match self {
+            SockperfLoad::A => "a",
+            SockperfLoad::B => "b",
+            SockperfLoad::C => "c",
+        }
+    }
+}
+
+/// Default request rate of the under-load stream (messages per second).
+pub const DEFAULT_RATE: f64 = 500.0;
+
+/// Guest-side service time to turn a request into a reply.
+pub const SERVICE_TIME: SimDuration = SimDuration::from_micros(12);
+
+/// The Sockperf responder running inside the protected VM.
+///
+/// # Examples
+///
+/// ```
+/// use here_workloads::sockperf::{Sockperf, SockperfLoad};
+/// use here_workloads::traits::Workload;
+///
+/// let s = Sockperf::new(SockperfLoad::B);
+/// assert_eq!(s.name(), "sockperf-b");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sockperf {
+    name: String,
+    load: SockperfLoad,
+    rate: f64,
+    phase: f64,
+    replies: u64,
+}
+
+impl Sockperf {
+    /// A responder for `load` at the default request rate.
+    pub fn new(load: SockperfLoad) -> Self {
+        Sockperf {
+            name: format!("sockperf-{}", load.label()),
+            load,
+            rate: DEFAULT_RATE,
+            // `phase` is the in-slice offset of the next *reply*; the first
+            // request arrives at t = 0 and its reply is ready one service
+            // time later.
+            phase: SERVICE_TIME.as_secs_f64(),
+            replies: 0,
+        }
+    }
+
+    /// Overrides the request rate (messages per second).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not positive.
+    pub fn with_rate(mut self, rate: f64) -> Self {
+        assert!(rate > 0.0, "request rate must be positive");
+        self.rate = rate;
+        self
+    }
+
+    /// The configured load.
+    pub fn load(&self) -> SockperfLoad {
+        self.load
+    }
+
+    /// Replies emitted so far.
+    pub fn replies(&self) -> u64 {
+        self.replies
+    }
+}
+
+impl Workload for Sockperf {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn advance(
+        &mut self,
+        _now: SimTime,
+        dt: SimDuration,
+        vm: &mut Vm,
+        _rng: &mut SimRng,
+    ) -> Progress {
+        // Replies are emitted with deterministic spacing 1/rate (requests
+        // arrive at that rate and each is answered one service time later);
+        // `phase` carries the offset of the next reply across slices so no
+        // reply is ever lost at a boundary.
+        let spacing = 1.0 / self.rate;
+        let secs = dt.as_secs_f64();
+        let mut emissions = Vec::new();
+        let mut t = self.phase;
+        while t < secs {
+            emissions.push(Emission {
+                offset: SimDuration::from_secs_f64(t),
+                size: self.load.payload(),
+            });
+            // Socket buffers dirty a page now and then; network-bound
+            // workloads have a tiny dirty footprint.
+            if self.replies.is_multiple_of(64) {
+                vm.guest_write(PageId::new(self.replies / 64 % 16), VcpuId::new(0))
+                    .expect("workload advances only while the VM runs");
+            }
+            self.replies += 1;
+            t += spacing;
+        }
+        self.phase = t - secs;
+        let ops = emissions.len() as f64;
+        Progress { ops, emissions }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use here_hypervisor::cpuid::CpuidPolicy;
+    use here_hypervisor::host::Hypervisor;
+    use here_hypervisor::vm::VmConfig;
+    use here_hypervisor::XenHypervisor;
+
+    fn setup() -> (XenHypervisor, here_hypervisor::VmId) {
+        let mut xen = XenHypervisor::new(ByteSize::from_gib(12));
+        let cfg = VmConfig::new("sp", ByteSize::from_mib(4), 2)
+            .unwrap()
+            .with_cpuid(CpuidPolicy::xen_default());
+        let id = xen.create_vm(cfg).unwrap();
+        (xen, id)
+    }
+
+    #[test]
+    fn payload_sizes_match_the_paper() {
+        assert_eq!(SockperfLoad::A.payload(), ByteSize::from_bytes(64));
+        assert_eq!(SockperfLoad::B.payload(), ByteSize::from_bytes(1400));
+        assert_eq!(SockperfLoad::C.payload(), ByteSize::from_bytes(8900));
+    }
+
+    #[test]
+    fn replies_arrive_at_the_request_rate() {
+        let (mut xen, id) = setup();
+        let mut s = Sockperf::new(SockperfLoad::A).with_rate(1000.0);
+        let mut rng = SimRng::seed_from(1);
+        let vm = xen.vm_mut(id).unwrap();
+        let p = s.advance(SimTime::ZERO, SimDuration::from_secs(1), vm, &mut rng);
+        assert!((995.0..=1001.0).contains(&p.ops), "got {}", p.ops);
+        assert_eq!(p.emissions.len(), p.ops as usize);
+    }
+
+    #[test]
+    fn emission_offsets_are_within_the_slice_and_ordered() {
+        let (mut xen, id) = setup();
+        let mut s = Sockperf::new(SockperfLoad::C).with_rate(100.0);
+        let mut rng = SimRng::seed_from(1);
+        let vm = xen.vm_mut(id).unwrap();
+        let dt = SimDuration::from_millis(500);
+        let p = s.advance(SimTime::ZERO, dt, vm, &mut rng);
+        let mut prev = SimDuration::ZERO;
+        for e in &p.emissions {
+            assert!(e.offset < dt);
+            assert!(e.offset >= prev);
+            prev = e.offset;
+            assert_eq!(e.size, ByteSize::from_bytes(8900));
+        }
+    }
+
+    #[test]
+    fn rate_carries_across_slice_boundaries() {
+        let (mut xen, id) = setup();
+        let mut s = Sockperf::new(SockperfLoad::B).with_rate(7.0);
+        let mut rng = SimRng::seed_from(1);
+        let vm = xen.vm_mut(id).unwrap();
+        let mut total = 0.0;
+        for _ in 0..100 {
+            total += s
+                .advance(SimTime::ZERO, SimDuration::from_millis(100), vm, &mut rng)
+                .ops;
+        }
+        // 10 s at 7 msg/s = 70 replies (± boundary effects).
+        assert!((68.0..=72.0).contains(&total), "got {total}");
+    }
+}

@@ -1,0 +1,66 @@
+//! Client-visible latency under asynchronous state replication.
+//!
+//! ```text
+//! cargo run --release --example latency_sla
+//! ```
+//!
+//! ASR buffers every outgoing packet until the covering checkpoint commits,
+//! so a fixed multi-second period (Remus) adds seconds of latency to every
+//! reply. HERE's dynamic manager notices that a network-bound VM dirties
+//! almost nothing, checkpoints very frequently, and keeps latency two
+//! orders of magnitude lower — the Fig. 17 effect, as a what-if for an SLA.
+
+use here::replication::{ReplicationConfig, Scenario};
+use here::sim::SimDuration;
+use here::workloads::sockperf::SockperfLoad;
+use here::workloads::Sockperf;
+
+fn main() {
+    let load = SockperfLoad::B; // 1400-byte packets
+    println!("sockperf under-load, {} B replies\n", 1400);
+
+    let configs: Vec<(&str, Option<ReplicationConfig>)> = vec![
+        ("bare Xen (no protection)", None),
+        (
+            "Remus, T = 3 s",
+            Some(ReplicationConfig::remus(SimDuration::from_secs(3))),
+        ),
+        (
+            "HERE dynamic (D = 40 %, T_max = 3 s)",
+            Some(ReplicationConfig::dynamic(0.4, SimDuration::from_secs(3))),
+        ),
+    ];
+
+    println!(
+        "{:<40} {:>12} {:>12} {:>12}",
+        "configuration", "mean", "p50", "p99"
+    );
+    for (label, config) in configs {
+        let mut b = Scenario::builder()
+            .name(label)
+            .vm_memory_mib(512)
+            .vcpus(2)
+            .workload(Box::new(Sockperf::new(load)))
+            .duration(SimDuration::from_secs(90));
+        b = match config {
+            Some(cfg) => b.config(cfg).warmup_under_load(SimDuration::from_secs(20)),
+            None => b.unprotected(),
+        };
+        let report = b.build().expect("valid scenario").run();
+        let lat = &report.packet_latencies;
+        println!(
+            "{:<40} {:>10.2}ms {:>10.2}ms {:>10.2}ms",
+            label,
+            lat.mean().unwrap_or(f64::NAN) * 1e3,
+            lat.quantile(0.5).unwrap_or(f64::NAN) * 1e3,
+            lat.quantile(0.99).unwrap_or(f64::NAN) * 1e3,
+        );
+    }
+
+    println!(
+        "\nEvery configuration above keeps the VM recoverable; only the \
+         checkpoint cadence differs.\nA latency SLA in the tens of \
+         milliseconds is compatible with HERE's dynamic control,\nbut not \
+         with fixed multi-second periods."
+    );
+}

@@ -1,0 +1,40 @@
+//! # HERE — Fast VM Replication on Heterogeneous Hypervisors
+//!
+//! Facade crate for the reproduction of *"Fast VM Replication on
+//! Heterogeneous Hypervisors for Robust Fault Tolerance"* (Middleware '23).
+//! It re-exports every sub-crate of the workspace so that examples and
+//! integration tests can use one coherent namespace:
+//!
+//! - [`sim`] — deterministic virtual-time simulation kernel;
+//! - [`hypervisor`] — simulated Xen and KVM hypervisors;
+//! - [`vmstate`] — common intermediate state format and translators;
+//! - [`simnet`] — virtual network links and I/O buffering;
+//! - [`workloads`] — guest workloads (memstress, YCSB, SPEC-like, sockperf);
+//! - [`vulndb`] — hypervisor CVE dataset and exploit injection;
+//! - [`replication`] — the paper's contribution: the HERE replication engine.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use here::replication::{ReplicationConfig, Scenario};
+//! use here::sim::SimDuration;
+//!
+//! // Replicate a small idle VM from Xen to KVM for 30 virtual seconds.
+//! let report = Scenario::builder()
+//!     .vm_memory_gib(1)
+//!     .vcpus(2)
+//!     .config(ReplicationConfig::fixed_period(SimDuration::from_secs(3)))
+//!     .duration(SimDuration::from_secs(30))
+//!     .build()
+//!     .expect("valid scenario")
+//!     .run();
+//! assert!(report.checkpoints.len() > 5);
+//! ```
+
+pub use here_core as replication;
+pub use here_hypervisor as hypervisor;
+pub use here_sim_core as sim;
+pub use here_simnet as simnet;
+pub use here_vmstate as vmstate;
+pub use here_vulndb as vulndb;
+pub use here_workloads as workloads;

@@ -1,0 +1,211 @@
+//! End-to-end integration tests across the whole workspace: the replication
+//! engine driving simulated hypervisors, workloads, the translator, the
+//! wire codec and the network substrate together.
+
+use here::replication::{
+    FailureCause, FailurePlan, ReplicationConfig, Scenario, Strategy,
+};
+use here::hypervisor::fault::DosOutcome;
+use here::sim::{SimDuration, SimTime};
+use here::workloads::{MemStress, Sockperf, Ycsb, YcsbMix, YcsbSpec};
+use here::workloads::sockperf::SockperfLoad;
+
+fn memstress_scenario(cfg: ReplicationConfig) -> Scenario {
+    Scenario::builder()
+        .vm_memory_mib(128)
+        .vcpus(4)
+        .workload(Box::new(MemStress::with_percent(30).with_rate(30_000)))
+        .config(cfg)
+        .duration(SimDuration::from_secs(30))
+        .verify_consistency()
+        .build()
+        .expect("valid scenario")
+}
+
+#[test]
+fn replica_is_byte_identical_at_every_checkpoint_heterogeneous() {
+    let report =
+        memstress_scenario(ReplicationConfig::fixed_period(SimDuration::from_secs(2))).run();
+    assert!(report.checkpoints.len() >= 10);
+    assert_eq!(report.consistency_checks, report.checkpoints.len() as u64);
+}
+
+#[test]
+fn replica_is_byte_identical_at_every_checkpoint_homogeneous() {
+    let report = memstress_scenario(ReplicationConfig::remus(SimDuration::from_secs(2))).run();
+    assert!(report.checkpoints.len() >= 10);
+    assert_eq!(report.consistency_checks, report.checkpoints.len() as u64);
+}
+
+#[test]
+fn consistency_holds_under_dynamic_period_control() {
+    let report = memstress_scenario(ReplicationConfig::dynamic(
+        0.3,
+        SimDuration::from_secs(5),
+    ))
+    .run();
+    assert!(report.consistency_checks > 0);
+    assert_eq!(report.consistency_checks, report.checkpoints.len() as u64);
+}
+
+#[test]
+fn here_outperforms_remus_at_equal_period_on_ycsb() {
+    let run = |cfg: ReplicationConfig| {
+        let driver = Ycsb::new(YcsbSpec {
+            mix: YcsbMix::A,
+            records: 50_000,
+            operations: 400_000,
+        })
+        .expect("valid spec");
+        let mem_mib = (driver.required_pages() * here::hypervisor::PAGE_SIZE)
+            .div_ceil(1024 * 1024)
+            + 16;
+        Scenario::builder()
+            .vm_memory_mib(mem_mib)
+            .vcpus(4)
+            .workload(Box::new(driver))
+            .config(cfg)
+            .duration(SimDuration::from_secs(300))
+            .build()
+            .expect("valid scenario")
+            .run()
+    };
+    let here = run(ReplicationConfig::fixed_period(SimDuration::from_secs(3)));
+    let remus = run(ReplicationConfig::remus(SimDuration::from_secs(3)));
+    assert!(
+        here.throughput_ops_per_sec > remus.throughput_ops_per_sec,
+        "HERE {} ops/s must beat Remus {} ops/s",
+        here.throughput_ops_per_sec,
+        remus.throughput_ops_per_sec
+    );
+}
+
+#[test]
+fn failover_resumes_from_the_last_committed_checkpoint() {
+    let scenario = Scenario::builder()
+        .vm_memory_mib(128)
+        .vcpus(2)
+        .workload(Box::new(MemStress::with_percent(20).with_rate(10_000)))
+        .config(ReplicationConfig::fixed_period(SimDuration::from_secs(2)))
+        .duration(SimDuration::from_secs(40))
+        .failure(FailurePlan {
+            at: SimTime::from_secs(15),
+            cause: FailureCause::Accident(DosOutcome::Crash),
+            reattack_secondary: false,
+        })
+        .build()
+        .expect("valid scenario");
+    let report = scenario.run();
+    let fo = report.failover.expect("failover must run");
+    // The failure landed mid-epoch: the work of the open epoch is lost.
+    assert!(fo.ops_lost > 0.0);
+    // Resumed from the checkpoint preceding the failure (~7 epochs of 2 s).
+    assert!(fo.resumed_from_checkpoint >= 5);
+    // Service continued on the replica: total ops exceed what was possible
+    // before the failure alone at the workload's rate.
+    assert!(report.ops_completed > 10_000.0 * 16.0);
+    // The interruption is dominated by detection, not activation.
+    assert!(fo.outage() < SimDuration::from_millis(100));
+}
+
+#[test]
+fn hang_and_starvation_failures_also_fail_over() {
+    for (outcome, max_outage) in [
+        (DosOutcome::Hang, SimDuration::from_millis(100)),
+        // Starved hosts are detected ~10x slower.
+        (DosOutcome::Starvation, SimDuration::from_millis(600)),
+    ] {
+        let report = Scenario::builder()
+            .vm_memory_mib(64)
+            .vcpus(2)
+            .config(ReplicationConfig::fixed_period(SimDuration::from_secs(2)))
+            .duration(SimDuration::from_secs(30))
+            .failure(FailurePlan {
+                at: SimTime::from_secs(10),
+                cause: FailureCause::Accident(outcome),
+                reattack_secondary: false,
+            })
+            .build()
+            .expect("valid scenario")
+            .run();
+        let fo = report.failover.unwrap_or_else(|| panic!("{outcome:?} must fail over"));
+        assert!(
+            fo.outage() < max_outage,
+            "{outcome:?} outage {} exceeds {max_outage}",
+            fo.outage()
+        );
+    }
+}
+
+#[test]
+fn buffered_network_output_is_released_only_at_commits() {
+    let report = Scenario::builder()
+        .vm_memory_mib(64)
+        .vcpus(2)
+        .workload(Box::new(Sockperf::new(SockperfLoad::A).with_rate(200.0)))
+        .config(ReplicationConfig::fixed_period(SimDuration::from_secs(2)))
+        .duration(SimDuration::from_secs(20))
+        .build()
+        .expect("valid scenario")
+        .run();
+    let lat = &report.packet_latencies;
+    assert!(lat.count() > 1000);
+    // Mean buffering is about half the period; nothing beats the epoch
+    // commit out of the buffer.
+    let mean = lat.mean().expect("packets released");
+    assert!(
+        (0.5..1.6).contains(&mean),
+        "mean latency {mean}s should be near T/2 = 1s"
+    );
+    let max = lat.max().expect("packets released");
+    assert!(max < 2.5, "no packet should wait much longer than T");
+}
+
+#[test]
+fn unprotected_baseline_latency_is_microseconds() {
+    let report = Scenario::builder()
+        .vm_memory_mib(64)
+        .vcpus(2)
+        .workload(Box::new(Sockperf::new(SockperfLoad::A)))
+        .unprotected()
+        .duration(SimDuration::from_secs(10))
+        .build()
+        .expect("valid scenario")
+        .run();
+    let mean = report.packet_latencies.mean().expect("packets flowed");
+    assert!(mean < 0.001, "bare-metal latency {mean}s should be sub-ms");
+}
+
+#[test]
+fn remus_strategy_pairs_xen_with_xen_and_here_with_kvm() {
+    // Indirect but end-to-end: resumption after failover uses the
+    // secondary's activation path; kvmtool's is several times faster.
+    let run = |cfg: ReplicationConfig| {
+        Scenario::builder()
+            .vm_memory_mib(64)
+            .vcpus(2)
+            .config(cfg)
+            .duration(SimDuration::from_secs(20))
+            .failure(FailurePlan {
+                at: SimTime::from_secs(8),
+                cause: FailureCause::Accident(DosOutcome::Crash),
+                reattack_secondary: false,
+            })
+            .build()
+            .expect("valid scenario")
+            .run()
+            .failover
+            .expect("failover runs")
+            .resumption_time()
+    };
+    let here = run(ReplicationConfig::fixed_period(SimDuration::from_secs(2)));
+    let remus = run(ReplicationConfig::remus(SimDuration::from_secs(2)));
+    assert!(
+        remus > here * 3,
+        "xen activation ({remus}) should dwarf kvmtool's ({here})"
+    );
+    assert_eq!(
+        ReplicationConfig::remus(SimDuration::from_secs(2)).strategy,
+        Strategy::Remus
+    );
+}
