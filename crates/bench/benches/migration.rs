@@ -9,7 +9,9 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("fig6_idle", |b| b.iter(|| run_fig6_idle(Scale::Quick)));
     g.bench_function("fig6_loaded", |b| b.iter(|| run_fig6_loaded(Scale::Quick)));
-    g.bench_function("fig7_resumption", |b| b.iter(|| run_fig7(Scale::Quick, false)));
+    g.bench_function("fig7_resumption", |b| {
+        b.iter(|| run_fig7(Scale::Quick, false))
+    });
     g.finish();
 }
 

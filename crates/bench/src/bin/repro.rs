@@ -7,7 +7,7 @@
 //! With no experiment arguments, runs everything. Experiments: `tab1`,
 //! `tab2`, `tab5`, `demo`, `fig5`, `fig6`, `fig7`, `fig8`, `fig9`, `fig10`,
 //! `fig11`, `fig12`, `fig13`, `fig14`, `fig15`, `fig16`, `fig17`,
-//! `overhead`. `--quick` uses scaled-down configurations.
+//! `overhead`, `stages`. `--quick` uses scaled-down configurations.
 
 use std::process::ExitCode;
 
@@ -22,12 +22,14 @@ use here_bench::experiments::overhead::run_overhead;
 use here_bench::experiments::security::{
     run_heterogeneity_demo, run_table1, run_table2, run_table5,
 };
+use here_bench::experiments::stages::run_stages;
 use here_bench::tables::{num, render};
 use here_bench::Scale;
+use here_core::Strategy;
 
 const ALL: &[&str] = &[
     "tab1", "tab2", "tab5", "demo", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
-    "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "overhead",
+    "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "overhead", "stages",
 ];
 
 fn main() -> ExitCode {
@@ -73,14 +75,22 @@ fn run_one(which: &str, scale: Scale) {
         "fig9" => fig9(scale),
         "fig10" => fig10(scale),
         "fig11" => ycsb_fig("Figure 11 — YCSB, fixed periods", scale, &FIG11_CONFIGS),
-        "fig12" => ycsb_fig("Figure 12 — YCSB, degradation targets", scale, &FIG12_CONFIGS),
+        "fig12" => ycsb_fig(
+            "Figure 12 — YCSB, degradation targets",
+            scale,
+            &FIG12_CONFIGS,
+        ),
         "fig13" => ycsb_fig(
             "Figure 13 — YCSB, degradation + T_max",
             scale,
             &FIG13_CONFIGS,
         ),
         "fig14" => spec_fig("Figure 14 — SPEC, fixed periods", scale, &FIG11_CONFIGS),
-        "fig15" => spec_fig("Figure 15 — SPEC, degradation targets", scale, &FIG12_CONFIGS),
+        "fig15" => spec_fig(
+            "Figure 15 — SPEC, degradation targets",
+            scale,
+            &FIG12_CONFIGS,
+        ),
         "fig16" => spec_fig(
             "Figure 16 — SPEC, degradation + T_max",
             scale,
@@ -88,6 +98,7 @@ fn run_one(which: &str, scale: Scale) {
         ),
         "fig17" => fig17(scale),
         "overhead" => overhead(scale),
+        "stages" => stages(scale),
         _ => unreachable!("validated in main"),
     }
 }
@@ -109,7 +120,10 @@ fn tab1() {
         .collect();
     println!(
         "{}",
-        render(&["Product", "CVEs", "Avail", "Avail%", "DoS", "DoS%"], &rows)
+        render(
+            &["Product", "CVEs", "Avail", "Avail%", "DoS", "DoS%"],
+            &rows
+        )
     );
 }
 
@@ -259,7 +273,10 @@ fn fig7(scale: Scale) {
 }
 
 fn fig8(scale: Scale) {
-    for (loaded, label) in [(false, "idle VM (panes a/c)"), (true, "30% load (panes b/d)")] {
+    for (loaded, label) in [
+        (false, "idle VM (panes a/c)"),
+        (true, "30% load (panes b/d)"),
+    ] {
         println!("Figure 8 — checkpoint transfer & degradation, {label}, T = 8 s");
         let rows: Vec<Vec<String>> = run_fig8(scale, loaded)
             .iter()
@@ -333,7 +350,11 @@ fn fig10(scale: Scale) {
     println!("Period over time:");
     print!(
         "{}",
-        series_table(&out.series.period, out.series.period.len() / 15, "Period (s)")
+        series_table(
+            &out.series.period,
+            out.series.period.len() / 15,
+            "Period (s)"
+        )
     );
     println!();
 }
@@ -374,7 +395,10 @@ fn spec_fig(title: &str, scale: Scale, configs: &[Config]) {
         .collect();
     println!(
         "{}",
-        render(&["Benchmark", "Config", "Rate (ops/s)", "Degradation"], &rows)
+        render(
+            &["Benchmark", "Config", "Rate (ops/s)", "Degradation"],
+            &rows
+        )
     );
 }
 
@@ -396,6 +420,39 @@ fn fig17(scale: Scale) {
         "{}",
         render(&["Load", "Config", "Latency (us)", "Latency (ms)"], &rows)
     );
+}
+
+fn stages(scale: Scale) {
+    println!("Pipeline stage breakdown — t = alpha*N/P + C (Eq. 4), 30% load, T = 4 s");
+    for strategy in [Strategy::Remus, Strategy::Here] {
+        let out = run_stages(scale, strategy);
+        println!(
+            "  {:?}: {} checkpoints, trace {}",
+            out.strategy,
+            out.checkpoints,
+            if out.complete {
+                "complete"
+            } else {
+                "INCOMPLETE"
+            }
+        );
+        let rows: Vec<Vec<String>> = out
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.stage.label().to_string(),
+                    num(r.total_secs, 3),
+                    format!("{}%", num(r.share_pct, 1)),
+                    num(r.mean_ms, 2),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render(&["Stage", "Total (s)", "Share", "Mean (ms)"], &rows)
+        );
+    }
 }
 
 fn overhead(scale: Scale) {

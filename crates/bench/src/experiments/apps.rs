@@ -113,8 +113,7 @@ pub(super) fn dynamic_warmup(config: &ReplicationConfig) -> SimDuration {
 
 fn run_ycsb_once(spec: YcsbSpec, config: Config) -> f64 {
     let driver = Ycsb::new(spec).expect("valid spec");
-    let mem_mib =
-        (driver.required_pages() * here_hypervisor::PAGE_SIZE).div_ceil(1024 * 1024) + 64;
+    let mem_mib = (driver.required_pages() * here_hypervisor::PAGE_SIZE).div_ceil(1024 * 1024) + 64;
     let mut b = Scenario::builder()
         .name(format!("ycsb-{}-{}", spec.mix.label(), config.label()))
         .vm_memory_mib(mem_mib)
@@ -128,7 +127,10 @@ fn run_ycsb_once(spec: YcsbSpec, config: Config) -> f64 {
         }
         None => b.unprotected(),
     };
-    b.build().expect("valid scenario").run().throughput_ops_per_sec
+    b.build()
+        .expect("valid scenario")
+        .run()
+        .throughput_ops_per_sec
 }
 
 /// Runs a YCSB figure: every workload × every configuration in `configs`.
@@ -190,7 +192,10 @@ fn run_spec_once(benchmark: SpecBenchmark, config: Config, duration: SimDuration
         }
         None => b.unprotected(),
     };
-    b.build().expect("valid scenario").run().throughput_ops_per_sec
+    b.build()
+        .expect("valid scenario")
+        .run()
+        .throughput_ops_per_sec
 }
 
 /// Runs a SPEC figure: every benchmark × every configuration in `configs`.
@@ -226,7 +231,7 @@ pub fn run_spec_figure(scale: Scale, configs: &[Config]) -> Vec<SpecBar> {
 mod tests {
     use super::*;
 
-    fn bar<'a>(bars: &'a [YcsbBar], mix: YcsbMix, config: Config) -> &'a YcsbBar {
+    fn bar(bars: &[YcsbBar], mix: YcsbMix, config: Config) -> &YcsbBar {
         bars.iter()
             .find(|b| b.mix == mix && b.config == config)
             .expect("bar present")

@@ -119,11 +119,7 @@ mod tests {
     fn fig5_send_time_is_linear_in_dirty_pages() {
         let result = run_fig5(Scale::Quick);
         assert!(result.points.len() >= 10);
-        assert!(
-            result.fit.r_squared > 0.98,
-            "r² = {}",
-            result.fit.r_squared
-        );
+        assert!(result.fit.r_squared > 0.98, "r² = {}", result.fit.r_squared);
         assert!(result.fit.slope > 0.0);
     }
 

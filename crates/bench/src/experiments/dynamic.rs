@@ -29,7 +29,10 @@ pub struct DynamicSeries {
 /// 20 % → 80 % → 5 %.
 pub fn run_fig9(scale: Scale) -> DynamicSeries {
     let (gib, config) = match scale {
-        Scale::Paper => (8, ReplicationConfig::dynamic(0.3, SimDuration::from_secs(25))),
+        Scale::Paper => (
+            8,
+            ReplicationConfig::dynamic(0.3, SimDuration::from_secs(25)),
+        ),
         Scale::Quick => (
             2,
             ReplicationConfig::dynamic(0.3, SimDuration::from_secs(25))
@@ -56,12 +59,7 @@ pub fn run_fig9(scale: Scale) -> DynamicSeries {
 
     let probe = PhasedMemStress::new(schedule).expect("valid");
     let load: Vec<(f64, f64)> = (0..=duration.as_millis() / 1000)
-        .map(|s| {
-            (
-                s as f64,
-                probe.percent_at(SimTime::from_secs(s)) as f64,
-            )
-        })
+        .map(|s| (s as f64, probe.percent_at(SimTime::from_secs(s)) as f64))
         .collect();
     // Steady-state windows: skip 15 s after each phase change.
     let steady: Vec<f64> = report

@@ -11,6 +11,7 @@ pub mod migration;
 pub mod network;
 pub mod overhead;
 pub mod security;
+pub mod stages;
 
 /// Experiment sizing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -54,7 +54,10 @@ fn run_sockperf_once(load: SockperfLoad, config: Config, duration: SimDuration) 
 pub fn run_fig17(scale: Scale) -> Vec<Fig17Bar> {
     let (loads, duration): (&[SockperfLoad], SimDuration) = match scale {
         Scale::Paper => (&ALL_LOADS, SimDuration::from_secs(120)),
-        Scale::Quick => (&[SockperfLoad::A, SockperfLoad::C], SimDuration::from_secs(60)),
+        Scale::Quick => (
+            &[SockperfLoad::A, SockperfLoad::C],
+            SimDuration::from_secs(60),
+        ),
     };
     let mut bars = Vec::new();
     for &load in loads {

@@ -54,6 +54,10 @@ mod tests {
             "cpu {}",
             out.cpu_core_pct
         );
-        assert!(out.rss_mib > 32.0 && out.rss_mib < 1024.0, "rss {}", out.rss_mib);
+        assert!(
+            out.rss_mib > 32.0 && out.rss_mib < 1024.0,
+            "rss {}",
+            out.rss_mib
+        );
     }
 }

@@ -40,12 +40,12 @@ pub fn run_table2() -> Vec<Table2Row> {
         .map(|&source| {
             let cause = match source {
                 DosSource::Accident => FailureCause::Accident(DosOutcome::Crash),
-                DosSource::GuestUser => FailureCause::Exploit(
-                    exploit_with_privilege(&corpus, Privilege::GuestUser),
-                ),
-                DosSource::GuestKernel => FailureCause::Exploit(
-                    exploit_with_privilege(&corpus, Privilege::GuestKernel),
-                ),
+                DosSource::GuestUser => {
+                    FailureCause::Exploit(exploit_with_privilege(&corpus, Privilege::GuestUser))
+                }
+                DosSource::GuestKernel => {
+                    FailureCause::Exploit(exploit_with_privilege(&corpus, Privilege::GuestKernel))
+                }
                 // Another guest or an external service exploits the same
                 // host-level vulnerability class.
                 DosSource::OtherGuest | DosSource::OtherService => FailureCause::Exploit(
@@ -204,13 +204,20 @@ mod tests {
     fn heterogeneity_demo_shows_the_asymmetry() {
         let demo = run_heterogeneity_demo();
         assert!(demo.here_primary_down);
-        assert!(demo.here_service_survived, "HERE must survive the re-attack");
+        assert!(
+            demo.here_service_survived,
+            "HERE must survive the re-attack"
+        );
         assert!(
             !demo.homogeneous_service_survived,
             "homogeneous replication must fall to the same exploit"
         );
         assert_eq!(demo.shared_cves_here_pair, 0);
         assert!(demo.shared_cves_qemu_pair > 300);
-        assert!(demo.here_outage_ms < 200.0, "outage {}", demo.here_outage_ms);
+        assert!(
+            demo.here_outage_ms < 200.0,
+            "outage {}",
+            demo.here_outage_ms
+        );
     }
 }

@@ -1,0 +1,151 @@
+//! Per-stage breakdown of the checkpoint pipeline, derived from the
+//! structured [`StageEvent`](here_core::StageEvent) trace the engine
+//! emits — the instrumented view of the paper's pause model
+//! `t = αN/P + C` (Eq. 4): harvest carries the `αN/P` term, translate the
+//! constant `C`, transfer the wire term.
+
+use here_core::{ReplicationConfig, Scenario, Stage, Strategy};
+use here_sim_core::time::SimDuration;
+use here_workloads::memstress::MemStress;
+
+use super::Scale;
+
+/// One pipeline stage's aggregate over a run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageRow {
+    /// The stage.
+    pub stage: Stage,
+    /// Total virtual time spent in the stage across the run.
+    pub total_secs: f64,
+    /// Share of the summed pipeline time, percent.
+    pub share_pct: f64,
+    /// Mean time per checkpoint, milliseconds.
+    pub mean_ms: f64,
+}
+
+/// Stage breakdown of one strategy's run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StagesResult {
+    /// Which replication strategy ran.
+    pub strategy: Strategy,
+    /// Checkpoints observed (distinct sequence numbers in the trace).
+    pub checkpoints: u64,
+    /// One row per stage, in pipeline order.
+    pub rows: Vec<StageRow>,
+    /// Whether every checkpoint emitted the complete six-stage sequence
+    /// in pipeline order — the trace-integrity invariant the report
+    /// derivation relies on.
+    pub complete: bool,
+}
+
+/// Runs a 30 %-loaded VM under `strategy` and folds the emitted stage
+/// events into per-stage totals.
+pub fn run_stages(scale: Scale, strategy: Strategy) -> StagesResult {
+    let (gib, secs) = match scale {
+        Scale::Paper => (16, 60),
+        Scale::Quick => (1, 30),
+    };
+    let period = SimDuration::from_secs(4);
+    let config = match strategy {
+        Strategy::Remus => ReplicationConfig::remus(period),
+        Strategy::Here => ReplicationConfig::fixed_period(period),
+    };
+    let report = Scenario::builder()
+        .name(format!("stages-{strategy:?}"))
+        .vm_memory_gib(gib)
+        .vcpus(4)
+        .workload(Box::new(MemStress::with_percent(30)))
+        .config(config)
+        .duration(SimDuration::from_secs(secs))
+        .build()
+        .expect("valid scenario")
+        .run();
+
+    let mut seqs: Vec<u64> = report.stage_events.iter().map(|e| e.seq).collect();
+    seqs.dedup();
+    let checkpoints = seqs.len() as u64;
+    let complete = !seqs.is_empty()
+        && seqs.iter().all(|&seq| {
+            let stages: Vec<Stage> = report
+                .stage_events
+                .iter()
+                .filter(|e| e.seq == seq)
+                .map(|e| e.stage)
+                .collect();
+            stages == Stage::ALL
+        });
+
+    let totals = report.stage_breakdown();
+    let sum: f64 = totals.iter().map(|&(_, d)| d.as_secs_f64()).sum();
+    let rows = totals
+        .into_iter()
+        .map(|(stage, total)| {
+            let total_secs = total.as_secs_f64();
+            StageRow {
+                stage,
+                total_secs,
+                share_pct: if sum > 0.0 {
+                    total_secs / sum * 100.0
+                } else {
+                    0.0
+                },
+                mean_ms: if checkpoints > 0 {
+                    total_secs * 1e3 / checkpoints as f64
+                } else {
+                    0.0
+                },
+            }
+        })
+        .collect();
+
+    StagesResult {
+        strategy,
+        checkpoints,
+        rows,
+        complete,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_checkpoint_traces_a_complete_pipeline() {
+        for strategy in [Strategy::Remus, Strategy::Here] {
+            let out = run_stages(Scale::Quick, strategy);
+            assert!(out.checkpoints > 0);
+            assert!(out.complete, "{strategy:?} trace incomplete");
+            assert_eq!(out.rows.len(), 6);
+        }
+    }
+
+    #[test]
+    fn harvest_dominates_and_here_shrinks_it() {
+        let remus = run_stages(Scale::Quick, Strategy::Remus);
+        let here = run_stages(Scale::Quick, Strategy::Here);
+        let harvest = |r: &StagesResult| {
+            r.rows
+                .iter()
+                .find(|row| row.stage == Stage::Harvest)
+                .expect("harvest row")
+                .mean_ms
+        };
+        // Under memory load the αN/P term dominates the pipeline, and
+        // HERE's multithreaded harvest (P > 1) shrinks it.
+        assert!(harvest(&remus) > harvest(&here));
+        let dominant = remus
+            .rows
+            .iter()
+            .max_by(|a, b| a.total_secs.total_cmp(&b.total_secs))
+            .unwrap();
+        assert_eq!(dominant.stage, Stage::Harvest);
+    }
+
+    #[test]
+    fn shares_sum_to_one_hundred_percent() {
+        let out = run_stages(Scale::Quick, Strategy::Here);
+        let total: f64 = out.rows.iter().map(|r| r.share_pct).sum();
+        assert!((total - 100.0).abs() < 1e-6, "shares sum to {total}");
+    }
+}

@@ -67,10 +67,7 @@ mod tests {
 
     #[test]
     fn renders_aligned_columns() {
-        let out = render(
-            &["a", "long-header"],
-            &[vec!["xxxxxx".into(), "1".into()]],
-        );
+        let out = render(&["a", "long-header"], &[vec!["xxxxxx".into(), "1".into()]]);
         let lines: Vec<&str> = out.lines().collect();
         assert_eq!(lines.len(), 5);
         // All lines are the same width.
@@ -86,7 +83,7 @@ mod tests {
 
     #[test]
     fn num_formats() {
-        assert_eq!(num(3.14159, 2), "3.14");
+        assert_eq!(num(1.23456, 2), "1.23");
         assert_eq!(num(10.0, 0), "10");
     }
 }

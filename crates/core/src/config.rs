@@ -161,17 +161,32 @@ impl CostModel {
         scan + wire
     }
 
+    /// The scan/copy component of a checkpoint pause: `αN/P` of Eq. 4 —
+    /// what the pipeline's *Harvest* stage costs.
+    pub fn checkpoint_scan(&self, pages: u64, threads: u32) -> SimDuration {
+        let p = self.effective_parallelism(threads);
+        self.checkpoint_cpu_per_page.mul_f64(pages as f64 / p)
+    }
+
+    /// The wire component of a checkpoint pause — what the pipeline's
+    /// *Transfer* stage costs.
+    pub fn checkpoint_wire(&self, pages: u64) -> SimDuration {
+        self.checkpoint_wire_per_page * pages
+    }
+
     /// Pause duration `t` of a checkpoint copying `pages` dirty pages with
     /// `threads` workers — the paper's Equation 4, `t = αN/P + C`.
+    ///
+    /// Computed as the sum of the per-stage components
+    /// ([`CostModel::checkpoint_scan`], [`CostModel::checkpoint_wire`],
+    /// [`CostModel::checkpoint_const`](CostModel), and the strategy's extra
+    /// constant), so the pipeline's stage attribution can never drift from
+    /// this total.
     pub fn checkpoint_pause(&self, pages: u64, threads: u32, strategy: Strategy) -> SimDuration {
-        let p = self.effective_parallelism(threads);
-        let scan = self.checkpoint_cpu_per_page.mul_f64(pages as f64 / p);
-        let wire = self.checkpoint_wire_per_page * pages;
-        let mut t = scan + wire + self.checkpoint_const;
-        if strategy == Strategy::Remus {
-            t += self.remus_extra_const;
-        }
-        t
+        self.checkpoint_scan(pages, threads)
+            + self.checkpoint_wire(pages)
+            + self.checkpoint_const
+            + crate::pipeline::runtime(strategy).pause_extra(self)
     }
 
     /// Total CPU time the replication engine burns for one checkpoint of
@@ -196,7 +211,19 @@ pub struct ReplicationConfig {
     pub heartbeat: HeartbeatConfig,
     /// The calibrated cost model.
     pub costs: CostModel,
+    /// Maximum pre-copy iterations before the seeding migration forces its
+    /// stop-and-copy (Xen's default of 5, §3.2).
+    pub max_migration_iterations: u32,
+    /// Dirty-page count at or below which the seeding migration converges
+    /// to its stop-and-copy.
+    pub migration_dirty_threshold: u64,
 }
+
+/// Default for [`ReplicationConfig::max_migration_iterations`].
+pub const DEFAULT_MAX_MIGRATION_ITERATIONS: u32 = 5;
+
+/// Default for [`ReplicationConfig::migration_dirty_threshold`].
+pub const DEFAULT_MIGRATION_DIRTY_THRESHOLD: u64 = 256;
 
 impl ReplicationConfig {
     /// HERE with a fixed checkpoint period (the paper's
@@ -208,6 +235,8 @@ impl ReplicationConfig {
             transfer_threads: None,
             heartbeat: HeartbeatConfig::default(),
             costs: CostModel::default(),
+            max_migration_iterations: DEFAULT_MAX_MIGRATION_ITERATIONS,
+            migration_dirty_threshold: DEFAULT_MIGRATION_DIRTY_THRESHOLD,
         }
     }
 
@@ -232,6 +261,8 @@ impl ReplicationConfig {
             transfer_threads: None,
             heartbeat: HeartbeatConfig::default(),
             costs: CostModel::default(),
+            max_migration_iterations: DEFAULT_MAX_MIGRATION_ITERATIONS,
+            migration_dirty_threshold: DEFAULT_MIGRATION_DIRTY_THRESHOLD,
         }
     }
 
@@ -243,6 +274,8 @@ impl ReplicationConfig {
             transfer_threads: Some(1),
             heartbeat: HeartbeatConfig::default(),
             costs: CostModel::default(),
+            max_migration_iterations: DEFAULT_MAX_MIGRATION_ITERATIONS,
+            migration_dirty_threshold: DEFAULT_MIGRATION_DIRTY_THRESHOLD,
         }
     }
 
@@ -261,14 +294,20 @@ impl ReplicationConfig {
         self
     }
 
+    /// Overrides the seeding-migration convergence bounds (pre-copy
+    /// iteration cap and dirty-page threshold).
+    pub fn with_migration_limits(mut self, max_iterations: u32, dirty_threshold: u64) -> Self {
+        self.max_migration_iterations = max_iterations;
+        self.migration_dirty_threshold = dirty_threshold;
+        self
+    }
+
     /// The thread count the data plane will actually use for a VM with
     /// `vcpus` vCPUs: Remus is single-threaded by construction; HERE
-    /// defaults to one thread per vCPU.
+    /// defaults to one thread per vCPU. Delegates to the strategy's
+    /// [`ReplicationStrategy`](crate::pipeline::ReplicationStrategy) impl.
     pub fn effective_threads(&self, vcpus: u32) -> u32 {
-        match self.strategy {
-            Strategy::Remus => 1,
-            Strategy::Here => self.transfer_threads.unwrap_or(vcpus).max(1),
-        }
+        crate::pipeline::runtime(self.strategy).effective_threads(self.transfer_threads, vcpus)
     }
 }
 
@@ -317,6 +356,36 @@ mod tests {
     #[should_panic(expected = "degradation target")]
     fn dynamic_rejects_bad_target() {
         ReplicationConfig::dynamic(1.5, SimDuration::from_secs(10));
+    }
+
+    #[test]
+    fn migration_limits_default_to_xen_values_and_override() {
+        let cfg = ReplicationConfig::fixed_period(SimDuration::from_secs(5));
+        assert_eq!(cfg.max_migration_iterations, 5);
+        assert_eq!(cfg.migration_dirty_threshold, 256);
+        let cfg = cfg.with_migration_limits(3, 1024);
+        assert_eq!(cfg.max_migration_iterations, 3);
+        assert_eq!(cfg.migration_dirty_threshold, 1024);
+    }
+
+    #[test]
+    fn pause_components_sum_to_the_total() {
+        let m = CostModel::default();
+        for &(pages, threads) in &[(1_000u64, 1u32), (480_000, 4), (7, 2)] {
+            let here = m.checkpoint_pause(pages, threads, Strategy::Here);
+            assert_eq!(
+                here,
+                m.checkpoint_scan(pages, threads) + m.checkpoint_wire(pages) + m.checkpoint_const
+            );
+            let remus = m.checkpoint_pause(pages, 1, Strategy::Remus);
+            assert_eq!(
+                remus,
+                m.checkpoint_scan(pages, 1)
+                    + m.checkpoint_wire(pages)
+                    + m.checkpoint_const
+                    + m.remus_extra_const
+            );
+        }
     }
 
     #[test]

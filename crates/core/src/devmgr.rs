@@ -10,9 +10,9 @@
 use here_hypervisor::devices::AgentEvent;
 use here_hypervisor::kind::HypervisorKind;
 use here_hypervisor::vm::Vm;
-use here_simnet::buffer::{IoBuffer, ReleasedPacket};
 use here_sim_core::rate::ByteSize;
 use here_sim_core::time::SimTime;
+use here_simnet::buffer::{IoBuffer, ReleasedPacket};
 use here_vmstate::translate::StateTranslator;
 
 /// The device manager of one replication session.
@@ -68,15 +68,13 @@ impl DeviceManager {
         translator: Option<&StateTranslator>,
     ) -> DeviceSwitchReport {
         let packets_discarded = self.io.discard_all();
-        let new_family = translator
-            .map(|t| t.target())
-            .unwrap_or_else(|| {
-                replica
-                    .devices()
-                    .first()
-                    .map(|d| d.model.family())
-                    .unwrap_or(HypervisorKind::Xen)
-            });
+        let new_family = translator.map(|t| t.target()).unwrap_or_else(|| {
+            replica
+                .devices()
+                .first()
+                .map(|d| d.model.family())
+                .unwrap_or(HypervisorKind::Xen)
+        });
         let new_devices = match translator {
             Some(t) => t.translate_devices(replica.devices()),
             // Homogeneous (Remus) failover: same models, fresh rings.
@@ -155,7 +153,10 @@ mod tests {
         // Agent saw unplug-then-plug protocol.
         let log = vm.agent().event_log();
         assert!(matches!(log[0], AgentEvent::UnplugAll));
-        assert!(matches!(log.last(), Some(AgentEvent::MigrationComplete { .. })));
+        assert!(matches!(
+            log.last(),
+            Some(AgentEvent::MigrationComplete { .. })
+        ));
     }
 
     #[test]

@@ -1,5 +1,5 @@
-//! The replication engine: scenarios, the continuous-replication loop, and
-//! failover handling.
+//! Scenario description and orchestration — the crate's public entry
+//! point.
 //!
 //! A [`Scenario`] wires together the full stack — a primary host, a
 //! secondary host, a protected VM running a workload, the replication
@@ -7,59 +7,30 @@
 //! executes it in virtual time, producing a [`RunReport`] with everything
 //! the paper's figures need.
 //!
-//! The loop implements the Remus workflow of §3.2 with HERE's extensions
-//! (§5, §7): seed by live migration, then repeat { run the VM for `T`
-//! buffering its output; pause; copy the dirty pages (multithreaded, via
-//! the real chunk workers); translate and ship vCPU/device state through
-//! the wire codec; wait for the ack; commit (release buffered output);
-//! resume; let the dynamic period manager pick the next `T` }.
+//! The engine itself is deliberately thin: the replication lifecycle lives
+//! in dedicated modules. [`crate::session`] owns the mutable run state and
+//! its phase FSM, [`crate::migrate`] runs the seeding migration,
+//! [`crate::checkpoint`] drives the continuous phase, and every checkpoint
+//! flows through the staged pipeline of [`crate::pipeline`], emitting
+//! [`StageEvent`](crate::trace::StageEvent)s at each boundary.
 
-use here_hypervisor::arch::Gpr;
-use here_hypervisor::fault::{DosOutcome, HostHealth};
+use here_hypervisor::fault::DosOutcome;
 use here_hypervisor::host::Hypervisor;
-use here_hypervisor::kind::HypervisorKind;
-use here_hypervisor::vcpu::{KvmVcpuState, VcpuStateBlob, XenVcpuState};
-use here_hypervisor::vm::{VmConfig, VmId};
-use here_hypervisor::{KvmHypervisor, PageId, VcpuId, XenHypervisor, PAGE_SIZE};
+use here_hypervisor::vm::VmConfig;
+use here_hypervisor::XenHypervisor;
 use here_sim_core::metrics::{Histogram, TimeSeries};
 use here_sim_core::rate::ByteSize;
 use here_sim_core::rng::SimRng;
 use here_sim_core::time::{SimDuration, SimTime};
 use here_simnet::link::Link;
-use here_vmstate::cir::CpuStateCir;
-use here_vmstate::translate::StateTranslator;
-use here_vmstate::wire::{Record, StreamDecoder, StreamEncoder};
-use here_vmstate::{reconcile, MemoryDelta};
-use here_vulndb::exploit::{Exploit, ExploitResult};
+use here_vulndb::exploit::Exploit;
 use here_workloads::idle::IdleGuest;
 use here_workloads::traits::Workload;
 
-use crate::config::{ReplicationConfig, Strategy};
-use crate::devmgr::DeviceManager;
+use crate::config::ReplicationConfig;
 use crate::error::{CoreError, CoreResult};
-use crate::failover::{detection_time, FailoverRecord};
-use crate::period::{degradation, PeriodManager};
-use crate::report::{
-    CheckpointRecord, IterationStats, MigrationOutcome, ResourceUsage, RunReport,
-};
-use crate::transfer::{collect_chunked, ProblematicTracker};
-
-/// Host memory given to each simulated server (the testbed's 192 GB).
-const HOST_MEMORY: ByteSize = ByteSize::from_gib(192);
-
-/// Maximum pre-copy iterations before forcing the stop-and-copy (Xen's
-/// default of 5, §3.2).
-pub const MAX_MIGRATION_ITERATIONS: u32 = 5;
-
-/// Dirty-page threshold below which migration converges to stop-and-copy.
-pub const MIGRATION_DIRTY_THRESHOLD: u64 = 256;
-
-/// Fixed client-side stack overhead added to every packet's latency.
-const CLIENT_STACK_OVERHEAD: SimDuration = SimDuration::from_micros(38);
-
-/// Largest workload advance slice; bounds phase-change and emission
-/// timestamp granularity.
-const MAX_SLICE: SimDuration = SimDuration::from_millis(250);
+use crate::report::{ResourceUsage, RunReport};
+use crate::session::{CLIENT_STACK_OVERHEAD, HOST_MEMORY, MAX_SLICE};
 
 /// What brings the primary down.
 #[derive(Debug, Clone)]
@@ -86,7 +57,7 @@ pub struct FailurePlan {
 
 /// How the VM is protected.
 #[derive(Debug, Clone)]
-enum Protection {
+pub(crate) enum Protection {
     Unprotected,
     Replicated(ReplicationConfig),
 }
@@ -96,19 +67,19 @@ enum Protection {
 /// Create one with [`Scenario::builder`]; run it with [`Scenario::run`].
 #[derive(Debug)]
 pub struct Scenario {
-    name: String,
-    memory: ByteSize,
-    vcpus: u32,
-    workload: Box<dyn Workload>,
-    protection: Protection,
-    duration: SimDuration,
-    seed: u64,
-    failure: Option<FailurePlan>,
-    stop_when_workload_done: bool,
-    load_during_seed: bool,
-    warmup: SimDuration,
-    warmup_under_load: bool,
-    verify_consistency: bool,
+    pub(crate) name: String,
+    pub(crate) memory: ByteSize,
+    pub(crate) vcpus: u32,
+    pub(crate) workload: Box<dyn Workload>,
+    pub(crate) protection: Protection,
+    pub(crate) duration: SimDuration,
+    pub(crate) seed: u64,
+    pub(crate) failure: Option<FailurePlan>,
+    pub(crate) stop_when_workload_done: bool,
+    pub(crate) load_during_seed: bool,
+    pub(crate) warmup: SimDuration,
+    pub(crate) warmup_under_load: bool,
+    pub(crate) verify_consistency: bool,
 }
 
 /// Builder for [`Scenario`].
@@ -161,9 +132,8 @@ impl Scenario {
     pub fn run(self) -> RunReport {
         match &self.protection {
             Protection::Unprotected => run_unprotected(self),
-            Protection::Replicated(_) => {
-                run_replicated(self).expect("replicated run failed on a valid scenario")
-            }
+            Protection::Replicated(_) => crate::checkpoint::run_replicated(self)
+                .expect("replicated run failed on a valid scenario"),
         }
     }
 }
@@ -289,16 +259,18 @@ impl ScenarioBuilder {
             return Err(CoreError::InvalidScenario("vcpus must be positive".into()));
         }
         if self.duration.is_zero() {
-            return Err(CoreError::InvalidScenario("duration must be positive".into()));
+            return Err(CoreError::InvalidScenario(
+                "duration must be positive".into(),
+            ));
         }
         // Validate memory via VmConfig.
         VmConfig::new("probe", self.memory, self.vcpus).map_err(CoreError::Hypervisor)?;
         let workload = self
             .workload
             .unwrap_or_else(|| Box::new(IdleGuest::new()) as Box<dyn Workload>);
-        let name = self.name.unwrap_or_else(|| {
-            format!("{}-{}", workload.name(), self.memory)
-        });
+        let name = self
+            .name
+            .unwrap_or_else(|| format!("{}-{}", workload.name(), self.memory));
         Ok(Scenario {
             name,
             memory: self.memory,
@@ -317,431 +289,8 @@ impl ScenarioBuilder {
     }
 }
 
-/// Everything mutable during a replicated run.
-struct Session {
-    clock: SimTime,
-    rng: SimRng,
-    primary: Box<dyn Hypervisor>,
-    secondary: Box<dyn Hypervisor>,
-    pvm: VmId,
-    rvm: VmId,
-    translator: Option<StateTranslator>,
-    cfg: ReplicationConfig,
-    threads: u32,
-    period: PeriodManager,
-    devmgr: DeviceManager,
-    repl_link: Link,
-    client_link: Link,
-    workload: Box<dyn Workload>,
-    idle_filler: IdleGuest,
-    workload_started: bool,
-    load_during_seed: bool,
-    workload_now_base: SimTime,
-    measure_base: SimTime,
-    buffering: bool,
-    verify_consistency: bool,
-    consistency_checks: u64,
-    // accounting
-    seq: u64,
-    ops_committed: f64,
-    ops_uncommitted: f64,
-    disturbance_debt: SimDuration,
-    cpu_work: SimDuration,
-    max_ckpt_pages: u64,
-    checkpoints: Vec<CheckpointRecord>,
-    period_series: TimeSeries,
-    degradation_series: TimeSeries,
-    latencies: Histogram,
-}
-
-impl Session {
-    /// Advances the protected VM (and virtual time) by `dt`, slicing for
-    /// emission timestamps and phase changes. Returns early if the
-    /// workload completes and `stop_done` is set.
-    fn advance(&mut self, dt: SimDuration, stop_done: bool) {
-        let end = self.clock + dt;
-        while self.clock < end {
-            let slice = (end - self.clock).clamp(SimDuration::ZERO, MAX_SLICE);
-            // Apply pending guest-side disturbance: the workload loses this
-            // much effective CPU time after each pause (§8.6).
-            let lost = self.disturbance_debt.clamp(SimDuration::ZERO, slice);
-            self.disturbance_debt -= lost;
-            let effective = slice - lost;
-            let slice_start = self.clock;
-            let in_seed = !self.workload_started;
-            let progress = if effective.is_zero() {
-                here_workloads::traits::Progress::default()
-            } else {
-                let vm = self
-                    .primary
-                    .vm_mut(self.pvm)
-                    .expect("primary must be alive while advancing");
-                if in_seed && !self.load_during_seed {
-                    // The benchmark has not started yet; an idle guest
-                    // supplies the background dirtying the seed copies.
-                    self.idle_filler
-                        .advance(slice_start, effective, vm, &mut self.rng)
-                } else {
-                    let wnow = SimTime::ZERO
-                        + slice_start.saturating_duration_since(self.workload_now_base);
-                    self.workload.advance(wnow, effective, vm, &mut self.rng)
-                }
-            };
-            self.ops_uncommitted += progress.ops;
-            for emission in progress.emissions {
-                let at = slice_start + emission.offset;
-                if self.buffering {
-                    self.devmgr.buffer_outgoing(emission.size, at);
-                } else {
-                    let latency = self.client_link.transfer_time(emission.size) * 2
-                        + CLIENT_STACK_OVERHEAD;
-                    self.latencies.observe(latency.as_secs_f64());
-                }
-            }
-            self.clock += slice;
-            self.tick_vcpus(slice);
-            if stop_done && self.workload.is_done() {
-                return;
-            }
-        }
-    }
-
-    /// Advances guest CPU state so checkpoints carry evolving registers.
-    fn tick_vcpus(&mut self, dt: SimDuration) {
-        let Ok(vm) = self.primary.vm_mut(self.pvm) else {
-            return;
-        };
-        let cycles = dt.as_nanos().saturating_mul(21) / 10; // 2.1 GHz
-        let ops_bits = self.ops_uncommitted as u64;
-        for vcpu in vm.vcpus_mut() {
-            vcpu.regs.tsc = vcpu.regs.tsc.wrapping_add(cycles);
-            vcpu.regs.rip = 0xffff_ffff_8100_0000 + (vcpu.regs.tsc % 0x1_0000);
-            vcpu.regs.set_gpr(Gpr::Rax, ops_bits);
-        }
-    }
-
-    /// Snapshot-and-clear the primary's dirty bitmap, returning the
-    /// snapshot; also harvests (and discards) the PML rings so they do not
-    /// grow without bound.
-    fn take_dirty_snapshot(&mut self) -> here_hypervisor::dirty::DirtyBitmap {
-        let vm = self
-            .primary
-            .vm_mut(self.pvm)
-            .expect("primary must be alive at checkpoint");
-        let snapshot = vm.dirty().bitmap().clone();
-        vm.dirty_mut().bitmap_mut().clear();
-        for i in 0..vm.dirty().vcpu_count() {
-            let _ = vm.dirty_mut().harvest_ring(i);
-        }
-        snapshot
-    }
-
-    /// Ships a delta plus vCPU/device state through the wire codec and
-    /// installs it on the replica. This is the *data plane*: real bytes are
-    /// encoded, checksummed, decoded and applied.
-    fn ship_checkpoint(&mut self, delta: &MemoryDelta, seq: u64) -> CoreResult<()> {
-        let mut enc = StreamEncoder::new();
-        enc.push(&Record::CheckpointBegin { seq });
-        enc.push(&Record::PageBatch(delta.clone()));
-        let vcpu_count = self.primary.vm(self.pvm)?.vcpus().len() as u32;
-        for i in 0..vcpu_count {
-            let blob = self.primary.get_vcpu_state(self.pvm, VcpuId::new(i))?;
-            let cir = match &self.translator {
-                Some(t) => t.decode_to_cir(&blob)?,
-                None => CpuStateCir {
-                    regs: blob.to_arch(),
-                    online: blob.is_online(),
-                },
-            };
-            enc.push(&Record::VcpuState { index: i, cir });
-        }
-        for dev in self.primary.vm(self.pvm)?.devices() {
-            enc.push(&Record::Device(dev.identity.clone()));
-        }
-        enc.push(&Record::CheckpointEnd {
-            seq,
-            pages_total: delta.len() as u64,
-        });
-        let stream = enc.finish();
-
-        // Receive side.
-        let mut dec = StreamDecoder::new(stream)?;
-        let mut pages_seen = 0u64;
-        while let Some(record) = dec.next_record()? {
-            match record {
-                Record::CheckpointBegin { .. } | Record::StreamHeader { .. } => {}
-                Record::PageBatch(batch) => {
-                    pages_seen += batch.len() as u64;
-                    let replica = self.secondary.vm_mut(self.rvm)?;
-                    for &(page, rec) in batch.entries() {
-                        replica.memory_mut().install_page(page, rec)?;
-                    }
-                }
-                Record::VcpuState { index, cir } => {
-                    let blob = match self.secondary.kind() {
-                        HypervisorKind::Xen => {
-                            VcpuStateBlob::Xen(XenVcpuState::from_arch(&cir.regs, cir.online))
-                        }
-                        HypervisorKind::Kvm => {
-                            VcpuStateBlob::Kvm(KvmVcpuState::from_arch(&cir.regs, cir.online))
-                        }
-                    };
-                    self.secondary
-                        .set_vcpu_state(self.rvm, VcpuId::new(index), blob)?;
-                }
-                Record::Device(_) => {
-                    // Identities are checked on failover; the replica's own
-                    // device set is built by the device manager then.
-                }
-                Record::CheckpointEnd { pages_total, .. } => {
-                    if pages_total != pages_seen {
-                        return Err(CoreError::InvalidScenario(format!(
-                            "checkpoint {seq}: {pages_seen} pages received, header says {pages_total}"
-                        )));
-                    }
-                }
-                Record::Ack { .. } => {}
-            }
-        }
-        Ok(())
-    }
-
-    /// Releases buffered output at the commit instant and records client
-    /// latencies.
-    fn commit(&mut self) {
-        for released in self.devmgr.on_commit(self.clock) {
-            let latency = released.buffering_delay()
-                + self.client_link.transfer_time(released.packet.size) * 2
-                + CLIENT_STACK_OVERHEAD;
-            self.latencies.observe(latency.as_secs_f64());
-        }
-        self.ops_committed += self.ops_uncommitted;
-        self.ops_uncommitted = 0.0;
-    }
-
-    /// One full checkpoint: pause, copy, ship, ack, commit, resume.
-    fn do_checkpoint(&mut self, period_used: SimDuration) -> CoreResult<()> {
-        self.seq += 1;
-        let seq = self.seq;
-        let paused_at = self.clock;
-        self.primary.vm_mut(self.pvm)?.pause()?;
-
-        let snapshot = self.take_dirty_snapshot();
-        let delta = {
-            let vm = self.primary.vm(self.pvm)?;
-            collect_chunked(vm.memory(), &snapshot, self.threads)
-        };
-        let pages = delta.len() as u64;
-        let pause = self
-            .cfg
-            .costs
-            .checkpoint_pause(pages, self.threads, self.cfg.strategy);
-        self.ship_checkpoint(&delta, seq)?;
-        if self.verify_consistency {
-            self.assert_replica_matches_primary(seq)?;
-            self.consistency_checks += 1;
-        }
-        self.clock += pause;
-        self.clock += self.repl_link.rtt(); // checkpoint acknowledgement
-        self.commit();
-        self.primary.vm_mut(self.pvm)?.resume()?;
-        self.disturbance_debt += self.cfg.costs.pause_disturbance;
-
-        let d = degradation(pause, period_used);
-        self.period.on_checkpoint(pause);
-        self.cpu_work += self.cfg.costs.checkpoint_cpu_work(pages, self.threads);
-        self.max_ckpt_pages = self.max_ckpt_pages.max(pages);
-        // All report timestamps are relative to the measurement start.
-        let rel_paused = SimTime::ZERO + paused_at.saturating_duration_since(self.measure_base);
-        let rel_now = SimTime::ZERO + self.clock.saturating_duration_since(self.measure_base);
-        self.checkpoints.push(CheckpointRecord {
-            seq,
-            paused_at: rel_paused,
-            period: period_used,
-            pause,
-            dirty_pages: pages,
-            degradation: d,
-        });
-        self.period_series
-            .record(rel_now, self.period.current().as_secs_f64());
-        self.degradation_series.record(rel_now, d * 100.0);
-        Ok(())
-    }
-
-    /// Verifies that the replica is an exact copy of the paused primary:
-    /// every page version identical, every vCPU architecturally equal.
-    fn assert_replica_matches_primary(&self, seq: u64) -> CoreResult<()> {
-        let primary = self.primary.vm(self.pvm)?;
-        let replica = self.secondary.vm(self.rvm)?;
-        if !primary.memory().content_equals(replica.memory()) {
-            let diff = primary.memory().diff(replica.memory(), 4);
-            return Err(CoreError::InvalidScenario(format!(
-                "checkpoint {seq}: replica memory diverged at frames {diff:?}"
-            )));
-        }
-        for (p, r) in primary.vcpus().iter().zip(replica.vcpus()) {
-            if p.regs.digest() != r.regs.digest() {
-                return Err(CoreError::InvalidScenario(format!(
-                    "checkpoint {seq}: vCPU {} state diverged",
-                    p.id.index()
-                )));
-            }
-        }
-        Ok(())
-    }
-
-    /// The seeding migration (§3.2 step ②–③, with §7.2's optimisations).
-    fn seed(&mut self) -> CoreResult<MigrationOutcome> {
-        let costs = self.cfg.costs;
-        let mut iterations = Vec::new();
-        let mut pages_sent = 0u64;
-        let mut tracker = ProblematicTracker::new();
-        let started = self.clock;
-
-        if self.cfg.strategy == Strategy::Here {
-            // Thread-pool and per-vCPU PML setup; the VM keeps running.
-            self.advance(costs.here_migration_setup, false);
-        }
-
-        // Iteration 0: every page of the VM goes over.
-        let total_pages = self.primary.vm(self.pvm)?.memory().num_pages();
-        let round = costs.migration_round(total_pages, self.threads);
-        // Content snapshot first (what iteration 0 sends), then the guest
-        // keeps dirtying during the copy.
-        let full_delta: MemoryDelta = self
-            .primary
-            .vm(self.pvm)?
-            .memory()
-            .touched_iter()
-            .collect();
-        self.advance(round, false);
-        self.install_delta(&full_delta, 0)?;
-        pages_sent += total_pages;
-        iterations.push(IterationStats {
-            index: 0,
-            pages: total_pages,
-            duration: round,
-            problematic_new: 0,
-        });
-
-        // Iterative pre-copy.
-        let mut iter = 1u32;
-        loop {
-            let snapshot = self.take_dirty_snapshot();
-            let dirty_count = snapshot.count();
-            if dirty_count <= MIGRATION_DIRTY_THRESHOLD || iter >= MAX_MIGRATION_ITERATIONS {
-                // Final stop-and-copy: pause, send remaining dirty pages
-                // plus the problematic resend list, plus vCPU/device state.
-                self.primary.vm_mut(self.pvm)?.pause()?;
-                let mut final_delta = {
-                    let vm = self.primary.vm(self.pvm)?;
-                    collect_chunked(vm.memory(), &snapshot, self.threads)
-                };
-                let problematic = tracker.resend_list();
-                let problematic_resent = problematic.len() as u64;
-                let resend = self.pages_to_delta(&problematic)?;
-                final_delta.merge(resend);
-                let downtime = costs.migration_round(final_delta.len() as u64, self.threads)
-                    + costs.checkpoint_const;
-                self.ship_checkpoint(&final_delta, 0)?;
-                pages_sent += final_delta.len() as u64;
-                self.clock += downtime;
-                self.primary.vm_mut(self.pvm)?.resume()?;
-                iterations.push(IterationStats {
-                    index: iter,
-                    pages: final_delta.len() as u64,
-                    duration: downtime,
-                    problematic_new: 0,
-                });
-                return Ok(MigrationOutcome {
-                    iterations,
-                    total: self.clock.saturating_duration_since(started),
-                    downtime,
-                    pages_sent,
-                    problematic_resent,
-                });
-            }
-
-            // Copy this round's dirty set while the guest keeps running.
-            let delta = {
-                let vm = self.primary.vm(self.pvm)?;
-                collect_chunked(vm.memory(), &snapshot, self.threads)
-            };
-            let before = tracker.len();
-            if self.cfg.strategy == Strategy::Here {
-                // Per-vCPU migrator threads: pages are sent by the thread
-                // of the vCPU that last wrote them; pages that hop between
-                // threads across rounds become problematic (§7.2).
-                for &(page, rec) in delta.entries() {
-                    tracker.record(page, rec.last_writer);
-                }
-            }
-            let problematic_new = (tracker.len() - before) as u64;
-            let round = costs.migration_round(dirty_count, self.threads);
-            self.advance(round, false);
-            self.install_delta(&delta, iter)?;
-            pages_sent += dirty_count;
-            iterations.push(IterationStats {
-                index: iter,
-                pages: dirty_count,
-                duration: round,
-                problematic_new,
-            });
-            iter += 1;
-        }
-    }
-
-    fn pages_to_delta(&self, pages: &[PageId]) -> CoreResult<MemoryDelta> {
-        let vm = self.primary.vm(self.pvm)?;
-        let mut delta = MemoryDelta::new();
-        for &p in pages {
-            delta.push(p, vm.memory().page(p)?);
-        }
-        Ok(delta)
-    }
-
-    fn install_delta(&mut self, delta: &MemoryDelta, _iter: u32) -> CoreResult<()> {
-        let replica = self.secondary.vm_mut(self.rvm)?;
-        for &(page, rec) in delta.entries() {
-            replica.memory_mut().install_page(page, rec)?;
-        }
-        Ok(())
-    }
-
-    /// Handles a primary-host failure: detect, discard, switch devices,
-    /// activate.
-    fn failover(&mut self, failed_at: SimTime) -> CoreResult<FailoverRecord> {
-        let post_health = self.primary.health();
-        debug_assert_ne!(post_health, HostHealth::Healthy);
-        let detected_at = detection_time(&self.cfg.heartbeat, failed_at, post_health);
-        self.clock = detected_at;
-
-        // Everything since the last commit is rolled back.
-        let ops_lost = self.ops_uncommitted;
-        self.ops_uncommitted = 0.0;
-
-        let switch = {
-            let replica = self.secondary.vm_mut(self.rvm)?;
-            self.devmgr.switch_devices(replica, self.translator.as_ref())
-        };
-        let activation = self.secondary.activation_latency()
-            + self.cfg.costs.device_switch
-            + self.cfg.costs.state_load;
-        self.clock += activation;
-        self.secondary.vm_mut(self.rvm)?.activate()?;
-        let rel = |t: SimTime| SimTime::ZERO + t.saturating_duration_since(self.measure_base);
-        Ok(FailoverRecord {
-            failed_at: rel(failed_at),
-            detected_at: rel(detected_at),
-            resumed_at: rel(self.clock),
-            resumed_from_checkpoint: self.seq,
-            packets_lost: switch.packets_discarded,
-            ops_lost,
-            devices_switched: switch.devices_switched,
-        })
-    }
-}
-
+/// Runs the figures' "Xen" baseline: the workload on a bare primary, no
+/// replication, no checkpoints, no buffering.
 fn run_unprotected(scenario: Scenario) -> RunReport {
     let Scenario {
         name,
@@ -769,8 +318,7 @@ fn run_unprotected(scenario: Scenario) -> RunReport {
         let progress = workload.advance(clock, slice, vm, &mut rng);
         ops += progress.ops;
         for emission in progress.emissions {
-            let latency =
-                client_link.transfer_time(emission.size) * 2 + CLIENT_STACK_OVERHEAD;
+            let latency = client_link.transfer_time(emission.size) * 2 + CLIENT_STACK_OVERHEAD;
             latencies.observe(latency.as_secs_f64());
         }
         clock += slice;
@@ -787,6 +335,7 @@ fn run_unprotected(scenario: Scenario) -> RunReport {
         throughput_ops_per_sec: ops / secs,
         migration: None,
         checkpoints: Vec::new(),
+        stage_events: Vec::new(),
         period_series: TimeSeries::new("period_secs"),
         degradation_series: TimeSeries::new("degradation_pct"),
         packet_latencies: latencies,
@@ -799,283 +348,9 @@ fn run_unprotected(scenario: Scenario) -> RunReport {
     }
 }
 
-fn run_replicated(scenario: Scenario) -> CoreResult<RunReport> {
-    let Scenario {
-        name,
-        memory,
-        vcpus,
-        workload,
-        protection,
-        duration,
-        seed,
-        failure,
-        stop_when_workload_done,
-        load_during_seed,
-        warmup,
-        warmup_under_load,
-        verify_consistency,
-    } = scenario;
-    let Protection::Replicated(cfg) = protection else {
-        unreachable!("run_replicated requires a replication config");
-    };
-
-    // Hosts: HERE pairs Xen with KVM/kvmtool; Remus pairs Xen with Xen.
-    let primary_box: Box<dyn Hypervisor> = Box::new(XenHypervisor::new(HOST_MEMORY));
-    let (secondary_box, translator): (Box<dyn Hypervisor>, Option<StateTranslator>) =
-        match cfg.strategy {
-            Strategy::Here => (
-                Box::new(KvmHypervisor::new(HOST_MEMORY)),
-                Some(StateTranslator::new(HypervisorKind::Xen, HypervisorKind::Kvm)?),
-            ),
-            Strategy::Remus => (Box::new(XenHypervisor::new(HOST_MEMORY)), None),
-        };
-    let mut primary = primary_box;
-    let mut secondary = secondary_box;
-
-    // Platform reconciliation (§5.3): the VM boots with the intersection of
-    // both hosts' CPUID policies, so it can resume anywhere.
-    let contract = reconcile(&primary.default_cpuid(), &secondary.default_cpuid());
-    let vm_cfg = VmConfig::new(name.clone(), memory, vcpus)
-        .map_err(CoreError::Hypervisor)?
-        .with_cpuid(contract.cpuid);
-    let pvm = primary.create_vm(vm_cfg.clone())?;
-    let rvm = secondary.create_shell(vm_cfg)?;
-    primary.vm_mut(pvm)?.dirty_mut().enable_logging();
-
-    let threads = cfg.effective_threads(vcpus);
-    let period = PeriodManager::new(cfg.period);
-    let mut session = Session {
-        clock: SimTime::ZERO,
-        rng: SimRng::seed_from(seed).fork("workload"),
-        primary,
-        secondary,
-        pvm,
-        rvm,
-        translator,
-        threads,
-        period,
-        devmgr: DeviceManager::new(),
-        repl_link: Link::omni_path_100g(),
-        client_link: Link::ethernet_10g(),
-        workload,
-        idle_filler: IdleGuest::new(),
-        workload_started: false,
-        load_during_seed,
-        workload_now_base: SimTime::ZERO,
-        measure_base: SimTime::ZERO,
-        buffering: false,
-        verify_consistency,
-        consistency_checks: 0,
-        seq: 0,
-        ops_committed: 0.0,
-        ops_uncommitted: 0.0,
-        disturbance_debt: SimDuration::ZERO,
-        cpu_work: SimDuration::ZERO,
-        max_ckpt_pages: 0,
-        checkpoints: Vec::new(),
-        period_series: TimeSeries::new("period_secs"),
-        degradation_series: TimeSeries::new("degradation_pct"),
-        latencies: Histogram::new(),
-        cfg,
-    };
-
-    // Phase 1: seeding.
-    let migration = session.seed()?;
-
-    // Application measurement starts after seeding (the benchmarks of §8
-    // run against an already-replicated VM).
-    let mut replication_start = session.clock;
-    if !session.load_during_seed {
-        session.workload_now_base = replication_start;
-    }
-    session.measure_base = replication_start;
-    session.ops_committed = 0.0;
-    session.ops_uncommitted = 0.0;
-    session.buffering = true;
-
-    // Optional warmup: replicate the idle guest without recording, then
-    // reset. The real workload starts only when measurement does, so
-    // bounded workloads and phase schedules are untouched by warmup.
-    if !warmup.is_zero() {
-        if warmup_under_load {
-            session.workload_started = true;
-        }
-        let warmup_end = replication_start + warmup;
-        while session.clock < warmup_end {
-            let t = session.period.current();
-            let epoch_end = (session.clock + t).min(warmup_end);
-            session.advance(
-                epoch_end.saturating_duration_since(session.clock),
-                false,
-            );
-            session.do_checkpoint(t)?;
-            // Bounded workloads cycle during warmup so the dirty pressure
-            // the controller converges against never drops out.
-            if session.workload.is_done() {
-                session.workload.reset();
-            }
-        }
-        // Measurement starts on a fresh workload run.
-        session.workload.reset();
-        session.checkpoints.clear();
-        session.period_series = TimeSeries::new("period_secs");
-        session.degradation_series = TimeSeries::new("degradation_pct");
-        session.latencies = Histogram::new();
-        session.ops_committed = 0.0;
-        session.ops_uncommitted = 0.0;
-        session.cpu_work = SimDuration::ZERO;
-        session.max_ckpt_pages = 0;
-        replication_start = session.clock;
-        session.measure_base = replication_start;
-        session.workload_now_base = replication_start;
-    }
-    session.workload_started = true;
-    let end = replication_start + duration;
-
-    let mut failover_record = None;
-    let mut plan = failure;
-
-    // Phase 2: continuous replication.
-    'outer: while session.clock < end {
-        let t = session.period.current();
-        let epoch_end = (session.clock + t).min(end);
-
-        // A failure inside this epoch interrupts it. A failure instant
-        // that fell within the previous checkpoint's pause fires now, at
-        // the first moment the simulation can observe it.
-        if let Some(p) = &plan {
-            let fire_at = replication_start + p.at.saturating_duration_since(SimTime::ZERO);
-            if fire_at < epoch_end {
-                let run_for = fire_at.saturating_duration_since(session.clock);
-                session.advance(run_for, false);
-                let plan_taken = plan.take().expect("plan checked above");
-                let downed = apply_cause(&plan_taken.cause, session.primary.as_mut());
-                if downed {
-                    let record = session.failover(session.clock)?;
-                    session.clock = record.resumed_at;
-                    failover_record = Some(record);
-                    // Service continues on the (now unreplicated) replica.
-                    if plan_taken.reattack_secondary {
-                        if let FailureCause::Exploit(e) = &plan_taken.cause {
-                            let result = e.launch(session.secondary.as_mut());
-                            if matches!(result, ExploitResult::HostDown(_)) {
-                                // Homogeneous replication loses here: the
-                                // same exploit kills the replica too.
-                                break 'outer;
-                            }
-                        }
-                    }
-                    run_on_replica(&mut session, end, stop_when_workload_done)?;
-                    break 'outer;
-                }
-                // Exploit repelled or guest-only: the epoch continues.
-                continue 'outer;
-            }
-        }
-
-        session.advance(
-            epoch_end.saturating_duration_since(session.clock),
-            stop_when_workload_done,
-        );
-        session.do_checkpoint(t)?;
-        if stop_when_workload_done && session.workload.is_done() {
-            break;
-        }
-    }
-
-    let elapsed = session.clock.saturating_duration_since(replication_start);
-    let secs = elapsed.as_secs_f64().max(f64::MIN_POSITIVE);
-    let bitmap_bytes = session
-        .primary
-        .vm(session.pvm)
-        .map(|vm| vm.memory().num_pages() / 8)
-        .unwrap_or(0);
-    // The staging buffer holds full page payloads for the round in
-    // flight, windowed at 256 MiB (the engine recycles chunk buffers).
-    let staging_pages = session.max_ckpt_pages.min(65_536);
-    let rss = ByteSize::from_mib(session.cfg.costs.rss_base_mib)
-        + ByteSize::from_bytes(staging_pages * PAGE_SIZE)
-        + ByteSize::from_bytes(bitmap_bytes)
-        + session.devmgr.io().high_watermark();
-    let cpu_core_pct = session.cpu_work.as_secs_f64() / secs * 100.0;
-    let ops_completed = session.ops_committed + session.ops_uncommitted;
-    Ok(RunReport {
-        name,
-        elapsed,
-        ops_completed,
-        throughput_ops_per_sec: ops_completed / secs,
-        migration: Some(migration),
-        checkpoints: session.checkpoints,
-        period_series: session.period_series,
-        degradation_series: session.degradation_series,
-        packet_latencies: session.latencies,
-        failover: failover_record,
-        resources: ResourceUsage { cpu_core_pct, rss },
-        consistency_checks: session.consistency_checks,
-    })
-}
-
-/// After a failover the workload continues on the activated replica,
-/// unreplicated (the secondary has no further peer).
-fn run_on_replica(
-    session: &mut Session,
-    end: SimTime,
-    stop_when_workload_done: bool,
-) -> CoreResult<()> {
-    session.buffering = false;
-    while session.clock < end {
-        let slice = end
-            .saturating_duration_since(session.clock)
-            .clamp(SimDuration::ZERO, MAX_SLICE);
-        let vm = session.secondary.vm_mut(session.rvm)?;
-        let wnow = SimTime::ZERO
-            + session
-                .clock
-                .saturating_duration_since(session.workload_now_base);
-        let progress = session.workload.advance(wnow, slice, vm, &mut session.rng);
-        session.ops_committed += progress.ops;
-        for emission in progress.emissions {
-            let latency = session.client_link.transfer_time(emission.size) * 2
-                + CLIENT_STACK_OVERHEAD;
-            session.latencies.observe(latency.as_secs_f64());
-        }
-        session.clock += slice;
-        if stop_when_workload_done && session.workload.is_done() {
-            break;
-        }
-    }
-    Ok(())
-}
-
-/// Applies a failure cause to the primary; returns `true` if the host went
-/// down.
-fn apply_cause(cause: &FailureCause, primary: &mut dyn Hypervisor) -> bool {
-    match cause {
-        FailureCause::Exploit(e) => {
-            matches!(e.launch(primary), ExploitResult::HostDown(_))
-        }
-        FailureCause::Accident(outcome) => {
-            primary.inject_dos(*outcome);
-            true
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use here_workloads::memstress::MemStress;
-
-    fn small_scenario(cfg: ReplicationConfig) -> Scenario {
-        Scenario::builder()
-            .vm_memory_mib(64)
-            .vcpus(4)
-            .workload(Box::new(MemStress::with_percent(30).with_rate(20_000)))
-            .config(cfg)
-            .duration(SimDuration::from_secs(30))
-            .build()
-            .unwrap()
-    }
 
     #[test]
     fn builder_validates() {
@@ -1088,104 +363,24 @@ mod tests {
     }
 
     #[test]
-    fn fixed_period_checkpoints_at_the_configured_rate() {
-        let report =
-            small_scenario(ReplicationConfig::fixed_period(SimDuration::from_secs(3))).run();
-        // 30 s at T = 3 s → ~10 checkpoints (pauses stretch epochs a bit).
-        assert!(
-            (8..=11).contains(&report.checkpoints.len()),
-            "got {}",
-            report.checkpoints.len()
-        );
-        for c in &report.checkpoints {
-            assert_eq!(c.period, SimDuration::from_secs(3));
-            assert!(c.dirty_pages > 0);
-        }
-        assert!(report.migration.is_some());
+    fn default_name_combines_workload_and_memory() {
+        let s = Scenario::builder().build().unwrap();
+        assert!(s.name.contains("idle"), "got {}", s.name);
     }
 
     #[test]
-    fn replica_memory_matches_primary_after_run() {
-        // White-box check through a bespoke session is complex; instead
-        // verify via ops accounting that checkpoints committed work.
-        let report =
-            small_scenario(ReplicationConfig::fixed_period(SimDuration::from_secs(2))).run();
-        assert!(report.ops_completed > 0.0);
-        assert!(report.throughput_ops_per_sec > 0.0);
-    }
-
-    #[test]
-    fn remus_pauses_longer_than_here() {
-        let here =
-            small_scenario(ReplicationConfig::fixed_period(SimDuration::from_secs(3))).run();
-        let remus = small_scenario(ReplicationConfig::remus(SimDuration::from_secs(3))).run();
-        let hp = here.mean_pause().unwrap();
-        let rp = remus.mean_pause().unwrap();
-        assert!(
-            rp > hp,
-            "remus pause {rp} should exceed here pause {hp}"
-        );
-    }
-
-    #[test]
-    fn dynamic_manager_shrinks_period_under_light_load() {
-        let scenario = Scenario::builder()
+    fn unprotected_run_has_no_replication_artifacts() {
+        let report = Scenario::builder()
             .vm_memory_mib(64)
-            .vcpus(4)
-            .workload(Box::new(MemStress::with_percent(5).with_rate(500)))
-            .config(ReplicationConfig::dynamic(0.3, SimDuration::from_secs(3)))
-            .duration(SimDuration::from_secs(120))
-            .build()
-            .unwrap();
-        let report = scenario.run();
-        let last_period = report.period_series.last().unwrap().1;
-        assert!(
-            last_period < 1.0,
-            "period should shrink toward sigma, got {last_period}"
-        );
-    }
-
-    #[test]
-    fn unprotected_baseline_outruns_replicated() {
-        let baseline = Scenario::builder()
-            .vm_memory_mib(64)
-            .vcpus(4)
-            .workload(Box::new(MemStress::with_percent(30).with_rate(20_000)))
+            .vcpus(2)
             .unprotected()
-            .duration(SimDuration::from_secs(30))
+            .duration(SimDuration::from_secs(5))
             .build()
             .unwrap()
             .run();
-        let replicated =
-            small_scenario(ReplicationConfig::remus(SimDuration::from_secs(1))).run();
-        assert!(baseline.throughput_ops_per_sec > replicated.throughput_ops_per_sec);
-        assert!(baseline.checkpoints.is_empty());
-    }
-
-    #[test]
-    fn accident_triggers_failover_with_short_resumption() {
-        let scenario = Scenario::builder()
-            .vm_memory_mib(64)
-            .vcpus(2)
-            .workload(Box::new(MemStress::with_percent(20).with_rate(5_000)))
-            .config(ReplicationConfig::fixed_period(SimDuration::from_secs(2)))
-            .duration(SimDuration::from_secs(30))
-            .failure(FailurePlan {
-                at: SimTime::from_secs(10),
-                cause: FailureCause::Accident(DosOutcome::Crash),
-                reattack_secondary: false,
-            })
-            .build()
-            .unwrap();
-        let report = scenario.run();
-        let fo = report.failover.expect("failover must have happened");
-        // kvmtool activation + device switch + state load ≈ 10 ms.
-        let resumption = fo.resumption_time();
-        assert!(
-            resumption < SimDuration::from_millis(15),
-            "resumption {resumption}"
-        );
-        assert!(fo.devices_switched == 3);
-        assert!(report.ops_completed > 0.0);
+        assert!(report.migration.is_none());
+        assert!(report.checkpoints.is_empty());
+        assert!(report.stage_events.is_empty());
+        assert!(report.failover.is_none());
     }
 }

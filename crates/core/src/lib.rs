@@ -14,7 +14,16 @@
 //! - [`failover`]: heartbeat-based detection and replica activation;
 //! - [`engine`]: [`Scenario`](engine::Scenario) — the public API tying the
 //!   whole stack together;
-//! - [`report`]: the measurements each run produces.
+//! - [`session`]: the live session — shared run state and its phase FSM;
+//! - [`migrate`]: the seeding phase (iterative pre-copy live migration);
+//! - [`checkpoint`]: the continuous phase — the epoch loop;
+//! - [`pipeline`]: the staged checkpoint pipeline
+//!   (Pause → Harvest → Translate → Transfer → Ack → Resume) and the
+//!   pluggable [`ReplicationStrategy`](pipeline::ReplicationStrategy);
+//! - [`trace`]: structured [`StageEvent`](trace::StageEvent)s emitted at
+//!   every stage boundary;
+//! - [`report`]: the measurements each run produces, derived from the
+//!   stage trace.
 //!
 //! ## Example
 //!
@@ -36,13 +45,18 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod checkpoint;
 pub mod config;
 pub mod devmgr;
 pub mod engine;
 pub mod error;
 pub mod failover;
+pub mod migrate;
 pub mod period;
+pub mod pipeline;
 pub mod report;
+pub mod session;
+pub mod trace;
 pub mod transfer;
 
 pub use config::{CostModel, PeriodPolicy, ReplicationConfig, Strategy};
@@ -50,4 +64,6 @@ pub use engine::{FailureCause, FailurePlan, Scenario, ScenarioBuilder};
 pub use error::{CoreError, CoreResult};
 pub use failover::FailoverRecord;
 pub use period::{degradation, DynamicPeriodManager, PeriodManager};
+pub use pipeline::{HereStrategy, RemusStrategy, ReplicationStrategy};
 pub use report::{CheckpointRecord, MigrationOutcome, RunReport};
+pub use trace::{stage_totals, Stage, StageEvent, StageTrace};

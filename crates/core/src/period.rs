@@ -156,7 +156,9 @@ impl DynamicPeriodManager {
             self.t = if self.t_max == SimDuration::MAX {
                 (self.t * 2).round_to(self.sigma).max(self.sigma)
             } else {
-                ((self.t + self.t_max) / 2).round_to(self.sigma).max(self.sigma)
+                ((self.t + self.t_max) / 2)
+                    .round_to(self.sigma)
+                    .max(self.sigma)
             };
         }
         if self.t_max != SimDuration::MAX {
@@ -220,8 +222,8 @@ mod tests {
         // t = 3 s at T = 10 s gives D_curr = 0.23 in (0.15, 0.3]: sigma step.
         m.on_checkpoint(SimDuration::from_secs(3)); // T: 10 -> 9, good
         m.on_checkpoint(SimDuration::from_secs(3)); // T: 9 -> 8, good
-        // Now a big pause at T=8: D = 8/(8+8) = 0.5 > 0.3; D_prev was good,
-        // so walk back to T_prev = 9.
+                                                    // Now a big pause at T=8: D = 8/(8+8) = 0.5 > 0.3; D_prev was good,
+                                                    // so walk back to T_prev = 9.
         let t = m.on_checkpoint(SimDuration::from_secs(8));
         assert_eq!(t, SimDuration::from_secs(9));
     }
@@ -282,9 +284,81 @@ mod tests {
     }
 
     #[test]
+    fn sustained_overshoot_clamps_at_t_max() {
+        // Even with pathological pauses the recovery jump can never push
+        // T past the hard cap: the midpoint of (T, T_max) rounded up to a
+        // sigma multiple is re-clamped to T_max.
+        let mut m = mgr(0.2, 10);
+        for _ in 0..20 {
+            let t = m.on_checkpoint(SimDuration::from_secs(1_000));
+            assert!(t <= SimDuration::from_secs(10), "T {t} exceeded T_max");
+        }
+        // With every checkpoint over budget the controller parks at T_max.
+        assert_eq!(m.current(), SimDuration::from_secs(10));
+    }
+
+    #[test]
+    fn far_below_target_descends_multiplicatively() {
+        // D_curr <= D/2 takes the fast path: T halves (rounded to sigma)
+        // instead of stepping by sigma.
+        let mut m = mgr(0.4, 24);
+        assert_eq!(
+            m.on_checkpoint(SimDuration::from_millis(1)),
+            SimDuration::from_secs(12)
+        );
+        assert_eq!(
+            m.on_checkpoint(SimDuration::from_millis(1)),
+            SimDuration::from_secs(6)
+        );
+        assert_eq!(
+            m.on_checkpoint(SimDuration::from_millis(1)),
+            SimDuration::from_secs(3)
+        );
+        // Just above D/2 leaves the fast path: a single sigma step.
+        // t = 1 s at T = 3 s gives D_curr = 0.25, in (0.2, 0.4].
+        assert_eq!(
+            m.on_checkpoint(SimDuration::from_secs(1)),
+            SimDuration::from_secs(2)
+        );
+    }
+
+    #[test]
+    fn converges_from_t_max_within_logarithmic_checkpoints() {
+        // Starting at the conservative T = T_max, a stable pause function
+        // must bring the controller into the equilibrium band in a handful
+        // of checkpoints (the multiplicative fast path), not the hundreds
+        // a pure sigma descent would need from 25 s at sigma = 250 ms.
+        let mut m = DynamicPeriodManager::new(
+            0.3,
+            SimDuration::from_secs(25),
+            SimDuration::from_millis(250),
+        );
+        assert_eq!(m.current(), SimDuration::from_secs(25));
+        let pause = SimDuration::from_millis(900); // equilibrium T* = 2.1 s
+        let mut reached_at = None;
+        for i in 0..30 {
+            let t = m.on_checkpoint(pause);
+            if reached_at.is_none() && (1.5..3.2).contains(&t.as_secs_f64()) {
+                reached_at = Some(i + 1);
+            }
+        }
+        let reached_at = reached_at.expect("controller never reached the equilibrium band");
+        assert!(reached_at <= 10, "took {reached_at} checkpoints");
+        // And it stays there once load is stable.
+        for _ in 0..50 {
+            m.on_checkpoint(pause);
+        }
+        let t = m.current().as_secs_f64();
+        assert!((1.5..3.2).contains(&t), "drifted to {t}");
+    }
+
+    #[test]
     fn fixed_manager_never_moves() {
         let mut m = PeriodManager::new(PeriodPolicy::Fixed(SimDuration::from_secs(8)));
-        assert_eq!(m.on_checkpoint(SimDuration::from_secs(100)), SimDuration::from_secs(8));
+        assert_eq!(
+            m.on_checkpoint(SimDuration::from_secs(100)),
+            SimDuration::from_secs(8)
+        );
         assert_eq!(m.current(), SimDuration::from_secs(8));
     }
 }

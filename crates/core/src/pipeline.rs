@@ -1,0 +1,476 @@
+//! The staged checkpoint pipeline and the pluggable replication strategy.
+//!
+//! Continuous replication advances one checkpoint at a time through six
+//! explicit, typed stages (§3.2):
+//!
+//! ```text
+//! Pause → Harvest → Translate → Transfer → Ack → Resume
+//! ```
+//!
+//! Each stage is a typestate token ([`Paused`], [`Harvested`], …) that
+//! owns the session borrow, so stages cannot be skipped or reordered at
+//! compile time. Crossing a stage boundary emits one
+//! [`StageEvent`](crate::trace::StageEvent) and advances virtual time by
+//! that stage's share of the pause model `t = αN/P + C` (Eq. 4): the
+//! strategy's extra constant for *Pause*, the parallel scan `αN/P` for
+//! *Harvest*, the constant `C` for *Translate*, the wire term for
+//! *Transfer*, and one replication-link RTT for *Ack*. The sum of the
+//! pause-counting stages therefore equals
+//! [`CostModel::checkpoint_pause`] exactly — stage attribution can never
+//! drift from the total.
+//!
+//! Everything Remus and HERE do *differently* lives behind
+//! [`ReplicationStrategy`]: the secondary-host pairing, the transfer
+//! thread policy, the seeding setup cost, problematic-page tracking, and
+//! the per-checkpoint extra constant. The pipeline itself is
+//! strategy-agnostic.
+
+use std::fmt;
+
+use bytes::Bytes;
+use here_hypervisor::host::Hypervisor;
+use here_hypervisor::kind::HypervisorKind;
+use here_hypervisor::{KvmHypervisor, XenHypervisor, PAGE_SIZE};
+use here_sim_core::rate::ByteSize;
+use here_sim_core::time::SimDuration;
+use here_vmstate::translate::StateTranslator;
+use here_vmstate::MemoryDelta;
+
+use crate::config::{CostModel, Strategy};
+use crate::error::CoreResult;
+use crate::session::Session;
+use crate::trace::Stage;
+use crate::transfer::{collect_chunked, ProblematicTracker};
+
+/// The replication-scheme plug point: everything that distinguishes the
+/// Remus baseline from HERE, factored out of the engine.
+///
+/// The checkpoint pipeline, seeding migration and session setup call
+/// these hooks instead of matching on [`Strategy`], so adding a scheme
+/// means implementing this trait — not editing the engine.
+pub trait ReplicationStrategy: fmt::Debug + Sync {
+    /// Human-readable scheme name.
+    fn name(&self) -> &'static str;
+
+    /// The [`Strategy`] tag this implementation realises.
+    fn kind(&self) -> Strategy;
+
+    /// Builds the secondary host and, for heterogeneous pairs, the state
+    /// translator between the two hypervisors' native formats.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the translator cannot be constructed for the pairing.
+    fn make_secondary(
+        &self,
+        host_memory: ByteSize,
+    ) -> CoreResult<(Box<dyn Hypervisor>, Option<StateTranslator>)>;
+
+    /// The transfer thread count the data plane will use for a VM with
+    /// `vcpus` vCPUs, given the configured override.
+    fn effective_threads(&self, configured: Option<u32>, vcpus: u32) -> u32;
+
+    /// One-time cost paid before the seeding migration starts (HERE's
+    /// thread-pool and per-vCPU PML ring setup; zero for Remus).
+    fn migration_setup(&self, costs: &CostModel) -> SimDuration;
+
+    /// Feeds one pre-copy round's delta into the problematic-page tracker
+    /// (§7.2). Remus has a single migration stream, so nothing is ever
+    /// problematic; HERE records each page's sending thread.
+    fn track_problematic(&self, tracker: &mut ProblematicTracker, delta: &MemoryDelta);
+
+    /// Extra constant this scheme pays in the *Pause* stage of every
+    /// checkpoint (Remus re-enters its toolstack; HERE keeps a persistent
+    /// session).
+    fn pause_extra(&self, costs: &CostModel) -> SimDuration;
+}
+
+/// The Remus baseline: homogeneous Xen → Xen pair, single-threaded data
+/// plane, toolstack re-entry on every checkpoint.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RemusStrategy;
+
+impl ReplicationStrategy for RemusStrategy {
+    fn name(&self) -> &'static str {
+        "remus"
+    }
+
+    fn kind(&self) -> Strategy {
+        Strategy::Remus
+    }
+
+    fn make_secondary(
+        &self,
+        host_memory: ByteSize,
+    ) -> CoreResult<(Box<dyn Hypervisor>, Option<StateTranslator>)> {
+        Ok((Box::new(XenHypervisor::new(host_memory)), None))
+    }
+
+    fn effective_threads(&self, _configured: Option<u32>, _vcpus: u32) -> u32 {
+        1
+    }
+
+    fn migration_setup(&self, _costs: &CostModel) -> SimDuration {
+        SimDuration::ZERO
+    }
+
+    fn track_problematic(&self, _tracker: &mut ProblematicTracker, _delta: &MemoryDelta) {}
+
+    fn pause_extra(&self, costs: &CostModel) -> SimDuration {
+        costs.remus_extra_const
+    }
+}
+
+/// HERE: heterogeneous Xen → KVM/kvmtool pair with state translation,
+/// per-vCPU seeding threads and round-robin chunk workers.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HereStrategy;
+
+impl ReplicationStrategy for HereStrategy {
+    fn name(&self) -> &'static str {
+        "here"
+    }
+
+    fn kind(&self) -> Strategy {
+        Strategy::Here
+    }
+
+    fn make_secondary(
+        &self,
+        host_memory: ByteSize,
+    ) -> CoreResult<(Box<dyn Hypervisor>, Option<StateTranslator>)> {
+        Ok((
+            Box::new(KvmHypervisor::new(host_memory)),
+            Some(StateTranslator::new(
+                HypervisorKind::Xen,
+                HypervisorKind::Kvm,
+            )?),
+        ))
+    }
+
+    fn effective_threads(&self, configured: Option<u32>, vcpus: u32) -> u32 {
+        configured.unwrap_or(vcpus).max(1)
+    }
+
+    fn migration_setup(&self, costs: &CostModel) -> SimDuration {
+        costs.here_migration_setup
+    }
+
+    fn track_problematic(&self, tracker: &mut ProblematicTracker, delta: &MemoryDelta) {
+        // Per-vCPU migrator threads: pages are sent by the thread of the
+        // vCPU that last wrote them; pages that hop between threads across
+        // rounds become problematic (§7.2).
+        for &(page, rec) in delta.entries() {
+            tracker.record(page, rec.last_writer);
+        }
+    }
+
+    fn pause_extra(&self, _costs: &CostModel) -> SimDuration {
+        SimDuration::ZERO
+    }
+}
+
+static REMUS: RemusStrategy = RemusStrategy;
+static HERE: HereStrategy = HereStrategy;
+
+/// The runtime strategy object for a [`Strategy`] tag.
+pub fn runtime(strategy: Strategy) -> &'static dyn ReplicationStrategy {
+    match strategy {
+        Strategy::Remus => &REMUS,
+        Strategy::Here => &HERE,
+    }
+}
+
+/// What one completed trip through the pipeline produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointSummary {
+    /// The checkpoint's sequence number.
+    pub seq: u64,
+    /// Dirty pages copied.
+    pub pages: u64,
+    /// The VM-visible pause `t` (sum of the pause-counting stages).
+    pub pause: SimDuration,
+}
+
+/// Starts a checkpoint: bumps the sequence number, pauses the VM, pays
+/// the strategy's extra constant, and emits the *Pause* event.
+pub(crate) fn begin(session: &mut Session) -> CoreResult<Paused<'_>> {
+    session.seq += 1;
+    let seq = session.seq;
+    let paused_at = session.clock;
+    session.primary.vm_mut(session.pvm)?.pause()?;
+    let extra = session.strategy.pause_extra(&session.cfg.costs);
+    session.record_stage(seq, Stage::Pause, paused_at, extra, 0, 0);
+    session.clock += extra;
+    Ok(Paused {
+        session,
+        seq,
+        pause: extra,
+    })
+}
+
+/// Stage token: the VM is paused; dirty pages have not been collected yet.
+pub struct Paused<'s> {
+    session: &'s mut Session,
+    seq: u64,
+    pause: SimDuration,
+}
+
+impl<'s> Paused<'s> {
+    /// *Harvest*: snapshot-and-clear the dirty bitmap, collect the dirty
+    /// pages with the chunk workers, and pay the parallel scan `αN/P`.
+    pub(crate) fn harvest(self) -> CoreResult<Harvested<'s>> {
+        let Paused {
+            session,
+            seq,
+            mut pause,
+        } = self;
+        let snapshot = session.take_dirty_snapshot();
+        let delta = {
+            let vm = session.primary.vm(session.pvm)?;
+            collect_chunked(vm.memory(), &snapshot, session.threads)
+        };
+        let pages = delta.len() as u64;
+        let scan = session.cfg.costs.checkpoint_scan(pages, session.threads);
+        let at = session.clock;
+        session.record_stage(seq, Stage::Harvest, at, scan, pages, pages * PAGE_SIZE);
+        session.clock += scan;
+        pause += scan;
+        Ok(Harvested {
+            session,
+            seq,
+            pause,
+            delta,
+            pages,
+        })
+    }
+}
+
+/// Stage token: dirty pages are collected; state has not been encoded.
+pub struct Harvested<'s> {
+    session: &'s mut Session,
+    seq: u64,
+    pause: SimDuration,
+    delta: MemoryDelta,
+    pages: u64,
+}
+
+impl<'s> Harvested<'s> {
+    /// *Translate*: capture vCPU/device state, translate it to the common
+    /// format and encode the checkpoint stream, paying the constant `C`.
+    pub(crate) fn translate(self) -> CoreResult<Translated<'s>> {
+        let Harvested {
+            session,
+            seq,
+            mut pause,
+            delta,
+            pages,
+        } = self;
+        let stream = session.encode_checkpoint(&delta, seq)?;
+        let cost = session.cfg.costs.checkpoint_const;
+        let at = session.clock;
+        session.record_stage(seq, Stage::Translate, at, cost, pages, stream.len() as u64);
+        session.clock += cost;
+        pause += cost;
+        Ok(Translated {
+            session,
+            seq,
+            pause,
+            stream,
+            pages,
+        })
+    }
+}
+
+/// Stage token: the checkpoint stream is encoded but not yet shipped.
+pub struct Translated<'s> {
+    session: &'s mut Session,
+    seq: u64,
+    pause: SimDuration,
+    stream: Bytes,
+    pages: u64,
+}
+
+impl<'s> Translated<'s> {
+    /// *Transfer*: decode the stream on the replica and install it,
+    /// paying the per-page wire cost. Verifies replica/primary equality
+    /// when the scenario asks for it.
+    pub(crate) fn transfer(self) -> CoreResult<Transferred<'s>> {
+        let Translated {
+            session,
+            seq,
+            mut pause,
+            stream,
+            pages,
+        } = self;
+        let bytes = stream.len() as u64;
+        session.apply_checkpoint(stream, seq)?;
+        if session.verify_consistency {
+            session.assert_replica_matches_primary(seq)?;
+            session.consistency_checks += 1;
+        }
+        let wire = session.cfg.costs.checkpoint_wire(pages);
+        let at = session.clock;
+        session.record_stage(seq, Stage::Transfer, at, wire, pages, bytes);
+        session.clock += wire;
+        pause += wire;
+        Ok(Transferred {
+            session,
+            seq,
+            pause,
+            pages,
+        })
+    }
+}
+
+/// Stage token: the replica holds the checkpoint; the ack is outstanding.
+pub struct Transferred<'s> {
+    session: &'s mut Session,
+    seq: u64,
+    pause: SimDuration,
+    pages: u64,
+}
+
+impl<'s> Transferred<'s> {
+    /// *Ack*: one replication-link RTT, then commit — buffered output is
+    /// released to the client. The ack overlaps the resume path, so it
+    /// does not count toward the VM-visible pause.
+    pub(crate) fn ack(self) -> Acked<'s> {
+        let Transferred {
+            session,
+            seq,
+            pause,
+            pages,
+        } = self;
+        let rtt = session.repl_link.rtt();
+        let at = session.clock;
+        session.record_stage(seq, Stage::Ack, at, rtt, 0, 0);
+        session.clock += rtt;
+        session.commit();
+        Acked {
+            session,
+            seq,
+            pause,
+            pages,
+        }
+    }
+}
+
+/// Stage token: the checkpoint is committed; the VM is still paused.
+pub struct Acked<'s> {
+    session: &'s mut Session,
+    seq: u64,
+    pause: SimDuration,
+    pages: u64,
+}
+
+impl Acked<'_> {
+    /// *Resume*: the VM runs again, carrying the post-pause disturbance
+    /// debt (§8.6).
+    pub(crate) fn resume(self) -> CoreResult<CheckpointSummary> {
+        let Acked {
+            session,
+            seq,
+            pause,
+            pages,
+        } = self;
+        session.primary.vm_mut(session.pvm)?.resume()?;
+        session.disturbance_debt += session.cfg.costs.pause_disturbance;
+        let at = session.clock;
+        session.record_stage(seq, Stage::Resume, at, SimDuration::ZERO, 0, 0);
+        Ok(CheckpointSummary { seq, pages, pause })
+    }
+}
+
+macro_rules! opaque_debug {
+    ($($token:ident),*) => {$(
+        impl fmt::Debug for $token<'_> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.debug_struct(stringify!($token))
+                    .field("seq", &self.seq)
+                    .finish_non_exhaustive()
+            }
+        }
+    )*};
+}
+opaque_debug!(Paused, Harvested, Translated, Transferred, Acked);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runtime_maps_tags_to_strategies() {
+        assert_eq!(runtime(Strategy::Remus).kind(), Strategy::Remus);
+        assert_eq!(runtime(Strategy::Here).kind(), Strategy::Here);
+        assert_eq!(runtime(Strategy::Remus).name(), "remus");
+        assert_eq!(runtime(Strategy::Here).name(), "here");
+    }
+
+    #[test]
+    fn remus_is_single_threaded_and_pays_the_toolstack_tax() {
+        let costs = CostModel::default();
+        let remus = runtime(Strategy::Remus);
+        assert_eq!(remus.effective_threads(Some(8), 4), 1);
+        assert_eq!(remus.pause_extra(&costs), costs.remus_extra_const);
+        assert_eq!(remus.migration_setup(&costs), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn here_scales_threads_with_vcpus() {
+        let costs = CostModel::default();
+        let here = runtime(Strategy::Here);
+        assert_eq!(here.effective_threads(None, 4), 4);
+        assert_eq!(here.effective_threads(Some(2), 4), 2);
+        assert_eq!(here.effective_threads(Some(0), 4), 1);
+        assert_eq!(here.pause_extra(&costs), SimDuration::ZERO);
+        assert_eq!(here.migration_setup(&costs), costs.here_migration_setup);
+    }
+
+    #[test]
+    fn secondaries_pair_per_the_paper() {
+        let (remus_sec, remus_tr) = runtime(Strategy::Remus)
+            .make_secondary(ByteSize::from_gib(16))
+            .unwrap();
+        assert_eq!(remus_sec.kind(), HypervisorKind::Xen);
+        assert!(remus_tr.is_none());
+        let (here_sec, here_tr) = runtime(Strategy::Here)
+            .make_secondary(ByteSize::from_gib(16))
+            .unwrap();
+        assert_eq!(here_sec.kind(), HypervisorKind::Kvm);
+        assert!(here_tr.is_some());
+    }
+
+    #[test]
+    fn here_tracks_problematic_pages_and_remus_does_not() {
+        use here_hypervisor::memory::PageVersion;
+        use here_hypervisor::PageId;
+        let mut delta = MemoryDelta::new();
+        delta.push(
+            PageId::new(7),
+            PageVersion {
+                version: 1,
+                last_writer: 0,
+            },
+        );
+        let mut delta2 = MemoryDelta::new();
+        delta2.push(
+            PageId::new(7),
+            PageVersion {
+                version: 2,
+                last_writer: 1,
+            },
+        );
+        let mut tracker = ProblematicTracker::new();
+        let here = runtime(Strategy::Here);
+        here.track_problematic(&mut tracker, &delta);
+        here.track_problematic(&mut tracker, &delta2);
+        assert_eq!(tracker.len(), 1);
+
+        let mut tracker = ProblematicTracker::new();
+        let remus = runtime(Strategy::Remus);
+        remus.track_problematic(&mut tracker, &delta);
+        remus.track_problematic(&mut tracker, &delta2);
+        assert!(tracker.is_empty());
+    }
+}

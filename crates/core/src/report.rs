@@ -1,5 +1,10 @@
 //! Run records — what the experiment harness consumes to regenerate the
 //! paper's tables and figures.
+//!
+//! Per-checkpoint records are not plumbed field-by-field out of the
+//! engine: they are *derived* from the [`StageEvent`]s the pipeline emits
+//! ([`CheckpointRecord::from_events`]), so the report can never disagree
+//! with the trace.
 
 use serde::{Deserialize, Serialize};
 
@@ -8,6 +13,8 @@ use here_sim_core::rate::ByteSize;
 use here_sim_core::time::{SimDuration, SimTime};
 
 use crate::failover::FailoverRecord;
+use crate::period::degradation;
+use crate::trace::{Stage, StageEvent};
 
 /// One checkpoint round.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -24,6 +31,47 @@ pub struct CheckpointRecord {
     pub dirty_pages: u64,
     /// Measured degradation `D_T = t / (t + T)`.
     pub degradation: f64,
+}
+
+impl CheckpointRecord {
+    /// Derives the record for one checkpoint from its stage events:
+    /// `paused_at` is the *Pause* event's timestamp, `pause` is the sum of
+    /// the pause-counting stage durations, `dirty_pages` comes from the
+    /// *Harvest* event, and the degradation follows from `pause` and the
+    /// epoch length `T` that preceded the checkpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `events` is empty or lacks the *Pause*/*Harvest* stages —
+    /// the pipeline always emits the full six-stage sequence.
+    pub fn from_events(period: SimDuration, events: &[StageEvent]) -> CheckpointRecord {
+        let seq = events
+            .first()
+            .expect("a checkpoint emits at least one stage event")
+            .seq;
+        debug_assert!(events.iter().all(|e| e.seq == seq));
+        let paused = events
+            .iter()
+            .find(|e| e.stage == Stage::Pause)
+            .expect("every checkpoint begins with a Pause event");
+        let harvested = events
+            .iter()
+            .find(|e| e.stage == Stage::Harvest)
+            .expect("every checkpoint harvests dirty pages");
+        let pause: SimDuration = events
+            .iter()
+            .filter(|e| e.stage.counts_toward_pause())
+            .map(|e| e.duration)
+            .sum();
+        CheckpointRecord {
+            seq,
+            paused_at: paused.at,
+            period,
+            pause,
+            dirty_pages: harvested.pages,
+            degradation: degradation(pause, period),
+        }
+    }
 }
 
 /// One pre-copy migration iteration.
@@ -77,8 +125,12 @@ pub struct RunReport {
     pub throughput_ops_per_sec: f64,
     /// The seeding migration, if replication was active.
     pub migration: Option<MigrationOutcome>,
-    /// Every checkpoint round, in order.
+    /// Every checkpoint round, in order (each derived from the stage
+    /// events via [`CheckpointRecord::from_events`]).
     pub checkpoints: Vec<CheckpointRecord>,
+    /// The raw stage trace: one [`StageEvent`] per pipeline stage of every
+    /// checkpoint, in emission order. Empty for unprotected runs.
+    pub stage_events: Vec<StageEvent>,
     /// Checkpoint period over time (Fig. 9/10 top panes).
     pub period_series: TimeSeries,
     /// Measured degradation over time (Fig. 9/10 bottom panes).
@@ -122,9 +174,18 @@ impl RunReport {
             return None;
         }
         Some(
-            self.checkpoints.iter().map(|c| c.dirty_pages as f64).sum::<f64>()
+            self.checkpoints
+                .iter()
+                .map(|c| c.dirty_pages as f64)
+                .sum::<f64>()
                 / self.checkpoints.len() as f64,
         )
+    }
+
+    /// Total time spent in each pipeline stage across the run, in stage
+    /// order — the per-stage breakdown of the pause model `t = αN/P + C`.
+    pub fn stage_breakdown(&self) -> Vec<(Stage, SimDuration)> {
+        crate::trace::stage_totals(&self.stage_events)
     }
 }
 
@@ -154,6 +215,7 @@ mod tests {
             throughput_ops_per_sec: 100.0,
             migration: None,
             checkpoints: vec![ckpt(1, 100, 2, 10), ckpt(2, 300, 2, 30)],
+            stage_events: Vec::new(),
             period_series: TimeSeries::new("period"),
             degradation_series: TimeSeries::new("deg"),
             packet_latencies: Histogram::new(),
@@ -179,6 +241,7 @@ mod tests {
             throughput_ops_per_sec: 0.0,
             migration: None,
             checkpoints: vec![],
+            stage_events: Vec::new(),
             period_series: TimeSeries::new("period"),
             degradation_series: TimeSeries::new("deg"),
             packet_latencies: Histogram::new(),
@@ -192,5 +255,34 @@ mod tests {
         assert!(report.mean_pause().is_none());
         assert!(report.mean_degradation().is_none());
         assert!(report.mean_dirty_pages().is_none());
+        assert!(report.stage_breakdown().iter().all(|&(_, d)| d.is_zero()));
+    }
+
+    #[test]
+    fn record_is_derived_from_stage_events() {
+        let mk = |stage, at_ms: u64, dur_ms, pages| StageEvent {
+            seq: 7,
+            stage,
+            at: SimTime::ZERO + SimDuration::from_millis(at_ms),
+            duration: SimDuration::from_millis(dur_ms),
+            pages,
+            bytes: pages * 4096,
+        };
+        let events = vec![
+            mk(Stage::Pause, 1000, 8, 0),
+            mk(Stage::Harvest, 1008, 40, 128),
+            mk(Stage::Translate, 1048, 4, 128),
+            mk(Stage::Transfer, 1052, 12, 128),
+            mk(Stage::Ack, 1064, 2, 0),
+            mk(Stage::Resume, 1066, 0, 0),
+        ];
+        let record = CheckpointRecord::from_events(SimDuration::from_secs(2), &events);
+        assert_eq!(record.seq, 7);
+        assert_eq!(record.paused_at, SimTime::ZERO + SimDuration::from_secs(1));
+        // The ack does not count toward the VM-visible pause.
+        assert_eq!(record.pause, SimDuration::from_millis(8 + 40 + 4 + 12));
+        assert_eq!(record.dirty_pages, 128);
+        let expect = degradation(record.pause, record.period);
+        assert!((record.degradation - expect).abs() < 1e-12);
     }
 }

@@ -1,0 +1,539 @@
+//! The live replication session: shared mutable state, its lifecycle FSM,
+//! and the data-plane primitives the pipeline stages call.
+//!
+//! A [`Session`] owns both hosts, the protected VM and its replica, the
+//! links, the workload, and all run accounting. It moves through
+//! [`SessionPhase`]s — created → seeding → replicating →
+//! (failed-over) → completed — and every transition is asserted, so the
+//! seeding code cannot run twice and nothing checkpoints before the seed.
+//!
+//! The phase *drivers* live elsewhere: [`crate::migrate`] runs the seeding
+//! migration, [`crate::checkpoint`] runs the continuous phase through the
+//! staged pipeline of [`crate::pipeline`].
+
+use bytes::Bytes;
+
+use here_hypervisor::arch::Gpr;
+use here_hypervisor::fault::HostHealth;
+use here_hypervisor::host::Hypervisor;
+use here_hypervisor::kind::HypervisorKind;
+use here_hypervisor::vcpu::{KvmVcpuState, VcpuStateBlob, XenVcpuState};
+use here_hypervisor::vm::{VmConfig, VmId};
+use here_hypervisor::{PageId, VcpuId, XenHypervisor, PAGE_SIZE};
+use here_sim_core::metrics::{Histogram, TimeSeries};
+use here_sim_core::rate::ByteSize;
+use here_sim_core::rng::SimRng;
+use here_sim_core::time::{SimDuration, SimTime};
+use here_simnet::link::Link;
+use here_vmstate::cir::CpuStateCir;
+use here_vmstate::translate::StateTranslator;
+use here_vmstate::wire::{Record, StreamDecoder, StreamEncoder};
+use here_vmstate::{reconcile, MemoryDelta};
+use here_workloads::idle::IdleGuest;
+use here_workloads::traits::Workload;
+
+use crate::config::ReplicationConfig;
+use crate::devmgr::DeviceManager;
+use crate::error::{CoreError, CoreResult};
+use crate::failover::{detection_time, FailoverRecord};
+use crate::period::PeriodManager;
+use crate::pipeline::ReplicationStrategy;
+use crate::report::CheckpointRecord;
+use crate::trace::{Stage, StageEvent, StageTrace};
+
+/// Host memory given to each simulated server (the testbed's 192 GB).
+pub(crate) const HOST_MEMORY: ByteSize = ByteSize::from_gib(192);
+
+/// Fixed client-side stack overhead added to every packet's latency.
+pub(crate) const CLIENT_STACK_OVERHEAD: SimDuration = SimDuration::from_micros(38);
+
+/// Largest workload advance slice; bounds phase-change and emission
+/// timestamp granularity.
+pub(crate) const MAX_SLICE: SimDuration = SimDuration::from_millis(250);
+
+/// Where a replication session is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SessionPhase {
+    /// Hosts and VMs exist; nothing has been copied.
+    Created,
+    /// The seeding migration is in flight.
+    Seeding,
+    /// Continuous checkpointing protects the VM.
+    Replicating,
+    /// The primary died; service continues on the activated replica.
+    FailedOver,
+    /// The run is over; the report has been (or is being) assembled.
+    Completed,
+}
+
+impl SessionPhase {
+    /// Legal lifecycle edges.
+    fn may_enter(self, next: SessionPhase) -> bool {
+        use SessionPhase::*;
+        matches!(
+            (self, next),
+            (Created, Seeding)
+                | (Seeding, Replicating)
+                | (Replicating, FailedOver)
+                | (Replicating, Completed)
+                | (FailedOver, Completed)
+        )
+    }
+}
+
+/// Everything needed to construct a [`Session`], bundled so the builder
+/// hand-off stays readable.
+pub(crate) struct SessionSetup {
+    pub(crate) name: String,
+    pub(crate) memory: ByteSize,
+    pub(crate) vcpus: u32,
+    pub(crate) cfg: ReplicationConfig,
+    pub(crate) workload: Box<dyn Workload>,
+    pub(crate) seed: u64,
+    pub(crate) load_during_seed: bool,
+    pub(crate) verify_consistency: bool,
+}
+
+/// Everything mutable during a replicated run.
+pub(crate) struct Session {
+    pub(crate) name: String,
+    pub(crate) phase: SessionPhase,
+    pub(crate) clock: SimTime,
+    pub(crate) rng: SimRng,
+    pub(crate) primary: Box<dyn Hypervisor>,
+    pub(crate) secondary: Box<dyn Hypervisor>,
+    pub(crate) pvm: VmId,
+    pub(crate) rvm: VmId,
+    pub(crate) translator: Option<StateTranslator>,
+    pub(crate) cfg: ReplicationConfig,
+    pub(crate) strategy: &'static dyn ReplicationStrategy,
+    pub(crate) threads: u32,
+    pub(crate) period: PeriodManager,
+    pub(crate) devmgr: DeviceManager,
+    pub(crate) repl_link: Link,
+    pub(crate) client_link: Link,
+    pub(crate) workload: Box<dyn Workload>,
+    pub(crate) idle_filler: IdleGuest,
+    pub(crate) workload_started: bool,
+    pub(crate) load_during_seed: bool,
+    pub(crate) workload_now_base: SimTime,
+    pub(crate) measure_base: SimTime,
+    pub(crate) buffering: bool,
+    pub(crate) verify_consistency: bool,
+    pub(crate) consistency_checks: u64,
+    // accounting
+    pub(crate) seq: u64,
+    pub(crate) ops_committed: f64,
+    pub(crate) ops_uncommitted: f64,
+    pub(crate) disturbance_debt: SimDuration,
+    pub(crate) cpu_work: SimDuration,
+    pub(crate) max_ckpt_pages: u64,
+    pub(crate) checkpoints: Vec<CheckpointRecord>,
+    pub(crate) trace: StageTrace,
+    pub(crate) period_series: TimeSeries,
+    pub(crate) degradation_series: TimeSeries,
+    pub(crate) latencies: Histogram,
+}
+
+impl Session {
+    /// Builds the full replicated stack: a Xen primary, the strategy's
+    /// secondary (plus translator for heterogeneous pairs), the protected
+    /// VM booted with the reconciled CPUID contract (§5.3), and its
+    /// never-run replica shell.
+    pub(crate) fn new(setup: SessionSetup) -> CoreResult<Session> {
+        let SessionSetup {
+            name,
+            memory,
+            vcpus,
+            cfg,
+            workload,
+            seed,
+            load_during_seed,
+            verify_consistency,
+        } = setup;
+        let strategy = crate::pipeline::runtime(cfg.strategy);
+
+        // Hosts: HERE pairs Xen with KVM/kvmtool; Remus pairs Xen with Xen.
+        let mut primary: Box<dyn Hypervisor> = Box::new(XenHypervisor::new(HOST_MEMORY));
+        let (mut secondary, translator) = strategy.make_secondary(HOST_MEMORY)?;
+
+        // Platform reconciliation (§5.3): the VM boots with the
+        // intersection of both hosts' CPUID policies, so it can resume
+        // anywhere.
+        let contract = reconcile(&primary.default_cpuid(), &secondary.default_cpuid());
+        let vm_cfg = VmConfig::new(name.clone(), memory, vcpus)
+            .map_err(CoreError::Hypervisor)?
+            .with_cpuid(contract.cpuid);
+        let pvm = primary.create_vm(vm_cfg.clone())?;
+        let rvm = secondary.create_shell(vm_cfg)?;
+        primary.vm_mut(pvm)?.dirty_mut().enable_logging();
+
+        let threads = cfg.effective_threads(vcpus);
+        let period = PeriodManager::new(cfg.period);
+        Ok(Session {
+            name,
+            phase: SessionPhase::Created,
+            clock: SimTime::ZERO,
+            rng: SimRng::seed_from(seed).fork("workload"),
+            primary,
+            secondary,
+            pvm,
+            rvm,
+            translator,
+            threads,
+            period,
+            devmgr: DeviceManager::new(),
+            repl_link: Link::omni_path_100g(),
+            client_link: Link::ethernet_10g(),
+            workload,
+            idle_filler: IdleGuest::new(),
+            workload_started: false,
+            load_during_seed,
+            workload_now_base: SimTime::ZERO,
+            measure_base: SimTime::ZERO,
+            buffering: false,
+            verify_consistency,
+            consistency_checks: 0,
+            seq: 0,
+            ops_committed: 0.0,
+            ops_uncommitted: 0.0,
+            disturbance_debt: SimDuration::ZERO,
+            cpu_work: SimDuration::ZERO,
+            max_ckpt_pages: 0,
+            checkpoints: Vec::new(),
+            trace: StageTrace::new(),
+            period_series: TimeSeries::new("period_secs"),
+            degradation_series: TimeSeries::new("degradation_pct"),
+            latencies: Histogram::new(),
+            cfg,
+            strategy,
+        })
+    }
+
+    /// Moves the session to `next`, asserting the edge is legal.
+    pub(crate) fn enter_phase(&mut self, next: SessionPhase) {
+        assert!(
+            self.phase.may_enter(next),
+            "invalid session transition {:?} -> {:?}",
+            self.phase,
+            next
+        );
+        self.phase = next;
+    }
+
+    /// Converts an absolute instant to report time (relative to the
+    /// measurement start).
+    pub(crate) fn rel(&self, t: SimTime) -> SimTime {
+        SimTime::ZERO + t.saturating_duration_since(self.measure_base)
+    }
+
+    /// Appends one stage event at absolute instant `at`.
+    pub(crate) fn record_stage(
+        &mut self,
+        seq: u64,
+        stage: Stage,
+        at: SimTime,
+        duration: SimDuration,
+        pages: u64,
+        bytes: u64,
+    ) {
+        let at = self.rel(at);
+        self.trace.record(StageEvent {
+            seq,
+            stage,
+            at,
+            duration,
+            pages,
+            bytes,
+        });
+    }
+
+    /// Advances the protected VM (and virtual time) by `dt`, slicing for
+    /// emission timestamps and phase changes. Returns early if the
+    /// workload completes and `stop_done` is set.
+    pub(crate) fn advance(&mut self, dt: SimDuration, stop_done: bool) {
+        let end = self.clock + dt;
+        while self.clock < end {
+            let slice = (end - self.clock).clamp(SimDuration::ZERO, MAX_SLICE);
+            // Apply pending guest-side disturbance: the workload loses this
+            // much effective CPU time after each pause (§8.6).
+            let lost = self.disturbance_debt.clamp(SimDuration::ZERO, slice);
+            self.disturbance_debt -= lost;
+            let effective = slice - lost;
+            let slice_start = self.clock;
+            let in_seed = !self.workload_started;
+            let progress = if effective.is_zero() {
+                here_workloads::traits::Progress::default()
+            } else {
+                let vm = self
+                    .primary
+                    .vm_mut(self.pvm)
+                    .expect("primary must be alive while advancing");
+                if in_seed && !self.load_during_seed {
+                    // The benchmark has not started yet; an idle guest
+                    // supplies the background dirtying the seed copies.
+                    self.idle_filler
+                        .advance(slice_start, effective, vm, &mut self.rng)
+                } else {
+                    let wnow = SimTime::ZERO
+                        + slice_start.saturating_duration_since(self.workload_now_base);
+                    self.workload.advance(wnow, effective, vm, &mut self.rng)
+                }
+            };
+            self.ops_uncommitted += progress.ops;
+            for emission in progress.emissions {
+                let at = slice_start + emission.offset;
+                if self.buffering {
+                    self.devmgr.buffer_outgoing(emission.size, at);
+                } else {
+                    let latency =
+                        self.client_link.transfer_time(emission.size) * 2 + CLIENT_STACK_OVERHEAD;
+                    self.latencies.observe(latency.as_secs_f64());
+                }
+            }
+            self.clock += slice;
+            self.tick_vcpus(slice);
+            if stop_done && self.workload.is_done() {
+                return;
+            }
+        }
+    }
+
+    /// Advances guest CPU state so checkpoints carry evolving registers.
+    fn tick_vcpus(&mut self, dt: SimDuration) {
+        let Ok(vm) = self.primary.vm_mut(self.pvm) else {
+            return;
+        };
+        let cycles = dt.as_nanos().saturating_mul(21) / 10; // 2.1 GHz
+        let ops_bits = self.ops_uncommitted as u64;
+        for vcpu in vm.vcpus_mut() {
+            vcpu.regs.tsc = vcpu.regs.tsc.wrapping_add(cycles);
+            vcpu.regs.rip = 0xffff_ffff_8100_0000 + (vcpu.regs.tsc % 0x1_0000);
+            vcpu.regs.set_gpr(Gpr::Rax, ops_bits);
+        }
+    }
+
+    /// Snapshot-and-clear the primary's dirty bitmap, returning the
+    /// snapshot; the harvest also drains the PML rings so they do not grow
+    /// without bound. Delegates to the hypervisor's harvest primitive.
+    pub(crate) fn take_dirty_snapshot(&mut self) -> here_hypervisor::dirty::DirtyBitmap {
+        self.primary
+            .snapshot_dirty(self.pvm)
+            .expect("primary must be alive at checkpoint")
+    }
+
+    /// Encodes a checkpoint stream: the delta, every vCPU's state
+    /// (translated to the common format for heterogeneous pairs), and the
+    /// device identities. This is the *send side* of the data plane — real
+    /// bytes are produced and checksummed.
+    pub(crate) fn encode_checkpoint(&self, delta: &MemoryDelta, seq: u64) -> CoreResult<Bytes> {
+        let mut enc = StreamEncoder::new();
+        enc.push(&Record::CheckpointBegin { seq });
+        enc.push(&Record::PageBatch(delta.clone()));
+        let vcpu_count = self.primary.vm(self.pvm)?.vcpus().len() as u32;
+        for i in 0..vcpu_count {
+            let blob = self.primary.get_vcpu_state(self.pvm, VcpuId::new(i))?;
+            let cir = match &self.translator {
+                Some(t) => t.decode_to_cir(&blob)?,
+                None => CpuStateCir {
+                    regs: blob.to_arch(),
+                    online: blob.is_online(),
+                },
+            };
+            enc.push(&Record::VcpuState { index: i, cir });
+        }
+        for dev in self.primary.vm(self.pvm)?.devices() {
+            enc.push(&Record::Device(dev.identity.clone()));
+        }
+        enc.push(&Record::CheckpointEnd {
+            seq,
+            pages_total: delta.len() as u64,
+        });
+        Ok(enc.finish())
+    }
+
+    /// Decodes a checkpoint stream and installs it on the replica — the
+    /// *receive side*: pages land in replica memory, vCPU state is
+    /// re-encoded in the secondary's native format, and the page count is
+    /// cross-checked against the stream trailer.
+    pub(crate) fn apply_checkpoint(&mut self, stream: Bytes, seq: u64) -> CoreResult<()> {
+        let mut dec = StreamDecoder::new(stream)?;
+        let mut pages_seen = 0u64;
+        while let Some(record) = dec.next_record()? {
+            match record {
+                Record::CheckpointBegin { .. } | Record::StreamHeader { .. } => {}
+                Record::PageBatch(batch) => {
+                    pages_seen += batch.len() as u64;
+                    let replica = self.secondary.vm_mut(self.rvm)?;
+                    for &(page, rec) in batch.entries() {
+                        replica.memory_mut().install_page(page, rec)?;
+                    }
+                }
+                Record::VcpuState { index, cir } => {
+                    let blob = match self.secondary.kind() {
+                        HypervisorKind::Xen => {
+                            VcpuStateBlob::Xen(XenVcpuState::from_arch(&cir.regs, cir.online))
+                        }
+                        HypervisorKind::Kvm => {
+                            VcpuStateBlob::Kvm(KvmVcpuState::from_arch(&cir.regs, cir.online))
+                        }
+                    };
+                    self.secondary
+                        .set_vcpu_state(self.rvm, VcpuId::new(index), blob)?;
+                }
+                Record::Device(_) => {
+                    // Identities are checked on failover; the replica's own
+                    // device set is built by the device manager then.
+                }
+                Record::CheckpointEnd { pages_total, .. } => {
+                    if pages_total != pages_seen {
+                        return Err(CoreError::InvalidScenario(format!(
+                            "checkpoint {seq}: {pages_seen} pages received, header says {pages_total}"
+                        )));
+                    }
+                }
+                Record::Ack { .. } => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Ships a delta plus vCPU/device state through the wire codec and
+    /// installs it on the replica (encode + apply in one step — the
+    /// seeding migration's stop-and-copy uses this; the continuous phase
+    /// splits it across the Translate and Transfer stages).
+    pub(crate) fn ship_checkpoint(&mut self, delta: &MemoryDelta, seq: u64) -> CoreResult<()> {
+        let stream = self.encode_checkpoint(delta, seq)?;
+        self.apply_checkpoint(stream, seq)
+    }
+
+    /// Releases buffered output at the commit instant and records client
+    /// latencies.
+    pub(crate) fn commit(&mut self) {
+        for released in self.devmgr.on_commit(self.clock) {
+            let latency = released.buffering_delay()
+                + self.client_link.transfer_time(released.packet.size) * 2
+                + CLIENT_STACK_OVERHEAD;
+            self.latencies.observe(latency.as_secs_f64());
+        }
+        self.ops_committed += self.ops_uncommitted;
+        self.ops_uncommitted = 0.0;
+    }
+
+    /// Verifies that the replica is an exact copy of the paused primary:
+    /// every page version identical, every vCPU architecturally equal.
+    pub(crate) fn assert_replica_matches_primary(&self, seq: u64) -> CoreResult<()> {
+        let primary = self.primary.vm(self.pvm)?;
+        let replica = self.secondary.vm(self.rvm)?;
+        if !primary.memory().content_equals(replica.memory()) {
+            let diff = primary.memory().diff(replica.memory(), 4);
+            return Err(CoreError::InvalidScenario(format!(
+                "checkpoint {seq}: replica memory diverged at frames {diff:?}"
+            )));
+        }
+        for (p, r) in primary.vcpus().iter().zip(replica.vcpus()) {
+            if p.regs.digest() != r.regs.digest() {
+                return Err(CoreError::InvalidScenario(format!(
+                    "checkpoint {seq}: vCPU {} state diverged",
+                    p.id.index()
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads the current content of `pages` from the primary as a delta.
+    pub(crate) fn pages_to_delta(&self, pages: &[PageId]) -> CoreResult<MemoryDelta> {
+        let vm = self.primary.vm(self.pvm)?;
+        let mut delta = MemoryDelta::new();
+        for &p in pages {
+            delta.push(p, vm.memory().page(p)?);
+        }
+        Ok(delta)
+    }
+
+    /// Installs a pre-copy round's delta directly into replica memory.
+    pub(crate) fn install_delta(&mut self, delta: &MemoryDelta, _iter: u32) -> CoreResult<()> {
+        let replica = self.secondary.vm_mut(self.rvm)?;
+        for &(page, rec) in delta.entries() {
+            replica.memory_mut().install_page(page, rec)?;
+        }
+        Ok(())
+    }
+
+    /// Handles a primary-host failure: detect, discard, switch devices,
+    /// activate.
+    pub(crate) fn failover(&mut self, failed_at: SimTime) -> CoreResult<FailoverRecord> {
+        self.enter_phase(SessionPhase::FailedOver);
+        let post_health = self.primary.health();
+        debug_assert_ne!(post_health, HostHealth::Healthy);
+        let detected_at = detection_time(&self.cfg.heartbeat, failed_at, post_health);
+        self.clock = detected_at;
+
+        // Everything since the last commit is rolled back.
+        let ops_lost = self.ops_uncommitted;
+        self.ops_uncommitted = 0.0;
+
+        let switch = {
+            let replica = self.secondary.vm_mut(self.rvm)?;
+            self.devmgr
+                .switch_devices(replica, self.translator.as_ref())
+        };
+        let activation = self.secondary.activation_latency()
+            + self.cfg.costs.device_switch
+            + self.cfg.costs.state_load;
+        self.clock += activation;
+        self.secondary.vm_mut(self.rvm)?.activate()?;
+        Ok(FailoverRecord {
+            failed_at: self.rel(failed_at),
+            detected_at: self.rel(detected_at),
+            resumed_at: self.rel(self.clock),
+            resumed_from_checkpoint: self.seq,
+            packets_lost: switch.packets_discarded,
+            ops_lost,
+            devices_switched: switch.devices_switched,
+        })
+    }
+
+    /// Closes the session and assembles the final [`RunReport`]
+    /// (throughput, resource accounting, and the collected stage trace).
+    pub(crate) fn finish(
+        mut self,
+        migration: crate::report::MigrationOutcome,
+        failover: Option<FailoverRecord>,
+        replication_start: SimTime,
+    ) -> crate::report::RunReport {
+        self.enter_phase(SessionPhase::Completed);
+        let elapsed = self.clock.saturating_duration_since(replication_start);
+        let secs = elapsed.as_secs_f64().max(f64::MIN_POSITIVE);
+        let bitmap_bytes = self
+            .primary
+            .vm(self.pvm)
+            .map(|vm| vm.memory().num_pages() / 8)
+            .unwrap_or(0);
+        // The staging buffer holds full page payloads for the round in
+        // flight, windowed at 256 MiB (the engine recycles chunk buffers).
+        let staging_pages = self.max_ckpt_pages.min(65_536);
+        let rss = ByteSize::from_mib(self.cfg.costs.rss_base_mib)
+            + ByteSize::from_bytes(staging_pages * PAGE_SIZE)
+            + ByteSize::from_bytes(bitmap_bytes)
+            + self.devmgr.io().high_watermark();
+        let cpu_core_pct = self.cpu_work.as_secs_f64() / secs * 100.0;
+        let ops_completed = self.ops_committed + self.ops_uncommitted;
+        crate::report::RunReport {
+            name: self.name,
+            elapsed,
+            ops_completed,
+            throughput_ops_per_sec: ops_completed / secs,
+            migration: Some(migration),
+            checkpoints: self.checkpoints,
+            stage_events: self.trace.into_events(),
+            period_series: self.period_series,
+            degradation_series: self.degradation_series,
+            packet_latencies: self.latencies,
+            failover,
+            resources: crate::report::ResourceUsage { cpu_core_pct, rss },
+            consistency_checks: self.consistency_checks,
+        }
+    }
+}

@@ -14,7 +14,7 @@
 //!    [`ProblematicTracker`] for mandatory resend in the final
 //!    stop-and-copy.
 //!
-//! The worker threads are real (`crossbeam::scope`); only the *reported
+//! The worker threads are real (`std::thread::scope`); only the *reported
 //! durations* come from the calibrated [`CostModel`], keeping results
 //! host-independent.
 //!
@@ -51,17 +51,14 @@ pub fn collect_chunked(memory: &GuestMemory, dirty: &DirtyBitmap, workers: u32) 
     }
     let workers = workers.min(num_chunks as u32);
     let mut lane_outputs: Vec<MemoryDelta> = Vec::with_capacity(workers as usize);
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
-            .map(|lane| {
-                s.spawn(move |_| collect_lane(memory, dirty, num_chunks, lane, workers))
-            })
+            .map(|lane| s.spawn(move || collect_lane(memory, dirty, num_chunks, lane, workers)))
             .collect();
         for h in handles {
             lane_outputs.push(h.join().expect("chunk worker must not panic"));
         }
-    })
-    .expect("crossbeam scope must not fail");
+    });
 
     // Merge lane outputs back into ascending frame order by walking chunks
     // round-robin (each lane's output is already chunk-ordered).
@@ -111,16 +108,15 @@ pub fn collect_per_vcpu(memory: &GuestMemory, harvests: &[Vec<PageId>]) -> Vec<M
             .collect();
     }
     let mut out: Vec<MemoryDelta> = Vec::with_capacity(harvests.len());
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         let handles: Vec<_> = harvests
             .iter()
-            .map(|pages| s.spawn(move |_| pages_to_delta(memory, pages)))
+            .map(|pages| s.spawn(move || pages_to_delta(memory, pages)))
             .collect();
         for h in handles {
             out.push(h.join().expect("seeding worker must not panic"));
         }
-    })
-    .expect("crossbeam scope must not fail");
+    });
     out
 }
 

@@ -117,14 +117,16 @@ pub struct ArchRegs {
 impl ArchRegs {
     /// The register file of a freshly reset x86 vCPU.
     pub fn reset_state() -> Self {
-        let mut regs = ArchRegs::default();
-        regs.rip = 0xfff0;
-        regs.rflags = 0x2;
-        regs.cs = Segment {
-            selector: 0xf000,
-            base: 0xffff_0000,
-            limit: 0xffff,
-            attributes: 0x9b,
+        let mut regs = ArchRegs {
+            rip: 0xfff0,
+            rflags: 0x2,
+            cs: Segment {
+                selector: 0xf000,
+                base: 0xffff_0000,
+                limit: 0xffff,
+                attributes: 0x9b,
+            },
+            ..ArchRegs::default()
         };
         regs.system.cr0 = 0x6000_0010;
         regs
@@ -153,7 +155,9 @@ impl ArchRegs {
         }
         mix(self.rip);
         mix(self.rflags);
-        for seg in [&self.cs, &self.ds, &self.es, &self.fs, &self.gs, &self.ss, &self.tr] {
+        for seg in [
+            &self.cs, &self.ds, &self.es, &self.fs, &self.gs, &self.ss, &self.tr,
+        ] {
             mix(seg.selector as u64);
             mix(seg.base);
             mix(seg.limit as u64);

@@ -178,7 +178,9 @@ impl RingState {
                 ..
             } => req_prod == req_cons && rsp_prod == rsp_cons,
             RingState::Vring {
-                avail_idx, used_idx, ..
+                avail_idx,
+                used_idx,
+                ..
             } => avail_idx == used_idx,
         }
     }
@@ -245,7 +247,9 @@ impl DeviceInstance {
                 *rsp_cons = rsp_cons.wrapping_add(n);
             }
             RingState::Vring {
-                avail_idx, used_idx, ..
+                avail_idx,
+                used_idx,
+                ..
             } => {
                 *avail_idx = avail_idx.wrapping_add(n as u16);
                 *used_idx = used_idx.wrapping_add(n as u16);
@@ -267,16 +271,10 @@ pub fn standard_device_set(family: HypervisorKind) -> Vec<DeviceInstance> {
         read_only: false,
     };
     vec![
-        DeviceInstance::new(
-            DeviceModel::XenPvNet.counterpart(family),
-            nic,
-        )
-        .expect("net identity matches net model"),
-        DeviceInstance::new(
-            DeviceModel::XenPvBlk.counterpart(family),
-            disk,
-        )
-        .expect("block identity matches block model"),
+        DeviceInstance::new(DeviceModel::XenPvNet.counterpart(family), nic)
+            .expect("net identity matches net model"),
+        DeviceInstance::new(DeviceModel::XenPvBlk.counterpart(family), disk)
+            .expect("block identity matches block model"),
         DeviceInstance::new(
             DeviceModel::XenConsole.counterpart(family),
             DeviceIdentity::Console,
@@ -447,7 +445,9 @@ mod tests {
         let mut dev = standard_device_set(HypervisorKind::Xen).remove(0);
         dev.complete_io(3);
         match dev.ring {
-            RingState::XenRing { req_prod, rsp_prod, .. } => {
+            RingState::XenRing {
+                req_prod, rsp_prod, ..
+            } => {
                 assert_eq!(req_prod, 3);
                 assert_eq!(rsp_prod, 3);
             }

@@ -117,7 +117,10 @@ impl DirtyBitmap {
     /// Dirty frames whose number satisfies `frame % stride == lane`; used by
     /// HERE's round-robin chunk assignment tests.
     pub fn peek_lane(&self, stride: u64, lane: u64, pages_per_chunk: u64) -> Vec<PageId> {
-        assert!(stride > 0 && pages_per_chunk > 0, "stride and chunk size must be positive");
+        assert!(
+            stride > 0 && pages_per_chunk > 0,
+            "stride and chunk size must be positive"
+        );
         self.peek()
             .into_iter()
             .filter(|p| (p.frame() / pages_per_chunk) % stride == lane)

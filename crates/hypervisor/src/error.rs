@@ -41,7 +41,10 @@ impl fmt::Display for HvError {
         match self {
             HvError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             HvError::PageOutOfRange { page, limit } => {
-                write!(f, "page {page} outside guest address space of {limit} pages")
+                write!(
+                    f,
+                    "page {page} outside guest address space of {limit} pages"
+                )
             }
             HvError::NoSuchVm(id) => write!(f, "no VM with id {id} on this host"),
             HvError::NoSuchVcpu(id) => write!(f, "no vCPU {id} in this VM"),
@@ -67,7 +70,10 @@ mod tests {
     #[test]
     fn display_messages_are_lowercase_and_informative() {
         let e = HvError::PageOutOfRange { page: 9, limit: 4 };
-        assert_eq!(e.to_string(), "page 9 outside guest address space of 4 pages");
+        assert_eq!(
+            e.to_string(),
+            "page 9 outside guest address space of 4 pages"
+        );
         let e = HvError::WrongRunState {
             op: "pause",
             state: "destroyed",

@@ -92,7 +92,10 @@ mod tests {
 
     #[test]
     fn outcome_to_health_mapping() {
-        assert_eq!(HostHealth::from_outcome(DosOutcome::Crash), HostHealth::Crashed);
+        assert_eq!(
+            HostHealth::from_outcome(DosOutcome::Crash),
+            HostHealth::Crashed
+        );
         assert_eq!(HostHealth::from_outcome(DosOutcome::Hang), HostHealth::Hung);
         assert_eq!(
             HostHealth::from_outcome(DosOutcome::Starvation),

@@ -3,6 +3,7 @@
 use here_sim_core::time::SimDuration;
 
 use crate::cpuid::CpuidPolicy;
+use crate::dirty::DirtyBitmap;
 use crate::error::{HvError, HvResult};
 use crate::fault::{DosOutcome, HostHealth};
 use crate::kind::HypervisorKind;
@@ -199,6 +200,23 @@ pub trait Hypervisor: std::fmt::Debug {
     /// running VM. kvmtool's minimal device model makes this ~6 ms; Xen's
     /// full toolstack path costs ~40 ms (Fig. 7 discussion).
     fn activation_latency(&self) -> SimDuration;
+
+    /// Atomically snapshots and clears a VM's dirty bitmap, also draining
+    /// the per-vCPU PML rings so they do not grow without bound — the
+    /// harvest primitive the checkpoint pipeline calls at every pause.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the host is down or the VM does not exist.
+    fn snapshot_dirty(&mut self, vm: VmId) -> HvResult<DirtyBitmap> {
+        let vm = self.vm_mut(vm)?;
+        let snapshot = vm.dirty().bitmap().clone();
+        vm.dirty_mut().bitmap_mut().clear();
+        for i in 0..vm.dirty().vcpu_count() {
+            let _ = vm.dirty_mut().harvest_ring(i);
+        }
+        Ok(snapshot)
+    }
 }
 
 #[cfg(test)]
@@ -249,6 +267,27 @@ mod tests {
         host.inject(DosOutcome::Starvation);
         assert!(host.vm(a).is_ok());
         assert!(!host.health().heartbeats_reliable());
+    }
+
+    #[test]
+    fn snapshot_dirty_clears_the_bitmap_and_rings() {
+        use crate::xen::XenHypervisor;
+        use crate::{PageId, VcpuId};
+        let mut host = XenHypervisor::new(ByteSize::from_gib(16));
+        let vm = host
+            .create_vm(VmConfig::new("t", ByteSize::from_mib(8), 2).unwrap())
+            .unwrap();
+        host.vm_mut(vm).unwrap().dirty_mut().enable_logging();
+        host.vm_mut(vm)
+            .unwrap()
+            .guest_write(PageId::new(3), VcpuId::new(1))
+            .unwrap();
+        let snap = host.snapshot_dirty(vm).unwrap();
+        assert_eq!(snap.count(), 1);
+        assert!(snap.pages_in_range(0, 16).contains(&PageId::new(3)));
+        // A second snapshot sees a clean slate.
+        let snap2 = host.snapshot_dirty(vm).unwrap();
+        assert_eq!(snap2.count(), 0);
     }
 
     #[test]

@@ -74,9 +74,11 @@ impl KvmHypervisor {
     /// Physical memory available for guests (the Linux host itself needs
     /// ~2 GiB).
     pub fn guest_memory_pool(&self) -> ByteSize {
-        ByteSize::from_bytes(self.host_memory.as_bytes().saturating_sub(
-            ByteSize::from_gib(2).as_bytes(),
-        ))
+        ByteSize::from_bytes(
+            self.host_memory
+                .as_bytes()
+                .saturating_sub(ByteSize::from_gib(2).as_bytes()),
+        )
     }
 
     /// The kvmtool process hosting `vm`, if any.

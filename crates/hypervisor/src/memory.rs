@@ -98,7 +98,7 @@ impl GuestMemory {
     /// multiple of [`PAGE_SIZE`].
     pub fn new(size: ByteSize) -> HvResult<Self> {
         let bytes = size.as_bytes();
-        if bytes == 0 || bytes % PAGE_SIZE != 0 {
+        if bytes == 0 || !bytes.is_multiple_of(PAGE_SIZE) {
             return Err(HvError::InvalidConfig(format!(
                 "guest memory size {bytes} must be a positive multiple of {PAGE_SIZE}"
             )));

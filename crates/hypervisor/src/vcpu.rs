@@ -71,13 +71,15 @@ impl Vcpu {
 
 /// Order in which Xen's `cpu_user_regs` stores the GPRs (kernel push order).
 const XEN_GPR_ORDER: [usize; GPR_COUNT] = [
-    15, 14, 13, 12, 5, 3, 11, 10, 9, 8, 0, 1, 2, 6, 7, 4,
+    15, 14, 13, 12, 5, 3, 11, 10, 9, 8, 0, 1, 2, 6, 7,
+    4,
     // r15 r14 r13 r12 rbp rbx r11 r10 r9 r8 rax rcx rdx rsi rdi rsp
 ];
 
 /// Order in which KVM's `kvm_regs` stores the GPRs.
 const KVM_GPR_ORDER: [usize; GPR_COUNT] = [
-    0, 3, 1, 2, 6, 7, 4, 5, 8, 9, 10, 11, 12, 13, 14, 15,
+    0, 3, 1, 2, 6, 7, 4, 5, 8, 9, 10, 11, 12, 13, 14,
+    15,
     // rax rbx rcx rdx rsi rdi rsp rbp r8..r15
 ];
 
@@ -128,8 +130,16 @@ impl XenVcpuState {
             user_regs,
             rip: regs.rip,
             rflags: regs.rflags,
-            segments: [regs.cs, regs.ds, regs.es, regs.fs, regs.gs, regs.ss, regs.tr],
-            ctrlreg: [regs.system.cr0, 0, regs.system.cr2, regs.system.cr3, regs.system.cr4],
+            segments: [
+                regs.cs, regs.ds, regs.es, regs.fs, regs.gs, regs.ss, regs.tr,
+            ],
+            ctrlreg: [
+                regs.system.cr0,
+                0,
+                regs.system.cr2,
+                regs.system.cr3,
+                regs.system.cr4,
+            ],
             msrs: [
                 regs.system.efer,
                 regs.system.star,
@@ -152,7 +162,9 @@ impl XenVcpuState {
         }
         regs.rip = self.rip;
         regs.rflags = self.rflags;
-        [regs.cs, regs.ds, regs.es, regs.fs, regs.gs, regs.ss, regs.tr] = self.segments;
+        [
+            regs.cs, regs.ds, regs.es, regs.fs, regs.gs, regs.ss, regs.tr,
+        ] = self.segments;
         regs.system.cr0 = self.ctrlreg[0];
         regs.system.cr2 = self.ctrlreg[2];
         regs.system.cr3 = self.ctrlreg[3];
@@ -318,13 +330,13 @@ impl KvmVcpuState {
             }
         }
         regs.tsc = self.tsc;
-        regs.pending_interrupt = self
-            .interrupt_bitmap
-            .iter()
-            .enumerate()
-            .find_map(|(word, &bits)| {
-                (bits != 0).then(|| (word as u8) * 64 + bits.trailing_zeros() as u8)
-            });
+        regs.pending_interrupt =
+            self.interrupt_bitmap
+                .iter()
+                .enumerate()
+                .find_map(|(word, &bits)| {
+                    (bits != 0).then(|| (word as u8) * 64 + bits.trailing_zeros() as u8)
+                });
         regs
     }
 }
@@ -409,16 +421,20 @@ mod tests {
 
     #[test]
     fn tsc_split_reassembles() {
-        let mut regs = ArchRegs::default();
-        regs.tsc = u64::MAX - 5;
+        let regs = ArchRegs {
+            tsc: u64::MAX - 5,
+            ..ArchRegs::default()
+        };
         let xen = XenVcpuState::from_arch(&regs, true);
         assert_eq!(xen.to_arch().tsc, u64::MAX - 5);
     }
 
     #[test]
     fn pending_interrupt_encodings_differ_but_agree() {
-        let mut regs = ArchRegs::default();
-        regs.pending_interrupt = Some(0x31);
+        let regs = ArchRegs {
+            pending_interrupt: Some(0x31),
+            ..ArchRegs::default()
+        };
         let xen = XenVcpuState::from_arch(&regs, true);
         let kvm = KvmVcpuState::from_arch(&regs, true);
         assert!(xen.evtchn_upcall_pending);

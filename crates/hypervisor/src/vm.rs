@@ -62,7 +62,9 @@ impl VmConfig {
     /// is not a positive multiple of the page size.
     pub fn new(name: impl Into<String>, memory: ByteSize, vcpus: u32) -> HvResult<Self> {
         if vcpus == 0 {
-            return Err(HvError::InvalidConfig("a VM needs at least one vCPU".into()));
+            return Err(HvError::InvalidConfig(
+                "a VM needs at least one vCPU".into(),
+            ));
         }
         // Validate memory eagerly by test-constructing the address space.
         GuestMemory::new(memory)?;
@@ -135,7 +137,9 @@ impl Vm {
         run_state: RunState,
     ) -> HvResult<Self> {
         let memory = GuestMemory::new(config.memory)?;
-        let vcpus = (0..config.vcpus).map(|i| Vcpu::new(VcpuId::new(i))).collect();
+        let vcpus = (0..config.vcpus)
+            .map(|i| Vcpu::new(VcpuId::new(i)))
+            .collect();
         let devices = standard_device_set(family);
         let dirty = DirtyTracker::new(memory.num_pages(), config.vcpus as usize);
         let cpuid = config.cpuid.clone().unwrap_or_else(|| host_cpuid.clone());

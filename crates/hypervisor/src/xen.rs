@@ -16,7 +16,7 @@ use crate::host::{HostCore, Hypervisor};
 use crate::kind::HypervisorKind;
 use crate::memory::PageId;
 use crate::vcpu::{VcpuId, VcpuStateBlob, XenVcpuState};
-use crate::vm::{RunState, VmConfig, VmId, Vm};
+use crate::vm::{RunState, Vm, VmConfig, VmId};
 
 /// Userspace activation cost of Xen's toolstack path (libxl domain unpause
 /// plus device reconnect), per the Fig. 7 discussion.
@@ -267,10 +267,7 @@ mod tests {
         let mut xen = XenHypervisor::new(ByteSize::from_gib(11));
         // Pool is 1 GiB; a 2 GiB guest must be refused.
         let big = VmConfig::new("big", ByteSize::from_gib(2), 1).unwrap();
-        assert!(matches!(
-            xen.create_vm(big),
-            Err(HvError::InvalidConfig(_))
-        ));
+        assert!(matches!(xen.create_vm(big), Err(HvError::InvalidConfig(_))));
     }
 
     #[test]
@@ -325,9 +322,7 @@ mod tests {
         // vCPU 3's ring is untouched by the harvest of vCPU 0.
         let (pages3, _) = xen.harvest_vcpu_dirty_ring(vm, VcpuId::new(3)).unwrap();
         assert_eq!(pages3, vec![PageId::new(2)]);
-        assert!(xen
-            .harvest_vcpu_dirty_ring(vm, VcpuId::new(9))
-            .is_err());
+        assert!(xen.harvest_vcpu_dirty_ring(vm, VcpuId::new(9)).is_err());
     }
 
     #[test]

@@ -205,7 +205,10 @@ impl Histogram {
     ///
     /// Panics if `q` is outside `[0, 1]`.
     pub fn quantile(&self, q: f64) -> Option<f64> {
-        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1], got {q}");
+        assert!(
+            (0.0..=1.0).contains(&q),
+            "quantile must be in [0,1], got {q}"
+        );
         if self.values.is_empty() {
             return None;
         }

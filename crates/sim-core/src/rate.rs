@@ -112,9 +112,7 @@ impl fmt::Display for ByteSize {
 /// // 1 MiB over 10 Gb/s ≈ 0.84 ms
 /// assert!(t > SimDuration::from_micros(800) && t < SimDuration::from_micros(900));
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Bandwidth(u64);
 
 impl Bandwidth {

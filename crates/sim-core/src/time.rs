@@ -25,7 +25,9 @@ use serde::{Deserialize, Serialize};
 /// let t1 = t0 + SimDuration::from_millis(8);
 /// assert_eq!(t1 - t0, SimDuration::from_micros(8_000));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(u64);
 
 /// A span of virtual time in nanoseconds.
@@ -40,7 +42,9 @@ pub struct SimTime(u64);
 /// let degradation = pause.as_secs_f64() / (pause + period).as_secs_f64();
 /// assert!(degradation < 0.005);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimDuration(u64);
 
 impl SimTime {
@@ -332,7 +336,10 @@ mod tests {
             SimDuration::from_secs_f64(0.0000000015),
             SimDuration::from_nanos(2)
         );
-        assert_eq!(SimDuration::from_secs_f64(2.5), SimDuration::from_millis(2500));
+        assert_eq!(
+            SimDuration::from_secs_f64(2.5),
+            SimDuration::from_millis(2500)
+        );
     }
 
     #[test]

@@ -116,7 +116,10 @@ mod tests {
     fn down_link_never_delivers() {
         let mut link = Link::ethernet_10g();
         link.set_up(false);
-        assert_eq!(link.transfer_time(ByteSize::from_bytes(1)), SimDuration::MAX);
+        assert_eq!(
+            link.transfer_time(ByteSize::from_bytes(1)),
+            SimDuration::MAX
+        );
         assert_eq!(link.rtt(), SimDuration::MAX);
         link.set_up(true);
         assert!(link.rtt() < SimDuration::from_millis(1));

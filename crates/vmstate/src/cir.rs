@@ -163,7 +163,8 @@ mod tests {
 
     #[test]
     fn delta_merge_keeps_newest_version() {
-        let mut a = MemoryDelta::from_entries(vec![(PageId::new(1), pv(1)), (PageId::new(2), pv(3))]);
+        let mut a =
+            MemoryDelta::from_entries(vec![(PageId::new(1), pv(1)), (PageId::new(2), pv(3))]);
         let b = MemoryDelta::from_entries(vec![(PageId::new(1), pv(5)), (PageId::new(3), pv(1))]);
         a.merge(b);
         assert_eq!(a.len(), 3);

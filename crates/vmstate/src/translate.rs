@@ -40,7 +40,10 @@ impl fmt::Display for TranslateError {
                 write!(f, "expected a {expected}-format blob, got {got}")
             }
             TranslateError::Homogeneous(kind) => {
-                write!(f, "source and target are both {kind}; translation is not needed")
+                write!(
+                    f,
+                    "source and target are both {kind}; translation is not needed"
+                )
             }
         }
     }

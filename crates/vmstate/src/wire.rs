@@ -59,7 +59,10 @@ impl fmt::Display for WireError {
             WireError::Truncated => write!(f, "stream truncated mid-record"),
             WireError::UnknownRecord(t) => write!(f, "unknown record type {t:#04x}"),
             WireError::ChecksumMismatch { expected, actual } => {
-                write!(f, "record checksum mismatch: expected {expected:#010x}, got {actual:#010x}")
+                write!(
+                    f,
+                    "record checksum mismatch: expected {expected:#010x}, got {actual:#010x}"
+                )
             }
             WireError::BadPayload(msg) => write!(f, "bad record payload: {msg}"),
         }
@@ -72,6 +75,11 @@ impl Error for WireError {}
 pub type WireResult<T> = Result<T, WireError>;
 
 /// A decoded stream record.
+///
+/// `PageBatch` dwarfs the control records by design — a checkpoint is
+/// almost entirely pages — and records are built in place, never moved
+/// through hot paths, so boxing the batch would only add indirection.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq)]
 pub enum Record {
     /// Stream preamble: who is sending and what VM this is.
@@ -270,7 +278,9 @@ fn encode_arch_regs(regs: &ArchRegs, out: &mut BytesMut) {
     }
     out.put_u64(regs.rip);
     out.put_u64(regs.rflags);
-    for seg in [&regs.cs, &regs.ds, &regs.es, &regs.fs, &regs.gs, &regs.ss, &regs.tr] {
+    for seg in [
+        &regs.cs, &regs.ds, &regs.es, &regs.fs, &regs.gs, &regs.ss, &regs.tr,
+    ] {
         out.put_u16(seg.selector);
         out.put_u64(seg.base);
         out.put_u32(seg.limit);
@@ -487,7 +497,9 @@ fn decode_arch_regs(p: &mut Bytes) -> WireResult<ArchRegs> {
         seg.limit = p.get_u32();
         seg.attributes = p.get_u16();
     }
-    [regs.cs, regs.ds, regs.es, regs.fs, regs.gs, regs.ss, regs.tr] = segs;
+    [
+        regs.cs, regs.ds, regs.es, regs.fs, regs.gs, regs.ss, regs.tr,
+    ] = segs;
     regs.system.cr0 = p.get_u64();
     regs.system.cr2 = p.get_u64();
     regs.system.cr3 = p.get_u64();
@@ -620,7 +632,10 @@ mod tests {
         buf.put_u32(0);
         buf.put_u32(fnv32(&[]));
         let mut dec = StreamDecoder::new(buf.freeze()).unwrap();
-        assert_eq!(dec.next_record().unwrap_err(), WireError::UnknownRecord(0x7f));
+        assert_eq!(
+            dec.next_record().unwrap_err(),
+            WireError::UnknownRecord(0x7f)
+        );
     }
 
     #[test]

@@ -41,8 +41,7 @@ pub fn table1(corpus: &[CveRecord]) -> Vec<Table1Row> {
     crate::record::ALL_PRODUCTS
         .iter()
         .map(|&product| {
-            let recs: Vec<&CveRecord> =
-                corpus.iter().filter(|r| r.product == product).collect();
+            let recs: Vec<&CveRecord> = corpus.iter().filter(|r| r.product == product).collect();
             let cves = recs.len() as u32;
             let avail = recs.iter().filter(|r| r.affects_availability()).count() as u32;
             let dos = recs.iter().filter(|r| r.is_dos_only()).count() as u32;
@@ -82,7 +81,11 @@ pub fn table5(corpus: &[CveRecord]) -> Vec<Table5Row> {
         .collect();
     let total = dos.len() as u32;
     let mut rows = Vec::new();
-    for target in [Target::HypervisorCore, Target::GuestOs, Target::OtherSoftware] {
+    for target in [
+        Target::HypervisorCore,
+        Target::GuestOs,
+        Target::OtherSoftware,
+    ] {
         for outcome in [DosOutcome::Crash, DosOutcome::Hang, DosOutcome::Starvation] {
             let count = dos
                 .iter()
@@ -104,11 +107,11 @@ pub fn table5(corpus: &[CveRecord]) -> Vec<Table5Row> {
 /// CVEs shared between two deployments — the quantitative core of the
 /// heterogeneity argument: HERE's pair shares *none*, while same-device-
 /// model pairs share every QEMU bug.
-pub fn shared_vulnerabilities<'a>(
-    corpus: &'a [CveRecord],
+pub fn shared_vulnerabilities(
+    corpus: &[CveRecord],
     a: Deployment,
     b: Deployment,
-) -> Vec<&'a CveRecord> {
+) -> Vec<&CveRecord> {
     corpus
         .iter()
         .filter(|r| a.is_vulnerable_to(r) && b.is_vulnerable_to(r))
@@ -180,8 +183,7 @@ mod tests {
         let here_shared =
             shared_vulnerabilities(&corpus, Deployment::XenPv, Deployment::KvmKvmtool);
         assert!(here_shared.is_empty(), "HERE's pair must share no CVEs");
-        let qemu_shared =
-            shared_vulnerabilities(&corpus, Deployment::XenQemu, Deployment::QemuKvm);
+        let qemu_shared = shared_vulnerabilities(&corpus, Deployment::XenQemu, Deployment::QemuKvm);
         assert_eq!(
             qemu_shared.len(),
             308,

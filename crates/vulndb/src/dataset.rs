@@ -91,10 +91,8 @@ pub fn nvd_corpus() -> Vec<CveRecord> {
                         Target::OtherSoftware => Component::XenTools,
                         _ => Component::XenCore,
                     };
-                    let privilege = if privilege_budget > 0 && idx % 2 == 0 {
-                        privilege_budget -= 1;
-                        Privilege::GuestUser
-                    } else if privilege_budget > 0 && idx >= 148 {
+                    let privilege = if privilege_budget > 0 && (idx.is_multiple_of(2) || idx >= 148)
+                    {
                         privilege_budget -= 1;
                         Privilege::GuestUser
                     } else {
@@ -107,7 +105,7 @@ pub fn nvd_corpus() -> Vec<CveRecord> {
                         component,
                         confidentiality: Impact::None,
                         integrity: Impact::None,
-                        availability: if idx % 3 == 0 {
+                        availability: if idx.is_multiple_of(3) {
                             Impact::Partial
                         } else {
                             Impact::Complete
@@ -169,8 +167,16 @@ pub fn nvd_corpus() -> Vec<CveRecord> {
                 product,
                 year,
                 component: primary_component(product),
-                confidentiality: if k % 2 == 0 { Impact::Partial } else { Impact::None },
-                integrity: if k % 2 == 0 { Impact::None } else { Impact::Partial },
+                confidentiality: if k % 2 == 0 {
+                    Impact::Partial
+                } else {
+                    Impact::None
+                },
+                integrity: if k % 2 == 0 {
+                    Impact::None
+                } else {
+                    Impact::Partial
+                },
                 availability: Impact::Complete,
                 vector: spread_vector(k),
                 target: Target::HypervisorCore,
@@ -188,7 +194,11 @@ pub fn nvd_corpus() -> Vec<CveRecord> {
                 year,
                 component: primary_component(product),
                 confidentiality: Impact::Partial,
-                integrity: if k % 2 == 0 { Impact::Partial } else { Impact::None },
+                integrity: if k % 2 == 0 {
+                    Impact::Partial
+                } else {
+                    Impact::None
+                },
                 availability: Impact::None,
                 vector: spread_vector(k),
                 target: Target::HypervisorCore,
@@ -201,9 +211,7 @@ pub fn nvd_corpus() -> Vec<CveRecord> {
     // Rename one QEMU device-management DoS record to the real VENOM id,
     // the paper's worked example of a shared-device-model vulnerability.
     if let Some(venom) = records.iter_mut().find(|r| {
-        r.product == Product::Qemu
-            && r.is_dos_only()
-            && r.vector == AttackVector::DeviceManagement
+        r.product == Product::Qemu && r.is_dos_only() && r.vector == AttackVector::DeviceManagement
     }) {
         venom.id = "CVE-2015-3456".into();
         venom.year = 2015;
@@ -311,9 +319,7 @@ mod tests {
         let user = corpus
             .iter()
             .filter(|r| {
-                r.product == Product::Xen
-                    && r.is_dos_only()
-                    && r.privilege == Privilege::GuestUser
+                r.product == Product::Xen && r.is_dos_only() && r.privilege == Privilege::GuestUser
             })
             .count() as u32;
         assert_eq!(user, XEN_DOS_GUEST_USER);

@@ -93,6 +93,10 @@ mod tests {
         }
         // 4 GiB idles ~4x the dirty pages of 1 GiB (minus collisions).
         assert!(counts[1] > counts[0] * 3, "counts {counts:?}");
-        assert!(counts[0] > 80 && counts[0] < 250, "1 GiB count {}", counts[0]);
+        assert!(
+            counts[0] > 80 && counts[0] < 250,
+            "1 GiB count {}",
+            counts[0]
+        );
     }
 }

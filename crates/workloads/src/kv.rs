@@ -142,7 +142,10 @@ impl KvStore {
 
     fn record_frame(&self, key: u64) -> PageId {
         let records_per_page = PAGE_SIZE / RECORD_BYTES;
-        PageId::new(self.layout.data_base + (key % (self.layout.data_pages * records_per_page)) / records_per_page)
+        PageId::new(
+            self.layout.data_base
+                + (key % (self.layout.data_pages * records_per_page)) / records_per_page,
+        )
     }
 
     fn pick_vcpu(&mut self, vm: &Vm) -> VcpuId {

@@ -113,7 +113,7 @@ impl Workload for MemStress {
     ) -> Progress {
         let want = self.pages_per_sec as f64 * dt.as_secs_f64() + self.carry;
         let writes = want as u64;
-        self.carry = want - writes as u64 as f64;
+        self.carry = want - writes as f64;
         if writes == 0 {
             return Progress::ops_only(0.0);
         }

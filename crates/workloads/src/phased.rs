@@ -211,7 +211,12 @@ mod tests {
         let vm = xen.vm_mut(id).unwrap();
         w.advance(SimTime::ZERO, SimDuration::from_secs(1), vm, &mut rng);
         let small = vm.dirty_mut().bitmap_mut().drain().len();
-        w.advance(SimTime::from_secs(11), SimDuration::from_secs(1), vm, &mut rng);
+        w.advance(
+            SimTime::from_secs(11),
+            SimDuration::from_secs(1),
+            vm,
+            &mut rng,
+        );
         let large = vm.dirty_mut().bitmap_mut().drain().len();
         assert!(large > small * 4, "small={small} large={large}");
     }

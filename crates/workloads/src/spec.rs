@@ -158,8 +158,7 @@ impl Workload for SpecKernel {
 
         let pages = self.footprint_pages(vm);
         let vcpus = vm.config().vcpus;
-        let random_writes =
-            ((writes as f64 * self.profile.random_fraction) as u64).min(pages * 2);
+        let random_writes = ((writes as f64 * self.profile.random_fraction) as u64).min(pages * 2);
         let seq_writes = writes.saturating_sub(random_writes);
         if seq_writes > 0 {
             self.cursor = write_sweep(vm, 0, pages, self.cursor, seq_writes, vcpus);
@@ -232,7 +231,10 @@ mod tests {
         let vm = xen.vm_mut(id).unwrap();
         k.advance(SimTime::ZERO, SimDuration::from_secs(2), vm, &mut rng);
         assert!(vm.dirty().bitmap().count() <= vm.memory().num_pages());
-        assert!(vm.dirty().bitmap().count() > 10_000, "lbm should dirty most of the VM");
+        assert!(
+            vm.dirty().bitmap().count() > 10_000,
+            "lbm should dirty most of the VM"
+        );
     }
 
     #[test]
@@ -250,7 +252,10 @@ mod tests {
         let set: std::collections::HashSet<u64> = dirty.iter().map(|p| p.frame()).collect();
         let adjacent = dirty
             .iter()
-            .filter(|p| set.contains(&(p.frame() + 1)) || p.frame().checked_sub(1).is_some_and(|f| set.contains(&f)))
+            .filter(|p| {
+                set.contains(&(p.frame() + 1))
+                    || p.frame().checked_sub(1).is_some_and(|f| set.contains(&f))
+            })
             .count();
         assert!(adjacent as f64 / dirty.len() as f64 > 0.8);
     }

@@ -90,24 +90,14 @@ pub trait Workload: fmt::Debug {
 /// # Panics
 ///
 /// Panics if `len` is zero or the region exceeds the VM's address space.
-pub fn write_sweep(
-    vm: &mut Vm,
-    base: u64,
-    len: u64,
-    start: u64,
-    count: u64,
-    vcpus: u32,
-) -> u64 {
+pub fn write_sweep(vm: &mut Vm, base: u64, len: u64, start: u64, count: u64, vcpus: u32) -> u64 {
     assert!(len > 0, "sweep region must be non-empty");
     let effective = count.min(len);
-    let mut cursor = start;
-    for i in 0..effective {
+    for cursor in start..start + effective {
         let frame = base + (cursor % len);
         let vcpu = here_hypervisor::VcpuId::new(((cursor / 64) % vcpus as u64) as u32);
         vm.guest_write(here_hypervisor::PageId::new(frame), vcpu)
             .expect("workload advances only while the VM runs");
-        cursor += 1;
-        let _ = i;
     }
     (start + count) % len
 }

@@ -75,7 +75,10 @@ impl ZipfianChooser {
     /// Panics if `n` is zero or `theta` is outside `(0, 1)`.
     pub fn with_theta(n: u64, theta: f64) -> Self {
         assert!(n > 0, "keyspace must be non-empty");
-        assert!((0.0..1.0).contains(&theta) && theta > 0.0, "theta must be in (0,1)");
+        assert!(
+            (0.0..1.0).contains(&theta) && theta > 0.0,
+            "theta must be in (0,1)"
+        );
         let zetan = Self::zeta(n, theta);
         let zeta2theta = Self::zeta(2, theta);
         let alpha = 1.0 / (1.0 - theta);
@@ -237,7 +240,12 @@ mod tests {
         let mut c = ZipfianChooser::new(1000);
         let h = histogram(&mut c, 1000, 100_000);
         // Item 0 should dwarf item 500.
-        assert!(h[0] > 20 * h[500].max(1), "h[0]={}, h[500]={}", h[0], h[500]);
+        assert!(
+            h[0] > 20 * h[500].max(1),
+            "h[0]={}, h[500]={}",
+            h[0],
+            h[500]
+        );
         // And the head should account for a large share of all draws.
         let head: u64 = h[..10].iter().sum();
         assert!(head > 30_000, "head share {head}");

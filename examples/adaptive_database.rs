@@ -23,9 +23,8 @@ fn main() {
 
     let run = |replicated: bool| {
         let driver = Ycsb::new(spec).expect("valid spec");
-        let mem_mib = (driver.required_pages() * here::hypervisor::PAGE_SIZE)
-            .div_ceil(1024 * 1024)
-            + 64;
+        let mem_mib =
+            (driver.required_pages() * here::hypervisor::PAGE_SIZE).div_ceil(1024 * 1024) + 64;
         let mut b = Scenario::builder()
             .name("adaptive-database")
             .vm_memory_mib(mem_mib)
@@ -53,8 +52,14 @@ fn main() {
     let slowdown = (baseline.throughput_ops_per_sec - here.throughput_ops_per_sec)
         / baseline.throughput_ops_per_sec
         * 100.0;
-    println!("\nbaseline (no replication): {:>8.0} ops/s", baseline.throughput_ops_per_sec);
-    println!("HERE (D = 30 %):           {:>8.0} ops/s", here.throughput_ops_per_sec);
+    println!(
+        "\nbaseline (no replication): {:>8.0} ops/s",
+        baseline.throughput_ops_per_sec
+    );
+    println!(
+        "HERE (D = 30 %):           {:>8.0} ops/s",
+        here.throughput_ops_per_sec
+    );
     println!("observed slowdown:         {slowdown:>7.1} %  (target: 30 %)");
     println!(
         "mean measured degradation: {:>7.1} %",

@@ -22,8 +22,8 @@ fn main() {
     // Pick a real(istic) Xen-core DoS-only CVE from the embedded corpus
     // and weaponise it.
     let corpus = nvd_corpus();
-    let exploit = sample_dos_exploit(&corpus, Product::Xen)
-        .expect("the corpus contains Xen host-DoS CVEs");
+    let exploit =
+        sample_dos_exploit(&corpus, Product::Xen).expect("the corpus contains Xen host-DoS CVEs");
     println!(
         "attacker holds a zero-day: {} ({:?} via {:?})\n",
         exploit.cve().id,

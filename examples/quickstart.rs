@@ -37,7 +37,10 @@ fn main() {
         migration.downtime
     );
 
-    println!("== continuous replication ({}s virtual) ==", report.elapsed.as_millis() / 1000);
+    println!(
+        "== continuous replication ({}s virtual) ==",
+        report.elapsed.as_millis() / 1000
+    );
     for c in &report.checkpoints {
         println!(
             "  checkpoint {:>2}: {:>8} dirty pages, pause {:>10}, degradation {:>5.2}%",

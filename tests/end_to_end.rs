@@ -2,13 +2,11 @@
 //! engine driving simulated hypervisors, workloads, the translator, the
 //! wire codec and the network substrate together.
 
-use here::replication::{
-    FailureCause, FailurePlan, ReplicationConfig, Scenario, Strategy,
-};
 use here::hypervisor::fault::DosOutcome;
+use here::replication::{FailureCause, FailurePlan, ReplicationConfig, Scenario, Strategy};
 use here::sim::{SimDuration, SimTime};
-use here::workloads::{MemStress, Sockperf, Ycsb, YcsbMix, YcsbSpec};
 use here::workloads::sockperf::SockperfLoad;
+use here::workloads::{MemStress, Sockperf, Ycsb, YcsbMix, YcsbSpec};
 
 fn memstress_scenario(cfg: ReplicationConfig) -> Scenario {
     Scenario::builder()
@@ -39,11 +37,8 @@ fn replica_is_byte_identical_at_every_checkpoint_homogeneous() {
 
 #[test]
 fn consistency_holds_under_dynamic_period_control() {
-    let report = memstress_scenario(ReplicationConfig::dynamic(
-        0.3,
-        SimDuration::from_secs(5),
-    ))
-    .run();
+    let report =
+        memstress_scenario(ReplicationConfig::dynamic(0.3, SimDuration::from_secs(5))).run();
     assert!(report.consistency_checks > 0);
     assert_eq!(report.consistency_checks, report.checkpoints.len() as u64);
 }
@@ -57,9 +52,8 @@ fn here_outperforms_remus_at_equal_period_on_ycsb() {
             operations: 400_000,
         })
         .expect("valid spec");
-        let mem_mib = (driver.required_pages() * here::hypervisor::PAGE_SIZE)
-            .div_ceil(1024 * 1024)
-            + 16;
+        let mem_mib =
+            (driver.required_pages() * here::hypervisor::PAGE_SIZE).div_ceil(1024 * 1024) + 16;
         Scenario::builder()
             .vm_memory_mib(mem_mib)
             .vcpus(4)
@@ -128,7 +122,9 @@ fn hang_and_starvation_failures_also_fail_over() {
             .build()
             .expect("valid scenario")
             .run();
-        let fo = report.failover.unwrap_or_else(|| panic!("{outcome:?} must fail over"));
+        let fo = report
+            .failover
+            .unwrap_or_else(|| panic!("{outcome:?} must fail over"));
         assert!(
             fo.outage() < max_outage,
             "{outcome:?} outage {} exceeds {max_outage}",

@@ -75,7 +75,8 @@ fn full_checkpoint_pipeline_xen_to_kvm() {
             }
             Record::VcpuState { index, cir } => {
                 let blob = translator.encode_from_cir(&cir);
-                kvm.set_vcpu_state(replica, VcpuId::new(index), blob).unwrap();
+                kvm.set_vcpu_state(replica, VcpuId::new(index), blob)
+                    .unwrap();
             }
             other => panic!("unexpected record {other:?}"),
         }

@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the `Serialize` / `Deserialize` names as marker traits and
+//! re-exports the no-op derives from the vendored `serde_derive`. The
+//! workspace only uses the derives as forward-looking annotations — all
+//! real encoding goes through `here-vmstate`'s hand-rolled wire format —
+//! so no serializer machinery is needed.
+
+#![warn(missing_docs)]
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on config and report
+//! types but never actually serialises them (the wire format in
+//! `here-vmstate` is hand-rolled). These derives therefore expand to
+//! nothing; they exist so `#[derive(Serialize, Deserialize)]` keeps
+//! compiling without crates.io access. `attributes(serde)` is declared so
+//! any future `#[serde(...)]` field attribute parses rather than erroring.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
