@@ -7,7 +7,9 @@
 //! With no experiment arguments, runs everything. Experiments: `tab1`,
 //! `tab2`, `tab5`, `demo`, `fig5`, `fig6`, `fig7`, `fig8`, `fig9`, `fig10`,
 //! `fig11`, `fig12`, `fig13`, `fig14`, `fig15`, `fig16`, `fig17`,
-//! `overhead`, `stages`. `--quick` uses scaled-down configurations.
+//! `overhead`, `stages`, `datapath`. `--quick` uses scaled-down
+//! configurations. `datapath` measures real wall-clock throughput (not
+//! cost-model time) and writes `BENCH_datapath.json`.
 
 use std::process::ExitCode;
 
@@ -15,6 +17,7 @@ use here_bench::experiments::apps::{
     run_spec_figure, run_ycsb_figure, Config, FIG11_CONFIGS, FIG12_CONFIGS, FIG13_CONFIGS,
 };
 use here_bench::experiments::checkpoint::{run_fig5, run_fig8};
+use here_bench::experiments::datapath::run_datapath;
 use here_bench::experiments::dynamic::{run_fig10, run_fig9};
 use here_bench::experiments::migration::{run_fig6_idle, run_fig6_loaded, run_fig7};
 use here_bench::experiments::network::run_fig17;
@@ -29,7 +32,7 @@ use here_core::Strategy;
 
 const ALL: &[&str] = &[
     "tab1", "tab2", "tab5", "demo", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
-    "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "overhead", "stages",
+    "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "overhead", "stages", "datapath",
 ];
 
 fn main() -> ExitCode {
@@ -99,6 +102,7 @@ fn run_one(which: &str, scale: Scale) {
         "fig17" => fig17(scale),
         "overhead" => overhead(scale),
         "stages" => stages(scale),
+        "datapath" => datapath(scale),
         _ => unreachable!("validated in main"),
     }
 }
@@ -452,6 +456,65 @@ fn stages(scale: Scale) {
             "{}",
             render(&["Stage", "Total (s)", "Share", "Mean (ms)"], &rows)
         );
+    }
+}
+
+fn datapath(scale: Scale) {
+    println!("Datapath — measured wall-clock throughput of the checkpoint data plane");
+    let out = run_datapath(scale);
+    println!(
+        "  {} pages ({} MiB materialized payload), {} rounds, {} vCPUs, host has {} CPU core(s)",
+        out.pages,
+        num(out.pages as f64 * 4096.0 / (1024.0 * 1024.0), 0),
+        out.rounds,
+        out.vcpus,
+        out.host_cpus,
+    );
+    println!(
+        "  measured alpha: {} us/page (single lane); cost model alpha: {} us/page",
+        num(out.measured_alpha_us_per_page, 3),
+        num(out.analytic_alpha_us_per_page, 3),
+    );
+    println!(
+        "  legacy serial reference: {} ms -> new single-lane encode is {}x faster\n",
+        num(out.legacy_encode_ms, 1),
+        num(out.legacy_speedup, 2),
+    );
+    let rows: Vec<Vec<String>> = out
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.workers.to_string(),
+                num(r.harvest_ms, 2),
+                num(r.encode_ms, 2),
+                num(r.decode_restore_ms, 2),
+                num(r.total_ms, 2),
+                num(r.throughput_mib_per_s, 0),
+                num(r.measured_parallelism, 2),
+                num(r.analytic_parallelism, 2),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render(
+            &[
+                "Workers",
+                "Harvest (ms)",
+                "Encode (ms)",
+                "Restore (ms)",
+                "Total (ms)",
+                "MiB/s",
+                "Measured P",
+                "Model P"
+            ],
+            &rows
+        )
+    );
+    match std::fs::write("BENCH_datapath.json", &out.json) {
+        Ok(()) => println!("  wrote BENCH_datapath.json"),
+        Err(e) => eprintln!("  could not write BENCH_datapath.json: {e}"),
     }
 }
 

@@ -1,0 +1,381 @@
+//! The executed-data-plane throughput benchmark (`repro datapath`).
+//!
+//! Unlike every other experiment — which reports *virtual* durations from
+//! the calibrated [`CostModel`] — this one measures **real wall-clock
+//! time** of the zero-copy checkpoint data plane doing real work on
+//! materialized 4 KiB pages: harvest (chunk-ordered parallel collect) →
+//! translate (vCPU blobs to the common format) → encode (per-lane
+//! page-data records with streaming checksums into pooled buffers) →
+//! decode + restore (segmented zero-copy decode installing into a
+//! replica).
+//!
+//! Two calibration probes ride along:
+//!
+//! * **measured α** — nanoseconds per page through the single-lane encode
+//!   path, next to the cost model's analytic `checkpoint_cpu_per_page`;
+//! * **measured parallelism** — single-lane wall time over `w`-lane wall
+//!   time, next to the analytic `1 + (w−1)·parallel_efficiency`. On a
+//!   host with fewer cores than lanes the measured curve flattens at the
+//!   core count; `host_cpus` is reported so readers can tell scheduler
+//!   limits from algorithmic ones.
+//!
+//! A **legacy reference** pins the serial baseline this PR replaced:
+//! per-page heap boxes, a per-record scratch copy, and the byte-serial
+//! FNV checksum over the gathered payload. The new path's speedup over it
+//! is host-independent (same core count for both).
+
+use std::time::Instant;
+
+use here_core::dataplane::{
+    decode_and_restore, encode_pages_parallel, translate_vcpus_parallel, BufferPool, PayloadMode,
+};
+use here_core::transfer::{collect_chunked_into, CollectScratch};
+use here_core::CostModel;
+use here_hypervisor::arch::ArchRegs;
+use here_hypervisor::dirty::DirtyBitmap;
+use here_hypervisor::kind::HypervisorKind;
+use here_hypervisor::memory::{materialize_content, GuestMemory};
+use here_hypervisor::vcpu::{VcpuId, VcpuStateBlob, XenVcpuState};
+use here_hypervisor::PAGE_SIZE;
+use here_sim_core::rate::ByteSize;
+use here_vmstate::translate::StateTranslator;
+use here_vmstate::wire::{fnv32, ScatterStream, StreamEncoder};
+use here_vmstate::MemoryDelta;
+
+use super::Scale;
+
+/// Lane counts swept by the benchmark.
+pub const WORKER_SWEEP: &[u32] = &[1, 2, 4, 8];
+
+/// One row of the sweep: wall-clock milliseconds per stage at a lane
+/// count, averaged over the measured rounds.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkerRow {
+    /// Harvest/encode/translate lane count.
+    pub workers: u32,
+    /// Parallel dirty-page collect (chunk-ordered merge included).
+    pub harvest_ms: f64,
+    /// vCPU blob translation to the common format.
+    pub translate_ms: f64,
+    /// Materialize + checksum + frame page payloads into pooled lanes.
+    pub encode_ms: f64,
+    /// Segmented decode and page install on the replica.
+    pub decode_restore_ms: f64,
+    /// End-to-end datapath wall time.
+    pub total_ms: f64,
+    /// Materialized payload moved per wall second.
+    pub throughput_mib_per_s: f64,
+    /// Single-lane total over this row's total.
+    pub measured_parallelism: f64,
+    /// The cost model's `1 + (w−1)·parallel_efficiency`.
+    pub analytic_parallelism: f64,
+}
+
+/// Everything `repro datapath` reports.
+#[derive(Debug, Clone)]
+pub struct DatapathOutput {
+    /// Cores the host scheduler actually has — the ceiling on measured
+    /// parallelism, recorded so flat scaling curves are attributable.
+    pub host_cpus: usize,
+    /// Dirty pages per round.
+    pub pages: u64,
+    /// Measured rounds per lane count (after one warmup).
+    pub rounds: u32,
+    /// vCPU blobs translated per round.
+    pub vcpus: u32,
+    /// One row per entry in [`WORKER_SWEEP`].
+    pub rows: Vec<WorkerRow>,
+    /// Measured single-lane encode cost per page, in microseconds.
+    pub measured_alpha_us_per_page: f64,
+    /// The cost model's `checkpoint_cpu_per_page`, in microseconds.
+    pub analytic_alpha_us_per_page: f64,
+    /// The cost model's marginal lane efficiency.
+    pub analytic_parallel_efficiency: f64,
+    /// Single-threaded legacy-path encode (boxes + scratch copy +
+    /// byte-serial FNV), milliseconds.
+    pub legacy_encode_ms: f64,
+    /// Legacy encode time over the new path's single-lane encode time.
+    pub legacy_speedup: f64,
+    /// The same results as a JSON document (`BENCH_datapath.json`).
+    pub json: String,
+}
+
+fn scale_params(scale: Scale) -> (u64, u32, u32) {
+    // (dirty pages, rounds, vcpus)
+    match scale {
+        Scale::Paper => (32_768, 5, 8),
+        Scale::Quick => (4_096, 3, 4),
+    }
+}
+
+/// Builds a guest with a deterministic dirty working set: every third
+/// frame written once, round-robin across vCPUs so `last_writer` varies.
+fn dirty_guest(pages: u64, vcpus: u32) -> (GuestMemory, DirtyBitmap) {
+    let frames = pages * 3;
+    let mut memory = GuestMemory::new(ByteSize::from_bytes(
+        frames.next_multiple_of(256) * PAGE_SIZE,
+    ))
+    .expect("bench guest size is valid");
+    let mut dirty = DirtyBitmap::new(memory.num_pages());
+    for i in 0..pages {
+        let frame = here_hypervisor::PageId::new(i * 3);
+        memory
+            .write_page(frame, VcpuId::new((i % vcpus as u64) as u32))
+            .expect("frame is in range");
+        dirty.mark(frame);
+    }
+    (memory, dirty)
+}
+
+fn vcpu_blobs(vcpus: u32) -> Vec<VcpuStateBlob> {
+    (0..vcpus)
+        .map(|i| {
+            let mut regs = ArchRegs::reset_state();
+            regs.tsc = u64::from(i) * 997;
+            VcpuStateBlob::Xen(XenVcpuState::from_arch(&regs, true))
+        })
+        .collect()
+}
+
+/// The serial baseline this PR replaced: one heap box per materialized
+/// page, a per-record scratch buffer copied into the output, and the
+/// byte-serial FNV checksum over the whole gathered payload.
+fn legacy_encode_reference(delta: &MemoryDelta) -> (Vec<u8>, u32) {
+    let mut scratch: Vec<u8> = Vec::new();
+    for &(page, rec) in delta.entries() {
+        let content = materialize_content(page, rec);
+        scratch.extend_from_slice(&page.frame().to_be_bytes());
+        scratch.extend_from_slice(&rec.version.to_be_bytes());
+        scratch.extend_from_slice(&rec.last_writer.to_be_bytes());
+        scratch.extend_from_slice(&content[..]);
+    }
+    let sum = fnv32(&scratch);
+    let mut out = Vec::with_capacity(scratch.len() + 9);
+    out.push(0x08);
+    out.extend_from_slice(&(scratch.len() as u32).to_be_bytes());
+    out.extend_from_slice(&sum.to_be_bytes());
+    out.extend_from_slice(&scratch);
+    (out, sum)
+}
+
+fn splice(pool_segments: Vec<bytes::Bytes>) -> ScatterStream {
+    let mut stream = ScatterStream::from(StreamEncoder::new().finish());
+    for seg in pool_segments {
+        stream.push(seg);
+    }
+    stream
+}
+
+/// Runs the datapath sweep and returns measured rows plus the JSON
+/// document. Real wall-clock timing — results vary with the host.
+pub fn run_datapath(scale: Scale) -> DatapathOutput {
+    let (pages, rounds, vcpus) = scale_params(scale);
+    let costs = CostModel::default();
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let (memory, dirty) = dirty_guest(pages, vcpus);
+    let blobs = vcpu_blobs(vcpus);
+    let translator = StateTranslator::new(HypervisorKind::Xen, HypervisorKind::Kvm)
+        .expect("Xen->KVM translator exists");
+    let payload_mib = (pages * PAGE_SIZE) as f64 / (1024.0 * 1024.0);
+
+    let mut rows: Vec<WorkerRow> = Vec::new();
+    for &workers in WORKER_SWEEP {
+        let mut scratch = CollectScratch::new();
+        let mut delta = MemoryDelta::new();
+        let mut pool = BufferPool::new();
+        let mut replica = GuestMemory::new(memory.size()).expect("replica size is valid");
+        let (mut harvest, mut translate, mut encode, mut decode) = (0f64, 0f64, 0f64, 0f64);
+        // One warmup round fills the pools; measured rounds then run at
+        // steady state.
+        for round in 0..=rounds {
+            let measured = round > 0;
+
+            let t = Instant::now();
+            delta.clear();
+            collect_chunked_into(&memory, &dirty, workers, &mut scratch, &mut delta);
+            if measured {
+                harvest += t.elapsed().as_secs_f64();
+            }
+            assert_eq!(delta.len() as u64, pages, "harvest must see every page");
+
+            let t = Instant::now();
+            let cirs = translate_vcpus_parallel(&blobs, Some(&translator), workers)
+                .expect("bench blobs translate");
+            if measured {
+                translate += t.elapsed().as_secs_f64();
+            }
+            assert_eq!(cirs.len(), blobs.len());
+
+            let t = Instant::now();
+            let segments =
+                encode_pages_parallel(&delta, workers, PayloadMode::Materialized, &mut pool);
+            let stream = splice(segments);
+            if measured {
+                encode += t.elapsed().as_secs_f64();
+            }
+
+            let t = Instant::now();
+            let installed = decode_and_restore(stream.clone(), &mut replica, false)
+                .expect("bench stream decodes");
+            if measured {
+                decode += t.elapsed().as_secs_f64();
+            }
+            assert_eq!(installed, pages, "restore must install every page");
+            for seg in stream.into_segments() {
+                pool.recycle(seg);
+            }
+        }
+        let n = rounds as f64;
+        let (harvest, translate, encode, decode) =
+            (harvest / n, translate / n, encode / n, decode / n);
+        let total = harvest + translate + encode + decode;
+        rows.push(WorkerRow {
+            workers,
+            harvest_ms: harvest * 1e3,
+            translate_ms: translate * 1e3,
+            encode_ms: encode * 1e3,
+            decode_restore_ms: decode * 1e3,
+            total_ms: total * 1e3,
+            throughput_mib_per_s: payload_mib / total,
+            measured_parallelism: 1.0, // filled below from the lane-1 row
+            analytic_parallelism: costs.effective_parallelism(workers),
+        });
+    }
+    let base_total = rows[0].total_ms;
+    for row in &mut rows {
+        row.measured_parallelism = base_total / row.total_ms;
+    }
+
+    // Legacy serial reference over the same delta.
+    let mut scratch = CollectScratch::new();
+    let mut delta = MemoryDelta::new();
+    collect_chunked_into(&memory, &dirty, 1, &mut scratch, &mut delta);
+    let mut legacy = 0f64;
+    for round in 0..=rounds {
+        let t = Instant::now();
+        let (encoded, _) = legacy_encode_reference(&delta);
+        if round > 0 {
+            legacy += t.elapsed().as_secs_f64();
+        }
+        assert!(!encoded.is_empty());
+    }
+    let legacy_encode_ms = legacy / rounds as f64 * 1e3;
+    let new_single_encode_ms = rows[0].encode_ms;
+    let legacy_speedup = legacy_encode_ms / new_single_encode_ms;
+    let measured_alpha_us_per_page = rows[0].encode_ms * 1e3 / pages as f64;
+    let analytic_alpha_us_per_page = costs.checkpoint_cpu_per_page.as_secs_f64() * 1e6;
+
+    let json = render_json(
+        host_cpus,
+        pages,
+        rounds,
+        vcpus,
+        payload_mib,
+        &rows,
+        measured_alpha_us_per_page,
+        analytic_alpha_us_per_page,
+        costs.parallel_efficiency,
+        legacy_encode_ms,
+        legacy_speedup,
+    );
+    DatapathOutput {
+        host_cpus,
+        pages,
+        rounds,
+        vcpus,
+        rows,
+        measured_alpha_us_per_page,
+        analytic_alpha_us_per_page,
+        analytic_parallel_efficiency: costs.parallel_efficiency,
+        legacy_encode_ms,
+        legacy_speedup,
+        json,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn render_json(
+    host_cpus: usize,
+    pages: u64,
+    rounds: u32,
+    vcpus: u32,
+    payload_mib: f64,
+    rows: &[WorkerRow],
+    measured_alpha: f64,
+    analytic_alpha: f64,
+    efficiency: f64,
+    legacy_encode_ms: f64,
+    legacy_speedup: f64,
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"experiment\": \"datapath\",\n");
+    out.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
+    out.push_str(&format!("  \"pages\": {pages},\n"));
+    out.push_str(&format!("  \"payload_mib\": {payload_mib:.1},\n"));
+    out.push_str(&format!("  \"rounds\": {rounds},\n"));
+    out.push_str(&format!("  \"vcpus\": {vcpus},\n"));
+    out.push_str("  \"workers\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"workers\": {}, \"harvest_ms\": {:.3}, \"translate_ms\": {:.4}, \
+             \"encode_ms\": {:.3}, \"decode_restore_ms\": {:.3}, \"total_ms\": {:.3}, \
+             \"throughput_mib_per_s\": {:.1}, \"measured_parallelism\": {:.3}, \
+             \"analytic_parallelism\": {:.3}}}{}\n",
+            r.workers,
+            r.harvest_ms,
+            r.translate_ms,
+            r.encode_ms,
+            r.decode_restore_ms,
+            r.total_ms,
+            r.throughput_mib_per_s,
+            r.measured_parallelism,
+            r.analytic_parallelism,
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"measured_alpha_us_per_page\": {measured_alpha:.4},\n"
+    ));
+    out.push_str(&format!(
+        "  \"analytic_alpha_us_per_page\": {analytic_alpha:.4},\n"
+    ));
+    out.push_str(&format!(
+        "  \"analytic_parallel_efficiency\": {efficiency:.2},\n"
+    ));
+    out.push_str(&format!(
+        "  \"legacy_reference\": {{\"encode_ms\": {legacy_encode_ms:.3}, \
+         \"speedup_vs_legacy\": {legacy_speedup:.2}}}\n"
+    ));
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_sweep_produces_consistent_rows() {
+        let out = run_datapath(Scale::Quick);
+        assert_eq!(out.rows.len(), WORKER_SWEEP.len());
+        assert!(out.rows.iter().all(|r| r.total_ms > 0.0));
+        assert!(out.rows.iter().all(|r| r.throughput_mib_per_s > 0.0));
+        assert!((out.rows[0].measured_parallelism - 1.0).abs() < 1e-9);
+        assert!(out.legacy_speedup > 0.0);
+        assert!(out.json.contains("\"host_cpus\""));
+        assert!(out.json.contains("\"speedup_vs_legacy\""));
+    }
+
+    #[test]
+    fn legacy_reference_covers_the_same_payload() {
+        let (memory, dirty) = dirty_guest(512, 2);
+        let mut scratch = CollectScratch::new();
+        let mut delta = MemoryDelta::new();
+        collect_chunked_into(&memory, &dirty, 1, &mut scratch, &mut delta);
+        let (encoded, _) = legacy_encode_reference(&delta);
+        // frame header + per-page (14 meta + 4096 content)
+        assert_eq!(encoded.len(), 9 + 512 * (14 + 4096));
+    }
+}

@@ -6,6 +6,7 @@
 
 pub mod apps;
 pub mod checkpoint;
+pub mod datapath;
 pub mod dynamic;
 pub mod migration;
 pub mod network;

@@ -207,6 +207,10 @@ pub struct ReplicationConfig {
     /// Number of transfer threads (HERE defaults to one per vCPU; Remus is
     /// fixed at 1 regardless of this field).
     pub transfer_threads: Option<u32>,
+    /// Number of encode lanes the checkpoint data plane shards each delta
+    /// across (`None` reuses the transfer thread count). Lane count never
+    /// changes the encoded bytes, only how many workers produce them.
+    pub encode_lanes: Option<u32>,
     /// Heartbeat configuration.
     pub heartbeat: HeartbeatConfig,
     /// The calibrated cost model.
@@ -233,6 +237,7 @@ impl ReplicationConfig {
             strategy: Strategy::Here,
             period: PeriodPolicy::Fixed(t),
             transfer_threads: None,
+            encode_lanes: None,
             heartbeat: HeartbeatConfig::default(),
             costs: CostModel::default(),
             max_migration_iterations: DEFAULT_MAX_MIGRATION_ITERATIONS,
@@ -259,6 +264,7 @@ impl ReplicationConfig {
                 sigma: DEFAULT_SIGMA,
             },
             transfer_threads: None,
+            encode_lanes: None,
             heartbeat: HeartbeatConfig::default(),
             costs: CostModel::default(),
             max_migration_iterations: DEFAULT_MAX_MIGRATION_ITERATIONS,
@@ -272,6 +278,7 @@ impl ReplicationConfig {
             strategy: Strategy::Remus,
             period: PeriodPolicy::Fixed(t),
             transfer_threads: Some(1),
+            encode_lanes: None,
             heartbeat: HeartbeatConfig::default(),
             costs: CostModel::default(),
             max_migration_iterations: DEFAULT_MAX_MIGRATION_ITERATIONS,
@@ -308,6 +315,18 @@ impl ReplicationConfig {
     /// [`ReplicationStrategy`](crate::pipeline::ReplicationStrategy) impl.
     pub fn effective_threads(&self, vcpus: u32) -> u32 {
         crate::pipeline::runtime(self.strategy).effective_threads(self.transfer_threads, vcpus)
+    }
+
+    /// Overrides the encode-lane count of the checkpoint data plane.
+    pub fn with_encode_lanes(mut self, lanes: u32) -> Self {
+        self.encode_lanes = Some(lanes);
+        self
+    }
+
+    /// Encode lanes the data plane shards each delta across: the override
+    /// if set, otherwise the effective transfer thread count.
+    pub fn effective_encode_lanes(&self, threads: u32) -> u32 {
+        self.encode_lanes.unwrap_or(threads).max(1)
     }
 }
 

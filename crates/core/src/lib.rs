@@ -47,6 +47,7 @@
 
 pub mod checkpoint;
 pub mod config;
+pub mod dataplane;
 pub mod devmgr;
 pub mod engine;
 pub mod error;

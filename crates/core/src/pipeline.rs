@@ -27,20 +27,20 @@
 
 use std::fmt;
 
-use bytes::Bytes;
 use here_hypervisor::host::Hypervisor;
 use here_hypervisor::kind::HypervisorKind;
 use here_hypervisor::{KvmHypervisor, XenHypervisor, PAGE_SIZE};
 use here_sim_core::rate::ByteSize;
 use here_sim_core::time::SimDuration;
 use here_vmstate::translate::StateTranslator;
+use here_vmstate::wire::ScatterStream;
 use here_vmstate::MemoryDelta;
 
 use crate::config::{CostModel, Strategy};
 use crate::error::CoreResult;
 use crate::session::Session;
 use crate::trace::Stage;
-use crate::transfer::{collect_chunked, ProblematicTracker};
+use crate::transfer::{collect_chunked_into, ProblematicTracker};
 
 /// The replication-scheme plug point: everything that distinguishes the
 /// Remus baseline from HERE, factored out of the engine.
@@ -226,10 +226,22 @@ impl<'s> Paused<'s> {
             mut pause,
         } = self;
         let snapshot = session.take_dirty_snapshot();
-        let delta = {
+        // The harvest reuses the session's pooled delta and per-lane
+        // scratch: steady state allocates nothing per checkpoint.
+        let mut delta = std::mem::take(&mut session.pools.delta);
+        let mut scratch = std::mem::take(&mut session.pools.collect);
+        delta.clear();
+        {
             let vm = session.primary.vm(session.pvm)?;
-            collect_chunked(vm.memory(), &snapshot, session.threads)
-        };
+            collect_chunked_into(
+                vm.memory(),
+                &snapshot,
+                session.threads,
+                &mut scratch,
+                &mut delta,
+            );
+        }
+        session.pools.collect = scratch;
         let pages = delta.len() as u64;
         let scan = session.cfg.costs.checkpoint_scan(pages, session.threads);
         let at = session.clock;
@@ -267,6 +279,8 @@ impl<'s> Harvested<'s> {
             pages,
         } = self;
         let stream = session.encode_checkpoint(&delta, seq)?;
+        // The delta's allocation goes back to the pool for the next round.
+        session.pools.delta = delta;
         let cost = session.cfg.costs.checkpoint_const;
         let at = session.clock;
         session.record_stage(seq, Stage::Translate, at, cost, pages, stream.len() as u64);
@@ -287,7 +301,7 @@ pub struct Translated<'s> {
     session: &'s mut Session,
     seq: u64,
     pause: SimDuration,
-    stream: Bytes,
+    stream: ScatterStream,
     pages: u64,
 }
 
@@ -304,11 +318,15 @@ impl<'s> Translated<'s> {
             pages,
         } = self;
         let bytes = stream.len() as u64;
-        session.apply_checkpoint(stream, seq)?;
+        // The replica decodes a clone of the scattered segments; once the
+        // apply lands, the clone is dropped and the original's segments
+        // are sole-owner again, so the pool reclaims their allocations.
+        session.apply_checkpoint(stream.clone(), seq)?;
         if session.verify_consistency {
             session.assert_replica_matches_primary(seq)?;
             session.consistency_checks += 1;
         }
+        session.recycle_stream(stream);
         let wire = session.cfg.costs.checkpoint_wire(pages);
         let at = session.clock;
         session.record_stage(seq, Stage::Transfer, at, wire, pages, bytes);

@@ -11,8 +11,6 @@
 //! migration, [`crate::checkpoint`] runs the continuous phase through the
 //! staged pipeline of [`crate::pipeline`].
 
-use bytes::Bytes;
-
 use here_hypervisor::arch::Gpr;
 use here_hypervisor::fault::HostHealth;
 use here_hypervisor::host::Hypervisor;
@@ -25,14 +23,16 @@ use here_sim_core::rate::ByteSize;
 use here_sim_core::rng::SimRng;
 use here_sim_core::time::{SimDuration, SimTime};
 use here_simnet::link::Link;
-use here_vmstate::cir::CpuStateCir;
 use here_vmstate::translate::StateTranslator;
-use here_vmstate::wire::{Record, StreamDecoder, StreamEncoder};
+use here_vmstate::wire::{encode_record_into, Record, ScatterStream, StreamDecoder, StreamEncoder};
 use here_vmstate::{reconcile, MemoryDelta};
 use here_workloads::idle::IdleGuest;
 use here_workloads::traits::Workload;
 
 use crate::config::ReplicationConfig;
+use crate::dataplane::{
+    encode_pages_parallel, translate_vcpus_parallel, CheckpointPools, PayloadMode,
+};
 use crate::devmgr::DeviceManager;
 use crate::error::{CoreError, CoreResult};
 use crate::failover::{detection_time, FailoverRecord};
@@ -121,6 +121,7 @@ pub(crate) struct Session {
     pub(crate) buffering: bool,
     pub(crate) verify_consistency: bool,
     pub(crate) consistency_checks: u64,
+    pub(crate) pools: CheckpointPools,
     // accounting
     pub(crate) seq: u64,
     pub(crate) ops_committed: f64,
@@ -194,6 +195,7 @@ impl Session {
             buffering: false,
             verify_consistency,
             consistency_checks: 0,
+            pools: CheckpointPools::new(),
             seq: 0,
             ops_committed: 0.0,
             ops_uncommitted: 0.0,
@@ -326,38 +328,70 @@ impl Session {
     /// (translated to the common format for heterogeneous pairs), and the
     /// device identities. This is the *send side* of the data plane — real
     /// bytes are produced and checksummed.
-    pub(crate) fn encode_checkpoint(&self, delta: &MemoryDelta, seq: u64) -> CoreResult<Bytes> {
-        let mut enc = StreamEncoder::new();
-        enc.push(&Record::CheckpointBegin { seq });
-        enc.push(&Record::PageBatch(delta.clone()));
+    ///
+    /// The delta is sharded across encode lanes: scoped workers each frame
+    /// their own page-batch record into a pooled buffer, and the frozen
+    /// lane segments are spliced scatter-gather style into the returned
+    /// [`ScatterStream`] — no concatenation, no re-sort. vCPU translation
+    /// fans out across the same lanes. Buffers come back to the pool via
+    /// [`Session::recycle_stream`] once the transfer lands.
+    pub(crate) fn encode_checkpoint(
+        &mut self,
+        delta: &MemoryDelta,
+        seq: u64,
+    ) -> CoreResult<ScatterStream> {
+        let lanes = self.cfg.effective_encode_lanes(self.threads);
+
+        // Head segment: preamble + begin record.
+        let mut head = StreamEncoder::with_buffer(self.pools.buffers.checkout(64));
+        head.push(&Record::CheckpointBegin { seq });
+        let mut stream = ScatterStream::from(head.finish());
+
+        // Page lanes, encoded concurrently into pooled buffers.
+        for segment in
+            encode_pages_parallel(delta, lanes, PayloadMode::Metadata, &mut self.pools.buffers)
+        {
+            stream.push(segment);
+        }
+
+        // Tail segment: vCPU state (capture serial, translate parallel),
+        // device identities, and the cross-check trailer.
         let vcpu_count = self.primary.vm(self.pvm)?.vcpus().len() as u32;
+        let mut blobs = Vec::with_capacity(vcpu_count as usize);
         for i in 0..vcpu_count {
-            let blob = self.primary.get_vcpu_state(self.pvm, VcpuId::new(i))?;
-            let cir = match &self.translator {
-                Some(t) => t.decode_to_cir(&blob)?,
-                None => CpuStateCir {
-                    regs: blob.to_arch(),
-                    online: blob.is_online(),
+            blobs.push(self.primary.get_vcpu_state(self.pvm, VcpuId::new(i))?);
+        }
+        let cirs = translate_vcpus_parallel(&blobs, self.translator.as_ref(), lanes)?;
+        let mut tail = self.pools.buffers.checkout(256);
+        for (index, cir) in cirs.into_iter().enumerate() {
+            encode_record_into(
+                &Record::VcpuState {
+                    index: index as u32,
+                    cir,
                 },
-            };
-            enc.push(&Record::VcpuState { index: i, cir });
+                &mut tail,
+            );
         }
         for dev in self.primary.vm(self.pvm)?.devices() {
-            enc.push(&Record::Device(dev.identity.clone()));
+            encode_record_into(&Record::Device(dev.identity.clone()), &mut tail);
         }
-        enc.push(&Record::CheckpointEnd {
-            seq,
-            pages_total: delta.len() as u64,
-        });
-        Ok(enc.finish())
+        encode_record_into(
+            &Record::CheckpointEnd {
+                seq,
+                pages_total: delta.len() as u64,
+            },
+            &mut tail,
+        );
+        stream.push(tail.freeze());
+        Ok(stream)
     }
 
     /// Decodes a checkpoint stream and installs it on the replica — the
     /// *receive side*: pages land in replica memory, vCPU state is
     /// re-encoded in the secondary's native format, and the page count is
     /// cross-checked against the stream trailer.
-    pub(crate) fn apply_checkpoint(&mut self, stream: Bytes, seq: u64) -> CoreResult<()> {
-        let mut dec = StreamDecoder::new(stream)?;
+    pub(crate) fn apply_checkpoint(&mut self, stream: ScatterStream, seq: u64) -> CoreResult<()> {
+        let mut dec = StreamDecoder::new_scattered(stream)?;
         let mut pages_seen = 0u64;
         while let Some(record) = dec.next_record()? {
             match record {
@@ -367,6 +401,13 @@ impl Session {
                     let replica = self.secondary.vm_mut(self.rvm)?;
                     for &(page, rec) in batch.entries() {
                         replica.memory_mut().install_page(page, rec)?;
+                    }
+                }
+                Record::PageDataBatch(batch) => {
+                    pages_seen += batch.pages().len() as u64;
+                    let replica = self.secondary.vm_mut(self.rvm)?;
+                    for (page, rec, _content) in batch.pages() {
+                        replica.memory_mut().install_page(*page, *rec)?;
                     }
                 }
                 Record::VcpuState { index, cir } => {
@@ -404,7 +445,19 @@ impl Session {
     /// splits it across the Translate and Transfer stages).
     pub(crate) fn ship_checkpoint(&mut self, delta: &MemoryDelta, seq: u64) -> CoreResult<()> {
         let stream = self.encode_checkpoint(delta, seq)?;
-        self.apply_checkpoint(stream, seq)
+        self.apply_checkpoint(stream.clone(), seq)?;
+        self.recycle_stream(stream);
+        Ok(())
+    }
+
+    /// Returns a consumed stream's segment allocations to the buffer pool.
+    /// Call after the receive side has decoded its clone: the refcount on
+    /// each segment is back to one, so `try_into_mut` reclaims the full
+    /// allocations for the next checkpoint's encode lanes.
+    pub(crate) fn recycle_stream(&mut self, stream: ScatterStream) {
+        for segment in stream.into_segments() {
+            self.pools.buffers.recycle(segment);
+        }
     }
 
     /// Releases buffered output at the commit instant and records client

@@ -20,10 +20,10 @@
 //!
 //! [`CostModel`]: crate::config::CostModel
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use here_hypervisor::dirty::DirtyBitmap;
-use here_hypervisor::memory::GuestMemory;
+use here_hypervisor::memory::{GuestMemory, PageVersion};
 use here_hypervisor::PageId;
 use here_vmstate::MemoryDelta;
 
@@ -31,6 +31,21 @@ use here_vmstate::MemoryDelta;
 pub const CHUNK_BYTES: u64 = 2 * 1024 * 1024;
 /// Pages per chunk.
 pub const PAGES_PER_CHUNK: u64 = CHUNK_BYTES / here_hypervisor::PAGE_SIZE;
+
+/// Reusable per-lane scratch buffers for [`collect_chunked_into`], so the
+/// steady-state checkpoint loop performs no heap allocation once the lanes
+/// have warmed up.
+#[derive(Debug, Default)]
+pub struct CollectScratch {
+    lanes: Vec<Vec<(PageId, PageVersion)>>,
+}
+
+impl CollectScratch {
+    /// Empty scratch; lane buffers grow on first use and are kept after.
+    pub fn new() -> Self {
+        CollectScratch::default()
+    }
+}
 
 /// Scans `dirty` over `memory` with `workers` round-robin chunk workers and
 /// returns the combined delta (ascending frame order).
@@ -43,57 +58,94 @@ pub const PAGES_PER_CHUNK: u64 = CHUNK_BYTES / here_hypervisor::PAGE_SIZE;
 ///
 /// Panics if `workers` is zero.
 pub fn collect_chunked(memory: &GuestMemory, dirty: &DirtyBitmap, workers: u32) -> MemoryDelta {
-    assert!(workers >= 1, "at least one transfer worker is required");
-    let num_pages = memory.num_pages();
-    let num_chunks = num_pages.div_ceil(PAGES_PER_CHUNK);
-    if workers == 1 || num_chunks <= 1 {
-        return collect_lane(memory, dirty, num_chunks, 0, 1);
-    }
-    let workers = workers.min(num_chunks as u32);
-    let mut lane_outputs: Vec<MemoryDelta> = Vec::with_capacity(workers as usize);
-    std::thread::scope(|s| {
-        let handles: Vec<_> = (0..workers)
-            .map(|lane| s.spawn(move || collect_lane(memory, dirty, num_chunks, lane, workers)))
-            .collect();
-        for h in handles {
-            lane_outputs.push(h.join().expect("chunk worker must not panic"));
-        }
-    });
-
-    // Merge lane outputs back into ascending frame order by walking chunks
-    // round-robin (each lane's output is already chunk-ordered).
-    let mut merged = MemoryDelta::new();
-    for d in &lane_outputs {
-        for &(page, rec) in d.entries() {
-            merged.push(page, rec);
-        }
-    }
-    let mut entries: Vec<_> = merged.entries().to_vec();
-    entries.sort_by_key(|&(p, _)| p);
-    MemoryDelta::from_entries(entries)
+    let mut scratch = CollectScratch::new();
+    let mut out = MemoryDelta::new();
+    collect_chunked_into(memory, dirty, workers, &mut scratch, &mut out);
+    out
 }
 
-fn collect_lane(
+/// Allocation-reusing variant of [`collect_chunked`]: lane buffers live in
+/// `scratch` and the merged result replaces the contents of `out`, both
+/// keeping their allocations across checkpoints.
+///
+/// Lane outputs are *chunk-ordered by construction* (each lane visits
+/// chunks `lane, lane + stride, …` ascending, and pages within a chunk
+/// ascend), so the merge is a k-way splice that walks chunks in order and
+/// copies each chunk's run from its owning lane — `O(pages + chunks)`,
+/// no comparison sort.
+///
+/// # Panics
+///
+/// Panics if `workers` is zero.
+pub fn collect_chunked_into(
     memory: &GuestMemory,
     dirty: &DirtyBitmap,
-    num_chunks: u64,
-    lane: u32,
-    stride: u32,
-) -> MemoryDelta {
-    let mut delta = MemoryDelta::new();
-    let mut chunk = lane as u64;
-    while chunk < num_chunks {
-        let lo = chunk * PAGES_PER_CHUNK;
-        let hi = lo + PAGES_PER_CHUNK;
-        for page in dirty.pages_in_range(lo, hi) {
+    workers: u32,
+    scratch: &mut CollectScratch,
+    out: &mut MemoryDelta,
+) {
+    assert!(workers >= 1, "at least one transfer worker is required");
+    out.clear();
+    let num_pages = memory.num_pages();
+    let num_chunks = num_pages.div_ceil(PAGES_PER_CHUNK);
+    let workers = if num_chunks <= 1 {
+        1
+    } else {
+        workers.min(num_chunks as u32)
+    };
+    if workers == 1 {
+        // One lane visiting every chunk is simply an ascending full scan.
+        out.reserve(dirty.count() as usize);
+        for page in dirty.iter() {
             let rec = memory
                 .page(page)
                 .expect("dirty bitmap only marks in-range pages");
-            delta.push(page, rec);
+            out.push(page, rec);
         }
-        chunk += stride as u64;
+        return;
     }
-    delta
+
+    if scratch.lanes.len() < workers as usize {
+        scratch.lanes.resize_with(workers as usize, Vec::new);
+    }
+    let lanes = &mut scratch.lanes[..workers as usize];
+    std::thread::scope(|s| {
+        for (lane, buf) in lanes.iter_mut().enumerate() {
+            s.spawn(move || {
+                buf.clear();
+                let mut chunk = lane as u64;
+                while chunk < num_chunks {
+                    let lo = chunk * PAGES_PER_CHUNK;
+                    for page in dirty.iter_range(lo, lo + PAGES_PER_CHUNK) {
+                        let rec = memory
+                            .page(page)
+                            .expect("dirty bitmap only marks in-range pages");
+                        buf.push((page, rec));
+                    }
+                    chunk += workers as u64;
+                }
+            });
+        }
+    });
+
+    // k-way chunk-ordered splice: chunk c's run sits at the front of the
+    // unconsumed part of lane c % workers, already sorted.
+    out.reserve(lanes.iter().map(Vec::len).sum());
+    let mut cursors = vec![0usize; lanes.len()];
+    for chunk in 0..num_chunks {
+        let lane = (chunk % workers as u64) as usize;
+        let buf = &lanes[lane];
+        let cur = &mut cursors[lane];
+        while *cur < buf.len() && buf[*cur].0.frame() / PAGES_PER_CHUNK == chunk {
+            let (page, rec) = buf[*cur];
+            out.push(page, rec);
+            *cur += 1;
+        }
+    }
+    debug_assert!(
+        cursors.iter().zip(lanes.iter()).all(|(c, l)| *c == l.len()),
+        "chunk-ordered merge must consume every lane entry"
+    );
 }
 
 /// Per-vCPU seeding collection: turns each vCPU's harvested ring into its
@@ -122,10 +174,14 @@ pub fn collect_per_vcpu(memory: &GuestMemory, harvests: &[Vec<PageId>]) -> Vec<M
 
 fn pages_to_delta(memory: &GuestMemory, pages: &[PageId]) -> MemoryDelta {
     let mut delta = MemoryDelta::new();
+    // PML rings log every write, so the same frame can reappear anywhere
+    // in the ring, not just adjacently (vCPU touches A, B, then A again).
+    // Track seen frames so each page is sent once, in first-log order;
+    // the cheap adjacent check still short-circuits tight write loops.
+    let mut seen: HashSet<u64> = HashSet::with_capacity(pages.len());
     let mut last = None;
     for &page in pages {
-        // Rings log duplicates; skip immediate repeats cheaply.
-        if last == Some(page) {
+        if last == Some(page) || !seen.insert(page.frame()) {
             continue;
         }
         last = Some(page);
@@ -269,6 +325,51 @@ mod tests {
         assert_eq!(deltas.len(), 2);
         assert_eq!(deltas[0].len(), 2);
         assert_eq!(deltas[1].len(), 1);
+    }
+
+    #[test]
+    fn per_vcpu_collection_dedups_non_adjacent_ring_repeats() {
+        // Regression: a vCPU touching A, B, then A again logs A twice with
+        // B in between; only adjacent repeats used to be skipped, so A was
+        // sent twice.
+        let (mem, _) = memory_with_dirty(&[1, 2, 3]);
+        let harvests = vec![vec![
+            PageId::new(1),
+            PageId::new(2),
+            PageId::new(1),
+            PageId::new(3),
+            PageId::new(2),
+            PageId::new(1),
+        ]];
+        let deltas = collect_per_vcpu(&mem, &harvests);
+        assert_eq!(deltas[0].len(), 3, "each frame must appear exactly once");
+        let frames: Vec<u64> = deltas[0]
+            .entries()
+            .iter()
+            .map(|&(p, _)| p.frame())
+            .collect();
+        assert_eq!(frames, vec![1, 2, 3], "first-log order is preserved");
+    }
+
+    #[test]
+    fn pooled_collection_reuses_buffers_and_matches() {
+        let frames: Vec<u64> = (0..8192).step_by(5).collect();
+        let (mem, bm) = memory_with_dirty(&frames);
+        let reference = collect_chunked(&mem, &bm, 1);
+        let mut scratch = CollectScratch::new();
+        let mut out = MemoryDelta::new();
+        for workers in [2u32, 4, 8] {
+            collect_chunked_into(&mem, &bm, workers, &mut scratch, &mut out);
+            assert_eq!(out, reference, "workers={workers}");
+        }
+        // Steady state: a second round at the same width must not grow the
+        // lane buffers.
+        collect_chunked_into(&mem, &bm, 4, &mut scratch, &mut out);
+        let caps: Vec<usize> = scratch.lanes.iter().map(Vec::capacity).collect();
+        collect_chunked_into(&mem, &bm, 4, &mut scratch, &mut out);
+        let caps_after: Vec<usize> = scratch.lanes.iter().map(Vec::capacity).collect();
+        assert_eq!(caps, caps_after, "lane buffers must be reused, not regrown");
+        assert_eq!(out, reference);
     }
 
     #[test]

@@ -100,18 +100,51 @@ impl DirtyBitmap {
         pages
     }
 
+    /// Like [`drain`](DirtyBitmap::drain), but fills a caller-owned buffer
+    /// so the steady-state checkpoint loop reuses one allocation across
+    /// rounds.
+    pub fn drain_into(&mut self, out: &mut Vec<PageId>) {
+        self.peek_into(out);
+        self.clear();
+    }
+
     /// Returns all dirty frames in ascending order without clearing.
     pub fn peek(&self) -> Vec<PageId> {
         let mut pages = Vec::with_capacity(self.count as usize);
-        for (wi, &word) in self.words.iter().enumerate() {
-            let mut w = word;
-            while w != 0 {
-                let bit = w.trailing_zeros() as u64;
-                pages.push(PageId::new(wi as u64 * 64 + bit));
-                w &= w - 1;
-            }
-        }
+        self.peek_into(&mut pages);
         pages
+    }
+
+    /// Like [`peek`](DirtyBitmap::peek), into a caller-owned buffer
+    /// (cleared first, allocation kept).
+    pub fn peek_into(&self, out: &mut Vec<PageId>) {
+        out.clear();
+        out.reserve(self.count as usize);
+        out.extend(self.iter());
+    }
+
+    /// Allocation-free iterator over all dirty frames, ascending.
+    pub fn iter(&self) -> DirtyPagesIter<'_> {
+        self.iter_range(0, self.num_pages)
+    }
+
+    /// Allocation-free iterator over dirty frames in `[lo, hi)`, ascending.
+    /// `hi` is clamped to the covered range.
+    pub fn iter_range(&self, lo: u64, hi: u64) -> DirtyPagesIter<'_> {
+        DirtyPagesIter::new(&self.words, lo, hi.min(self.num_pages))
+    }
+
+    /// Number of dirty frames in `[lo, hi)`, by word popcounts — no
+    /// per-page work, used to size per-lane buffers before a scan.
+    pub fn count_in_range(&self, lo: u64, hi: u64) -> u64 {
+        let hi = hi.min(self.num_pages);
+        if lo >= hi {
+            return 0;
+        }
+        let (wlo, whi) = (lo / 64, hi.div_ceil(64));
+        (wlo..whi)
+            .map(|wi| masked_word(&self.words, wi, lo, hi).count_ones() as u64)
+            .sum()
     }
 
     /// Dirty frames whose number satisfies `frame % stride == lane`; used by
@@ -130,25 +163,18 @@ impl DirtyBitmap {
     /// Dirty frames in the half-open range `[lo, hi)`, ascending. This is
     /// the primitive HERE's chunk workers scan with: each worker reads only
     /// its own chunks' words, so concurrent workers never contend.
+    /// Hot paths should prefer [`iter_range`](DirtyBitmap::iter_range) or
+    /// [`pages_in_range_into`](DirtyBitmap::pages_in_range_into), which do
+    /// not allocate.
     pub fn pages_in_range(&self, lo: u64, hi: u64) -> Vec<PageId> {
-        let hi = hi.min(self.num_pages);
-        if lo >= hi {
-            return Vec::new();
-        }
-        let mut pages = Vec::new();
-        let (wlo, whi) = (lo / 64, hi.div_ceil(64));
-        for wi in wlo..whi {
-            let mut w = self.words[wi as usize];
-            while w != 0 {
-                let bit = w.trailing_zeros() as u64;
-                let frame = wi * 64 + bit;
-                if frame >= lo && frame < hi {
-                    pages.push(PageId::new(frame));
-                }
-                w &= w - 1;
-            }
-        }
-        pages
+        self.iter_range(lo, hi).collect()
+    }
+
+    /// Like [`pages_in_range`](DirtyBitmap::pages_in_range), appending into
+    /// a caller-owned buffer (not cleared — lanes accumulate runs of
+    /// consecutive chunks into one buffer).
+    pub fn pages_in_range_into(&self, lo: u64, hi: u64, out: &mut Vec<PageId>) {
+        out.extend(self.iter_range(lo, hi));
     }
 
     /// Clears every dirty bit.
@@ -173,6 +199,80 @@ impl DirtyBitmap {
             count += a.count_ones() as u64;
         }
         self.count = count;
+    }
+}
+
+/// Loads word `wi` of `words`, masking off bits outside `[lo, hi)`.
+#[inline]
+fn masked_word(words: &[u64], wi: u64, lo: u64, hi: u64) -> u64 {
+    let mut w = words[wi as usize];
+    let base = wi * 64;
+    if base < lo {
+        w &= !0u64 << (lo - base);
+    }
+    if base + 64 > hi {
+        let keep = hi.saturating_sub(base);
+        w &= if keep >= 64 { !0 } else { (1u64 << keep) - 1 };
+    }
+    w
+}
+
+/// Allocation-free iterator over the dirty frames of a [`DirtyBitmap`]
+/// range, created by [`DirtyBitmap::iter`] / [`DirtyBitmap::iter_range`].
+///
+/// Walks one 64-bit word at a time, peeling set bits with
+/// `trailing_zeros`, so iterating N dirty pages over a W-word range costs
+/// O(W + N) with zero heap traffic — the scan primitive behind the
+/// steady-state checkpoint loop.
+#[derive(Debug, Clone)]
+pub struct DirtyPagesIter<'a> {
+    words: &'a [u64],
+    lo: u64,
+    hi: u64,
+    word_index: u64,
+    end_word: u64,
+    current: u64,
+}
+
+impl<'a> DirtyPagesIter<'a> {
+    fn new(words: &'a [u64], lo: u64, hi: u64) -> Self {
+        let (wlo, whi) = if lo < hi {
+            (lo / 64, hi.div_ceil(64))
+        } else {
+            (0, 0)
+        };
+        let current = if wlo < whi {
+            masked_word(words, wlo, lo, hi)
+        } else {
+            0
+        };
+        DirtyPagesIter {
+            words,
+            lo,
+            hi,
+            word_index: wlo,
+            end_word: whi,
+            current,
+        }
+    }
+}
+
+impl Iterator for DirtyPagesIter<'_> {
+    type Item = PageId;
+
+    fn next(&mut self) -> Option<PageId> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as u64;
+                self.current &= self.current - 1;
+                return Some(PageId::new(self.word_index * 64 + bit));
+            }
+            self.word_index += 1;
+            if self.word_index >= self.end_word {
+                return None;
+            }
+            self.current = masked_word(self.words, self.word_index, self.lo, self.hi);
+        }
     }
 }
 
@@ -417,6 +517,62 @@ mod tests {
         }
         seen.sort();
         assert_eq!(seen, bm.peek());
+    }
+
+    #[test]
+    fn iterator_matches_peek_and_ranges() {
+        let mut bm = DirtyBitmap::new(1000);
+        for f in [0u64, 1, 62, 63, 64, 65, 127, 128, 500, 999] {
+            bm.mark(PageId::new(f));
+        }
+        assert_eq!(bm.iter().collect::<Vec<_>>(), bm.peek());
+        for (lo, hi) in [
+            (0, 1000),
+            (0, 0),
+            (63, 65),
+            (64, 128),
+            (1, 999),
+            (900, 2000),
+        ] {
+            let via_iter: Vec<_> = bm.iter_range(lo, hi).collect();
+            let expected: Vec<_> = bm
+                .peek()
+                .into_iter()
+                .filter(|p| {
+                    let f = p.frame();
+                    f >= lo && f < hi.min(1000)
+                })
+                .collect();
+            assert_eq!(via_iter, expected, "range [{lo}, {hi})");
+            assert_eq!(bm.count_in_range(lo, hi), via_iter.len() as u64);
+        }
+    }
+
+    #[test]
+    fn drain_into_reuses_allocation() {
+        let mut bm = DirtyBitmap::new(256);
+        let mut buf = Vec::with_capacity(64);
+        let cap = buf.capacity();
+        for round in 0..3 {
+            bm.mark(PageId::new(round));
+            bm.mark(PageId::new(round + 100));
+            bm.drain_into(&mut buf);
+            assert_eq!(buf, vec![PageId::new(round), PageId::new(round + 100)]);
+            assert!(bm.is_empty());
+            assert_eq!(buf.capacity(), cap, "round {round} reallocated");
+        }
+    }
+
+    #[test]
+    fn pages_in_range_into_appends_across_chunks() {
+        let mut bm = DirtyBitmap::new(512);
+        for f in [10u64, 200, 300, 450] {
+            bm.mark(PageId::new(f));
+        }
+        let mut out = Vec::new();
+        bm.pages_in_range_into(0, 256, &mut out);
+        bm.pages_in_range_into(256, 512, &mut out);
+        assert_eq!(out, bm.peek());
     }
 
     #[test]

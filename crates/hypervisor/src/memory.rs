@@ -219,6 +219,24 @@ impl GuestMemory {
         Ok(materialize_content(page, rec))
     }
 
+    /// Like [`materialize`](GuestMemory::materialize), writing into a
+    /// caller-owned buffer — encode workers reuse one stack buffer per lane
+    /// instead of boxing a fresh page image per dirty page.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HvError::PageOutOfRange`] if `page` is beyond the address
+    /// space.
+    pub fn materialize_into(
+        &self,
+        page: PageId,
+        out: &mut [u8; PAGE_SIZE as usize],
+    ) -> HvResult<()> {
+        let rec = self.page(page)?;
+        materialize_content_into(page, rec, out);
+        Ok(())
+    }
+
     /// `true` when every page of `self` matches `other` (same versions).
     pub fn content_equals(&self, other: &GuestMemory) -> bool {
         self.pages == other.pages
@@ -243,8 +261,20 @@ impl GuestMemory {
 /// Version 0 is the all-zeroes page.
 pub fn materialize_content(page: PageId, rec: PageVersion) -> Box<[u8; PAGE_SIZE as usize]> {
     let mut buf = Box::new([0u8; PAGE_SIZE as usize]);
+    materialize_content_into(page, rec, &mut buf);
+    buf
+}
+
+/// Allocation-free variant of [`materialize_content`]: expands the page
+/// image into a caller-owned buffer.
+pub fn materialize_content_into(
+    page: PageId,
+    rec: PageVersion,
+    buf: &mut [u8; PAGE_SIZE as usize],
+) {
     if rec.version == 0 {
-        return buf;
+        buf.fill(0);
+        return;
     }
     let mut state = splitmix(
         page.frame()
@@ -256,7 +286,6 @@ pub fn materialize_content(page: PageId, rec: PageVersion) -> Box<[u8; PAGE_SIZE
         state = splitmix(state);
         chunk.copy_from_slice(&state.to_le_bytes());
     }
-    buf
 }
 
 fn splitmix(mut z: u64) -> u64 {

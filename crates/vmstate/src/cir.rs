@@ -108,6 +108,34 @@ impl MemoryDelta {
         &self.entries
     }
 
+    /// Clears the delta, keeping its allocation — checkpoint pools reuse
+    /// one delta across rounds instead of allocating per checkpoint.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Reserves room for at least `additional` more entries.
+    pub fn reserve(&mut self, additional: usize) {
+        self.entries.reserve(additional);
+    }
+
+    /// Splits the entries into at most `lanes` contiguous, near-equal
+    /// slices — the per-worker shards of the parallel encode path. Returns
+    /// fewer slices when the delta has fewer entries than lanes, and none
+    /// when it is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is zero.
+    pub fn shards(&self, lanes: usize) -> Vec<&[(PageId, PageVersion)]> {
+        assert!(lanes > 0, "at least one shard lane is required");
+        if self.entries.is_empty() {
+            return Vec::new();
+        }
+        let per_lane = self.entries.len().div_ceil(lanes);
+        self.entries.chunks(per_lane).collect()
+    }
+
     /// The *logical* payload size: dirty pages are 4 KiB each on the wire
     /// regardless of our compressed in-simulator representation.
     pub fn logical_bytes(&self) -> ByteSize {

@@ -10,7 +10,20 @@
 //!
 //! The paper's own stream is libxc's migration v2 format extended for
 //! kvmtool; ours is an original format serving the same role.
+//!
+//! Version 2 of the format grew a zero-copy data plane: records are framed
+//! in place (tag + length + checksum patched over placeholders after the
+//! payload is written, so no per-record scratch buffer exists), checksums
+//! are the word-folded streaming [`StreamingChecksum`] instead of the
+//! byte-serial FNV-1a of v1, page *content* travels in [`PageDataBatch`]
+//! records (tag `0x08`) whose 4 KiB payloads decode as zero-copy [`Bytes`]
+//! slices, and a stream may be a [`ScatterStream`] — an ordered list of
+//! independently encoded segments that the decoder walks without ever
+//! splicing them into one contiguous buffer. Per-worker encode lanes each
+//! fill their own pooled `BytesMut` and the transfer stage just collects
+//! the frozen segments.
 
+use std::collections::VecDeque;
 use std::error::Error;
 use std::fmt;
 
@@ -19,14 +32,22 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 use here_hypervisor::arch::{ArchRegs, Segment, GPR_COUNT};
 use here_hypervisor::devices::DeviceIdentity;
 use here_hypervisor::kind::HypervisorKind;
-use here_hypervisor::memory::{PageId, PageVersion};
+use here_hypervisor::memory::{PageId, PageVersion, PAGE_SIZE};
 
 use crate::cir::{CpuStateCir, MemoryDelta};
 
 /// Stream magic: `"HERE"`.
 pub const MAGIC: u32 = 0x4845_5245;
-/// Current stream format version.
-pub const VERSION: u16 = 1;
+/// Current stream format version (2: in-place framing, word-folded
+/// checksums, scatter-gather segments, page-content batches).
+pub const VERSION: u16 = 2;
+
+/// Bytes of content carried per page in a [`PageDataBatch`] record.
+pub const PAGE_CONTENT_BYTES: usize = PAGE_SIZE as usize;
+
+/// Per-page metadata bytes on the wire (frame `u64` + version `u32` +
+/// last-writer `u16`).
+pub const PAGE_META_BYTES: usize = 14;
 
 /// Errors raised while decoding a stream.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -98,8 +119,10 @@ pub enum Record {
         /// Checkpoint sequence number.
         seq: u64,
     },
-    /// A batch of memory pages.
+    /// A batch of memory pages (metadata only: frame + version).
     PageBatch(MemoryDelta),
+    /// A batch of memory pages carrying their materialized 4 KiB contents.
+    PageDataBatch(PageDataBatch),
     /// One vCPU's state in the common format.
     VcpuState {
         /// vCPU index.
@@ -130,14 +153,170 @@ const TAG_VCPU: u8 = 0x04;
 const TAG_DEVICE: u8 = 0x05;
 const TAG_CKPT_END: u8 = 0x06;
 const TAG_ACK: u8 = 0x07;
+const TAG_PAGE_DATA: u8 = 0x08;
 
-fn fnv32(bytes: &[u8]) -> u32 {
+/// A decoded batch of pages with materialized contents.
+///
+/// On the wire each page is 14 metadata bytes followed by its 4 KiB
+/// content, interleaved so an encode worker can stream pages one at a time
+/// (see [`PageDataWriter`]); the batch carries no explicit count — the
+/// record length must be a multiple of the per-page stride. Decoded
+/// contents are zero-copy [`Bytes`] slices into the received segment.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PageDataBatch {
+    pages: Vec<(PageId, PageVersion, Bytes)>,
+}
+
+impl PageDataBatch {
+    /// Empty batch.
+    pub fn new() -> Self {
+        PageDataBatch { pages: Vec::new() }
+    }
+
+    /// Empty batch with room for `cap` pages.
+    pub fn with_capacity(cap: usize) -> Self {
+        PageDataBatch {
+            pages: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Appends one page.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `content` is not exactly [`PAGE_CONTENT_BYTES`] long.
+    pub fn push(&mut self, page: PageId, rec: PageVersion, content: Bytes) {
+        assert_eq!(
+            content.len(),
+            PAGE_CONTENT_BYTES,
+            "page content must be exactly one page"
+        );
+        self.pages.push((page, rec, content));
+    }
+
+    /// Number of pages in the batch.
+    pub fn len(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+
+    /// The pages in wire order.
+    pub fn pages(&self) -> &[(PageId, PageVersion, Bytes)] {
+        &self.pages
+    }
+
+    /// Consumes the batch into its pages.
+    pub fn into_pages(self) -> Vec<(PageId, PageVersion, Bytes)> {
+        self.pages
+    }
+}
+
+/// Byte-serial FNV-1a, the v1 record checksum.
+///
+/// Kept public as the *legacy reference* the datapath benchmark compares
+/// against: it folds one byte per multiply and dominated encode cost on
+/// 4 KiB payloads, which is why v2 switched to [`StreamingChecksum`].
+pub fn fnv32(bytes: &[u8]) -> u32 {
     let mut h: u32 = 0x811c_9dc5;
     for &b in bytes {
         h ^= b as u32;
         h = h.wrapping_mul(0x0100_0193);
     }
     h
+}
+
+const FNV64_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV64_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+#[inline]
+fn fold64(state: u64, word: u64) -> u64 {
+    (state ^ word).wrapping_mul(FNV64_PRIME)
+}
+
+/// Incremental word-folded checksum used for v2 record framing.
+///
+/// Folds eight input bytes per multiply (little-endian `u64` words) into a
+/// 64-bit FNV-style state, then mixes the total length and folds the state
+/// to 32 bits. The digest depends only on the byte *sequence*, never on how
+/// `update` calls chunk it, so encode workers can hash page payloads as
+/// they stream them into their lane buffers and still match the one-shot
+/// [`checksum`] the decoder computes over the reassembled record.
+#[derive(Debug, Clone)]
+pub struct StreamingChecksum {
+    state: u64,
+    pending: u64,
+    pending_len: u32,
+    total: u64,
+}
+
+impl StreamingChecksum {
+    /// Fresh hasher.
+    pub fn new() -> Self {
+        StreamingChecksum {
+            state: FNV64_OFFSET,
+            pending: 0,
+            pending_len: 0,
+            total: 0,
+        }
+    }
+
+    /// Absorbs `bytes`; chunk boundaries do not affect the digest.
+    pub fn update(&mut self, bytes: &[u8]) {
+        self.total += bytes.len() as u64;
+        let mut rest = bytes;
+        while self.pending_len > 0 && !rest.is_empty() {
+            self.pending |= u64::from(rest[0]) << (8 * self.pending_len);
+            self.pending_len += 1;
+            rest = &rest[1..];
+            if self.pending_len == 8 {
+                self.state = fold64(self.state, self.pending);
+                self.pending = 0;
+                self.pending_len = 0;
+            }
+        }
+        let mut words = rest.chunks_exact(8);
+        for w in &mut words {
+            self.state = fold64(self.state, u64::from_le_bytes(w.try_into().unwrap()));
+        }
+        for &b in words.remainder() {
+            self.pending |= u64::from(b) << (8 * self.pending_len);
+            self.pending_len += 1;
+        }
+    }
+
+    /// Final 32-bit digest. Does not consume the hasher, so a lane can
+    /// snapshot a running digest mid-stream.
+    pub fn finish(&self) -> u32 {
+        let mut state = self.state;
+        if self.pending_len > 0 {
+            // Pad marker disambiguates trailing zero bytes from absent ones.
+            state = fold64(state, self.pending | 0x80u64 << (8 * self.pending_len));
+        }
+        state = fold64(state, self.total);
+        (state ^ (state >> 32)) as u32
+    }
+
+    /// Bytes absorbed so far.
+    pub fn bytes_hashed(&self) -> u64 {
+        self.total
+    }
+}
+
+impl Default for StreamingChecksum {
+    fn default() -> Self {
+        StreamingChecksum::new()
+    }
+}
+
+/// One-shot v2 record checksum over a contiguous slice.
+pub fn checksum(bytes: &[u8]) -> u32 {
+    let mut c = StreamingChecksum::new();
+    c.update(bytes);
+    c.finish()
 }
 
 /// Encodes records into a byte stream.
@@ -163,20 +342,21 @@ pub struct StreamEncoder {
 impl StreamEncoder {
     /// Creates an encoder and writes the stream preamble (magic + version).
     pub fn new() -> Self {
-        let mut buf = BytesMut::with_capacity(4096);
-        buf.put_u32(MAGIC);
-        buf.put_u16(VERSION);
+        StreamEncoder::with_buffer(BytesMut::with_capacity(4096))
+    }
+
+    /// Creates an encoder over a recycled buffer (cleared first), keeping
+    /// its allocation. This is how checkpoint buffer pools avoid a fresh
+    /// allocation per round.
+    pub fn with_buffer(mut buf: BytesMut) -> Self {
+        buf.clear();
+        write_preamble(&mut buf);
         StreamEncoder { buf }
     }
 
-    /// Appends one record.
+    /// Appends one record, framed in place (no scratch buffer).
     pub fn push(&mut self, record: &Record) {
-        let mut payload = BytesMut::new();
-        let tag = encode_payload(record, &mut payload);
-        self.buf.put_u8(tag);
-        self.buf.put_u32(payload.len() as u32);
-        self.buf.put_u32(fnv32(&payload));
-        self.buf.extend_from_slice(&payload);
+        encode_record_into(record, &mut self.buf);
     }
 
     /// Bytes emitted so far (including preamble).
@@ -186,7 +366,12 @@ impl StreamEncoder {
 
     /// `true` if only the preamble has been written.
     pub fn is_empty(&self) -> bool {
-        self.buf.len() == 6
+        self.buf.len() == PREAMBLE_BYTES
+    }
+
+    /// Exposes the underlying buffer, e.g. to attach a [`PageDataWriter`].
+    pub fn buffer_mut(&mut self) -> &mut BytesMut {
+        &mut self.buf
     }
 
     /// Finalises the stream.
@@ -198,6 +383,209 @@ impl StreamEncoder {
 impl Default for StreamEncoder {
     fn default() -> Self {
         StreamEncoder::new()
+    }
+}
+
+/// Preamble length: magic `u32` + version `u16`.
+pub const PREAMBLE_BYTES: usize = 6;
+
+/// Frame header length: tag `u8` + payload length `u32` + checksum `u32`.
+const FRAME_HEADER_BYTES: usize = 9;
+
+/// Writes the stream preamble (magic + version) into `out`.
+pub fn write_preamble(out: &mut BytesMut) {
+    out.put_u32(MAGIC);
+    out.put_u16(VERSION);
+}
+
+/// Patches a frame header written as placeholders at `frame_at`, once the
+/// payload occupying `payload_at..out.len()` is complete.
+fn patch_frame(out: &mut BytesMut, frame_at: usize, payload_at: usize, tag: u8, sum: u32) {
+    let len = (out.len() - payload_at) as u32;
+    out[frame_at] = tag;
+    out[frame_at + 1..frame_at + 5].copy_from_slice(&len.to_be_bytes());
+    out[frame_at + 5..frame_at + 9].copy_from_slice(&sum.to_be_bytes());
+}
+
+/// Reserves a frame header of placeholder bytes, returning its offset.
+fn reserve_frame(out: &mut BytesMut) -> usize {
+    let frame_at = out.len();
+    out.put_u8(0);
+    out.put_u32(0);
+    out.put_u32(0);
+    frame_at
+}
+
+/// Encodes one record directly into `out` with in-place framing: the
+/// payload is written straight after placeholder header bytes, then tag,
+/// length and checksum are patched over the placeholders. No intermediate
+/// buffer, no copy.
+pub fn encode_record_into(record: &Record, out: &mut BytesMut) {
+    let frame_at = reserve_frame(out);
+    let payload_at = out.len();
+    let tag = encode_payload(record, out);
+    let sum = checksum(&out[payload_at..]);
+    patch_frame(out, frame_at, payload_at, tag, sum);
+}
+
+/// Encodes a metadata-only page batch record straight from an entry slice,
+/// so per-worker delta shards can be encoded without first cloning them
+/// into an owned [`MemoryDelta`].
+pub fn encode_page_batch_into(entries: &[(PageId, PageVersion)], out: &mut BytesMut) {
+    let frame_at = reserve_frame(out);
+    let payload_at = out.len();
+    out.reserve(4 + entries.len() * PAGE_META_BYTES);
+    out.put_u32(entries.len() as u32);
+    for &(page, rec) in entries {
+        out.put_u64(page.frame());
+        out.put_u32(rec.version);
+        out.put_u16(rec.last_writer);
+    }
+    let sum = checksum(&out[payload_at..]);
+    patch_frame(out, frame_at, payload_at, TAG_PAGE_BATCH, sum);
+}
+
+/// Streams a [`PageDataBatch`] record into a lane buffer one page at a
+/// time, hashing bytes as they are appended.
+///
+/// The record checksum is accumulated incrementally by a
+/// [`StreamingChecksum`], so `finish` never re-reads the (potentially
+/// multi-MiB) payload; it only patches the 9 placeholder header bytes.
+/// Dropping the writer without calling [`finish`](PageDataWriter::finish)
+/// leaves a zero-tag frame in the buffer, which the decoder rejects — a
+/// half-written batch cannot masquerade as a valid record.
+#[derive(Debug)]
+pub struct PageDataWriter<'a> {
+    out: &'a mut BytesMut,
+    frame_at: usize,
+    payload_at: usize,
+    sum: StreamingChecksum,
+    count: u64,
+}
+
+impl<'a> PageDataWriter<'a> {
+    /// Opens a page-data record in `out`.
+    pub fn new(out: &'a mut BytesMut) -> Self {
+        let frame_at = reserve_frame(out);
+        let payload_at = out.len();
+        PageDataWriter {
+            out,
+            frame_at,
+            payload_at,
+            sum: StreamingChecksum::new(),
+            count: 0,
+        }
+    }
+
+    /// Appends one page's metadata and content.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `content` is not exactly [`PAGE_CONTENT_BYTES`] long.
+    pub fn push(&mut self, page: PageId, rec: PageVersion, content: &[u8]) {
+        assert_eq!(
+            content.len(),
+            PAGE_CONTENT_BYTES,
+            "page content must be exactly one page"
+        );
+        let meta_at = self.out.len();
+        self.out.reserve(PAGE_META_BYTES + PAGE_CONTENT_BYTES);
+        self.out.put_u64(page.frame());
+        self.out.put_u32(rec.version);
+        self.out.put_u16(rec.last_writer);
+        self.sum.update(&self.out[meta_at..]);
+        self.out.extend_from_slice(content);
+        self.sum.update(content);
+        self.count += 1;
+    }
+
+    /// Pages appended so far.
+    pub fn pages(&self) -> u64 {
+        self.count
+    }
+
+    /// Closes the record, patching the frame header; returns the page count.
+    pub fn finish(self) -> u64 {
+        patch_frame(
+            self.out,
+            self.frame_at,
+            self.payload_at,
+            TAG_PAGE_DATA,
+            self.sum.finish(),
+        );
+        self.count
+    }
+}
+
+/// An ordered sequence of independently encoded stream segments.
+///
+/// The parallel encode path produces one frozen [`Bytes`] segment per
+/// worker lane (plus a head segment with the preamble and checkpoint-begin
+/// record and a tail with vCPU/device/end records). Splicing them is just
+/// collecting the segments in order — no concatenation copy ever happens;
+/// [`StreamDecoder::new_scattered`] walks the segment list directly.
+#[derive(Debug, Clone, Default)]
+pub struct ScatterStream {
+    segments: Vec<Bytes>,
+    total: usize,
+}
+
+impl ScatterStream {
+    /// Empty stream.
+    pub fn new() -> Self {
+        ScatterStream::default()
+    }
+
+    /// Appends a segment (empty segments are dropped).
+    pub fn push(&mut self, segment: Bytes) {
+        if !segment.is_empty() {
+            self.total += segment.len();
+            self.segments.push(segment);
+        }
+    }
+
+    /// Total stream length in bytes across all segments.
+    pub fn len(&self) -> usize {
+        self.total
+    }
+
+    /// Whether the stream has no bytes at all.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Number of segments.
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// The segments in stream order.
+    pub fn segments(&self) -> &[Bytes] {
+        &self.segments
+    }
+
+    /// Consumes the stream into its segments.
+    pub fn into_segments(self) -> Vec<Bytes> {
+        self.segments
+    }
+
+    /// Copies the segments into one contiguous buffer. This is the only
+    /// place a scatter stream is ever flattened; the hot path never calls
+    /// it (tests and wire-level tools do).
+    pub fn gather(&self) -> Bytes {
+        let mut buf = Vec::with_capacity(self.total);
+        for seg in &self.segments {
+            buf.extend_from_slice(seg);
+        }
+        Bytes::from(buf)
+    }
+}
+
+impl From<Bytes> for ScatterStream {
+    fn from(bytes: Bytes) -> Self {
+        let mut s = ScatterStream::new();
+        s.push(bytes);
+        s
     }
 }
 
@@ -232,6 +620,16 @@ fn encode_payload(record: &Record, out: &mut BytesMut) -> u8 {
                 out.put_u16(rec.last_writer);
             }
             TAG_PAGE_BATCH
+        }
+        Record::PageDataBatch(batch) => {
+            out.reserve(batch.len() * (PAGE_META_BYTES + PAGE_CONTENT_BYTES));
+            for (page, rec, content) in batch.pages() {
+                out.put_u64(page.frame());
+                out.put_u32(rec.version);
+                out.put_u16(rec.last_writer);
+                out.extend_from_slice(content);
+            }
+            TAG_PAGE_DATA
         }
         Record::VcpuState { index, cir } => {
             out.put_u32(*index);
@@ -306,10 +704,18 @@ fn encode_arch_regs(regs: &ArchRegs, out: &mut BytesMut) {
     });
 }
 
-/// Decodes a byte stream produced by [`StreamEncoder`].
+/// Decodes a byte stream produced by [`StreamEncoder`] and/or the
+/// scatter-gather encode lanes.
+///
+/// The decoder walks an ordered queue of segments. Reads that fall inside
+/// one segment — the overwhelmingly common case, since every record is
+/// encoded into exactly one lane buffer — are zero-copy `split_to` slices;
+/// only a read that genuinely straddles a segment boundary (e.g. a frame
+/// header split across two hand-built fragments) falls back to a copy.
 #[derive(Debug)]
 pub struct StreamDecoder {
-    buf: Bytes,
+    segments: VecDeque<Bytes>,
+    remaining: usize,
 }
 
 impl StreamDecoder {
@@ -320,19 +726,89 @@ impl StreamDecoder {
     /// Returns [`WireError::BadMagic`] or [`WireError::UnsupportedVersion`]
     /// for a foreign or future-format stream, and [`WireError::Truncated`]
     /// if even the preamble is incomplete.
-    pub fn new(mut bytes: Bytes) -> WireResult<Self> {
-        if bytes.remaining() < 6 {
+    pub fn new(bytes: Bytes) -> WireResult<Self> {
+        Self::new_scattered(ScatterStream::from(bytes))
+    }
+
+    /// Like [`new`](StreamDecoder::new), but over a segmented stream whose
+    /// parts are consumed in place — the segments are never concatenated.
+    pub fn new_scattered(stream: ScatterStream) -> WireResult<Self> {
+        let mut dec = StreamDecoder {
+            remaining: stream.len(),
+            segments: stream.into_segments().into(),
+        };
+        if dec.remaining < PREAMBLE_BYTES {
             return Err(WireError::Truncated);
         }
-        let magic = bytes.get_u32();
+        let magic = u32::from_be_bytes(dec.read_array::<4>()?);
         if magic != MAGIC {
             return Err(WireError::BadMagic(magic));
         }
-        let version = bytes.get_u16();
+        let version = u16::from_be_bytes(dec.read_array::<2>()?);
         if version != VERSION {
             return Err(WireError::UnsupportedVersion(version));
         }
-        Ok(StreamDecoder { buf: bytes })
+        Ok(dec)
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.remaining
+    }
+
+    fn skip_spent(&mut self) {
+        while matches!(self.segments.front(), Some(s) if s.is_empty()) {
+            self.segments.pop_front();
+        }
+    }
+
+    fn read_array<const N: usize>(&mut self) -> WireResult<[u8; N]> {
+        if self.remaining < N {
+            return Err(WireError::Truncated);
+        }
+        self.skip_spent();
+        let mut out = [0u8; N];
+        let front = self.segments.front_mut().ok_or(WireError::Truncated)?;
+        if front.remaining() >= N {
+            front.copy_to_slice(&mut out);
+        } else {
+            let mut filled = 0;
+            while filled < N {
+                self.skip_spent();
+                let front = self.segments.front_mut().ok_or(WireError::Truncated)?;
+                let take = (N - filled).min(front.remaining());
+                front.copy_to_slice(&mut out[filled..filled + take]);
+                filled += take;
+            }
+        }
+        self.remaining -= N;
+        Ok(out)
+    }
+
+    fn take_bytes(&mut self, n: usize) -> WireResult<Bytes> {
+        if self.remaining < n {
+            return Err(WireError::Truncated);
+        }
+        self.skip_spent();
+        self.remaining -= n;
+        if n == 0 {
+            return Ok(Bytes::new());
+        }
+        let front = self.segments.front_mut().ok_or(WireError::Truncated)?;
+        if front.len() >= n {
+            return Ok(front.split_to(n));
+        }
+        // Slow path: the span straddles segments — copy it together.
+        let mut buf = Vec::with_capacity(n);
+        let mut left = n;
+        while left > 0 {
+            self.skip_spent();
+            let front = self.segments.front_mut().ok_or(WireError::Truncated)?;
+            let take = left.min(front.len());
+            buf.extend_from_slice(&front.split_to(take));
+            left -= take;
+        }
+        Ok(Bytes::from(buf))
     }
 
     /// Decodes the next record, or `None` at a clean end of stream.
@@ -341,20 +817,17 @@ impl StreamDecoder {
     ///
     /// Any [`WireError`] on truncation, corruption, or unknown records.
     pub fn next_record(&mut self) -> WireResult<Option<Record>> {
-        if self.buf.remaining() == 0 {
+        if self.remaining == 0 {
             return Ok(None);
         }
-        if self.buf.remaining() < 9 {
+        if self.remaining < FRAME_HEADER_BYTES {
             return Err(WireError::Truncated);
         }
-        let tag = self.buf.get_u8();
-        let len = self.buf.get_u32() as usize;
-        let expected_sum = self.buf.get_u32();
-        if self.buf.remaining() < len {
-            return Err(WireError::Truncated);
-        }
-        let payload = self.buf.split_to(len);
-        let actual_sum = fnv32(&payload);
+        let tag = self.read_array::<1>()?[0];
+        let len = u32::from_be_bytes(self.read_array::<4>()?) as usize;
+        let expected_sum = u32::from_be_bytes(self.read_array::<4>()?);
+        let payload = self.take_bytes(len)?;
+        let actual_sum = checksum(&payload);
         if actual_sum != expected_sum {
             return Err(WireError::ChecksumMismatch {
                 expected: expected_sum,
@@ -428,6 +901,31 @@ fn decode_payload(tag: u8, mut p: Bytes) -> WireResult<Record> {
                 );
             }
             Ok(Record::PageBatch(delta))
+        }
+        TAG_PAGE_DATA => {
+            let stride = PAGE_META_BYTES + PAGE_CONTENT_BYTES;
+            if !p.remaining().is_multiple_of(stride) {
+                return Err(WireError::BadPayload(
+                    "page-data record is not a whole number of pages",
+                ));
+            }
+            let count = p.remaining() / stride;
+            let mut batch = PageDataBatch::with_capacity(count);
+            for _ in 0..count {
+                let frame = p.get_u64();
+                let version = p.get_u32();
+                let last_writer = p.get_u16();
+                let content = p.split_to(PAGE_CONTENT_BYTES);
+                batch.push(
+                    PageId::new(frame),
+                    PageVersion {
+                        version,
+                        last_writer,
+                    },
+                    content,
+                );
+            }
+            Ok(Record::PageDataBatch(batch))
         }
         TAG_VCPU => {
             need(&p, 5)?;
@@ -630,7 +1128,7 @@ mod tests {
         buf.put_u16(VERSION);
         buf.put_u8(0x7f);
         buf.put_u32(0);
-        buf.put_u32(fnv32(&[]));
+        buf.put_u32(checksum(&[]));
         let mut dec = StreamDecoder::new(buf.freeze()).unwrap();
         assert_eq!(
             dec.next_record().unwrap_err(),
@@ -669,5 +1167,222 @@ mod tests {
             .collect_records()
             .unwrap();
         assert_eq!(decoded, vec![Record::PageBatch(delta)]);
+    }
+
+    #[test]
+    fn streaming_checksum_is_chunk_invariant() {
+        let data: Vec<u8> = (0..1000u32).map(|i| (i * 7 + 3) as u8).collect();
+        let one_shot = checksum(&data);
+        for chunk in [1usize, 3, 7, 8, 13, 64, 999] {
+            let mut c = StreamingChecksum::new();
+            for piece in data.chunks(chunk) {
+                c.update(piece);
+            }
+            assert_eq!(c.finish(), one_shot, "chunk size {chunk} diverged");
+            assert_eq!(c.bytes_hashed(), data.len() as u64);
+        }
+    }
+
+    #[test]
+    fn streaming_checksum_distinguishes_trailing_zeros() {
+        assert_ne!(checksum(&[]), checksum(&[0]));
+        assert_ne!(checksum(&[0]), checksum(&[0, 0]));
+        assert_ne!(checksum(&[1, 2, 3]), checksum(&[1, 2, 3, 0]));
+    }
+
+    fn page_content(seed: u8) -> Vec<u8> {
+        (0..PAGE_CONTENT_BYTES)
+            .map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed))
+            .collect()
+    }
+
+    #[test]
+    fn page_data_writer_matches_record_encoding() {
+        let pages: Vec<(PageId, PageVersion, Vec<u8>)> = (0..5u64)
+            .map(|f| {
+                (
+                    PageId::new(f * 3),
+                    PageVersion {
+                        version: f as u32 + 1,
+                        last_writer: f as u16,
+                    },
+                    page_content(f as u8),
+                )
+            })
+            .collect();
+
+        // Streamed through the in-place writer.
+        let mut streamed = BytesMut::new();
+        write_preamble(&mut streamed);
+        let mut w = PageDataWriter::new(&mut streamed);
+        for (page, rec, content) in &pages {
+            w.push(*page, *rec, content);
+        }
+        assert_eq!(w.finish(), pages.len() as u64);
+
+        // Built as an owned record and pushed through the encoder.
+        let mut batch = PageDataBatch::new();
+        for (page, rec, content) in &pages {
+            batch.push(*page, *rec, Bytes::from(content.as_slice()));
+        }
+        let mut enc = StreamEncoder::new();
+        enc.push(&Record::PageDataBatch(batch.clone()));
+
+        assert_eq!(&streamed[..], &enc.finish()[..]);
+
+        let decoded = StreamDecoder::new(streamed.freeze())
+            .unwrap()
+            .collect_records()
+            .unwrap();
+        assert_eq!(decoded, vec![Record::PageDataBatch(batch)]);
+    }
+
+    #[test]
+    fn page_data_decode_is_zero_copy() {
+        let mut buf = BytesMut::new();
+        write_preamble(&mut buf);
+        let mut w = PageDataWriter::new(&mut buf);
+        let content = page_content(9);
+        w.push(
+            PageId::new(4),
+            PageVersion {
+                version: 1,
+                last_writer: 0,
+            },
+            &content,
+        );
+        w.finish();
+        let stream = buf.freeze();
+        let mut dec = StreamDecoder::new(stream.clone()).unwrap();
+        let rec = dec.next_record().unwrap().unwrap();
+        let Record::PageDataBatch(batch) = rec else {
+            panic!("expected a page-data record");
+        };
+        let (_, _, decoded_content) = &batch.pages()[0];
+        assert_eq!(&decoded_content[..], &content[..]);
+        // The decoded content shares the stream's storage: reclaiming the
+        // stream fails while the slice is alive, proving no copy was made.
+        assert!(stream.try_into_mut().is_err());
+    }
+
+    #[test]
+    fn scattered_segments_decode_like_contiguous() {
+        let records = sample_records();
+
+        // Head segment: preamble + first record; one record per further
+        // segment — the shape the per-lane encode produces.
+        let mut stream = ScatterStream::new();
+        let mut head = StreamEncoder::new();
+        head.push(&records[0]);
+        stream.push(head.finish());
+        for r in &records[1..] {
+            let mut seg = BytesMut::new();
+            encode_record_into(r, &mut seg);
+            stream.push(seg.freeze());
+        }
+
+        let gathered = stream.gather();
+        let total = stream.len();
+        assert_eq!(gathered.len(), total);
+
+        let decoded = StreamDecoder::new_scattered(stream)
+            .unwrap()
+            .collect_records()
+            .unwrap();
+        assert_eq!(decoded, records);
+
+        let decoded_flat = StreamDecoder::new(gathered)
+            .unwrap()
+            .collect_records()
+            .unwrap();
+        assert_eq!(decoded_flat, records);
+    }
+
+    #[test]
+    fn reads_straddling_segment_boundaries_still_decode() {
+        // Split a contiguous stream at every possible byte boundary; the
+        // decoder must not care where the seams fall.
+        let mut enc = StreamEncoder::new();
+        enc.push(&Record::CheckpointBegin { seq: 7 });
+        enc.push(&Record::Ack { seq: 7 });
+        let flat = enc.finish();
+        for cut in 1..flat.len() {
+            let mut stream = ScatterStream::new();
+            stream.push(flat.slice(0..cut));
+            stream.push(flat.slice(cut..flat.len()));
+            let decoded = StreamDecoder::new_scattered(stream)
+                .unwrap()
+                .collect_records()
+                .unwrap();
+            assert_eq!(
+                decoded,
+                vec![Record::CheckpointBegin { seq: 7 }, Record::Ack { seq: 7 },],
+                "failed when cut at byte {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn slice_page_batch_encoding_matches_owned_record() {
+        let entries: Vec<(PageId, PageVersion)> = (0..100u64)
+            .map(|f| {
+                (
+                    PageId::new(f),
+                    PageVersion {
+                        version: (f % 5) as u32 + 1,
+                        last_writer: (f % 3) as u16,
+                    },
+                )
+            })
+            .collect();
+        let mut direct = BytesMut::new();
+        encode_page_batch_into(&entries, &mut direct);
+
+        let delta = MemoryDelta::from_entries(entries);
+        let mut via_record = BytesMut::new();
+        encode_record_into(&Record::PageBatch(delta), &mut via_record);
+
+        assert_eq!(&direct[..], &via_record[..]);
+    }
+
+    #[test]
+    fn encoder_buffer_reuse_produces_identical_streams() {
+        let records = sample_records();
+        let mut enc = StreamEncoder::new();
+        for r in &records {
+            enc.push(r);
+        }
+        let first = enc.finish();
+
+        // Recycle the frozen stream's storage into a second encoder.
+        let recycled = first
+            .clone()
+            .try_into_mut()
+            .err()
+            .map(|_| BytesMut::with_capacity(first.len()))
+            .unwrap_or_default();
+        let mut enc2 = StreamEncoder::with_buffer(recycled);
+        for r in &records {
+            enc2.push(r);
+        }
+        assert_eq!(first, enc2.finish());
+    }
+
+    #[test]
+    fn unfinished_page_data_writer_is_rejected_by_decoder() {
+        let mut buf = BytesMut::new();
+        write_preamble(&mut buf);
+        let mut w = PageDataWriter::new(&mut buf);
+        w.push(
+            PageId::new(1),
+            PageVersion {
+                version: 1,
+                last_writer: 0,
+            },
+            &page_content(1),
+        );
+        let _unfinished = w; // never finished: placeholder frame stays zeroed
+        let mut dec = StreamDecoder::new(buf.freeze()).unwrap();
+        assert!(dec.next_record().is_err());
     }
 }

@@ -9,7 +9,7 @@
 
 #![warn(missing_docs)]
 
-use std::ops::{Deref, Range};
+use std::ops::{Deref, DerefMut, Range};
 use std::sync::Arc;
 
 /// Read-side trait mirroring `bytes::Buf` for the subset we use.
@@ -74,6 +74,27 @@ impl BytesMut {
         self.buf.extend_from_slice(src);
     }
 
+    /// Clears the buffer, keeping its allocation for reuse.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
+    /// Bytes the buffer can hold without reallocating.
+    pub fn capacity(&self) -> usize {
+        self.buf.capacity()
+    }
+
+    /// Reserves room for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.buf.reserve(additional);
+    }
+
+    /// Grows the buffer to `new_len`, filling with `value` (mirrors
+    /// `Vec::resize`; the real crate exposes the same method).
+    pub fn resize(&mut self, new_len: usize, value: u8) {
+        self.buf.resize(new_len, value);
+    }
+
     /// Converts into an immutable [`Bytes`] without copying.
     pub fn freeze(self) -> Bytes {
         Bytes::from(self.buf)
@@ -103,6 +124,12 @@ impl Deref for BytesMut {
 
     fn deref(&self) -> &[u8] {
         &self.buf
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.buf
     }
 }
 
@@ -161,6 +188,25 @@ impl Bytes {
     /// Copies the view into a fresh `Vec<u8>`.
     pub fn to_vec(&self) -> Vec<u8> {
         self.as_slice().to_vec()
+    }
+
+    /// Attempts to reclaim the storage as a mutable buffer without
+    /// copying, mirroring `bytes::Bytes::try_into_mut`: succeeds only when
+    /// this view is the sole owner of the whole allocation; otherwise the
+    /// view is handed back unchanged. Buffer pools use this to recycle
+    /// encode buffers once a checkpoint stream has been fully consumed.
+    pub fn try_into_mut(self) -> Result<BytesMut, Bytes> {
+        if self.start != 0 || self.end != self.storage.len() {
+            return Err(self);
+        }
+        match Arc::try_unwrap(self.storage) {
+            Ok(buf) => Ok(BytesMut { buf }),
+            Err(storage) => Err(Bytes {
+                start: 0,
+                end: storage.len(),
+                storage,
+            }),
+        }
     }
 
     fn as_slice(&self) -> &[u8] {
@@ -276,6 +322,33 @@ mod tests {
         let mid = b.slice(1..3);
         assert_eq!(&*mid, &[4, 5]);
         assert_eq!(mid.to_vec(), vec![4, 5]);
+    }
+
+    #[test]
+    fn try_into_mut_reclaims_sole_owner() {
+        let b = Bytes::from(vec![1, 2, 3]);
+        let m = b.try_into_mut().expect("sole owner reclaims");
+        assert_eq!(&m[..], &[1, 2, 3]);
+
+        let b = Bytes::from(vec![4, 5, 6]);
+        let clone = b.clone();
+        assert!(b.try_into_mut().is_err(), "shared storage is not reclaimed");
+        drop(clone);
+
+        let mut b = Bytes::from(vec![7, 8, 9]);
+        let _head = b.split_to(1);
+        assert!(b.try_into_mut().is_err(), "partial view is not reclaimed");
+    }
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let mut m = BytesMut::with_capacity(64);
+        m.extend_from_slice(&[1; 10]);
+        let cap = m.capacity();
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.capacity(), cap);
+        m[..0].fill(0); // DerefMut compiles
     }
 
     #[test]
