@@ -7,9 +7,10 @@
 //! With no experiment arguments, runs everything. Experiments: `tab1`,
 //! `tab2`, `tab5`, `demo`, `fig5`, `fig6`, `fig7`, `fig8`, `fig9`, `fig10`,
 //! `fig11`, `fig12`, `fig13`, `fig14`, `fig15`, `fig16`, `fig17`,
-//! `overhead`, `stages`, `datapath`. `--quick` uses scaled-down
+//! `overhead`, `stages`, `datapath`, `observe`. `--quick` uses scaled-down
 //! configurations. `datapath` measures real wall-clock throughput (not
-//! cost-model time) and writes `BENCH_datapath.json`.
+//! cost-model time) and writes `BENCH_datapath.json`; `observe` measures
+//! the telemetry layer's overhead and writes `BENCH_observe.json`.
 
 use std::process::ExitCode;
 
@@ -21,6 +22,7 @@ use here_bench::experiments::datapath::run_datapath;
 use here_bench::experiments::dynamic::{run_fig10, run_fig9};
 use here_bench::experiments::migration::{run_fig6_idle, run_fig6_loaded, run_fig7};
 use here_bench::experiments::network::run_fig17;
+use here_bench::experiments::observe::run_observe;
 use here_bench::experiments::overhead::run_overhead;
 use here_bench::experiments::security::{
     run_heterogeneity_demo, run_table1, run_table2, run_table5,
@@ -33,6 +35,7 @@ use here_core::Strategy;
 const ALL: &[&str] = &[
     "tab1", "tab2", "tab5", "demo", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
     "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "overhead", "stages", "datapath",
+    "observe",
 ];
 
 fn main() -> ExitCode {
@@ -103,6 +106,7 @@ fn run_one(which: &str, scale: Scale) {
         "overhead" => overhead(scale),
         "stages" => stages(scale),
         "datapath" => datapath(scale),
+        "observe" => observe(scale),
         _ => unreachable!("validated in main"),
     }
 }
@@ -515,6 +519,34 @@ fn datapath(scale: Scale) {
     match std::fs::write("BENCH_datapath.json", &out.json) {
         Ok(()) => println!("  wrote BENCH_datapath.json"),
         Err(e) => eprintln!("  could not write BENCH_datapath.json: {e}"),
+    }
+}
+
+fn observe(scale: Scale) {
+    println!("Observe — telemetry-layer overhead and run snapshot");
+    let out = run_observe(scale);
+    println!(
+        "  overhead probe: {} pages, {}-lane materialized encode, {} rounds, host has {} CPU core(s)",
+        out.pages, out.lanes, out.rounds, out.host_cpus,
+    );
+    println!(
+        "  baseline {} ms -> instrumented {} ms: overhead {}% (bar: < 5%)",
+        num(out.baseline_ms, 3),
+        num(out.instrumented_ms, 3),
+        num(out.overhead_pct, 2),
+    );
+    println!(
+        "  scenario telemetry: {} metric families, {} flight events ({} dropped), \
+         SLO {}/{} checkpoints breached\n",
+        out.metric_count,
+        out.flight_events_recorded,
+        out.flight_events_dropped,
+        out.slo_breaches,
+        out.slo_evaluated,
+    );
+    match std::fs::write("BENCH_observe.json", &out.json) {
+        Ok(()) => println!("  wrote BENCH_observe.json"),
+        Err(e) => eprintln!("  could not write BENCH_observe.json: {e}"),
     }
 }
 

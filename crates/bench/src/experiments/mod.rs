@@ -10,6 +10,7 @@ pub mod datapath;
 pub mod dynamic;
 pub mod migration;
 pub mod network;
+pub mod observe;
 pub mod overhead;
 pub mod security;
 pub mod stages;

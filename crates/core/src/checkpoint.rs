@@ -33,7 +33,19 @@ pub(crate) fn do_checkpoint(session: &mut Session, period_used: SimDuration) -> 
     let events = session.trace.for_seq(summary.seq);
     let record = CheckpointRecord::from_events(period_used, &events);
     debug_assert_eq!(record.pause, summary.pause);
-    session.period.on_checkpoint(record.pause);
+    let mut decision = session.period.on_checkpoint(record.pause);
+    decision.dirty_pages = record.dirty_pages;
+    let at_nanos = session.rel(session.clock).as_nanos();
+    session
+        .telemetry
+        .on_checkpoint(&record, &decision, at_nanos);
+    session.telemetry.on_pool_stats(
+        session.pools.buffers.hits(),
+        session.pools.buffers.misses(),
+        session.pools.buffers.pooled() as u64,
+        at_nanos,
+    );
+    session.period_decisions.push(decision);
     session.cpu_work += session
         .cfg
         .costs
@@ -120,6 +132,8 @@ pub(crate) fn run_replicated(scenario: Scenario) -> CoreResult<RunReport> {
         session.workload.reset();
         session.checkpoints.clear();
         session.trace.clear();
+        session.period_decisions.clear();
+        session.telemetry.reset();
         session.period_series = here_sim_core::metrics::TimeSeries::new("period_secs");
         session.degradation_series = here_sim_core::metrics::TimeSeries::new("degradation_pct");
         session.latencies = here_sim_core::metrics::Histogram::new();

@@ -187,6 +187,25 @@ pub fn encode_pages_parallel(
     mode: PayloadMode,
     pool: &mut BufferPool,
 ) -> Vec<Bytes> {
+    encode_pages_parallel_timed(delta, lanes, mode, pool).0
+}
+
+/// [`encode_pages_parallel`] plus per-lane wall-clock timings: result `.1`
+/// holds, for each returned segment, the host nanoseconds its lane spent
+/// encoding (measured around the shard encode only, not the buffer
+/// checkout). The telemetry layer feeds these into the
+/// `here_encode_lane_wall_nanos` histogram and the flight recorder, making
+/// lane imbalance observable without re-instrumenting call sites.
+///
+/// # Panics
+///
+/// Panics if `lanes` is zero.
+pub fn encode_pages_parallel_timed(
+    delta: &MemoryDelta,
+    lanes: u32,
+    mode: PayloadMode,
+    pool: &mut BufferPool,
+) -> (Vec<Bytes>, Vec<u64>) {
     assert!(lanes >= 1, "at least one encode lane is required");
     let lanes = if delta.len() < PARALLEL_ENCODE_MIN_PAGES {
         1
@@ -195,22 +214,29 @@ pub fn encode_pages_parallel(
     };
     let shards = delta.shards(lanes as usize);
     if shards.is_empty() {
-        return Vec::new();
+        return (Vec::new(), Vec::new());
     }
     let mut bufs: Vec<BytesMut> = shards
         .iter()
         .map(|s| pool.checkout(segment_capacity(s.len(), mode)))
         .collect();
+    let mut walls = vec![0u64; shards.len()];
     if shards.len() == 1 {
+        let start = std::time::Instant::now();
         encode_shard(shards[0], mode, &mut bufs[0]);
+        walls[0] = start.elapsed().as_nanos() as u64;
     } else {
         std::thread::scope(|scope| {
-            for (shard, buf) in shards.iter().zip(bufs.iter_mut()) {
-                scope.spawn(move || encode_shard(shard, mode, buf));
+            for ((shard, buf), wall) in shards.iter().zip(bufs.iter_mut()).zip(walls.iter_mut()) {
+                scope.spawn(move || {
+                    let start = std::time::Instant::now();
+                    encode_shard(shard, mode, buf);
+                    *wall = start.elapsed().as_nanos() as u64;
+                });
             }
         });
     }
-    bufs.into_iter().map(BytesMut::freeze).collect()
+    (bufs.into_iter().map(BytesMut::freeze).collect(), walls)
 }
 
 fn blob_to_cir(
@@ -428,6 +454,19 @@ mod tests {
         assert_eq!(pool.misses(), 4);
         assert_eq!(pool.hits(), 12);
         assert_eq!(pool.pooled(), 4);
+    }
+
+    #[test]
+    fn timed_encode_reports_one_wall_per_lane() {
+        let delta = delta_of(4096);
+        let mut pool = BufferPool::new();
+        let (segs, walls) =
+            encode_pages_parallel_timed(&delta, 4, PayloadMode::Metadata, &mut pool);
+        assert_eq!(segs.len(), 4);
+        assert_eq!(walls.len(), 4);
+        // The timed and untimed entry points must produce identical bytes.
+        let plain = encode_pages_parallel(&delta, 4, PayloadMode::Metadata, &mut pool);
+        assert_eq!(segs, plain);
     }
 
     #[test]

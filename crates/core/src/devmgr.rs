@@ -20,6 +20,9 @@ use here_vmstate::translate::StateTranslator;
 pub struct DeviceManager {
     io: IoBuffer,
     switches_performed: u32,
+    packets_buffered: u64,
+    packets_released: u64,
+    packets_discarded: u64,
 }
 
 /// Summary of one failover device switch.
@@ -41,12 +44,15 @@ impl DeviceManager {
 
     /// Buffers one outgoing packet emitted at `now`.
     pub fn buffer_outgoing(&mut self, size: ByteSize, now: SimTime) -> u64 {
+        self.packets_buffered += 1;
         self.io.enqueue(size, now)
     }
 
     /// Checkpoint commit: releases everything buffered.
     pub fn on_commit(&mut self, now: SimTime) -> Vec<ReleasedPacket> {
-        self.io.release_all(now)
+        let released = self.io.release_all(now);
+        self.packets_released += released.len() as u64;
+        released
     }
 
     /// The underlying buffer (observability).
@@ -59,6 +65,21 @@ impl DeviceManager {
         self.switches_performed
     }
 
+    /// Cumulative packets buffered over the session.
+    pub fn packets_buffered(&self) -> u64 {
+        self.packets_buffered
+    }
+
+    /// Cumulative packets released at commits.
+    pub fn packets_released(&self) -> u64 {
+        self.packets_released
+    }
+
+    /// Cumulative packets discarded by failover rollbacks.
+    pub fn packets_discarded(&self) -> u64 {
+        self.packets_discarded
+    }
+
     /// Failover: discard uncommitted output, then run the agent protocol on
     /// the replica — unplug all primary-family devices, plug the
     /// secondary-family equivalents, and signal completion.
@@ -68,6 +89,7 @@ impl DeviceManager {
         translator: Option<&StateTranslator>,
     ) -> DeviceSwitchReport {
         let packets_discarded = self.io.discard_all();
+        self.packets_discarded += packets_discarded as u64;
         let new_family = translator.map(|t| t.target()).unwrap_or_else(|| {
             replica
                 .devices()
@@ -130,6 +152,9 @@ mod tests {
         assert_eq!(out.len(), 2);
         assert!(out[0].packet.created_at < out[1].packet.created_at);
         assert!(dm.io().is_empty());
+        assert_eq!(dm.packets_buffered(), 2);
+        assert_eq!(dm.packets_released(), 2);
+        assert_eq!(dm.packets_discarded(), 0);
     }
 
     #[test]

@@ -336,6 +336,7 @@ fn run_unprotected(scenario: Scenario) -> RunReport {
         migration: None,
         checkpoints: Vec::new(),
         stage_events: Vec::new(),
+        period_decisions: Vec::new(),
         period_series: TimeSeries::new("period_secs"),
         degradation_series: TimeSeries::new("degradation_pct"),
         packet_latencies: latencies,
@@ -345,6 +346,7 @@ fn run_unprotected(scenario: Scenario) -> RunReport {
             rss: ByteSize::ZERO,
         },
         consistency_checks: 0,
+        telemetry: None,
     }
 }
 

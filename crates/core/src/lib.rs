@@ -22,6 +22,8 @@
 //!   pluggable [`ReplicationStrategy`](pipeline::ReplicationStrategy);
 //! - [`trace`]: structured [`StageEvent`](trace::StageEvent)s emitted at
 //!   every stage boundary;
+//! - [`telemetry`]: the always-on observability bundle — metrics registry,
+//!   flight recorder and SLO tracker — frozen into every report;
 //! - [`report`]: the measurements each run produces, derived from the
 //!   stage trace.
 //!
@@ -57,6 +59,7 @@ pub mod period;
 pub mod pipeline;
 pub mod report;
 pub mod session;
+pub mod telemetry;
 pub mod trace;
 pub mod transfer;
 
@@ -64,7 +67,10 @@ pub use config::{CostModel, PeriodPolicy, ReplicationConfig, Strategy};
 pub use engine::{FailureCause, FailurePlan, Scenario, ScenarioBuilder};
 pub use error::{CoreError, CoreResult};
 pub use failover::FailoverRecord;
-pub use period::{degradation, DynamicPeriodManager, PeriodManager};
+pub use period::{
+    degradation, ClampReason, DynamicPeriodManager, PeriodAction, PeriodDecision, PeriodManager,
+};
 pub use pipeline::{HereStrategy, RemusStrategy, ReplicationStrategy};
 pub use report::{CheckpointRecord, MigrationOutcome, RunReport};
+pub use telemetry::{SessionTelemetry, TelemetrySnapshot, FLIGHT_RECORDER_CAPACITY};
 pub use trace::{stage_totals, Stage, StageEvent, StageTrace};

@@ -50,6 +50,10 @@ pub(crate) fn seed(session: &mut Session) -> CoreResult<MigrationOutcome> {
     session.advance(round, false);
     session.install_delta(&full_delta, 0)?;
     pages_sent += total_pages;
+    let at_nanos = session.clock.as_nanos();
+    session
+        .telemetry
+        .on_migration_iteration(0, total_pages, "full_copy", at_nanos);
     iterations.push(IterationStats {
         index: 0,
         pages: total_pages,
@@ -80,6 +84,13 @@ pub(crate) fn seed(session: &mut Session) -> CoreResult<MigrationOutcome> {
             pages_sent += final_delta.len() as u64;
             session.clock += downtime;
             session.primary.vm_mut(session.pvm)?.resume()?;
+            let at_nanos = session.clock.as_nanos();
+            session.telemetry.on_migration_iteration(
+                iter as u64,
+                final_delta.len() as u64,
+                "stop_and_copy",
+                at_nanos,
+            );
             iterations.push(IterationStats {
                 index: iter,
                 pages: final_delta.len() as u64,
@@ -108,6 +119,10 @@ pub(crate) fn seed(session: &mut Session) -> CoreResult<MigrationOutcome> {
         session.advance(round, false);
         session.install_delta(&delta, iter)?;
         pages_sent += dirty_count;
+        let at_nanos = session.clock.as_nanos();
+        session
+            .telemetry
+            .on_migration_iteration(iter as u64, dirty_count, "pre_copy", at_nanos);
         iterations.push(IterationStats {
             index: iter,
             pages: dirty_count,

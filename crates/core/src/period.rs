@@ -29,6 +29,83 @@ pub fn degradation(pause: SimDuration, period: SimDuration) -> f64 {
     }
 }
 
+/// What Algorithm 1's loop body did on one iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PeriodAction {
+    /// Far below target (`D_curr <= D/2`): halve the period.
+    FastDescent,
+    /// Within budget near the target: shrink by one step `σ` (line 8).
+    StepDescent,
+    /// First overshoot: return to the last-known-good period (line 10).
+    WalkBack,
+    /// Sustained overshoot: jump to the midpoint of `(T, T_max)`
+    /// (lines 12–13).
+    MidpointJump,
+    /// Sustained overshoot with unbounded `T_max`: double the period.
+    Double,
+    /// The period did not move (fixed-period controller).
+    Hold,
+}
+
+impl PeriodAction {
+    /// Stable snake_case label for exports and the flight recorder.
+    pub fn label(self) -> &'static str {
+        match self {
+            PeriodAction::FastDescent => "fast_descent",
+            PeriodAction::StepDescent => "step_descent",
+            PeriodAction::WalkBack => "walk_back",
+            PeriodAction::MidpointJump => "midpoint_jump",
+            PeriodAction::Double => "double",
+            PeriodAction::Hold => "hold",
+        }
+    }
+}
+
+/// Which bound clipped the chosen period, if any.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ClampReason {
+    /// The choice exceeded the hard cap and was pulled back to `T_max`.
+    TMax,
+    /// The choice fell below one step `σ` and was raised to the floor.
+    SigmaFloor,
+}
+
+impl ClampReason {
+    /// Stable snake_case label for exports and the flight recorder.
+    pub fn label(self) -> &'static str {
+        match self {
+            ClampReason::TMax => "t_max",
+            ClampReason::SigmaFloor => "sigma_floor",
+        }
+    }
+}
+
+/// The structured outcome of one period-controller iteration: what was
+/// measured, what was chosen, and why. Surfaced per checkpoint in
+/// [`crate::report::RunReport::period_decisions`] and mirrored into the
+/// flight recorder.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PeriodDecision {
+    /// Dirty pages `N` of the checkpoint that fed the decision (filled in
+    /// by the caller — the controller itself only sees the pause).
+    pub dirty_pages: u64,
+    /// Measured pause `t` of the finished epoch.
+    pub measured_pause: SimDuration,
+    /// Measured degradation `D_curr = t / (t + T_prev)` of that epoch.
+    pub measured_degradation: f64,
+    /// Period the finished epoch ran with.
+    pub previous_period: SimDuration,
+    /// Period chosen for the next epoch.
+    pub chosen_period: SimDuration,
+    /// Degradation the next epoch is predicted to see if the pause
+    /// repeats: `t / (t + T_chosen)`.
+    pub predicted_degradation: f64,
+    /// Which branch of the algorithm ran.
+    pub action: PeriodAction,
+    /// Which bound clipped the choice, if any.
+    pub clamp: Option<ClampReason>,
+}
+
 /// The period controller: either a fixed period or Algorithm 1.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum PeriodManager {
@@ -60,10 +137,23 @@ impl PeriodManager {
     }
 
     /// Feeds the measured pause of the checkpoint that just completed;
-    /// returns the period for the next epoch.
-    pub fn on_checkpoint(&mut self, pause: SimDuration) -> SimDuration {
+    /// returns the structured decision (whose `chosen_period` is the
+    /// period for the next epoch). A fixed controller holds its period.
+    pub fn on_checkpoint(&mut self, pause: SimDuration) -> PeriodDecision {
         match self {
-            PeriodManager::Fixed(t) => *t,
+            PeriodManager::Fixed(t) => {
+                let d = degradation(pause, *t);
+                PeriodDecision {
+                    dirty_pages: 0,
+                    measured_pause: pause,
+                    measured_degradation: d,
+                    previous_period: *t,
+                    chosen_period: *t,
+                    predicted_degradation: d,
+                    action: PeriodAction::Hold,
+                    clamp: None,
+                }
+            }
             PeriodManager::Dynamic(d) => d.on_checkpoint(pause),
         }
     }
@@ -127,9 +217,13 @@ impl DynamicPeriodManager {
 
     /// One iteration of Algorithm 1's loop body, fed with the measured
     /// pause duration `t_curr` of the checkpoint that just completed.
-    /// Returns the new period.
-    pub fn on_checkpoint(&mut self, t_curr: SimDuration) -> SimDuration {
+    /// Returns the structured decision; `decision.chosen_period` is the
+    /// new period (also readable via [`Self::current`]).
+    pub fn on_checkpoint(&mut self, t_curr: SimDuration) -> PeriodDecision {
+        let previous_period = self.t;
         let d_curr = degradation(t_curr, self.t);
+        let mut clamp = None;
+        let action;
         if d_curr <= self.d_target {
             // Within budget: remember this period and probe lower (lines
             // 7–8). Near the target the probe is one step sigma; when the
@@ -139,33 +233,60 @@ impl DynamicPeriodManager {
             // fast path the descent from T = T_max would take hundreds of
             // checkpoints. The period never drops below one step.
             self.t_prev = self.t;
-            self.t = if d_curr <= self.d_target / 2.0 {
-                (self.t / 2).round_to(self.sigma).max(self.sigma)
+            let raw = if d_curr <= self.d_target / 2.0 {
+                action = PeriodAction::FastDescent;
+                let half = self.t / 2;
+                if half < self.sigma {
+                    // The rounding below pulls the halved period back up to
+                    // one step: the floor, not the halving, decided.
+                    clamp = Some(ClampReason::SigmaFloor);
+                }
+                half.round_to(self.sigma)
             } else {
-                self.t.saturating_sub(self.sigma).max(self.sigma)
+                action = PeriodAction::StepDescent;
+                self.t.saturating_sub(self.sigma)
             };
+            if raw < self.sigma {
+                clamp = Some(ClampReason::SigmaFloor);
+            }
+            self.t = raw.max(self.sigma);
         } else if self.d_prev <= self.d_target {
             // First overshoot: walk back to the last-known-good period
             // (line 10).
+            action = PeriodAction::WalkBack;
             self.t = self.t_prev;
         } else {
             // Still over budget: jump to the midpoint between the current
             // period and T_max, rounded to sigma (lines 12–13). With an
             // unbounded T_max the recovery doubles the period instead.
             self.t_prev = self.t;
-            self.t = if self.t_max == SimDuration::MAX {
-                (self.t * 2).round_to(self.sigma).max(self.sigma)
+            let raw = if self.t_max == SimDuration::MAX {
+                action = PeriodAction::Double;
+                (self.t * 2).round_to(self.sigma)
             } else {
-                ((self.t + self.t_max) / 2)
-                    .round_to(self.sigma)
-                    .max(self.sigma)
+                action = PeriodAction::MidpointJump;
+                ((self.t + self.t_max) / 2).round_to(self.sigma)
             };
+            if raw < self.sigma {
+                clamp = Some(ClampReason::SigmaFloor);
+            }
+            self.t = raw.max(self.sigma);
         }
-        if self.t_max != SimDuration::MAX {
-            self.t = self.t.clamp(self.sigma, self.t_max);
+        if self.t_max != SimDuration::MAX && self.t > self.t_max {
+            clamp = Some(ClampReason::TMax);
+            self.t = self.t_max;
         }
         self.d_prev = d_curr;
-        self.t
+        PeriodDecision {
+            dirty_pages: 0,
+            measured_pause: t_curr,
+            measured_degradation: d_curr,
+            previous_period,
+            chosen_period: self.t,
+            predicted_degradation: degradation(t_curr, self.t),
+            action,
+            clamp,
+        }
     }
 }
 
@@ -197,23 +318,33 @@ mod tests {
         let mut m = mgr(0.3, 10);
         // A tiny pause keeps D_curr ~ 0: far below target, so the fast
         // descent halves the period.
-        let t1 = m.on_checkpoint(SimDuration::from_millis(10));
-        assert_eq!(t1, SimDuration::from_secs(5));
-        let t2 = m.on_checkpoint(SimDuration::from_millis(10));
-        assert_eq!(t2, SimDuration::from_secs(3));
+        let d1 = m.on_checkpoint(SimDuration::from_millis(10));
+        assert_eq!(d1.chosen_period, SimDuration::from_secs(5));
+        assert_eq!(d1.previous_period, SimDuration::from_secs(10));
+        assert_eq!(d1.action, PeriodAction::FastDescent);
+        assert_eq!(d1.clamp, None);
+        let d2 = m.on_checkpoint(SimDuration::from_millis(10));
+        assert_eq!(d2.chosen_period, SimDuration::from_secs(3));
         // Close to the target (D_curr in (D/2, D]): single sigma steps.
         // t = 1 s at T = 3 s gives D_curr = 0.25, within (0.15, 0.3].
-        let t3 = m.on_checkpoint(SimDuration::from_secs(1));
-        assert_eq!(t3, SimDuration::from_secs(2));
+        let d3 = m.on_checkpoint(SimDuration::from_secs(1));
+        assert_eq!(d3.chosen_period, SimDuration::from_secs(2));
+        assert_eq!(d3.action, PeriodAction::StepDescent);
+        assert!((d3.measured_degradation - 0.25).abs() < 1e-12);
+        // Predicted: the same 1 s pause at T = 2 s gives 1/3.
+        assert!((d3.predicted_degradation - 1.0 / 3.0).abs() < 1e-12);
     }
 
     #[test]
     fn never_shrinks_below_sigma() {
         let mut m = DynamicPeriodManager::new(0.5, SimDuration::from_secs(2), SEC);
+        let mut last = None;
         for _ in 0..10 {
-            m.on_checkpoint(SimDuration::from_millis(1));
+            last = Some(m.on_checkpoint(SimDuration::from_millis(1)));
         }
         assert_eq!(m.current(), SEC);
+        // Once parked at the floor the clamp reason says so.
+        assert_eq!(last.unwrap().clamp, Some(ClampReason::SigmaFloor));
     }
 
     #[test]
@@ -224,8 +355,9 @@ mod tests {
         m.on_checkpoint(SimDuration::from_secs(3)); // T: 9 -> 8, good
                                                     // Now a big pause at T=8: D = 8/(8+8) = 0.5 > 0.3; D_prev was good,
                                                     // so walk back to T_prev = 9.
-        let t = m.on_checkpoint(SimDuration::from_secs(8));
-        assert_eq!(t, SimDuration::from_secs(9));
+        let d = m.on_checkpoint(SimDuration::from_secs(8));
+        assert_eq!(d.chosen_period, SimDuration::from_secs(9));
+        assert_eq!(d.action, PeriodAction::WalkBack);
     }
 
     #[test]
@@ -289,12 +421,33 @@ mod tests {
         // T past the hard cap: the midpoint of (T, T_max) rounded up to a
         // sigma multiple is re-clamped to T_max.
         let mut m = mgr(0.2, 10);
+        let mut last = None;
         for _ in 0..20 {
-            let t = m.on_checkpoint(SimDuration::from_secs(1_000));
-            assert!(t <= SimDuration::from_secs(10), "T {t} exceeded T_max");
+            let d = m.on_checkpoint(SimDuration::from_secs(1_000));
+            assert!(
+                d.chosen_period <= SimDuration::from_secs(10),
+                "T {} exceeded T_max",
+                d.chosen_period
+            );
+            last = Some(d);
         }
         // With every checkpoint over budget the controller parks at T_max.
         assert_eq!(m.current(), SimDuration::from_secs(10));
+        assert_eq!(last.unwrap().action, PeriodAction::MidpointJump);
+    }
+
+    #[test]
+    fn t_max_clamp_is_recorded_in_the_decision() {
+        // sigma = 2 s, T_max = 3 s: the recovery midpoint of (3, 3) rounds
+        // up to 4 s and must be pulled back to the cap, with the decision
+        // naming T_max as the clamp reason.
+        let mut m =
+            DynamicPeriodManager::new(0.2, SimDuration::from_secs(3), SimDuration::from_secs(2));
+        m.on_checkpoint(SimDuration::from_secs(100)); // walk-back (no move)
+        let d = m.on_checkpoint(SimDuration::from_secs(100));
+        assert_eq!(d.action, PeriodAction::MidpointJump);
+        assert_eq!(d.clamp, Some(ClampReason::TMax));
+        assert_eq!(d.chosen_period, SimDuration::from_secs(3));
     }
 
     #[test]
@@ -303,21 +456,21 @@ mod tests {
         // instead of stepping by sigma.
         let mut m = mgr(0.4, 24);
         assert_eq!(
-            m.on_checkpoint(SimDuration::from_millis(1)),
+            m.on_checkpoint(SimDuration::from_millis(1)).chosen_period,
             SimDuration::from_secs(12)
         );
         assert_eq!(
-            m.on_checkpoint(SimDuration::from_millis(1)),
+            m.on_checkpoint(SimDuration::from_millis(1)).chosen_period,
             SimDuration::from_secs(6)
         );
         assert_eq!(
-            m.on_checkpoint(SimDuration::from_millis(1)),
+            m.on_checkpoint(SimDuration::from_millis(1)).chosen_period,
             SimDuration::from_secs(3)
         );
         // Just above D/2 leaves the fast path: a single sigma step.
         // t = 1 s at T = 3 s gives D_curr = 0.25, in (0.2, 0.4].
         assert_eq!(
-            m.on_checkpoint(SimDuration::from_secs(1)),
+            m.on_checkpoint(SimDuration::from_secs(1)).chosen_period,
             SimDuration::from_secs(2)
         );
     }
@@ -337,7 +490,7 @@ mod tests {
         let pause = SimDuration::from_millis(900); // equilibrium T* = 2.1 s
         let mut reached_at = None;
         for i in 0..30 {
-            let t = m.on_checkpoint(pause);
+            let t = m.on_checkpoint(pause).chosen_period;
             if reached_at.is_none() && (1.5..3.2).contains(&t.as_secs_f64()) {
                 reached_at = Some(i + 1);
             }
@@ -355,10 +508,10 @@ mod tests {
     #[test]
     fn fixed_manager_never_moves() {
         let mut m = PeriodManager::new(PeriodPolicy::Fixed(SimDuration::from_secs(8)));
-        assert_eq!(
-            m.on_checkpoint(SimDuration::from_secs(100)),
-            SimDuration::from_secs(8)
-        );
+        let d = m.on_checkpoint(SimDuration::from_secs(100));
+        assert_eq!(d.chosen_period, SimDuration::from_secs(8));
+        assert_eq!(d.action, PeriodAction::Hold);
+        assert_eq!(d.clamp, None);
         assert_eq!(m.current(), SimDuration::from_secs(8));
     }
 }

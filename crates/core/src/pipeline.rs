@@ -200,7 +200,7 @@ pub(crate) fn begin(session: &mut Session) -> CoreResult<Paused<'_>> {
     let paused_at = session.clock;
     session.primary.vm_mut(session.pvm)?.pause()?;
     let extra = session.strategy.pause_extra(&session.cfg.costs);
-    session.record_stage(seq, Stage::Pause, paused_at, extra, 0, 0);
+    session.record_stage(seq, Stage::Pause, paused_at, extra, None, 0, 0);
     session.clock += extra;
     Ok(Paused {
         session,
@@ -231,6 +231,7 @@ impl<'s> Paused<'s> {
         let mut delta = std::mem::take(&mut session.pools.delta);
         let mut scratch = std::mem::take(&mut session.pools.collect);
         delta.clear();
+        let harvest_start = std::time::Instant::now();
         {
             let vm = session.primary.vm(session.pvm)?;
             collect_chunked_into(
@@ -241,11 +242,20 @@ impl<'s> Paused<'s> {
                 &mut delta,
             );
         }
+        let wall = harvest_start.elapsed().as_nanos() as u64;
         session.pools.collect = scratch;
         let pages = delta.len() as u64;
         let scan = session.cfg.costs.checkpoint_scan(pages, session.threads);
         let at = session.clock;
-        session.record_stage(seq, Stage::Harvest, at, scan, pages, pages * PAGE_SIZE);
+        session.record_stage(
+            seq,
+            Stage::Harvest,
+            at,
+            scan,
+            Some(wall),
+            pages,
+            pages * PAGE_SIZE,
+        );
         session.clock += scan;
         pause += scan;
         Ok(Harvested {
@@ -278,12 +288,22 @@ impl<'s> Harvested<'s> {
             delta,
             pages,
         } = self;
+        let encode_start = std::time::Instant::now();
         let stream = session.encode_checkpoint(&delta, seq)?;
+        let wall = encode_start.elapsed().as_nanos() as u64;
         // The delta's allocation goes back to the pool for the next round.
         session.pools.delta = delta;
         let cost = session.cfg.costs.checkpoint_const;
         let at = session.clock;
-        session.record_stage(seq, Stage::Translate, at, cost, pages, stream.len() as u64);
+        session.record_stage(
+            seq,
+            Stage::Translate,
+            at,
+            cost,
+            Some(wall),
+            pages,
+            stream.len() as u64,
+        );
         session.clock += cost;
         pause += cost;
         Ok(Translated {
@@ -321,7 +341,9 @@ impl<'s> Translated<'s> {
         // The replica decodes a clone of the scattered segments; once the
         // apply lands, the clone is dropped and the original's segments
         // are sole-owner again, so the pool reclaims their allocations.
+        let apply_start = std::time::Instant::now();
         session.apply_checkpoint(stream.clone(), seq)?;
+        let wall = apply_start.elapsed().as_nanos() as u64;
         if session.verify_consistency {
             session.assert_replica_matches_primary(seq)?;
             session.consistency_checks += 1;
@@ -329,7 +351,7 @@ impl<'s> Translated<'s> {
         session.recycle_stream(stream);
         let wire = session.cfg.costs.checkpoint_wire(pages);
         let at = session.clock;
-        session.record_stage(seq, Stage::Transfer, at, wire, pages, bytes);
+        session.record_stage(seq, Stage::Transfer, at, wire, Some(wall), pages, bytes);
         session.clock += wire;
         pause += wire;
         Ok(Transferred {
@@ -362,7 +384,7 @@ impl<'s> Transferred<'s> {
         } = self;
         let rtt = session.repl_link.rtt();
         let at = session.clock;
-        session.record_stage(seq, Stage::Ack, at, rtt, 0, 0);
+        session.record_stage(seq, Stage::Ack, at, rtt, None, 0, 0);
         session.clock += rtt;
         session.commit();
         Acked {
@@ -395,7 +417,7 @@ impl Acked<'_> {
         session.primary.vm_mut(session.pvm)?.resume()?;
         session.disturbance_debt += session.cfg.costs.pause_disturbance;
         let at = session.clock;
-        session.record_stage(seq, Stage::Resume, at, SimDuration::ZERO, 0, 0);
+        session.record_stage(seq, Stage::Resume, at, SimDuration::ZERO, None, 0, 0);
         Ok(CheckpointSummary { seq, pages, pause })
     }
 }

@@ -13,7 +13,8 @@ use here_sim_core::rate::ByteSize;
 use here_sim_core::time::{SimDuration, SimTime};
 
 use crate::failover::FailoverRecord;
-use crate::period::degradation;
+use crate::period::{degradation, PeriodDecision};
+use crate::telemetry::TelemetrySnapshot;
 use crate::trace::{Stage, StageEvent};
 
 /// One checkpoint round.
@@ -31,6 +32,10 @@ pub struct CheckpointRecord {
     pub dirty_pages: u64,
     /// Measured degradation `D_T = t / (t + T)`.
     pub degradation: f64,
+    /// Wall-clock time of the checkpoint's real work: the sum of the
+    /// stage events' `wall_nanos` where measured, `None` when the run was
+    /// purely simulated.
+    pub wall_nanos: Option<u64>,
 }
 
 impl CheckpointRecord {
@@ -63,6 +68,10 @@ impl CheckpointRecord {
             .filter(|e| e.stage.counts_toward_pause())
             .map(|e| e.duration)
             .sum();
+        let wall_nanos = events
+            .iter()
+            .filter_map(|e| e.wall_nanos)
+            .fold(None, |acc: Option<u64>, w| Some(acc.unwrap_or(0) + w));
         CheckpointRecord {
             seq,
             paused_at: paused.at,
@@ -70,6 +79,7 @@ impl CheckpointRecord {
             pause,
             dirty_pages: harvested.pages,
             degradation: degradation(pause, period),
+            wall_nanos,
         }
     }
 }
@@ -131,6 +141,10 @@ pub struct RunReport {
     /// The raw stage trace: one [`StageEvent`] per pipeline stage of every
     /// checkpoint, in emission order. Empty for unprotected runs.
     pub stage_events: Vec<StageEvent>,
+    /// The period controller's structured decision after every
+    /// checkpoint: measured degradation, chosen `T`, which branch of
+    /// Algorithm 1 ran and what clamped it. Parallel to `checkpoints`.
+    pub period_decisions: Vec<PeriodDecision>,
     /// Checkpoint period over time (Fig. 9/10 top panes).
     pub period_series: TimeSeries,
     /// Measured degradation over time (Fig. 9/10 bottom panes).
@@ -145,6 +159,10 @@ pub struct RunReport {
     /// Number of checkpoints at which replica/primary equality was
     /// verified (non-zero only when the scenario enables verification).
     pub consistency_checks: u64,
+    /// The always-on telemetry captured during the run: metrics registry
+    /// snapshot, flight-recorder dump and SLO summary. `None` for
+    /// unprotected runs (nothing to observe).
+    pub telemetry: Option<TelemetrySnapshot>,
 }
 
 impl RunReport {
@@ -203,6 +221,7 @@ mod tests {
             pause,
             dirty_pages: pages,
             degradation: pause.as_secs_f64() / (pause + period).as_secs_f64(),
+            wall_nanos: None,
         }
     }
 
@@ -216,6 +235,7 @@ mod tests {
             migration: None,
             checkpoints: vec![ckpt(1, 100, 2, 10), ckpt(2, 300, 2, 30)],
             stage_events: Vec::new(),
+            period_decisions: Vec::new(),
             period_series: TimeSeries::new("period"),
             degradation_series: TimeSeries::new("deg"),
             packet_latencies: Histogram::new(),
@@ -225,6 +245,7 @@ mod tests {
                 rss: ByteSize::from_mib(100),
             },
             consistency_checks: 0,
+            telemetry: None,
         };
         assert_eq!(report.mean_pause(), Some(SimDuration::from_millis(200)));
         assert_eq!(report.mean_dirty_pages(), Some(20.0));
@@ -242,6 +263,7 @@ mod tests {
             migration: None,
             checkpoints: vec![],
             stage_events: Vec::new(),
+            period_decisions: Vec::new(),
             period_series: TimeSeries::new("period"),
             degradation_series: TimeSeries::new("deg"),
             packet_latencies: Histogram::new(),
@@ -251,6 +273,7 @@ mod tests {
                 rss: ByteSize::ZERO,
             },
             consistency_checks: 0,
+            telemetry: None,
         };
         assert!(report.mean_pause().is_none());
         assert!(report.mean_degradation().is_none());
@@ -265,6 +288,7 @@ mod tests {
             stage,
             at: SimTime::ZERO + SimDuration::from_millis(at_ms),
             duration: SimDuration::from_millis(dur_ms),
+            wall_nanos: None,
             pages,
             bytes: pages * 4096,
         };
@@ -284,5 +308,30 @@ mod tests {
         assert_eq!(record.dirty_pages, 128);
         let expect = degradation(record.pause, record.period);
         assert!((record.degradation - expect).abs() < 1e-12);
+        // No stage carried a wall-clock measurement.
+        assert_eq!(record.wall_nanos, None);
+    }
+
+    #[test]
+    fn wall_clock_sums_across_measured_stages() {
+        let mk = |stage, wall: Option<u64>| StageEvent {
+            seq: 1,
+            stage,
+            at: SimTime::ZERO,
+            duration: SimDuration::from_millis(1),
+            wall_nanos: wall,
+            pages: 1,
+            bytes: 4096,
+        };
+        let events = vec![
+            mk(Stage::Pause, None),
+            mk(Stage::Harvest, Some(1_500)),
+            mk(Stage::Translate, Some(2_500)),
+            mk(Stage::Transfer, None),
+            mk(Stage::Ack, None),
+            mk(Stage::Resume, None),
+        ];
+        let record = CheckpointRecord::from_events(SimDuration::from_secs(1), &events);
+        assert_eq!(record.wall_nanos, Some(4_000));
     }
 }

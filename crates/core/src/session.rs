@@ -31,14 +31,15 @@ use here_workloads::traits::Workload;
 
 use crate::config::ReplicationConfig;
 use crate::dataplane::{
-    encode_pages_parallel, translate_vcpus_parallel, CheckpointPools, PayloadMode,
+    encode_pages_parallel_timed, translate_vcpus_parallel, CheckpointPools, PayloadMode,
 };
 use crate::devmgr::DeviceManager;
 use crate::error::{CoreError, CoreResult};
 use crate::failover::{detection_time, FailoverRecord};
-use crate::period::PeriodManager;
+use crate::period::{PeriodDecision, PeriodManager};
 use crate::pipeline::ReplicationStrategy;
 use crate::report::CheckpointRecord;
+use crate::telemetry::SessionTelemetry;
 use crate::trace::{Stage, StageEvent, StageTrace};
 
 /// Host memory given to each simulated server (the testbed's 192 GB).
@@ -131,9 +132,11 @@ pub(crate) struct Session {
     pub(crate) max_ckpt_pages: u64,
     pub(crate) checkpoints: Vec<CheckpointRecord>,
     pub(crate) trace: StageTrace,
+    pub(crate) period_decisions: Vec<PeriodDecision>,
     pub(crate) period_series: TimeSeries,
     pub(crate) degradation_series: TimeSeries,
     pub(crate) latencies: Histogram,
+    pub(crate) telemetry: SessionTelemetry,
 }
 
 impl Session {
@@ -204,9 +207,11 @@ impl Session {
             max_ckpt_pages: 0,
             checkpoints: Vec::new(),
             trace: StageTrace::new(),
+            period_decisions: Vec::new(),
             period_series: TimeSeries::new("period_secs"),
             degradation_series: TimeSeries::new("degradation_pct"),
             latencies: Histogram::new(),
+            telemetry: SessionTelemetry::new(cfg.period),
             cfg,
             strategy,
         })
@@ -229,25 +234,32 @@ impl Session {
         SimTime::ZERO + t.saturating_duration_since(self.measure_base)
     }
 
-    /// Appends one stage event at absolute instant `at`.
+    /// Appends one stage event at absolute instant `at`. `wall` carries
+    /// the host nanoseconds the stage's real work took, where the stage
+    /// does real work (see [`StageEvent::wall_nanos`]).
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn record_stage(
         &mut self,
         seq: u64,
         stage: Stage,
         at: SimTime,
         duration: SimDuration,
+        wall: Option<u64>,
         pages: u64,
         bytes: u64,
     ) {
         let at = self.rel(at);
-        self.trace.record(StageEvent {
+        let event = StageEvent {
             seq,
             stage,
             at,
             duration,
+            wall_nanos: wall,
             pages,
             bytes,
-        });
+        };
+        self.telemetry.on_stage_event(&event);
+        self.trace.record(event);
     }
 
     /// Advances the protected VM (and virtual time) by `dt`, slicing for
@@ -348,10 +360,19 @@ impl Session {
         let mut stream = ScatterStream::from(head.finish());
 
         // Page lanes, encoded concurrently into pooled buffers.
-        for segment in
-            encode_pages_parallel(delta, lanes, PayloadMode::Metadata, &mut self.pools.buffers)
-        {
+        let at_nanos = self.rel(self.clock).as_nanos();
+        let (segments, lane_walls) = encode_pages_parallel_timed(
+            delta,
+            lanes,
+            PayloadMode::Metadata,
+            &mut self.pools.buffers,
+        );
+        for segment in segments {
             stream.push(segment);
+        }
+        for (lane, wall) in lane_walls.into_iter().enumerate() {
+            self.telemetry
+                .on_encode_lane(seq, lane as u64, wall, at_nanos);
         }
 
         // Tail segment: vCPU state (capture serial, translate parallel),
@@ -471,6 +492,11 @@ impl Session {
         }
         self.ops_committed += self.ops_uncommitted;
         self.ops_uncommitted = 0.0;
+        self.telemetry.on_packet_stats(
+            self.devmgr.packets_buffered(),
+            self.devmgr.packets_released(),
+            self.devmgr.packets_discarded(),
+        );
     }
 
     /// Verifies that the replica is an exact copy of the paused primary:
@@ -537,7 +563,7 @@ impl Session {
             + self.cfg.costs.state_load;
         self.clock += activation;
         self.secondary.vm_mut(self.rvm)?.activate()?;
-        Ok(FailoverRecord {
+        let record = FailoverRecord {
             failed_at: self.rel(failed_at),
             detected_at: self.rel(detected_at),
             resumed_at: self.rel(self.clock),
@@ -545,7 +571,14 @@ impl Session {
             packets_lost: switch.packets_discarded,
             ops_lost,
             devices_switched: switch.devices_switched,
-        })
+        };
+        self.telemetry.on_failover(&record);
+        self.telemetry.on_packet_stats(
+            self.devmgr.packets_buffered(),
+            self.devmgr.packets_released(),
+            self.devmgr.packets_discarded(),
+        );
+        Ok(record)
     }
 
     /// Closes the session and assembles the final [`RunReport`]
@@ -581,12 +614,14 @@ impl Session {
             migration: Some(migration),
             checkpoints: self.checkpoints,
             stage_events: self.trace.into_events(),
+            period_decisions: self.period_decisions,
             period_series: self.period_series,
             degradation_series: self.degradation_series,
             packet_latencies: self.latencies,
             failover,
             resources: crate::report::ResourceUsage { cpu_core_pct, rss },
             consistency_checks: self.consistency_checks,
+            telemetry: Some(self.telemetry.snapshot()),
         }
     }
 }

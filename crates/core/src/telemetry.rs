@@ -1,0 +1,561 @@
+//! The session's always-on observability bundle.
+//!
+//! [`SessionTelemetry`] wires the generic `here-telemetry` building blocks
+//! — metrics registry, flight recorder, SLO tracker — to the replication
+//! stack's events: stage boundaries, period-controller decisions, encode
+//! lanes, buffer-pool reclaims, the seeding migration and the failover
+//! timeline. The session owns one instance and calls the `on_*` hooks
+//! from the instrumented paths; [`SessionTelemetry::snapshot`] freezes
+//! everything into the plain-data [`TelemetrySnapshot`] that rides in
+//! [`crate::report::RunReport::telemetry`].
+//!
+//! ## Metric reference
+//!
+//! | metric | kind | meaning |
+//! |---|---|---|
+//! | `here_checkpoints_total` | counter | checkpoints completed |
+//! | `here_pages_harvested_total` | counter | dirty pages copied across all checkpoints |
+//! | `here_bytes_transferred_total` | counter | encoded checkpoint bytes shipped |
+//! | `here_pages_seeded_total` | counter | pages sent by the seeding migration |
+//! | `here_pool_reclaim_hits_total` | counter | encode-buffer checkouts served from the pool |
+//! | `here_pool_reclaim_misses_total` | counter | encode-buffer checkouts that allocated |
+//! | `here_packets_buffered_total` | counter | guest output packets held back for commit |
+//! | `here_packets_released_total` | counter | buffered packets released at commit |
+//! | `here_packets_discarded_total` | counter | buffered packets dropped by a failover |
+//! | `here_slo_breaches_total` | counter | degradation/period-cap SLO breaches |
+//! | `here_failovers_total` | counter | failovers performed |
+//! | `here_pause_nanos` | histogram | VM-visible pause `t` per checkpoint |
+//! | `here_dirty_pages` | histogram | dirty pages `N` per checkpoint |
+//! | `here_stage_nanos{stage=…}` | histogram | virtual duration per pipeline stage |
+//! | `here_encode_lane_wall_nanos` | histogram | wall-clock encode time per lane |
+//! | `here_period_seconds` | gauge | the period `T` chosen for the next epoch |
+//! | `here_degradation_ratio` | gauge | last measured degradation `D_T` |
+
+use serde::{Deserialize, Serialize};
+
+use here_sim_core::time::SimDuration;
+use here_telemetry::export::prometheus;
+use here_telemetry::flight::{FlightEvent, FlightRecorder};
+use here_telemetry::metrics::{
+    CounterHandle, GaugeHandle, HistogramHandle, MetricsRegistry, RegistrySnapshot,
+};
+use here_telemetry::slo::{SloBreach, SloSummary, SloTracker};
+
+use crate::config::PeriodPolicy;
+use crate::failover::FailoverRecord;
+use crate::period::PeriodDecision;
+use crate::report::CheckpointRecord;
+use crate::trace::{Stage, StageEvent};
+
+/// Events the always-on flight recorder retains.
+pub const FLIGHT_RECORDER_CAPACITY: usize = 1024;
+
+/// The live observability state of one replication session.
+#[derive(Debug)]
+pub struct SessionTelemetry {
+    policy: PeriodPolicy,
+    registry: MetricsRegistry,
+    flight: FlightRecorder,
+    slo: Option<SloTracker>,
+    checkpoints: CounterHandle,
+    pages_harvested: CounterHandle,
+    bytes_transferred: CounterHandle,
+    pages_seeded: CounterHandle,
+    pool_hits: CounterHandle,
+    pool_misses: CounterHandle,
+    packets_buffered: CounterHandle,
+    packets_released: CounterHandle,
+    packets_discarded: CounterHandle,
+    slo_breaches: CounterHandle,
+    failovers: CounterHandle,
+    pause_hist: HistogramHandle,
+    dirty_pages_hist: HistogramHandle,
+    stage_hists: [HistogramHandle; 6],
+    encode_lane_hist: HistogramHandle,
+    period_gauge: GaugeHandle,
+    degradation_gauge: GaugeHandle,
+}
+
+impl SessionTelemetry {
+    /// Builds the bundle for a session running under `policy`. A dynamic
+    /// policy arms the SLO tracker with its target `D` and cap `T_max`; a
+    /// fixed policy has no stated target, so nothing is tracked.
+    pub fn new(policy: PeriodPolicy) -> Self {
+        let mut registry = MetricsRegistry::new();
+        let checkpoints = registry.counter("here_checkpoints_total", "Checkpoints completed");
+        let pages_harvested = registry.counter(
+            "here_pages_harvested_total",
+            "Dirty pages copied across all checkpoints",
+        );
+        let bytes_transferred = registry.counter(
+            "here_bytes_transferred_total",
+            "Encoded checkpoint bytes shipped to the replica",
+        );
+        let pages_seeded = registry.counter(
+            "here_pages_seeded_total",
+            "Pages sent by the seeding migration",
+        );
+        let pool_hits = registry.counter(
+            "here_pool_reclaim_hits_total",
+            "Encode-buffer checkouts served from the pool",
+        );
+        let pool_misses = registry.counter(
+            "here_pool_reclaim_misses_total",
+            "Encode-buffer checkouts that had to allocate",
+        );
+        let packets_buffered = registry.counter(
+            "here_packets_buffered_total",
+            "Guest output packets held back until commit",
+        );
+        let packets_released = registry.counter(
+            "here_packets_released_total",
+            "Buffered packets released at checkpoint commit",
+        );
+        let packets_discarded = registry.counter(
+            "here_packets_discarded_total",
+            "Buffered packets dropped by a failover rollback",
+        );
+        let slo_breaches = registry.counter(
+            "here_slo_breaches_total",
+            "Degradation-target and period-cap SLO breaches",
+        );
+        let failovers = registry.counter("here_failovers_total", "Failovers performed");
+        let pause_hist = registry.histogram(
+            "here_pause_nanos",
+            "VM-visible pause t per checkpoint (virtual ns)",
+        );
+        let dirty_pages_hist =
+            registry.histogram("here_dirty_pages", "Dirty pages N per checkpoint");
+        let stage_hists = Stage::ALL.map(|s| {
+            registry.histogram_with_label(
+                "here_stage_nanos",
+                "Virtual duration per pipeline stage (ns)",
+                Some(("stage", s.label())),
+            )
+        });
+        let encode_lane_hist = registry.histogram(
+            "here_encode_lane_wall_nanos",
+            "Wall-clock encode time per lane (ns)",
+        );
+        let period_gauge = registry.gauge(
+            "here_period_seconds",
+            "Checkpoint period T chosen for the next epoch",
+        );
+        let degradation_gauge = registry.gauge(
+            "here_degradation_ratio",
+            "Last measured degradation D_T = t/(t+T)",
+        );
+        let slo = match policy {
+            PeriodPolicy::Fixed(_) => None,
+            PeriodPolicy::Dynamic {
+                d_target, t_max, ..
+            } => {
+                let cap = (t_max != SimDuration::MAX).then(|| t_max.as_nanos());
+                Some(SloTracker::new(d_target, cap))
+            }
+        };
+        SessionTelemetry {
+            policy,
+            registry,
+            flight: FlightRecorder::new(FLIGHT_RECORDER_CAPACITY),
+            slo,
+            checkpoints,
+            pages_harvested,
+            bytes_transferred,
+            pages_seeded,
+            pool_hits,
+            pool_misses,
+            packets_buffered,
+            packets_released,
+            packets_discarded,
+            slo_breaches,
+            failovers,
+            pause_hist,
+            dirty_pages_hist,
+            stage_hists,
+            encode_lane_hist,
+            period_gauge,
+            degradation_gauge,
+        }
+    }
+
+    /// Discards everything observed so far (used when a warmup window
+    /// closes and measurement restarts). Counters are handles shared with
+    /// nothing outside this bundle, so a rebuild is the cheapest reset.
+    pub fn reset(&mut self) {
+        *self = SessionTelemetry::new(self.policy);
+    }
+
+    /// One pipeline stage boundary crossed.
+    pub fn on_stage_event(&mut self, event: &StageEvent) {
+        let idx = Stage::ALL
+            .iter()
+            .position(|&s| s == event.stage)
+            .expect("Stage::ALL covers every stage");
+        self.stage_hists[idx].observe(event.duration.as_nanos());
+        match event.stage {
+            Stage::Harvest => self.pages_harvested.add(event.pages),
+            Stage::Transfer => self.bytes_transferred.add(event.bytes),
+            _ => {}
+        }
+        self.flight.record(FlightEvent::Stage {
+            seq: event.seq,
+            stage: event.stage.label(),
+            at_nanos: event.at.as_nanos(),
+            duration_nanos: event.duration.as_nanos(),
+            wall_nanos: event.wall_nanos,
+            pages: event.pages,
+            bytes: event.bytes,
+        });
+    }
+
+    /// One checkpoint completed: feeds the histograms, gauges, SLO tracker
+    /// and the flight recorder with the derived record and the period
+    /// controller's decision. `at_nanos` is the report-relative timestamp.
+    pub fn on_checkpoint(
+        &mut self,
+        record: &CheckpointRecord,
+        decision: &PeriodDecision,
+        at_nanos: u64,
+    ) {
+        self.checkpoints.incr();
+        self.pause_hist.observe(record.pause.as_nanos());
+        self.dirty_pages_hist.observe(record.dirty_pages);
+        self.period_gauge.set(decision.chosen_period.as_secs_f64());
+        self.degradation_gauge.set(record.degradation);
+        self.flight.record(FlightEvent::PeriodDecision {
+            seq: record.seq,
+            at_nanos,
+            dirty_pages: decision.dirty_pages,
+            measured_pause_nanos: decision.measured_pause.as_nanos(),
+            previous_period_nanos: decision.previous_period.as_nanos(),
+            chosen_period_nanos: decision.chosen_period.as_nanos(),
+            predicted_degradation: decision.predicted_degradation,
+            action: decision.action.label(),
+            clamp: decision.clamp.map(|c| c.label()),
+        });
+        if let Some(slo) = &mut self.slo {
+            let breaches = slo.observe(
+                record.seq,
+                at_nanos,
+                record.pause.as_nanos(),
+                record.period.as_nanos(),
+            );
+            self.slo_breaches.add(breaches.len() as u64);
+        }
+    }
+
+    /// One encode lane finished its shard of checkpoint `seq`.
+    pub fn on_encode_lane(&mut self, seq: u64, lane: u64, wall_nanos: u64, at_nanos: u64) {
+        self.encode_lane_hist.observe(wall_nanos);
+        self.flight.record(FlightEvent::EncodeLane {
+            seq,
+            at_nanos,
+            lane,
+            wall_nanos,
+        });
+    }
+
+    /// Samples the encode buffer pool's cumulative reclaim statistics
+    /// (called after each checkpoint's transfer recycles its segments).
+    pub fn on_pool_stats(&mut self, hits: u64, misses: u64, pooled: u64, at_nanos: u64) {
+        sync_counter(&self.pool_hits, hits);
+        sync_counter(&self.pool_misses, misses);
+        self.flight.record(FlightEvent::PoolReclaim {
+            at_nanos,
+            pool: "encode",
+            hits,
+            misses,
+            pooled,
+        });
+    }
+
+    /// Syncs the device manager's packet counters (cumulative values).
+    pub fn on_packet_stats(&mut self, buffered: u64, released: u64, discarded: u64) {
+        sync_counter(&self.packets_buffered, buffered);
+        sync_counter(&self.packets_released, released);
+        sync_counter(&self.packets_discarded, discarded);
+    }
+
+    /// One seeding-migration iteration finished.
+    pub fn on_migration_iteration(
+        &mut self,
+        iteration: u64,
+        pages: u64,
+        phase: &'static str,
+        at_nanos: u64,
+    ) {
+        self.pages_seeded.add(pages);
+        self.flight.record(FlightEvent::Migration {
+            at_nanos,
+            iteration,
+            pages,
+            phase,
+        });
+    }
+
+    /// A failover ran: counts it and lays its timeline into the recorder.
+    pub fn on_failover(&mut self, record: &FailoverRecord) {
+        self.failovers.incr();
+        self.flight.record(FlightEvent::Failover {
+            at_nanos: record.failed_at.as_nanos(),
+            phase: "failed",
+            detail: String::new(),
+        });
+        self.flight.record(FlightEvent::Failover {
+            at_nanos: record.detected_at.as_nanos(),
+            phase: "detected",
+            detail: format!(
+                "heartbeat silent for {}",
+                record
+                    .detected_at
+                    .saturating_duration_since(record.failed_at)
+            ),
+        });
+        self.flight.record(FlightEvent::Failover {
+            at_nanos: record.resumed_at.as_nanos(),
+            phase: "resumed",
+            detail: format!(
+                "from checkpoint {}; {} packets and {:.0} ops rolled back; {} devices switched",
+                record.resumed_from_checkpoint,
+                record.packets_lost,
+                record.ops_lost,
+                record.devices_switched
+            ),
+        });
+    }
+
+    /// Read access for tests and exporters.
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight
+    }
+
+    /// Freezes the bundle into the plain-data report snapshot.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let registry = self.registry.snapshot();
+        TelemetrySnapshot {
+            prometheus: prometheus(&registry),
+            registry,
+            flight_recorder_json: self.flight.dump_json(),
+            flight_events_recorded: self.flight.total_recorded(),
+            flight_events_dropped: self.flight.dropped(),
+            slo: self.slo.as_ref().map(|s| s.summary()),
+            slo_breaches: self
+                .slo
+                .as_ref()
+                .map(|s| s.breaches().to_vec())
+                .unwrap_or_default(),
+        }
+    }
+}
+
+/// Raises a monotone counter to `target` (cumulative sources like the
+/// buffer pool keep their own totals; the metric mirrors them).
+fn sync_counter(counter: &CounterHandle, target: u64) {
+    let current = counter.get();
+    if target > current {
+        counter.add(target - current);
+    }
+}
+
+/// The frozen observability record of one run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TelemetrySnapshot {
+    /// Every metric, frozen (counters, gauges, histograms).
+    pub registry: RegistrySnapshot,
+    /// The registry rendered in the Prometheus text exposition format.
+    pub prometheus: String,
+    /// The flight recorder's JSON dump (most recent events).
+    pub flight_recorder_json: String,
+    /// Flight events recorded over the run (retained + evicted).
+    pub flight_events_recorded: u64,
+    /// Flight events evicted by the bounded ring.
+    pub flight_events_dropped: u64,
+    /// SLO compliance summary (`None` under a fixed-period policy).
+    pub slo: Option<SloSummary>,
+    /// Every SLO breach, in order.
+    pub slo_breaches: Vec<SloBreach>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::period::PeriodAction;
+    use here_sim_core::time::SimTime;
+    use here_telemetry::metrics::MetricValue;
+
+    fn dynamic_policy() -> PeriodPolicy {
+        PeriodPolicy::Dynamic {
+            d_target: 0.3,
+            t_max: SimDuration::from_secs(10),
+            sigma: SimDuration::from_millis(250),
+        }
+    }
+
+    fn sample_record(seq: u64) -> CheckpointRecord {
+        CheckpointRecord {
+            seq,
+            paused_at: SimTime::from_secs(seq),
+            period: SimDuration::from_secs(2),
+            pause: SimDuration::from_millis(40),
+            dirty_pages: 512,
+            degradation: 0.02,
+            wall_nanos: Some(1_000_000),
+        }
+    }
+
+    fn sample_decision() -> PeriodDecision {
+        PeriodDecision {
+            dirty_pages: 512,
+            measured_pause: SimDuration::from_millis(40),
+            measured_degradation: 0.02,
+            previous_period: SimDuration::from_secs(2),
+            chosen_period: SimDuration::from_secs(1),
+            predicted_degradation: 0.038,
+            action: PeriodAction::FastDescent,
+            clamp: None,
+        }
+    }
+
+    #[test]
+    fn checkpoint_hook_feeds_metrics_slo_and_flight() {
+        let mut t = SessionTelemetry::new(dynamic_policy());
+        t.on_checkpoint(&sample_record(1), &sample_decision(), 1_000);
+        let snap = t.snapshot();
+        assert_eq!(
+            snap.registry.find("here_checkpoints_total").unwrap().value,
+            MetricValue::Counter(1)
+        );
+        assert_eq!(
+            snap.registry.find("here_period_seconds").unwrap().value,
+            MetricValue::Gauge(1.0)
+        );
+        let slo = snap.slo.expect("dynamic policy arms the SLO tracker");
+        assert_eq!(slo.evaluated, 1);
+        assert_eq!(slo.compliant, 1);
+        assert!(snap.flight_recorder_json.contains("period_decision"));
+        assert!(snap.prometheus.contains("here_checkpoints_total 1"));
+    }
+
+    #[test]
+    fn fixed_policy_has_no_slo_tracker() {
+        let mut t = SessionTelemetry::new(PeriodPolicy::Fixed(SimDuration::from_secs(2)));
+        t.on_checkpoint(&sample_record(1), &sample_decision(), 0);
+        let snap = t.snapshot();
+        assert!(snap.slo.is_none());
+        assert!(snap.slo_breaches.is_empty());
+    }
+
+    #[test]
+    fn slo_breach_increments_the_breach_counter() {
+        let mut t = SessionTelemetry::new(dynamic_policy());
+        let mut record = sample_record(3);
+        // 4 s pause over a 2 s period: D = 0.67, far over the 0.3 target.
+        record.pause = SimDuration::from_secs(4);
+        record.degradation = 2.0 / 3.0;
+        t.on_checkpoint(&record, &sample_decision(), 0);
+        let snap = t.snapshot();
+        assert_eq!(
+            snap.registry.find("here_slo_breaches_total").unwrap().value,
+            MetricValue::Counter(1)
+        );
+        assert_eq!(snap.slo_breaches.len(), 1);
+        assert_eq!(snap.slo_breaches[0].seq, 3);
+    }
+
+    #[test]
+    fn stage_events_fill_labelled_histograms_and_counters() {
+        let mut t = SessionTelemetry::new(dynamic_policy());
+        for (i, stage) in Stage::ALL.into_iter().enumerate() {
+            t.on_stage_event(&StageEvent {
+                seq: 1,
+                stage,
+                at: SimTime::from_secs(i as u64),
+                duration: SimDuration::from_millis(5),
+                wall_nanos: (stage == Stage::Harvest).then_some(4_200),
+                pages: 128,
+                bytes: 128 * 4096,
+            });
+        }
+        let snap = t.snapshot();
+        assert_eq!(
+            snap.registry
+                .find("here_pages_harvested_total")
+                .unwrap()
+                .value,
+            MetricValue::Counter(128)
+        );
+        assert_eq!(
+            snap.registry
+                .find("here_bytes_transferred_total")
+                .unwrap()
+                .value,
+            MetricValue::Counter(128 * 4096)
+        );
+        assert!(snap
+            .prometheus
+            .contains("here_stage_nanos_bucket{stage=\"harvest\""));
+        assert!(snap.flight_recorder_json.contains("\"wall_nanos\":4200"));
+        assert_eq!(snap.flight_events_recorded, 6);
+    }
+
+    #[test]
+    fn pool_and_packet_sync_is_monotone() {
+        let mut t = SessionTelemetry::new(dynamic_policy());
+        t.on_pool_stats(10, 4, 4, 0);
+        t.on_pool_stats(25, 4, 4, 1);
+        // A stale (smaller) value never decrements.
+        t.on_pool_stats(20, 4, 4, 2);
+        t.on_packet_stats(7, 5, 0);
+        let snap = t.snapshot();
+        assert_eq!(
+            snap.registry
+                .find("here_pool_reclaim_hits_total")
+                .unwrap()
+                .value,
+            MetricValue::Counter(25)
+        );
+        assert_eq!(
+            snap.registry
+                .find("here_packets_buffered_total")
+                .unwrap()
+                .value,
+            MetricValue::Counter(7)
+        );
+    }
+
+    #[test]
+    fn failover_lays_a_three_mark_timeline() {
+        let mut t = SessionTelemetry::new(dynamic_policy());
+        t.on_failover(&FailoverRecord {
+            failed_at: SimTime::from_secs(10),
+            detected_at: SimTime::from_secs(10) + SimDuration::from_millis(40),
+            resumed_at: SimTime::from_secs(10) + SimDuration::from_millis(49),
+            resumed_from_checkpoint: 7,
+            packets_lost: 3,
+            ops_lost: 120.0,
+            devices_switched: 3,
+        });
+        let json = t.snapshot().flight_recorder_json;
+        for phase in ["failed", "detected", "resumed"] {
+            assert!(json.contains(&format!("\"phase\":\"{phase}\"")), "{phase}");
+        }
+        assert!(json.contains("from checkpoint 7"));
+    }
+
+    #[test]
+    fn reset_discards_history_but_keeps_schema() {
+        let mut t = SessionTelemetry::new(dynamic_policy());
+        t.on_checkpoint(&sample_record(1), &sample_decision(), 0);
+        let before = t.snapshot();
+        t.reset();
+        let after = t.snapshot();
+        assert_eq!(
+            after.registry.find("here_checkpoints_total").unwrap().value,
+            MetricValue::Counter(0)
+        );
+        assert_eq!(after.flight_events_recorded, 0);
+        // Same metric families in both snapshots.
+        assert_eq!(before.registry.metrics.len(), after.registry.metrics.len());
+    }
+}

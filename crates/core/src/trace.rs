@@ -85,6 +85,13 @@ pub struct StageEvent {
     pub at: SimTime,
     /// How long the stage took.
     pub duration: SimDuration,
+    /// Wall-clock time the stage's *real* work took, where the stage does
+    /// real work (the harvest copy, the translate encode, the transfer
+    /// apply); `None` for purely simulated stages. This lets the
+    /// real-time datapath bench and the simulator share one trace schema:
+    /// `duration` is always the virtual cost model, `wall_nanos` the
+    /// measured host time.
+    pub wall_nanos: Option<u64>,
     /// Pages the stage handled (0 where not meaningful).
     pub pages: u64,
     /// Bytes the stage handled: raw page payload for harvest, encoded
@@ -194,6 +201,7 @@ mod tests {
             stage,
             at: SimTime::ZERO + SimDuration::from_millis(at_ms),
             duration: SimDuration::from_millis(dur_ms),
+            wall_nanos: None,
             pages,
             bytes: pages * 4096,
         }

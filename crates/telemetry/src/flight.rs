@@ -1,0 +1,417 @@
+//! The flight recorder: a bounded ring of recent telemetry events.
+//!
+//! The recorder is always on. It keeps the last `capacity` events — stage
+//! boundaries, period-manager decisions, buffer-pool reclaims, per-lane
+//! encode timings, failover timeline marks — overwriting the oldest when
+//! full, so after an incident the recent history is available as JSON
+//! without having traced the whole run.
+
+use crate::export::json_escape;
+use serde::Serialize;
+
+/// One recorded event. Every variant carries `at_nanos`, the virtual
+/// simulation timestamp the event was recorded at (wall-clock values,
+/// where present, live in dedicated fields).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum FlightEvent {
+    /// A pipeline stage boundary was crossed.
+    Stage {
+        /// Checkpoint sequence number.
+        seq: u64,
+        /// Stage label (`pause`, `harvest`, ...).
+        stage: &'static str,
+        /// Virtual timestamp of the stage start (ns).
+        at_nanos: u64,
+        /// Virtual stage duration (ns).
+        duration_nanos: u64,
+        /// Wall-clock duration of the real work, when measured (ns).
+        wall_nanos: Option<u64>,
+        /// Dirty pages handled by the stage.
+        pages: u64,
+        /// Bytes handled by the stage.
+        bytes: u64,
+    },
+    /// The dynamic period manager chose the next epoch length.
+    PeriodDecision {
+        /// Checkpoint sequence number the decision followed.
+        seq: u64,
+        /// Virtual timestamp (ns).
+        at_nanos: u64,
+        /// Dirty pages `N` that fed the pause prediction.
+        dirty_pages: u64,
+        /// Measured pause `t` for the finished epoch (ns).
+        measured_pause_nanos: u64,
+        /// Period the finished epoch ran with (ns).
+        previous_period_nanos: u64,
+        /// Period chosen for the next epoch (ns).
+        chosen_period_nanos: u64,
+        /// Degradation predicted for the next epoch.
+        predicted_degradation: f64,
+        /// What Algorithm 1 did (`fast_descent`, `walk_back`, ...).
+        action: &'static str,
+        /// What clamped the choice, if anything (`t_max`, `sigma_floor`).
+        clamp: Option<&'static str>,
+    },
+    /// Buffer-pool reclaim statistics, sampled after a checkpoint.
+    PoolReclaim {
+        /// Virtual timestamp (ns).
+        at_nanos: u64,
+        /// Pool name (e.g. `encode`).
+        pool: &'static str,
+        /// Cumulative checkouts served from the pool.
+        hits: u64,
+        /// Cumulative checkouts that had to allocate.
+        misses: u64,
+        /// Buffers currently pooled.
+        pooled: u64,
+    },
+    /// One encode lane finished its share of a checkpoint.
+    EncodeLane {
+        /// Checkpoint sequence number.
+        seq: u64,
+        /// Virtual timestamp (ns).
+        at_nanos: u64,
+        /// Lane index.
+        lane: u64,
+        /// Wall-clock time the lane spent encoding (ns).
+        wall_nanos: u64,
+    },
+    /// A mark on the failover timeline.
+    Failover {
+        /// Virtual timestamp (ns).
+        at_nanos: u64,
+        /// Timeline phase (`failed`, `detected`, `resumed`).
+        phase: &'static str,
+        /// Free-form detail (checkpoint resumed from, losses, ...).
+        detail: String,
+    },
+    /// Live-migration progress (seed of the replica).
+    Migration {
+        /// Virtual timestamp (ns).
+        at_nanos: u64,
+        /// Pre-copy iteration number (0 = full copy, final = stop-and-copy).
+        iteration: u64,
+        /// Pages transferred in this iteration.
+        pages: u64,
+        /// Free-form phase label (`full_copy`, `pre_copy`, `stop_and_copy`).
+        phase: &'static str,
+    },
+}
+
+impl FlightEvent {
+    /// Virtual timestamp the event carries.
+    pub fn at_nanos(&self) -> u64 {
+        match self {
+            FlightEvent::Stage { at_nanos, .. }
+            | FlightEvent::PeriodDecision { at_nanos, .. }
+            | FlightEvent::PoolReclaim { at_nanos, .. }
+            | FlightEvent::EncodeLane { at_nanos, .. }
+            | FlightEvent::Failover { at_nanos, .. }
+            | FlightEvent::Migration { at_nanos, .. } => *at_nanos,
+        }
+    }
+
+    /// The variant's kind tag, as it appears in the JSON dump.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            FlightEvent::Stage { .. } => "stage",
+            FlightEvent::PeriodDecision { .. } => "period_decision",
+            FlightEvent::PoolReclaim { .. } => "pool_reclaim",
+            FlightEvent::EncodeLane { .. } => "encode_lane",
+            FlightEvent::Failover { .. } => "failover",
+            FlightEvent::Migration { .. } => "migration",
+        }
+    }
+
+    fn render_json(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        match self {
+            FlightEvent::Stage {
+                seq,
+                stage,
+                at_nanos,
+                duration_nanos,
+                wall_nanos,
+                pages,
+                bytes,
+            } => {
+                let _ = write!(
+                    out,
+                    r#"{{"kind":"stage","seq":{seq},"stage":"{stage}","at_nanos":{at_nanos},"duration_nanos":{duration_nanos},"wall_nanos":{},"pages":{pages},"bytes":{bytes}}}"#,
+                    opt_u64(*wall_nanos),
+                );
+            }
+            FlightEvent::PeriodDecision {
+                seq,
+                at_nanos,
+                dirty_pages,
+                measured_pause_nanos,
+                previous_period_nanos,
+                chosen_period_nanos,
+                predicted_degradation,
+                action,
+                clamp,
+            } => {
+                let _ = write!(
+                    out,
+                    r#"{{"kind":"period_decision","seq":{seq},"at_nanos":{at_nanos},"dirty_pages":{dirty_pages},"measured_pause_nanos":{measured_pause_nanos},"previous_period_nanos":{previous_period_nanos},"chosen_period_nanos":{chosen_period_nanos},"predicted_degradation":{predicted_degradation},"action":"{action}","clamp":{}}}"#,
+                    opt_str(*clamp),
+                );
+            }
+            FlightEvent::PoolReclaim {
+                at_nanos,
+                pool,
+                hits,
+                misses,
+                pooled,
+            } => {
+                let _ = write!(
+                    out,
+                    r#"{{"kind":"pool_reclaim","at_nanos":{at_nanos},"pool":"{pool}","hits":{hits},"misses":{misses},"pooled":{pooled}}}"#,
+                );
+            }
+            FlightEvent::EncodeLane {
+                seq,
+                at_nanos,
+                lane,
+                wall_nanos,
+            } => {
+                let _ = write!(
+                    out,
+                    r#"{{"kind":"encode_lane","seq":{seq},"at_nanos":{at_nanos},"lane":{lane},"wall_nanos":{wall_nanos}}}"#,
+                );
+            }
+            FlightEvent::Failover {
+                at_nanos,
+                phase,
+                detail,
+            } => {
+                let _ = write!(
+                    out,
+                    r#"{{"kind":"failover","at_nanos":{at_nanos},"phase":"{phase}","detail":"{}"}}"#,
+                    json_escape(detail),
+                );
+            }
+            FlightEvent::Migration {
+                at_nanos,
+                iteration,
+                pages,
+                phase,
+            } => {
+                let _ = write!(
+                    out,
+                    r#"{{"kind":"migration","at_nanos":{at_nanos},"iteration":{iteration},"pages":{pages},"phase":"{phase}"}}"#,
+                );
+            }
+        }
+    }
+}
+
+fn opt_u64(v: Option<u64>) -> String {
+    match v {
+        Some(v) => v.to_string(),
+        None => "null".to_string(),
+    }
+}
+
+fn opt_str(v: Option<&str>) -> String {
+    match v {
+        Some(v) => format!("\"{}\"", json_escape(v)),
+        None => "null".to_string(),
+    }
+}
+
+/// A bounded ring buffer of [`FlightEvent`]s. Recording is O(1); once
+/// `capacity` events are held, each new event evicts the oldest.
+#[derive(Debug, Clone)]
+pub struct FlightRecorder {
+    ring: Vec<FlightEvent>,
+    capacity: usize,
+    /// Index the next event will be written at.
+    next: usize,
+    /// Events recorded over the recorder's lifetime.
+    total: u64,
+}
+
+impl FlightRecorder {
+    /// A recorder keeping the most recent `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "flight recorder capacity must be non-zero");
+        FlightRecorder {
+            ring: Vec::with_capacity(capacity),
+            capacity,
+            next: 0,
+            total: 0,
+        }
+    }
+
+    /// Records one event, evicting the oldest when full.
+    pub fn record(&mut self, event: FlightEvent) {
+        if self.ring.len() < self.capacity {
+            self.ring.push(event);
+        } else {
+            self.ring[self.next] = event;
+        }
+        self.next = (self.next + 1) % self.capacity;
+        self.total += 1;
+    }
+
+    /// Maximum number of events retained.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events currently retained.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Events recorded over the recorder's lifetime (retained + evicted).
+    pub fn total_recorded(&self) -> u64 {
+        self.total
+    }
+
+    /// Events evicted so far.
+    pub fn dropped(&self) -> u64 {
+        self.total - self.ring.len() as u64
+    }
+
+    /// Drops everything recorded so far (capacity is kept). Used when a
+    /// run discards its warmup phase.
+    pub fn clear(&mut self) {
+        self.ring.clear();
+        self.next = 0;
+        self.total = 0;
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> Vec<&FlightEvent> {
+        if self.ring.len() < self.capacity {
+            self.ring.iter().collect()
+        } else {
+            self.ring[self.next..]
+                .iter()
+                .chain(self.ring[..self.next].iter())
+                .collect()
+        }
+    }
+
+    /// Dumps the retained events as a JSON document:
+    /// `{"capacity":..,"total_recorded":..,"dropped":..,"events":[..]}`.
+    pub fn dump_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\"capacity\":{},\"total_recorded\":{},\"dropped\":{},\"events\":[",
+            self.capacity,
+            self.total,
+            self.dropped()
+        ));
+        for (i, event) in self.events().into_iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            event.render_json(&mut out);
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mark(i: u64) -> FlightEvent {
+        FlightEvent::PoolReclaim {
+            at_nanos: i,
+            pool: "encode",
+            hits: i,
+            misses: 0,
+            pooled: 0,
+        }
+    }
+
+    #[test]
+    fn retains_everything_until_full() {
+        let mut rec = FlightRecorder::new(4);
+        for i in 0..3 {
+            rec.record(mark(i));
+        }
+        assert_eq!(rec.len(), 3);
+        assert_eq!(rec.dropped(), 0);
+        let at: Vec<u64> = rec.events().iter().map(|e| e.at_nanos()).collect();
+        assert_eq!(at, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn wraps_and_keeps_newest_in_order() {
+        let mut rec = FlightRecorder::new(4);
+        for i in 0..10 {
+            rec.record(mark(i));
+        }
+        assert_eq!(rec.len(), 4);
+        assert_eq!(rec.total_recorded(), 10);
+        assert_eq!(rec.dropped(), 6);
+        let at: Vec<u64> = rec.events().iter().map(|e| e.at_nanos()).collect();
+        assert_eq!(at, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn clear_resets_but_keeps_capacity() {
+        let mut rec = FlightRecorder::new(2);
+        rec.record(mark(0));
+        rec.record(mark(1));
+        rec.record(mark(2));
+        rec.clear();
+        assert!(rec.is_empty());
+        assert_eq!(rec.dropped(), 0);
+        rec.record(mark(7));
+        assert_eq!(rec.events()[0].at_nanos(), 7);
+    }
+
+    #[test]
+    fn dump_json_is_well_formed() {
+        let mut rec = FlightRecorder::new(8);
+        rec.record(FlightEvent::Stage {
+            seq: 1,
+            stage: "pause",
+            at_nanos: 10,
+            duration_nanos: 5,
+            wall_nanos: Some(4200),
+            pages: 64,
+            bytes: 262_144,
+        });
+        rec.record(FlightEvent::PeriodDecision {
+            seq: 1,
+            at_nanos: 15,
+            dirty_pages: 64,
+            measured_pause_nanos: 5,
+            previous_period_nanos: 100,
+            chosen_period_nanos: 50,
+            predicted_degradation: 0.09,
+            action: "fast_descent",
+            clamp: None,
+        });
+        rec.record(FlightEvent::Failover {
+            at_nanos: 20,
+            phase: "detected",
+            detail: "heartbeat \"lost\"".to_string(),
+        });
+        let json = rec.dump_json();
+        assert!(json.starts_with("{\"capacity\":8,"));
+        assert!(json.contains(r#""kind":"stage""#));
+        assert!(json.contains(r#""wall_nanos":4200"#));
+        assert!(json.contains(r#""clamp":null"#));
+        assert!(json.contains(r#"heartbeat \"lost\""#));
+        assert!(json.ends_with("]}"));
+    }
+}

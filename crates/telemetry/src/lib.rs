@@ -1,0 +1,53 @@
+//! # here-telemetry — the always-on observability layer
+//!
+//! The paper's control loop hinges on quantities that are invisible until
+//! a run ends: the pause `t = αN/P + C` (Eq. 4), the degradation
+//! `D_T = t / (t + T)` (Eq. 1), the dirty-page rate, and the failover
+//! downtime. This crate gives the replication stack a *live* surface for
+//! all of them, cheap enough to leave on in production:
+//!
+//! - [`metrics`]: a registry of counters, gauges and log2-bucketed
+//!   histograms. Metrics are registered once; hot paths update them
+//!   through cloneable atomic handles with no allocation and no locking.
+//!   Snapshots are plain data and merge across registries (e.g. one per
+//!   encode lane).
+//! - [`flight`]: a bounded ring buffer — the **flight recorder** — that
+//!   always holds the most recent pipeline stage events, period-manager
+//!   decisions, buffer-pool reclaim stats, per-encode-lane timings and
+//!   failover timeline, dumpable as JSON on demand or on failure.
+//! - [`slo`]: continuous evaluation of the measured degradation against
+//!   the configured target `D` and period cap `T_max`, emitting
+//!   structured breach events.
+//! - [`export`]: Prometheus text exposition and a JSON document rendered
+//!   from a registry snapshot.
+//!
+//! ## Example
+//!
+//! ```
+//! use here_telemetry::metrics::MetricsRegistry;
+//! use here_telemetry::export::prometheus;
+//!
+//! let mut registry = MetricsRegistry::new();
+//! let checkpoints = registry.counter("here_checkpoints_total", "Checkpoints completed");
+//! let pause = registry.histogram("here_pause_nanos", "VM-visible pause per checkpoint");
+//! checkpoints.incr();
+//! pause.observe(42_000_000);
+//! let text = prometheus(&registry.snapshot());
+//! assert!(text.contains("here_checkpoints_total 1"));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod export;
+pub mod flight;
+pub mod metrics;
+pub mod slo;
+
+pub use export::{json_escape, json_snapshot, prometheus};
+pub use flight::{FlightEvent, FlightRecorder};
+pub use metrics::{
+    CounterHandle, GaugeHandle, HistogramHandle, HistogramSnapshot, MetricSnapshot, MetricValue,
+    MetricsRegistry, RegistrySnapshot,
+};
+pub use slo::{BreachKind, SloBreach, SloSummary, SloTracker};

@@ -1,0 +1,576 @@
+//! The metrics registry: counters, gauges, log2-bucketed histograms.
+//!
+//! Metrics are **registered once** (allocating their name, help text and
+//! storage) and then updated from hot paths through cloneable handles
+//! backed by atomics — an update is one `fetch_add`/`store`, never an
+//! allocation or a lock. [`MetricsRegistry::snapshot`] freezes every
+//! metric into plain data; snapshots are serialisable, comparable and
+//! [mergeable](RegistrySnapshot::merge), so per-worker registries can be
+//! folded into one exposition.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+/// Number of histogram buckets: bucket `b` holds values `v` with
+/// `bucket_index(v) == b`, i.e. `v == 0` in bucket 0 and
+/// `2^(b-1) <= v < 2^b` in bucket `b` for `b >= 1`. Bucket 64 holds
+/// everything from `2^63` up.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// The log2 bucket a value lands in.
+pub fn bucket_index(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of bucket `b` (the Prometheus `le` boundary).
+pub fn bucket_upper_bound(bucket: usize) -> u64 {
+    match bucket {
+        0 => 0,
+        b if b >= 64 => u64::MAX,
+        b => (1u64 << b) - 1,
+    }
+}
+
+/// Inclusive lower bound of bucket `b`.
+fn bucket_lower_bound(bucket: usize) -> u64 {
+    match bucket {
+        0 => 0,
+        b => 1u64 << (b - 1),
+    }
+}
+
+/// A monotonically increasing counter. Cloning shares the same cell.
+#[derive(Debug, Clone, Default)]
+pub struct CounterHandle(Arc<AtomicU64>);
+
+impl CounterHandle {
+    /// Adds one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a float that can move both ways. Cloning shares the cell.
+#[derive(Debug, Clone, Default)]
+pub struct GaugeHandle(Arc<AtomicU64>);
+
+impl GaugeHandle {
+    /// Sets the gauge.
+    pub fn set(&self, value: f64) {
+        self.0.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Shared storage of one log2 histogram.
+#[derive(Debug)]
+struct HistogramCells {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl HistogramCells {
+    fn new() -> Self {
+        HistogramCells {
+            buckets: [(); HISTOGRAM_BUCKETS].map(|()| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A log2-bucketed histogram of non-negative integer observations
+/// (typically nanoseconds or page counts). Cloning shares the cells.
+#[derive(Debug, Clone)]
+pub struct HistogramHandle(Arc<HistogramCells>);
+
+impl Default for HistogramHandle {
+    fn default() -> Self {
+        HistogramHandle(Arc::new(HistogramCells::new()))
+    }
+}
+
+impl HistogramHandle {
+    /// Records one observation: one bucket `fetch_add` plus the running
+    /// count/sum/min/max — no allocation, no lock.
+    pub fn observe(&self, value: u64) {
+        let c = &self.0;
+        c.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        c.count.fetch_add(1, Ordering::Relaxed);
+        c.sum.fetch_add(value, Ordering::Relaxed);
+        c.min.fetch_min(value, Ordering::Relaxed);
+        c.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Freezes the histogram into plain data.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let c = &self.0;
+        HistogramSnapshot {
+            buckets: c
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: c.count.load(Ordering::Relaxed),
+            sum: c.sum.load(Ordering::Relaxed),
+            min: c.min.load(Ordering::Relaxed),
+            max: c.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A frozen histogram: per-bucket counts plus running aggregates.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// One count per log2 bucket ([`HISTOGRAM_BUCKETS`] entries).
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Smallest observation (`u64::MAX` when empty).
+    pub min: u64,
+    /// Largest observation (0 when empty).
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot.
+    pub fn empty() -> Self {
+        HistogramSnapshot {
+            buckets: vec![0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Arithmetic mean of the observations (`None` when empty).
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / self.count as f64)
+        }
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1), estimated by linear interpolation
+    /// inside the log2 bucket holding the nearest rank — accurate to the
+    /// bucket (a factor of 2), which is what a live surface needs for
+    /// p50/p90/p99/p999. Exact when all observations share a bucket edge
+    /// is not guaranteed; the estimate is clamped to `[min, max]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!(
+            (0.0..=1.0).contains(&q),
+            "quantile must be in [0,1], got {q}"
+        );
+        if self.count == 0 {
+            return None;
+        }
+        // Nearest rank, 1-based.
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if cumulative + n >= rank {
+                let lower = bucket_lower_bound(b) as f64;
+                let upper = bucket_upper_bound(b) as f64;
+                let into = (rank - cumulative) as f64 / n as f64;
+                let est = lower + (upper - lower) * into;
+                return Some(est.clamp(self.min as f64, self.max as f64));
+            }
+            cumulative += n;
+        }
+        Some(self.max as f64)
+    }
+
+    /// Folds `other` into `self`: buckets/count/sum add, min/max combine.
+    /// The sum wraps on overflow, matching the live histogram's atomic
+    /// `fetch_add` semantics — merging two snapshots equals observing both
+    /// sample sets into one histogram, bit for bit.
+    pub fn merge_from(&mut self, other: &HistogramSnapshot) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// What kind of metric a registration produced, holding its live storage.
+#[derive(Debug, Clone)]
+enum MetricCell {
+    Counter(CounterHandle),
+    Gauge(GaugeHandle),
+    Histogram(HistogramHandle),
+}
+
+/// One registered metric.
+#[derive(Debug, Clone)]
+struct Metric {
+    name: String,
+    help: String,
+    label: Option<(String, String)>,
+    cell: MetricCell,
+}
+
+/// The registry: owns every metric's identity; hands out update handles.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    metrics: Vec<Metric>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    fn assert_unregistered(&self, name: &str, label: &Option<(String, String)>) {
+        assert!(
+            !self
+                .metrics
+                .iter()
+                .any(|m| m.name == name && m.label == *label),
+            "metric {name} (label {label:?}) registered twice"
+        );
+    }
+
+    /// Registers a counter. Panics if `name` + label is already taken.
+    pub fn counter(&mut self, name: &str, help: &str) -> CounterHandle {
+        self.counter_with_label(name, help, None)
+    }
+
+    /// Registers a counter carrying one fixed label pair.
+    pub fn counter_with_label(
+        &mut self,
+        name: &str,
+        help: &str,
+        label: Option<(&str, &str)>,
+    ) -> CounterHandle {
+        let label = label.map(|(k, v)| (k.to_string(), v.to_string()));
+        self.assert_unregistered(name, &label);
+        let handle = CounterHandle::default();
+        self.metrics.push(Metric {
+            name: name.to_string(),
+            help: help.to_string(),
+            label,
+            cell: MetricCell::Counter(handle.clone()),
+        });
+        handle
+    }
+
+    /// Registers a gauge. Panics if `name` + label is already taken.
+    pub fn gauge(&mut self, name: &str, help: &str) -> GaugeHandle {
+        let handle = GaugeHandle::default();
+        self.assert_unregistered(name, &None);
+        self.metrics.push(Metric {
+            name: name.to_string(),
+            help: help.to_string(),
+            label: None,
+            cell: MetricCell::Gauge(handle.clone()),
+        });
+        handle
+    }
+
+    /// Registers a histogram. Panics if `name` + label is already taken.
+    pub fn histogram(&mut self, name: &str, help: &str) -> HistogramHandle {
+        self.histogram_with_label(name, help, None)
+    }
+
+    /// Registers a histogram carrying one fixed label pair (e.g.
+    /// `stage="harvest"`), so one metric family can cover the six pipeline
+    /// stages.
+    pub fn histogram_with_label(
+        &mut self,
+        name: &str,
+        help: &str,
+        label: Option<(&str, &str)>,
+    ) -> HistogramHandle {
+        let label = label.map(|(k, v)| (k.to_string(), v.to_string()));
+        self.assert_unregistered(name, &label);
+        let handle = HistogramHandle::default();
+        self.metrics.push(Metric {
+            name: name.to_string(),
+            help: help.to_string(),
+            label,
+            cell: MetricCell::Histogram(handle.clone()),
+        });
+        handle
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// `true` when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    /// Freezes every metric, sorted by `(name, label)` so the exposition
+    /// is deterministic regardless of registration order.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let mut metrics: Vec<MetricSnapshot> = self
+            .metrics
+            .iter()
+            .map(|m| MetricSnapshot {
+                name: m.name.clone(),
+                help: m.help.clone(),
+                label: m.label.clone(),
+                value: match &m.cell {
+                    MetricCell::Counter(h) => MetricValue::Counter(h.get()),
+                    MetricCell::Gauge(h) => MetricValue::Gauge(h.get()),
+                    MetricCell::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                },
+            })
+            .collect();
+        metrics.sort_by(|a, b| (&a.name, &a.label).cmp(&(&b.name, &b.label)));
+        RegistrySnapshot { metrics }
+    }
+}
+
+/// One frozen metric.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricSnapshot {
+    /// Metric name (Prometheus conventions: `snake_case`, unit suffix).
+    pub name: String,
+    /// Help text for the exposition.
+    pub help: String,
+    /// Optional fixed label pair.
+    pub label: Option<(String, String)>,
+    /// The frozen value.
+    pub value: MetricValue,
+}
+
+/// A frozen metric value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MetricValue {
+    /// Monotonic count.
+    Counter(u64),
+    /// Point-in-time float.
+    Gauge(f64),
+    /// Log2 histogram.
+    Histogram(HistogramSnapshot),
+}
+
+/// A frozen registry: plain data, ready for export or merging.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct RegistrySnapshot {
+    /// Every metric, sorted by `(name, label)`.
+    pub metrics: Vec<MetricSnapshot>,
+}
+
+impl RegistrySnapshot {
+    /// Looks up a metric by name (first label match wins).
+    pub fn find(&self, name: &str) -> Option<&MetricSnapshot> {
+        self.metrics.iter().find(|m| m.name == name)
+    }
+
+    /// Merges `other` into a new snapshot: counters add, histograms fold
+    /// bucket-wise, gauges take `other`'s (most recent) value; metrics
+    /// present in only one side pass through. Metrics are matched by
+    /// `(name, label)`; a kind mismatch keeps `self`'s value.
+    pub fn merge(&self, other: &RegistrySnapshot) -> RegistrySnapshot {
+        let mut merged = self.metrics.clone();
+        for theirs in &other.metrics {
+            match merged
+                .iter_mut()
+                .find(|m| m.name == theirs.name && m.label == theirs.label)
+            {
+                None => merged.push(theirs.clone()),
+                Some(mine) => match (&mut mine.value, &theirs.value) {
+                    (MetricValue::Counter(a), MetricValue::Counter(b)) => *a += b,
+                    (MetricValue::Gauge(a), MetricValue::Gauge(b)) => *a = *b,
+                    (MetricValue::Histogram(a), MetricValue::Histogram(b)) => a.merge_from(b),
+                    _ => {}
+                },
+            }
+        }
+        merged.sort_by(|a, b| (&a.name, &a.label).cmp(&(&b.name, &b.label)));
+        RegistrySnapshot { metrics: merged }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_indexing_is_log2() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        for b in 0..HISTOGRAM_BUCKETS {
+            assert_eq!(bucket_index(bucket_upper_bound(b)), b);
+        }
+    }
+
+    #[test]
+    fn counter_and_gauge_round_trip() {
+        let mut reg = MetricsRegistry::new();
+        let c = reg.counter("ops_total", "ops");
+        let g = reg.gauge("period_seconds", "period");
+        c.add(3);
+        c.incr();
+        g.set(2.5);
+        assert_eq!(c.get(), 4);
+        assert_eq!(g.get(), 2.5);
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.find("ops_total").unwrap().value,
+            MetricValue::Counter(4)
+        );
+        assert_eq!(
+            snap.find("period_seconds").unwrap().value,
+            MetricValue::Gauge(2.5)
+        );
+    }
+
+    #[test]
+    fn histogram_quantiles_land_in_the_right_bucket() {
+        let mut reg = MetricsRegistry::new();
+        let h = reg.histogram("pause_nanos", "pause");
+        for v in 1..=1000u64 {
+            h.observe(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 1000);
+        assert_eq!(snap.min, 1);
+        assert_eq!(snap.max, 1000);
+        let p50 = snap.quantile(0.5).unwrap();
+        // True median 500 lives in bucket [256, 511]; the estimate must
+        // land within that bucket.
+        assert!((256.0..=511.0).contains(&p50), "p50 {p50}");
+        let p999 = snap.quantile(0.999).unwrap();
+        assert!((512.0..=1000.0).contains(&p999), "p999 {p999}");
+        assert_eq!(snap.quantile(0.0).unwrap(), 1.0);
+        assert_eq!(snap.quantile(1.0).unwrap(), 1000.0);
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let snap = HistogramSnapshot::empty();
+        assert!(snap.quantile(0.5).is_none());
+        assert!(snap.mean().is_none());
+    }
+
+    #[test]
+    fn snapshots_merge_by_kind() {
+        let mut a = MetricsRegistry::new();
+        let mut b = MetricsRegistry::new();
+        a.counter("ops_total", "ops").add(2);
+        b.counter("ops_total", "ops").add(5);
+        a.gauge("g", "g").set(1.0);
+        b.gauge("g", "g").set(9.0);
+        let ha = a.histogram("h", "h");
+        let hb = b.histogram("h", "h");
+        ha.observe(10);
+        hb.observe(1000);
+        b.counter("only_b_total", "b").incr();
+        let merged = a.snapshot().merge(&b.snapshot());
+        assert_eq!(
+            merged.find("ops_total").unwrap().value,
+            MetricValue::Counter(7)
+        );
+        assert_eq!(merged.find("g").unwrap().value, MetricValue::Gauge(9.0));
+        match &merged.find("h").unwrap().value {
+            MetricValue::Histogram(h) => {
+                assert_eq!(h.count, 2);
+                assert_eq!(h.sum, 1010);
+                assert_eq!((h.min, h.max), (10, 1000));
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+        assert_eq!(
+            merged.find("only_b_total").unwrap().value,
+            MetricValue::Counter(1)
+        );
+    }
+
+    #[test]
+    fn labelled_histograms_coexist_under_one_name() {
+        let mut reg = MetricsRegistry::new();
+        let h1 = reg.histogram_with_label("stage_nanos", "per-stage", Some(("stage", "pause")));
+        let h2 = reg.histogram_with_label("stage_nanos", "per-stage", Some(("stage", "harvest")));
+        h1.observe(5);
+        h2.observe(7);
+        let snap = reg.snapshot();
+        assert_eq!(snap.metrics.len(), 2);
+        // Sorted by (name, label): harvest before pause.
+        assert_eq!(
+            snap.metrics[0].label,
+            Some(("stage".into(), "harvest".into()))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicate_registration_panics() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter("x_total", "x");
+        reg.counter("x_total", "x");
+    }
+
+    #[test]
+    fn handles_are_shared_across_clones_and_threads() {
+        let mut reg = MetricsRegistry::new();
+        let c = reg.counter("t_total", "t");
+        let h = reg.histogram("h_nanos", "h");
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let c = c.clone();
+                let h = h.clone();
+                scope.spawn(move || {
+                    for i in 0..100 {
+                        c.incr();
+                        h.observe(i);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 400);
+        assert_eq!(h.count(), 400);
+    }
+}

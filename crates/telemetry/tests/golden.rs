@@ -1,0 +1,58 @@
+//! Golden-file test pinning the Prometheus text exposition format.
+//!
+//! Any change to the renderer — header layout, bucket boundaries, label
+//! ordering, float formatting — shows up as a diff against
+//! `tests/golden/prometheus.txt`. Regenerate with
+//! `BLESS=1 cargo test -p here-telemetry --test golden` after verifying
+//! the new output is intentional.
+
+use here_telemetry::{prometheus, MetricsRegistry};
+
+/// A deterministic registry exercising every metric kind: plain counter,
+/// gauge (integral and fractional), unlabelled histogram, and a labelled
+/// histogram family with two variants.
+fn fixture() -> MetricsRegistry {
+    let mut registry = MetricsRegistry::new();
+    let checkpoints = registry.counter("here_checkpoints_total", "Checkpoints completed");
+    checkpoints.add(42);
+    let period = registry.gauge("here_period_seconds", "Current checkpoint period");
+    period.set(2.5);
+    let deg = registry.gauge("here_degradation_ratio", "Measured degradation");
+    deg.set(0.25);
+    let pause = registry.histogram("here_pause_nanos", "Pause per checkpoint");
+    for v in [1_000, 2_000, 4_000, 40_000_000, 55_000_000] {
+        pause.observe(v);
+    }
+    let harvest = registry.histogram_with_label(
+        "here_stage_nanos",
+        "Per-stage duration",
+        Some(("stage", "harvest")),
+    );
+    harvest.observe(10_000_000);
+    harvest.observe(12_000_000);
+    let translate = registry.histogram_with_label(
+        "here_stage_nanos",
+        "Per-stage duration",
+        Some(("stage", "translate")),
+    );
+    translate.observe(3_000_000);
+    registry
+}
+
+#[test]
+fn prometheus_exposition_matches_the_golden_file() {
+    let rendered = prometheus(&fixture().snapshot());
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/prometheus.txt");
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(path, &rendered).expect("can write the golden file");
+        return;
+    }
+    let golden = std::fs::read_to_string(path)
+        .expect("golden file missing — run `BLESS=1 cargo test -p here-telemetry --test golden`");
+    assert!(
+        rendered == golden,
+        "Prometheus exposition drifted from the golden file.\n\
+         If the change is intentional, regenerate with BLESS=1.\n\
+         --- golden ---\n{golden}\n--- rendered ---\n{rendered}"
+    );
+}

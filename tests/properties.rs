@@ -221,7 +221,7 @@ proptest! {
         let t_max = SimDuration::from_millis(t_max_ms.max(sigma_ms));
         let mut m = DynamicPeriodManager::new(d as f64 / 100.0, t_max, sigma);
         for &p in &pauses {
-            let t = m.on_checkpoint(SimDuration::from_millis(p));
+            let t = m.on_checkpoint(SimDuration::from_millis(p)).chosen_period;
             prop_assert!(t >= sigma, "T {t} under sigma {sigma}");
             prop_assert!(t <= t_max, "T {t} over T_max {t_max}");
         }
