@@ -1,0 +1,62 @@
+//! `gate` — the bench-trajectory regression gate.
+//!
+//! Compares a freshly produced `BENCH_*.json` against a committed
+//! baseline with per-key tolerances (see [`here_bench::gate`]) and exits
+//! non-zero on regression, so CI fails when a change moves a
+//! deterministic result or blows the wall-clock envelope.
+//!
+//! ```text
+//! gate <baseline.json> <fresh.json> [--tol <rel>] [--overhead-tol <pts>]
+//! ```
+
+use here_bench::gate::{gate_files, Tolerances};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: gate <baseline.json> <fresh.json> [--tol <relative, e.g. 3.0>] \
+         [--overhead-tol <percentage points>]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut tol = Tolerances::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--tol" => {
+                i += 1;
+                let Some(v) = args.get(i).and_then(|v| v.parse().ok()) else {
+                    usage()
+                };
+                tol.measured_rel = v;
+            }
+            "--overhead-tol" => {
+                i += 1;
+                let Some(v) = args.get(i).and_then(|v| v.parse().ok()) else {
+                    usage()
+                };
+                tol.overhead_abs = v;
+            }
+            "--help" | "-h" => usage(),
+            flag if flag.starts_with('-') => {
+                eprintln!("unknown flag {flag}");
+                usage();
+            }
+            path => paths.push(path.to_string()),
+        }
+        i += 1;
+    }
+    let [baseline, fresh] = paths.as_slice() else {
+        usage()
+    };
+    match gate_files(baseline, fresh, &tol) {
+        Ok(report) => print!("{report}"),
+        Err(report) => {
+            print!("{report}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,19 +1,32 @@
 //! `repro` — regenerate every table and figure of the HERE paper.
 //!
 //! ```text
-//! repro [--quick] [EXPERIMENT...]
+//! repro [--quick] [--format json|prometheus|chrome] [EXPERIMENT...]
 //! ```
 //!
 //! With no experiment arguments, runs everything. Experiments: `tab1`,
 //! `tab2`, `tab5`, `demo`, `fig5`, `fig6`, `fig7`, `fig8`, `fig9`, `fig10`,
 //! `fig11`, `fig12`, `fig13`, `fig14`, `fig15`, `fig16`, `fig17`,
-//! `overhead`, `stages`, `datapath`, `observe`. `--quick` uses scaled-down
-//! configurations. `datapath` measures real wall-clock throughput (not
-//! cost-model time) and writes `BENCH_datapath.json`; `observe` measures
-//! the telemetry layer's overhead and writes `BENCH_observe.json`.
+//! `overhead`, `stages`, `datapath`, `observe`, `analyze`. `--quick` uses
+//! scaled-down configurations. `datapath` measures real wall-clock
+//! throughput (not cost-model time) and writes
+//! `target/repro/BENCH_datapath.json`; `observe` measures the telemetry
+//! layer's overhead and writes `target/repro/BENCH_observe.json`;
+//! `analyze` runs the trace analyzer and writes the run's Chrome trace to
+//! `target/repro/trace_analyze.json`.
+//!
+//! Everything printed is also teed to `target/repro/repro_output.txt`.
+//! With `--format`, every scenario run additionally dumps its telemetry
+//! under `target/repro/` in the chosen format: `json` writes the span
+//! stream as JSONL, `prometheus` the metrics exposition, `chrome` a
+//! Chrome trace-event document.
 
+use std::io::Write as _;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
+use here_bench::experiments::analyze::run_analyze;
 use here_bench::experiments::apps::{
     run_spec_figure, run_ycsb_figure, Config, FIG11_CONFIGS, FIG12_CONFIGS, FIG13_CONFIGS,
 };
@@ -35,18 +48,114 @@ use here_core::Strategy;
 const ALL: &[&str] = &[
     "tab1", "tab2", "tab5", "demo", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
     "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "overhead", "stages", "datapath",
-    "observe",
+    "observe", "analyze",
 ];
+
+/// Directory all artefacts land in (relative to the invocation cwd, like
+/// the old top-level `BENCH_*.json` files were).
+const OUT_DIR: &str = "target/repro";
+
+/// Tee target for everything printed (None when the directory could not
+/// be created — output then goes to stdout only).
+static TEE: Mutex<Option<std::fs::File>> = Mutex::new(None);
+
+macro_rules! out {
+    ($($arg:tt)*) => {{
+        let s = format!($($arg)*);
+        print!("{s}");
+        if let Some(f) = TEE.lock().unwrap().as_mut() {
+            let _ = f.write_all(s.as_bytes());
+        }
+    }};
+}
+
+macro_rules! outln {
+    () => { out!("\n") };
+    ($($arg:tt)*) => {{
+        let s = format!($($arg)*);
+        println!("{s}");
+        if let Some(f) = TEE.lock().unwrap().as_mut() {
+            let _ = f.write_all(s.as_bytes());
+            let _ = f.write_all(b"\n");
+        }
+    }};
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DumpFormat {
+    Json,
+    Prometheus,
+    Chrome,
+}
+
+/// Installs a run observer that dumps every scenario run's telemetry in
+/// the chosen format under [`OUT_DIR`].
+fn install_dumper(format: DumpFormat) {
+    static RUN_COUNTER: AtomicU64 = AtomicU64::new(0);
+    here_core::set_run_observer(move |report| {
+        let n = RUN_COUNTER.fetch_add(1, Ordering::Relaxed);
+        let slug: String = report
+            .name
+            .chars()
+            .map(|c| if c.is_alphanumeric() { c } else { '-' })
+            .collect();
+        let (path, body) = match format {
+            DumpFormat::Json => (
+                format!("{OUT_DIR}/run-{n:03}-{slug}.spans.jsonl"),
+                here_telemetry::spans_jsonl(&report.spans),
+            ),
+            DumpFormat::Prometheus => (
+                format!("{OUT_DIR}/run-{n:03}-{slug}.prom"),
+                report
+                    .telemetry
+                    .as_ref()
+                    .map(|t| t.prometheus.clone())
+                    .unwrap_or_default(),
+            ),
+            DumpFormat::Chrome => (
+                format!("{OUT_DIR}/run-{n:03}-{slug}.trace.json"),
+                here_telemetry::chrome_trace(&report.spans),
+            ),
+        };
+        if let Err(e) = std::fs::write(&path, body) {
+            eprintln!("  could not write {path}: {e}");
+        }
+    });
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let scale = if quick { Scale::Quick } else { Scale::Paper };
-    let wanted: Vec<String> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(|a| a.to_lowercase())
-        .collect();
+    let mut format = None;
+    let mut wanted: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => {}
+            "--format" => {
+                i += 1;
+                format = match args.get(i).map(String::as_str) {
+                    Some("json") => Some(DumpFormat::Json),
+                    Some("prometheus") => Some(DumpFormat::Prometheus),
+                    Some("chrome") => Some(DumpFormat::Chrome),
+                    other => {
+                        eprintln!(
+                            "--format expects json|prometheus|chrome, got {}",
+                            other.unwrap_or("nothing")
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown flag {flag}");
+                return ExitCode::FAILURE;
+            }
+            exp => wanted.push(exp.to_lowercase()),
+        }
+        i += 1;
+    }
     let wanted: Vec<&str> = if wanted.is_empty() {
         ALL.to_vec()
     } else {
@@ -58,13 +167,25 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
-    println!(
+    match std::fs::create_dir_all(OUT_DIR) {
+        Ok(()) => {
+            *TEE.lock().unwrap() = std::fs::File::create(format!("{OUT_DIR}/repro_output.txt"))
+                .map_err(|e| eprintln!("tee disabled: {e}"))
+                .ok();
+        }
+        Err(e) => eprintln!("tee disabled: could not create {OUT_DIR}: {e}"),
+    }
+    if let Some(format) = format {
+        install_dumper(format);
+    }
+    outln!(
         "HERE reproduction — scale: {}\n",
         if quick { "quick" } else { "paper" }
     );
     for w in wanted {
         run_one(w, scale);
     }
+    here_core::clear_run_observer();
     ExitCode::SUCCESS
 }
 
@@ -107,12 +228,13 @@ fn run_one(which: &str, scale: Scale) {
         "stages" => stages(scale),
         "datapath" => datapath(scale),
         "observe" => observe(scale),
+        "analyze" => analyze(scale),
         _ => unreachable!("validated in main"),
     }
 }
 
 fn tab1() {
-    println!("Table 1 — DoS vulnerability stats by hypervisor, 2013-2020");
+    outln!("Table 1 — DoS vulnerability stats by hypervisor, 2013-2020");
     let rows: Vec<Vec<String>> = run_table1()
         .into_iter()
         .map(|r| {
@@ -126,7 +248,7 @@ fn tab1() {
             ]
         })
         .collect();
-    println!(
+    outln!(
         "{}",
         render(
             &["Product", "CVEs", "Avail", "Avail%", "DoS", "DoS%"],
@@ -136,8 +258,8 @@ fn tab1() {
 }
 
 fn tab2() {
-    println!("Table 2 — HERE's coverage of DoS issues from various sources");
-    println!("(host-failure cells validated by running a failover scenario each)");
+    outln!("Table 2 — HERE's coverage of DoS issues from various sources");
+    outln!("(host-failure cells validated by running a failover scenario each)");
     let rows: Vec<Vec<String>> = run_table2()
         .into_iter()
         .map(|r| {
@@ -148,14 +270,14 @@ fn tab2() {
             ]
         })
         .collect();
-    println!(
+    outln!(
         "{}",
         render(&["Source", "Guest failure", "Host failure"], &rows)
     );
 }
 
 fn tab5() {
-    println!("Table 5 — Distribution of DoS-only vulnerabilities (Xen)");
+    outln!("Table 5 — Distribution of DoS-only vulnerabilities (Xen)");
     let rows: Vec<Vec<String>> = run_table5()
         .into_iter()
         .map(|r| {
@@ -167,11 +289,11 @@ fn tab5() {
             ]
         })
         .collect();
-    println!("{}", render(&["Target", "Outcome", "Share", "HERE"], &rows));
+    outln!("{}", render(&["Target", "Outcome", "Share", "HERE"], &rows));
 }
 
 fn demo() {
-    println!("Heterogeneity demo — same zero-day, primary then failover re-attack");
+    outln!("Heterogeneity demo — same zero-day, primary then failover re-attack");
     let d = run_heterogeneity_demo();
     let rows = vec![
         vec!["exploited CVE".into(), d.cve_id.clone()],
@@ -200,13 +322,13 @@ fn demo() {
             d.shared_cves_qemu_pair.to_string(),
         ],
     ];
-    println!("{}", render(&["Property", "Value"], &rows));
+    outln!("{}", render(&["Property", "Value"], &rows));
 }
 
 fn fig5(scale: Scale) {
-    println!("Figure 5 — linearity of page send time f(N) = alpha*N");
+    outln!("Figure 5 — linearity of page send time f(N) = alpha*N");
     let out = run_fig5(scale);
-    println!(
+    outln!(
         "  {} checkpoints observed; fit: slope = {} us/page, intercept = {} ms, r^2 = {}\n",
         out.points.len(),
         num(out.fit.slope * 1e6, 3),
@@ -221,11 +343,11 @@ fn fig5(scale: Scale) {
         .step_by(step)
         .map(|&(n, t)| vec![format!("{:.0}", n / 1000.0), num(t, 3)])
         .collect();
-    println!("{}", render(&["Dirty pages (K)", "Send time (s)"], &rows));
+    outln!("{}", render(&["Dirty pages (K)", "Send time (s)"], &rows));
 }
 
 fn fig6(scale: Scale) {
-    println!("Figure 6 (left) — migration time, idle VM");
+    outln!("Figure 6 (left) — migration time, idle VM");
     let rows: Vec<Vec<String>> = run_fig6_idle(scale)
         .iter()
         .map(|r| {
@@ -237,11 +359,11 @@ fn fig6(scale: Scale) {
             ]
         })
         .collect();
-    println!(
+    outln!(
         "{}",
         render(&["Memory (GiB)", "Xen (s)", "HERE (s)", "HERE gain"], &rows)
     );
-    println!("Figure 6 (right) — migration time, VM under memory load");
+    outln!("Figure 6 (right) — migration time, VM under memory load");
     let rows: Vec<Vec<String>> = run_fig6_loaded(scale)
         .iter()
         .map(|r| {
@@ -253,14 +375,14 @@ fn fig6(scale: Scale) {
             ]
         })
         .collect();
-    println!(
+    outln!(
         "{}",
         render(&["Load", "Xen (s)", "HERE (s)", "HERE gain"], &rows)
     );
 }
 
 fn fig7(scale: Scale) {
-    println!("Figure 7 — replica resumption time (paper: ~10 ms, flat in memory)");
+    outln!("Figure 7 — replica resumption time (paper: ~10 ms, flat in memory)");
     let idle = run_fig7(scale, false);
     let loaded = run_fig7(scale, true);
     let rows: Vec<Vec<String>> = idle
@@ -274,7 +396,7 @@ fn fig7(scale: Scale) {
             ]
         })
         .collect();
-    println!(
+    outln!(
         "{}",
         render(&["Memory (GiB)", "Idle (ms)", "Loaded (ms)"], &rows)
     );
@@ -285,7 +407,7 @@ fn fig8(scale: Scale) {
         (false, "idle VM (panes a/c)"),
         (true, "30% load (panes b/d)"),
     ] {
-        println!("Figure 8 — checkpoint transfer & degradation, {label}, T = 8 s");
+        outln!("Figure 8 — checkpoint transfer & degradation, {label}, T = 8 s");
         let rows: Vec<Vec<String>> = run_fig8(scale, loaded)
             .iter()
             .map(|r| {
@@ -299,7 +421,7 @@ fn fig8(scale: Scale) {
                 ]
             })
             .collect();
-        println!(
+        outln!(
             "{}",
             render(
                 &[
@@ -326,37 +448,37 @@ fn series_table(series: &[(f64, f64)], every: usize, col: &str) -> String {
 }
 
 fn fig9(scale: Scale) {
-    println!("Figure 9 — dynamic period vs load (D = 30%, T_max = 25 s, load 20->80->5%)");
+    outln!("Figure 9 — dynamic period vs load (D = 30%, T_max = 25 s, load 20->80->5%)");
     let out = run_fig9(scale);
-    println!(
+    outln!(
         "  steady-state mean overhead: {}% (set: {}%)\n",
         num(out.steady_mean_deg_pct, 1),
         num(out.target_pct, 0)
     );
-    println!("Period over time:");
-    print!(
+    outln!("Period over time:");
+    out!(
         "{}",
         series_table(&out.period, out.period.len() / 18, "Period (s)")
     );
-    println!("Measured overhead over time:");
-    print!(
+    outln!("Measured overhead over time:");
+    out!(
         "{}",
         series_table(&out.degradation, out.degradation.len() / 18, "Overhead (%)")
     );
-    println!();
+    outln!();
 }
 
 fn fig10(scale: Scale) {
-    println!("Figure 10 — dynamic period under YCSB workload A (D = 30%)");
+    outln!("Figure 10 — dynamic period under YCSB workload A (D = 30%)");
     let out = run_fig10(scale);
-    println!(
+    outln!(
         "  throughput: HERE {} ops/s vs baseline {} ops/s -> slowdown {}% (paper: 28406 vs 42779, 33.6%)\n",
         num(out.here_ops_per_sec, 0),
         num(out.baseline_ops_per_sec, 0),
         num(out.slowdown_pct(), 1)
     );
-    println!("Period over time:");
-    print!(
+    outln!("Period over time:");
+    out!(
         "{}",
         series_table(
             &out.series.period,
@@ -364,11 +486,11 @@ fn fig10(scale: Scale) {
             "Period (s)"
         )
     );
-    println!();
+    outln!();
 }
 
 fn ycsb_fig(title: &str, scale: Scale, configs: &[Config]) {
-    println!("{title}");
+    outln!("{title}");
     let bars = run_ycsb_figure(scale, configs);
     let rows: Vec<Vec<String>> = bars
         .iter()
@@ -381,14 +503,14 @@ fn ycsb_fig(title: &str, scale: Scale, configs: &[Config]) {
             ]
         })
         .collect();
-    println!(
+    outln!(
         "{}",
         render(&["Workload", "Config", "Kops/s", "Degradation"], &rows)
     );
 }
 
 fn spec_fig(title: &str, scale: Scale, configs: &[Config]) {
-    println!("{title}");
+    outln!("{title}");
     let bars = run_spec_figure(scale, configs);
     let rows: Vec<Vec<String>> = bars
         .iter()
@@ -401,7 +523,7 @@ fn spec_fig(title: &str, scale: Scale, configs: &[Config]) {
             ]
         })
         .collect();
-    println!(
+    outln!(
         "{}",
         render(
             &["Benchmark", "Config", "Rate (ops/s)", "Degradation"],
@@ -411,7 +533,7 @@ fn spec_fig(title: &str, scale: Scale, configs: &[Config]) {
 }
 
 fn fig17(scale: Scale) {
-    println!("Figure 17 — Sockperf mean latency (log-scale in the paper)");
+    outln!("Figure 17 — Sockperf mean latency (log-scale in the paper)");
     let bars = run_fig17(scale);
     let rows: Vec<Vec<String>> = bars
         .iter()
@@ -424,17 +546,17 @@ fn fig17(scale: Scale) {
             ]
         })
         .collect();
-    println!(
+    outln!(
         "{}",
         render(&["Load", "Config", "Latency (us)", "Latency (ms)"], &rows)
     );
 }
 
 fn stages(scale: Scale) {
-    println!("Pipeline stage breakdown — t = alpha*N/P + C (Eq. 4), 30% load, T = 4 s");
+    outln!("Pipeline stage breakdown — t = alpha*N/P + C (Eq. 4), 30% load, T = 4 s");
     for strategy in [Strategy::Remus, Strategy::Here] {
         let out = run_stages(scale, strategy);
-        println!(
+        outln!(
             "  {:?}: {} checkpoints, trace {}",
             out.strategy,
             out.checkpoints,
@@ -456,17 +578,27 @@ fn stages(scale: Scale) {
                 ]
             })
             .collect();
-        println!(
+        outln!(
             "{}",
             render(&["Stage", "Total (s)", "Share", "Mean (ms)"], &rows)
         );
     }
 }
 
+/// Writes an artefact under [`OUT_DIR`], reporting either way.
+fn write_artifact(name: &str, body: &str) {
+    let path = format!("{OUT_DIR}/{name}");
+    let _ = std::fs::create_dir_all(OUT_DIR);
+    match std::fs::write(&path, body) {
+        Ok(()) => outln!("  wrote {path}"),
+        Err(e) => eprintln!("  could not write {path}: {e}"),
+    }
+}
+
 fn datapath(scale: Scale) {
-    println!("Datapath — measured wall-clock throughput of the checkpoint data plane");
+    outln!("Datapath — measured wall-clock throughput of the checkpoint data plane");
     let out = run_datapath(scale);
-    println!(
+    outln!(
         "  {} pages ({} MiB materialized payload), {} rounds, {} vCPUs, host has {} CPU core(s)",
         out.pages,
         num(out.pages as f64 * 4096.0 / (1024.0 * 1024.0), 0),
@@ -474,12 +606,12 @@ fn datapath(scale: Scale) {
         out.vcpus,
         out.host_cpus,
     );
-    println!(
+    outln!(
         "  measured alpha: {} us/page (single lane); cost model alpha: {} us/page",
         num(out.measured_alpha_us_per_page, 3),
         num(out.analytic_alpha_us_per_page, 3),
     );
-    println!(
+    outln!(
         "  legacy serial reference: {} ms -> new single-lane encode is {}x faster\n",
         num(out.legacy_encode_ms, 1),
         num(out.legacy_speedup, 2),
@@ -500,7 +632,7 @@ fn datapath(scale: Scale) {
             ]
         })
         .collect();
-    println!(
+    outln!(
         "{}",
         render(
             &[
@@ -516,26 +648,23 @@ fn datapath(scale: Scale) {
             &rows
         )
     );
-    match std::fs::write("BENCH_datapath.json", &out.json) {
-        Ok(()) => println!("  wrote BENCH_datapath.json"),
-        Err(e) => eprintln!("  could not write BENCH_datapath.json: {e}"),
-    }
+    write_artifact("BENCH_datapath.json", &out.json);
 }
 
 fn observe(scale: Scale) {
-    println!("Observe — telemetry-layer overhead and run snapshot");
+    outln!("Observe — telemetry-layer overhead and run snapshot");
     let out = run_observe(scale);
-    println!(
+    outln!(
         "  overhead probe: {} pages, {}-lane materialized encode, {} rounds, host has {} CPU core(s)",
         out.pages, out.lanes, out.rounds, out.host_cpus,
     );
-    println!(
+    outln!(
         "  baseline {} ms -> instrumented {} ms: overhead {}% (bar: < 5%)",
         num(out.baseline_ms, 3),
         num(out.instrumented_ms, 3),
         num(out.overhead_pct, 2),
     );
-    println!(
+    outln!(
         "  scenario telemetry: {} metric families, {} flight events ({} dropped), \
          SLO {}/{} checkpoints breached\n",
         out.metric_count,
@@ -544,19 +673,113 @@ fn observe(scale: Scale) {
         out.slo_breaches,
         out.slo_evaluated,
     );
-    match std::fs::write("BENCH_observe.json", &out.json) {
-        Ok(()) => println!("  wrote BENCH_observe.json"),
-        Err(e) => eprintln!("  could not write BENCH_observe.json: {e}"),
+    write_artifact("BENCH_observe.json", &out.json);
+}
+
+fn analyze(scale: Scale) {
+    outln!("Analyze — causal trace: critical path, stragglers, oscillation, breaches");
+    let out = run_analyze(scale);
+    outln!(
+        "  {} spans over {} checkpoints; failover captured: {}; tree: {} nesting \
+         violation(s), {} unresolved link(s)",
+        out.span_count,
+        out.checkpoints,
+        out.failover_captured,
+        out.analysis.nesting_violations,
+        out.analysis.unresolved_links,
+    );
+    outln!(
+        "  worst epoch attributes {}% of its pause to named stage spans (bar: >= 95%)\n",
+        num(out.analysis.min_attributed_fraction * 100.0, 2),
+    );
+    let step = (out.analysis.epochs.len() / 10).max(1);
+    let rows: Vec<Vec<String>> = out
+        .analysis
+        .epochs
+        .iter()
+        .step_by(step)
+        .map(|e| {
+            vec![
+                e.seq.to_string(),
+                num(e.pause.as_secs_f64() * 1e3, 2),
+                format!("{}%", num(e.attributed_fraction * 100.0, 1)),
+                e.dominant_stage.to_string(),
+                format!("{}%", num(e.model_residual_pct, 2)),
+            ]
+        })
+        .collect();
+    outln!(
+        "{}",
+        render(
+            &[
+                "Epoch",
+                "Pause (ms)",
+                "Attributed",
+                "Dominant stage",
+                "vs model"
+            ],
+            &rows
+        )
+    );
+    let osc = &out.analysis.oscillation;
+    outln!(
+        "  period controller: {} decisions, {} direction flips (ratio {}), \
+         {} walk-backs, {} midpoint jumps -> {}",
+        osc.decisions,
+        osc.direction_flips,
+        num(osc.flip_ratio, 2),
+        osc.walk_backs,
+        osc.midpoint_jumps,
+        if osc.oscillating {
+            "OSCILLATING"
+        } else {
+            "stable"
+        },
+    );
+    outln!(
+        "  straggler lanes (wall > 1.5x epoch median): {}",
+        out.analysis.stragglers.len()
+    );
+    for s in out.analysis.stragglers.iter().take(5) {
+        outln!(
+            "    epoch {} lane {}: {} us vs median {} us ({}x)",
+            s.seq,
+            s.lane,
+            num(s.wall_nanos as f64 / 1e3, 1),
+            num(s.median_wall_nanos as f64 / 1e3, 1),
+            num(s.ratio(), 2),
+        );
     }
+    outln!(
+        "  SLO breach root causes: {}",
+        out.analysis.breach_roots.len()
+    );
+    for b in out.analysis.breach_roots.iter().take(5) {
+        outln!(
+            "    epoch {}: {:?} {} > bound {} — dominant stage '{}' at {} ms \
+             ({}% vs trailing mean)",
+            b.seq,
+            b.kind,
+            num(b.measured, 4),
+            num(b.bound, 4),
+            b.dominant_stage,
+            num(b.stage_duration.as_secs_f64() * 1e3, 2),
+            num(b.growth_pct, 1),
+        );
+    }
+    outln!();
+    write_artifact("trace_analyze.json", &out.chrome_json);
+    write_artifact("trace_analyze.jsonl", &out.jsonl);
+    write_artifact("BENCH_analyze.json", &out.json);
 }
 
 fn overhead(scale: Scale) {
-    println!("Section 8.7 — replication engine overhead (paper: 62% CPU, 314 MB)");
+    outln!("Section 8.7 — replication engine overhead (paper: 62% CPU, 314 MB)");
     let out = run_overhead(scale);
     let rows = vec![
         vec!["CPU (% of one core)".into(), num(out.cpu_core_pct, 1)],
         vec!["RSS (MiB)".into(), num(out.rss_mib, 1)],
         vec!["checkpoints in window".into(), out.checkpoints.to_string()],
     ];
-    println!("{}", render(&["Metric", "Value"], &rows));
+    outln!("{}", render(&["Metric", "Value"], &rows));
 }

@@ -1,0 +1,181 @@
+//! The trace-analysis experiment (`repro analyze`).
+//!
+//! Runs a dynamic-period replicated scenario with a late accidental host
+//! failure, then feeds the run's causal span tree through
+//! [`TraceAnalyzer`]: per-epoch critical-path attribution against
+//! `t = αN/P + C` (Eq. 4), straggler-lane detection, period-oscillation
+//! detection and SLO-breach root-causing. The same spans are exported as
+//! a Chrome trace-event document (`chrome://tracing` / Perfetto) and a
+//! compact JSONL stream.
+//!
+//! Virtual-time quantities (stage durations, pauses, the attribution) are
+//! deterministic; only the per-lane `wall_nanos` fields vary with the
+//! host, so straggler verdicts are the one host-dependent part of the
+//! report.
+
+use here_core::{
+    AnalysisReport, FailureCause, FailurePlan, ReplicationConfig, Scenario, TraceAnalyzer,
+};
+use here_hypervisor::fault::DosOutcome;
+use here_sim_core::time::{SimDuration, SimTime};
+use here_telemetry::{chrome_trace, spans_jsonl};
+use here_workloads::memstress::MemStress;
+
+use super::Scale;
+
+/// Everything `repro analyze` reports.
+#[derive(Debug, Clone)]
+pub struct AnalyzeOutput {
+    /// Spans the run emitted (epoch roots, stages, lanes, replica side,
+    /// migration iterations, fault and failover).
+    pub span_count: usize,
+    /// Checkpoints analyzed.
+    pub checkpoints: usize,
+    /// Whether the injected failure actually produced a failover record.
+    pub failover_captured: bool,
+    /// The analyzer's full report.
+    pub analysis: AnalysisReport,
+    /// Chrome trace-event JSON for the whole run.
+    pub chrome_json: String,
+    /// One span per line, compact JSON.
+    pub jsonl: String,
+    /// Summary as a JSON document (virtual-time fields only, so the
+    /// document is deterministic across hosts).
+    pub json: String,
+}
+
+fn scenario_secs(scale: Scale) -> u64 {
+    match scale {
+        Scale::Paper => 120,
+        Scale::Quick => 20,
+    }
+}
+
+/// Runs the scenario, the analyzer and both exporters.
+pub fn run_analyze(scale: Scale) -> AnalyzeOutput {
+    let secs = scenario_secs(scale);
+    let cfg = ReplicationConfig::dynamic(0.3, SimDuration::from_secs(5));
+    let report = Scenario::builder()
+        .name("analyze")
+        .vm_memory_mib(64)
+        .vcpus(4)
+        .workload(Box::new(MemStress::with_percent(30).with_rate(20_000)))
+        .config(cfg.clone())
+        .duration(SimDuration::from_secs(secs))
+        .failure(FailurePlan {
+            // Late enough that the dynamic controller has settled and
+            // there is a full epoch history to attribute.
+            at: SimTime::from_secs(secs * 3 / 4),
+            cause: FailureCause::Accident(DosOutcome::Crash),
+            reattack_secondary: false,
+        })
+        .build()
+        .expect("valid scenario")
+        .run();
+
+    let threads = cfg.effective_threads(4);
+    let analysis = TraceAnalyzer::default().analyze(&report, &cfg.costs, threads, cfg.strategy);
+    let chrome_json = chrome_trace(&report.spans);
+    let jsonl = spans_jsonl(&report.spans);
+    let json = render_json(&report.spans.len(), report.failover.is_some(), &analysis);
+    AnalyzeOutput {
+        span_count: report.spans.len(),
+        checkpoints: report.checkpoints.len(),
+        failover_captured: report.failover.is_some(),
+        analysis,
+        chrome_json,
+        jsonl,
+        json,
+    }
+}
+
+fn render_json(span_count: &usize, failover: bool, a: &AnalysisReport) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"experiment\": \"analyze\",\n");
+    out.push_str(&format!("  \"spans\": {span_count},\n"));
+    out.push_str(&format!("  \"failover_captured\": {failover},\n"));
+    out.push_str(&format!("  \"epochs\": {},\n", a.epochs.len()));
+    out.push_str(&format!(
+        "  \"min_attributed_fraction\": {:.4},\n",
+        a.min_attributed_fraction
+    ));
+    out.push_str(&format!("  \"stragglers\": {},\n", a.stragglers.len()));
+    out.push_str(&format!(
+        "  \"oscillation\": {{\"decisions\": {}, \"direction_flips\": {}, \
+         \"flip_ratio\": {:.3}, \"walk_backs\": {}, \"midpoint_jumps\": {}, \
+         \"oscillating\": {}}},\n",
+        a.oscillation.decisions,
+        a.oscillation.direction_flips,
+        a.oscillation.flip_ratio,
+        a.oscillation.walk_backs,
+        a.oscillation.midpoint_jumps,
+        a.oscillation.oscillating,
+    ));
+    out.push_str("  \"breach_roots\": [\n");
+    for (i, b) in a.breach_roots.iter().enumerate() {
+        let comma = if i + 1 < a.breach_roots.len() {
+            ","
+        } else {
+            ""
+        };
+        out.push_str(&format!(
+            "    {{\"seq\": {}, \"kind\": \"{:?}\", \"measured\": {:.6}, \
+             \"bound\": {:.6}, \"dominant_stage\": \"{}\", \
+             \"stage_ms\": {:.3}, \"trailing_mean_ms\": {:.3}, \
+             \"growth_pct\": {:.2}}}{comma}\n",
+            b.seq,
+            b.kind,
+            b.measured,
+            b.bound,
+            b.dominant_stage,
+            b.stage_duration.as_secs_f64() * 1e3,
+            b.trailing_mean.as_secs_f64() * 1e3,
+            b.growth_pct,
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"nesting_violations\": {},\n",
+        a.nesting_violations
+    ));
+    out.push_str(&format!(
+        "  \"unresolved_links\": {},\n",
+        a.unresolved_links
+    ));
+    match &a.tree_error {
+        Some(e) => out.push_str(&format!(
+            "  \"tree_error\": \"{}\"\n",
+            here_telemetry::json_escape(e)
+        )),
+        None => out.push_str("  \"tree_error\": null\n"),
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analyze_attributes_and_exports() {
+        let out = run_analyze(Scale::Quick);
+        assert!(out.checkpoints > 0);
+        assert!(out.failover_captured, "the planned accident must fire");
+        assert!(out.span_count > out.checkpoints, "stages nest under epochs");
+        assert!(
+            out.analysis.min_attributed_fraction >= 0.95,
+            "got {}",
+            out.analysis.min_attributed_fraction
+        );
+        assert_eq!(out.analysis.nesting_violations, 0);
+        assert_eq!(out.analysis.unresolved_links, 0);
+        assert!(out.analysis.tree_error.is_none());
+        // The failover spans ride on the controller track.
+        assert!(out.chrome_json.contains("\"failover\""));
+        assert!(out.chrome_json.contains("\"traceEvents\""));
+        assert!(out.jsonl.lines().count() == out.span_count);
+        assert!(out.json.contains("\"min_attributed_fraction\""));
+    }
+}

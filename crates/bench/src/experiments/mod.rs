@@ -4,6 +4,7 @@
 //! sizes, record counts and durations (what the `repro` binary runs);
 //! [`Scale::Quick`] shrinks them for Criterion benches and CI.
 
+pub mod analyze;
 pub mod apps;
 pub mod checkpoint;
 pub mod datapath;

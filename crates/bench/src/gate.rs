@@ -1,0 +1,544 @@
+//! The bench-trajectory regression gate: diffs a freshly produced
+//! `BENCH_*.json` against a committed baseline with per-key tolerances
+//! and reports every regression.
+//!
+//! The virtual-time simulator is deterministic (seeded RNG, threads
+//! derived from vCPUs), so most fields must match the baseline *exactly*
+//! across hosts. Wall-clock measurements (`*_ms`, throughput, measured α
+//! and parallelism) vary with the machine, so they get a relative
+//! tolerance; purely host-dependent fields (`host_cpus`, the embedded
+//! Prometheus dump, raw `wall_nanos`) are ignored. The comparison is
+//! structural, over a minimal hand-rolled JSON parse — the vendored
+//! `serde` is a no-op, like everywhere else in this workspace.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A parsed JSON value, just enough for the gate's structural diff.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (parsed as f64; exact-compare uses a tiny epsilon).
+    Num(f64),
+    /// A string (escapes decoded).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; keys sorted for deterministic iteration.
+    Obj(BTreeMap<String, Json>),
+}
+
+/// Parses a JSON document. Returns a human-readable error with the byte
+/// offset on malformed input.
+pub fn parse(input: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing data at byte {}", p.pos));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            _ => Err(format!("unexpected input at byte {}", self.pos)),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())?;
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|e| format!("bad number '{text}' at byte {start}: {e}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
+                            let code = u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Copy the full UTF-8 code point.
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|e| e.to_string())?;
+                    let c = s.chars().next().ok_or("empty string tail")?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(map));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
+/// How one leaf key is compared.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Rule {
+    /// Must match exactly (numbers within a tiny epsilon).
+    Exact,
+    /// Relative tolerance: `|fresh − base| ≤ tol × max(|base|, floor)`.
+    Relative(f64),
+    /// Absolute tolerance in the key's own unit.
+    Absolute(f64),
+    /// Not compared at all (host-dependent).
+    Ignore,
+}
+
+/// Leaf keys measured in wall-clock time — they vary across hosts and get
+/// the relative tolerance instead of an exact compare.
+pub const MEASURED_KEYS: &[&str] = &[
+    "baseline_ms",
+    "instrumented_ms",
+    "harvest_ms",
+    "translate_ms",
+    "encode_ms",
+    "decode_restore_ms",
+    "total_ms",
+    "throughput_mib_per_s",
+    "measured_alpha_us_per_page",
+    "measured_parallelism",
+    "speedup_vs_legacy",
+];
+
+/// Leaf keys that are host-dependent noise, never compared.
+pub const IGNORED_KEYS: &[&str] = &["host_cpus", "prometheus", "wall_nanos", "flight_recorder"];
+
+/// The gate's per-key policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tolerances {
+    /// Relative tolerance applied to [`MEASURED_KEYS`] (e.g. `3.0` allows
+    /// a 4× swing — wall time on shared CI machines is noisy).
+    pub measured_rel: f64,
+    /// Absolute tolerance for `overhead_pct` (percentage points).
+    pub overhead_abs: f64,
+}
+
+impl Default for Tolerances {
+    fn default() -> Self {
+        Tolerances {
+            measured_rel: 3.0,
+            overhead_abs: 10.0,
+        }
+    }
+}
+
+impl Tolerances {
+    /// The comparison rule for a leaf key.
+    pub fn rule_for(&self, key: &str) -> Rule {
+        if IGNORED_KEYS.contains(&key) {
+            Rule::Ignore
+        } else if key == "overhead_pct" {
+            Rule::Absolute(self.overhead_abs)
+        } else if MEASURED_KEYS.contains(&key) {
+            Rule::Relative(self.measured_rel)
+        } else {
+            Rule::Exact
+        }
+    }
+}
+
+/// One difference between baseline and fresh documents.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Dotted path to the offending leaf (`overhead.baseline_ms`,
+    /// `workers[2].total_ms`, ...).
+    pub path: String,
+    /// What went wrong, human-readable.
+    pub detail: String,
+}
+
+/// Compares a fresh document against the baseline. Returns every
+/// regression found (empty = gate passes).
+pub fn compare(baseline: &Json, fresh: &Json, tol: &Tolerances) -> Vec<Regression> {
+    let mut out = Vec::new();
+    walk(baseline, fresh, "", "", tol, &mut out);
+    out
+}
+
+fn walk(
+    base: &Json,
+    fresh: &Json,
+    path: &str,
+    key: &str,
+    tol: &Tolerances,
+    out: &mut Vec<Regression>,
+) {
+    if tol.rule_for(key) == Rule::Ignore {
+        return;
+    }
+    match (base, fresh) {
+        (Json::Obj(b), Json::Obj(f)) => {
+            for (k, bv) in b {
+                let child = if path.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{path}.{k}")
+                };
+                match f.get(k) {
+                    Some(fv) => walk(bv, fv, &child, k, tol, out),
+                    None => out.push(Regression {
+                        path: child,
+                        detail: "missing in fresh output".to_string(),
+                    }),
+                }
+            }
+            for k in f.keys() {
+                if !b.contains_key(k) {
+                    out.push(Regression {
+                        path: format!("{path}.{k}"),
+                        detail: "unexpected new key (bless a new baseline)".to_string(),
+                    });
+                }
+            }
+        }
+        (Json::Arr(b), Json::Arr(f)) => {
+            if b.len() != f.len() {
+                out.push(Regression {
+                    path: path.to_string(),
+                    detail: format!("array length {} != baseline {}", f.len(), b.len()),
+                });
+                return;
+            }
+            for (i, (bv, fv)) in b.iter().zip(f).enumerate() {
+                // Elements inherit the array's key so `workers[i].x`
+                // rules resolve on `x`, not the index.
+                walk(bv, fv, &format!("{path}[{i}]"), key, tol, out);
+            }
+        }
+        (Json::Num(b), Json::Num(f)) => {
+            let ok = match tol.rule_for(key) {
+                Rule::Ignore => true,
+                Rule::Exact => (b - f).abs() <= 1e-9 * b.abs().max(1.0),
+                Rule::Relative(rel) => (b - f).abs() <= rel * b.abs().max(1e-9),
+                Rule::Absolute(abs) => (b - f).abs() <= abs,
+            };
+            if !ok {
+                out.push(Regression {
+                    path: path.to_string(),
+                    detail: format!("{f} vs baseline {b} ({:?})", tol.rule_for(key)),
+                });
+            }
+        }
+        _ => {
+            if discriminant_name(base) != discriminant_name(fresh) {
+                out.push(Regression {
+                    path: path.to_string(),
+                    detail: format!(
+                        "type changed: {} vs baseline {}",
+                        discriminant_name(fresh),
+                        discriminant_name(base)
+                    ),
+                });
+            } else if base != fresh {
+                out.push(Regression {
+                    path: path.to_string(),
+                    detail: "value differs from baseline".to_string(),
+                });
+            }
+        }
+    }
+}
+
+fn discriminant_name(v: &Json) -> &'static str {
+    match v {
+        Json::Null => "null",
+        Json::Bool(_) => "bool",
+        Json::Num(_) => "number",
+        Json::Str(_) => "string",
+        Json::Arr(_) => "array",
+        Json::Obj(_) => "object",
+    }
+}
+
+/// Runs the gate over two documents read from disk, rendering a report.
+/// Returns `Ok(report)` when the gate passes, `Err(report)` when it
+/// regresses (or either file fails to read/parse).
+pub fn gate_files(
+    baseline_path: &str,
+    fresh_path: &str,
+    tol: &Tolerances,
+) -> Result<String, String> {
+    let read = |p: &str| std::fs::read_to_string(p).map_err(|e| format!("cannot read {p}: {e}"));
+    let baseline = parse(&read(baseline_path)?)
+        .map_err(|e| format!("baseline {baseline_path} is not valid JSON: {e}"))?;
+    let fresh = parse(&read(fresh_path)?)
+        .map_err(|e| format!("fresh output {fresh_path} is not valid JSON: {e}"))?;
+    let regressions = compare(&baseline, &fresh, tol);
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "gate: {fresh_path} vs baseline {baseline_path} (measured ±{:.0}%, overhead ±{} pts)",
+        tol.measured_rel * 100.0,
+        tol.overhead_abs
+    );
+    if regressions.is_empty() {
+        let _ = writeln!(report, "PASS: no regressions");
+        Ok(report)
+    } else {
+        for r in &regressions {
+            let _ = writeln!(report, "REGRESSION {}: {}", r.path, r.detail);
+        }
+        let _ = writeln!(report, "FAIL: {} regression(s)", regressions.len());
+        Err(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC: &str = r#"{
+        "experiment": "datapath",
+        "host_cpus": 8,
+        "pages": 4096,
+        "workers": [
+            {"workers": 1, "total_ms": 10.5, "measured_parallelism": 1.0, "analytic_parallelism": 1.0},
+            {"workers": 2, "total_ms": 6.2, "measured_parallelism": 1.7, "analytic_parallelism": 1.8}
+        ],
+        "overhead_pct": 1.25,
+        "slo": null
+    }"#;
+
+    #[test]
+    fn parser_round_trips_the_shapes_the_gate_needs() {
+        let doc = parse(DOC).unwrap();
+        let Json::Obj(map) = &doc else {
+            panic!("not an object")
+        };
+        assert_eq!(map["experiment"], Json::Str("datapath".to_string()));
+        assert_eq!(map["pages"], Json::Num(4096.0));
+        assert_eq!(map["slo"], Json::Null);
+        let Json::Arr(workers) = &map["workers"] else {
+            panic!("workers")
+        };
+        assert_eq!(workers.len(), 2);
+    }
+
+    #[test]
+    fn parser_decodes_escapes() {
+        let doc = parse("{\"s\":\"a\\\"b\\nc\\u0041\"}").unwrap();
+        let Json::Obj(map) = doc else { panic!() };
+        assert_eq!(map["s"], Json::Str("a\"b\ncA".to_string()));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        assert!(parse("{").is_err());
+        assert!(parse("{\"a\":1,}").is_err());
+        assert!(parse("[1 2]").is_err());
+        assert!(parse("{\"a\":1} extra").is_err());
+    }
+
+    #[test]
+    fn self_compare_passes() {
+        let doc = parse(DOC).unwrap();
+        assert!(compare(&doc, &doc, &Tolerances::default()).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_drift_within_tolerance_passes() {
+        let base = parse(DOC).unwrap();
+        let fresh = parse(&DOC.replace("10.5", "20.9").replace("6.2", "3.1")).unwrap();
+        assert!(compare(&base, &fresh, &Tolerances::default()).is_empty());
+    }
+
+    #[test]
+    fn host_cpus_is_ignored() {
+        let base = parse(DOC).unwrap();
+        let fresh = parse(&DOC.replace("\"host_cpus\": 8", "\"host_cpus\": 96")).unwrap();
+        assert!(compare(&base, &fresh, &Tolerances::default()).is_empty());
+    }
+
+    #[test]
+    fn perturbed_deterministic_field_fails() {
+        // The negative test the CI gate hinges on: a synthetic
+        // perturbation of a deterministic field must be caught.
+        let base = parse(DOC).unwrap();
+        let fresh = parse(&DOC.replace("\"pages\": 4096", "\"pages\": 4097")).unwrap();
+        let regressions = compare(&base, &fresh, &Tolerances::default());
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].path, "pages");
+
+        let fresh = parse(&DOC.replace(
+            "\"analytic_parallelism\": 1.8",
+            "\"analytic_parallelism\": 1.9",
+        ))
+        .unwrap();
+        let regressions = compare(&base, &fresh, &Tolerances::default());
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].path, "workers[1].analytic_parallelism");
+    }
+
+    #[test]
+    fn runaway_wall_clock_fails_even_with_tolerance() {
+        let base = parse(DOC).unwrap();
+        let fresh = parse(&DOC.replace("10.5", "99.0")).unwrap();
+        let regressions = compare(&base, &fresh, &Tolerances::default());
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].path, "workers[0].total_ms");
+    }
+
+    #[test]
+    fn overhead_pct_uses_absolute_tolerance() {
+        let base = parse(DOC).unwrap();
+        let within = parse(&DOC.replace("1.25", "9.0")).unwrap();
+        assert!(compare(&base, &within, &Tolerances::default()).is_empty());
+        let outside = parse(&DOC.replace("1.25", "30.0")).unwrap();
+        assert_eq!(compare(&base, &outside, &Tolerances::default()).len(), 1);
+    }
+
+    #[test]
+    fn shape_changes_fail() {
+        let base = parse(DOC).unwrap();
+        let missing = parse(&DOC.replace("\"pages\": 4096,", "")).unwrap();
+        let regressions = compare(&base, &missing, &Tolerances::default());
+        assert!(regressions
+            .iter()
+            .any(|r| r.path == "pages" && r.detail.contains("missing")));
+        let null_swap = parse(&DOC.replace("\"slo\": null", "\"slo\": {}")).unwrap();
+        assert!(compare(&base, &null_swap, &Tolerances::default())
+            .iter()
+            .any(|r| r.path == "slo" && r.detail.contains("type changed")));
+    }
+}

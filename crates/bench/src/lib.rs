@@ -26,6 +26,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod experiments;
+pub mod gate;
 pub mod tables;
 
 pub use experiments::Scale;

@@ -1,0 +1,536 @@
+//! The trace analyzer: turns a run's causal spans, period decisions and
+//! SLO breaches into an actionable report.
+//!
+//! Four questions the paper's evaluation keeps asking, answered from the
+//! trace instead of aggregates:
+//!
+//! 1. **Critical path per epoch** — which pipeline stage spans make up
+//!    each checkpoint's pause, and how the measured pause compares to the
+//!    model `t = αN/P + C` (Eq. 4).
+//! 2. **Straggler lanes** — encode lanes whose measured wall time
+//!    exceeds `k ×` the epoch's median lane.
+//! 3. **Period oscillation** — Algorithm 1 bouncing between periods
+//!    (direction flips, walk-backs and midpoint jumps over the
+//!    [`PeriodDecision`] history).
+//! 4. **SLO-breach root cause** — for each breach of the degradation
+//!    target `D` or period cap, which stage grew relative to its trailing
+//!    mean.
+
+use here_sim_core::time::SimDuration;
+use here_telemetry::slo::BreachKind;
+use here_telemetry::span::{Span, TraceTree, Track};
+
+use crate::config::{CostModel, Strategy};
+use crate::period::{PeriodAction, PeriodDecision};
+use crate::report::RunReport;
+
+/// Tunables for the analyzer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnalyzerConfig {
+    /// A lane is a straggler when its wall time exceeds `k ×` the epoch's
+    /// median lane wall time.
+    pub straggler_k: f64,
+    /// Ignore lanes faster than this when hunting stragglers (wall-clock
+    /// noise floor, ns).
+    pub straggler_floor_nanos: u64,
+    /// Minimum decisions before oscillation can be declared.
+    pub oscillation_window: usize,
+    /// Fraction of direction changes (between consecutive period moves)
+    /// at which the controller counts as oscillating.
+    pub oscillation_flip_ratio: f64,
+}
+
+impl Default for AnalyzerConfig {
+    fn default() -> Self {
+        AnalyzerConfig {
+            straggler_k: 1.5,
+            straggler_floor_nanos: 1_000,
+            oscillation_window: 8,
+            oscillation_flip_ratio: 0.6,
+        }
+    }
+}
+
+/// One stage's share of an epoch's pause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageShare {
+    /// Stage label (`pause`, `harvest`, `translate`, `transfer`,
+    /// `resume`).
+    pub stage: &'static str,
+    /// Virtual time the stage took.
+    pub duration: SimDuration,
+    /// `duration / pause` (0 when the pause is zero).
+    pub share: f64,
+}
+
+/// Critical-path attribution for one checkpoint epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochAttribution {
+    /// Checkpoint sequence number.
+    pub seq: u64,
+    /// The epoch's VM-visible pause (from the checkpoint record).
+    pub pause: SimDuration,
+    /// Pause time attributed to named stage spans.
+    pub attributed: SimDuration,
+    /// `attributed / pause` — 1.0 when every nanosecond of the pause is
+    /// explained by a named stage span.
+    pub attributed_fraction: f64,
+    /// Per-stage breakdown, in pipeline order.
+    pub stages: Vec<StageShare>,
+    /// The stage with the largest share.
+    pub dominant_stage: &'static str,
+    /// The model's pause for this epoch's dirty-page count:
+    /// `t = αN/P + C`.
+    pub model_pause: SimDuration,
+    /// `(measured − model) / model`, as a percentage.
+    pub model_residual_pct: f64,
+}
+
+/// An encode lane flagged as a straggler within its epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StragglerLane {
+    /// Checkpoint sequence number.
+    pub seq: u64,
+    /// Lane index.
+    pub lane: u32,
+    /// The lane's measured wall time (ns).
+    pub wall_nanos: u64,
+    /// The epoch's median lane wall time (ns).
+    pub median_wall_nanos: u64,
+}
+
+impl StragglerLane {
+    /// How many times slower than the median this lane was.
+    pub fn ratio(&self) -> f64 {
+        if self.median_wall_nanos == 0 {
+            f64::INFINITY
+        } else {
+            self.wall_nanos as f64 / self.median_wall_nanos as f64
+        }
+    }
+}
+
+/// Summary of the period controller's stability over the run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OscillationReport {
+    /// Decisions examined.
+    pub decisions: usize,
+    /// Times the period's direction of travel reversed between
+    /// consecutive non-hold moves.
+    pub direction_flips: usize,
+    /// `direction_flips / (moves − 1)` (0 with fewer than two moves).
+    pub flip_ratio: f64,
+    /// `WalkBack` branches taken.
+    pub walk_backs: usize,
+    /// `MidpointJump` branches taken.
+    pub midpoint_jumps: usize,
+    /// Verdict: enough history and a flip ratio above the configured
+    /// threshold.
+    pub oscillating: bool,
+}
+
+/// Root-cause attribution for one SLO breach.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BreachRoot {
+    /// Checkpoint sequence number that breached.
+    pub seq: u64,
+    /// Which bound was violated.
+    pub kind: BreachKind,
+    /// The measured value that breached.
+    pub measured: f64,
+    /// The bound it was compared against.
+    pub bound: f64,
+    /// The breaching epoch's dominant stage.
+    pub dominant_stage: &'static str,
+    /// That stage's duration in the breaching epoch.
+    pub stage_duration: SimDuration,
+    /// The same stage's mean duration over all prior epochs.
+    pub trailing_mean: SimDuration,
+    /// `(stage_duration − trailing_mean) / trailing_mean`, as a
+    /// percentage (0 when there is no prior history).
+    pub growth_pct: f64,
+}
+
+/// Everything the analyzer derives from one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalysisReport {
+    /// Per-epoch critical-path attribution, in sequence order.
+    pub epochs: Vec<EpochAttribution>,
+    /// The worst `attributed_fraction` across epochs (1.0 for a run with
+    /// no epochs).
+    pub min_attributed_fraction: f64,
+    /// Straggler lanes, in (seq, lane) order.
+    pub stragglers: Vec<StragglerLane>,
+    /// Period-controller stability.
+    pub oscillation: OscillationReport,
+    /// Root-caused SLO breaches, in breach order.
+    pub breach_roots: Vec<BreachRoot>,
+    /// Structural defect counts from [`TraceTree`] validation (both are
+    /// zero for a healthy trace).
+    pub nesting_violations: usize,
+    /// Replica spans whose epoch link does not resolve.
+    pub unresolved_links: usize,
+    /// Set when the spans could not even be assembled into a tree.
+    pub tree_error: Option<String>,
+}
+
+/// The analyzer. Construct with [`TraceAnalyzer::default`] or a custom
+/// [`AnalyzerConfig`], then [`TraceAnalyzer::analyze`] a finished run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TraceAnalyzer {
+    cfg: AnalyzerConfig,
+}
+
+impl TraceAnalyzer {
+    /// An analyzer with custom thresholds.
+    pub fn new(cfg: AnalyzerConfig) -> Self {
+        TraceAnalyzer { cfg }
+    }
+
+    /// Analyzes a finished run against its cost model.
+    pub fn analyze(
+        &self,
+        report: &RunReport,
+        costs: &CostModel,
+        threads: u32,
+        strategy: Strategy,
+    ) -> AnalysisReport {
+        let (nesting_violations, unresolved_links, tree_error) =
+            match TraceTree::build(&report.spans) {
+                Ok(tree) => (
+                    tree.nesting_violations().len(),
+                    tree.unresolved_links().len(),
+                    None,
+                ),
+                Err(e) => (0, 0, Some(e.to_string())),
+            };
+        let epochs = self.attribute_epochs(report, costs, threads, strategy);
+        let min_attributed_fraction = epochs
+            .iter()
+            .map(|e| e.attributed_fraction)
+            .fold(f64::INFINITY, f64::min)
+            .min(1.0);
+        let min_attributed_fraction = if epochs.is_empty() {
+            1.0
+        } else {
+            min_attributed_fraction
+        };
+        AnalysisReport {
+            stragglers: self.find_stragglers(&report.spans),
+            oscillation: self.detect_oscillation(&report.period_decisions),
+            breach_roots: self.root_cause_breaches(report, &epochs),
+            epochs,
+            min_attributed_fraction,
+            nesting_violations,
+            unresolved_links,
+            tree_error,
+        }
+    }
+
+    fn attribute_epochs(
+        &self,
+        report: &RunReport,
+        costs: &CostModel,
+        threads: u32,
+        strategy: Strategy,
+    ) -> Vec<EpochAttribution> {
+        report
+            .checkpoints
+            .iter()
+            .map(|ckpt| {
+                // The pause is attributed to the epoch's named stage spans
+                // that count toward it (everything but the ack wait).
+                let stages: Vec<StageShare> = report
+                    .spans
+                    .iter()
+                    .filter(|s| {
+                        s.category == "stage" && s.epoch == Some(ckpt.seq) && s.name != "ack"
+                    })
+                    .map(|s| {
+                        let duration = SimDuration::from_nanos(s.duration_nanos);
+                        let share = if ckpt.pause.is_zero() {
+                            0.0
+                        } else {
+                            s.duration_nanos as f64 / ckpt.pause.as_nanos() as f64
+                        };
+                        StageShare {
+                            stage: s.name,
+                            duration,
+                            share,
+                        }
+                    })
+                    .collect();
+                let attributed: SimDuration = stages.iter().map(|s| s.duration).sum();
+                let attributed_fraction = if ckpt.pause.is_zero() {
+                    1.0
+                } else {
+                    attributed.as_nanos() as f64 / ckpt.pause.as_nanos() as f64
+                };
+                let dominant_stage = stages
+                    .iter()
+                    .max_by_key(|s| s.duration)
+                    .map(|s| s.stage)
+                    .unwrap_or("unknown");
+                let model_pause = costs.checkpoint_pause(ckpt.dirty_pages, threads, strategy);
+                let model_residual_pct = if model_pause.is_zero() {
+                    0.0
+                } else {
+                    (ckpt.pause.as_nanos() as f64 - model_pause.as_nanos() as f64)
+                        / model_pause.as_nanos() as f64
+                        * 100.0
+                };
+                EpochAttribution {
+                    seq: ckpt.seq,
+                    pause: ckpt.pause,
+                    attributed,
+                    attributed_fraction,
+                    stages,
+                    dominant_stage,
+                    model_pause,
+                    model_residual_pct,
+                }
+            })
+            .collect()
+    }
+
+    fn find_stragglers(&self, spans: &[Span]) -> Vec<StragglerLane> {
+        let mut by_epoch: Vec<(u64, Vec<(u32, u64)>)> = Vec::new();
+        for span in spans {
+            let (Track::PrimaryLane(lane), Some(epoch), Some(wall)) =
+                (span.track, span.epoch, span.wall_nanos)
+            else {
+                continue;
+            };
+            match by_epoch.iter_mut().find(|(e, _)| *e == epoch) {
+                Some((_, lanes)) => lanes.push((lane, wall)),
+                None => by_epoch.push((epoch, vec![(lane, wall)])),
+            }
+        }
+        let mut out = Vec::new();
+        for (epoch, lanes) in by_epoch {
+            if lanes.len() < 2 {
+                continue;
+            }
+            let mut walls: Vec<u64> = lanes.iter().map(|&(_, w)| w).collect();
+            walls.sort_unstable();
+            let median = walls[walls.len() / 2];
+            for (lane, wall) in lanes {
+                if wall < self.cfg.straggler_floor_nanos {
+                    continue;
+                }
+                if wall as f64 > self.cfg.straggler_k * median as f64 {
+                    out.push(StragglerLane {
+                        seq: epoch,
+                        lane,
+                        wall_nanos: wall,
+                        median_wall_nanos: median,
+                    });
+                }
+            }
+        }
+        out.sort_by_key(|s| (s.seq, s.lane));
+        out
+    }
+
+    fn detect_oscillation(&self, decisions: &[PeriodDecision]) -> OscillationReport {
+        let mut directions = Vec::new();
+        let mut walk_backs = 0;
+        let mut midpoint_jumps = 0;
+        for d in decisions {
+            match d.action {
+                PeriodAction::WalkBack => walk_backs += 1,
+                PeriodAction::MidpointJump => midpoint_jumps += 1,
+                _ => {}
+            }
+            match d.chosen_period.cmp(&d.previous_period) {
+                std::cmp::Ordering::Greater => directions.push(1i8),
+                std::cmp::Ordering::Less => directions.push(-1i8),
+                std::cmp::Ordering::Equal => {}
+            }
+        }
+        let direction_flips = directions.windows(2).filter(|w| w[0] != w[1]).count();
+        let flip_ratio = if directions.len() > 1 {
+            direction_flips as f64 / (directions.len() - 1) as f64
+        } else {
+            0.0
+        };
+        OscillationReport {
+            decisions: decisions.len(),
+            direction_flips,
+            flip_ratio,
+            walk_backs,
+            midpoint_jumps,
+            oscillating: decisions.len() >= self.cfg.oscillation_window
+                && flip_ratio >= self.cfg.oscillation_flip_ratio,
+        }
+    }
+
+    fn root_cause_breaches(
+        &self,
+        report: &RunReport,
+        epochs: &[EpochAttribution],
+    ) -> Vec<BreachRoot> {
+        let Some(telemetry) = &report.telemetry else {
+            return Vec::new();
+        };
+        telemetry
+            .slo_breaches
+            .iter()
+            .filter_map(|breach| {
+                let epoch = epochs.iter().find(|e| e.seq == breach.seq)?;
+                let dominant = epoch
+                    .stages
+                    .iter()
+                    .max_by_key(|s| s.duration)
+                    .cloned()
+                    .unwrap_or(StageShare {
+                        stage: "unknown",
+                        duration: SimDuration::ZERO,
+                        share: 0.0,
+                    });
+                // How the dominant stage compares to its own history
+                // before the breach.
+                let prior: Vec<SimDuration> = epochs
+                    .iter()
+                    .filter(|e| e.seq < breach.seq)
+                    .filter_map(|e| {
+                        e.stages
+                            .iter()
+                            .find(|s| s.stage == dominant.stage)
+                            .map(|s| s.duration)
+                    })
+                    .collect();
+                let trailing_mean = if prior.is_empty() {
+                    SimDuration::ZERO
+                } else {
+                    prior.iter().copied().sum::<SimDuration>() / prior.len() as u64
+                };
+                let growth_pct = if trailing_mean.is_zero() {
+                    0.0
+                } else {
+                    (dominant.duration.as_nanos() as f64 - trailing_mean.as_nanos() as f64)
+                        / trailing_mean.as_nanos() as f64
+                        * 100.0
+                };
+                Some(BreachRoot {
+                    seq: breach.seq,
+                    kind: breach.kind,
+                    measured: breach.measured,
+                    bound: breach.bound,
+                    dominant_stage: dominant.stage,
+                    stage_duration: dominant.duration,
+                    trailing_mean,
+                    growth_pct,
+                })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ReplicationConfig;
+    use crate::engine::Scenario;
+    use here_sim_core::time::SimDuration;
+    use here_workloads::memstress::MemStress;
+
+    fn run() -> (RunReport, ReplicationConfig) {
+        let cfg = ReplicationConfig::dynamic(0.3, SimDuration::from_secs(5));
+        let report = Scenario::builder()
+            .vm_memory_mib(64)
+            .vcpus(4)
+            .workload(Box::new(MemStress::with_percent(30).with_rate(20_000)))
+            .config(cfg.clone())
+            .duration(SimDuration::from_secs(20))
+            .build()
+            .unwrap()
+            .run();
+        (report, cfg)
+    }
+
+    #[test]
+    fn every_epoch_pause_is_fully_attributed() {
+        let (report, cfg) = run();
+        assert!(!report.checkpoints.is_empty());
+        let threads = cfg.effective_threads(4);
+        let analysis = TraceAnalyzer::default().analyze(&report, &cfg.costs, threads, cfg.strategy);
+        assert_eq!(analysis.epochs.len(), report.checkpoints.len());
+        // The stage spans sum to the pause by construction, so every
+        // epoch attributes ≥ 95 % (in fact 100 %) of its pause.
+        assert!(
+            analysis.min_attributed_fraction >= 0.95,
+            "min attributed fraction {}",
+            analysis.min_attributed_fraction
+        );
+        for epoch in &analysis.epochs {
+            assert_eq!(epoch.attributed, epoch.pause, "epoch {}", epoch.seq);
+            // Measured pause equals the model by construction in the
+            // virtual-time simulator: residual is (sub-nanosecond) zero.
+            assert!(
+                epoch.model_residual_pct.abs() < 1.0,
+                "epoch {} residual {}",
+                epoch.seq,
+                epoch.model_residual_pct
+            );
+        }
+        assert_eq!(analysis.nesting_violations, 0);
+        assert_eq!(analysis.unresolved_links, 0);
+        assert!(analysis.tree_error.is_none());
+    }
+
+    #[test]
+    fn oscillation_flags_alternating_periods() {
+        let analyzer = TraceAnalyzer::default();
+        let mk = |prev_ms: u64, next_ms: u64, action| PeriodDecision {
+            dirty_pages: 100,
+            measured_pause: SimDuration::from_millis(10),
+            measured_degradation: 0.1,
+            previous_period: SimDuration::from_millis(prev_ms),
+            chosen_period: SimDuration::from_millis(next_ms),
+            predicted_degradation: 0.1,
+            action,
+            clamp: None,
+        };
+        // A\B\A\B… ping-pong: every move reverses direction.
+        let mut ping_pong = Vec::new();
+        for i in 0..10 {
+            if i % 2 == 0 {
+                ping_pong.push(mk(1000, 500, PeriodAction::StepDescent));
+            } else {
+                ping_pong.push(mk(500, 1000, PeriodAction::WalkBack));
+            }
+        }
+        let osc = analyzer.detect_oscillation(&ping_pong);
+        assert!(osc.oscillating, "{osc:?}");
+        assert_eq!(osc.walk_backs, 5);
+        assert_eq!(osc.direction_flips, 9);
+
+        // Monotone descent: no flips, not oscillating.
+        let descent: Vec<PeriodDecision> = (0..10)
+            .map(|i| mk(1000 - i * 50, 950 - i * 50, PeriodAction::StepDescent))
+            .collect();
+        let osc = analyzer.detect_oscillation(&descent);
+        assert!(!osc.oscillating, "{osc:?}");
+        assert_eq!(osc.direction_flips, 0);
+    }
+
+    #[test]
+    fn stragglers_flagged_above_k_times_median() {
+        use here_telemetry::span::{SpanDraft, SpanRecorder, Track};
+        let mut rec = SpanRecorder::new();
+        for (lane, wall) in [(0u32, 10_000u64), (1, 11_000), (2, 9_000), (3, 40_000)] {
+            rec.push(
+                SpanDraft::new("encode_lane", "lane", Track::PrimaryLane(lane), 0)
+                    .lasting(100)
+                    .epoch(5)
+                    .wall(wall),
+            );
+        }
+        let found = TraceAnalyzer::default().find_stragglers(rec.spans());
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].lane, 3);
+        assert_eq!(found[0].seq, 5);
+        assert!(found[0].ratio() > 3.0);
+    }
+}

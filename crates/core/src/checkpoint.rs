@@ -132,6 +132,9 @@ pub(crate) fn run_replicated(scenario: Scenario) -> CoreResult<RunReport> {
         session.workload.reset();
         session.checkpoints.clear();
         session.trace.clear();
+        session.spans.clear();
+        session.epoch_span = None;
+        session.pending_lane_walls.clear();
         session.period_decisions.clear();
         session.telemetry.reset();
         session.period_series = here_sim_core::metrics::TimeSeries::new("period_secs");
@@ -166,6 +169,7 @@ pub(crate) fn run_replicated(scenario: Scenario) -> CoreResult<RunReport> {
                 session.advance(run_for, false);
                 let plan_taken = plan.take().expect("plan checked above");
                 let downed = apply_cause(&plan_taken.cause, session.primary.as_mut());
+                record_fault(&mut session, &plan_taken.cause, downed);
                 if downed {
                     let record = session.failover(session.clock)?;
                     session.clock = record.resumed_at;
@@ -232,6 +236,37 @@ fn run_on_replica(
         }
     }
     Ok(())
+}
+
+/// Marks an injected fault on the flight recorder and the span trace, so
+/// crash/hang/starvation runs show what hit the primary — not just the
+/// failover marks that follow.
+fn record_fault(session: &mut Session, cause: &FailureCause, host_down: bool) {
+    use here_hypervisor::fault::DosOutcome;
+    let (fault, detail): (&'static str, String) = match cause {
+        FailureCause::Exploit(e) => ("exploit", format!("{} launched at primary", e.cve().id)),
+        FailureCause::Accident(outcome) => (
+            match outcome {
+                DosOutcome::Crash => "crash",
+                DosOutcome::Hang => "hang",
+                DosOutcome::Starvation => "starvation",
+            },
+            "accidental failure injected into primary".to_string(),
+        ),
+    };
+    let at_nanos = session.rel(session.clock).as_nanos();
+    session
+        .telemetry
+        .on_fault(fault, host_down, detail, at_nanos);
+    session.spans.push(
+        here_telemetry::span::SpanDraft::new(
+            fault,
+            "fault",
+            here_telemetry::span::Track::Controller,
+            at_nanos,
+        )
+        .attr_str("host", "primary"),
+    );
 }
 
 /// Applies a failure cause to the primary; returns `true` if the host went

@@ -130,10 +130,41 @@ impl Scenario {
     /// Panics only on internal invariant violations (e.g. a corrupted
     /// replication stream), never on valid configurations.
     pub fn run(self) -> RunReport {
-        match &self.protection {
+        let report = match &self.protection {
             Protection::Unprotected => run_unprotected(self),
             Protection::Replicated(_) => crate::checkpoint::run_replicated(self)
                 .expect("replicated run failed on a valid scenario"),
+        };
+        notify_run_observer(&report);
+        report
+    }
+}
+
+/// An optional process-wide callback invoked with every finished
+/// [`RunReport`] — the hook behind `repro --format`, letting a harness
+/// dump any scenario's telemetry or trace without per-experiment code.
+type RunObserver = Box<dyn Fn(&RunReport) + Send>;
+
+static RUN_OBSERVER: std::sync::Mutex<Option<RunObserver>> = std::sync::Mutex::new(None);
+
+/// Installs (or replaces) the process-wide run observer.
+pub fn set_run_observer(observer: impl Fn(&RunReport) + Send + 'static) {
+    if let Ok(mut slot) = RUN_OBSERVER.lock() {
+        *slot = Some(Box::new(observer));
+    }
+}
+
+/// Removes the process-wide run observer, if any.
+pub fn clear_run_observer() {
+    if let Ok(mut slot) = RUN_OBSERVER.lock() {
+        *slot = None;
+    }
+}
+
+fn notify_run_observer(report: &RunReport) {
+    if let Ok(slot) = RUN_OBSERVER.lock() {
+        if let Some(observer) = slot.as_ref() {
+            observer(report);
         }
     }
 }
@@ -347,6 +378,7 @@ fn run_unprotected(scenario: Scenario) -> RunReport {
         },
         consistency_checks: 0,
         telemetry: None,
+        spans: Vec::new(),
     }
 }
 

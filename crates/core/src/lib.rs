@@ -24,6 +24,9 @@
 //!   every stage boundary;
 //! - [`telemetry`]: the always-on observability bundle — metrics registry,
 //!   flight recorder and SLO tracker — frozen into every report;
+//! - [`analyze`]: the trace analyzer — per-epoch critical-path
+//!   attribution against `t = αN/P + C`, straggler-lane detection,
+//!   period-oscillation detection and SLO-breach root-causing;
 //! - [`report`]: the measurements each run produces, derived from the
 //!   stage trace.
 //!
@@ -47,6 +50,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod analyze;
 pub mod checkpoint;
 pub mod config;
 pub mod dataplane;
@@ -63,8 +67,14 @@ pub mod telemetry;
 pub mod trace;
 pub mod transfer;
 
+pub use analyze::{
+    AnalysisReport, AnalyzerConfig, BreachRoot, EpochAttribution, OscillationReport, StageShare,
+    StragglerLane, TraceAnalyzer,
+};
 pub use config::{CostModel, PeriodPolicy, ReplicationConfig, Strategy};
-pub use engine::{FailureCause, FailurePlan, Scenario, ScenarioBuilder};
+pub use engine::{
+    clear_run_observer, set_run_observer, FailureCause, FailurePlan, Scenario, ScenarioBuilder,
+};
 pub use error::{CoreError, CoreResult};
 pub use failover::FailoverRecord;
 pub use period::{

@@ -14,10 +14,32 @@
 //! feed the problematic-page tracker so cross-thread pages are resent in
 //! the stop-and-copy; Remus does neither.
 
+use here_sim_core::time::SimDuration;
+use here_telemetry::span::{SpanDraft, Track};
+
 use crate::error::CoreResult;
 use crate::report::{IterationStats, MigrationOutcome};
 use crate::session::{Session, SessionPhase};
 use crate::transfer::{collect_chunked, ProblematicTracker};
+
+/// Records one migration iteration as a primary-track span (the round's
+/// virtual interval ends at the session clock).
+fn record_iteration_span(
+    session: &mut Session,
+    iteration: u64,
+    pages: u64,
+    phase: &'static str,
+    duration: SimDuration,
+) {
+    let end = session.clock.as_nanos();
+    let start = end.saturating_sub(duration.as_nanos());
+    session.spans.push(
+        SpanDraft::new(phase, "migration", Track::Primary, start)
+            .lasting(duration.as_nanos())
+            .attr_u64("iteration", iteration)
+            .attr_u64("pages", pages),
+    );
+}
 
 /// Runs the seeding migration to completion, leaving the session in the
 /// replicating phase with the replica an exact copy of the primary.
@@ -54,6 +76,7 @@ pub(crate) fn seed(session: &mut Session) -> CoreResult<MigrationOutcome> {
     session
         .telemetry
         .on_migration_iteration(0, total_pages, "full_copy", at_nanos);
+    record_iteration_span(session, 0, total_pages, "full_copy", round);
     iterations.push(IterationStats {
         index: 0,
         pages: total_pages,
@@ -91,6 +114,13 @@ pub(crate) fn seed(session: &mut Session) -> CoreResult<MigrationOutcome> {
                 "stop_and_copy",
                 at_nanos,
             );
+            record_iteration_span(
+                session,
+                iter as u64,
+                final_delta.len() as u64,
+                "stop_and_copy",
+                downtime,
+            );
             iterations.push(IterationStats {
                 index: iter,
                 pages: final_delta.len() as u64,
@@ -123,6 +153,7 @@ pub(crate) fn seed(session: &mut Session) -> CoreResult<MigrationOutcome> {
         session
             .telemetry
             .on_migration_iteration(iter as u64, dirty_count, "pre_copy", at_nanos);
+        record_iteration_span(session, iter as u64, dirty_count, "pre_copy", round);
         iterations.push(IterationStats {
             index: iter,
             pages: dirty_count,

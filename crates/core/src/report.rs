@@ -16,6 +16,7 @@ use crate::failover::FailoverRecord;
 use crate::period::{degradation, PeriodDecision};
 use crate::telemetry::TelemetrySnapshot;
 use crate::trace::{Stage, StageEvent};
+use here_telemetry::span::Span;
 
 /// One checkpoint round.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -163,6 +164,10 @@ pub struct RunReport {
     /// snapshot, flight-recorder dump and SLO summary. `None` for
     /// unprotected runs (nothing to observe).
     pub telemetry: Option<TelemetrySnapshot>,
+    /// The causal trace: every span recorded during the measured window —
+    /// epoch roots, stage and lane children, replica-side applies, and
+    /// the failover tree. Empty for unprotected runs.
+    pub spans: Vec<Span>,
 }
 
 impl RunReport {
@@ -246,6 +251,7 @@ mod tests {
             },
             consistency_checks: 0,
             telemetry: None,
+            spans: Vec::new(),
         };
         assert_eq!(report.mean_pause(), Some(SimDuration::from_millis(200)));
         assert_eq!(report.mean_dirty_pages(), Some(20.0));
@@ -274,6 +280,7 @@ mod tests {
             },
             consistency_checks: 0,
             telemetry: None,
+            spans: Vec::new(),
         };
         assert!(report.mean_pause().is_none());
         assert!(report.mean_degradation().is_none());

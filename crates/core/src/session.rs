@@ -23,6 +23,7 @@ use here_sim_core::rate::ByteSize;
 use here_sim_core::rng::SimRng;
 use here_sim_core::time::{SimDuration, SimTime};
 use here_simnet::link::Link;
+use here_telemetry::span::{SpanDraft, SpanId, SpanRecorder, Track};
 use here_vmstate::translate::StateTranslator;
 use here_vmstate::wire::{encode_record_into, Record, ScatterStream, StreamDecoder, StreamEncoder};
 use here_vmstate::{reconcile, MemoryDelta};
@@ -132,6 +133,13 @@ pub(crate) struct Session {
     pub(crate) max_ckpt_pages: u64,
     pub(crate) checkpoints: Vec<CheckpointRecord>,
     pub(crate) trace: StageTrace,
+    pub(crate) spans: SpanRecorder,
+    /// Open epoch-root span, from `Pause` until `Resume` closes it.
+    pub(crate) epoch_span: Option<SpanId>,
+    /// Wall nanoseconds per encode lane from the most recent
+    /// [`Session::encode_checkpoint`], drained into lane spans when the
+    /// Translate stage is recorded.
+    pub(crate) pending_lane_walls: Vec<u64>,
     pub(crate) period_decisions: Vec<PeriodDecision>,
     pub(crate) period_series: TimeSeries,
     pub(crate) degradation_series: TimeSeries,
@@ -207,6 +215,9 @@ impl Session {
             max_ckpt_pages: 0,
             checkpoints: Vec::new(),
             trace: StageTrace::new(),
+            spans: SpanRecorder::new(),
+            epoch_span: None,
+            pending_lane_walls: Vec::new(),
             period_decisions: Vec::new(),
             period_series: TimeSeries::new("period_secs"),
             degradation_series: TimeSeries::new("degradation_pct"),
@@ -259,7 +270,81 @@ impl Session {
             bytes,
         };
         self.telemetry.on_stage_event(&event);
+        self.record_stage_span(&event);
         self.trace.record(event);
+    }
+
+    /// Emits the span-tree view of one stage event: the `Pause` stage
+    /// opens the epoch root, each stage becomes a child span, `Translate`
+    /// drains the stashed per-lane encode walls into lane child spans,
+    /// `Transfer` adds the replica-side apply span (linked across the
+    /// simulated wire by epoch id, not by parent), and `Resume` closes
+    /// the root.
+    fn record_stage_span(&mut self, event: &StageEvent) {
+        let start = event.at.as_nanos();
+        let end = start + event.duration.as_nanos();
+        if event.stage == Stage::Pause {
+            let root = self.spans.open(
+                SpanDraft::new("epoch", "epoch", Track::Primary, start)
+                    .epoch(event.seq)
+                    .attr_u64("seq", event.seq),
+            );
+            self.epoch_span = Some(root);
+        }
+        let mut draft = SpanDraft::new(event.stage.label(), "stage", Track::Primary, start)
+            .lasting(event.duration.as_nanos())
+            .epoch(event.seq)
+            .attr_u64("pages", event.pages)
+            .attr_u64("bytes", event.bytes);
+        if let Some(parent) = self.epoch_span {
+            draft = draft.child_of(parent);
+        }
+        if let Some(wall) = event.wall_nanos {
+            draft = draft.wall(wall);
+        }
+        let stage_span = self.spans.push(draft);
+        match event.stage {
+            Stage::Translate => {
+                // Each lane worked inside the Translate window; its share
+                // of virtual time is the stage interval, its measured time
+                // the stashed wall probe.
+                let walls = std::mem::take(&mut self.pending_lane_walls);
+                for (lane, wall) in walls.into_iter().enumerate() {
+                    self.spans.push(
+                        SpanDraft::new(
+                            "encode_lane",
+                            "lane",
+                            Track::PrimaryLane(lane as u32),
+                            start,
+                        )
+                        .lasting(event.duration.as_nanos())
+                        .epoch(event.seq)
+                        .child_of(stage_span)
+                        .wall(wall)
+                        .attr_u64("lane", lane as u64),
+                    );
+                }
+            }
+            Stage::Transfer => {
+                // The replica decodes and installs the stream inside the
+                // Transfer window, on its own host: linked by epoch id.
+                let mut replica = SpanDraft::new("decode_restore", "wire", Track::Replica, start)
+                    .lasting(event.duration.as_nanos())
+                    .epoch(event.seq)
+                    .attr_u64("pages", event.pages)
+                    .attr_u64("bytes", event.bytes);
+                if let Some(wall) = event.wall_nanos {
+                    replica = replica.wall(wall);
+                }
+                self.spans.push(replica);
+            }
+            Stage::Resume => {
+                if let Some(root) = self.epoch_span.take() {
+                    self.spans.close(root, end);
+                }
+            }
+            _ => {}
+        }
     }
 
     /// Advances the protected VM (and virtual time) by `dt`, slicing for
@@ -370,10 +455,11 @@ impl Session {
         for segment in segments {
             stream.push(segment);
         }
-        for (lane, wall) in lane_walls.into_iter().enumerate() {
+        for (lane, &wall) in lane_walls.iter().enumerate() {
             self.telemetry
                 .on_encode_lane(seq, lane as u64, wall, at_nanos);
         }
+        self.pending_lane_walls = lane_walls;
 
         // Tail segment: vCPU state (capture serial, translate parallel),
         // device identities, and the cross-check trailer.
@@ -573,12 +659,61 @@ impl Session {
             devices_switched: switch.devices_switched,
         };
         self.telemetry.on_failover(&record);
+        let family = match self.secondary.kind() {
+            HypervisorKind::Xen => "xen",
+            HypervisorKind::Kvm => "kvm",
+        };
+        self.telemetry.on_device_switch(
+            switch.devices_switched,
+            switch.packets_discarded,
+            family,
+            record.detected_at.as_nanos(),
+        );
+        self.record_failover_spans(&record, switch.devices_switched, family);
         self.telemetry.on_packet_stats(
             self.devmgr.packets_buffered(),
             self.devmgr.packets_released(),
             self.devmgr.packets_discarded(),
         );
         Ok(record)
+    }
+
+    /// Emits the failover span tree on the controller track: a root span
+    /// covering fail → resume, with `detect` and `switch_and_activate`
+    /// children splitting the outage at the detection instant.
+    fn record_failover_spans(
+        &mut self,
+        record: &FailoverRecord,
+        devices_switched: usize,
+        family: &'static str,
+    ) {
+        let failed = record.failed_at.as_nanos();
+        let detected = record.detected_at.as_nanos();
+        let resumed = record.resumed_at.as_nanos();
+        let root = self.spans.push(
+            SpanDraft::new("failover", "failover", Track::Controller, failed)
+                .lasting(resumed.saturating_sub(failed))
+                .attr_u64("resumed_from_checkpoint", record.resumed_from_checkpoint)
+                .attr_u64("packets_lost", record.packets_lost as u64)
+                .attr_f64("ops_lost", record.ops_lost),
+        );
+        self.spans.push(
+            SpanDraft::new("detect", "failover", Track::Controller, failed)
+                .lasting(detected.saturating_sub(failed))
+                .child_of(root),
+        );
+        self.spans.push(
+            SpanDraft::new(
+                "switch_and_activate",
+                "failover",
+                Track::Controller,
+                detected,
+            )
+            .lasting(resumed.saturating_sub(detected))
+            .child_of(root)
+            .attr_u64("devices_switched", devices_switched as u64)
+            .attr_str("new_family", family),
+        );
     }
 
     /// Closes the session and assembles the final [`RunReport`]
@@ -622,6 +757,7 @@ impl Session {
             resources: crate::report::ResourceUsage { cpu_core_pct, rss },
             consistency_checks: self.consistency_checks,
             telemetry: Some(self.telemetry.snapshot()),
+            spans: self.spans.into_spans(),
         }
     }
 }

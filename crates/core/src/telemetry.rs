@@ -325,6 +325,43 @@ impl SessionTelemetry {
         });
     }
 
+    /// A fault was injected into the primary (exploit launch or DoS
+    /// accident): lays a timeline mark into the recorder so crash, hang
+    /// and starvation runs show *what* went wrong, not just the three
+    /// failover gauge marks that follow.
+    pub fn on_fault(
+        &mut self,
+        fault: &'static str,
+        host_down: bool,
+        detail: String,
+        at_nanos: u64,
+    ) {
+        self.flight.record(FlightEvent::Fault {
+            at_nanos,
+            fault,
+            host_down,
+            detail,
+        });
+    }
+
+    /// The device manager re-plugged the replica's devices during
+    /// failover (the detection → activation window).
+    pub fn on_device_switch(
+        &mut self,
+        devices: usize,
+        packets_discarded: usize,
+        new_family: &'static str,
+        at_nanos: u64,
+    ) {
+        self.flight.record(FlightEvent::Failover {
+            at_nanos,
+            phase: "device_switch",
+            detail: format!(
+                "{devices} devices re-plugged as {new_family}; {packets_discarded} buffered packets discarded"
+            ),
+        });
+    }
+
     /// Read access for tests and exporters.
     pub fn flight(&self) -> &FlightRecorder {
         &self.flight

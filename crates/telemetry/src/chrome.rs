@@ -1,0 +1,273 @@
+//! Chrome trace-event JSON and compact JSONL renderers for [`Span`]
+//! records, hand-rolled like every exporter in this workspace.
+//!
+//! The Chrome document follows the trace-event format consumed by
+//! `chrome://tracing` and Perfetto: one `"X"` (complete) event per span
+//! with microsecond `ts`/`dur`, `"M"` metadata events naming the
+//! process/thread rows derived from [`Track`], and `"s"`/`"f"` flow
+//! events drawing the cross-host arrow from each epoch's primary
+//! `transfer` span to the replica-side span that shares its epoch id.
+
+use std::fmt::Write as _;
+
+use crate::export::json_escape;
+use crate::span::{attr_value_json, Span, Track};
+
+/// Microseconds with nanosecond precision, as Chrome's `ts`/`dur` fields
+/// accept fractional values.
+fn micros(nanos: u64) -> String {
+    let whole = nanos / 1_000;
+    let frac = nanos % 1_000;
+    if frac == 0 {
+        format!("{whole}")
+    } else {
+        format!("{whole}.{frac:03}")
+    }
+}
+
+fn push_event_common(out: &mut String, span: &Span) {
+    let _ = write!(
+        out,
+        "\"name\":\"{}\",\"cat\":\"{}\",\"pid\":{},\"tid\":{}",
+        json_escape(span.name),
+        json_escape(span.category),
+        span.track.pid(),
+        span.track.tid()
+    );
+}
+
+fn push_args(out: &mut String, span: &Span) {
+    out.push_str(",\"args\":{");
+    let mut first = true;
+    let mut push_sep = |out: &mut String| {
+        if !std::mem::take(&mut first) {
+            out.push(',');
+        }
+    };
+    if let Some(epoch) = span.epoch {
+        push_sep(out);
+        let _ = write!(out, "\"epoch\":{epoch}");
+    }
+    if let Some(wall) = span.wall_nanos {
+        push_sep(out);
+        let _ = write!(out, "\"wall_nanos\":{wall}");
+    }
+    for (key, value) in &span.attrs {
+        push_sep(out);
+        let _ = write!(out, "\"{}\":{}", json_escape(key), attr_value_json(value));
+    }
+    out.push('}');
+}
+
+/// Renders spans as a Chrome trace-event JSON document.
+pub fn chrome_trace(spans: &[Span]) -> String {
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    let mut sep = |out: &mut String| {
+        if !std::mem::take(&mut first) {
+            out.push(',');
+        }
+    };
+
+    // Metadata rows: name each process once and each thread once, in
+    // first-appearance order so the document is deterministic.
+    let mut seen_pids: Vec<u64> = Vec::new();
+    let mut seen_tids: Vec<(u64, u64)> = Vec::new();
+    for span in spans {
+        let track = span.track;
+        if !seen_pids.contains(&track.pid()) {
+            seen_pids.push(track.pid());
+            sep(&mut out);
+            let _ = write!(
+                out,
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{},\"tid\":0,\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                track.pid(),
+                json_escape(track.process_name())
+            );
+        }
+        if !seen_tids.contains(&(track.pid(), track.tid())) {
+            seen_tids.push((track.pid(), track.tid()));
+            sep(&mut out);
+            let _ = write!(
+                out,
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{},\"tid\":{},\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                track.pid(),
+                track.tid(),
+                json_escape(&track.thread_name())
+            );
+        }
+    }
+
+    for span in spans {
+        sep(&mut out);
+        out.push('{');
+        push_event_common(&mut out, span);
+        let _ = write!(
+            out,
+            ",\"ph\":\"X\",\"ts\":{},\"dur\":{}",
+            micros(span.start_nanos),
+            micros(span.duration_nanos)
+        );
+        push_args(&mut out, span);
+        out.push('}');
+    }
+
+    // Flow arrows across the simulated wire: transfer on the primary →
+    // the replica-side span sharing the epoch id.
+    for span in spans {
+        if span.track != Track::Replica {
+            continue;
+        }
+        let Some(epoch) = span.epoch else { continue };
+        let Some(source) = spans
+            .iter()
+            .find(|s| s.track != Track::Replica && s.epoch == Some(epoch) && s.name == "transfer")
+        else {
+            continue;
+        };
+        sep(&mut out);
+        let _ = write!(
+            out,
+            "{{\"name\":\"wire\",\"cat\":\"wire\",\"ph\":\"s\",\"id\":{epoch},\
+             \"pid\":{},\"tid\":{},\"ts\":{}}}",
+            source.track.pid(),
+            source.track.tid(),
+            micros(source.start_nanos)
+        );
+        sep(&mut out);
+        let _ = write!(
+            out,
+            "{{\"name\":\"wire\",\"cat\":\"wire\",\"ph\":\"f\",\"bp\":\"e\",\"id\":{epoch},\
+             \"pid\":{},\"tid\":{},\"ts\":{}}}",
+            span.track.pid(),
+            span.track.tid(),
+            micros(span.end_nanos())
+        );
+    }
+
+    out.push_str("]}");
+    out
+}
+
+/// Renders spans as compact JSONL: one self-contained JSON object per
+/// line, in emission order, for line-oriented tooling.
+pub fn spans_jsonl(spans: &[Span]) -> String {
+    let mut out = String::new();
+    for span in spans {
+        out.push('{');
+        let _ = write!(out, "\"id\":{}", span.id.get());
+        match span.parent {
+            Some(parent) => {
+                let _ = write!(out, ",\"parent\":{}", parent.get());
+            }
+            None => out.push_str(",\"parent\":null"),
+        }
+        out.push(',');
+        push_event_common(&mut out, span);
+        match span.epoch {
+            Some(epoch) => {
+                let _ = write!(out, ",\"epoch\":{epoch}");
+            }
+            None => out.push_str(",\"epoch\":null"),
+        }
+        let _ = write!(
+            out,
+            ",\"start_nanos\":{},\"duration_nanos\":{}",
+            span.start_nanos, span.duration_nanos
+        );
+        match span.wall_nanos {
+            Some(wall) => {
+                let _ = write!(out, ",\"wall_nanos\":{wall}");
+            }
+            None => out.push_str(",\"wall_nanos\":null"),
+        }
+        out.push_str(",\"attrs\":{");
+        for (i, (key, value)) in span.attrs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{}", json_escape(key), attr_value_json(value));
+        }
+        out.push_str("}}\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{SpanDraft, SpanRecorder};
+
+    fn fixture() -> Vec<Span> {
+        let mut rec = SpanRecorder::new();
+        let root = rec.open(SpanDraft::new("epoch", "epoch", Track::Primary, 1_000).epoch(1));
+        let xfer = rec.push(
+            SpanDraft::new("transfer", "stage", Track::Primary, 1_500)
+                .lasting(750)
+                .epoch(1)
+                .child_of(root)
+                .attr_u64("bytes", 4_096),
+        );
+        let _ = xfer;
+        rec.push(
+            SpanDraft::new("decode_restore", "wire", Track::Replica, 1_500)
+                .lasting(750)
+                .epoch(1)
+                .wall(123),
+        );
+        rec.close(root, 3_000);
+        rec.into_spans()
+    }
+
+    #[test]
+    fn chrome_trace_has_events_metadata_and_flows() {
+        let doc = chrome_trace(&fixture());
+        assert!(doc.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(doc.ends_with("]}"));
+        assert!(doc.contains("\"ph\":\"M\""));
+        assert!(doc.contains("\"args\":{\"name\":\"primary\"}"));
+        assert!(doc.contains("\"args\":{\"name\":\"replica\"}"));
+        // transfer: 1500 ns = 1.5 µs
+        assert!(doc.contains("\"ph\":\"X\",\"ts\":1.500,\"dur\":0.750"));
+        assert!(doc.contains("\"ph\":\"s\",\"id\":1"));
+        assert!(doc.contains("\"ph\":\"f\",\"bp\":\"e\",\"id\":1"));
+        assert!(doc.contains("\"wall_nanos\":123"));
+        assert!(doc.contains("\"bytes\":4096"));
+    }
+
+    #[test]
+    fn micros_renders_fractional_nanoseconds() {
+        assert_eq!(micros(0), "0");
+        assert_eq!(micros(1_000), "1");
+        assert_eq!(micros(1_234), "1.234");
+        assert_eq!(micros(999), "0.999");
+    }
+
+    #[test]
+    fn jsonl_one_object_per_line_with_nulls() {
+        let lines = spans_jsonl(&fixture());
+        let rows: Vec<&str> = lines.lines().collect();
+        assert_eq!(rows.len(), 3);
+        assert!(rows[0].contains("\"parent\":null"));
+        assert!(rows[1].contains("\"parent\":0"));
+        assert!(rows[2].contains("\"wall_nanos\":123"));
+        for row in rows {
+            assert!(row.starts_with('{') && row.ends_with('}'));
+        }
+    }
+
+    #[test]
+    fn replica_span_without_transfer_source_gets_no_flow() {
+        let mut rec = SpanRecorder::new();
+        rec.push(
+            SpanDraft::new("decode_restore", "wire", Track::Replica, 10)
+                .lasting(5)
+                .epoch(42),
+        );
+        let doc = chrome_trace(rec.spans());
+        assert!(!doc.contains("\"ph\":\"s\""));
+        assert!(!doc.contains("\"ph\":\"f\""));
+    }
+}

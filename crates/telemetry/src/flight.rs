@@ -85,6 +85,17 @@ pub enum FlightEvent {
         /// Free-form detail (checkpoint resumed from, losses, ...).
         detail: String,
     },
+    /// A fault was injected into (or observed on) a host.
+    Fault {
+        /// Virtual timestamp (ns).
+        at_nanos: u64,
+        /// Fault kind (`exploit`, `crash`, `hang`, `starvation`).
+        fault: &'static str,
+        /// Whether the fault took the host down outright.
+        host_down: bool,
+        /// Free-form detail (target host, exploit name, ...).
+        detail: String,
+    },
     /// Live-migration progress (seed of the replica).
     Migration {
         /// Virtual timestamp (ns).
@@ -107,6 +118,7 @@ impl FlightEvent {
             | FlightEvent::PoolReclaim { at_nanos, .. }
             | FlightEvent::EncodeLane { at_nanos, .. }
             | FlightEvent::Failover { at_nanos, .. }
+            | FlightEvent::Fault { at_nanos, .. }
             | FlightEvent::Migration { at_nanos, .. } => *at_nanos,
         }
     }
@@ -119,6 +131,7 @@ impl FlightEvent {
             FlightEvent::PoolReclaim { .. } => "pool_reclaim",
             FlightEvent::EncodeLane { .. } => "encode_lane",
             FlightEvent::Failover { .. } => "failover",
+            FlightEvent::Fault { .. } => "fault",
             FlightEvent::Migration { .. } => "migration",
         }
     }
@@ -189,6 +202,18 @@ impl FlightEvent {
                 let _ = write!(
                     out,
                     r#"{{"kind":"failover","at_nanos":{at_nanos},"phase":"{phase}","detail":"{}"}}"#,
+                    json_escape(detail),
+                );
+            }
+            FlightEvent::Fault {
+                at_nanos,
+                fault,
+                host_down,
+                detail,
+            } => {
+                let _ = write!(
+                    out,
+                    r#"{{"kind":"fault","at_nanos":{at_nanos},"fault":"{fault}","host_down":{host_down},"detail":"{}"}}"#,
                     json_escape(detail),
                 );
             }

@@ -18,6 +18,11 @@
 //! - [`slo`]: continuous evaluation of the measured degradation against
 //!   the configured target `D` and period cap `T_max`, emitting
 //!   structured breach events.
+//! - [`span`]: causal spans — per-epoch trace trees linking the epoch
+//!   root to its pipeline stages, per-lane encode work, and the
+//!   replica-side apply across the simulated wire.
+//! - [`chrome`]: Chrome trace-event JSON (`chrome://tracing` / Perfetto)
+//!   and compact JSONL renderers for span records.
 //! - [`export`]: Prometheus text exposition and a JSON document rendered
 //!   from a registry snapshot.
 //!
@@ -39,11 +44,14 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod chrome;
 pub mod export;
 pub mod flight;
 pub mod metrics;
 pub mod slo;
+pub mod span;
 
+pub use chrome::{chrome_trace, spans_jsonl};
 pub use export::{json_escape, json_snapshot, prometheus};
 pub use flight::{FlightEvent, FlightRecorder};
 pub use metrics::{
@@ -51,3 +59,6 @@ pub use metrics::{
     MetricsRegistry, RegistrySnapshot,
 };
 pub use slo::{BreachKind, SloBreach, SloSummary, SloTracker};
+pub use span::{
+    AttrValue, NestingViolation, Span, SpanDraft, SpanId, SpanRecorder, TraceTree, Track, TreeError,
+};
