@@ -7,13 +7,14 @@
 //! With no experiment arguments, runs everything. Experiments: `tab1`,
 //! `tab2`, `tab5`, `demo`, `fig5`, `fig6`, `fig7`, `fig8`, `fig9`, `fig10`,
 //! `fig11`, `fig12`, `fig13`, `fig14`, `fig15`, `fig16`, `fig17`,
-//! `overhead`, `stages`, `datapath`, `observe`, `analyze`. `--quick` uses
-//! scaled-down configurations. `datapath` measures real wall-clock
-//! throughput (not cost-model time) and writes
+//! `overhead`, `stages`, `datapath`, `observe`, `analyze`, `chaos`.
+//! `--quick` uses scaled-down configurations. `datapath` measures real
+//! wall-clock throughput (not cost-model time) and writes
 //! `target/repro/BENCH_datapath.json`; `observe` measures the telemetry
 //! layer's overhead and writes `target/repro/BENCH_observe.json`;
 //! `analyze` runs the trace analyzer and writes the run's Chrome trace to
-//! `target/repro/trace_analyze.json`.
+//! `target/repro/trace_analyze.json`; `chaos` runs seeded fault plans
+//! against the replication loop and writes `target/repro/BENCH_chaos.json`.
 //!
 //! Everything printed is also teed to `target/repro/repro_output.txt`.
 //! With `--format`, every scenario run additionally dumps its telemetry
@@ -30,6 +31,7 @@ use here_bench::experiments::analyze::run_analyze;
 use here_bench::experiments::apps::{
     run_spec_figure, run_ycsb_figure, Config, FIG11_CONFIGS, FIG12_CONFIGS, FIG13_CONFIGS,
 };
+use here_bench::experiments::chaos::{run_chaos, CRASH_EPOCH};
 use here_bench::experiments::checkpoint::{run_fig5, run_fig8};
 use here_bench::experiments::datapath::run_datapath;
 use here_bench::experiments::dynamic::{run_fig10, run_fig9};
@@ -48,7 +50,7 @@ use here_core::Strategy;
 const ALL: &[&str] = &[
     "tab1", "tab2", "tab5", "demo", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
     "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "overhead", "stages", "datapath",
-    "observe", "analyze",
+    "observe", "analyze", "chaos",
 ];
 
 /// Directory all artefacts land in (relative to the invocation cwd, like
@@ -229,6 +231,7 @@ fn run_one(which: &str, scale: Scale) {
         "datapath" => datapath(scale),
         "observe" => observe(scale),
         "analyze" => analyze(scale),
+        "chaos" => chaos(scale),
         _ => unreachable!("validated in main"),
     }
 }
@@ -771,6 +774,51 @@ fn analyze(scale: Scale) {
     write_artifact("trace_analyze.json", &out.chrome_json);
     write_artifact("trace_analyze.jsonl", &out.jsonl);
     write_artifact("BENCH_analyze.json", &out.json);
+}
+
+fn chaos(scale: Scale) {
+    outln!("Chaos — seeded fault injection, transfer retry/backoff, failover invariants");
+    let out = run_chaos(scale);
+    outln!(
+        "  sweep (plan seed {}, run seed {}): {} faults injected -> {} retries, \
+         {} recoveries, {} epoch(s) aborted",
+        out.plan_seed,
+        out.run_seed,
+        out.sweep.faults_injected,
+        out.sweep.transfer_retries,
+        out.sweep.transfer_recoveries,
+        out.sweep.epochs_aborted,
+    );
+    outln!(
+        "  {} commits over {} checkpoint records; worst commit-to-commit staleness {} ms",
+        out.commits,
+        out.checkpoints,
+        num(out.worst_staleness_ms, 1),
+    );
+    outln!(
+        "  mid-transfer crash at epoch {}: resumed from checkpoint {} (last acked {}), \
+         detection {} ms, outage {} ms -> last-acked invariant {}",
+        CRASH_EPOCH,
+        out.crash_resumed_from,
+        out.crash_last_committed,
+        num(out.detection_ms, 1),
+        num(out.outage_ms, 1),
+        if out.crash_resumes_last_acked {
+            "HOLDS"
+        } else {
+            "VIOLATED"
+        },
+    );
+    outln!(
+        "  same-seed rerun fingerprint 0x{:016x}: {}\n",
+        out.fingerprint,
+        if out.deterministic {
+            "byte-identical replay"
+        } else {
+            "MISMATCH"
+        },
+    );
+    write_artifact("BENCH_chaos.json", &out.json);
 }
 
 fn overhead(scale: Scale) {

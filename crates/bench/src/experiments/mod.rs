@@ -6,6 +6,7 @@
 
 pub mod analyze;
 pub mod apps;
+pub mod chaos;
 pub mod checkpoint;
 pub mod datapath;
 pub mod dynamic;

@@ -528,6 +528,100 @@ mod tests {
         assert_eq!(compare(&base, &outside, &Tolerances::default()).len(), 1);
     }
 
+    /// The committed `baselines/BENCH_chaos.json` shape: every leaf is
+    /// deterministic simulated time or a counter, so everything below
+    /// must compare under [`Rule::Exact`].
+    const CHAOS_DOC: &str = r#"{
+        "experiment": "chaos",
+        "sweep": {
+            "plan_seed": 7,
+            "faults_injected": 9,
+            "transfer_retries": 7,
+            "epochs_aborted": 1,
+            "worst_staleness_ms": 4032.445
+        },
+        "crash": {
+            "resumed_from_checkpoint": 4,
+            "crash_resumes_last_acked": true,
+            "detection_ms": 40.000
+        },
+        "determinism": {
+            "fingerprint": "0xf95a4248ab7a4570",
+            "deterministic": true
+        }
+    }"#;
+
+    #[test]
+    fn identical_chaos_documents_pass() {
+        let doc = parse(CHAOS_DOC).unwrap();
+        assert!(compare(&doc, &doc, &Tolerances::default()).is_empty());
+    }
+
+    #[test]
+    fn silently_renamed_chaos_key_fails_as_missing_plus_unexpected() {
+        // A rename must never slip through as "key went away, key
+        // appeared": the gate reports both sides so the diff is loud.
+        let base = parse(CHAOS_DOC).unwrap();
+        let renamed =
+            parse(&CHAOS_DOC.replace("\"transfer_retries\"", "\"transfer_attempts\"")).unwrap();
+        let regressions = compare(&base, &renamed, &Tolerances::default());
+        assert_eq!(regressions.len(), 2);
+        assert!(regressions
+            .iter()
+            .any(|r| r.path == "sweep.transfer_retries" && r.detail.contains("missing")));
+        assert!(regressions
+            .iter()
+            .any(|r| r.path == "sweep.transfer_attempts" && r.detail.contains("unexpected")));
+    }
+
+    #[test]
+    fn chaos_leaves_are_exact_even_when_named_like_wall_clock() {
+        // `*_ms` keys normally suggest wall clock, but the chaos times
+        // are simulated — they must not inherit the relative tolerance.
+        assert_eq!(
+            Tolerances::default().rule_for("worst_staleness_ms"),
+            Rule::Exact
+        );
+        assert_eq!(Tolerances::default().rule_for("detection_ms"), Rule::Exact);
+        let base = parse(CHAOS_DOC).unwrap();
+        let drifted = parse(&CHAOS_DOC.replace("4032.445", "4032.545")).unwrap();
+        let regressions = compare(&base, &drifted, &Tolerances::default());
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].path, "sweep.worst_staleness_ms");
+    }
+
+    #[test]
+    fn chaos_invariant_and_fingerprint_flips_fail() {
+        let base = parse(CHAOS_DOC).unwrap();
+        for (from, to, path) in [
+            (
+                "\"crash_resumes_last_acked\": true",
+                "\"crash_resumes_last_acked\": false",
+                "crash.crash_resumes_last_acked",
+            ),
+            (
+                "\"deterministic\": true",
+                "\"deterministic\": false",
+                "determinism.deterministic",
+            ),
+            (
+                "0xf95a4248ab7a4570",
+                "0xf95a4248ab7a4571",
+                "determinism.fingerprint",
+            ),
+            (
+                "\"resumed_from_checkpoint\": 4",
+                "\"resumed_from_checkpoint\": 5",
+                "crash.resumed_from_checkpoint",
+            ),
+        ] {
+            let fresh = parse(&CHAOS_DOC.replace(from, to)).unwrap();
+            let regressions = compare(&base, &fresh, &Tolerances::default());
+            assert_eq!(regressions.len(), 1, "{path}");
+            assert_eq!(regressions[0].path, path);
+        }
+    }
+
     #[test]
     fn shape_changes_fail() {
         let base = parse(DOC).unwrap();

@@ -14,7 +14,8 @@ use here_sim_core::time::{SimDuration, SimTime};
 use here_vulndb::exploit::ExploitResult;
 
 use crate::engine::{FailureCause, Protection, Scenario};
-use crate::error::CoreResult;
+use crate::error::{CoreError, CoreResult};
+use crate::failover::CommitLedger;
 use crate::pipeline;
 use crate::report::{CheckpointRecord, RunReport};
 use crate::session::{Session, SessionSetup, CLIENT_STACK_OVERHEAD, MAX_SLICE};
@@ -23,12 +24,18 @@ use crate::session::{Session, SessionSetup, CLIENT_STACK_OVERHEAD, MAX_SLICE};
 /// per-checkpoint record from the emitted stage events and feeds the
 /// period controller.
 pub(crate) fn do_checkpoint(session: &mut Session, period_used: SimDuration) -> CoreResult<()> {
-    let summary = pipeline::begin(session)?
-        .harvest()?
-        .translate()?
-        .transfer()?
-        .ack()
-        .resume()?;
+    let summary = match pipeline::begin(session)?.harvest()?.translate()?.transfer() {
+        Ok(transferred) => transferred.ack().resume()?,
+        Err(CoreError::EpochAborted { seq, attempts }) => {
+            // The transfer retry budget ran dry: discard the partial
+            // checkpoint, re-dirty its pages and resume the primary. The
+            // previous committed epoch stays authoritative; no checkpoint
+            // record is emitted and the period controller is not fed.
+            session.abort_epoch(seq, attempts)?;
+            return Ok(());
+        }
+        Err(e) => return Err(e),
+    };
 
     let events = session.trace.for_seq(summary.seq);
     let record = CheckpointRecord::from_events(period_used, &events);
@@ -80,6 +87,7 @@ pub(crate) fn run_replicated(scenario: Scenario) -> CoreResult<RunReport> {
         warmup,
         warmup_under_load,
         verify_consistency,
+        chaos,
     } = scenario;
     let Protection::Replicated(cfg) = protection else {
         unreachable!("run_replicated requires a replication config");
@@ -93,6 +101,7 @@ pub(crate) fn run_replicated(scenario: Scenario) -> CoreResult<RunReport> {
         seed,
         load_during_seed,
         verify_consistency,
+        chaos,
     })?;
 
     // Phase 1: seeding.
@@ -136,6 +145,10 @@ pub(crate) fn run_replicated(scenario: Scenario) -> CoreResult<RunReport> {
         session.epoch_span = None;
         session.pending_lane_walls.clear();
         session.period_decisions.clear();
+        session.ledger = CommitLedger::new();
+        if let Some(chaos) = session.chaos.as_mut() {
+            chaos.stats = Default::default();
+        }
         session.telemetry.reset();
         session.period_series = here_sim_core::metrics::TimeSeries::new("period_secs");
         session.degradation_series = here_sim_core::metrics::TimeSeries::new("degradation_pct");
@@ -197,7 +210,25 @@ pub(crate) fn run_replicated(scenario: Scenario) -> CoreResult<RunReport> {
             epoch_end.saturating_duration_since(session.clock),
             stop_when_workload_done,
         );
-        do_checkpoint(&mut session, t)?;
+        match do_checkpoint(&mut session, t) {
+            Ok(()) => {}
+            Err(CoreError::InjectedPrimaryFault {
+                seq,
+                stage,
+                outcome,
+            }) => {
+                // The fault plane took the primary down mid-epoch. The
+                // in-flight checkpoint is lost; the replica activates from
+                // the last fully-acked epoch in the commit ledger.
+                record_injected_fault(&mut session, seq, stage, outcome);
+                let record = session.failover(session.clock)?;
+                session.clock = record.resumed_at;
+                failover_record = Some(record);
+                run_on_replica(&mut session, end, stop_when_workload_done)?;
+                break 'outer;
+            }
+            Err(e) => return Err(e),
+        }
         if stop_when_workload_done && session.workload.is_done() {
             break;
         }
@@ -266,6 +297,43 @@ fn record_fault(session: &mut Session, cause: &FailureCause, host_down: bool) {
             at_nanos,
         )
         .attr_str("host", "primary"),
+    );
+}
+
+/// Marks a fault-plane primary kill on the flight recorder and span
+/// trace, tagged with the pipeline stage it interrupted.
+fn record_injected_fault(
+    session: &mut Session,
+    seq: u64,
+    stage: crate::trace::Stage,
+    outcome: here_hypervisor::fault::DosOutcome,
+) {
+    use here_hypervisor::fault::DosOutcome;
+    let fault = match outcome {
+        DosOutcome::Crash => "crash",
+        DosOutcome::Hang => "hang",
+        DosOutcome::Starvation => "starvation",
+    };
+    let at_nanos = session.rel(session.clock).as_nanos();
+    session.telemetry.on_fault(
+        fault,
+        true,
+        format!(
+            "fault plane downed the primary at the {} stage of checkpoint {seq}",
+            stage.label()
+        ),
+        at_nanos,
+    );
+    session.spans.push(
+        here_telemetry::span::SpanDraft::new(
+            fault,
+            "fault",
+            here_telemetry::span::Track::Controller,
+            at_nanos,
+        )
+        .epoch(seq)
+        .attr_str("host", "primary")
+        .attr_str("stage", stage.label()),
     );
 }
 

@@ -65,8 +65,48 @@ impl Default for HeartbeatConfig {
 
 impl HeartbeatConfig {
     /// Worst-case time from a primary failure to its detection.
+    /// Saturates at [`SimDuration::MAX`] for extreme configurations
+    /// (e.g. a `SimDuration::MAX` period) instead of overflowing.
     pub fn detection_latency(&self) -> SimDuration {
-        self.period * (self.missed_threshold as u64 + 1)
+        SimDuration::from_nanos(
+            self.period
+                .as_nanos()
+                .saturating_mul(self.missed_threshold as u64 + 1),
+        )
+    }
+}
+
+/// Bounded-retry policy for the checkpoint *Transfer* stage: a failed
+/// attempt (dropped, corrupted, refused, or sent into a downed link) is
+/// retried after exponential backoff; exhausting the budget aborts the
+/// epoch and the previous committed checkpoint stays authoritative.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Total transfer attempts per checkpoint (at least 1).
+    pub max_attempts: u32,
+    /// Backoff charged after the first failed attempt; doubles per retry.
+    pub backoff_base: SimDuration,
+    /// Upper bound on a single backoff.
+    pub backoff_cap: SimDuration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            backoff_base: SimDuration::from_micros(500),
+            backoff_cap: SimDuration::from_millis(50),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff charged after failed attempt `attempt` (0-based):
+    /// `backoff_base · 2^attempt`, saturating, capped at `backoff_cap`.
+    pub fn backoff_after(&self, attempt: u32) -> SimDuration {
+        let factor = 1u64.checked_shl(attempt).unwrap_or(u64::MAX);
+        let nanos = self.backoff_base.as_nanos().saturating_mul(factor);
+        SimDuration::from_nanos(nanos.min(self.backoff_cap.as_nanos()))
     }
 }
 
@@ -213,6 +253,8 @@ pub struct ReplicationConfig {
     pub encode_lanes: Option<u32>,
     /// Heartbeat configuration.
     pub heartbeat: HeartbeatConfig,
+    /// Retry/backoff policy of the checkpoint transfer stage.
+    pub retry: RetryPolicy,
     /// The calibrated cost model.
     pub costs: CostModel,
     /// Maximum pre-copy iterations before the seeding migration forces its
@@ -239,6 +281,7 @@ impl ReplicationConfig {
             transfer_threads: None,
             encode_lanes: None,
             heartbeat: HeartbeatConfig::default(),
+            retry: RetryPolicy::default(),
             costs: CostModel::default(),
             max_migration_iterations: DEFAULT_MAX_MIGRATION_ITERATIONS,
             migration_dirty_threshold: DEFAULT_MIGRATION_DIRTY_THRESHOLD,
@@ -266,6 +309,7 @@ impl ReplicationConfig {
             transfer_threads: None,
             encode_lanes: None,
             heartbeat: HeartbeatConfig::default(),
+            retry: RetryPolicy::default(),
             costs: CostModel::default(),
             max_migration_iterations: DEFAULT_MAX_MIGRATION_ITERATIONS,
             migration_dirty_threshold: DEFAULT_MIGRATION_DIRTY_THRESHOLD,
@@ -280,6 +324,7 @@ impl ReplicationConfig {
             transfer_threads: Some(1),
             encode_lanes: None,
             heartbeat: HeartbeatConfig::default(),
+            retry: RetryPolicy::default(),
             costs: CostModel::default(),
             max_migration_iterations: DEFAULT_MAX_MIGRATION_ITERATIONS,
             migration_dirty_threshold: DEFAULT_MIGRATION_DIRTY_THRESHOLD,
@@ -289,6 +334,18 @@ impl ReplicationConfig {
     /// Overrides the number of transfer threads.
     pub fn with_threads(mut self, threads: u32) -> Self {
         self.transfer_threads = Some(threads);
+        self
+    }
+
+    /// Overrides the heartbeat configuration used for failure detection.
+    pub fn with_heartbeat(mut self, heartbeat: HeartbeatConfig) -> Self {
+        self.heartbeat = heartbeat;
+        self
+    }
+
+    /// Overrides the transfer retry/backoff policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
         self
     }
 
@@ -411,6 +468,45 @@ mod tests {
     fn heartbeat_detection_latency() {
         let hb = HeartbeatConfig::default();
         assert_eq!(hb.detection_latency(), SimDuration::from_millis(40));
+    }
+
+    #[test]
+    fn heartbeat_detection_latency_saturates() {
+        let hb = HeartbeatConfig {
+            period: SimDuration::MAX,
+            missed_threshold: 3,
+        };
+        assert_eq!(hb.detection_latency(), SimDuration::MAX);
+    }
+
+    #[test]
+    fn retry_backoff_doubles_and_caps() {
+        let retry = RetryPolicy::default();
+        assert_eq!(retry.backoff_after(0), SimDuration::from_micros(500));
+        assert_eq!(retry.backoff_after(1), SimDuration::from_millis(1));
+        assert_eq!(retry.backoff_after(2), SimDuration::from_millis(2));
+        // 500 µs · 2^7 = 64 ms > the 50 ms cap.
+        assert_eq!(retry.backoff_after(7), SimDuration::from_millis(50));
+        // Huge attempt counts saturate instead of overflowing the shift.
+        assert_eq!(retry.backoff_after(200), SimDuration::from_millis(50));
+    }
+
+    #[test]
+    fn heartbeat_and_retry_builders_override() {
+        let hb = HeartbeatConfig {
+            period: SimDuration::from_millis(2),
+            missed_threshold: 1,
+        };
+        let retry = RetryPolicy {
+            max_attempts: 9,
+            backoff_base: SimDuration::from_micros(10),
+            backoff_cap: SimDuration::from_millis(1),
+        };
+        let cfg = ReplicationConfig::fixed_period(SimDuration::from_secs(1))
+            .with_heartbeat(hb)
+            .with_retry(retry);
+        assert_eq!(cfg.heartbeat, hb);
+        assert_eq!(cfg.retry, retry);
     }
 
     #[test]

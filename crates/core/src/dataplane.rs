@@ -131,6 +131,11 @@ pub struct CheckpointPools {
     pub collect: CollectScratch,
     /// Encode segment buffers, reclaimed after each Transfer.
     pub buffers: BufferPool,
+    /// Replica-side decode staging: pages accumulate here while a
+    /// checkpoint stream is validated, and are installed into guest
+    /// memory only after the trailer checks out — a corrupt or truncated
+    /// stream can never leave the replica partially updated.
+    pub apply: Vec<(here_hypervisor::PageId, PageVersion)>,
 }
 
 impl CheckpointPools {

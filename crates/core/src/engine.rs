@@ -27,6 +27,7 @@ use here_vulndb::exploit::Exploit;
 use here_workloads::idle::IdleGuest;
 use here_workloads::traits::Workload;
 
+use crate::chaos::FaultPlan;
 use crate::config::ReplicationConfig;
 use crate::error::{CoreError, CoreResult};
 use crate::report::{ResourceUsage, RunReport};
@@ -56,6 +57,8 @@ pub struct FailurePlan {
 }
 
 /// How the VM is protected.
+// One per Scenario, never collected — the variant size gap is harmless.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 pub(crate) enum Protection {
     Unprotected,
@@ -80,6 +83,7 @@ pub struct Scenario {
     pub(crate) warmup: SimDuration,
     pub(crate) warmup_under_load: bool,
     pub(crate) verify_consistency: bool,
+    pub(crate) chaos: Option<FaultPlan>,
 }
 
 /// Builder for [`Scenario`].
@@ -98,6 +102,7 @@ pub struct ScenarioBuilder {
     warmup: SimDuration,
     warmup_under_load: bool,
     verify_consistency: bool,
+    chaos: Option<FaultPlan>,
 }
 
 impl Scenario {
@@ -120,6 +125,7 @@ impl Scenario {
             warmup: SimDuration::ZERO,
             warmup_under_load: false,
             verify_consistency: false,
+            chaos: None,
         }
     }
 
@@ -270,6 +276,16 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Arms the deterministic fault-injection plane with the given plan.
+    /// Fault events fire at their scheduled epochs; corruption salts and
+    /// generated schedules come from a dedicated RNG fork, so the same
+    /// seed replays the same faults without perturbing the workload
+    /// stream. Without a plan the fault plane is fully inert.
+    pub fn chaos(mut self, plan: FaultPlan) -> Self {
+        self.chaos = Some(plan);
+        self
+    }
+
     /// After every checkpoint commit, verify byte-for-byte that the
     /// replica's memory and every vCPU's architectural state match the
     /// (paused) primary's, and panic on divergence. Costs one memory
@@ -316,6 +332,7 @@ impl ScenarioBuilder {
             warmup: self.warmup,
             warmup_under_load: self.warmup_under_load,
             verify_consistency: self.verify_consistency,
+            chaos: self.chaos,
         })
     }
 }
@@ -377,6 +394,8 @@ fn run_unprotected(scenario: Scenario) -> RunReport {
             rss: ByteSize::ZERO,
         },
         consistency_checks: 0,
+        commits: Vec::new(),
+        chaos: None,
         telemetry: None,
         spans: Vec::new(),
     }

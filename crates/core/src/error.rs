@@ -3,8 +3,11 @@
 use std::error::Error;
 use std::fmt;
 
+use here_hypervisor::fault::DosOutcome;
 use here_hypervisor::HvError;
 use here_vmstate::{TranslateError, WireError};
+
+use crate::trace::Stage;
 
 /// Errors raised by session setup or the replication loop.
 #[derive(Debug)]
@@ -18,6 +21,24 @@ pub enum CoreError {
     Translate(TranslateError),
     /// The replication stream was corrupted.
     Wire(WireError),
+    /// A checkpoint exhausted its transfer retry budget and the epoch was
+    /// discarded; the previous committed epoch stays authoritative.
+    EpochAborted {
+        /// The aborted checkpoint's sequence number.
+        seq: u64,
+        /// Transfer attempts made before giving up.
+        attempts: u32,
+    },
+    /// The fault plane took the primary host down mid-epoch; the epoch
+    /// loop turns this into a failover.
+    InjectedPrimaryFault {
+        /// The in-flight checkpoint's sequence number.
+        seq: u64,
+        /// The pipeline stage at whose entry the fault fired.
+        stage: Stage,
+        /// How the primary failed.
+        outcome: DosOutcome,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -27,6 +48,19 @@ impl fmt::Display for CoreError {
             CoreError::Hypervisor(e) => write!(f, "hypervisor error: {e}"),
             CoreError::Translate(e) => write!(f, "translation error: {e}"),
             CoreError::Wire(e) => write!(f, "replication stream error: {e}"),
+            CoreError::EpochAborted { seq, attempts } => write!(
+                f,
+                "checkpoint {seq} aborted after {attempts} failed transfer attempts"
+            ),
+            CoreError::InjectedPrimaryFault {
+                seq,
+                stage,
+                outcome,
+            } => write!(
+                f,
+                "injected {outcome} took the primary down at the {} stage of checkpoint {seq}",
+                stage.label()
+            ),
         }
     }
 }
@@ -38,6 +72,7 @@ impl Error for CoreError {
             CoreError::Hypervisor(e) => Some(e),
             CoreError::Translate(e) => Some(e),
             CoreError::Wire(e) => Some(e),
+            CoreError::EpochAborted { .. } | CoreError::InjectedPrimaryFault { .. } => None,
         }
     }
 }
@@ -74,6 +109,25 @@ mod tests {
         assert!(e.to_string().contains("no VM with id 3"));
         let e: CoreError = WireError::Truncated.into();
         assert!(e.to_string().contains("stream"));
+    }
+
+    #[test]
+    fn chaos_variants_render_their_context() {
+        let e = CoreError::EpochAborted {
+            seq: 9,
+            attempts: 4,
+        };
+        assert!(e.to_string().contains("checkpoint 9"));
+        assert!(e.to_string().contains("4 failed transfer attempts"));
+        assert!(e.source().is_none());
+        let e = CoreError::InjectedPrimaryFault {
+            seq: 3,
+            stage: Stage::Transfer,
+            outcome: DosOutcome::Hang,
+        };
+        assert!(e.to_string().contains("hang"));
+        assert!(e.to_string().contains("transfer"));
+        assert!(e.source().is_none());
     }
 
     #[test]

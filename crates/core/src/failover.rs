@@ -25,16 +25,125 @@ pub const STARVATION_DETECTION_FACTOR: u64 = 10;
 /// after `missed_threshold + 1` periods. A starved primary still emits
 /// *some* heartbeats, so the detector needs sustained evidence and fires a
 /// factor [`STARVATION_DETECTION_FACTOR`] later.
+///
+/// The branch consumes the health predicates rather than re-matching the
+/// enum: a host that cannot service at all
+/// ([`HostHealth::can_service`]) is silent and detected at the base
+/// budget; one that services but whose heartbeats are unreliable
+/// ([`HostHealth::heartbeats_reliable`]) needs the sustained-evidence
+/// factor; a healthy host is never "detected".
+///
+/// All arithmetic is checked: a detection instant past the representable
+/// range saturates to [`SimTime::MAX`] instead of overflowing.
 pub fn detection_time(
     hb: &HeartbeatConfig,
     failed_at: SimTime,
     post_health: HostHealth,
 ) -> SimTime {
-    let base = hb.detection_latency();
-    match post_health {
-        HostHealth::Crashed | HostHealth::Hung => failed_at + base,
-        HostHealth::Starved => failed_at + base * STARVATION_DETECTION_FACTOR,
-        HostHealth::Healthy => SimTime::MAX, // a healthy primary is never "detected"
+    detection_time_with_loss(hb, failed_at, post_health, 0)
+}
+
+/// [`detection_time`], with `lost_heartbeats` additional heartbeat
+/// periods lost on the wire before the detector fires (the fault plane's
+/// [`HeartbeatLoss`](crate::chaos::FaultKind::HeartbeatLoss) events).
+pub fn detection_time_with_loss(
+    hb: &HeartbeatConfig,
+    failed_at: SimTime,
+    post_health: HostHealth,
+    lost_heartbeats: u32,
+) -> SimTime {
+    if post_health.heartbeats_reliable() {
+        // Reliable heartbeats keep arriving: a healthy primary is never
+        // declared dead.
+        return SimTime::MAX;
+    }
+    let factor = if post_health.can_service() {
+        // The host still runs (starvation): heartbeats trickle in
+        // erratically, so the detector needs sustained evidence.
+        STARVATION_DETECTION_FACTOR
+    } else {
+        1
+    };
+    let periods = (hb.missed_threshold as u64 + 1).saturating_add(lost_heartbeats as u64);
+    hb.period
+        .as_nanos()
+        .checked_mul(periods)
+        .and_then(|n| n.checked_mul(factor))
+        .and_then(|n| failed_at.checked_add(SimDuration::from_nanos(n)))
+        .unwrap_or(SimTime::MAX)
+}
+
+/// One committed epoch: its sequence number and the (report-relative)
+/// commit instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommitEntry {
+    /// The committed checkpoint's sequence number.
+    pub seq: u64,
+    /// When the ack landed and buffered output was released.
+    pub at: SimTime,
+}
+
+/// The authoritative record of fully-acked epochs.
+///
+/// An epoch enters the ledger only at *Ack* — after the replica decoded,
+/// validated and installed the whole checkpoint and the ack crossed the
+/// replication link. Failover activation reads
+/// [`CommitLedger::last_committed`], so the replica provably resumes from
+/// the last fully-acked epoch: aborted or in-flight epochs can never leak
+/// into a [`FailoverRecord`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CommitLedger {
+    entries: Vec<CommitEntry>,
+}
+
+impl CommitLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        CommitLedger::default()
+    }
+
+    /// Records a commit, asserting the sequence numbers stay strictly
+    /// monotone (a replay or out-of-order commit is an engine bug).
+    pub fn record(&mut self, seq: u64, at: SimTime) {
+        if let Some(last) = self.entries.last() {
+            assert!(
+                seq > last.seq,
+                "commit ledger must be strictly monotone: {seq} after {}",
+                last.seq
+            );
+            assert!(
+                at >= last.at,
+                "commit instants must be non-decreasing: {at} after {}",
+                last.at
+            );
+        }
+        self.entries.push(CommitEntry { seq, at });
+    }
+
+    /// The last fully-acked epoch's sequence number, if any epoch
+    /// committed.
+    pub fn last_committed(&self) -> Option<u64> {
+        self.entries.last().map(|e| e.seq)
+    }
+
+    /// The committed epochs, oldest first.
+    pub fn entries(&self) -> &[CommitEntry] {
+        &self.entries
+    }
+
+    /// Number of committed epochs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing has committed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Consumes the ledger into its entries.
+    pub fn into_entries(self) -> Vec<CommitEntry> {
+        self.entries
     }
 }
 
@@ -100,6 +209,78 @@ mod tests {
             detection_time(&hb, SimTime::ZERO, HostHealth::Healthy),
             SimTime::MAX
         );
+    }
+
+    #[test]
+    fn detection_saturates_instead_of_overflowing() {
+        // A MAX heartbeat period would overflow `base × factor` with
+        // unchecked arithmetic; it must saturate for every failed health.
+        let hb = HeartbeatConfig {
+            period: SimDuration::MAX,
+            missed_threshold: 3,
+        };
+        for health in [HostHealth::Crashed, HostHealth::Hung, HostHealth::Starved] {
+            assert_eq!(detection_time(&hb, SimTime::ZERO, health), SimTime::MAX);
+        }
+        // A failure instant near the end of representable time saturates
+        // on the add.
+        let hb = HeartbeatConfig::default();
+        let late = SimTime::MAX;
+        assert_eq!(detection_time(&hb, late, HostHealth::Crashed), SimTime::MAX);
+        assert_eq!(detection_time(&hb, late, HostHealth::Starved), SimTime::MAX);
+        // And a run-of-the-mill configuration is unchanged by the checks.
+        assert_eq!(
+            detection_time(&hb, SimTime::from_secs(1), HostHealth::Crashed),
+            SimTime::from_secs(1) + SimDuration::from_millis(40)
+        );
+    }
+
+    #[test]
+    fn lost_heartbeats_delay_detection_per_period() {
+        let hb = HeartbeatConfig::default(); // 10 ms period, 40 ms budget
+        let base = detection_time(&hb, SimTime::ZERO, HostHealth::Crashed);
+        let delayed = detection_time_with_loss(&hb, SimTime::ZERO, HostHealth::Crashed, 2);
+        assert_eq!(
+            delayed.saturating_duration_since(base),
+            SimDuration::from_millis(20)
+        );
+        // Starvation multiplies the whole (budget + loss) window.
+        let starved = detection_time_with_loss(&hb, SimTime::ZERO, HostHealth::Starved, 2);
+        assert_eq!(
+            starved.as_nanos(),
+            delayed.as_nanos() * STARVATION_DETECTION_FACTOR
+        );
+        // u32::MAX lost heartbeats saturates.
+        assert_eq!(
+            detection_time_with_loss(&hb, SimTime::ZERO, HostHealth::Starved, u32::MAX),
+            SimTime::ZERO
+                + SimDuration::from_nanos(
+                    hb.period.as_nanos() * (u32::MAX as u64 + 4) * STARVATION_DETECTION_FACTOR
+                )
+        );
+    }
+
+    #[test]
+    fn ledger_records_monotone_commits() {
+        let mut ledger = CommitLedger::new();
+        assert!(ledger.is_empty());
+        assert_eq!(ledger.last_committed(), None);
+        ledger.record(1, SimTime::from_secs(1));
+        ledger.record(2, SimTime::from_secs(3));
+        ledger.record(4, SimTime::from_secs(4)); // an aborted epoch 3 never commits
+        assert_eq!(ledger.last_committed(), Some(4));
+        assert_eq!(ledger.len(), 3);
+        assert_eq!(ledger.entries()[1].seq, 2);
+        let entries = ledger.into_entries();
+        assert_eq!(entries.last().unwrap().at, SimTime::from_secs(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly monotone")]
+    fn ledger_rejects_replayed_sequence_numbers() {
+        let mut ledger = CommitLedger::new();
+        ledger.record(5, SimTime::from_secs(1));
+        ledger.record(5, SimTime::from_secs(2));
     }
 
     #[test]

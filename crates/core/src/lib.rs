@@ -11,7 +11,12 @@
 //! - [`transfer`]: the multithreaded data plane (per-vCPU seeding threads,
 //!   round-robin 2 MiB chunk workers, problematic-page tracking);
 //! - [`devmgr`]: outgoing-I/O buffering and the failover device switch;
-//! - [`failover`]: heartbeat-based detection and replica activation;
+//! - [`failover`]: heartbeat-based detection, the commit ledger and
+//!   replica activation;
+//! - [`chaos`]: the deterministic fault-injection plane — seeded
+//!   [`FaultPlan`](chaos::FaultPlan)s that drop, corrupt or delay
+//!   transfers, flap the replication link, lose heartbeats or down the
+//!   primary mid-epoch, replayed byte-identically from the same seed;
 //! - [`engine`]: [`Scenario`](engine::Scenario) — the public API tying the
 //!   whole stack together;
 //! - [`session`]: the live session — shared run state and its phase FSM;
@@ -51,6 +56,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod analyze;
+pub mod chaos;
 pub mod checkpoint;
 pub mod config;
 pub mod dataplane;
@@ -71,12 +77,18 @@ pub use analyze::{
     AnalysisReport, AnalyzerConfig, BreachRoot, EpochAttribution, OscillationReport, StageShare,
     StragglerLane, TraceAnalyzer,
 };
-pub use config::{CostModel, PeriodPolicy, ReplicationConfig, Strategy};
+pub use chaos::{ChaosStats, FaultEvent, FaultKind, FaultPlan};
+pub use config::{
+    CostModel, HeartbeatConfig, PeriodPolicy, ReplicationConfig, RetryPolicy, Strategy,
+};
 pub use engine::{
     clear_run_observer, set_run_observer, FailureCause, FailurePlan, Scenario, ScenarioBuilder,
 };
 pub use error::{CoreError, CoreResult};
-pub use failover::FailoverRecord;
+pub use failover::{
+    detection_time, detection_time_with_loss, CommitEntry, CommitLedger, FailoverRecord,
+    STARVATION_DETECTION_FACTOR,
+};
 pub use period::{
     degradation, ClampReason, DynamicPeriodManager, PeriodAction, PeriodDecision, PeriodManager,
 };

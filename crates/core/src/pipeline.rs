@@ -197,6 +197,7 @@ pub struct CheckpointSummary {
 pub(crate) fn begin(session: &mut Session) -> CoreResult<Paused<'_>> {
     session.seq += 1;
     let seq = session.seq;
+    session.chaos_primary_fault(seq, Stage::Pause)?;
     let paused_at = session.clock;
     session.primary.vm_mut(session.pvm)?.pause()?;
     let extra = session.strategy.pause_extra(&session.cfg.costs);
@@ -225,6 +226,7 @@ impl<'s> Paused<'s> {
             seq,
             mut pause,
         } = self;
+        session.chaos_primary_fault(seq, Stage::Harvest)?;
         let snapshot = session.take_dirty_snapshot();
         // The harvest reuses the session's pooled delta and per-lane
         // scratch: steady state allocates nothing per checkpoint.
@@ -288,6 +290,7 @@ impl<'s> Harvested<'s> {
             delta,
             pages,
         } = self;
+        session.chaos_primary_fault(seq, Stage::Translate)?;
         let encode_start = std::time::Instant::now();
         let stream = session.encode_checkpoint(&delta, seq)?;
         let wall = encode_start.elapsed().as_nanos() as u64;
@@ -329,7 +332,17 @@ impl<'s> Translated<'s> {
     /// *Transfer*: decode the stream on the replica and install it,
     /// paying the per-page wire cost. Verifies replica/primary equality
     /// when the scenario asks for it.
+    ///
+    /// Under an active fault plane each attempt may be dropped, corrupted
+    /// on the wire, refused by the replica, or sent into a downed link; a
+    /// failed attempt pays the wire timeout plus exponential backoff
+    /// (see [`RetryPolicy`](crate::config::RetryPolicy)) and is retried.
+    /// Exhausting the budget returns [`CoreError::EpochAborted`]: the
+    /// stream is discarded and the epoch loop rolls the pages into the
+    /// next checkpoint. Without a fault plane the single attempt succeeds
+    /// and this stage is byte-identical to the unhardened path.
     pub(crate) fn transfer(self) -> CoreResult<Transferred<'s>> {
+        use crate::chaos::{corrupt_stream, TransferFault};
         let Translated {
             session,
             seq,
@@ -337,23 +350,103 @@ impl<'s> Translated<'s> {
             stream,
             pages,
         } = self;
+        session.chaos_primary_fault(seq, Stage::Transfer)?;
         let bytes = stream.len() as u64;
+        let wire = session.cfg.costs.checkpoint_wire(pages);
+        let policy = session.cfg.retry;
+        let max_attempts = policy.max_attempts.max(1);
+        let mut spent = SimDuration::ZERO;
+        let mut attempt = 0u32;
         // The replica decodes a clone of the scattered segments; once the
         // apply lands, the clone is dropped and the original's segments
         // are sole-owner again, so the pool reclaims their allocations.
         let apply_start = std::time::Instant::now();
-        session.apply_checkpoint(stream.clone(), seq)?;
+        loop {
+            let fault = session.chaos_transfer_fault(seq, attempt);
+            let failure: Option<&'static str> = match fault {
+                None | Some(TransferFault::Delayed(_)) => {
+                    if !session.repl_link.is_up() {
+                        // The flap is over; the link carries this attempt.
+                        session.repl_link.set_up(true);
+                    }
+                    session.apply_checkpoint(stream.clone(), seq)?;
+                    if let Some(TransferFault::Delayed(by)) = fault {
+                        spent = spent.saturating_add(by);
+                    }
+                    None
+                }
+                Some(TransferFault::LinkDown) => {
+                    session.repl_link.set_up(false);
+                    Some("link_down")
+                }
+                Some(TransferFault::Dropped) => Some("dropped"),
+                Some(TransferFault::DecodeRefused) => Some("decode_refused"),
+                Some(TransferFault::Corrupted {
+                    segment_salt,
+                    byte_salt,
+                }) => {
+                    let corrupted = corrupt_stream(&stream, segment_salt, byte_salt);
+                    match session.apply_checkpoint(corrupted, seq) {
+                        // The decoder's frame checksums (or the trailer
+                        // cross-check) reject the flipped byte — and the
+                        // two-phase apply guarantees nothing partial was
+                        // installed.
+                        Err(_) => Some("corrupt_frame"),
+                        // Unreachable with checksummed framing; treat a
+                        // surviving flip as a delivered attempt.
+                        Ok(()) => None,
+                    }
+                }
+            };
+            match failure {
+                None => {
+                    spent = spent.saturating_add(wire);
+                    if attempt > 0 {
+                        session.note_transfer_recovery(seq, attempt);
+                    }
+                    break;
+                }
+                Some(reason) => {
+                    // The failed attempt still occupied the wire for its
+                    // timeout window.
+                    spent = spent.saturating_add(wire);
+                    attempt += 1;
+                    if attempt >= max_attempts {
+                        session.repl_link.set_up(true);
+                        session.recycle_stream(stream);
+                        let wall = apply_start.elapsed().as_nanos() as u64;
+                        let at = session.clock;
+                        session.record_stage(
+                            seq,
+                            Stage::Transfer,
+                            at,
+                            spent,
+                            Some(wall),
+                            pages,
+                            bytes,
+                        );
+                        session.clock += spent;
+                        return Err(crate::error::CoreError::EpochAborted {
+                            seq,
+                            attempts: attempt,
+                        });
+                    }
+                    let backoff = policy.backoff_after(attempt - 1);
+                    spent = spent.saturating_add(backoff);
+                    session.note_transfer_retry(seq, attempt, reason, backoff);
+                }
+            }
+        }
         let wall = apply_start.elapsed().as_nanos() as u64;
         if session.verify_consistency {
             session.assert_replica_matches_primary(seq)?;
             session.consistency_checks += 1;
         }
         session.recycle_stream(stream);
-        let wire = session.cfg.costs.checkpoint_wire(pages);
         let at = session.clock;
-        session.record_stage(seq, Stage::Transfer, at, wire, Some(wall), pages, bytes);
-        session.clock += wire;
-        pause += wire;
+        session.record_stage(seq, Stage::Transfer, at, spent, Some(wall), pages, bytes);
+        session.clock += spent;
+        pause += spent;
         Ok(Transferred {
             session,
             seq,
@@ -386,7 +479,7 @@ impl<'s> Transferred<'s> {
         let at = session.clock;
         session.record_stage(seq, Stage::Ack, at, rtt, None, 0, 0);
         session.clock += rtt;
-        session.commit();
+        session.commit(seq);
         Acked {
             session,
             seq,

@@ -12,7 +12,8 @@ use here_sim_core::metrics::{Histogram, TimeSeries};
 use here_sim_core::rate::ByteSize;
 use here_sim_core::time::{SimDuration, SimTime};
 
-use crate::failover::FailoverRecord;
+use crate::chaos::ChaosStats;
+use crate::failover::{CommitEntry, FailoverRecord};
 use crate::period::{degradation, PeriodDecision};
 use crate::telemetry::TelemetrySnapshot;
 use crate::trace::{Stage, StageEvent};
@@ -160,6 +161,13 @@ pub struct RunReport {
     /// Number of checkpoints at which replica/primary equality was
     /// verified (non-zero only when the scenario enables verification).
     pub consistency_checks: u64,
+    /// The commit ledger: every fully-acked epoch in commit order. A
+    /// failover's `resumed_from_checkpoint` always equals the last entry's
+    /// sequence number at the time of failure. Empty for unprotected runs.
+    pub commits: Vec<CommitEntry>,
+    /// Fault-plane statistics: injections, transfer retries, recoveries
+    /// and epoch aborts. `None` when no fault plan was armed.
+    pub chaos: Option<ChaosStats>,
     /// The always-on telemetry captured during the run: metrics registry
     /// snapshot, flight-recorder dump and SLO summary. `None` for
     /// unprotected runs (nothing to observe).
@@ -210,6 +218,94 @@ impl RunReport {
     pub fn stage_breakdown(&self) -> Vec<(Stage, SimDuration)> {
         crate::trace::stage_totals(&self.stage_events)
     }
+
+    /// The worst client-visible staleness window the replica could have
+    /// served after a failover: the largest gap between consecutive
+    /// commits (including run start → first commit and last commit → run
+    /// end). `None` when no epoch committed.
+    pub fn worst_staleness(&self) -> Option<SimDuration> {
+        if self.commits.is_empty() {
+            return None;
+        }
+        let mut worst = SimDuration::ZERO;
+        let mut prev = SimTime::ZERO;
+        for c in &self.commits {
+            worst = worst.max(c.at.saturating_duration_since(prev));
+            prev = c.at;
+        }
+        let end = SimTime::ZERO + self.elapsed;
+        Some(worst.max(end.saturating_duration_since(prev)))
+    }
+
+    /// FNV-1a digest over every *virtual-time* field of the report — name,
+    /// ops, checkpoints, stage events, commits, failover, chaos stats and
+    /// spans — deliberately excluding wall-clock measurements
+    /// (`wall_nanos`, resource usage, telemetry snapshots). Two runs of
+    /// the same scenario with the same seed must produce the same
+    /// fingerprint; the chaos determinism tests and the `repro chaos`
+    /// experiment assert exactly that.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        eat(self.name.as_bytes());
+        eat(&self.elapsed.as_nanos().to_le_bytes());
+        eat(&self.ops_completed.to_bits().to_le_bytes());
+        eat(&self.throughput_ops_per_sec.to_bits().to_le_bytes());
+        for c in &self.checkpoints {
+            eat(&c.seq.to_le_bytes());
+            eat(&c.paused_at.as_nanos().to_le_bytes());
+            eat(&c.period.as_nanos().to_le_bytes());
+            eat(&c.pause.as_nanos().to_le_bytes());
+            eat(&c.dirty_pages.to_le_bytes());
+            eat(&c.degradation.to_bits().to_le_bytes());
+        }
+        for e in &self.stage_events {
+            eat(&e.seq.to_le_bytes());
+            eat(e.stage.label().as_bytes());
+            eat(&e.at.as_nanos().to_le_bytes());
+            eat(&e.duration.as_nanos().to_le_bytes());
+            eat(&e.pages.to_le_bytes());
+            eat(&e.bytes.to_le_bytes());
+        }
+        for c in &self.commits {
+            eat(&c.seq.to_le_bytes());
+            eat(&c.at.as_nanos().to_le_bytes());
+        }
+        if let Some(fo) = &self.failover {
+            eat(&fo.failed_at.as_nanos().to_le_bytes());
+            eat(&fo.detected_at.as_nanos().to_le_bytes());
+            eat(&fo.resumed_at.as_nanos().to_le_bytes());
+            eat(&fo.resumed_from_checkpoint.to_le_bytes());
+            eat(&(fo.packets_lost as u64).to_le_bytes());
+            eat(&fo.ops_lost.to_bits().to_le_bytes());
+            eat(&(fo.devices_switched as u64).to_le_bytes());
+        }
+        eat(&self.consistency_checks.to_le_bytes());
+        if let Some(stats) = &self.chaos {
+            eat(&stats.faults_injected.to_le_bytes());
+            eat(&stats.transfer_retries.to_le_bytes());
+            eat(&stats.transfer_recoveries.to_le_bytes());
+            eat(&stats.epochs_aborted.to_le_bytes());
+        }
+        for s in &self.spans {
+            eat(s.name.as_bytes());
+            eat(s.category.as_bytes());
+            eat(&s.track.pid().to_le_bytes());
+            eat(&s.track.tid().to_le_bytes());
+            eat(&s.epoch.unwrap_or(u64::MAX).to_le_bytes());
+            eat(&s.start_nanos.to_le_bytes());
+            eat(&s.duration_nanos.to_le_bytes());
+            eat(&s.parent.map_or(u64::MAX, |p| p.get()).to_le_bytes());
+        }
+        h
+    }
 }
 
 #[cfg(test)]
@@ -250,6 +346,17 @@ mod tests {
                 rss: ByteSize::from_mib(100),
             },
             consistency_checks: 0,
+            commits: vec![
+                CommitEntry {
+                    seq: 1,
+                    at: SimTime::from_secs(2),
+                },
+                CommitEntry {
+                    seq: 2,
+                    at: SimTime::from_secs(7),
+                },
+            ],
+            chaos: None,
             telemetry: None,
             spans: Vec::new(),
         };
@@ -257,6 +364,14 @@ mod tests {
         assert_eq!(report.mean_dirty_pages(), Some(20.0));
         let d = report.mean_degradation().unwrap();
         assert!(d > 0.0 && d < 0.2);
+        // Gaps: 0→2 s, 2→7 s, 7→10 s (run end). Worst is the middle one.
+        assert_eq!(report.worst_staleness(), Some(SimDuration::from_secs(5)));
+        // The fingerprint is a pure function of the virtual-time fields.
+        let twin = report.clone();
+        assert_eq!(report.fingerprint(), twin.fingerprint());
+        let mut other = report.clone();
+        other.commits[1].seq = 3;
+        assert_ne!(report.fingerprint(), other.fingerprint());
     }
 
     #[test]
@@ -279,6 +394,8 @@ mod tests {
                 rss: ByteSize::ZERO,
             },
             consistency_checks: 0,
+            commits: Vec::new(),
+            chaos: None,
             telemetry: None,
             spans: Vec::new(),
         };
@@ -286,6 +403,7 @@ mod tests {
         assert!(report.mean_degradation().is_none());
         assert!(report.mean_dirty_pages().is_none());
         assert!(report.stage_breakdown().iter().all(|&(_, d)| d.is_zero()));
+        assert!(report.worst_staleness().is_none());
     }
 
     #[test]

@@ -15,6 +15,7 @@ use here_hypervisor::arch::Gpr;
 use here_hypervisor::fault::HostHealth;
 use here_hypervisor::host::Hypervisor;
 use here_hypervisor::kind::HypervisorKind;
+use here_hypervisor::memory::PageVersion;
 use here_hypervisor::vcpu::{KvmVcpuState, VcpuStateBlob, XenVcpuState};
 use here_hypervisor::vm::{VmConfig, VmId};
 use here_hypervisor::{PageId, VcpuId, XenHypervisor, PAGE_SIZE};
@@ -30,13 +31,14 @@ use here_vmstate::{reconcile, MemoryDelta};
 use here_workloads::idle::IdleGuest;
 use here_workloads::traits::Workload;
 
+use crate::chaos::{ChaosState, FaultPlan, TransferFault};
 use crate::config::ReplicationConfig;
 use crate::dataplane::{
     encode_pages_parallel_timed, translate_vcpus_parallel, CheckpointPools, PayloadMode,
 };
 use crate::devmgr::DeviceManager;
 use crate::error::{CoreError, CoreResult};
-use crate::failover::{detection_time, FailoverRecord};
+use crate::failover::{detection_time_with_loss, CommitLedger, FailoverRecord};
 use crate::period::{PeriodDecision, PeriodManager};
 use crate::pipeline::ReplicationStrategy;
 use crate::report::CheckpointRecord;
@@ -94,6 +96,7 @@ pub(crate) struct SessionSetup {
     pub(crate) seed: u64,
     pub(crate) load_during_seed: bool,
     pub(crate) verify_consistency: bool,
+    pub(crate) chaos: Option<FaultPlan>,
 }
 
 /// Everything mutable during a replicated run.
@@ -124,8 +127,12 @@ pub(crate) struct Session {
     pub(crate) verify_consistency: bool,
     pub(crate) consistency_checks: u64,
     pub(crate) pools: CheckpointPools,
+    /// The fault-injection plane; `None` keeps every hook a fast no-op.
+    pub(crate) chaos: Option<ChaosState>,
     // accounting
     pub(crate) seq: u64,
+    /// Fully-acked epochs; failover activation reads its tail.
+    pub(crate) ledger: CommitLedger,
     pub(crate) ops_committed: f64,
     pub(crate) ops_uncommitted: f64,
     pub(crate) disturbance_debt: SimDuration,
@@ -162,6 +169,7 @@ impl Session {
             seed,
             load_during_seed,
             verify_consistency,
+            chaos,
         } = setup;
         let strategy = crate::pipeline::runtime(cfg.strategy);
 
@@ -207,7 +215,9 @@ impl Session {
             verify_consistency,
             consistency_checks: 0,
             pools: CheckpointPools::new(),
+            chaos: chaos.map(ChaosState::new),
             seq: 0,
+            ledger: CommitLedger::new(),
             ops_committed: 0.0,
             ops_uncommitted: 0.0,
             disturbance_debt: SimDuration::ZERO,
@@ -497,28 +507,69 @@ impl Session {
     /// *receive side*: pages land in replica memory, vCPU state is
     /// re-encoded in the secondary's native format, and the page count is
     /// cross-checked against the stream trailer.
+    ///
+    /// The apply is **two-phase**: the whole stream is decoded and
+    /// validated into a staging buffer first (frame checksums, trailer
+    /// cross-check, trailer presence), and only then installed. A torn,
+    /// truncated or corrupted stream therefore can never leave a partial
+    /// epoch on the replica — the previous committed epoch stays
+    /// authoritative, which is the invariant the epoch-abort path and
+    /// failover activation rely on.
     pub(crate) fn apply_checkpoint(&mut self, stream: ScatterStream, seq: u64) -> CoreResult<()> {
+        // Phase 1: decode + validate, touching nothing of the replica.
+        let mut staged = std::mem::take(&mut self.pools.apply);
+        staged.clear();
+        let mut vcpus: Vec<(u32, VcpuStateBlob)> = Vec::new();
+        let validated =
+            Self::decode_checkpoint(stream, self.secondary.kind(), &mut staged, &mut vcpus, seq);
+        if let Err(e) = validated {
+            staged.clear();
+            self.pools.apply = staged;
+            return Err(e);
+        }
+
+        // Phase 2: install the fully validated epoch.
+        let replica = self.secondary.vm_mut(self.rvm)?;
+        for &(page, rec) in &staged {
+            replica.memory_mut().install_page(page, rec)?;
+        }
+        for (index, blob) in vcpus {
+            self.secondary
+                .set_vcpu_state(self.rvm, VcpuId::new(index), blob)?;
+        }
+        staged.clear();
+        self.pools.apply = staged;
+        Ok(())
+    }
+
+    /// Phase 1 of [`Session::apply_checkpoint`]: decodes `stream` into the
+    /// staging buffers, validating every frame and the trailer cross-check,
+    /// without touching the replica.
+    fn decode_checkpoint(
+        stream: ScatterStream,
+        kind: HypervisorKind,
+        staged: &mut Vec<(PageId, PageVersion)>,
+        vcpus: &mut Vec<(u32, VcpuStateBlob)>,
+        seq: u64,
+    ) -> CoreResult<()> {
         let mut dec = StreamDecoder::new_scattered(stream)?;
         let mut pages_seen = 0u64;
+        let mut saw_trailer = false;
         while let Some(record) = dec.next_record()? {
             match record {
                 Record::CheckpointBegin { .. } | Record::StreamHeader { .. } => {}
                 Record::PageBatch(batch) => {
                     pages_seen += batch.len() as u64;
-                    let replica = self.secondary.vm_mut(self.rvm)?;
-                    for &(page, rec) in batch.entries() {
-                        replica.memory_mut().install_page(page, rec)?;
-                    }
+                    staged.extend(batch.entries().iter().copied());
                 }
                 Record::PageDataBatch(batch) => {
                     pages_seen += batch.pages().len() as u64;
-                    let replica = self.secondary.vm_mut(self.rvm)?;
                     for (page, rec, _content) in batch.pages() {
-                        replica.memory_mut().install_page(*page, *rec)?;
+                        staged.push((*page, *rec));
                     }
                 }
                 Record::VcpuState { index, cir } => {
-                    let blob = match self.secondary.kind() {
+                    let blob = match kind {
                         HypervisorKind::Xen => {
                             VcpuStateBlob::Xen(XenVcpuState::from_arch(&cir.regs, cir.online))
                         }
@@ -526,8 +577,7 @@ impl Session {
                             VcpuStateBlob::Kvm(KvmVcpuState::from_arch(&cir.regs, cir.online))
                         }
                     };
-                    self.secondary
-                        .set_vcpu_state(self.rvm, VcpuId::new(index), blob)?;
+                    vcpus.push((index, blob));
                 }
                 Record::Device(_) => {
                     // Identities are checked on failover; the replica's own
@@ -539,9 +589,15 @@ impl Session {
                             "checkpoint {seq}: {pages_seen} pages received, header says {pages_total}"
                         )));
                     }
+                    saw_trailer = true;
                 }
                 Record::Ack { .. } => {}
             }
+        }
+        if !saw_trailer {
+            // A stream that ends cleanly on a record boundary but without
+            // its trailer is torn — reject it like any truncated frame.
+            return Err(CoreError::Wire(here_vmstate::WireError::Truncated));
         }
         Ok(())
     }
@@ -567,9 +623,10 @@ impl Session {
         }
     }
 
-    /// Releases buffered output at the commit instant and records client
-    /// latencies.
-    pub(crate) fn commit(&mut self) {
+    /// Commits checkpoint `seq`: appends it to the commit ledger, releases
+    /// buffered output at the commit instant and records client latencies.
+    pub(crate) fn commit(&mut self, seq: u64) {
+        self.ledger.record(seq, self.rel(self.clock));
         for released in self.devmgr.on_commit(self.clock) {
             let latency = released.buffering_delay()
                 + self.client_link.transfer_time(released.packet.size) * 2
@@ -626,13 +683,124 @@ impl Session {
         Ok(())
     }
 
+    /// Checks the fault plane for a primary-host fault scheduled at the
+    /// entry of `stage` of epoch `seq`; if one fires, the primary goes
+    /// down and the epoch loop receives
+    /// [`CoreError::InjectedPrimaryFault`] to turn into a failover.
+    pub(crate) fn chaos_primary_fault(&mut self, seq: u64, stage: Stage) -> CoreResult<()> {
+        let Some(chaos) = self.chaos.as_mut() else {
+            return Ok(());
+        };
+        let Some(outcome) = chaos.primary_fault(seq, stage) else {
+            return Ok(());
+        };
+        self.primary.inject_dos(outcome);
+        Err(CoreError::InjectedPrimaryFault {
+            seq,
+            stage,
+            outcome,
+        })
+    }
+
+    /// Asks the fault plane what happens to transfer attempt `attempt` of
+    /// epoch `seq`, recording any injected fault on the flight recorder.
+    pub(crate) fn chaos_transfer_fault(&mut self, seq: u64, attempt: u32) -> Option<TransferFault> {
+        let fault = self.chaos.as_mut()?.transfer_fault(seq, attempt)?;
+        let at_nanos = self.rel(self.clock).as_nanos();
+        self.telemetry.on_fault(
+            fault.reason(),
+            false,
+            format!("checkpoint {seq} transfer attempt {attempt}"),
+            at_nanos,
+        );
+        Some(fault)
+    }
+
+    /// Records one failed-and-retried transfer attempt: counters, a
+    /// flight-recorder retry event, and a zero-width controller span.
+    pub(crate) fn note_transfer_retry(
+        &mut self,
+        seq: u64,
+        attempt: u32,
+        reason: &'static str,
+        backoff: SimDuration,
+    ) {
+        if let Some(chaos) = self.chaos.as_mut() {
+            chaos.stats.transfer_retries += 1;
+        }
+        let at_nanos = self.rel(self.clock).as_nanos();
+        self.telemetry
+            .on_transfer_retry(seq, attempt, reason, backoff.as_nanos(), at_nanos);
+        self.spans.push(
+            SpanDraft::new("transfer_retry", "fault", Track::Controller, at_nanos)
+                .epoch(seq)
+                .attr_u64("attempt", attempt as u64)
+                .attr_str("reason", reason),
+        );
+    }
+
+    /// Records a transfer that succeeded after `failed_attempts` failures.
+    pub(crate) fn note_transfer_recovery(&mut self, seq: u64, failed_attempts: u32) {
+        if let Some(chaos) = self.chaos.as_mut() {
+            chaos.stats.transfer_recoveries += 1;
+        }
+        self.telemetry.on_transfer_recovery(seq, failed_attempts);
+    }
+
+    /// Aborts epoch `seq` after its transfer exhausted the retry budget:
+    /// the partially transferred checkpoint is already discarded, so this
+    /// re-marks the harvested pages dirty (they must ride the next epoch —
+    /// without this the replica would diverge forever), resumes the VM,
+    /// closes the epoch span, and records the abort. Nothing commits: the
+    /// buffered output and uncommitted ops carry over to the next
+    /// successful epoch, and the previous committed epoch stays
+    /// authoritative on the replica.
+    pub(crate) fn abort_epoch(&mut self, seq: u64, attempts: u32) -> CoreResult<()> {
+        {
+            // The harvested delta is still pooled (it is recycled, not
+            // cleared, after Translate): every page it names was wiped
+            // from the primary's dirty bitmap at Harvest but never reached
+            // the replica.
+            let vm = self.primary.vm_mut(self.pvm)?;
+            for &(page, _) in self.pools.delta.entries() {
+                vm.dirty_mut().bitmap_mut().mark(page);
+            }
+        }
+        self.primary.vm_mut(self.pvm)?.resume()?;
+        self.disturbance_debt += self.cfg.costs.pause_disturbance;
+        let at_nanos = self.rel(self.clock).as_nanos();
+        if let Some(root) = self.epoch_span.take() {
+            self.spans.close(root, at_nanos);
+        }
+        self.spans.push(
+            SpanDraft::new("epoch_abort", "fault", Track::Controller, at_nanos)
+                .epoch(seq)
+                .attr_u64("attempts", attempts as u64),
+        );
+        if let Some(chaos) = self.chaos.as_mut() {
+            chaos.stats.epochs_aborted += 1;
+        }
+        self.telemetry.on_epoch_abort(seq, attempts, at_nanos);
+        Ok(())
+    }
+
     /// Handles a primary-host failure: detect, discard, switch devices,
     /// activate.
     pub(crate) fn failover(&mut self, failed_at: SimTime) -> CoreResult<FailoverRecord> {
         self.enter_phase(SessionPhase::FailedOver);
+        // A failure mid-epoch leaves the epoch root span open; close it at
+        // the failure instant — the epoch never completed.
+        if let Some(root) = self.epoch_span.take() {
+            self.spans.close(root, self.rel(failed_at).as_nanos());
+        }
         let post_health = self.primary.health();
         debug_assert_ne!(post_health, HostHealth::Healthy);
-        let detected_at = detection_time(&self.cfg.heartbeat, failed_at, post_health);
+        let lost_heartbeats = self
+            .chaos
+            .as_ref()
+            .map_or(0, |c| c.heartbeat_loss_periods());
+        let detected_at =
+            detection_time_with_loss(&self.cfg.heartbeat, failed_at, post_health, lost_heartbeats);
         self.clock = detected_at;
 
         // Everything since the last commit is rolled back.
@@ -653,7 +821,10 @@ impl Session {
             failed_at: self.rel(failed_at),
             detected_at: self.rel(detected_at),
             resumed_at: self.rel(self.clock),
-            resumed_from_checkpoint: self.seq,
+            // Activation provably uses the last *fully-acked* epoch: the
+            // ledger is appended only at Ack, so an in-flight or aborted
+            // epoch (whose seq is already bumped) can never appear here.
+            resumed_from_checkpoint: self.ledger.last_committed().unwrap_or(0),
             packets_lost: switch.packets_discarded,
             ops_lost,
             devices_switched: switch.devices_switched,
@@ -756,6 +927,8 @@ impl Session {
             failover,
             resources: crate::report::ResourceUsage { cpu_core_pct, rss },
             consistency_checks: self.consistency_checks,
+            commits: self.ledger.into_entries(),
+            chaos: self.chaos.map(|c| c.stats),
             telemetry: Some(self.telemetry.snapshot()),
             spans: self.spans.into_spans(),
         }

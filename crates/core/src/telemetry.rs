@@ -24,6 +24,10 @@
 //! | `here_packets_discarded_total` | counter | buffered packets dropped by a failover |
 //! | `here_slo_breaches_total` | counter | degradation/period-cap SLO breaches |
 //! | `here_failovers_total` | counter | failovers performed |
+//! | `here_faults_injected_total` | counter | faults laid into the run (exploits, accidents, fault plane) |
+//! | `here_transfer_retries_total` | counter | checkpoint transfer attempts that failed and were retried |
+//! | `here_transfer_recoveries_total` | counter | checkpoints delivered after at least one failed attempt |
+//! | `here_epochs_aborted_total` | counter | checkpoints discarded after exhausting the retry budget |
 //! | `here_pause_nanos` | histogram | VM-visible pause `t` per checkpoint |
 //! | `here_dirty_pages` | histogram | dirty pages `N` per checkpoint |
 //! | `here_stage_nanos{stage=…}` | histogram | virtual duration per pipeline stage |
@@ -68,6 +72,10 @@ pub struct SessionTelemetry {
     packets_discarded: CounterHandle,
     slo_breaches: CounterHandle,
     failovers: CounterHandle,
+    faults_injected: CounterHandle,
+    transfer_retries: CounterHandle,
+    transfer_recoveries: CounterHandle,
+    epochs_aborted: CounterHandle,
     pause_hist: HistogramHandle,
     dirty_pages_hist: HistogramHandle,
     stage_hists: [HistogramHandle; 6],
@@ -120,6 +128,22 @@ impl SessionTelemetry {
             "Degradation-target and period-cap SLO breaches",
         );
         let failovers = registry.counter("here_failovers_total", "Failovers performed");
+        let faults_injected = registry.counter(
+            "here_faults_injected_total",
+            "Faults laid into the run (exploits, accidents, fault plane)",
+        );
+        let transfer_retries = registry.counter(
+            "here_transfer_retries_total",
+            "Checkpoint transfer attempts that failed and were retried",
+        );
+        let transfer_recoveries = registry.counter(
+            "here_transfer_recoveries_total",
+            "Checkpoints delivered after at least one failed attempt",
+        );
+        let epochs_aborted = registry.counter(
+            "here_epochs_aborted_total",
+            "Checkpoints discarded after exhausting the transfer retry budget",
+        );
         let pause_hist = registry.histogram(
             "here_pause_nanos",
             "VM-visible pause t per checkpoint (virtual ns)",
@@ -170,6 +194,10 @@ impl SessionTelemetry {
             packets_discarded,
             slo_breaches,
             failovers,
+            faults_injected,
+            transfer_retries,
+            transfer_recoveries,
+            epochs_aborted,
             pause_hist,
             dirty_pages_hist,
             stage_hists,
@@ -336,11 +364,49 @@ impl SessionTelemetry {
         detail: String,
         at_nanos: u64,
     ) {
+        self.faults_injected.incr();
         self.flight.record(FlightEvent::Fault {
             at_nanos,
             fault,
             host_down,
             detail,
+        });
+    }
+
+    /// A checkpoint transfer attempt failed and will be retried after
+    /// `backoff_nanos` of exponential backoff.
+    pub fn on_transfer_retry(
+        &mut self,
+        seq: u64,
+        attempt: u32,
+        reason: &'static str,
+        backoff_nanos: u64,
+        at_nanos: u64,
+    ) {
+        self.transfer_retries.incr();
+        self.flight.record(FlightEvent::Retry {
+            at_nanos,
+            seq,
+            attempt,
+            reason,
+            backoff_nanos,
+        });
+    }
+
+    /// A checkpoint was delivered after `failed_attempts` failed tries.
+    pub fn on_transfer_recovery(&mut self, _seq: u64, _failed_attempts: u32) {
+        self.transfer_recoveries.incr();
+    }
+
+    /// A checkpoint exhausted its transfer retry budget and was discarded;
+    /// the previous committed epoch stays authoritative.
+    pub fn on_epoch_abort(&mut self, seq: u64, attempts: u32, at_nanos: u64) {
+        self.epochs_aborted.incr();
+        self.flight.record(FlightEvent::Fault {
+            at_nanos,
+            fault: "epoch_abort",
+            host_down: false,
+            detail: format!("checkpoint {seq} discarded after {attempts} failed transfer attempts"),
         });
     }
 
@@ -578,6 +644,34 @@ mod tests {
             assert!(json.contains(&format!("\"phase\":\"{phase}\"")), "{phase}");
         }
         assert!(json.contains("from checkpoint 7"));
+    }
+
+    #[test]
+    fn retry_hooks_feed_counters_and_flight() {
+        let mut t = SessionTelemetry::new(dynamic_policy());
+        t.on_fault("crash", true, "injected".into(), 5);
+        t.on_transfer_retry(3, 1, "corrupt_frame", 500_000, 10);
+        t.on_transfer_retry(3, 2, "dropped", 1_000_000, 20);
+        t.on_transfer_recovery(3, 2);
+        t.on_epoch_abort(4, 4, 30);
+        let snap = t.snapshot();
+        for (name, want) in [
+            ("here_faults_injected_total", 1),
+            ("here_transfer_retries_total", 2),
+            ("here_transfer_recoveries_total", 1),
+            ("here_epochs_aborted_total", 1),
+        ] {
+            assert_eq!(
+                snap.registry.find(name).unwrap().value,
+                MetricValue::Counter(want),
+                "{name}"
+            );
+        }
+        assert!(snap.flight_recorder_json.contains("corrupt_frame"));
+        assert!(snap.flight_recorder_json.contains("epoch_abort"));
+        assert!(snap
+            .flight_recorder_json
+            .contains("discarded after 4 failed transfer attempts"));
     }
 
     #[test]

@@ -1,0 +1,168 @@
+//! Seeded chaos suite: random fault plans must never violate the
+//! failover invariants.
+//!
+//! Every run executes with `verify_consistency`, so the engine itself
+//! asserts after each committed checkpoint that the replica's memory and
+//! vCPU state are byte-identical to the paused primary's — a torn or
+//! partially-applied epoch panics the run and fails the test. On top of
+//! that the tests check the commit ledger stays strictly monotone, that a
+//! failover provably resumes from the last fully-acked epoch, and that
+//! the same seed replays byte-identically.
+
+use here_core::{FaultKind, FaultPlan, ReplicationConfig, RunReport, Scenario, Stage};
+use here_hypervisor::fault::DosOutcome;
+use here_sim_core::time::SimDuration;
+use here_workloads::memstress::MemStress;
+use proptest::prelude::*;
+
+/// A small replicated VM under memory pressure, with the given fault plan
+/// armed and replica/primary equality verified at every commit.
+fn chaos_run(run_seed: u64, plan: FaultPlan) -> RunReport {
+    Scenario::builder()
+        .name("chaos")
+        .vm_memory_mib(64)
+        .vcpus(4)
+        .workload(Box::new(MemStress::with_percent(30).with_rate(20_000)))
+        .config(ReplicationConfig::fixed_period(SimDuration::from_secs(2)))
+        .duration(SimDuration::from_secs(30))
+        .seed(run_seed)
+        .verify_consistency()
+        .chaos(plan)
+        .build()
+        .expect("chaos scenario is valid")
+        .run()
+}
+
+#[test]
+fn mid_transfer_primary_crash_resumes_from_last_acked_epoch() {
+    // Epochs 1–3 commit; the crash fires at the entry of epoch 4's
+    // Transfer stage, while checkpoint 4 is in flight and unacked.
+    let plan = FaultPlan::new(99).with_event(
+        4,
+        FaultKind::PrimaryFault {
+            outcome: DosOutcome::Crash,
+            stage: Stage::Transfer,
+        },
+    );
+    let report = chaos_run(7, plan);
+    let fo = report.failover.expect("an injected crash must fail over");
+    assert_eq!(report.commits.last().expect("epochs 1-3 committed").seq, 3);
+    assert_eq!(
+        fo.resumed_from_checkpoint, 3,
+        "the replica must activate from the last fully-acked epoch, not the in-flight one"
+    );
+    assert!(
+        report.checkpoints.iter().all(|c| c.seq <= 3),
+        "the interrupted epoch must not produce a checkpoint record"
+    );
+    assert_eq!(report.chaos.expect("plan armed").faults_injected, 1);
+    assert!(
+        report.ops_completed > 0.0,
+        "service continues on the activated replica"
+    );
+}
+
+#[test]
+fn corruption_and_link_flap_are_retried_to_recovery() {
+    let plan = FaultPlan::new(5)
+        .with_event(2, FaultKind::Corrupt { attempts: 2 })
+        .with_event(3, FaultKind::LinkFlap { attempts_down: 1 });
+    let report = chaos_run(11, plan);
+    let stats = report.chaos.expect("plan armed");
+    assert_eq!(
+        stats.transfer_retries, 3,
+        "2 corrupt + 1 link-down attempts"
+    );
+    assert_eq!(
+        stats.transfer_recoveries, 2,
+        "both epochs deliver in the end"
+    );
+    assert_eq!(stats.epochs_aborted, 0);
+    assert!(report.failover.is_none());
+    // Every started epoch still committed, in order.
+    assert_eq!(report.commits.len(), report.checkpoints.len());
+    let retry_spans = report
+        .spans
+        .iter()
+        .filter(|s| s.name == "transfer_retry")
+        .count();
+    assert_eq!(retry_spans, 3, "each retry lands in the span trace");
+}
+
+#[test]
+fn exhausted_retry_budget_aborts_the_epoch_and_replication_continues() {
+    // 10 scheduled drops exceed the default 4-attempt budget: epoch 3 is
+    // aborted, its pages roll into epoch 4, and the run keeps going.
+    let plan = FaultPlan::new(5).with_event(3, FaultKind::Drop { attempts: 10 });
+    let report = chaos_run(11, plan);
+    let stats = report.chaos.expect("plan armed");
+    assert_eq!(stats.epochs_aborted, 1);
+    assert_eq!(
+        stats.transfer_retries, 3,
+        "attempts 1-3 retry, the 4th aborts"
+    );
+    assert!(report.failover.is_none());
+    assert!(
+        report.commits.iter().all(|c| c.seq != 3),
+        "the aborted epoch must never enter the commit ledger"
+    );
+    assert!(
+        report.commits.iter().any(|c| c.seq == 4),
+        "the epoch after the abort must commit (and carries the re-dirtied pages)"
+    );
+    // The abort widens the worst commit-to-commit staleness window past
+    // two epochs.
+    assert!(report.worst_staleness().expect("commits exist") >= SimDuration::from_secs(4));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Arbitrary generated fault plans: the replica never restores a torn
+    /// epoch (engine-asserted via `verify_consistency`), commit sequence
+    /// numbers stay strictly monotone, aborted epochs never commit, and
+    /// any failover resumes exactly from the last fully-acked epoch.
+    #[test]
+    fn random_fault_plans_preserve_failover_invariants(
+        plan_seed in 0u64..(1u64 << 48),
+        run_seed in 0u64..(1u64 << 48),
+    ) {
+        let plan = FaultPlan::generate(plan_seed, 12);
+        let report = chaos_run(run_seed, plan.clone());
+        for w in report.commits.windows(2) {
+            prop_assert!(w[1].seq > w[0].seq, "ledger must be strictly monotone");
+            prop_assert!(w[1].at >= w[0].at);
+        }
+        let scheduled_primary_fault = plan
+            .events()
+            .iter()
+            .any(|e| matches!(e.kind, FaultKind::PrimaryFault { .. }));
+        if let Some(fo) = &report.failover {
+            prop_assert!(scheduled_primary_fault, "only the plan can down the primary");
+            prop_assert_eq!(
+                fo.resumed_from_checkpoint,
+                report.commits.last().map_or(0, |c| c.seq),
+                "failover must activate the last fully-acked epoch"
+            );
+        }
+        // A checkpoint record exists exactly for the committed epochs.
+        let committed: Vec<u64> = report.commits.iter().map(|c| c.seq).collect();
+        let recorded: Vec<u64> = report.checkpoints.iter().map(|c| c.seq).collect();
+        prop_assert_eq!(committed, recorded);
+    }
+
+    /// Determinism: the same (plan seed, run seed) pair replays to an
+    /// identical report fingerprint — faults, retries, commits, spans and
+    /// all — which is what makes any chaos failure a one-line reproducer.
+    #[test]
+    fn same_seed_replays_byte_identically(
+        plan_seed in 0u64..(1u64 << 48),
+        run_seed in 0u64..(1u64 << 48),
+    ) {
+        let a = chaos_run(run_seed, FaultPlan::generate(plan_seed, 12));
+        let b = chaos_run(run_seed, FaultPlan::generate(plan_seed, 12));
+        prop_assert_eq!(a.fingerprint(), b.fingerprint());
+        prop_assert_eq!(a.commits, b.commits);
+        prop_assert_eq!(a.chaos, b.chaos);
+    }
+}

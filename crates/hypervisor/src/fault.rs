@@ -23,6 +23,12 @@ pub enum DosOutcome {
     Starvation,
 }
 
+impl DosOutcome {
+    /// Every outcome category of the §8.2 study, in declaration order —
+    /// for fault-injection sweeps and matrix tests.
+    pub const ALL: [DosOutcome; 3] = [DosOutcome::Crash, DosOutcome::Hang, DosOutcome::Starvation];
+}
+
 impl fmt::Display for DosOutcome {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -101,6 +107,16 @@ mod tests {
             HostHealth::from_outcome(DosOutcome::Starvation),
             HostHealth::Starved
         );
+    }
+
+    #[test]
+    fn all_covers_every_outcome_once() {
+        assert_eq!(DosOutcome::ALL.len(), 3);
+        for (i, a) in DosOutcome::ALL.iter().enumerate() {
+            for b in &DosOutcome::ALL[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
     }
 
     #[test]

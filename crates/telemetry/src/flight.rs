@@ -85,6 +85,20 @@ pub enum FlightEvent {
         /// Free-form detail (checkpoint resumed from, losses, ...).
         detail: String,
     },
+    /// A checkpoint transfer attempt failed and is being retried after
+    /// exponential backoff.
+    Retry {
+        /// Virtual timestamp (ns).
+        at_nanos: u64,
+        /// Checkpoint sequence number.
+        seq: u64,
+        /// 1-based failed-attempt count so far.
+        attempt: u32,
+        /// Why the attempt failed (`link_down`, `corrupt_frame`, ...).
+        reason: &'static str,
+        /// Backoff waited before the next attempt (ns).
+        backoff_nanos: u64,
+    },
     /// A fault was injected into (or observed on) a host.
     Fault {
         /// Virtual timestamp (ns).
@@ -118,6 +132,7 @@ impl FlightEvent {
             | FlightEvent::PoolReclaim { at_nanos, .. }
             | FlightEvent::EncodeLane { at_nanos, .. }
             | FlightEvent::Failover { at_nanos, .. }
+            | FlightEvent::Retry { at_nanos, .. }
             | FlightEvent::Fault { at_nanos, .. }
             | FlightEvent::Migration { at_nanos, .. } => *at_nanos,
         }
@@ -131,6 +146,7 @@ impl FlightEvent {
             FlightEvent::PoolReclaim { .. } => "pool_reclaim",
             FlightEvent::EncodeLane { .. } => "encode_lane",
             FlightEvent::Failover { .. } => "failover",
+            FlightEvent::Retry { .. } => "retry",
             FlightEvent::Fault { .. } => "fault",
             FlightEvent::Migration { .. } => "migration",
         }
@@ -203,6 +219,18 @@ impl FlightEvent {
                     out,
                     r#"{{"kind":"failover","at_nanos":{at_nanos},"phase":"{phase}","detail":"{}"}}"#,
                     json_escape(detail),
+                );
+            }
+            FlightEvent::Retry {
+                at_nanos,
+                seq,
+                attempt,
+                reason,
+                backoff_nanos,
+            } => {
+                let _ = write!(
+                    out,
+                    r#"{{"kind":"retry","at_nanos":{at_nanos},"seq":{seq},"attempt":{attempt},"reason":"{reason}","backoff_nanos":{backoff_nanos}}}"#,
                 );
             }
             FlightEvent::Fault {
@@ -431,9 +459,17 @@ mod tests {
             phase: "detected",
             detail: "heartbeat \"lost\"".to_string(),
         });
+        rec.record(FlightEvent::Retry {
+            at_nanos: 25,
+            seq: 2,
+            attempt: 1,
+            reason: "link_down",
+            backoff_nanos: 500_000,
+        });
         let json = rec.dump_json();
         assert!(json.starts_with("{\"capacity\":8,"));
         assert!(json.contains(r#""kind":"stage""#));
+        assert!(json.contains(r#""kind":"retry","at_nanos":25,"seq":2,"attempt":1,"reason":"link_down","backoff_nanos":500000"#));
         assert!(json.contains(r#""wall_nanos":4200"#));
         assert!(json.contains(r#""clamp":null"#));
         assert!(json.contains(r#"heartbeat \"lost\""#));
