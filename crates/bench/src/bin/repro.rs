@@ -1,20 +1,23 @@
 //! `repro` — regenerate every table and figure of the HERE paper.
 //!
 //! ```text
-//! repro [--quick] [--format json|prometheus|chrome] [EXPERIMENT...]
+//! repro [--quick] [--list] [--format json|prometheus|chrome] [EXPERIMENT...]
 //! ```
 //!
 //! With no experiment arguments, runs everything. Experiments: `tab1`,
 //! `tab2`, `tab5`, `demo`, `fig5`, `fig6`, `fig7`, `fig8`, `fig9`, `fig10`,
 //! `fig11`, `fig12`, `fig13`, `fig14`, `fig15`, `fig16`, `fig17`,
-//! `overhead`, `stages`, `datapath`, `observe`, `analyze`, `chaos`.
-//! `--quick` uses scaled-down configurations. `datapath` measures real
-//! wall-clock throughput (not cost-model time) and writes
-//! `target/repro/BENCH_datapath.json`; `observe` measures the telemetry
-//! layer's overhead and writes `target/repro/BENCH_observe.json`;
+//! `overhead`, `stages`, `datapath`, `observe`, `analyze`, `chaos`,
+//! `topology`. `--list` prints every experiment with its description and
+//! artifacts and exits. `--quick` uses scaled-down configurations.
+//! `datapath` measures real wall-clock throughput (not cost-model time)
+//! and writes `target/repro/BENCH_datapath.json`; `observe` measures the
+//! telemetry layer's overhead and writes `target/repro/BENCH_observe.json`;
 //! `analyze` runs the trace analyzer and writes the run's Chrome trace to
 //! `target/repro/trace_analyze.json`; `chaos` runs seeded fault plans
-//! against the replication loop and writes `target/repro/BENCH_chaos.json`.
+//! against the replication loop and writes `target/repro/BENCH_chaos.json`;
+//! `topology` sweeps replica count, quorum size and fan-out mode and
+//! writes `target/repro/BENCH_topology.json`.
 //!
 //! Everything printed is also teed to `target/repro/repro_output.txt`.
 //! With `--format`, every scenario run additionally dumps its telemetry
@@ -43,6 +46,7 @@ use here_bench::experiments::security::{
     run_heterogeneity_demo, run_table1, run_table2, run_table5,
 };
 use here_bench::experiments::stages::run_stages;
+use here_bench::experiments::topology::run_topology;
 use here_bench::tables::{num, render};
 use here_bench::Scale;
 use here_core::Strategy;
@@ -50,7 +54,92 @@ use here_core::Strategy;
 const ALL: &[&str] = &[
     "tab1", "tab2", "tab5", "demo", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
     "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "overhead", "stages", "datapath",
-    "observe", "analyze", "chaos",
+    "observe", "analyze", "chaos", "topology",
+];
+
+/// One-line description and artifacts of every experiment, for `--list`.
+/// Kept parallel to [`ALL`] (a unit test enforces it).
+const CATALOG: &[(&str, &str, &str)] = &[
+    (
+        "tab1",
+        "DoS vulnerability stats by hypervisor, 2013-2020",
+        "-",
+    ),
+    (
+        "tab2",
+        "HERE's coverage of DoS issues from various sources",
+        "-",
+    ),
+    (
+        "tab5",
+        "distribution of DoS-only vulnerabilities (Xen)",
+        "-",
+    ),
+    (
+        "demo",
+        "same zero-day re-attacked across the heterogeneous pair",
+        "-",
+    ),
+    ("fig5", "linearity of page send time f(N) = alpha*N", "-"),
+    (
+        "fig6",
+        "migration time vs memory size, idle and loaded",
+        "-",
+    ),
+    ("fig7", "replica resumption time vs memory size", "-"),
+    (
+        "fig8",
+        "checkpoint transfer and degradation vs memory size",
+        "-",
+    ),
+    (
+        "fig9",
+        "dynamic period vs load step (D = 30%, T_max = 25 s)",
+        "-",
+    ),
+    ("fig10", "dynamic period under YCSB workload A", "-"),
+    ("fig11", "YCSB throughput, fixed periods", "-"),
+    ("fig12", "YCSB throughput, degradation targets", "-"),
+    ("fig13", "YCSB throughput, degradation + T_max", "-"),
+    ("fig14", "SPEC rates, fixed periods", "-"),
+    ("fig15", "SPEC rates, degradation targets", "-"),
+    ("fig16", "SPEC rates, degradation + T_max", "-"),
+    ("fig17", "Sockperf mean latency under replication", "-"),
+    (
+        "overhead",
+        "replication engine CPU and memory overhead",
+        "-",
+    ),
+    (
+        "stages",
+        "pipeline stage breakdown vs the Eq. 4 cost model",
+        "-",
+    ),
+    (
+        "datapath",
+        "measured wall-clock throughput of the checkpoint data plane",
+        "BENCH_datapath.json",
+    ),
+    (
+        "observe",
+        "telemetry-layer overhead and run snapshot",
+        "BENCH_observe.json",
+    ),
+    (
+        "analyze",
+        "causal trace analysis: critical path, stragglers, breaches",
+        "trace_analyze.json, trace_analyze.jsonl, BENCH_analyze.json",
+    ),
+    (
+        "chaos",
+        "seeded fault injection, retry/backoff, failover invariants",
+        "BENCH_chaos.json",
+    ),
+    (
+        "topology",
+        "replica count x quorum x fan-out sweep with bit-compat proof",
+        "BENCH_topology.json",
+    ),
 ];
 
 /// Directory all artefacts land in (relative to the invocation cwd, like
@@ -135,6 +224,17 @@ fn main() -> ExitCode {
     while i < args.len() {
         match args[i].as_str() {
             "--quick" => {}
+            "--list" => {
+                println!("experiments ({} total):", CATALOG.len());
+                for (name, description, artifacts) in CATALOG {
+                    println!("  {name:<9} {description}");
+                    if *artifacts != "-" {
+                        println!("  {:<9}   writes {artifacts}", "");
+                    }
+                }
+                println!("\nall artefacts land under {OUT_DIR}/; everything printed is teed to {OUT_DIR}/repro_output.txt");
+                return ExitCode::SUCCESS;
+            }
             "--format" => {
                 i += 1;
                 format = match args.get(i).map(String::as_str) {
@@ -232,6 +332,7 @@ fn run_one(which: &str, scale: Scale) {
         "observe" => observe(scale),
         "analyze" => analyze(scale),
         "chaos" => chaos(scale),
+        "topology" => topology(scale),
         _ => unreachable!("validated in main"),
     }
 }
@@ -821,6 +922,65 @@ fn chaos(scale: Scale) {
     write_artifact("BENCH_chaos.json", &out.json);
 }
 
+fn topology(scale: Scale) {
+    outln!("Topology — replica count x quorum x fan-out, commit latency and staleness");
+    let out = run_topology(scale);
+    let rows: Vec<Vec<String>> = out
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.replicas.to_string(),
+                r.quorum.to_string(),
+                format!("{:?}", r.fanout).to_lowercase(),
+                r.commits.to_string(),
+                num(r.mean_commit_latency_ms, 3),
+                num(r.worst_staleness_ms, 1),
+                format!(
+                    "r{} ({})",
+                    r.stalest_replica,
+                    num(r.stalest_staleness_ms, 1)
+                ),
+            ]
+        })
+        .collect();
+    outln!(
+        "{}",
+        render(
+            &[
+                "N",
+                "Quorum",
+                "Fanout",
+                "Commits",
+                "Commit lat (ms)",
+                "Staleness (ms)",
+                "Stalest replica (ms)"
+            ],
+            &rows
+        )
+    );
+    outln!(
+        "  bit-compat (N=1, q=1, star vs default config): fingerprints 0x{:016x} / 0x{:016x} -> {}",
+        out.baseline_fingerprint,
+        out.degenerate_fingerprint,
+        if out.bit_compatible {
+            "IDENTICAL"
+        } else {
+            "DRIFTED"
+        },
+    );
+    outln!(
+        "  same-seed rerun (N=3, q=2, star) fingerprint 0x{:016x}: {}\n",
+        out.rerun_fingerprint,
+        if out.deterministic {
+            "byte-identical replay"
+        } else {
+            "MISMATCH"
+        },
+    );
+    write_artifact("BENCH_topology.json", &out.json);
+}
+
 fn overhead(scale: Scale) {
     outln!("Section 8.7 — replication engine overhead (paper: 62% CPU, 314 MB)");
     let out = run_overhead(scale);
@@ -830,4 +990,19 @@ fn overhead(scale: Scale) {
         vec!["checkpoints in window".into(), out.checkpoints.to_string()],
     ];
     outln!("{}", render(&["Metric", "Value"], &rows));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{ALL, CATALOG};
+
+    #[test]
+    fn catalog_stays_parallel_to_the_experiment_list() {
+        let names: Vec<&str> = CATALOG.iter().map(|(n, _, _)| *n).collect();
+        assert_eq!(names, ALL, "--list catalog out of sync with ALL");
+        for (name, description, artifacts) in CATALOG {
+            assert!(!description.is_empty(), "{name} needs a description");
+            assert!(!artifacts.is_empty(), "{name} needs an artifacts cell");
+        }
+    }
 }

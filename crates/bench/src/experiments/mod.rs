@@ -16,6 +16,7 @@ pub mod observe;
 pub mod overhead;
 pub mod security;
 pub mod stages;
+pub mod topology;
 
 /// Experiment sizing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

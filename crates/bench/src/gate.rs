@@ -622,6 +622,93 @@ mod tests {
         }
     }
 
+    /// The committed `baselines/BENCH_topology.json` shape: every leaf is
+    /// deterministic simulated time, a counter or a fingerprint, so the
+    /// whole document compares under [`Rule::Exact`].
+    const TOPOLOGY_DOC: &str = r#"{
+        "experiment": "topology",
+        "run_seed": 42,
+        "stale_epoch_lag": 8,
+        "rows": [
+            {"replicas": 1, "quorum": 1, "fanout": "star", "commits": 15,
+             "mean_commit_latency_ms": 0.010, "worst_staleness_ms": 2010.423,
+             "stalest_replica": 0, "fingerprint": "0xa082f4b2c6a55c4f"},
+            {"replicas": 3, "quorum": 2, "fanout": "chain", "commits": 15,
+             "mean_commit_latency_ms": 0.020, "worst_staleness_ms": 2015.823,
+             "stalest_replica": 2, "fingerprint": "0x5bc0a1f29e77d103"}
+        ],
+        "bit_compat": {
+            "baseline_fingerprint": "0x49210372aba1d921",
+            "degenerate_fingerprint": "0x49210372aba1d921",
+            "bit_compatible": true
+        },
+        "determinism": {
+            "fingerprint": "0xb98b61465ee022a7",
+            "deterministic": true
+        }
+    }"#;
+
+    #[test]
+    fn identical_topology_documents_pass() {
+        let doc = parse(TOPOLOGY_DOC).unwrap();
+        assert!(compare(&doc, &doc, &Tolerances::default()).is_empty());
+    }
+
+    #[test]
+    fn silently_renamed_topology_key_fails_as_missing_plus_unexpected() {
+        // Same loud-rename guarantee as the chaos artifact: dropping
+        // `worst_staleness_ms` for a new name must report both sides, in
+        // every row it occurs in.
+        let base = parse(TOPOLOGY_DOC).unwrap();
+        let renamed =
+            parse(&TOPOLOGY_DOC.replace("\"worst_staleness_ms\"", "\"max_staleness_ms\"")).unwrap();
+        let regressions = compare(&base, &renamed, &Tolerances::default());
+        assert_eq!(regressions.len(), 4);
+        for i in 0..2 {
+            assert!(regressions
+                .iter()
+                .any(|r| r.path == format!("rows[{i}].worst_staleness_ms")
+                    && r.detail.contains("missing")));
+            assert!(regressions
+                .iter()
+                .any(|r| r.path == format!("rows[{i}].max_staleness_ms")
+                    && r.detail.contains("unexpected")));
+        }
+    }
+
+    #[test]
+    fn topology_invariant_and_fingerprint_flips_fail() {
+        let base = parse(TOPOLOGY_DOC).unwrap();
+        for (from, to, path) in [
+            (
+                "\"bit_compatible\": true",
+                "\"bit_compatible\": false",
+                "bit_compat.bit_compatible",
+            ),
+            (
+                "0xb98b61465ee022a7",
+                "0xb98b61465ee022a8",
+                "determinism.fingerprint",
+            ),
+            (
+                "\"stalest_replica\": 2",
+                "\"stalest_replica\": 1",
+                "rows[1].stalest_replica",
+            ),
+            ("2015.823", "2015.824", "rows[1].worst_staleness_ms"),
+        ] {
+            let fresh = parse(&TOPOLOGY_DOC.replace(from, to)).unwrap();
+            let regressions = compare(&base, &fresh, &Tolerances::default());
+            assert_eq!(regressions.len(), 1, "{path}");
+            assert_eq!(regressions[0].path, path);
+        }
+        // `mean_commit_latency_ms` is simulated, not wall clock — exact.
+        assert_eq!(
+            Tolerances::default().rule_for("mean_commit_latency_ms"),
+            Rule::Exact
+        );
+    }
+
     #[test]
     fn shape_changes_fail() {
         let base = parse(DOC).unwrap();

@@ -85,11 +85,17 @@ pub enum FaultKind {
 }
 
 /// A scheduled fault: `kind` fires when the epoch with sequence number
-/// `epoch` runs.
+/// `epoch` runs, against the link of replica `replica`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FaultEvent {
     /// Checkpoint sequence number the fault targets.
     pub epoch: u64,
+    /// 0-based index of the replica whose link the fault hits. Transfer
+    /// faults only touch that replica's attempts; host-level kinds
+    /// (primary faults, heartbeat loss) ignore the field. Plans written
+    /// before topologies existed target replica 0 and replay
+    /// byte-identically.
+    pub replica: u32,
     /// What happens.
     pub kind: FaultKind,
 }
@@ -112,9 +118,40 @@ impl FaultPlan {
         }
     }
 
-    /// Adds one scheduled fault.
+    /// Adds one scheduled fault against replica 0 — the only replica a
+    /// 1→1 session has, and the default target for plans that predate
+    /// topologies.
     pub fn with_event(mut self, epoch: u64, kind: FaultKind) -> Self {
-        self.events.push(FaultEvent { epoch, kind });
+        self.events.push(FaultEvent {
+            epoch,
+            replica: 0,
+            kind,
+        });
+        self
+    }
+
+    /// Adds one scheduled fault against a specific replica's link.
+    pub fn with_event_on(mut self, epoch: u64, replica: u32, kind: FaultKind) -> Self {
+        self.events.push(FaultEvent {
+            epoch,
+            replica,
+            kind,
+        });
+        self
+    }
+
+    /// Partitions a set of replicas at `epoch`: each listed replica's
+    /// link goes down for its first `attempts_down` transfer attempts.
+    /// Partitioning `N − quorum + 1` replicas for the whole retry budget
+    /// starves the quorum and forces the epoch to abort.
+    pub fn with_partition(mut self, epoch: u64, replicas: &[u32], attempts_down: u32) -> Self {
+        for &replica in replicas {
+            self.events.push(FaultEvent {
+                epoch,
+                replica,
+                kind: FaultKind::LinkFlap { attempts_down },
+            });
+        }
         self
     }
 
@@ -172,13 +209,18 @@ impl FaultPlan {
                     ][rng.below(4) as usize];
                     plan.events.push(FaultEvent {
                         epoch,
+                        replica: 0,
                         kind: FaultKind::PrimaryFault { outcome, stage },
                     });
                     // Nothing after a primary fault can run.
                     break;
                 }
             };
-            plan.events.push(FaultEvent { epoch, kind });
+            plan.events.push(FaultEvent {
+                epoch,
+                replica: 0,
+                kind,
+            });
         }
         plan
     }
@@ -252,14 +294,20 @@ impl ChaosState {
     }
 
     /// The fault (if any) the plan injects into transfer attempt
-    /// `attempt` (0-based) of epoch `epoch`. The first matching scheduled
-    /// event wins; each injection counts toward the stats.
-    pub(crate) fn transfer_fault(&mut self, epoch: u64, attempt: u32) -> Option<TransferFault> {
+    /// `attempt` (0-based) of epoch `epoch` toward replica `replica`.
+    /// The first matching scheduled event wins; each injection counts
+    /// toward the stats.
+    pub(crate) fn transfer_fault(
+        &mut self,
+        epoch: u64,
+        replica: u32,
+        attempt: u32,
+    ) -> Option<TransferFault> {
         let fault = self
             .plan
             .events
             .iter()
-            .filter(|e| e.epoch == epoch)
+            .filter(|e| e.epoch == epoch && e.replica == replica)
             .find_map(|e| match e.kind {
                 FaultKind::LinkFlap { attempts_down } if attempt < attempts_down => {
                     Some(TransferFault::LinkDown)
@@ -393,16 +441,47 @@ mod tests {
                 },
             );
         let mut chaos = ChaosState::new(plan);
-        assert_eq!(chaos.transfer_fault(3, 0), Some(TransferFault::Dropped));
-        assert_eq!(chaos.transfer_fault(3, 1), Some(TransferFault::Dropped));
-        assert_eq!(chaos.transfer_fault(3, 2), None);
+        assert_eq!(chaos.transfer_fault(3, 0, 0), Some(TransferFault::Dropped));
+        assert_eq!(chaos.transfer_fault(3, 0, 1), Some(TransferFault::Dropped));
+        assert_eq!(chaos.transfer_fault(3, 0, 2), None);
         assert_eq!(
-            chaos.transfer_fault(5, 0),
+            chaos.transfer_fault(5, 0, 0),
             Some(TransferFault::Delayed(SimDuration::from_millis(4)))
         );
-        assert_eq!(chaos.transfer_fault(5, 1), None);
-        assert_eq!(chaos.transfer_fault(4, 0), None);
+        assert_eq!(chaos.transfer_fault(5, 0, 1), None);
+        assert_eq!(chaos.transfer_fault(4, 0, 0), None);
         assert_eq!(chaos.stats.faults_injected, 3);
+    }
+
+    #[test]
+    fn transfer_faults_only_hit_their_target_replica() {
+        let plan = FaultPlan::new(1)
+            .with_event(2, FaultKind::Drop { attempts: 1 })
+            .with_event_on(2, 2, FaultKind::DecodeFail { attempts: 1 });
+        let mut chaos = ChaosState::new(plan);
+        assert_eq!(chaos.transfer_fault(2, 0, 0), Some(TransferFault::Dropped));
+        assert_eq!(chaos.transfer_fault(2, 1, 0), None);
+        assert_eq!(
+            chaos.transfer_fault(2, 2, 0),
+            Some(TransferFault::DecodeRefused)
+        );
+        assert_eq!(chaos.stats.faults_injected, 2);
+    }
+
+    #[test]
+    fn partition_downs_every_listed_replica_link() {
+        let plan = FaultPlan::new(1).with_partition(4, &[1, 2], 3);
+        let mut chaos = ChaosState::new(plan);
+        assert_eq!(chaos.transfer_fault(4, 0, 0), None);
+        for replica in [1, 2] {
+            for attempt in 0..3 {
+                assert_eq!(
+                    chaos.transfer_fault(4, replica, attempt),
+                    Some(TransferFault::LinkDown)
+                );
+            }
+            assert_eq!(chaos.transfer_fault(4, replica, 3), None);
+        }
     }
 
     #[test]

@@ -145,7 +145,10 @@ pub(crate) fn run_replicated(scenario: Scenario) -> CoreResult<RunReport> {
         session.epoch_span = None;
         session.pending_lane_walls.clear();
         session.period_decisions.clear();
-        session.ledger = CommitLedger::new();
+        session.ledger = CommitLedger::with_quorum(
+            session.cfg.topology.replicas.max(1),
+            session.cfg.topology.effective_quorum(),
+        );
         if let Some(chaos) = session.chaos.as_mut() {
             chaos.stats = Default::default();
         }
@@ -190,7 +193,7 @@ pub(crate) fn run_replicated(scenario: Scenario) -> CoreResult<RunReport> {
                     // Service continues on the (now unreplicated) replica.
                     if plan_taken.reattack_secondary {
                         if let FailureCause::Exploit(e) = &plan_taken.cause {
-                            let result = e.launch(session.secondary.as_mut());
+                            let result = e.launch(session.active_replica_host_mut());
                             if matches!(result, ExploitResult::HostDown(_)) {
                                 // Homogeneous replication loses here: the
                                 // same exploit kills the replica too.
@@ -249,7 +252,8 @@ fn run_on_replica(
         let slice = end
             .saturating_duration_since(session.clock)
             .clamp(SimDuration::ZERO, MAX_SLICE);
-        let vm = session.secondary.vm_mut(session.rvm)?;
+        let member = session.replicas.active_mut();
+        let vm = member.host.vm_mut(member.vm)?;
         let wnow = SimTime::ZERO
             + session
                 .clock

@@ -45,6 +45,62 @@ pub enum Strategy {
     Here,
 }
 
+/// How an encoded epoch fans out across the replica set during the
+/// *Transfer* stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum FanoutMode {
+    /// The primary ships the epoch to every replica directly; the stage
+    /// lasts as long as the slowest per-replica transfer (they overlap
+    /// on independent links).
+    #[default]
+    Star,
+    /// Chained replication: the epoch hops replica 0 → 1 → … → N−1, so
+    /// the stage lasts the *sum* of the per-hop transfers but the
+    /// primary's own egress stays a single stream.
+    Chain,
+}
+
+/// Shape of the replica set a session protects the primary with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TopologyConfig {
+    /// Number of replicas (at least 1). Replica 0 is always the
+    /// strategy's canonical secondary, so `replicas = 1` reproduces the
+    /// paper's 1→1 pair exactly.
+    pub replicas: u32,
+    /// Acks required before an epoch commits; clamped to
+    /// `[1, replicas]` by [`TopologyConfig::effective_quorum`].
+    pub quorum: u32,
+    /// Star or chained fan-out of the Transfer stage.
+    pub fanout: FanoutMode,
+    /// Epoch lag past which a trailing replica is declared stale.
+    pub stale_epoch_lag: u64,
+}
+
+impl TopologyConfig {
+    /// The classic single-replica pair: `N = 1`, `quorum = 1`, star
+    /// fan-out (degenerate), staleness bound of 8 epochs.
+    pub fn single() -> Self {
+        TopologyConfig {
+            replicas: 1,
+            quorum: 1,
+            fanout: FanoutMode::Star,
+            stale_epoch_lag: 8,
+        }
+    }
+
+    /// The quorum the ledger actually enforces: `quorum` clamped to
+    /// `[1, replicas]`.
+    pub fn effective_quorum(&self) -> u32 {
+        self.quorum.clamp(1, self.replicas.max(1))
+    }
+}
+
+impl Default for TopologyConfig {
+    fn default() -> Self {
+        TopologyConfig::single()
+    }
+}
+
 /// Heartbeat parameters for failure detection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct HeartbeatConfig {
@@ -263,6 +319,9 @@ pub struct ReplicationConfig {
     /// Dirty-page count at or below which the seeding migration converges
     /// to its stop-and-copy.
     pub migration_dirty_threshold: u64,
+    /// Replica-set shape: how many replicas, the commit quorum, and the
+    /// Transfer fan-out mode.
+    pub topology: TopologyConfig,
 }
 
 /// Default for [`ReplicationConfig::max_migration_iterations`].
@@ -285,6 +344,7 @@ impl ReplicationConfig {
             costs: CostModel::default(),
             max_migration_iterations: DEFAULT_MAX_MIGRATION_ITERATIONS,
             migration_dirty_threshold: DEFAULT_MIGRATION_DIRTY_THRESHOLD,
+            topology: TopologyConfig::single(),
         }
     }
 
@@ -313,6 +373,7 @@ impl ReplicationConfig {
             costs: CostModel::default(),
             max_migration_iterations: DEFAULT_MAX_MIGRATION_ITERATIONS,
             migration_dirty_threshold: DEFAULT_MIGRATION_DIRTY_THRESHOLD,
+            topology: TopologyConfig::single(),
         }
     }
 
@@ -328,6 +389,7 @@ impl ReplicationConfig {
             costs: CostModel::default(),
             max_migration_iterations: DEFAULT_MAX_MIGRATION_ITERATIONS,
             migration_dirty_threshold: DEFAULT_MIGRATION_DIRTY_THRESHOLD,
+            topology: TopologyConfig::single(),
         }
     }
 
@@ -346,6 +408,13 @@ impl ReplicationConfig {
     /// Overrides the transfer retry/backoff policy.
     pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
+        self
+    }
+
+    /// Overrides the replication topology (replica count, quorum size,
+    /// fan-out mode and staleness bound).
+    pub fn with_topology(mut self, topology: TopologyConfig) -> Self {
+        self.topology = topology;
         self
     }
 

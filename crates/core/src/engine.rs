@@ -395,6 +395,7 @@ fn run_unprotected(scenario: Scenario) -> RunReport {
         },
         consistency_checks: 0,
         commits: Vec::new(),
+        replica_acks: Vec::new(),
         chaos: None,
         telemetry: None,
         spans: Vec::new(),

@@ -83,23 +83,130 @@ pub struct CommitEntry {
     pub at: SimTime,
 }
 
-/// The authoritative record of fully-acked epochs.
+/// One replica's ack trail, oldest first — every epoch it reported fully
+/// applied, with the (report-relative) arrival instant.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReplicaAcks {
+    /// 0-based replica index within the session's replica set.
+    pub replica: u32,
+    /// The acks this replica delivered, oldest first.
+    pub acks: Vec<CommitEntry>,
+}
+
+/// The authoritative record of quorum-committed epochs.
 ///
-/// An epoch enters the ledger only at *Ack* — after the replica decoded,
+/// An epoch enters the ledger only at *Ack* — after a replica decoded,
 /// validated and installed the whole checkpoint and the ack crossed the
-/// replication link. Failover activation reads
-/// [`CommitLedger::last_committed`], so the replica provably resumes from
-/// the last fully-acked epoch: aborted or in-flight epochs can never leak
+/// replication link. With an N-replica topology the ledger tracks a
+/// per-replica high-water mark and commits an epoch once the configured
+/// quorum of replicas has acked it (the commit watermark is the
+/// quorum-th highest per-replica ack). Failover activation reads
+/// [`CommitLedger::best_replica`] and [`CommitLedger::last_committed`],
+/// so the activated replica provably resumes from the last
+/// quorum-committed epoch: aborted or in-flight epochs can never leak
 /// into a [`FailoverRecord`].
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CommitLedger {
     entries: Vec<CommitEntry>,
+    quorum: u32,
+    last_acked: Vec<Option<u64>>,
+    trails: Vec<Vec<CommitEntry>>,
+}
+
+impl Default for CommitLedger {
+    fn default() -> Self {
+        CommitLedger::new()
+    }
 }
 
 impl CommitLedger {
-    /// An empty ledger.
+    /// An empty single-replica ledger (`N = 1`, quorum 1) — the paper's
+    /// 1→1 pair, where every ack is immediately a commit.
     pub fn new() -> Self {
-        CommitLedger::default()
+        CommitLedger::with_quorum(1, 1)
+    }
+
+    /// An empty ledger for `replicas` replicas committing at `quorum`
+    /// acks (clamped to `[1, replicas]`).
+    pub fn with_quorum(replicas: u32, quorum: u32) -> Self {
+        assert!(replicas >= 1, "a ledger needs at least one replica");
+        CommitLedger {
+            entries: Vec::new(),
+            quorum: quorum.clamp(1, replicas),
+            last_acked: vec![None; replicas as usize],
+            trails: vec![Vec::new(); replicas as usize],
+        }
+    }
+
+    /// Number of replicas this ledger tracks.
+    pub fn replicas(&self) -> u32 {
+        self.last_acked.len() as u32
+    }
+
+    /// Acks required before an epoch commits.
+    pub fn quorum(&self) -> u32 {
+        self.quorum
+    }
+
+    /// Records replica `replica`'s ack of epoch `seq` at instant `at` and
+    /// returns `true` if that ack pushed an epoch over the commit quorum.
+    ///
+    /// Acks are per-replica high-water marks: a catch-up ack of epoch 7
+    /// from a replica last seen at epoch 3 implicitly covers 4–6, and a
+    /// stale or duplicate ack (`seq` at or below the replica's mark) is
+    /// ignored. The committed epoch is the quorum-th highest mark across
+    /// all replicas, so commits skip epochs superseded while a straggler
+    /// caught up — keeping the commit sequence strictly monotone.
+    pub fn ack(&mut self, replica: u32, seq: u64, at: SimTime) -> bool {
+        let r = replica as usize;
+        assert!(
+            r < self.last_acked.len(),
+            "ack from replica {replica} but the ledger tracks {}",
+            self.last_acked.len()
+        );
+        if self.last_acked[r].is_some_and(|prev| prev >= seq) {
+            return false;
+        }
+        self.last_acked[r] = Some(seq);
+        self.trails[r].push(CommitEntry { seq, at });
+        let mut acked: Vec<u64> = self.last_acked.iter().filter_map(|&a| a).collect();
+        if (acked.len() as u32) < self.quorum {
+            return false;
+        }
+        acked.sort_unstable_by(|a, b| b.cmp(a));
+        let watermark = acked[self.quorum as usize - 1];
+        if self.last_committed().is_none_or(|last| watermark > last) {
+            self.record(watermark, at);
+            return true;
+        }
+        false
+    }
+
+    /// The highest epoch `replica` has acked, if it ever acked one.
+    pub fn last_acked(&self, replica: u32) -> Option<u64> {
+        self.last_acked[replica as usize]
+    }
+
+    /// The replica holding the most recent applied state: the highest
+    /// per-replica ack mark, ties broken toward the lowest index. This is
+    /// the failover candidate — its state is at least as fresh as the
+    /// last committed epoch, because the commit watermark never exceeds
+    /// the maximum ack mark.
+    pub fn best_replica(&self) -> u32 {
+        let mut best = 0u32;
+        let mut best_acked = self.last_acked[0];
+        for (i, &acked) in self.last_acked.iter().enumerate().skip(1) {
+            if acked > best_acked {
+                best = i as u32;
+                best_acked = acked;
+            }
+        }
+        best
+    }
+
+    /// Every replica's ack trail, indexed by replica.
+    pub fn ack_trails(&self) -> &[Vec<CommitEntry>] {
+        &self.trails
     }
 
     /// Records a commit, asserting the sequence numbers stay strictly
@@ -145,6 +252,21 @@ impl CommitLedger {
     pub fn into_entries(self) -> Vec<CommitEntry> {
         self.entries
     }
+
+    /// Consumes the ledger into its commit entries and the per-replica
+    /// ack trails.
+    pub fn into_parts(self) -> (Vec<CommitEntry>, Vec<ReplicaAcks>) {
+        let trails = self
+            .trails
+            .into_iter()
+            .enumerate()
+            .map(|(i, acks)| ReplicaAcks {
+                replica: i as u32,
+                acks,
+            })
+            .collect();
+        (self.entries, trails)
+    }
 }
 
 /// What happened when a failover ran.
@@ -159,6 +281,9 @@ pub struct FailoverRecord {
     /// The sequence number of the last committed checkpoint the replica
     /// resumed from.
     pub resumed_from_checkpoint: u64,
+    /// Index of the replica that activated — the one holding the most
+    /// recent committed state at detection time.
+    pub activated_replica: u32,
     /// Output packets discarded with the rolled-back execution.
     pub packets_lost: usize,
     /// Application operations rolled back (done since the last commit).
@@ -276,6 +401,81 @@ mod tests {
     }
 
     #[test]
+    fn quorum_ledger_commits_at_the_quorum_th_ack() {
+        let mut ledger = CommitLedger::with_quorum(3, 2);
+        assert!(!ledger.ack(0, 1, SimTime::from_secs(1)));
+        assert_eq!(ledger.last_committed(), None);
+        assert!(ledger.ack(2, 1, SimTime::from_secs(2)));
+        assert_eq!(ledger.last_committed(), Some(1));
+        // The third ack arrives late and commits nothing new.
+        assert!(!ledger.ack(1, 1, SimTime::from_secs(3)));
+        assert_eq!(ledger.len(), 1);
+        assert_eq!(ledger.last_acked(1), Some(1));
+        assert_eq!(
+            ledger.ack_trails()[2],
+            vec![CommitEntry {
+                seq: 1,
+                at: SimTime::from_secs(2)
+            }]
+        );
+    }
+
+    #[test]
+    fn catch_up_acks_skip_superseded_epochs() {
+        // Replicas 0 and 1 march to epoch 3; replica 2 lags at nothing,
+        // then catches up straight to 3 — epochs 1–2 are superseded and
+        // never enter the commit sequence twice.
+        let mut ledger = CommitLedger::with_quorum(3, 3);
+        for seq in 1..=3 {
+            ledger.ack(0, seq, SimTime::from_secs(seq));
+            ledger.ack(1, seq, SimTime::from_secs(seq));
+        }
+        assert_eq!(ledger.last_committed(), None);
+        assert!(ledger.ack(2, 3, SimTime::from_secs(9)));
+        assert_eq!(ledger.last_committed(), Some(3));
+        assert_eq!(ledger.len(), 1, "superseded epochs commit at most once");
+    }
+
+    #[test]
+    fn duplicate_and_stale_acks_are_ignored() {
+        let mut ledger = CommitLedger::with_quorum(2, 2);
+        assert!(!ledger.ack(0, 5, SimTime::from_secs(1)));
+        assert!(!ledger.ack(0, 5, SimTime::from_secs(2)));
+        assert!(!ledger.ack(0, 3, SimTime::from_secs(3)));
+        assert_eq!(ledger.ack_trails()[0].len(), 1);
+        assert!(ledger.ack(1, 5, SimTime::from_secs(4)));
+        assert_eq!(ledger.last_committed(), Some(5));
+    }
+
+    #[test]
+    fn best_replica_prefers_freshest_then_lowest_index() {
+        let mut ledger = CommitLedger::with_quorum(3, 1);
+        assert_eq!(ledger.best_replica(), 0, "no acks yet: lowest index");
+        ledger.ack(1, 2, SimTime::from_secs(1));
+        assert_eq!(ledger.best_replica(), 1);
+        ledger.ack(2, 2, SimTime::from_secs(2));
+        assert_eq!(ledger.best_replica(), 1, "tie breaks to the lowest");
+        ledger.ack(2, 4, SimTime::from_secs(3));
+        assert_eq!(ledger.best_replica(), 2);
+        // The best replica is never behind the commit watermark.
+        let best = ledger.best_replica();
+        assert!(ledger.last_acked(best) >= ledger.last_committed());
+    }
+
+    #[test]
+    fn into_parts_returns_trails_by_replica() {
+        let mut ledger = CommitLedger::with_quorum(2, 1);
+        ledger.ack(1, 1, SimTime::from_secs(1));
+        ledger.ack(0, 1, SimTime::from_secs(2));
+        let (entries, trails) = ledger.into_parts();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(trails.len(), 2);
+        assert_eq!(trails[0].replica, 0);
+        assert_eq!(trails[1].replica, 1);
+        assert_eq!(trails[1].acks[0].at, SimTime::from_secs(1));
+    }
+
+    #[test]
     #[should_panic(expected = "strictly monotone")]
     fn ledger_rejects_replayed_sequence_numbers() {
         let mut ledger = CommitLedger::new();
@@ -290,6 +490,7 @@ mod tests {
             detected_at: SimTime::from_secs(10) + SimDuration::from_millis(40),
             resumed_at: SimTime::from_secs(10) + SimDuration::from_millis(49),
             resumed_from_checkpoint: 7,
+            activated_replica: 0,
             packets_lost: 3,
             ops_lost: 120.0,
             devices_switched: 3,

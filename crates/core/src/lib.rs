@@ -19,6 +19,8 @@
 //!   primary mid-epoch, replayed byte-identically from the same seed;
 //! - [`engine`]: [`Scenario`](engine::Scenario) — the public API tying the
 //!   whole stack together;
+//! - [`topology`]: the replica-set topology — N heterogeneous replicas
+//!   behind one primary, with quorum commit and at-most-one activation;
 //! - [`session`]: the live session — shared run state and its phase FSM;
 //! - [`migrate`]: the seeding phase (iterative pre-copy live migration);
 //! - [`checkpoint`]: the continuous phase — the epoch loop;
@@ -70,6 +72,7 @@ pub mod pipeline;
 pub mod report;
 pub mod session;
 pub mod telemetry;
+pub mod topology;
 pub mod trace;
 pub mod transfer;
 
@@ -79,7 +82,8 @@ pub use analyze::{
 };
 pub use chaos::{ChaosStats, FaultEvent, FaultKind, FaultPlan};
 pub use config::{
-    CostModel, HeartbeatConfig, PeriodPolicy, ReplicationConfig, RetryPolicy, Strategy,
+    CostModel, FanoutMode, HeartbeatConfig, PeriodPolicy, ReplicationConfig, RetryPolicy, Strategy,
+    TopologyConfig,
 };
 pub use engine::{
     clear_run_observer, set_run_observer, FailureCause, FailurePlan, Scenario, ScenarioBuilder,
@@ -87,7 +91,7 @@ pub use engine::{
 pub use error::{CoreError, CoreResult};
 pub use failover::{
     detection_time, detection_time_with_loss, CommitEntry, CommitLedger, FailoverRecord,
-    STARVATION_DETECTION_FACTOR,
+    ReplicaAcks, STARVATION_DETECTION_FACTOR,
 };
 pub use period::{
     degradation, ClampReason, DynamicPeriodManager, PeriodAction, PeriodDecision, PeriodManager,
@@ -95,4 +99,5 @@ pub use period::{
 pub use pipeline::{HereStrategy, RemusStrategy, ReplicationStrategy};
 pub use report::{CheckpointRecord, MigrationOutcome, RunReport};
 pub use telemetry::{SessionTelemetry, TelemetrySnapshot, FLIGHT_RECORDER_CAPACITY};
+pub use topology::{Replica, ReplicaSet};
 pub use trace::{stage_totals, Stage, StageEvent, StageTrace};

@@ -329,18 +329,26 @@ pub struct Translated<'s> {
 }
 
 impl<'s> Translated<'s> {
-    /// *Transfer*: decode the stream on the replica and install it,
-    /// paying the per-page wire cost. Verifies replica/primary equality
-    /// when the scenario asks for it.
+    /// *Transfer*: fan the encoded stream out across the replica set
+    /// (each replica decodes its own clone over its own link) and install
+    /// it, paying the per-page wire cost — in parallel across links for a
+    /// star fan-out (stage duration is the slowest replica), serially
+    /// along the chain for chained replication (stage duration is the
+    /// sum). Verifies replica/primary equality when the scenario asks for
+    /// it.
     ///
-    /// Under an active fault plane each attempt may be dropped, corrupted
-    /// on the wire, refused by the replica, or sent into a downed link; a
-    /// failed attempt pays the wire timeout plus exponential backoff
-    /// (see [`RetryPolicy`](crate::config::RetryPolicy)) and is retried.
-    /// Exhausting the budget returns [`CoreError::EpochAborted`]: the
-    /// stream is discarded and the epoch loop rolls the pages into the
-    /// next checkpoint. Without a fault plane the single attempt succeeds
-    /// and this stage is byte-identical to the unhardened path.
+    /// Under an active fault plane each per-replica attempt may be
+    /// dropped, corrupted on the wire, refused by the replica, or sent
+    /// into a downed link; a failed attempt pays the wire timeout plus
+    /// exponential backoff (see [`RetryPolicy`](crate::config::RetryPolicy))
+    /// and is retried. A replica that exhausts its budget misses the
+    /// epoch: its pages are queued as catch-up backlog and it converges
+    /// asynchronously. Only when so many replicas miss that a quorum
+    /// cannot apply does the stage return [`CoreError::EpochAborted`]:
+    /// the stream is discarded and the epoch loop rolls the pages into
+    /// the next checkpoint. Without a fault plane the single attempt per
+    /// replica succeeds and, at N = 1, this stage is byte-identical to
+    /// the unhardened path.
     pub(crate) fn transfer(self) -> CoreResult<Transferred<'s>> {
         use crate::chaos::{corrupt_stream, TransferFault};
         let Translated {
@@ -355,92 +363,121 @@ impl<'s> Translated<'s> {
         let wire = session.cfg.costs.checkpoint_wire(pages);
         let policy = session.cfg.retry;
         let max_attempts = policy.max_attempts.max(1);
-        let mut spent = SimDuration::ZERO;
-        let mut attempt = 0u32;
-        // The replica decodes a clone of the scattered segments; once the
-        // apply lands, the clone is dropped and the original's segments
-        // are sole-owner again, so the pool reclaims their allocations.
+        let fanout = session.cfg.topology.fanout;
+        let replica_count = session.replicas.len() as u32;
+        let mut applied: Vec<u32> = Vec::with_capacity(replica_count as usize);
+        let mut spents: Vec<SimDuration> = Vec::with_capacity(replica_count as usize);
+        // Each replica decodes a clone of the scattered segments; once
+        // every apply lands, the clones are dropped and the original's
+        // segments are sole-owner again, so the pool reclaims their
+        // allocations.
         let apply_start = std::time::Instant::now();
-        loop {
-            let fault = session.chaos_transfer_fault(seq, attempt);
-            let failure: Option<&'static str> = match fault {
-                None | Some(TransferFault::Delayed(_)) => {
-                    if !session.repl_link.is_up() {
-                        // The flap is over; the link carries this attempt.
-                        session.repl_link.set_up(true);
+        for replica in 0..replica_count {
+            let mut spent = SimDuration::ZERO;
+            let mut attempt = 0u32;
+            loop {
+                let fault = session.chaos_transfer_fault(seq, replica, attempt);
+                let failure: Option<&'static str> = match fault {
+                    None | Some(TransferFault::Delayed(_)) => {
+                        if !session.replicas.get(replica).link.is_up() {
+                            // The flap is over; the link carries this
+                            // attempt.
+                            session.replicas.get_mut(replica).link.set_up(true);
+                        }
+                        session.apply_checkpoint(stream.clone(), seq, replica)?;
+                        if let Some(TransferFault::Delayed(by)) = fault {
+                            spent = spent.saturating_add(by);
+                        }
+                        None
                     }
-                    session.apply_checkpoint(stream.clone(), seq)?;
-                    if let Some(TransferFault::Delayed(by)) = fault {
-                        spent = spent.saturating_add(by);
+                    Some(TransferFault::LinkDown) => {
+                        session.replicas.get_mut(replica).link.set_up(false);
+                        Some("link_down")
                     }
-                    None
-                }
-                Some(TransferFault::LinkDown) => {
-                    session.repl_link.set_up(false);
-                    Some("link_down")
-                }
-                Some(TransferFault::Dropped) => Some("dropped"),
-                Some(TransferFault::DecodeRefused) => Some("decode_refused"),
-                Some(TransferFault::Corrupted {
-                    segment_salt,
-                    byte_salt,
-                }) => {
-                    let corrupted = corrupt_stream(&stream, segment_salt, byte_salt);
-                    match session.apply_checkpoint(corrupted, seq) {
-                        // The decoder's frame checksums (or the trailer
-                        // cross-check) reject the flipped byte — and the
-                        // two-phase apply guarantees nothing partial was
-                        // installed.
-                        Err(_) => Some("corrupt_frame"),
-                        // Unreachable with checksummed framing; treat a
-                        // surviving flip as a delivered attempt.
-                        Ok(()) => None,
+                    Some(TransferFault::Dropped) => Some("dropped"),
+                    Some(TransferFault::DecodeRefused) => Some("decode_refused"),
+                    Some(TransferFault::Corrupted {
+                        segment_salt,
+                        byte_salt,
+                    }) => {
+                        let corrupted = corrupt_stream(&stream, segment_salt, byte_salt);
+                        match session.apply_checkpoint(corrupted, seq, replica) {
+                            // The decoder's frame checksums (or the trailer
+                            // cross-check) reject the flipped byte — and the
+                            // two-phase apply guarantees nothing partial was
+                            // installed.
+                            Err(_) => Some("corrupt_frame"),
+                            // Unreachable with checksummed framing; treat a
+                            // surviving flip as a delivered attempt.
+                            Ok(()) => None,
+                        }
                     }
-                }
-            };
-            match failure {
-                None => {
-                    spent = spent.saturating_add(wire);
-                    if attempt > 0 {
-                        session.note_transfer_recovery(seq, attempt);
+                };
+                match failure {
+                    None => {
+                        spent = spent.saturating_add(wire);
+                        if attempt > 0 {
+                            session.note_transfer_recovery(seq, attempt);
+                        }
+                        applied.push(replica);
+                        break;
                     }
-                    break;
-                }
-                Some(reason) => {
-                    // The failed attempt still occupied the wire for its
-                    // timeout window.
-                    spent = spent.saturating_add(wire);
-                    attempt += 1;
-                    if attempt >= max_attempts {
-                        session.repl_link.set_up(true);
-                        session.recycle_stream(stream);
-                        let wall = apply_start.elapsed().as_nanos() as u64;
-                        let at = session.clock;
-                        session.record_stage(
-                            seq,
-                            Stage::Transfer,
-                            at,
-                            spent,
-                            Some(wall),
-                            pages,
-                            bytes,
-                        );
-                        session.clock += spent;
-                        return Err(crate::error::CoreError::EpochAborted {
-                            seq,
-                            attempts: attempt,
-                        });
+                    Some(reason) => {
+                        // The failed attempt still occupied the wire for
+                        // its timeout window.
+                        spent = spent.saturating_add(wire);
+                        attempt += 1;
+                        if attempt >= max_attempts {
+                            session.replicas.get_mut(replica).link.set_up(true);
+                            break;
+                        }
+                        let backoff = policy.backoff_after(attempt - 1);
+                        spent = spent.saturating_add(backoff);
+                        session.note_transfer_retry(seq, attempt, reason, backoff);
                     }
-                    let backoff = policy.backoff_after(attempt - 1);
-                    spent = spent.saturating_add(backoff);
-                    session.note_transfer_retry(seq, attempt, reason, backoff);
                 }
             }
+            spents.push(spent);
         }
+        // Star links run concurrently; a chain forwards hop by hop.
+        let spent = match fanout {
+            crate::config::FanoutMode::Star => {
+                spents.iter().copied().max().unwrap_or(SimDuration::ZERO)
+            }
+            crate::config::FanoutMode::Chain => spents
+                .iter()
+                .fold(SimDuration::ZERO, |acc, &s| acc.saturating_add(s)),
+        };
         let wall = apply_start.elapsed().as_nanos() as u64;
+        let quorum = session.ledger.quorum() as usize;
+        if applied.len() < quorum {
+            // Not enough replicas hold the epoch for it to ever commit:
+            // abort it wholesale, exactly like a single exhausted pair.
+            session.recycle_stream(stream);
+            let at = session.clock;
+            session.record_stage(seq, Stage::Transfer, at, spent, Some(wall), pages, bytes);
+            session.clock += spent;
+            return Err(crate::error::CoreError::EpochAborted {
+                seq,
+                attempts: max_attempts,
+            });
+        }
+        // Replicas that missed the epoch catch up asynchronously: the
+        // pages they missed ride their backlog into the next apply.
+        if applied.len() < replica_count as usize {
+            let delta = std::mem::take(&mut session.pools.delta);
+            for replica in 0..replica_count {
+                if !applied.contains(&replica) {
+                    session.note_replica_backlog(replica, &delta);
+                }
+            }
+            session.pools.delta = delta;
+        }
         if session.verify_consistency {
-            session.assert_replica_matches_primary(seq)?;
-            session.consistency_checks += 1;
+            for &replica in &applied {
+                session.assert_replica_matches_primary(seq, replica)?;
+                session.consistency_checks += 1;
+            }
         }
         session.recycle_stream(stream);
         let at = session.clock;
@@ -452,34 +489,70 @@ impl<'s> Translated<'s> {
             seq,
             pause,
             pages,
+            applied,
         })
     }
 }
 
-/// Stage token: the replica holds the checkpoint; the ack is outstanding.
+/// Stage token: a quorum of replicas holds the checkpoint; their acks
+/// are outstanding.
 pub struct Transferred<'s> {
     session: &'s mut Session,
     seq: u64,
     pause: SimDuration,
     pages: u64,
+    /// Replicas that fully applied this epoch, in index order.
+    applied: Vec<u32>,
 }
 
 impl<'s> Transferred<'s> {
-    /// *Ack*: one replication-link RTT, then commit — buffered output is
-    /// released to the client. The ack overlaps the resume path, so it
-    /// does not count toward the VM-visible pause.
+    /// *Ack*: every replica that applied the epoch acks it back across
+    /// its link — one RTT on a star fan-out, the prefix of chain RTTs on
+    /// chained replication. The stage lasts until the quorum-th ack
+    /// lands; that ack drives the commit (buffered output is released to
+    /// the client), and later acks are per-replica catch-up bookkeeping.
+    /// The acks overlap the resume path, so they do not count toward the
+    /// VM-visible pause.
     pub(crate) fn ack(self) -> Acked<'s> {
         let Transferred {
             session,
             seq,
             pause,
             pages,
+            applied,
         } = self;
-        let rtt = session.repl_link.rtt();
+        let fanout = session.cfg.topology.fanout;
+        let mut arrivals: Vec<(SimDuration, u32)> = applied
+            .iter()
+            .map(|&replica| {
+                let rtt = match fanout {
+                    crate::config::FanoutMode::Star => session.replicas.get(replica).link.rtt(),
+                    // The ack hops back along every chain link up to and
+                    // including the replica's own.
+                    crate::config::FanoutMode::Chain => (0..=replica)
+                        .fold(SimDuration::ZERO, |acc, hop| {
+                            acc.saturating_add(session.replicas.get(hop).link.rtt())
+                        }),
+                };
+                (rtt, replica)
+            })
+            .collect();
+        // Stable by arrival time: equal RTTs ack in index order.
+        arrivals.sort_by_key(|&(rtt, _)| rtt);
+        let quorum = (session.ledger.quorum() as usize).clamp(1, arrivals.len().max(1));
+        let stage = arrivals
+            .get(quorum - 1)
+            .map_or(SimDuration::ZERO, |&(rtt, _)| rtt);
         let at = session.clock;
-        session.record_stage(seq, Stage::Ack, at, rtt, None, 0, 0);
-        session.clock += rtt;
-        session.commit(seq);
+        session.record_stage(seq, Stage::Ack, at, stage, None, 0, 0);
+        session.clock += stage;
+        for &(rtt, replica) in &arrivals {
+            let acked_at = session.rel(at + rtt);
+            if session.ledger.ack(replica, seq, acked_at) {
+                session.on_epoch_committed(seq);
+            }
+        }
+        session.update_staleness(seq);
         Acked {
             session,
             seq,

@@ -13,7 +13,7 @@ use here_sim_core::rate::ByteSize;
 use here_sim_core::time::{SimDuration, SimTime};
 
 use crate::chaos::ChaosStats;
-use crate::failover::{CommitEntry, FailoverRecord};
+use crate::failover::{CommitEntry, FailoverRecord, ReplicaAcks};
 use crate::period::{degradation, PeriodDecision};
 use crate::telemetry::TelemetrySnapshot;
 use crate::trace::{Stage, StageEvent};
@@ -165,6 +165,11 @@ pub struct RunReport {
     /// failover's `resumed_from_checkpoint` always equals the last entry's
     /// sequence number at the time of failure. Empty for unprotected runs.
     pub commits: Vec<CommitEntry>,
+    /// Per-replica ack trails: every epoch each replica acknowledged, in
+    /// ack order, one entry per replica in index order. The quorum view
+    /// in `commits` is derived from these; the per-replica staleness
+    /// accessors read them directly. Empty for unprotected runs.
+    pub replica_acks: Vec<ReplicaAcks>,
     /// Fault-plane statistics: injections, transfer retries, recoveries
     /// and epoch aborts. `None` when no fault plan was armed.
     pub chaos: Option<ChaosStats>,
@@ -219,22 +224,66 @@ impl RunReport {
         crate::trace::stage_totals(&self.stage_events)
     }
 
-    /// The worst client-visible staleness window the replica could have
-    /// served after a failover: the largest gap between consecutive
-    /// commits (including run start → first commit and last commit → run
-    /// end). `None` when no epoch committed.
+    /// The worst client-visible staleness window a *quorum-committed*
+    /// failover could have served: the largest gap between consecutive
+    /// ledger commits (including run start → first commit and last commit
+    /// → run end). `None` when no epoch committed. For the window a
+    /// specific replica would have served, use
+    /// [`RunReport::replica_staleness`]; the set-wide worst case is
+    /// [`RunReport::stalest_replica`].
     pub fn worst_staleness(&self) -> Option<SimDuration> {
-        if self.commits.is_empty() {
-            return None;
-        }
+        Self::worst_gap(self.commits.iter().map(|c| c.at), self.elapsed)
+    }
+
+    /// Largest gap between consecutive instants of `series` (including
+    /// run start → first and last → run end). `None` for an empty series.
+    fn worst_gap(
+        series: impl Iterator<Item = SimTime>,
+        elapsed: SimDuration,
+    ) -> Option<SimDuration> {
         let mut worst = SimDuration::ZERO;
         let mut prev = SimTime::ZERO;
-        for c in &self.commits {
-            worst = worst.max(c.at.saturating_duration_since(prev));
-            prev = c.at;
+        let mut any = false;
+        for at in series {
+            worst = worst.max(at.saturating_duration_since(prev));
+            prev = at;
+            any = true;
         }
-        let end = SimTime::ZERO + self.elapsed;
+        if !any {
+            return None;
+        }
+        let end = SimTime::ZERO + elapsed;
         Some(worst.max(end.saturating_duration_since(prev)))
+    }
+
+    /// The worst staleness window replica `replica` itself could have
+    /// served after a failover: the largest gap between its consecutive
+    /// acks (including run start → first ack and last ack → run end).
+    /// A replica that never acked anything was stale for the whole run.
+    /// `None` when the run recorded no trail for `replica`.
+    pub fn replica_staleness(&self, replica: u32) -> Option<SimDuration> {
+        let trail = self.replica_acks.iter().find(|t| t.replica == replica)?;
+        if trail.acks.is_empty() {
+            return Some(self.elapsed);
+        }
+        Self::worst_gap(trail.acks.iter().map(|c| c.at), self.elapsed)
+    }
+
+    /// The replica with the worst per-replica staleness window, with that
+    /// window — the set's weakest failover target. Ties resolve to the
+    /// lowest index. `None` when no replica acked anything.
+    pub fn stalest_replica(&self) -> Option<(u32, SimDuration)> {
+        let mut worst: Option<(u32, SimDuration)> = None;
+        for trail in &self.replica_acks {
+            let Some(window) = self.replica_staleness(trail.replica) else {
+                continue;
+            };
+            let beats = worst.is_none_or(|(_, w)| window > w);
+            if beats {
+                worst = Some((trail.replica, window));
+            }
+        }
+        worst
     }
 
     /// FNV-1a digest over every *virtual-time* field of the report — name,
@@ -356,6 +405,7 @@ mod tests {
                     at: SimTime::from_secs(7),
                 },
             ],
+            replica_acks: Vec::new(),
             chaos: None,
             telemetry: None,
             spans: Vec::new(),
@@ -372,6 +422,71 @@ mod tests {
         let mut other = report.clone();
         other.commits[1].seq = 3;
         assert_ne!(report.fingerprint(), other.fingerprint());
+        // Per-replica trails do not enter the fingerprint (they are
+        // derived bookkeeping, like telemetry) — N = 1 runs stay
+        // bit-compatible with pre-topology baselines.
+        let mut with_trails = report.clone();
+        with_trails.replica_acks = vec![ReplicaAcks {
+            replica: 0,
+            acks: report.commits.clone(),
+        }];
+        assert_eq!(report.fingerprint(), with_trails.fingerprint());
+    }
+
+    #[test]
+    fn per_replica_staleness_finds_the_stalest_replica() {
+        let at = |s: u64| SimTime::from_secs(s);
+        let entry = |seq: u64, s: u64| CommitEntry { seq, at: at(s) };
+        let mut report = RunReport {
+            name: "stale".into(),
+            elapsed: SimDuration::from_secs(10),
+            ops_completed: 0.0,
+            throughput_ops_per_sec: 0.0,
+            migration: None,
+            checkpoints: vec![],
+            stage_events: Vec::new(),
+            period_decisions: Vec::new(),
+            period_series: TimeSeries::new("period"),
+            degradation_series: TimeSeries::new("deg"),
+            packet_latencies: Histogram::new(),
+            failover: None,
+            resources: ResourceUsage {
+                cpu_core_pct: 0.0,
+                rss: ByteSize::ZERO,
+            },
+            consistency_checks: 0,
+            commits: vec![entry(1, 2), entry(2, 4), entry(3, 6)],
+            replica_acks: vec![
+                ReplicaAcks {
+                    replica: 0,
+                    acks: vec![entry(1, 2), entry(2, 4), entry(3, 6)],
+                },
+                // Replica 1 missed epoch 2 and caught up late: its worst
+                // window is 1 s → 8 s.
+                ReplicaAcks {
+                    replica: 1,
+                    acks: vec![entry(1, 1), entry(3, 8)],
+                },
+            ],
+            chaos: None,
+            telemetry: None,
+            spans: Vec::new(),
+        };
+        assert_eq!(report.replica_staleness(0), Some(SimDuration::from_secs(4)));
+        assert_eq!(report.replica_staleness(1), Some(SimDuration::from_secs(7)));
+        assert_eq!(report.replica_staleness(2), None);
+        assert_eq!(
+            report.stalest_replica(),
+            Some((1, SimDuration::from_secs(7)))
+        );
+        // A replica that never acked was stale for the entire run and
+        // dominates the set.
+        report.replica_acks.push(ReplicaAcks {
+            replica: 2,
+            acks: Vec::new(),
+        });
+        assert_eq!(report.replica_staleness(2), Some(report.elapsed));
+        assert_eq!(report.stalest_replica(), Some((2, report.elapsed)));
     }
 
     #[test]
@@ -395,6 +510,7 @@ mod tests {
             },
             consistency_checks: 0,
             commits: Vec::new(),
+            replica_acks: Vec::new(),
             chaos: None,
             telemetry: None,
             spans: Vec::new(),

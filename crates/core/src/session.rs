@@ -1,8 +1,9 @@
 //! The live replication session: shared mutable state, its lifecycle FSM,
 //! and the data-plane primitives the pipeline stages call.
 //!
-//! A [`Session`] owns both hosts, the protected VM and its replica, the
-//! links, the workload, and all run accounting. It moves through
+//! A [`Session`] owns the primary host, the protected VM and its
+//! [`ReplicaSet`], the links, the workload, and all run accounting. It
+//! moves through
 //! [`SessionPhase`]s — created → seeding → replicating →
 //! (failed-over) → completed — and every transition is asserted, so the
 //! seeding code cannot run twice and nothing checkpoints before the seed.
@@ -43,6 +44,7 @@ use crate::period::{PeriodDecision, PeriodManager};
 use crate::pipeline::ReplicationStrategy;
 use crate::report::CheckpointRecord;
 use crate::telemetry::SessionTelemetry;
+use crate::topology::{make_replica_hosts, Replica, ReplicaSet};
 use crate::trace::{Stage, StageEvent, StageTrace};
 
 /// Host memory given to each simulated server (the testbed's 192 GB).
@@ -106,16 +108,17 @@ pub(crate) struct Session {
     pub(crate) clock: SimTime,
     pub(crate) rng: SimRng,
     pub(crate) primary: Box<dyn Hypervisor>,
-    pub(crate) secondary: Box<dyn Hypervisor>,
+    /// The N-replica topology; replica 0 is the canonical secondary.
+    pub(crate) replicas: ReplicaSet,
     pub(crate) pvm: VmId,
-    pub(crate) rvm: VmId,
+    /// Encode-side translator (primary native → common format); each
+    /// replica carries its own failover translator.
     pub(crate) translator: Option<StateTranslator>,
     pub(crate) cfg: ReplicationConfig,
     pub(crate) strategy: &'static dyn ReplicationStrategy,
     pub(crate) threads: u32,
     pub(crate) period: PeriodManager,
     pub(crate) devmgr: DeviceManager,
-    pub(crate) repl_link: Link,
     pub(crate) client_link: Link,
     pub(crate) workload: Box<dyn Workload>,
     pub(crate) idle_filler: IdleGuest,
@@ -155,10 +158,11 @@ pub(crate) struct Session {
 }
 
 impl Session {
-    /// Builds the full replicated stack: a Xen primary, the strategy's
-    /// secondary (plus translator for heterogeneous pairs), the protected
-    /// VM booted with the reconciled CPUID contract (§5.3), and its
-    /// never-run replica shell.
+    /// Builds the full replicated stack: a Xen primary, the configured
+    /// [`ReplicaSet`] (replica 0 is the strategy's canonical secondary,
+    /// with translators for heterogeneous members), the protected VM
+    /// booted with the CPUID contract reconciled across *every* host
+    /// (§5.3), and one never-run replica shell per replica.
     pub(crate) fn new(setup: SessionSetup) -> CoreResult<Session> {
         let SessionSetup {
             name,
@@ -174,18 +178,31 @@ impl Session {
         let strategy = crate::pipeline::runtime(cfg.strategy);
 
         // Hosts: HERE pairs Xen with KVM/kvmtool; Remus pairs Xen with Xen.
+        // Beyond replica 0 the topology alternates families (HERE) or
+        // stays homogeneous (Remus).
         let mut primary: Box<dyn Hypervisor> = Box::new(XenHypervisor::new(HOST_MEMORY));
-        let (mut secondary, translator) = strategy.make_secondary(HOST_MEMORY)?;
+        let hosts = make_replica_hosts(strategy, HOST_MEMORY, cfg.topology.replicas.max(1))?;
+        // The encode side always translates to the common format keyed by
+        // the canonical secondary; each replica re-encodes natively.
+        let translator = hosts[0].1;
 
         // Platform reconciliation (§5.3): the VM boots with the
-        // intersection of both hosts' CPUID policies, so it can resume
-        // anywhere.
-        let contract = reconcile(&primary.default_cpuid(), &secondary.default_cpuid());
+        // intersection of *every* host's CPUID policy, so it can resume
+        // anywhere in the set.
+        let mut cpuid = primary.default_cpuid();
+        for (host, _) in &hosts {
+            cpuid = reconcile(&cpuid, &host.default_cpuid()).cpuid;
+        }
         let vm_cfg = VmConfig::new(name.clone(), memory, vcpus)
             .map_err(CoreError::Hypervisor)?
-            .with_cpuid(contract.cpuid);
+            .with_cpuid(cpuid);
         let pvm = primary.create_vm(vm_cfg.clone())?;
-        let rvm = secondary.create_shell(vm_cfg)?;
+        let mut members = Vec::with_capacity(hosts.len());
+        for (index, (mut host, failover_translator)) in hosts.into_iter().enumerate() {
+            let vm = host.create_shell(vm_cfg.clone())?;
+            members.push(Replica::new(index as u32, host, vm, failover_translator));
+        }
+        let replicas = ReplicaSet::from_replicas(members);
         primary.vm_mut(pvm)?.dirty_mut().enable_logging();
 
         let threads = cfg.effective_threads(vcpus);
@@ -196,14 +213,12 @@ impl Session {
             clock: SimTime::ZERO,
             rng: SimRng::seed_from(seed).fork("workload"),
             primary,
-            secondary,
+            replicas,
             pvm,
-            rvm,
             translator,
             threads,
             period,
             devmgr: DeviceManager::new(),
-            repl_link: Link::omni_path_100g(),
             client_link: Link::ethernet_10g(),
             workload,
             idle_filler: IdleGuest::new(),
@@ -217,7 +232,10 @@ impl Session {
             pools: CheckpointPools::new(),
             chaos: chaos.map(ChaosState::new),
             seq: 0,
-            ledger: CommitLedger::new(),
+            ledger: CommitLedger::with_quorum(
+                cfg.topology.replicas.max(1),
+                cfg.topology.effective_quorum(),
+            ),
             ops_committed: 0.0,
             ops_uncommitted: 0.0,
             disturbance_debt: SimDuration::ZERO,
@@ -336,17 +354,24 @@ impl Session {
                 }
             }
             Stage::Transfer => {
-                // The replica decodes and installs the stream inside the
-                // Transfer window, on its own host: linked by epoch id.
-                let mut replica = SpanDraft::new("decode_restore", "wire", Track::Replica, start)
-                    .lasting(event.duration.as_nanos())
-                    .epoch(event.seq)
-                    .attr_u64("pages", event.pages)
-                    .attr_u64("bytes", event.bytes);
-                if let Some(wall) = event.wall_nanos {
-                    replica = replica.wall(wall);
+                // Each replica decodes and installs its copy of the stream
+                // inside the Transfer window, on its own host and track:
+                // linked by epoch id, not by parent.
+                for index in 0..self.replicas.len() as u32 {
+                    let mut replica =
+                        SpanDraft::new("decode_restore", "wire", Track::Replica(index), start)
+                            .lasting(event.duration.as_nanos())
+                            .epoch(event.seq)
+                            .attr_u64("pages", event.pages)
+                            .attr_u64("bytes", event.bytes);
+                    if index > 0 {
+                        replica = replica.attr_u64("replica", u64::from(index));
+                    }
+                    if let Some(wall) = event.wall_nanos {
+                        replica = replica.wall(wall);
+                    }
+                    self.spans.push(replica);
                 }
-                self.spans.push(replica);
             }
             Stage::Resume => {
                 if let Some(root) = self.epoch_span.take() {
@@ -503,42 +528,59 @@ impl Session {
         Ok(stream)
     }
 
-    /// Decodes a checkpoint stream and installs it on the replica — the
-    /// *receive side*: pages land in replica memory, vCPU state is
-    /// re-encoded in the secondary's native format, and the page count is
+    /// Decodes a checkpoint stream and installs it on one replica — the
+    /// *receive side*: pages land in that replica's memory, vCPU state is
+    /// re-encoded in its host's native format, and the page count is
     /// cross-checked against the stream trailer.
     ///
     /// The apply is **two-phase**: the whole stream is decoded and
-    /// validated into a staging buffer first (frame checksums, trailer
-    /// cross-check, trailer presence), and only then installed. A torn,
-    /// truncated or corrupted stream therefore can never leave a partial
-    /// epoch on the replica — the previous committed epoch stays
-    /// authoritative, which is the invariant the epoch-abort path and
-    /// failover activation rely on.
-    pub(crate) fn apply_checkpoint(&mut self, stream: ScatterStream, seq: u64) -> CoreResult<()> {
+    /// validated into the replica's own staging buffer first (frame
+    /// checksums, trailer cross-check, trailer presence), and only then
+    /// installed. A torn, truncated or corrupted stream therefore can
+    /// never leave a partial epoch on the replica — the previous committed
+    /// epoch stays authoritative, which is the invariant the epoch-abort
+    /// path and failover activation rely on.
+    ///
+    /// A successful apply first drains the replica's catch-up backlog
+    /// (pages it missed while its link misbehaved), then installs the
+    /// staged epoch, so the newest version always wins on overlap.
+    pub(crate) fn apply_checkpoint(
+        &mut self,
+        stream: ScatterStream,
+        seq: u64,
+        replica: u32,
+    ) -> CoreResult<()> {
         // Phase 1: decode + validate, touching nothing of the replica.
-        let mut staged = std::mem::take(&mut self.pools.apply);
+        let kind = self.replicas.get(replica).kind();
+        let member = self.replicas.get_mut(replica);
+        let mut staged = std::mem::take(&mut member.pools.apply);
         staged.clear();
         let mut vcpus: Vec<(u32, VcpuStateBlob)> = Vec::new();
-        let validated =
-            Self::decode_checkpoint(stream, self.secondary.kind(), &mut staged, &mut vcpus, seq);
+        let validated = Self::decode_checkpoint(stream, kind, &mut staged, &mut vcpus, seq);
         if let Err(e) = validated {
             staged.clear();
-            self.pools.apply = staged;
+            self.replicas.get_mut(replica).pools.apply = staged;
             return Err(e);
         }
 
-        // Phase 2: install the fully validated epoch.
-        let replica = self.secondary.vm_mut(self.rvm)?;
+        // Phase 2: install the fully validated epoch — backlog first, so
+        // the staged (newer) versions win on overlap.
+        let member = self.replicas.get_mut(replica);
+        let backlog = std::mem::take(&mut member.backlog);
+        let vm = member.host.vm_mut(member.vm)?;
+        for &(page, rec) in backlog.entries() {
+            vm.memory_mut().install_page(page, rec)?;
+        }
         for &(page, rec) in &staged {
-            replica.memory_mut().install_page(page, rec)?;
+            vm.memory_mut().install_page(page, rec)?;
         }
         for (index, blob) in vcpus {
-            self.secondary
-                .set_vcpu_state(self.rvm, VcpuId::new(index), blob)?;
+            member
+                .host
+                .set_vcpu_state(member.vm, VcpuId::new(index), blob)?;
         }
         staged.clear();
-        self.pools.apply = staged;
+        member.pools.apply = staged;
         Ok(())
     }
 
@@ -603,12 +645,14 @@ impl Session {
     }
 
     /// Ships a delta plus vCPU/device state through the wire codec and
-    /// installs it on the replica (encode + apply in one step — the
-    /// seeding migration's stop-and-copy uses this; the continuous phase
-    /// splits it across the Translate and Transfer stages).
+    /// installs it on **every** replica (encode once + apply per replica —
+    /// the seeding migration's stop-and-copy uses this; the continuous
+    /// phase splits it across the Translate and Transfer stages).
     pub(crate) fn ship_checkpoint(&mut self, delta: &MemoryDelta, seq: u64) -> CoreResult<()> {
         let stream = self.encode_checkpoint(delta, seq)?;
-        self.apply_checkpoint(stream.clone(), seq)?;
+        for replica in 0..self.replicas.len() as u32 {
+            self.apply_checkpoint(stream.clone(), seq, replica)?;
+        }
         self.recycle_stream(stream);
         Ok(())
     }
@@ -623,10 +667,12 @@ impl Session {
         }
     }
 
-    /// Commits checkpoint `seq`: appends it to the commit ledger, releases
-    /// buffered output at the commit instant and records client latencies.
-    pub(crate) fn commit(&mut self, seq: u64) {
-        self.ledger.record(seq, self.rel(self.clock));
+    /// Runs the commit side effects once the ledger declared epoch `seq`
+    /// committed (a quorum of replicas fully applied it): releases
+    /// buffered output at the commit instant and records client
+    /// latencies. The ledger entry itself is appended by
+    /// [`CommitLedger::ack`] as the quorum-th ack lands.
+    pub(crate) fn on_epoch_committed(&mut self, _seq: u64) {
         for released in self.devmgr.on_commit(self.clock) {
             let latency = released.buffering_delay()
                 + self.client_link.transfer_time(released.packet.size) * 2
@@ -642,21 +688,63 @@ impl Session {
         );
     }
 
-    /// Verifies that the replica is an exact copy of the paused primary:
-    /// every page version identical, every vCPU architecturally equal.
-    pub(crate) fn assert_replica_matches_primary(&self, seq: u64) -> CoreResult<()> {
+    /// Queues the pages of epoch `seq`'s delta as catch-up backlog for a
+    /// replica whose transfer failed this epoch: they are installed
+    /// (oldest first, newest version winning) on its next successful
+    /// apply, so a slow replica converges asynchronously instead of
+    /// blocking the quorum.
+    pub(crate) fn note_replica_backlog(&mut self, replica: u32, delta: &MemoryDelta) {
+        self.replicas.get_mut(replica).backlog.merge(delta.clone());
+    }
+
+    /// Re-evaluates every replica's staleness after epoch `seq`'s acks
+    /// landed: a replica trailing the newest acked epoch by more than the
+    /// configured lag bound is declared stale (once, on the flight
+    /// recorder); it is cleared when it catches back up. Single-replica
+    /// topologies have no lag by construction and skip the scan.
+    pub(crate) fn update_staleness(&mut self, seq: u64) {
+        if self.replicas.len() < 2 {
+            return;
+        }
+        let bound = self.cfg.topology.stale_epoch_lag;
+        let at_nanos = self.rel(self.clock).as_nanos();
+        for index in 0..self.replicas.len() as u32 {
+            let lag = seq.saturating_sub(self.ledger.last_acked(index).unwrap_or(0));
+            let member = self.replicas.get_mut(index);
+            if lag > bound {
+                if !member.stale {
+                    member.stale = true;
+                    self.telemetry.on_replica_stale(index, lag, at_nanos);
+                }
+            } else {
+                member.stale = false;
+            }
+        }
+    }
+
+    /// Mutable access to the activated replica's host hypervisor (valid
+    /// only after failover latched one).
+    pub(crate) fn active_replica_host_mut(&mut self) -> &mut dyn Hypervisor {
+        self.replicas.active_mut().host.as_mut()
+    }
+
+    /// Verifies that replica `replica` is an exact copy of the paused
+    /// primary: every page version identical, every vCPU architecturally
+    /// equal.
+    pub(crate) fn assert_replica_matches_primary(&self, seq: u64, replica: u32) -> CoreResult<()> {
         let primary = self.primary.vm(self.pvm)?;
-        let replica = self.secondary.vm(self.rvm)?;
-        if !primary.memory().content_equals(replica.memory()) {
-            let diff = primary.memory().diff(replica.memory(), 4);
+        let member = self.replicas.get(replica);
+        let rvm = member.host.vm(member.vm)?;
+        if !primary.memory().content_equals(rvm.memory()) {
+            let diff = primary.memory().diff(rvm.memory(), 4);
             return Err(CoreError::InvalidScenario(format!(
-                "checkpoint {seq}: replica memory diverged at frames {diff:?}"
+                "checkpoint {seq}: replica {replica} memory diverged at frames {diff:?}"
             )));
         }
-        for (p, r) in primary.vcpus().iter().zip(replica.vcpus()) {
+        for (p, r) in primary.vcpus().iter().zip(rvm.vcpus()) {
             if p.regs.digest() != r.regs.digest() {
                 return Err(CoreError::InvalidScenario(format!(
-                    "checkpoint {seq}: vCPU {} state diverged",
+                    "checkpoint {seq}: replica {replica} vCPU {} state diverged",
                     p.id.index()
                 )));
             }
@@ -674,11 +762,14 @@ impl Session {
         Ok(delta)
     }
 
-    /// Installs a pre-copy round's delta directly into replica memory.
+    /// Installs a pre-copy round's delta directly into every replica's
+    /// memory.
     pub(crate) fn install_delta(&mut self, delta: &MemoryDelta, _iter: u32) -> CoreResult<()> {
-        let replica = self.secondary.vm_mut(self.rvm)?;
-        for &(page, rec) in delta.entries() {
-            replica.memory_mut().install_page(page, rec)?;
+        for member in self.replicas.iter_mut() {
+            let vm = member.host.vm_mut(member.vm)?;
+            for &(page, rec) in delta.entries() {
+                vm.memory_mut().install_page(page, rec)?;
+            }
         }
         Ok(())
     }
@@ -703,16 +794,23 @@ impl Session {
     }
 
     /// Asks the fault plane what happens to transfer attempt `attempt` of
-    /// epoch `seq`, recording any injected fault on the flight recorder.
-    pub(crate) fn chaos_transfer_fault(&mut self, seq: u64, attempt: u32) -> Option<TransferFault> {
-        let fault = self.chaos.as_mut()?.transfer_fault(seq, attempt)?;
+    /// epoch `seq` toward replica `replica`, recording any injected fault
+    /// on the flight recorder.
+    pub(crate) fn chaos_transfer_fault(
+        &mut self,
+        seq: u64,
+        replica: u32,
+        attempt: u32,
+    ) -> Option<TransferFault> {
+        let fault = self.chaos.as_mut()?.transfer_fault(seq, replica, attempt)?;
         let at_nanos = self.rel(self.clock).as_nanos();
-        self.telemetry.on_fault(
-            fault.reason(),
-            false,
-            format!("checkpoint {seq} transfer attempt {attempt}"),
-            at_nanos,
-        );
+        let message = if replica == 0 {
+            format!("checkpoint {seq} transfer attempt {attempt}")
+        } else {
+            format!("checkpoint {seq} transfer attempt {attempt} replica {replica}")
+        };
+        self.telemetry
+            .on_fault(fault.reason(), false, message, at_nanos);
         Some(fault)
     }
 
@@ -784,8 +882,8 @@ impl Session {
         Ok(())
     }
 
-    /// Handles a primary-host failure: detect, discard, switch devices,
-    /// activate.
+    /// Handles a primary-host failure: detect, discard, pick the replica
+    /// with the most recent committed state, switch devices, activate.
     pub(crate) fn failover(&mut self, failed_at: SimTime) -> CoreResult<FailoverRecord> {
         self.enter_phase(SessionPhase::FailedOver);
         // A failure mid-epoch leaves the epoch root span open; close it at
@@ -807,16 +905,27 @@ impl Session {
         let ops_lost = self.ops_uncommitted;
         self.ops_uncommitted = 0.0;
 
-        let switch = {
-            let replica = self.secondary.vm_mut(self.rvm)?;
-            self.devmgr
-                .switch_devices(replica, self.translator.as_ref())
+        // Activate the replica holding the freshest *committed* state —
+        // the ledger tracks per-replica acks, so a stale or partitioned
+        // replica can never win over one that kept up. The set's
+        // activation latch asserts at most one replica ever activates.
+        let best = self.ledger.best_replica();
+        self.replicas.activate(best);
+        let (switch, activation, family_kind) = {
+            let member = self.replicas.active_mut();
+            let translator = member.translator;
+            let vm = member.host.vm_mut(member.vm)?;
+            let switch = self.devmgr.switch_devices(vm, translator.as_ref());
+            let activation = member.host.activation_latency()
+                + self.cfg.costs.device_switch
+                + self.cfg.costs.state_load;
+            (switch, activation, member.host.kind())
         };
-        let activation = self.secondary.activation_latency()
-            + self.cfg.costs.device_switch
-            + self.cfg.costs.state_load;
         self.clock += activation;
-        self.secondary.vm_mut(self.rvm)?.activate()?;
+        {
+            let member = self.replicas.active_mut();
+            member.host.vm_mut(member.vm)?.activate()?;
+        }
         let record = FailoverRecord {
             failed_at: self.rel(failed_at),
             detected_at: self.rel(detected_at),
@@ -825,12 +934,13 @@ impl Session {
             // ledger is appended only at Ack, so an in-flight or aborted
             // epoch (whose seq is already bumped) can never appear here.
             resumed_from_checkpoint: self.ledger.last_committed().unwrap_or(0),
+            activated_replica: best,
             packets_lost: switch.packets_discarded,
             ops_lost,
             devices_switched: switch.devices_switched,
         };
         self.telemetry.on_failover(&record);
-        let family = match self.secondary.kind() {
+        let family = match family_kind {
             HypervisorKind::Xen => "xen",
             HypervisorKind::Kvm => "kvm",
         };
@@ -912,6 +1022,7 @@ impl Session {
             + self.devmgr.io().high_watermark();
         let cpu_core_pct = self.cpu_work.as_secs_f64() / secs * 100.0;
         let ops_completed = self.ops_committed + self.ops_uncommitted;
+        let (commits, replica_acks) = self.ledger.into_parts();
         crate::report::RunReport {
             name: self.name,
             elapsed,
@@ -927,7 +1038,8 @@ impl Session {
             failover,
             resources: crate::report::ResourceUsage { cpu_core_pct, rss },
             consistency_checks: self.consistency_checks,
-            commits: self.ledger.into_entries(),
+            commits,
+            replica_acks,
             chaos: self.chaos.map(|c| c.stats),
             telemetry: Some(self.telemetry.snapshot()),
             spans: self.spans.into_spans(),

@@ -410,6 +410,20 @@ impl SessionTelemetry {
         });
     }
 
+    /// A replica fell behind the newest acked epoch by more than the
+    /// topology's staleness bound and was declared stale. Recorded once
+    /// per stale episode on the flight recorder (no dedicated metric
+    /// family: single-replica runs never emit it, so the observe-gate
+    /// schema stays frozen).
+    pub fn on_replica_stale(&mut self, replica: u32, lag_epochs: u64, at_nanos: u64) {
+        self.flight.record(FlightEvent::Fault {
+            at_nanos,
+            fault: "replica_stale",
+            host_down: false,
+            detail: format!("replica {replica} trails the quorum by {lag_epochs} epochs"),
+        });
+    }
+
     /// The device manager re-plugged the replica's devices during
     /// failover (the detection → activation window).
     pub fn on_device_switch(
@@ -635,6 +649,7 @@ mod tests {
             detected_at: SimTime::from_secs(10) + SimDuration::from_millis(40),
             resumed_at: SimTime::from_secs(10) + SimDuration::from_millis(49),
             resumed_from_checkpoint: 7,
+            activated_replica: 0,
             packets_lost: 3,
             ops_lost: 120.0,
             devices_switched: 3,

@@ -117,14 +117,13 @@ pub fn chrome_trace(spans: &[Span]) -> String {
     // Flow arrows across the simulated wire: transfer on the primary →
     // the replica-side span sharing the epoch id.
     for span in spans {
-        if span.track != Track::Replica {
+        if !matches!(span.track, Track::Replica(_)) {
             continue;
         }
         let Some(epoch) = span.epoch else { continue };
-        let Some(source) = spans
-            .iter()
-            .find(|s| s.track != Track::Replica && s.epoch == Some(epoch) && s.name == "transfer")
-        else {
+        let Some(source) = spans.iter().find(|s| {
+            !matches!(s.track, Track::Replica(_)) && s.epoch == Some(epoch) && s.name == "transfer"
+        }) else {
             continue;
         };
         sep(&mut out);
@@ -212,7 +211,7 @@ mod tests {
         );
         let _ = xfer;
         rec.push(
-            SpanDraft::new("decode_restore", "wire", Track::Replica, 1_500)
+            SpanDraft::new("decode_restore", "wire", Track::Replica(0), 1_500)
                 .lasting(750)
                 .epoch(1)
                 .wall(123),
@@ -262,7 +261,7 @@ mod tests {
     fn replica_span_without_transfer_source_gets_no_flow() {
         let mut rec = SpanRecorder::new();
         rec.push(
-            SpanDraft::new("decode_restore", "wire", Track::Replica, 10)
+            SpanDraft::new("decode_restore", "wire", Track::Replica(0), 10)
                 .lasting(5)
                 .epoch(42),
         );

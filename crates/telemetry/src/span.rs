@@ -41,18 +41,23 @@ pub enum Track {
     Primary,
     /// One parallel encode lane on the primary (0-based lane index).
     PrimaryLane(u32),
-    /// The replica host (decode/restore, post-failover execution).
-    Replica,
+    /// A replica host (decode/restore, post-failover execution), by
+    /// 0-based replica index within the session's replica set.
+    Replica(u32),
     /// The failover controller / fault-injection timeline.
     Controller,
 }
 
 impl Track {
-    /// Chrome trace process id for this track.
+    /// Chrome trace process id for this track. Replica 0 keeps the
+    /// historical pid 2; additional replicas are laid out past the
+    /// controller (pid `3 + index`) so every replica gets its own
+    /// process row.
     pub fn pid(self) -> u64 {
         match self {
             Track::Primary | Track::PrimaryLane(_) => 1,
-            Track::Replica => 2,
+            Track::Replica(0) => 2,
+            Track::Replica(index) => 3 + u64::from(index),
             Track::Controller => 3,
         }
     }
@@ -60,7 +65,7 @@ impl Track {
     /// Chrome trace thread id for this track.
     pub fn tid(self) -> u64 {
         match self {
-            Track::Primary | Track::Replica | Track::Controller => 0,
+            Track::Primary | Track::Replica(_) | Track::Controller => 0,
             Track::PrimaryLane(lane) => 1 + u64::from(lane),
         }
     }
@@ -69,7 +74,7 @@ impl Track {
     pub fn process_name(self) -> &'static str {
         match self {
             Track::Primary | Track::PrimaryLane(_) => "primary",
-            Track::Replica => "replica",
+            Track::Replica(_) => "replica",
             Track::Controller => "controller",
         }
     }
@@ -79,7 +84,7 @@ impl Track {
         match self {
             Track::Primary => "pipeline".to_string(),
             Track::PrimaryLane(lane) => format!("encode lane {lane}"),
-            Track::Replica => "apply".to_string(),
+            Track::Replica(_) => "apply".to_string(),
             Track::Controller => "failover".to_string(),
         }
     }
@@ -443,7 +448,7 @@ impl TraceTree {
             self.epoch_roots().filter_map(|s| s.epoch).collect();
         self.spans
             .iter()
-            .filter(|s| s.track == Track::Replica)
+            .filter(|s| matches!(s.track, Track::Replica(_)))
             .filter(|s| match s.epoch {
                 Some(e) => !epochs.contains(&e),
                 None => true,
@@ -573,12 +578,12 @@ mod tests {
         let root = rec.open(SpanDraft::new("epoch", "epoch", Track::Primary, 0).epoch(3));
         rec.close(root, 100);
         rec.push(
-            SpanDraft::new("decode_restore", "wire", Track::Replica, 50)
+            SpanDraft::new("decode_restore", "wire", Track::Replica(0), 50)
                 .lasting(10)
                 .epoch(3),
         );
         let dangling = rec.push(
-            SpanDraft::new("decode_restore", "wire", Track::Replica, 60)
+            SpanDraft::new("decode_restore", "wire", Track::Replica(1), 60)
                 .lasting(10)
                 .epoch(9),
         );

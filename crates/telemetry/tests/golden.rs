@@ -79,7 +79,7 @@ fn span_fixture() -> Vec<here_telemetry::span::Span> {
                 .attr_u64("bytes", 524_288),
         );
         rec.push(
-            SpanDraft::new("decode_restore", "wire", Track::Replica, start + 700_000)
+            SpanDraft::new("decode_restore", "wire", Track::Replica(0), start + 700_000)
                 .lasting(200_000)
                 .epoch(seq)
                 .wall(55_000)

@@ -139,7 +139,7 @@ proptest! {
         let mut expected = Vec::new();
         for (i, &e) in replica_epochs.iter().enumerate() {
             let mut draft =
-                SpanDraft::new("decode_restore", "wire", Track::Replica, i as u64 * 100)
+                SpanDraft::new("decode_restore", "wire", Track::Replica(0), i as u64 * 100)
                     .lasting(10);
             if let Some(e) = e {
                 draft = draft.epoch(e);

@@ -4,15 +4,20 @@ use proptest::prelude::*;
 
 use here::hypervisor::arch::{ArchRegs, Segment, SystemRegs, GPR_COUNT};
 use here::hypervisor::dirty::DirtyBitmap;
+use here::hypervisor::fault::DosOutcome;
 use here::hypervisor::kind::HypervisorKind;
 use here::hypervisor::memory::{materialize_content, GuestMemory, PageId, PageVersion};
 use here::hypervisor::vcpu::{KvmVcpuState, VcpuId, VcpuStateBlob, XenVcpuState};
 use here::hypervisor::PAGE_SIZE;
-use here::replication::{degradation, DynamicPeriodManager};
+use here::replication::{
+    degradation, CommitLedger, DynamicPeriodManager, FanoutMode, FaultKind, FaultPlan,
+    ReplicationConfig, Scenario, Stage, TopologyConfig,
+};
 use here::sim::rate::ByteSize;
-use here::sim::time::SimDuration;
+use here::sim::time::{SimDuration, SimTime};
 use here::vmstate::wire::{Record, StreamDecoder, StreamEncoder};
 use here::vmstate::{MemoryDelta, StateTranslator};
+use here::workloads::memstress::MemStress;
 
 fn arb_segment() -> impl Strategy<Value = Segment> {
     (any::<u16>(), any::<u64>(), any::<u32>(), any::<u16>()).prop_map(
@@ -335,4 +340,136 @@ proptest! {
             prop_assert_eq!(rec.version, expect[&p.frame()]);
         }
     }
+
+    /// Quorum commits stay strictly monotone under arbitrary per-replica
+    /// ack interleavings, every committed epoch is supported by at least
+    /// `quorum` replicas, and the failover candidate is never staler than
+    /// the commit watermark.
+    #[test]
+    fn quorum_commits_are_monotone_under_any_interleaving(
+        n in 1u32..6,
+        q_seed in any::<u32>(),
+        acks in proptest::collection::vec((any::<u32>(), 1u64..40), 0..200),
+    ) {
+        let quorum = q_seed % n + 1;
+        let mut ledger = CommitLedger::with_quorum(n, quorum);
+        let mut at = 0u64;
+        let mut committed = Vec::new();
+        for &(r_seed, seq) in &acks {
+            let replica = r_seed % n;
+            at += 1;
+            if ledger.ack(replica, seq, SimTime::from_secs(at)) {
+                let s = ledger.last_committed().expect("ack returned true");
+                // The commit is supported by a full quorum of ack marks.
+                let support = (0..n)
+                    .filter(|&r| ledger.last_acked(r).is_some_and(|a| a >= s))
+                    .count();
+                prop_assert!(
+                    support >= quorum as usize,
+                    "epoch {s} committed with {support}/{quorum} supporters"
+                );
+                committed.push(s);
+            }
+            // Safety: the replica failover would activate holds state at
+            // least as fresh as everything already committed.
+            if let Some(watermark) = ledger.last_committed() {
+                let best = ledger.best_replica();
+                prop_assert!(
+                    ledger.last_acked(best).is_some_and(|a| a >= watermark),
+                    "best replica {best} is behind the watermark {watermark}"
+                );
+            }
+        }
+        prop_assert!(committed.windows(2).all(|w| w[0] < w[1]));
+        let entries = ledger.entries();
+        prop_assert_eq!(entries.len(), committed.len());
+        prop_assert!(entries.windows(2).all(|w| w[0].seq < w[1].seq && w[0].at <= w[1].at));
+    }
+
+    /// A replica's ack trail never decreases and never runs ahead of the
+    /// epochs it was fed, whatever the interleaving.
+    #[test]
+    fn ack_trails_are_per_replica_high_water_marks(
+        acks in proptest::collection::vec((0u32..3, 1u64..40), 0..120),
+    ) {
+        let mut ledger = CommitLedger::with_quorum(3, 2);
+        let mut fed: Vec<Vec<u64>> = vec![Vec::new(); 3];
+        for (i, &(replica, seq)) in acks.iter().enumerate() {
+            ledger.ack(replica, seq, SimTime::from_secs(i as u64 + 1));
+            fed[replica as usize].push(seq);
+        }
+        let (_, trails) = ledger.into_parts();
+        for trail in trails {
+            let marks: Vec<u64> = trail.acks.iter().map(|e| e.seq).collect();
+            prop_assert!(marks.windows(2).all(|w| w[0] < w[1]), "trail not increasing");
+            let max_fed = fed[trail.replica as usize].iter().copied().max();
+            prop_assert_eq!(marks.last().copied(), max_fed);
+        }
+    }
+}
+
+/// A partitioned minority must never be the replica failover activates:
+/// replica 2's link is cut for the whole retry budget of epoch 4, so its
+/// last ack trails the quorum when the primary crashes mid-transfer of
+/// epoch 5 — the engine must activate one of the up-to-date majority
+/// replicas, and the split-brain latch in `ReplicaSet::activate` would
+/// panic the run if a second activation were ever attempted.
+#[test]
+fn partitioned_minority_never_activates() {
+    let plan = FaultPlan::new(7).with_partition(4, &[2], 4).with_event(
+        5,
+        FaultKind::PrimaryFault {
+            outcome: DosOutcome::Crash,
+            stage: Stage::Transfer,
+        },
+    );
+    let report = Scenario::builder()
+        .name("partitioned-minority")
+        .vm_memory_mib(64)
+        .vcpus(4)
+        .workload(Box::new(MemStress::with_percent(30).with_rate(20_000)))
+        .config(
+            ReplicationConfig::fixed_period(SimDuration::from_secs(2)).with_topology(
+                TopologyConfig {
+                    replicas: 3,
+                    quorum: 2,
+                    fanout: FanoutMode::Star,
+                    stale_epoch_lag: 8,
+                },
+            ),
+        )
+        .duration(SimDuration::from_secs(30))
+        .seed(42)
+        .verify_consistency()
+        .chaos(plan)
+        .build()
+        .expect("partition scenario is valid")
+        .run();
+
+    let fo = report.failover.expect("the injected crash must fail over");
+    assert!(
+        fo.activated_replica < 2,
+        "partitioned minority replica 2 activated (got replica {})",
+        fo.activated_replica
+    );
+    // The activated replica resumed from the last committed epoch.
+    let last_committed = report.commits.last().expect("epochs committed").seq;
+    assert_eq!(fo.resumed_from_checkpoint, last_committed);
+    // The partition really did leave replica 2 behind the majority.
+    let high_mark = |replica: u32| {
+        report
+            .replica_acks
+            .iter()
+            .find(|t| t.replica == replica)
+            .and_then(|t| t.acks.last())
+            .map(|e| e.seq)
+            .unwrap_or(0)
+    };
+    assert!(
+        high_mark(2) < high_mark(fo.activated_replica),
+        "the minority caught up before the crash: r2 at {} vs r{} at {}",
+        high_mark(2),
+        fo.activated_replica,
+        high_mark(fo.activated_replica)
+    );
 }
