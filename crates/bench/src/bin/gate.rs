@@ -7,14 +7,22 @@
 //!
 //! ```text
 //! gate <baseline.json> <fresh.json> [--tol <rel>] [--overhead-tol <pts>]
+//! gate --efficiency <fresh.json> --lanes <n> --min-efficiency <x>
 //! ```
+//!
+//! The `--efficiency` mode gates *measured* parallel efficiency from a
+//! fresh `BENCH_datapath.json` (no baseline involved): the `workers == n`
+//! row must report `measured_parallelism >= n * x`. Hosts with fewer CPUs
+//! than lanes print a skip notice and exit 0 — wall-clock speedup is not
+//! measurable there.
 
-use here_bench::gate::{gate_files, Tolerances};
+use here_bench::gate::{efficiency_gate_file, gate_files, Tolerances};
 
 fn usage() -> ! {
     eprintln!(
         "usage: gate <baseline.json> <fresh.json> [--tol <relative, e.g. 3.0>] \
-         [--overhead-tol <percentage points>]"
+         [--overhead-tol <percentage points>]\n       \
+         gate --efficiency <fresh.json> --lanes <n> --min-efficiency <x, e.g. 0.6>"
     );
     std::process::exit(2);
 }
@@ -23,9 +31,27 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut paths = Vec::new();
     let mut tol = Tolerances::default();
+    let mut efficiency = false;
+    let mut lanes: u64 = 4;
+    let mut min_efficiency: f64 = 0.6;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--efficiency" => efficiency = true,
+            "--lanes" => {
+                i += 1;
+                let Some(v) = args.get(i).and_then(|v| v.parse().ok()) else {
+                    usage()
+                };
+                lanes = v;
+            }
+            "--min-efficiency" => {
+                i += 1;
+                let Some(v) = args.get(i).and_then(|v| v.parse().ok()) else {
+                    usage()
+                };
+                min_efficiency = v;
+            }
             "--tol" => {
                 i += 1;
                 let Some(v) = args.get(i).and_then(|v| v.parse().ok()) else {
@@ -48,6 +74,17 @@ fn main() {
             path => paths.push(path.to_string()),
         }
         i += 1;
+    }
+    if efficiency {
+        let [fresh] = paths.as_slice() else { usage() };
+        match efficiency_gate_file(fresh, lanes, min_efficiency) {
+            Ok(report) => print!("{report}"),
+            Err(report) => {
+                print!("{report}");
+                std::process::exit(1);
+            }
+        }
+        return;
     }
     let [baseline, fresh] = paths.as_slice() else {
         usage()

@@ -1,7 +1,8 @@
 //! `repro` — regenerate every table and figure of the HERE paper.
 //!
 //! ```text
-//! repro [--quick] [--list] [--format json|prometheus|chrome] [EXPERIMENT...]
+//! repro [--quick] [--list] [--format json|prometheus|chrome]
+//!       [--lanes N] [--chunk-pages P] [EXPERIMENT...]
 //! ```
 //!
 //! With no experiment arguments, runs everything. Experiments: `tab1`,
@@ -11,7 +12,9 @@
 //! `topology`. `--list` prints every experiment with its description and
 //! artifacts and exits. `--quick` uses scaled-down configurations.
 //! `datapath` measures real wall-clock throughput (not cost-model time)
-//! and writes `target/repro/BENCH_datapath.json`; `observe` measures the
+//! and writes `target/repro/BENCH_datapath.json`; `--lanes` replaces its
+//! default 1/2/4/8 lane sweep with `[1, N]` and `--chunk-pages` overrides
+//! the streamed rows' chunk size; `observe` measures the
 //! telemetry layer's overhead and writes `target/repro/BENCH_observe.json`;
 //! `analyze` runs the trace analyzer and writes the run's Chrome trace to
 //! `target/repro/trace_analyze.json`; `chaos` runs seeded fault plans
@@ -36,7 +39,7 @@ use here_bench::experiments::apps::{
 };
 use here_bench::experiments::chaos::{run_chaos, CRASH_EPOCH};
 use here_bench::experiments::checkpoint::{run_fig5, run_fig8};
-use here_bench::experiments::datapath::run_datapath;
+use here_bench::experiments::datapath::{run_datapath_with, DatapathOptions, OVERLAP_WINDOW};
 use here_bench::experiments::dynamic::{run_fig10, run_fig9};
 use here_bench::experiments::migration::{run_fig6_idle, run_fig6_loaded, run_fig7};
 use here_bench::experiments::network::run_fig17;
@@ -219,11 +222,32 @@ fn main() -> ExitCode {
     let quick = args.iter().any(|a| a == "--quick");
     let scale = if quick { Scale::Quick } else { Scale::Paper };
     let mut format = None;
+    let mut datapath_opts = DatapathOptions::default();
     let mut wanted: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--quick" => {}
+            "--lanes" => {
+                i += 1;
+                datapath_opts.lanes = match args.get(i).and_then(|v| v.parse::<u32>().ok()) {
+                    Some(n) if n >= 1 => Some(n),
+                    _ => {
+                        eprintln!("--lanes expects a positive lane count");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            "--chunk-pages" => {
+                i += 1;
+                datapath_opts.chunk_pages = match args.get(i).and_then(|v| v.parse::<u32>().ok()) {
+                    Some(p) if p >= 1 => Some(p),
+                    _ => {
+                        eprintln!("--chunk-pages expects a positive page count");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
             "--list" => {
                 println!("experiments ({} total):", CATALOG.len());
                 for (name, description, artifacts) in CATALOG {
@@ -285,13 +309,13 @@ fn main() -> ExitCode {
         if quick { "quick" } else { "paper" }
     );
     for w in wanted {
-        run_one(w, scale);
+        run_one(w, scale, datapath_opts);
     }
     here_core::clear_run_observer();
     ExitCode::SUCCESS
 }
 
-fn run_one(which: &str, scale: Scale) {
+fn run_one(which: &str, scale: Scale, datapath_opts: DatapathOptions) {
     match which {
         "tab1" => tab1(),
         "tab2" => tab2(),
@@ -328,7 +352,7 @@ fn run_one(which: &str, scale: Scale) {
         "fig17" => fig17(scale),
         "overhead" => overhead(scale),
         "stages" => stages(scale),
-        "datapath" => datapath(scale),
+        "datapath" => datapath(scale, datapath_opts),
         "observe" => observe(scale),
         "analyze" => analyze(scale),
         "chaos" => chaos(scale),
@@ -699,9 +723,9 @@ fn write_artifact(name: &str, body: &str) {
     }
 }
 
-fn datapath(scale: Scale) {
+fn datapath(scale: Scale, opts: DatapathOptions) {
     outln!("Datapath — measured wall-clock throughput of the checkpoint data plane");
-    let out = run_datapath(scale);
+    let out = run_datapath_with(scale, opts);
     outln!(
         "  {} pages ({} MiB materialized payload), {} rounds, {} vCPUs, host has {} CPU core(s)",
         out.pages,
@@ -709,6 +733,11 @@ fn datapath(scale: Scale) {
         out.rounds,
         out.vcpus,
         out.host_cpus,
+    );
+    outln!(
+        "  streamed rows: {}-page chunks through a depth-{} overlap window, decode under encode",
+        out.chunk_pages,
+        OVERLAP_WINDOW,
     );
     outln!(
         "  measured alpha: {} us/page (single lane); cost model alpha: {} us/page",
@@ -729,6 +758,9 @@ fn datapath(scale: Scale) {
                 num(r.harvest_ms, 2),
                 num(r.encode_ms, 2),
                 num(r.decode_restore_ms, 2),
+                num(r.streamed_ms, 2),
+                r.steals.to_string(),
+                num(r.occupancy_pct, 0),
                 num(r.total_ms, 2),
                 num(r.throughput_mib_per_s, 0),
                 num(r.measured_parallelism, 2),
@@ -744,6 +776,9 @@ fn datapath(scale: Scale) {
                 "Harvest (ms)",
                 "Encode (ms)",
                 "Restore (ms)",
+                "Streamed (ms)",
+                "Steals",
+                "Occ%",
                 "Total (ms)",
                 "MiB/s",
                 "Measured P",
@@ -752,6 +787,18 @@ fn datapath(scale: Scale) {
             &rows
         )
     );
+    outln!("  virtual overlap (deterministic, cost-model time):");
+    for s in &out.virtual_overlap {
+        outln!(
+            "    {}: pause {} ms -> {} ms over {} epochs ({}% shorter with encode/transfer overlap)",
+            s.workload,
+            num(s.pause_ms_barrier, 2),
+            num(s.pause_ms_overlap, 2),
+            s.checkpoints,
+            num(s.reduction_pct, 1),
+        );
+    }
+    outln!();
     write_artifact("BENCH_datapath.json", &out.json);
 }
 

@@ -9,6 +9,19 @@
 //! decode + restore (segmented zero-copy decode installing into a
 //! replica).
 //!
+//! Two encode paths are timed side by side:
+//!
+//! * **barrier** (`encode_ms` + `decode_restore_ms`) — the spliced path:
+//!   every lane shard completes before the replica sees a byte;
+//! * **streamed** (`streamed_ms`) — the pipelined path: pages split into
+//!   chunks on the work-stealing lane pool, each completed chunk handed
+//!   through the bounded overlap window and decoded into the replica
+//!   *while later chunks are still encoding*. The row's `total_ms` uses
+//!   the streamed figure, because that is what an epoch actually pays.
+//!
+//! Per-row `steals` and `occupancy_pct` expose the pool's behaviour
+//! (they are host-dependent diagnostics, ignored by the gate).
+//!
 //! Two calibration probes ride along:
 //!
 //! * **measured α** — nanoseconds per page through the single-lane encode
@@ -19,18 +32,25 @@
 //!   core count; `host_cpus` is reported so readers can tell scheduler
 //!   limits from algorithmic ones.
 //!
-//! A **legacy reference** pins the serial baseline this PR replaced:
-//! per-page heap boxes, a per-record scratch copy, and the byte-serial
-//! FNV checksum over the gathered payload. The new path's speedup over it
-//! is host-independent (same core count for both).
+//! A **legacy reference** pins the serial baseline an earlier PR
+//! replaced: per-page heap boxes, a per-record scratch copy, and the
+//! byte-serial FNV checksum over the gathered payload. The new path's
+//! speedup over it is host-independent (same core count for both).
+//!
+//! A **virtual_overlap** section closes the loop with the simulated
+//! pipeline: two deterministic scenarios (phased memory load and a KV
+//! store) run with the encode/transfer overlap knob off and on, and the
+//! section reports the virtual-time pause reduction. Those numbers are
+//! exact on every host — they gate byte-for-byte even on one CPU.
 
 use std::time::Instant;
 
 use here_core::dataplane::{
-    decode_and_restore, encode_pages_parallel, translate_vcpus_parallel, BufferPool, PayloadMode,
+    decode_and_restore, encode_pages_parallel, encode_pages_round, translate_vcpus_parallel,
+    BufferPool, EncodePlan, LanePool, PayloadMode, SegmentRestorer, DEFAULT_CHUNK_PAGES,
 };
 use here_core::transfer::{collect_chunked_into, CollectScratch};
-use here_core::CostModel;
+use here_core::{CostModel, ReplicationConfig, Scenario};
 use here_hypervisor::arch::ArchRegs;
 use here_hypervisor::dirty::DirtyBitmap;
 use here_hypervisor::kind::HypervisorKind;
@@ -38,14 +58,36 @@ use here_hypervisor::memory::{materialize_content, GuestMemory};
 use here_hypervisor::vcpu::{VcpuId, VcpuStateBlob, XenVcpuState};
 use here_hypervisor::PAGE_SIZE;
 use here_sim_core::rate::ByteSize;
+use here_sim_core::time::{SimDuration, SimTime};
 use here_vmstate::translate::StateTranslator;
 use here_vmstate::wire::{fnv32, ScatterStream, StreamEncoder};
 use here_vmstate::MemoryDelta;
+use here_workloads::phased::{Phase, PhasedMemStress};
+use here_workloads::traits::Workload;
+use here_workloads::ycsb::{Ycsb, YcsbMix, YcsbSpec};
 
 use super::Scale;
 
 /// Lane counts swept by the benchmark.
 pub const WORKER_SWEEP: &[u32] = &[1, 2, 4, 8];
+
+/// Bounded overlap-window depth (in chunks) used by the streamed rows.
+pub const OVERLAP_WINDOW: u32 = 4;
+
+/// Chunk size (pages) the virtual-overlap scenarios configure, small
+/// enough that every epoch has many chunks to hide wire time under.
+const OVERLAP_CHUNK_PAGES: u32 = 64;
+
+/// Optional overrides for the sweep (`repro datapath --lanes N
+/// --chunk-pages P`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DatapathOptions {
+    /// Replace the default 1/2/4/8 sweep with `[1, lanes]`.
+    pub lanes: Option<u32>,
+    /// Chunk size (pages) for the streamed encode rows; default
+    /// [`DEFAULT_CHUNK_PAGES`].
+    pub chunk_pages: Option<u32>,
+}
 
 /// One row of the sweep: wall-clock milliseconds per stage at a lane
 /// count, averaged over the measured rounds.
@@ -57,18 +99,47 @@ pub struct WorkerRow {
     pub harvest_ms: f64,
     /// vCPU blob translation to the common format.
     pub translate_ms: f64,
-    /// Materialize + checksum + frame page payloads into pooled lanes.
+    /// Barrier encode: materialize + checksum + frame page payloads into
+    /// pooled lanes, all shards complete before decode starts.
     pub encode_ms: f64,
-    /// Segmented decode and page install on the replica.
+    /// Segmented decode and page install on the replica (after the
+    /// barrier encode).
     pub decode_restore_ms: f64,
-    /// End-to-end datapath wall time.
+    /// Pipelined encode→decode: chunked work-stealing encode with each
+    /// finished chunk decoded into the replica while later chunks are
+    /// still encoding.
+    pub streamed_ms: f64,
+    /// Chunks executed by a lane other than their home lane during the
+    /// streamed rounds (work-stealing diagnostic; host-dependent).
+    pub steals: u64,
+    /// Mean lane occupancy of the streamed rounds: busy time over
+    /// `lanes × round wall`, percent (host-dependent).
+    pub occupancy_pct: f64,
+    /// End-to-end datapath wall time: harvest + translate + streamed.
     pub total_ms: f64,
-    /// Materialized payload moved per wall second.
+    /// Materialized payload moved per wall second (over `total_ms`).
     pub throughput_mib_per_s: f64,
     /// Single-lane total over this row's total.
     pub measured_parallelism: f64,
     /// The cost model's `1 + (w−1)·parallel_efficiency`.
     pub analytic_parallelism: f64,
+}
+
+/// One workload's barrier-vs-overlap comparison in *virtual* time:
+/// the same deterministic scenario run with the encode/transfer overlap
+/// knob off and on.
+#[derive(Debug, Clone)]
+pub struct OverlapScenario {
+    /// Workload label (`phased`, `kv`).
+    pub workload: &'static str,
+    /// Checkpoints observed (identical in both runs).
+    pub checkpoints: u64,
+    /// Mean virtual pause per checkpoint, overlap off, milliseconds.
+    pub pause_ms_barrier: f64,
+    /// Mean virtual pause per checkpoint, overlap on, milliseconds.
+    pub pause_ms_overlap: f64,
+    /// Pause reduction from the overlap, percent.
+    pub reduction_pct: f64,
 }
 
 /// Everything `repro datapath` reports.
@@ -83,7 +154,9 @@ pub struct DatapathOutput {
     pub rounds: u32,
     /// vCPU blobs translated per round.
     pub vcpus: u32,
-    /// One row per entry in [`WORKER_SWEEP`].
+    /// Chunk size (pages) the streamed rows used.
+    pub chunk_pages: u32,
+    /// One row per swept lane count.
     pub rows: Vec<WorkerRow>,
     /// Measured single-lane encode cost per page, in microseconds.
     pub measured_alpha_us_per_page: f64,
@@ -96,6 +169,8 @@ pub struct DatapathOutput {
     pub legacy_encode_ms: f64,
     /// Legacy encode time over the new path's single-lane encode time.
     pub legacy_speedup: f64,
+    /// Deterministic virtual-time overlap comparisons.
+    pub virtual_overlap: Vec<OverlapScenario>,
     /// The same results as a JSON document (`BENCH_datapath.json`).
     pub json: String,
 }
@@ -166,25 +241,43 @@ fn splice(pool_segments: Vec<bytes::Bytes>) -> ScatterStream {
     stream
 }
 
-/// Runs the datapath sweep and returns measured rows plus the JSON
-/// document. Real wall-clock timing — results vary with the host.
+/// Runs the datapath sweep with the default options.
 pub fn run_datapath(scale: Scale) -> DatapathOutput {
+    run_datapath_with(scale, DatapathOptions::default())
+}
+
+/// Runs the datapath sweep and returns measured rows plus the JSON
+/// document. Wall-clock rows vary with the host; the `virtual_overlap`
+/// section is deterministic everywhere.
+pub fn run_datapath_with(scale: Scale, opts: DatapathOptions) -> DatapathOutput {
     let (pages, rounds, vcpus) = scale_params(scale);
     let costs = CostModel::default();
     let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let chunk_pages = opts.chunk_pages.unwrap_or(DEFAULT_CHUNK_PAGES).max(1);
+    let sweep: Vec<u32> = match opts.lanes {
+        Some(lanes) if lanes > 1 => vec![1, lanes],
+        Some(_) => vec![1],
+        None => WORKER_SWEEP.to_vec(),
+    };
     let (memory, dirty) = dirty_guest(pages, vcpus);
     let blobs = vcpu_blobs(vcpus);
     let translator = StateTranslator::new(HypervisorKind::Xen, HypervisorKind::Kvm)
         .expect("Xen->KVM translator exists");
     let payload_mib = (pages * PAGE_SIZE) as f64 / (1024.0 * 1024.0);
 
+    // One persistent lane pool for the whole sweep: the rows exercise
+    // the same warm workers an epoch loop would.
+    let lane_pool = LanePool::new();
     let mut rows: Vec<WorkerRow> = Vec::new();
-    for &workers in WORKER_SWEEP {
+    for &workers in &sweep {
         let mut scratch = CollectScratch::new();
         let mut delta = MemoryDelta::new();
         let mut pool = BufferPool::new();
         let mut replica = GuestMemory::new(memory.size()).expect("replica size is valid");
-        let (mut harvest, mut translate, mut encode, mut decode) = (0f64, 0f64, 0f64, 0f64);
+        let mut replica_streamed = GuestMemory::new(memory.size()).expect("replica size is valid");
+        let (mut harvest, mut translate, mut encode, mut decode, mut streamed) =
+            (0f64, 0f64, 0f64, 0f64, 0f64);
+        let (mut steals, mut occupancy) = (0u64, 0f64);
         // One warmup round fills the pools; measured rounds then run at
         // steady state.
         for round in 0..=rounds {
@@ -206,9 +299,15 @@ pub fn run_datapath(scale: Scale) -> DatapathOutput {
             }
             assert_eq!(cirs.len(), blobs.len());
 
+            // Barrier path: splice every lane shard, then decode.
             let t = Instant::now();
-            let segments =
-                encode_pages_parallel(&delta, workers, PayloadMode::Materialized, &mut pool);
+            let segments = encode_pages_parallel(
+                &delta,
+                workers,
+                PayloadMode::Materialized,
+                &mut pool,
+                &lane_pool,
+            );
             let stream = splice(segments);
             if measured {
                 encode += t.elapsed().as_secs_f64();
@@ -224,17 +323,53 @@ pub fn run_datapath(scale: Scale) -> DatapathOutput {
             for seg in stream.into_segments() {
                 pool.recycle(seg);
             }
+
+            // Streamed path: chunked work-stealing encode, each finished
+            // chunk decoded into the replica through the bounded window
+            // while later chunks are still encoding.
+            let plan = EncodePlan {
+                lanes: workers,
+                mode: PayloadMode::Materialized,
+                chunk_pages: Some(chunk_pages),
+                window: Some(OVERLAP_WINDOW),
+            };
+            let t = Instant::now();
+            let mut restorer = SegmentRestorer::new(&mut replica_streamed, false);
+            let mut spent: Vec<bytes::Bytes> = Vec::new();
+            let (_walls, stats) =
+                encode_pages_round(&delta, &plan, &mut pool, &lane_pool, |_, seg| {
+                    restorer.accept(&seg).expect("streamed segment decodes");
+                    spent.push(seg);
+                });
+            let installed = restorer.installed();
+            if measured {
+                streamed += t.elapsed().as_secs_f64();
+                steals += stats.steals();
+                occupancy += stats.occupancy_pct();
+            }
+            assert_eq!(installed, pages, "streamed restore must install every page");
+            for seg in spent {
+                pool.recycle(seg);
+            }
         }
         let n = rounds as f64;
-        let (harvest, translate, encode, decode) =
-            (harvest / n, translate / n, encode / n, decode / n);
-        let total = harvest + translate + encode + decode;
+        let (harvest, translate, encode, decode, streamed) = (
+            harvest / n,
+            translate / n,
+            encode / n,
+            decode / n,
+            streamed / n,
+        );
+        let total = harvest + translate + streamed;
         rows.push(WorkerRow {
             workers,
             harvest_ms: harvest * 1e3,
             translate_ms: translate * 1e3,
             encode_ms: encode * 1e3,
             decode_restore_ms: decode * 1e3,
+            streamed_ms: streamed * 1e3,
+            steals,
+            occupancy_pct: occupancy / n,
             total_ms: total * 1e3,
             throughput_mib_per_s: payload_mib / total,
             measured_parallelism: 1.0, // filled below from the lane-1 row
@@ -265,11 +400,14 @@ pub fn run_datapath(scale: Scale) -> DatapathOutput {
     let measured_alpha_us_per_page = rows[0].encode_ms * 1e3 / pages as f64;
     let analytic_alpha_us_per_page = costs.checkpoint_cpu_per_page.as_secs_f64() * 1e6;
 
+    let virtual_overlap = run_virtual_overlap();
+
     let json = render_json(
         host_cpus,
         pages,
         rounds,
         vcpus,
+        chunk_pages,
         payload_mib,
         &rows,
         measured_alpha_us_per_page,
@@ -277,20 +415,105 @@ pub fn run_datapath(scale: Scale) -> DatapathOutput {
         costs.parallel_efficiency,
         legacy_encode_ms,
         legacy_speedup,
+        &virtual_overlap,
     );
     DatapathOutput {
         host_cpus,
         pages,
         rounds,
         vcpus,
+        chunk_pages,
         rows,
         measured_alpha_us_per_page,
         analytic_alpha_us_per_page,
         analytic_parallel_efficiency: costs.parallel_efficiency,
         legacy_encode_ms,
         legacy_speedup,
+        virtual_overlap,
         json,
     }
+}
+
+/// A short phased load: a light first phase, then a heavy one, so the
+/// overlap credit is exercised across different dirty-set sizes.
+fn overlap_phased_workload() -> (Box<dyn Workload>, u64) {
+    let phases = vec![
+        Phase {
+            at: SimTime::ZERO,
+            percent: 20,
+        },
+        Phase {
+            at: SimTime::from_secs(8),
+            percent: 70,
+        },
+    ];
+    let workload = PhasedMemStress::new(phases).expect("overlap schedule is valid");
+    (Box::new(workload), 256)
+}
+
+fn overlap_kv_workload() -> (Box<dyn Workload>, u64) {
+    let driver = Ycsb::new(YcsbSpec::small(YcsbMix::A)).expect("small KV spec is valid");
+    let mem_mib = (driver.required_pages() * PAGE_SIZE).div_ceil(1024 * 1024) + 64;
+    (Box::new(driver), mem_mib)
+}
+
+/// Runs one deterministic scenario with the encode/transfer overlap knob
+/// off and on; everything else (workload, seed, period, chunking) is
+/// identical, so the pause delta is exactly the overlap credit.
+fn overlap_compare(
+    label: &'static str,
+    make_workload: fn() -> (Box<dyn Workload>, u64),
+) -> OverlapScenario {
+    let run = |overlap: bool| {
+        let mut cfg = ReplicationConfig::fixed_period(SimDuration::from_secs(2))
+            .with_encode_chunk_pages(OVERLAP_CHUNK_PAGES);
+        if overlap {
+            cfg = cfg.with_overlap_transfer();
+        }
+        let (workload, memory_mib) = make_workload();
+        Scenario::builder()
+            .name(format!("overlap-{label}"))
+            .vm_memory_mib(memory_mib)
+            .vcpus(4)
+            .workload(workload)
+            .config(cfg)
+            .duration(SimDuration::from_secs(20))
+            .build()
+            .expect("overlap scenario is valid")
+            .run()
+    };
+    let barrier = run(false);
+    let overlap = run(true);
+    // Shorter pauses let the overlap run fit extra epochs into the same
+    // virtual budget, so pair only the epochs both runs executed.
+    let paired = barrier.checkpoints.len().min(overlap.checkpoints.len());
+    let mean_pause_ms = |report: &here_core::RunReport| {
+        report
+            .checkpoints
+            .iter()
+            .take(paired)
+            .map(|c| c.pause.as_secs_f64() * 1e3)
+            .sum::<f64>()
+            / paired.max(1) as f64
+    };
+    let pause_ms_barrier = mean_pause_ms(&barrier);
+    let pause_ms_overlap = mean_pause_ms(&overlap);
+    OverlapScenario {
+        workload: label,
+        checkpoints: paired as u64,
+        pause_ms_barrier,
+        pause_ms_overlap,
+        reduction_pct: (pause_ms_barrier - pause_ms_overlap) / pause_ms_barrier * 100.0,
+    }
+}
+
+/// The deterministic virtual-time overlap comparisons: identical on
+/// every host, gated exactly.
+fn run_virtual_overlap() -> Vec<OverlapScenario> {
+    vec![
+        overlap_compare("phased", overlap_phased_workload),
+        overlap_compare("kv", overlap_kv_workload),
+    ]
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -299,6 +522,7 @@ fn render_json(
     pages: u64,
     rounds: u32,
     vcpus: u32,
+    chunk_pages: u32,
     payload_mib: f64,
     rows: &[WorkerRow],
     measured_alpha: f64,
@@ -306,6 +530,7 @@ fn render_json(
     efficiency: f64,
     legacy_encode_ms: f64,
     legacy_speedup: f64,
+    virtual_overlap: &[OverlapScenario],
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
@@ -315,11 +540,13 @@ fn render_json(
     out.push_str(&format!("  \"payload_mib\": {payload_mib:.1},\n"));
     out.push_str(&format!("  \"rounds\": {rounds},\n"));
     out.push_str(&format!("  \"vcpus\": {vcpus},\n"));
+    out.push_str(&format!("  \"chunk_pages\": {chunk_pages},\n"));
     out.push_str("  \"workers\": [\n");
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"workers\": {}, \"harvest_ms\": {:.3}, \"translate_ms\": {:.4}, \
-             \"encode_ms\": {:.3}, \"decode_restore_ms\": {:.3}, \"total_ms\": {:.3}, \
+             \"encode_ms\": {:.3}, \"decode_restore_ms\": {:.3}, \"streamed_ms\": {:.3}, \
+             \"steals\": {}, \"occupancy_pct\": {:.1}, \"total_ms\": {:.3}, \
              \"throughput_mib_per_s\": {:.1}, \"measured_parallelism\": {:.3}, \
              \"analytic_parallelism\": {:.3}}}{}\n",
             r.workers,
@@ -327,6 +554,9 @@ fn render_json(
             r.translate_ms,
             r.encode_ms,
             r.decode_restore_ms,
+            r.streamed_ms,
+            r.steals,
+            r.occupancy_pct,
             r.total_ms,
             r.throughput_mib_per_s,
             r.measured_parallelism,
@@ -346,8 +576,27 @@ fn render_json(
     ));
     out.push_str(&format!(
         "  \"legacy_reference\": {{\"encode_ms\": {legacy_encode_ms:.3}, \
-         \"speedup_vs_legacy\": {legacy_speedup:.2}}}\n"
+         \"speedup_vs_legacy\": {legacy_speedup:.2}}},\n"
     ));
+    out.push_str("  \"virtual_overlap\": [\n");
+    for (i, s) in virtual_overlap.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"checkpoints\": {}, \
+             \"pause_ms_barrier\": {:.4}, \"pause_ms_overlap\": {:.4}, \
+             \"reduction_pct\": {:.2}}}{}\n",
+            s.workload,
+            s.checkpoints,
+            s.pause_ms_barrier,
+            s.pause_ms_overlap,
+            s.reduction_pct,
+            if i + 1 == virtual_overlap.len() {
+                ""
+            } else {
+                ","
+            },
+        ));
+    }
+    out.push_str("  ]\n");
     out.push_str("}\n");
     out
 }
@@ -361,11 +610,48 @@ mod tests {
         let out = run_datapath(Scale::Quick);
         assert_eq!(out.rows.len(), WORKER_SWEEP.len());
         assert!(out.rows.iter().all(|r| r.total_ms > 0.0));
+        assert!(out.rows.iter().all(|r| r.streamed_ms > 0.0));
         assert!(out.rows.iter().all(|r| r.throughput_mib_per_s > 0.0));
         assert!((out.rows[0].measured_parallelism - 1.0).abs() < 1e-9);
         assert!(out.legacy_speedup > 0.0);
         assert!(out.json.contains("\"host_cpus\""));
+        assert!(out.json.contains("\"streamed_ms\""));
         assert!(out.json.contains("\"speedup_vs_legacy\""));
+        assert!(out.json.contains("\"virtual_overlap\""));
+    }
+
+    #[test]
+    fn lane_and_chunk_overrides_shape_the_sweep() {
+        let out = run_datapath_with(
+            Scale::Quick,
+            DatapathOptions {
+                lanes: Some(4),
+                chunk_pages: Some(128),
+            },
+        );
+        let workers: Vec<u32> = out.rows.iter().map(|r| r.workers).collect();
+        assert_eq!(workers, vec![1, 4]);
+        assert_eq!(out.chunk_pages, 128);
+    }
+
+    #[test]
+    fn virtual_overlap_shrinks_the_pause_deterministically() {
+        let first = run_virtual_overlap();
+        let second = run_virtual_overlap();
+        for (a, b) in first.iter().zip(&second) {
+            assert_eq!(a.pause_ms_barrier.to_bits(), b.pause_ms_barrier.to_bits());
+            assert_eq!(a.pause_ms_overlap.to_bits(), b.pause_ms_overlap.to_bits());
+        }
+        for s in &first {
+            assert!(s.checkpoints > 0, "{} saw no checkpoints", s.workload);
+            assert!(
+                s.pause_ms_overlap < s.pause_ms_barrier,
+                "{}: overlap must shorten the pause ({} vs {})",
+                s.workload,
+                s.pause_ms_overlap,
+                s.pause_ms_barrier
+            );
+        }
     }
 
     #[test]

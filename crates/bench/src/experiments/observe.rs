@@ -23,7 +23,7 @@
 use std::time::Instant;
 
 use here_core::dataplane::{
-    encode_pages_parallel, encode_pages_parallel_timed, BufferPool, PayloadMode,
+    encode_pages_parallel, encode_pages_parallel_timed, BufferPool, LanePool, PayloadMode,
 };
 use here_core::transfer::{collect_chunked_into, CollectScratch};
 use here_core::{ReplicationConfig, Scenario};
@@ -141,14 +141,20 @@ pub fn run_observe(scale: Scale) -> ObserveOutput {
     let mut flight = FlightRecorder::new(1024);
 
     let mut pool = BufferPool::new();
+    let lane_pool = LanePool::new();
     let mut baseline_samples = Vec::with_capacity(rounds as usize);
     let mut instrumented_samples = Vec::with_capacity(rounds as usize);
     for round in 0..=rounds {
         let measured = round > 0;
 
         let t = Instant::now();
-        let segments =
-            encode_pages_parallel(&delta, OVERHEAD_LANES, PayloadMode::Materialized, &mut pool);
+        let segments = encode_pages_parallel(
+            &delta,
+            OVERHEAD_LANES,
+            PayloadMode::Materialized,
+            &mut pool,
+            &lane_pool,
+        );
         if measured {
             baseline_samples.push(t.elapsed().as_secs_f64());
         }
@@ -162,6 +168,7 @@ pub fn run_observe(scale: Scale) -> ObserveOutput {
             OVERHEAD_LANES,
             PayloadMode::Materialized,
             &mut pool,
+            &lane_pool,
         );
         for (lane, wall) in walls.iter().enumerate() {
             lane_hist.observe(*wall);

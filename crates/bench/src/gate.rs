@@ -234,6 +234,7 @@ pub const MEASURED_KEYS: &[&str] = &[
     "translate_ms",
     "encode_ms",
     "decode_restore_ms",
+    "streamed_ms",
     "total_ms",
     "throughput_mib_per_s",
     "measured_alpha_us_per_page",
@@ -242,7 +243,14 @@ pub const MEASURED_KEYS: &[&str] = &[
 ];
 
 /// Leaf keys that are host-dependent noise, never compared.
-pub const IGNORED_KEYS: &[&str] = &["host_cpus", "prometheus", "wall_nanos", "flight_recorder"];
+pub const IGNORED_KEYS: &[&str] = &[
+    "host_cpus",
+    "prometheus",
+    "wall_nanos",
+    "flight_recorder",
+    "steals",
+    "occupancy_pct",
+];
 
 /// The gate's per-key policy.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -422,6 +430,80 @@ pub fn gate_files(
         let _ = writeln!(report, "FAIL: {} regression(s)", regressions.len());
         Err(report)
     }
+}
+
+/// Gates *measured* parallel efficiency from a fresh `BENCH_datapath.json`:
+/// the `workers == lanes` row must report
+/// `measured_parallelism ≥ lanes × min_efficiency`.
+///
+/// Wall-clock parallelism only means something when the host actually has
+/// the cores, so hosts with `host_cpus < lanes` skip the check with a
+/// notice instead of failing — a 1-CPU CI runner must not go red because
+/// physics denied it a speedup. Returns `Ok(report)` on pass or skip,
+/// `Err(report)` on a real efficiency regression or a malformed document.
+pub fn efficiency_gate(fresh: &Json, lanes: u64, min_efficiency: f64) -> Result<String, String> {
+    let Json::Obj(doc) = fresh else {
+        return Err("fresh output is not a JSON object".to_string());
+    };
+    let host_cpus = match doc.get("host_cpus") {
+        Some(Json::Num(n)) => *n as u64,
+        _ => return Err("fresh output has no numeric host_cpus".to_string()),
+    };
+    if host_cpus < lanes {
+        return Ok(format!(
+            "SKIP: host has {host_cpus} CPU(s) < {lanes} lanes; \
+             parallel efficiency not measurable here\n"
+        ));
+    }
+    let Some(Json::Arr(rows)) = doc.get("workers") else {
+        return Err("fresh output has no workers array".to_string());
+    };
+    for row in rows {
+        let Json::Obj(row) = row else { continue };
+        let workers = match row.get("workers") {
+            Some(Json::Num(n)) => *n as u64,
+            _ => continue,
+        };
+        if workers != lanes {
+            continue;
+        }
+        let measured = match row.get("measured_parallelism") {
+            Some(Json::Num(n)) => *n,
+            _ => {
+                return Err(format!(
+                    "workers=={lanes} row has no numeric measured_parallelism"
+                ))
+            }
+        };
+        let floor = lanes as f64 * min_efficiency;
+        return if measured >= floor {
+            Ok(format!(
+                "PASS: measured_parallelism {measured:.2} at {lanes} lanes \
+                 >= {floor:.2} ({min_efficiency:.0}% efficiency floor, {host_cpus} host CPUs)\n",
+                min_efficiency = min_efficiency * 100.0
+            ))
+        } else {
+            Err(format!(
+                "FAIL: measured_parallelism {measured:.2} at {lanes} lanes \
+                 < {floor:.2} ({min_efficiency:.0}% efficiency floor, {host_cpus} host CPUs)\n",
+                min_efficiency = min_efficiency * 100.0
+            ))
+        };
+    }
+    Err(format!("fresh output has no workers=={lanes} row"))
+}
+
+/// Runs [`efficiency_gate`] over a document read from disk.
+pub fn efficiency_gate_file(
+    fresh_path: &str,
+    lanes: u64,
+    min_efficiency: f64,
+) -> Result<String, String> {
+    let text = std::fs::read_to_string(fresh_path)
+        .map_err(|e| format!("cannot read {fresh_path}: {e}"))?;
+    let fresh =
+        parse(&text).map_err(|e| format!("fresh output {fresh_path} is not valid JSON: {e}"))?;
+    efficiency_gate(&fresh, lanes, min_efficiency)
 }
 
 #[cfg(test)]
@@ -707,6 +789,61 @@ mod tests {
             Tolerances::default().rule_for("mean_commit_latency_ms"),
             Rule::Exact
         );
+    }
+
+    #[test]
+    fn pool_diagnostics_are_ignored_and_streamed_ms_is_measured() {
+        // Steal counts and lane occupancy depend on scheduler timing, so
+        // they must never gate; the streamed wall time is wall clock and
+        // gets the relative tolerance like the other *_ms columns.
+        assert_eq!(Tolerances::default().rule_for("steals"), Rule::Ignore);
+        assert_eq!(
+            Tolerances::default().rule_for("occupancy_pct"),
+            Rule::Ignore
+        );
+        assert_eq!(
+            Tolerances::default().rule_for("streamed_ms"),
+            Rule::Relative(3.0)
+        );
+    }
+
+    const EFFICIENCY_DOC: &str = r#"{
+        "experiment": "datapath",
+        "host_cpus": 8,
+        "workers": [
+            {"workers": 1, "measured_parallelism": 1.0},
+            {"workers": 4, "measured_parallelism": 3.1}
+        ]
+    }"#;
+
+    #[test]
+    fn efficiency_gate_passes_above_the_floor() {
+        let doc = parse(EFFICIENCY_DOC).unwrap();
+        let report = efficiency_gate(&doc, 4, 0.6).unwrap();
+        assert!(report.starts_with("PASS"), "{report}");
+    }
+
+    #[test]
+    fn efficiency_gate_fails_below_the_floor() {
+        let doc = parse(&EFFICIENCY_DOC.replace("3.1", "1.9")).unwrap();
+        let report = efficiency_gate(&doc, 4, 0.6).unwrap_err();
+        assert!(report.starts_with("FAIL"), "{report}");
+    }
+
+    #[test]
+    fn efficiency_gate_skips_on_small_hosts() {
+        // A 1-CPU runner cannot exhibit a 4-way speedup; the gate must
+        // notice and stand down rather than fail.
+        let doc = parse(&EFFICIENCY_DOC.replace("\"host_cpus\": 8", "\"host_cpus\": 1")).unwrap();
+        let report = efficiency_gate(&doc, 4, 0.6).unwrap();
+        assert!(report.starts_with("SKIP"), "{report}");
+    }
+
+    #[test]
+    fn efficiency_gate_rejects_documents_missing_the_lane_row() {
+        let doc = parse(EFFICIENCY_DOC).unwrap();
+        let report = efficiency_gate(&doc, 8, 0.6).unwrap_err();
+        assert!(report.contains("no workers==8 row"), "{report}");
     }
 
     #[test]

@@ -52,6 +52,21 @@ pub(crate) fn do_checkpoint(session: &mut Session, period_used: SimDuration) -> 
         session.pools.buffers.pooled() as u64,
         at_nanos,
     );
+    // When the work-stealing lane pool ran for this checkpoint, record
+    // its round statistics; single-lane (inline) encodes leave the pool
+    // untouched and emit nothing.
+    let pool_rounds = session.pools.lanes.totals().rounds;
+    if pool_rounds > session.pool_rounds_seen {
+        session.pool_rounds_seen = pool_rounds;
+        let last = session.pools.lanes.last_round();
+        session.telemetry.on_encode_pool(
+            summary.seq,
+            last.tasks(),
+            last.steals(),
+            last.occupancy_pct(),
+            at_nanos,
+        );
+    }
     session.period_decisions.push(decision);
     session.cpu_work += session
         .cfg

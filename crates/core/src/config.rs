@@ -322,6 +322,24 @@ pub struct ReplicationConfig {
     /// Replica-set shape: how many replicas, the commit quorum, and the
     /// Transfer fan-out mode.
     pub topology: TopologyConfig,
+    /// Chunk-framed encode: `None` keeps the legacy one-record-per-lane
+    /// shard framing (byte-identical streams to prior releases); `Some(p)`
+    /// frames one page-batch record per `p`-page chunk, giving the
+    /// work-stealing lane pool enough tasks to balance.
+    pub encode_chunk_pages: Option<u32>,
+    /// Bounded hand-off window (in chunks) between the encode lanes and
+    /// the stream consumer: `None` keeps the barrier (segments delivered
+    /// after the whole encode); `Some(d)` streams each chunk as soon as it
+    /// and its predecessors finish, with lanes blocking `d` chunks ahead.
+    /// Produces identical bytes at every depth — only wall-clock overlap
+    /// changes.
+    pub overlap_channel_depth: Option<u32>,
+    /// Overlap the Transfer stage's wire time with the encode scan in
+    /// *virtual* time: once the first chunk is framed the wire starts
+    /// draining, so the epoch costs `max(scan, wire)` plus a one-chunk
+    /// residue instead of `scan + wire`. Off by default (fingerprints of
+    /// existing experiments stay byte-identical).
+    pub overlap_transfer: bool,
 }
 
 /// Default for [`ReplicationConfig::max_migration_iterations`].
@@ -345,6 +363,9 @@ impl ReplicationConfig {
             max_migration_iterations: DEFAULT_MAX_MIGRATION_ITERATIONS,
             migration_dirty_threshold: DEFAULT_MIGRATION_DIRTY_THRESHOLD,
             topology: TopologyConfig::single(),
+            encode_chunk_pages: None,
+            overlap_channel_depth: None,
+            overlap_transfer: false,
         }
     }
 
@@ -374,6 +395,9 @@ impl ReplicationConfig {
             max_migration_iterations: DEFAULT_MAX_MIGRATION_ITERATIONS,
             migration_dirty_threshold: DEFAULT_MIGRATION_DIRTY_THRESHOLD,
             topology: TopologyConfig::single(),
+            encode_chunk_pages: None,
+            overlap_channel_depth: None,
+            overlap_transfer: false,
         }
     }
 
@@ -390,6 +414,9 @@ impl ReplicationConfig {
             max_migration_iterations: DEFAULT_MAX_MIGRATION_ITERATIONS,
             migration_dirty_threshold: DEFAULT_MIGRATION_DIRTY_THRESHOLD,
             topology: TopologyConfig::single(),
+            encode_chunk_pages: None,
+            overlap_channel_depth: None,
+            overlap_transfer: false,
         }
     }
 
@@ -453,6 +480,36 @@ impl ReplicationConfig {
     /// if set, otherwise the effective transfer thread count.
     pub fn effective_encode_lanes(&self, threads: u32) -> u32 {
         self.encode_lanes.unwrap_or(threads).max(1)
+    }
+
+    /// Switches the encode path to chunk framing: one page-batch record
+    /// per `pages`-page chunk.
+    pub fn with_encode_chunk_pages(mut self, pages: u32) -> Self {
+        self.encode_chunk_pages = Some(pages.max(1));
+        self
+    }
+
+    /// Streams encoded chunks to the consumer through a bounded window of
+    /// `depth` chunks instead of barriering on the whole encode.
+    pub fn with_overlap_channel_depth(mut self, depth: u32) -> Self {
+        self.overlap_channel_depth = Some(depth.max(1));
+        self
+    }
+
+    /// Enables virtual-time encode/wire overlap accounting for the
+    /// Transfer stage.
+    pub fn with_overlap_transfer(mut self) -> Self {
+        self.overlap_transfer = true;
+        self
+    }
+
+    /// Chunks a `pages`-page epoch will be framed into: one per chunk when
+    /// chunk framing is on, otherwise one per encode lane shard.
+    pub fn epoch_chunks(&self, pages: u64, threads: u32) -> u64 {
+        match self.encode_chunk_pages {
+            Some(p) => pages.div_ceil(u64::from(p.max(1))).max(1),
+            None => u64::from(self.effective_encode_lanes(threads)).min(pages.max(1)),
+        }
     }
 }
 

@@ -1,30 +1,51 @@
-//! The zero-copy parallel checkpoint data plane.
+//! The zero-copy, work-stealing, pipelined checkpoint data plane.
 //!
-//! PR 1 made the *harvest* side genuinely threaded; this module extends
-//! the executed-parallelism boundary through translate and encode. Each
-//! checkpoint's [`MemoryDelta`] is sharded into per-worker slices, and
-//! `std::thread::scope` workers materialize page payloads, translate vCPU
-//! state, compute streaming checksums, and encode their own length-framed
-//! page-batch records concurrently — each into its own pooled `BytesMut`
-//! lane buffer. The transfer stage splices the frozen lane segments into a
-//! [`ScatterStream`]; nothing is concatenated or re-sorted.
+//! PR 1 made the *harvest* side genuinely threaded and PR 2 made encode
+//! zero-copy; this revision makes encode genuinely parallel and lets it
+//! overlap the transfer stage. Three pieces:
+//!
+//! - [`LanePool`] — a persistent work-stealing pool owned by
+//!   [`CheckpointPools`]. Worker threads are spawned once and parked
+//!   between checkpoints (no per-epoch `thread::scope` spawn/join).
+//!   Each encode round splits its pages into tasks on per-lane queues
+//!   (round-robin by task index, so a lane re-encodes the same memory
+//!   regions epoch after epoch — warm affinity); a lane that drains its
+//!   own queue steals from the back of the fullest other lane.
+//! - **Chunked framing** — a round's tasks are either the legacy
+//!   one-record-per-lane shards (`chunk_pages: None`, byte-identical to
+//!   the PR 2 wire format) or fixed-size page chunks, one record per
+//!   chunk, which gives the pool enough tasks to actually steal.
+//! - **Streamed hand-off** — completed task segments pass through a
+//!   bounded in-order window to a consumer running on the calling
+//!   thread ([`EncodePlan::window`]), so transfer/decode work proceeds
+//!   while later chunks are still encoding. Segments are always
+//!   delivered in task order, so the assembled stream is byte-identical
+//!   to the barrier path at every window depth.
 //!
 //! Allocation lifecycle: [`BufferPool`] hands out recycled `BytesMut`
 //! buffers and reclaims them from spent `Bytes` segments via
-//! `try_into_mut` (sole-owner, whole-allocation reclamation), so the
-//! steady-state checkpoint loop reuses the same handful of allocations
-//! round after round. [`CheckpointPools`] bundles the pool with the
-//! reusable harvest delta and per-lane collect scratch that
-//! [`crate::session::Session`] threads through every checkpoint.
+//! `try_into_mut` (sole-owner, whole-allocation reclamation); the pool's
+//! round scratch (the copied entry table and task slots) is likewise
+//! reused across epochs, so the steady-state checkpoint loop performs no
+//! allocation once warm. [`CheckpointPools`] bundles all of it for
+//! [`crate::session::Session`].
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
 
 use bytes::{Bytes, BytesMut};
 
 use here_hypervisor::memory::{materialize_content_into, GuestMemory, PageVersion, PAGE_SIZE};
 use here_hypervisor::vcpu::VcpuStateBlob;
+use here_hypervisor::PageId;
 use here_vmstate::cir::CpuStateCir;
+use here_vmstate::simd;
 use here_vmstate::translate::{StateTranslator, TranslateResult};
 use here_vmstate::wire::{
-    encode_page_batch_into, PageDataWriter, Record, ScatterStream, StreamDecoder,
+    encode_page_batch_into, write_preamble, PageDataWriter, Record, ScatterStream, StreamDecoder,
     PAGE_CONTENT_BYTES, PAGE_META_BYTES,
 };
 use here_vmstate::MemoryDelta;
@@ -38,6 +59,10 @@ const SEGMENT_SLACK: usize = 64;
 /// Below this many pages a parallel encode is not worth the thread
 /// wake-ups; the shard loop collapses to one lane.
 pub const PARALLEL_ENCODE_MIN_PAGES: usize = 1024;
+
+/// Default chunk size (pages) for chunk-framed rounds: 2 MiB of guest
+/// memory, matching the harvest side's chunk granularity.
+pub const DEFAULT_CHUNK_PAGES: u32 = 512;
 
 /// What an encoded page record carries for each page.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -119,9 +144,450 @@ impl BufferPool {
     }
 }
 
+/// How one encode round is split, framed and handed off.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EncodePlan {
+    /// Encode lanes (parallel workers) for the round.
+    pub lanes: u32,
+    /// Record payload mode.
+    pub mode: PayloadMode,
+    /// `None`: legacy framing, one record per lane shard
+    /// (`delta.shards(lanes)` boundaries — byte-identical to the
+    /// pre-pool wire format). `Some(p)`: one record per `p`-page chunk.
+    pub chunk_pages: Option<u32>,
+    /// `None`: barrier — the caller participates as lane 0 and segments
+    /// are delivered after the whole round completes. `Some(d)`: the
+    /// caller acts as the consumer of a bounded in-order window of `d`
+    /// chunks; encode lanes block when they run `d` chunks ahead of the
+    /// consumer (backpressure), and the consumer sees each segment as
+    /// soon as it and all its predecessors are done.
+    pub window: Option<u32>,
+}
+
+impl EncodePlan {
+    /// The legacy plan: shard framing, barrier hand-off.
+    pub fn legacy(lanes: u32, mode: PayloadMode) -> Self {
+        EncodePlan {
+            lanes,
+            mode,
+            chunk_pages: None,
+            window: None,
+        }
+    }
+}
+
+/// Per-lane activity of one encode round.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LaneRoundStats {
+    /// Tasks this lane executed (own + stolen).
+    pub tasks: u64,
+    /// Tasks this lane stole from another lane's queue.
+    pub steals: u64,
+    /// Host nanoseconds this lane spent encoding.
+    pub busy_nanos: u64,
+}
+
+/// What one encode round did, per lane and in aggregate.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EncodeRoundStats {
+    /// Per-lane activity, indexed by logical lane.
+    pub per_lane: Vec<LaneRoundStats>,
+    /// Wall nanoseconds of the whole round (split + encode + hand-off).
+    pub round_wall_nanos: u64,
+}
+
+impl EncodeRoundStats {
+    /// Total tasks executed.
+    pub fn tasks(&self) -> u64 {
+        self.per_lane.iter().map(|l| l.tasks).sum()
+    }
+
+    /// Total steals.
+    pub fn steals(&self) -> u64 {
+        self.per_lane.iter().map(|l| l.steals).sum()
+    }
+
+    /// Lane occupancy: busy time over `lanes × round wall`, as a
+    /// percentage (0 when no pool round ran).
+    pub fn occupancy_pct(&self) -> f64 {
+        let lanes = self.per_lane.len();
+        if lanes == 0 || self.round_wall_nanos == 0 {
+            return 0.0;
+        }
+        let busy: u64 = self.per_lane.iter().map(|l| l.busy_nanos).sum();
+        busy as f64 / (self.round_wall_nanos as f64 * lanes as f64) * 100.0
+    }
+}
+
+/// Cumulative pool counters across all rounds since the pool was built.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LanePoolTotals {
+    /// Rounds dispatched through the pool (inline rounds not counted).
+    pub rounds: u64,
+    /// Tasks executed.
+    pub tasks: u64,
+    /// Tasks stolen.
+    pub steals: u64,
+    /// Encode busy nanoseconds summed over lanes.
+    pub busy_nanos: u64,
+}
+
+// ---------------------------------------------------------------------------
+// LanePool internals
+// ---------------------------------------------------------------------------
+
+struct Segment {
+    bytes: Bytes,
+    wall_nanos: u64,
+}
+
+/// Mutable round state shared between lanes and the consumer: task input
+/// buffers, completed output slots and the in-order window cursor.
+struct Progress {
+    inputs: Vec<Option<BytesMut>>,
+    slots: Vec<Option<Segment>>,
+    consumed: usize,
+}
+
+#[derive(Default)]
+struct LaneCell {
+    tasks: AtomicU64,
+    steals: AtomicU64,
+    busy_nanos: AtomicU64,
+}
+
+/// One dispatched encode round. Entries are *copied* in (≈16 bytes per
+/// page — trivial next to the encoded output), which is what lets the
+/// worker threads outlive any borrow of the caller's delta without
+/// `unsafe` lifetime laundering; the entry table itself is recycled
+/// round to round via [`RoundScratch`].
+struct Round {
+    entries: Vec<(PageId, PageVersion)>,
+    tasks: Vec<(usize, usize)>,
+    mode: PayloadMode,
+    lanes: usize,
+    caller_participates: bool,
+    depth: usize,
+    queues: Vec<Mutex<VecDeque<usize>>>,
+    progress: Mutex<Progress>,
+    producer_cv: Condvar,
+    consumer_cv: Condvar,
+    lane_stats: Vec<LaneCell>,
+}
+
+impl Round {
+    /// Which logical lane pool worker `idx` plays this round, if any.
+    /// When the caller participates it takes lane 0 and workers cover
+    /// lanes `1..`; otherwise workers cover lanes `0..`.
+    fn lane_for_worker(&self, idx: usize) -> Option<usize> {
+        let lane = if self.caller_participates {
+            idx + 1
+        } else {
+            idx
+        };
+        (lane < self.lanes).then_some(lane)
+    }
+
+    fn workers_engaged(&self) -> usize {
+        if self.caller_participates {
+            self.lanes - 1
+        } else {
+            self.lanes
+        }
+    }
+
+    /// Claims the next task for `lane`: its own queue front first, then a
+    /// steal from the back of the fullest other queue.
+    fn claim(&self, lane: usize) -> Option<(usize, bool)> {
+        if let Some(task) = self.queues[lane].lock().expect("queue lock").pop_front() {
+            return Some((task, false));
+        }
+        loop {
+            let victim = self
+                .queues
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != lane)
+                .map(|(i, q)| (q.lock().expect("queue lock").len(), i))
+                .max()?;
+            if victim.0 == 0 {
+                return None;
+            }
+            if let Some(task) = self.queues[victim.1].lock().expect("queue lock").pop_back() {
+                return Some((task, true));
+            }
+        }
+    }
+
+    /// Runs `lane` until no tasks remain anywhere.
+    fn work(&self, lane: usize) {
+        while let Some((task, stolen)) = self.claim(lane) {
+            let mut buf = {
+                let mut p = self.progress.lock().expect("progress lock");
+                // Bounded window: never run more than `depth` chunks ahead
+                // of the consumer. Safe against deadlock because lane
+                // queues ascend and steals take the *highest* index, so
+                // the owner of the lowest unconsumed chunk is never the
+                // one blocked here (see DESIGN.md).
+                while task >= p.consumed + self.depth {
+                    p = self.producer_cv.wait(p).expect("window wait");
+                }
+                p.inputs[task].take().expect("task buffer claimed once")
+            };
+            let start = Instant::now();
+            let (lo, hi) = self.tasks[task];
+            encode_shard(&self.entries[lo..hi], self.mode, &mut buf);
+            let wall = start.elapsed().as_nanos() as u64;
+            let cell = &self.lane_stats[lane];
+            cell.tasks.fetch_add(1, Ordering::Relaxed);
+            if stolen {
+                cell.steals.fetch_add(1, Ordering::Relaxed);
+            }
+            cell.busy_nanos.fetch_add(wall, Ordering::Relaxed);
+            let mut p = self.progress.lock().expect("progress lock");
+            p.slots[task] = Some(Segment {
+                bytes: buf.freeze(),
+                wall_nanos: wall,
+            });
+            self.consumer_cv.notify_all();
+        }
+    }
+}
+
+struct PoolState {
+    round: Option<Arc<Round>>,
+    epoch: u64,
+    idle: usize,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    work_cv: Condvar,
+    done_cv: Condvar,
+}
+
+/// Recycled allocations for round construction.
+#[derive(Default)]
+struct RoundScratch {
+    entries: Vec<(PageId, PageVersion)>,
+    tasks: Vec<(usize, usize)>,
+}
+
+/// The persistent work-stealing encode pool.
+///
+/// Workers are spawned lazily the first time a round needs them, then
+/// parked on a condvar between rounds; [`Drop`] shuts them down and
+/// joins. All dispatch state is internally synchronised, so the pool is
+/// shared by `&` reference alongside a `&mut BufferPool`.
+pub struct LanePool {
+    shared: Arc<PoolShared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    scratch: Mutex<RoundScratch>,
+    totals: Mutex<LanePoolTotals>,
+    last_round: Mutex<EncodeRoundStats>,
+}
+
+impl std::fmt::Debug for LanePool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LanePool")
+            .field("workers", &self.workers.lock().expect("workers lock").len())
+            .field("totals", &self.totals())
+            .finish()
+    }
+}
+
+impl Default for LanePool {
+    fn default() -> Self {
+        LanePool {
+            shared: Arc::new(PoolShared {
+                state: Mutex::new(PoolState {
+                    round: None,
+                    epoch: 0,
+                    idle: 0,
+                    shutdown: false,
+                }),
+                work_cv: Condvar::new(),
+                done_cv: Condvar::new(),
+            }),
+            workers: Mutex::new(Vec::new()),
+            scratch: Mutex::new(RoundScratch::default()),
+            totals: Mutex::new(LanePoolTotals::default()),
+            last_round: Mutex::new(EncodeRoundStats::default()),
+        }
+    }
+}
+
+impl LanePool {
+    /// A pool with no workers yet; they spawn on first use.
+    pub fn new() -> Self {
+        LanePool::default()
+    }
+
+    /// Worker threads currently alive.
+    pub fn workers_spawned(&self) -> usize {
+        self.workers.lock().expect("workers lock").len()
+    }
+
+    /// Cumulative counters since construction.
+    pub fn totals(&self) -> LanePoolTotals {
+        *self.totals.lock().expect("totals lock")
+    }
+
+    /// Stats of the most recent pool round (zeroes if none ran yet).
+    pub fn last_round(&self) -> EncodeRoundStats {
+        self.last_round.lock().expect("last round lock").clone()
+    }
+
+    fn ensure_workers(&self, needed: usize) {
+        let mut workers = self.workers.lock().expect("workers lock");
+        while workers.len() < needed {
+            let idx = workers.len();
+            let shared = Arc::clone(&self.shared);
+            let handle = std::thread::Builder::new()
+                .name(format!("encode-lane-{}", idx + 1))
+                .spawn(move || worker_main(shared, idx))
+                .expect("spawn encode lane worker");
+            workers.push(handle);
+        }
+    }
+
+    /// Dispatches one round and consumes its segments in task order via
+    /// `on_segment`. Returns per-task walls and the round's lane stats.
+    fn run_round(
+        &self,
+        round: Round,
+        mut on_segment: impl FnMut(usize, Segment),
+    ) -> (Vec<u64>, EncodeRoundStats) {
+        let ntasks = round.tasks.len();
+        let start = Instant::now();
+        let engaged = round.workers_engaged();
+        self.ensure_workers(engaged);
+        let worker_total = self.workers_spawned();
+        let caller_lane = round.caller_participates.then_some(0usize);
+        let round = Arc::new(round);
+        {
+            let mut st = self.shared.state.lock().expect("pool state lock");
+            while st.idle < worker_total {
+                st = self.shared.done_cv.wait(st).expect("pool idle wait");
+            }
+            st.round = Some(Arc::clone(&round));
+            st.epoch += 1;
+            self.shared.work_cv.notify_all();
+        }
+        if let Some(lane) = caller_lane {
+            round.work(lane);
+        }
+        // Consume completed segments strictly in task order; each consume
+        // opens one more window slot for the producers.
+        let mut walls = vec![0u64; ntasks];
+        for (next, wall) in walls.iter_mut().enumerate() {
+            let seg = {
+                let mut p = round.progress.lock().expect("progress lock");
+                loop {
+                    if let Some(seg) = p.slots[next].take() {
+                        p.consumed = next + 1;
+                        round.producer_cv.notify_all();
+                        break seg;
+                    }
+                    p = round.consumer_cv.wait(p).expect("consumer wait");
+                }
+            };
+            *wall = seg.wall_nanos;
+            on_segment(next, seg);
+        }
+        // Reclaim the round: drop the dispatch slot, wait for every worker
+        // to park (each drops its Arc clone *before* raising `idle`), then
+        // unwrap the sole remaining Arc and recycle its allocations.
+        {
+            let mut st = self.shared.state.lock().expect("pool state lock");
+            st.round = None;
+            while st.idle < worker_total {
+                st = self.shared.done_cv.wait(st).expect("pool drain wait");
+            }
+        }
+        let round = Arc::try_unwrap(round)
+            .ok()
+            .expect("round has no other holders once workers parked");
+        let stats = EncodeRoundStats {
+            per_lane: round
+                .lane_stats
+                .iter()
+                .map(|c| LaneRoundStats {
+                    tasks: c.tasks.load(Ordering::Relaxed),
+                    steals: c.steals.load(Ordering::Relaxed),
+                    busy_nanos: c.busy_nanos.load(Ordering::Relaxed),
+                })
+                .collect(),
+            round_wall_nanos: start.elapsed().as_nanos() as u64,
+        };
+        {
+            let mut scratch = self.scratch.lock().expect("scratch lock");
+            scratch.entries = round.entries;
+            scratch.entries.clear();
+            scratch.tasks = round.tasks;
+            scratch.tasks.clear();
+        }
+        {
+            let mut totals = self.totals.lock().expect("totals lock");
+            totals.rounds += 1;
+            totals.tasks += stats.tasks();
+            totals.steals += stats.steals();
+            totals.busy_nanos += stats.per_lane.iter().map(|l| l.busy_nanos).sum::<u64>();
+        }
+        *self.last_round.lock().expect("last round lock") = stats.clone();
+        (walls, stats)
+    }
+}
+
+impl Drop for LanePool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().expect("pool state lock");
+            st.shutdown = true;
+            self.shared.work_cv.notify_all();
+        }
+        for handle in self.workers.lock().expect("workers lock").drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_main(shared: Arc<PoolShared>, idx: usize) {
+    let mut guard = shared.state.lock().expect("pool state lock");
+    let mut last_epoch = guard.epoch;
+    guard.idle += 1;
+    shared.done_cv.notify_all();
+    loop {
+        while !guard.shutdown && guard.epoch == last_epoch {
+            guard = shared.work_cv.wait(guard).expect("worker park");
+        }
+        if guard.shutdown {
+            return;
+        }
+        last_epoch = guard.epoch;
+        let engaged = guard
+            .round
+            .clone()
+            .and_then(|round| round.lane_for_worker(idx).map(|lane| (round, lane)));
+        if let Some((round, lane)) = engaged {
+            guard.idle -= 1;
+            drop(guard);
+            round.work(lane);
+            // The Arc clone must die before `idle` rises again: the
+            // dispatcher relies on `idle == workers` implying it holds
+            // the only reference to the round.
+            drop(round);
+            guard = shared.state.lock().expect("pool state lock");
+            guard.idle += 1;
+            shared.done_cv.notify_all();
+        }
+    }
+}
+
 /// All allocation-reuse state one session threads through its checkpoint
-/// loop: the harvest delta, the per-lane collect scratch, and the encode
-/// buffer pool.
+/// loop: the harvest delta, the per-lane collect scratch, the encode
+/// buffer pool and the persistent encode lane pool.
 #[derive(Debug, Default)]
 pub struct CheckpointPools {
     /// Reused harvest output (taken during Harvest, returned after
@@ -131,6 +597,8 @@ pub struct CheckpointPools {
     pub collect: CollectScratch,
     /// Encode segment buffers, reclaimed after each Transfer.
     pub buffers: BufferPool,
+    /// The persistent work-stealing encode pool.
+    pub lanes: LanePool,
     /// Replica-side decode staging: pages accumulate here while a
     /// checkpoint stream is validated, and are installed into guest
     /// memory only after the trailer checks out — a corrupt or truncated
@@ -172,16 +640,144 @@ fn encode_shard(
     }
 }
 
+/// Splits `n` entries into task ranges per `plan`: legacy framing uses
+/// the `delta.shards(lanes)` boundaries (near-equal contiguous slices,
+/// one per lane); chunk framing uses fixed `chunk_pages` strides.
+fn plan_tasks(n: usize, plan: &EncodePlan, out: &mut Vec<(usize, usize)>) {
+    out.clear();
+    if n == 0 {
+        return;
+    }
+    let stride = match plan.chunk_pages {
+        Some(p) => (p as usize).max(1),
+        None => n.div_ceil(plan.lanes.max(1) as usize),
+    };
+    let mut lo = 0;
+    while lo < n {
+        let hi = (lo + stride).min(n);
+        out.push((lo, hi));
+        lo = hi;
+    }
+}
+
+/// Encodes a delta's pages per `plan`, delivering frozen segments
+/// strictly in task (= ascending frame) order through `on_segment`.
+/// Returns per-task encode walls (host ns) and the round's lane stats.
+///
+/// With `plan.window: None` the caller participates as lane 0 and
+/// `on_segment` runs after the barrier; with `Some(d)` the caller is the
+/// consumer of a bounded `d`-chunk window and `on_segment` overlaps the
+/// remaining encode work. Small rounds (a single task, or a single
+/// lane with no window) are encoded inline without touching the pool.
+///
+/// # Panics
+///
+/// Panics if `plan.lanes` is zero.
+pub fn encode_pages_round(
+    delta: &MemoryDelta,
+    plan: &EncodePlan,
+    pool: &mut BufferPool,
+    lanes: &LanePool,
+    mut on_segment: impl FnMut(usize, Bytes),
+) -> (Vec<u64>, EncodeRoundStats) {
+    assert!(plan.lanes >= 1, "at least one encode lane is required");
+    let split_start = Instant::now();
+    let entries = delta.entries();
+    let mut scratch = {
+        let mut s = lanes.scratch.lock().expect("scratch lock");
+        RoundScratch {
+            entries: std::mem::take(&mut s.entries),
+            tasks: std::mem::take(&mut s.tasks),
+        }
+    };
+    plan_tasks(entries.len(), plan, &mut scratch.tasks);
+    let ntasks = scratch.tasks.len();
+    if ntasks == 0 {
+        let mut s = lanes.scratch.lock().expect("scratch lock");
+        *s = scratch;
+        return (Vec::new(), EncodeRoundStats::default());
+    }
+    let mut bufs: Vec<BytesMut> = scratch
+        .tasks
+        .iter()
+        .map(|&(lo, hi)| pool.checkout(segment_capacity(hi - lo, plan.mode)))
+        .collect();
+
+    let inline = ntasks == 1 || (plan.lanes == 1 && plan.window.is_none());
+    if inline {
+        // No pool, no entry copy: the caller encodes every task itself.
+        let mut walls = vec![0u64; ntasks];
+        let split_nanos = split_start.elapsed().as_nanos() as u64;
+        for (i, buf) in bufs.iter_mut().enumerate() {
+            let (lo, hi) = scratch.tasks[i];
+            let start = Instant::now();
+            encode_shard(&entries[lo..hi], plan.mode, buf);
+            walls[i] = start.elapsed().as_nanos() as u64;
+        }
+        // Task-split time belongs to lane 0, so attribution still sums
+        // to the whole encode (see the straggler detector in analyze.rs).
+        walls[0] += split_nanos;
+        for (i, buf) in bufs.into_iter().enumerate() {
+            on_segment(i, buf.freeze());
+        }
+        let mut s = lanes.scratch.lock().expect("scratch lock");
+        *s = scratch;
+        return (walls, EncodeRoundStats::default());
+    }
+
+    let round_lanes = (plan.lanes as usize).min(ntasks).max(1);
+    scratch.entries.clear();
+    scratch.entries.extend_from_slice(entries);
+    let caller_participates = plan.window.is_none();
+    let queues: Vec<Mutex<VecDeque<usize>>> = (0..round_lanes)
+        .map(|lane| {
+            Mutex::new(
+                (lane..ntasks)
+                    .step_by(round_lanes)
+                    .collect::<VecDeque<usize>>(),
+            )
+        })
+        .collect();
+    let depth = plan
+        .window
+        .map(|d| (d as usize).max(1))
+        .unwrap_or(ntasks)
+        .min(ntasks);
+    let round = Round {
+        entries: scratch.entries,
+        tasks: scratch.tasks,
+        mode: plan.mode,
+        lanes: round_lanes,
+        caller_participates,
+        depth,
+        queues,
+        progress: Mutex::new(Progress {
+            inputs: bufs.into_iter().map(Some).collect(),
+            slots: (0..ntasks).map(|_| None).collect(),
+            consumed: 0,
+        }),
+        producer_cv: Condvar::new(),
+        consumer_cv: Condvar::new(),
+        lane_stats: (0..round_lanes).map(|_| LaneCell::default()).collect(),
+    };
+    let split_nanos = split_start.elapsed().as_nanos() as u64;
+    let (mut walls, stats) = lanes.run_round(round, |i, seg| on_segment(i, seg.bytes));
+    if let Some(first) = walls.first_mut() {
+        *first += split_nanos;
+    }
+    (walls, stats)
+}
+
 /// Encodes a delta's pages as one length-framed page-batch record per
 /// worker lane, concurrently, into pooled buffers. Returns the frozen
 /// segments in shard (= ascending frame) order, ready to be spliced into a
 /// [`ScatterStream`].
 ///
-/// Each worker owns one contiguous shard of the delta and one buffer, so
-/// no synchronisation exists beyond the scope join. In `Materialized`
-/// mode the workers also materialize every 4 KiB page image (into a
-/// per-lane stack buffer — no per-page heap traffic) and fold it into the
-/// record's streaming checksum as it is appended.
+/// Legacy shard framing: byte-identical to the pre-pool encoder at every
+/// lane count. In `Materialized` mode the lanes also materialize every
+/// 4 KiB page image (into a per-lane stack buffer — no per-page heap
+/// traffic) and fold it into the record's streaming checksum as it is
+/// appended.
 ///
 /// # Panics
 ///
@@ -191,16 +787,18 @@ pub fn encode_pages_parallel(
     lanes: u32,
     mode: PayloadMode,
     pool: &mut BufferPool,
+    lane_pool: &LanePool,
 ) -> Vec<Bytes> {
-    encode_pages_parallel_timed(delta, lanes, mode, pool).0
+    encode_pages_parallel_timed(delta, lanes, mode, pool, lane_pool).0
 }
 
-/// [`encode_pages_parallel`] plus per-lane wall-clock timings: result `.1`
-/// holds, for each returned segment, the host nanoseconds its lane spent
-/// encoding (measured around the shard encode only, not the buffer
-/// checkout). The telemetry layer feeds these into the
-/// `here_encode_lane_wall_nanos` histogram and the flight recorder, making
-/// lane imbalance observable without re-instrumenting call sites.
+/// [`encode_pages_parallel`] plus per-shard wall-clock timings: result
+/// `.1` holds, for each returned segment, the host nanoseconds spent
+/// encoding it (shard 0's wall also carries the task-split/dispatch
+/// cost, so the walls sum to the whole encode). The telemetry layer
+/// feeds these into the `here_encode_lane_wall_nanos` histogram and the
+/// flight recorder, making lane imbalance observable without
+/// re-instrumenting call sites.
 ///
 /// # Panics
 ///
@@ -210,6 +808,7 @@ pub fn encode_pages_parallel_timed(
     lanes: u32,
     mode: PayloadMode,
     pool: &mut BufferPool,
+    lane_pool: &LanePool,
 ) -> (Vec<Bytes>, Vec<u64>) {
     assert!(lanes >= 1, "at least one encode lane is required");
     let lanes = if delta.len() < PARALLEL_ENCODE_MIN_PAGES {
@@ -217,31 +816,12 @@ pub fn encode_pages_parallel_timed(
     } else {
         lanes
     };
-    let shards = delta.shards(lanes as usize);
-    if shards.is_empty() {
-        return (Vec::new(), Vec::new());
-    }
-    let mut bufs: Vec<BytesMut> = shards
-        .iter()
-        .map(|s| pool.checkout(segment_capacity(s.len(), mode)))
-        .collect();
-    let mut walls = vec![0u64; shards.len()];
-    if shards.len() == 1 {
-        let start = std::time::Instant::now();
-        encode_shard(shards[0], mode, &mut bufs[0]);
-        walls[0] = start.elapsed().as_nanos() as u64;
-    } else {
-        std::thread::scope(|scope| {
-            for ((shard, buf), wall) in shards.iter().zip(bufs.iter_mut()).zip(walls.iter_mut()) {
-                scope.spawn(move || {
-                    let start = std::time::Instant::now();
-                    encode_shard(shard, mode, buf);
-                    *wall = start.elapsed().as_nanos() as u64;
-                });
-            }
-        });
-    }
-    (bufs.into_iter().map(BytesMut::freeze).collect(), walls)
+    let plan = EncodePlan::legacy(lanes, mode);
+    let mut segments = Vec::new();
+    let (walls, _) = encode_pages_round(delta, &plan, pool, lane_pool, |_, seg| {
+        segments.push(seg);
+    });
+    (segments, walls)
 }
 
 fn blob_to_cir(
@@ -296,6 +876,40 @@ pub fn translate_vcpus_parallel(
     Ok(out)
 }
 
+fn install_record(
+    record: Record,
+    replica: &mut GuestMemory,
+    verify_content: bool,
+    expected: &mut [u8; PAGE_SIZE as usize],
+) -> CoreResult<u64> {
+    let mut pages_installed = 0u64;
+    match record {
+        Record::PageBatch(batch) => {
+            for &(page, rec) in batch.entries() {
+                replica.install_page(page, rec)?;
+                pages_installed += 1;
+            }
+        }
+        Record::PageDataBatch(batch) => {
+            for &(page, rec, ref content) in batch.pages() {
+                if verify_content {
+                    materialize_content_into(page, rec, expected);
+                    if !simd::active().bytes_equal(&content[..], &expected[..]) {
+                        return Err(CoreError::InvalidScenario(format!(
+                            "page {} content diverged from its version record",
+                            page.frame()
+                        )));
+                    }
+                }
+                replica.install_page(page, rec)?;
+                pages_installed += 1;
+            }
+        }
+        _ => {}
+    }
+    Ok(pages_installed)
+}
+
 /// Decodes a (possibly scattered) checkpoint stream and installs every
 /// page record into `replica` — the receive side of the datapath. With
 /// `verify_content` set, each materialized payload is checked against the
@@ -317,32 +931,60 @@ pub fn decode_and_restore(
     let mut pages_installed = 0u64;
     let mut expected = [0u8; PAGE_SIZE as usize];
     while let Some(record) = dec.next_record()? {
-        match record {
-            Record::PageBatch(batch) => {
-                for &(page, rec) in batch.entries() {
-                    replica.install_page(page, rec)?;
-                    pages_installed += 1;
-                }
-            }
-            Record::PageDataBatch(batch) => {
-                for &(page, rec, ref content) in batch.pages() {
-                    if verify_content {
-                        materialize_content_into(page, rec, &mut expected);
-                        if content[..] != expected[..] {
-                            return Err(CoreError::InvalidScenario(format!(
-                                "page {} content diverged from its version record",
-                                page.frame()
-                            )));
-                        }
-                    }
-                    replica.install_page(page, rec)?;
-                    pages_installed += 1;
-                }
-            }
-            _ => {}
-        }
+        pages_installed += install_record(record, replica, verify_content, &mut expected)?;
     }
     Ok(pages_installed)
+}
+
+/// Incremental receive side for the streamed encode path: accepts lane
+/// segments one at a time, decoding and installing each as it arrives —
+/// this is what lets decode/transfer work overlap the still-running
+/// encode lanes. Each accepted segment must hold complete records (which
+/// every segment produced by [`encode_pages_round`] does).
+#[derive(Debug)]
+pub struct SegmentRestorer<'a> {
+    replica: &'a mut GuestMemory,
+    verify_content: bool,
+    preamble: Bytes,
+    installed: u64,
+}
+
+impl<'a> SegmentRestorer<'a> {
+    /// A restorer installing into `replica`.
+    pub fn new(replica: &'a mut GuestMemory, verify_content: bool) -> Self {
+        let mut head = BytesMut::with_capacity(8);
+        write_preamble(&mut head);
+        SegmentRestorer {
+            replica,
+            verify_content,
+            preamble: head.freeze(),
+            installed: 0,
+        }
+    }
+
+    /// Decodes one segment and installs its pages. The caller keeps its
+    /// `Bytes` handle, so once this returns (all record slices dropped)
+    /// the segment can be recycled into a [`BufferPool`].
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`decode_and_restore`].
+    pub fn accept(&mut self, segment: &Bytes) -> CoreResult<()> {
+        let mut stream = ScatterStream::from(self.preamble.clone());
+        stream.push(segment.clone());
+        let mut dec = StreamDecoder::new_scattered(stream)?;
+        let mut expected = [0u8; PAGE_SIZE as usize];
+        while let Some(record) = dec.next_record()? {
+            self.installed +=
+                install_record(record, self.replica, self.verify_content, &mut expected)?;
+        }
+        Ok(())
+    }
+
+    /// Pages installed so far.
+    pub fn installed(&self) -> u64 {
+        self.installed
+    }
 }
 
 #[cfg(test)]
@@ -353,7 +995,6 @@ mod tests {
     use here_hypervisor::vcpu::XenVcpuState;
     use here_hypervisor::PageId;
     use here_sim_core::rate::ByteSize;
-    use here_vmstate::wire::write_preamble;
 
     fn delta_of(n: u64) -> MemoryDelta {
         (0..n)
@@ -407,15 +1048,18 @@ mod tests {
         // covered by the checksummed round-trip tests below.
         let delta = delta_of(4096);
         let mut pool = BufferPool::new();
+        let lp = LanePool::new();
         let reference = decoded_pages(splice(encode_pages_parallel(
             &delta,
             1,
             PayloadMode::Materialized,
             &mut pool,
+            &lp,
         )));
         assert_eq!(reference.len(), delta.len());
         for lanes in [2u32, 4, 8] {
-            let segs = encode_pages_parallel(&delta, lanes, PayloadMode::Materialized, &mut pool);
+            let segs =
+                encode_pages_parallel(&delta, lanes, PayloadMode::Materialized, &mut pool, &lp);
             let got = decoded_pages(splice(segs));
             assert!(got == reference, "lanes={lanes} decoded differently");
         }
@@ -425,7 +1069,8 @@ mod tests {
     fn restore_round_trips_materialized_pages() {
         let delta = delta_of(2048);
         let mut pool = BufferPool::new();
-        let segs = encode_pages_parallel(&delta, 4, PayloadMode::Materialized, &mut pool);
+        let lp = LanePool::new();
+        let segs = encode_pages_parallel(&delta, 4, PayloadMode::Materialized, &mut pool, &lp);
         let mut replica = GuestMemory::new(ByteSize::from_mib(32)).unwrap();
         let installed = decode_and_restore(splice(segs), &mut replica, true).unwrap();
         assert_eq!(installed, delta.len() as u64);
@@ -438,7 +1083,8 @@ mod tests {
     fn metadata_mode_matches_session_wire_format() {
         let delta = delta_of(2048);
         let mut pool = BufferPool::new();
-        let segs = encode_pages_parallel(&delta, 4, PayloadMode::Metadata, &mut pool);
+        let lp = LanePool::new();
+        let segs = encode_pages_parallel(&delta, 4, PayloadMode::Metadata, &mut pool, &lp);
         let mut replica = GuestMemory::new(ByteSize::from_mib(32)).unwrap();
         let installed = decode_and_restore(splice(segs), &mut replica, false).unwrap();
         assert_eq!(installed, delta.len() as u64);
@@ -448,8 +1094,9 @@ mod tests {
     fn buffer_pool_reaches_steady_state() {
         let delta = delta_of(4096);
         let mut pool = BufferPool::new();
+        let lp = LanePool::new();
         for round in 0..4 {
-            let segs = encode_pages_parallel(&delta, 4, PayloadMode::Metadata, &mut pool);
+            let segs = encode_pages_parallel(&delta, 4, PayloadMode::Metadata, &mut pool, &lp);
             assert_eq!(segs.len(), 4);
             for seg in segs {
                 assert!(pool.recycle(seg), "round {round}: segment not reclaimed");
@@ -465,12 +1112,13 @@ mod tests {
     fn timed_encode_reports_one_wall_per_lane() {
         let delta = delta_of(4096);
         let mut pool = BufferPool::new();
+        let lp = LanePool::new();
         let (segs, walls) =
-            encode_pages_parallel_timed(&delta, 4, PayloadMode::Metadata, &mut pool);
+            encode_pages_parallel_timed(&delta, 4, PayloadMode::Metadata, &mut pool, &lp);
         assert_eq!(segs.len(), 4);
         assert_eq!(walls.len(), 4);
         // The timed and untimed entry points must produce identical bytes.
-        let plain = encode_pages_parallel(&delta, 4, PayloadMode::Metadata, &mut pool);
+        let plain = encode_pages_parallel(&delta, 4, PayloadMode::Metadata, &mut pool, &lp);
         assert_eq!(segs, plain);
     }
 
@@ -478,8 +1126,109 @@ mod tests {
     fn small_deltas_collapse_to_one_lane() {
         let delta = delta_of(16);
         let mut pool = BufferPool::new();
-        let segs = encode_pages_parallel(&delta, 8, PayloadMode::Metadata, &mut pool);
+        let lp = LanePool::new();
+        let segs = encode_pages_parallel(&delta, 8, PayloadMode::Metadata, &mut pool, &lp);
         assert_eq!(segs.len(), 1);
+        // The inline path never wakes the pool.
+        assert_eq!(lp.workers_spawned(), 0);
+        assert_eq!(lp.totals().rounds, 0);
+    }
+
+    #[test]
+    fn pool_workers_persist_across_rounds() {
+        let delta = delta_of(4096);
+        let mut pool = BufferPool::new();
+        let lp = LanePool::new();
+        for _ in 0..3 {
+            let segs = encode_pages_parallel(&delta, 4, PayloadMode::Metadata, &mut pool, &lp);
+            for seg in segs {
+                pool.recycle(seg);
+            }
+        }
+        // Barrier rounds engage lanes-1 workers (the caller is lane 0),
+        // spawned once and reused.
+        assert_eq!(lp.workers_spawned(), 3);
+        let totals = lp.totals();
+        assert_eq!(totals.rounds, 3);
+        assert_eq!(totals.tasks, 12);
+    }
+
+    #[test]
+    fn chunked_framing_is_depth_invariant() {
+        // The streamed path must produce byte-identical segments to the
+        // barrier path at every window depth.
+        let delta = delta_of(4096);
+        let mut pool = BufferPool::new();
+        let lp = LanePool::new();
+        let barrier = EncodePlan {
+            lanes: 4,
+            mode: PayloadMode::Metadata,
+            chunk_pages: Some(256),
+            window: None,
+        };
+        let mut reference = Vec::new();
+        encode_pages_round(&delta, &barrier, &mut pool, &lp, |_, seg| {
+            reference.push(seg)
+        });
+        assert_eq!(reference.len(), 16);
+        for depth in [1u32, 2, 4, 64] {
+            let plan = EncodePlan {
+                window: Some(depth),
+                ..barrier
+            };
+            let mut got = Vec::new();
+            encode_pages_round(&delta, &plan, &mut pool, &lp, |_, seg| got.push(seg));
+            assert_eq!(got, reference, "depth={depth}");
+        }
+    }
+
+    #[test]
+    fn streamed_restore_matches_barrier_restore() {
+        let delta = delta_of(3000);
+        let mut pool = BufferPool::new();
+        let lp = LanePool::new();
+        let plan = EncodePlan {
+            lanes: 4,
+            mode: PayloadMode::Materialized,
+            chunk_pages: Some(512),
+            window: Some(2),
+        };
+        let mut streamed = GuestMemory::new(ByteSize::from_mib(32)).unwrap();
+        {
+            let mut restorer = SegmentRestorer::new(&mut streamed, true);
+            encode_pages_round(&delta, &plan, &mut pool, &lp, |_, seg| {
+                restorer.accept(&seg).expect("streamed decode");
+            });
+            assert_eq!(restorer.installed(), delta.len() as u64);
+        }
+        let barrier = EncodePlan {
+            window: None,
+            ..plan
+        };
+        let mut segs = Vec::new();
+        encode_pages_round(&delta, &barrier, &mut pool, &lp, |_, seg| segs.push(seg));
+        let mut spliced = GuestMemory::new(ByteSize::from_mib(32)).unwrap();
+        decode_and_restore(splice(segs), &mut spliced, true).unwrap();
+        assert!(streamed.content_equals(&spliced));
+    }
+
+    #[test]
+    fn round_stats_account_for_every_task() {
+        let delta = delta_of(4096);
+        let mut pool = BufferPool::new();
+        let lp = LanePool::new();
+        let plan = EncodePlan {
+            lanes: 4,
+            mode: PayloadMode::Metadata,
+            chunk_pages: Some(128),
+            window: None,
+        };
+        let (walls, stats) = encode_pages_round(&delta, &plan, &mut pool, &lp, |_, _| {});
+        assert_eq!(walls.len(), 32);
+        assert_eq!(stats.tasks(), 32);
+        assert!(stats.steals() <= 32);
+        assert_eq!(stats.per_lane.len(), 4);
+        assert!(stats.round_wall_nanos > 0);
     }
 
     #[test]
@@ -503,7 +1252,8 @@ mod tests {
     fn corrupted_payload_fails_restore() {
         let delta = delta_of(PARALLEL_ENCODE_MIN_PAGES as u64 * 2);
         let mut pool = BufferPool::new();
-        let segs = encode_pages_parallel(&delta, 2, PayloadMode::Materialized, &mut pool);
+        let lp = LanePool::new();
+        let segs = encode_pages_parallel(&delta, 2, PayloadMode::Materialized, &mut pool, &lp);
         let mut flipped = segs[1].to_vec();
         let mid = flipped.len() / 2;
         flipped[mid] ^= 0x40;

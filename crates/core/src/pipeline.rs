@@ -266,6 +266,7 @@ impl<'s> Paused<'s> {
             pause,
             delta,
             pages,
+            scan,
         })
     }
 }
@@ -277,6 +278,9 @@ pub struct Harvested<'s> {
     pause: SimDuration,
     delta: MemoryDelta,
     pages: u64,
+    /// The *Harvest* stage's parallel-scan duration, carried forward so
+    /// *Transfer* can size the encode/transfer overlap window.
+    scan: SimDuration,
 }
 
 impl<'s> Harvested<'s> {
@@ -289,6 +293,7 @@ impl<'s> Harvested<'s> {
             mut pause,
             delta,
             pages,
+            scan,
         } = self;
         session.chaos_primary_fault(seq, Stage::Translate)?;
         let encode_start = std::time::Instant::now();
@@ -315,6 +320,7 @@ impl<'s> Harvested<'s> {
             pause,
             stream,
             pages,
+            scan,
         })
     }
 }
@@ -326,6 +332,9 @@ pub struct Translated<'s> {
     pause: SimDuration,
     stream: ScatterStream,
     pages: u64,
+    /// The epoch's harvest-scan duration: the window the wire can hide
+    /// under when encode/transfer overlap is on.
+    scan: SimDuration,
 }
 
 impl<'s> Translated<'s> {
@@ -357,6 +366,7 @@ impl<'s> Translated<'s> {
             mut pause,
             stream,
             pages,
+            scan,
         } = self;
         session.chaos_primary_fault(seq, Stage::Transfer)?;
         let bytes = stream.len() as u64;
@@ -448,6 +458,24 @@ impl<'s> Translated<'s> {
                 .iter()
                 .fold(SimDuration::ZERO, |acc, &s| acc.saturating_add(s)),
         };
+        // Encode/transfer overlap (§overlap knob): with the bounded
+        // channel streaming completed chunks onto the wire while later
+        // chunks are still encoding, all but the last chunk's share of
+        // the smaller of (scan, wire) hides under the encode window. The
+        // credit is integer arithmetic — window − window/chunks — so the
+        // accounting stays deterministic, and it applies identically on
+        // the commit and abort paths so the recorded stage duration
+        // always equals the pause contribution. A chain pays its hops
+        // serially but still streams into the first hop, so the credit
+        // applies once to the combined spent, not per hop.
+        let credit = if session.cfg.overlap_transfer {
+            let chunks = session.cfg.epoch_chunks(pages, session.threads);
+            let window = if scan < spent { scan } else { spent };
+            window.saturating_sub(window / chunks.max(1))
+        } else {
+            SimDuration::ZERO
+        };
+        let visible = spent.saturating_sub(credit);
         let wall = apply_start.elapsed().as_nanos() as u64;
         let quorum = session.ledger.quorum() as usize;
         if applied.len() < quorum {
@@ -455,8 +483,9 @@ impl<'s> Translated<'s> {
             // abort it wholesale, exactly like a single exhausted pair.
             session.recycle_stream(stream);
             let at = session.clock;
-            session.record_stage(seq, Stage::Transfer, at, spent, Some(wall), pages, bytes);
-            session.clock += spent;
+            session.note_overlap_credit(credit);
+            session.record_stage(seq, Stage::Transfer, at, visible, Some(wall), pages, bytes);
+            session.clock += visible;
             return Err(crate::error::CoreError::EpochAborted {
                 seq,
                 attempts: max_attempts,
@@ -481,9 +510,10 @@ impl<'s> Translated<'s> {
         }
         session.recycle_stream(stream);
         let at = session.clock;
-        session.record_stage(seq, Stage::Transfer, at, spent, Some(wall), pages, bytes);
-        session.clock += spent;
-        pause += spent;
+        session.note_overlap_credit(credit);
+        session.record_stage(seq, Stage::Transfer, at, visible, Some(wall), pages, bytes);
+        session.clock += visible;
+        pause += visible;
         Ok(Transferred {
             session,
             seq,

@@ -35,7 +35,8 @@ use here_workloads::traits::Workload;
 use crate::chaos::{ChaosState, FaultPlan, TransferFault};
 use crate::config::ReplicationConfig;
 use crate::dataplane::{
-    encode_pages_parallel_timed, translate_vcpus_parallel, CheckpointPools, PayloadMode,
+    encode_pages_parallel_timed, encode_pages_round, translate_vcpus_parallel, CheckpointPools,
+    EncodePlan, PayloadMode, PARALLEL_ENCODE_MIN_PAGES,
 };
 use crate::devmgr::DeviceManager;
 use crate::error::{CoreError, CoreResult};
@@ -150,6 +151,14 @@ pub(crate) struct Session {
     /// [`Session::encode_checkpoint`], drained into lane spans when the
     /// Translate stage is recorded.
     pub(crate) pending_lane_walls: Vec<u64>,
+    /// Wire time the most recent Transfer hid under the encode window
+    /// (encode/transfer overlap), drained into a `wire_overlap` child
+    /// span when the Transfer stage is recorded. Zero when the overlap
+    /// knob is off, so the default span tree is untouched.
+    pub(crate) pending_overlap_credit: SimDuration,
+    /// Lane-pool rounds already reported to telemetry, so each
+    /// checkpoint emits at most one `encode_pool` flight event.
+    pub(crate) pool_rounds_seen: u64,
     pub(crate) period_decisions: Vec<PeriodDecision>,
     pub(crate) period_series: TimeSeries,
     pub(crate) degradation_series: TimeSeries,
@@ -246,6 +255,8 @@ impl Session {
             spans: SpanRecorder::new(),
             epoch_span: None,
             pending_lane_walls: Vec::new(),
+            pending_overlap_credit: SimDuration::ZERO,
+            pool_rounds_seen: 0,
             period_decisions: Vec::new(),
             period_series: TimeSeries::new("period_secs"),
             degradation_series: TimeSeries::new("degradation_pct"),
@@ -271,6 +282,13 @@ impl Session {
     /// measurement start).
     pub(crate) fn rel(&self, t: SimTime) -> SimTime {
         SimTime::ZERO + t.saturating_duration_since(self.measure_base)
+    }
+
+    /// Stashes the wire time the upcoming Transfer record hid under the
+    /// encode window; drained into a `wire_overlap` child span by
+    /// [`Session::record_stage`].
+    pub(crate) fn note_overlap_credit(&mut self, credit: SimDuration) {
+        self.pending_overlap_credit = credit;
     }
 
     /// Appends one stage event at absolute instant `at`. `wall` carries
@@ -354,6 +372,21 @@ impl Session {
                 }
             }
             Stage::Transfer => {
+                // Wire time hidden under the encode window by the
+                // streamed overlap channel: recorded as a child of the
+                // (shortened) Transfer stage so the span tree shows what
+                // the pause no longer pays. Only emitted when the
+                // overlap knob produced a credit — the default tree (and
+                // its fingerprint) is unchanged.
+                let credit = std::mem::take(&mut self.pending_overlap_credit);
+                if credit > SimDuration::ZERO {
+                    self.spans.push(
+                        SpanDraft::new("wire_overlap", "overlap", Track::Primary, start)
+                            .lasting(credit.as_nanos())
+                            .epoch(event.seq)
+                            .child_of(stage_span),
+                    );
+                }
                 // Each replica decodes and installs its copy of the stream
                 // inside the Transfer window, on its own host and track:
                 // linked by epoch id, not by parent.
@@ -479,17 +512,44 @@ impl Session {
         head.push(&Record::CheckpointBegin { seq });
         let mut stream = ScatterStream::from(head.finish());
 
-        // Page lanes, encoded concurrently into pooled buffers.
+        // Page lanes, encoded concurrently into pooled buffers. Chunk
+        // framing and the streamed window are opt-in: with both knobs off
+        // this is the legacy shard path, byte-identical to prior releases.
         let at_nanos = self.rel(self.clock).as_nanos();
-        let (segments, lane_walls) = encode_pages_parallel_timed(
-            delta,
-            lanes,
-            PayloadMode::Metadata,
-            &mut self.pools.buffers,
-        );
-        for segment in segments {
-            stream.push(segment);
-        }
+        let chunk_pages = self.cfg.encode_chunk_pages;
+        let window = self.cfg.overlap_channel_depth;
+        let lane_walls = if chunk_pages.is_some() || window.is_some() {
+            let plan = EncodePlan {
+                lanes: if delta.len() < PARALLEL_ENCODE_MIN_PAGES {
+                    1
+                } else {
+                    lanes
+                },
+                mode: PayloadMode::Metadata,
+                chunk_pages,
+                window,
+            };
+            let (walls, _stats) = encode_pages_round(
+                delta,
+                &plan,
+                &mut self.pools.buffers,
+                &self.pools.lanes,
+                |_, segment| stream.push(segment),
+            );
+            walls
+        } else {
+            let (segments, walls) = encode_pages_parallel_timed(
+                delta,
+                lanes,
+                PayloadMode::Metadata,
+                &mut self.pools.buffers,
+                &self.pools.lanes,
+            );
+            for segment in segments {
+                stream.push(segment);
+            }
+            walls
+        };
         for (lane, &wall) in lane_walls.iter().enumerate() {
             self.telemetry
                 .on_encode_lane(seq, lane as u64, wall, at_nanos);

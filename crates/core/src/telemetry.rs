@@ -284,6 +284,26 @@ impl SessionTelemetry {
         });
     }
 
+    /// The work-stealing encode pool finished a checkpoint round: record
+    /// how the chunks spread across lanes. Only called when the pool ran
+    /// a multi-lane round, so barrier-era flight dumps are unchanged.
+    pub fn on_encode_pool(
+        &mut self,
+        seq: u64,
+        tasks: u64,
+        steals: u64,
+        occupancy_pct: f64,
+        at_nanos: u64,
+    ) {
+        self.flight.record(FlightEvent::EncodePool {
+            at_nanos,
+            seq,
+            tasks,
+            steals,
+            occupancy_pct,
+        });
+    }
+
     /// Samples the encode buffer pool's cumulative reclaim statistics
     /// (called after each checkpoint's transfer recycles its segments).
     pub fn on_pool_stats(&mut self, hits: u64, misses: u64, pooled: u64, at_nanos: u64) {

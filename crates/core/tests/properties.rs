@@ -1,7 +1,9 @@
 //! Property tests for the parallel checkpoint data plane: worker count
 //! must never change what a checkpoint observes or ships.
 
-use here_core::dataplane::{decode_and_restore, encode_pages_parallel, BufferPool, PayloadMode};
+use here_core::dataplane::{
+    decode_and_restore, encode_pages_parallel, BufferPool, LanePool, PayloadMode,
+};
 use here_core::transfer::{collect_chunked, collect_chunked_into, CollectScratch};
 use here_hypervisor::dirty::DirtyBitmap;
 use here_hypervisor::memory::GuestMemory;
@@ -72,13 +74,20 @@ proptest! {
         let mut scratch = CollectScratch::new();
         let mut delta = MemoryDelta::new();
         let mut pool = BufferPool::new();
+        let lane_pool = LanePool::new();
         for lanes in [2u32, 4, 8] {
             delta.clear();
             collect_chunked_into(&memory, &dirty, lanes, &mut scratch, &mut delta);
             prop_assert_eq!(delta.entries(), reference.entries());
 
             let mut stream = ScatterStream::from(StreamEncoder::new().finish());
-            for seg in encode_pages_parallel(&delta, lanes, PayloadMode::Materialized, &mut pool) {
+            for seg in encode_pages_parallel(
+                &delta,
+                lanes,
+                PayloadMode::Materialized,
+                &mut pool,
+                &lane_pool,
+            ) {
                 stream.push(seg);
             }
             let mut replica = GuestMemory::new(memory.size()).expect("replica size is valid");

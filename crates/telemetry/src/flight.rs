@@ -76,6 +76,20 @@ pub enum FlightEvent {
         /// Wall-clock time the lane spent encoding (ns).
         wall_nanos: u64,
     },
+    /// The work-stealing encode pool's statistics for one checkpoint
+    /// round: how the chunks spread across lanes.
+    EncodePool {
+        /// Virtual timestamp (ns).
+        at_nanos: u64,
+        /// Checkpoint sequence number.
+        seq: u64,
+        /// Encode tasks (chunks or shards) the round executed.
+        tasks: u64,
+        /// Tasks executed by a lane other than their home lane.
+        steals: u64,
+        /// Lane occupancy: busy time over `lanes × round wall`, percent.
+        occupancy_pct: f64,
+    },
     /// A mark on the failover timeline.
     Failover {
         /// Virtual timestamp (ns).
@@ -131,6 +145,7 @@ impl FlightEvent {
             | FlightEvent::PeriodDecision { at_nanos, .. }
             | FlightEvent::PoolReclaim { at_nanos, .. }
             | FlightEvent::EncodeLane { at_nanos, .. }
+            | FlightEvent::EncodePool { at_nanos, .. }
             | FlightEvent::Failover { at_nanos, .. }
             | FlightEvent::Retry { at_nanos, .. }
             | FlightEvent::Fault { at_nanos, .. }
@@ -145,6 +160,7 @@ impl FlightEvent {
             FlightEvent::PeriodDecision { .. } => "period_decision",
             FlightEvent::PoolReclaim { .. } => "pool_reclaim",
             FlightEvent::EncodeLane { .. } => "encode_lane",
+            FlightEvent::EncodePool { .. } => "encode_pool",
             FlightEvent::Failover { .. } => "failover",
             FlightEvent::Retry { .. } => "retry",
             FlightEvent::Fault { .. } => "fault",
@@ -208,6 +224,18 @@ impl FlightEvent {
                 let _ = write!(
                     out,
                     r#"{{"kind":"encode_lane","seq":{seq},"at_nanos":{at_nanos},"lane":{lane},"wall_nanos":{wall_nanos}}}"#,
+                );
+            }
+            FlightEvent::EncodePool {
+                at_nanos,
+                seq,
+                tasks,
+                steals,
+                occupancy_pct,
+            } => {
+                let _ = write!(
+                    out,
+                    r#"{{"kind":"encode_pool","at_nanos":{at_nanos},"seq":{seq},"tasks":{tasks},"steals":{steals},"occupancy_pct":{occupancy_pct:.1}}}"#,
                 );
             }
             FlightEvent::Failover {

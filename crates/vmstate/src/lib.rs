@@ -34,6 +34,7 @@
 
 pub mod cir;
 pub mod compat;
+pub mod simd;
 pub mod translate;
 pub mod wire;
 

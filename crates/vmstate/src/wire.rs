@@ -278,11 +278,12 @@ impl StreamingChecksum {
                 self.pending_len = 0;
             }
         }
-        let mut words = rest.chunks_exact(8);
-        for w in &mut words {
-            self.state = fold64(self.state, u64::from_le_bytes(w.try_into().unwrap()));
-        }
-        for &b in words.remainder() {
+        // The aligned body goes through the runtime-selected wide kernel;
+        // every implementation folds the identical word sequence, so the
+        // digest stays bit-equal to the byte-serial reference.
+        let (state, consumed) = crate::simd::active().fold_words(self.state, rest);
+        self.state = state;
+        for &b in &rest[consumed..] {
             self.pending |= u64::from(b) << (8 * self.pending_len);
             self.pending_len += 1;
         }
