@@ -9,7 +9,7 @@
 //! `tab2`, `tab5`, `demo`, `fig5`, `fig6`, `fig7`, `fig8`, `fig9`, `fig10`,
 //! `fig11`, `fig12`, `fig13`, `fig14`, `fig15`, `fig16`, `fig17`,
 //! `overhead`, `stages`, `datapath`, `observe`, `analyze`, `chaos`,
-//! `topology`. `--list` prints every experiment with its description and
+//! `topology`, `health`. `--list` prints every experiment with its description and
 //! artifacts and exits. `--quick` uses scaled-down configurations.
 //! `datapath` measures real wall-clock throughput (not cost-model time)
 //! and writes `target/repro/BENCH_datapath.json`; `--lanes` replaces its
@@ -20,7 +20,9 @@
 //! `target/repro/trace_analyze.json`; `chaos` runs seeded fault plans
 //! against the replication loop and writes `target/repro/BENCH_chaos.json`;
 //! `topology` sweeps replica count, quorum size and fan-out mode and
-//! writes `target/repro/BENCH_topology.json`.
+//! writes `target/repro/BENCH_topology.json`; `health` arms the
+//! replication health plane and writes `target/repro/BENCH_health.json`
+//! plus the alert-log and series JSONL exports.
 //!
 //! Everything printed is also teed to `target/repro/repro_output.txt`.
 //! With `--format`, every scenario run additionally dumps its telemetry
@@ -41,6 +43,7 @@ use here_bench::experiments::chaos::{run_chaos, CRASH_EPOCH};
 use here_bench::experiments::checkpoint::{run_fig5, run_fig8};
 use here_bench::experiments::datapath::{run_datapath_with, DatapathOptions, OVERLAP_WINDOW};
 use here_bench::experiments::dynamic::{run_fig10, run_fig9};
+use here_bench::experiments::health::run_health;
 use here_bench::experiments::migration::{run_fig6_idle, run_fig6_loaded, run_fig7};
 use here_bench::experiments::network::run_fig17;
 use here_bench::experiments::observe::run_observe;
@@ -57,7 +60,7 @@ use here_core::Strategy;
 const ALL: &[&str] = &[
     "tab1", "tab2", "tab5", "demo", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
     "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "overhead", "stages", "datapath",
-    "observe", "analyze", "chaos", "topology",
+    "observe", "analyze", "chaos", "topology", "health",
 ];
 
 /// One-line description and artifacts of every experiment, for `--list`.
@@ -142,6 +145,11 @@ const CATALOG: &[(&str, &str, &str)] = &[
         "topology",
         "replica count x quorum x fan-out sweep with bit-compat proof",
         "BENCH_topology.json",
+    ),
+    (
+        "health",
+        "health plane: per-replica states, series, deterministic alerts",
+        "BENCH_health.json, health_alerts.jsonl, health_series.jsonl",
     ),
 ];
 
@@ -357,6 +365,7 @@ fn run_one(which: &str, scale: Scale, datapath_opts: DatapathOptions) {
         "analyze" => analyze(scale),
         "chaos" => chaos(scale),
         "topology" => topology(scale),
+        "health" => health(scale),
         _ => unreachable!("validated in main"),
     }
 }
@@ -1026,6 +1035,41 @@ fn topology(scale: Scale) {
         },
     );
     write_artifact("BENCH_topology.json", &out.json);
+}
+
+fn health(scale: Scale) {
+    outln!("Health — per-replica health states, virtual-time series, deterministic alerts");
+    let out = run_health(scale);
+    outln!(
+        "  quiet run (N={}, q={}): {} commits, {} alerts, final states [{}]",
+        3,
+        2,
+        out.quiet.commits,
+        out.quiet.alerts_fired,
+        out.quiet.final_states,
+    );
+    outln!(
+        "  partition run (replica 2 down, epochs 4..=9): {} fired / {} resolved, \
+         {} transitions, final states [{}]",
+        out.stale.alerts_fired,
+        out.stale.alerts_resolved,
+        out.stale.transitions,
+        out.stale.final_states,
+    );
+    outln!("  alert arc: {}", out.stale.alert_sequence);
+    outln!("  health arc: {}", out.stale.transition_sequence);
+    outln!(
+        "  same-seed rerun fingerprint 0x{:016x}: {}\n",
+        out.rerun_fingerprint,
+        if out.deterministic {
+            "byte-identical alert log, series and fingerprint"
+        } else {
+            "MISMATCH"
+        },
+    );
+    write_artifact("BENCH_health.json", &out.json);
+    write_artifact("health_alerts.jsonl", &out.alert_log_jsonl);
+    write_artifact("health_series.jsonl", &out.series_jsonl);
 }
 
 fn overhead(scale: Scale) {

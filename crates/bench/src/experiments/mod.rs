@@ -10,6 +10,7 @@ pub mod chaos;
 pub mod checkpoint;
 pub mod datapath;
 pub mod dynamic;
+pub mod health;
 pub mod migration;
 pub mod network;
 pub mod observe;

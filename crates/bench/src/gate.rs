@@ -807,6 +807,96 @@ mod tests {
         );
     }
 
+    /// The committed `baselines/BENCH_health.json` shape: alert arcs,
+    /// health trajectories and export hashes are all derived from
+    /// simulated time under fixed seeds, so every leaf compares under
+    /// [`Rule::Exact`] — a reordered alert log or a single drifted series
+    /// window must go red.
+    const HEALTH_DOC: &str = r#"{
+        "experiment": "health",
+        "plan_seed": 7,
+        "stale_epoch_lag": 4,
+        "quiet": {
+            "commits": 15,
+            "alerts_fired": 0,
+            "final_states": "healthy,healthy,healthy",
+            "series_hash": "0x9f4e447b"
+        },
+        "stale": {
+            "commits": 15,
+            "alerts_fired": 3,
+            "alerts_resolved": 3,
+            "alert_sequence": "retry_storm:firing@5|stale_replica:firing@7|quorum_at_risk:firing@7|stale_replica:resolved@10|quorum_at_risk:resolved@10|retry_storm:resolved@12",
+            "transition_sequence": "r2:healthy->lagging@4|r2:lagging->stale@7|r2:stale->recovering@10|r2:recovering->healthy@11",
+            "alert_log_hash": "0xbb233055"
+        },
+        "determinism": {
+            "fingerprint": "0xad823e95507a1dd0",
+            "deterministic": true
+        }
+    }"#;
+
+    #[test]
+    fn identical_health_documents_pass() {
+        let doc = parse(HEALTH_DOC).unwrap();
+        assert!(compare(&doc, &doc, &Tolerances::default()).is_empty());
+    }
+
+    #[test]
+    fn quiet_run_growing_an_alert_fails() {
+        // The plane's core promise: a fault-free run fires nothing. One
+        // alert appearing in the quiet scenario must be a regression.
+        let base = parse(HEALTH_DOC).unwrap();
+        let paged = parse(&HEALTH_DOC.replace(
+            "\"commits\": 15,\n            \"alerts_fired\": 0",
+            "\"commits\": 15,\n            \"alerts_fired\": 1",
+        ))
+        .unwrap();
+        let regressions = compare(&base, &paged, &Tolerances::default());
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].path, "quiet.alerts_fired");
+    }
+
+    #[test]
+    fn reordered_or_renamed_alert_arcs_fail() {
+        let base = parse(HEALTH_DOC).unwrap();
+        // A different firing epoch for one alert changes the arc string.
+        let shifted =
+            parse(&HEALTH_DOC.replace("stale_replica:firing@7", "stale_replica:firing@8")).unwrap();
+        let regressions = compare(&base, &shifted, &Tolerances::default());
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].path, "stale.alert_sequence");
+        // A renamed rule in the arc is equally loud.
+        let renamed = parse(&HEALTH_DOC.replace("retry_storm:", "retry_flood:")).unwrap();
+        let regressions = compare(&base, &renamed, &Tolerances::default());
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].path, "stale.alert_sequence");
+    }
+
+    #[test]
+    fn health_hash_and_invariant_flips_fail() {
+        let base = parse(HEALTH_DOC).unwrap();
+        for (from, to, path) in [
+            ("0xbb233055", "0xbb233056", "stale.alert_log_hash"),
+            ("0x9f4e447b", "0x9f4e447c", "quiet.series_hash"),
+            (
+                "\"deterministic\": true",
+                "\"deterministic\": false",
+                "determinism.deterministic",
+            ),
+            (
+                "r2:lagging->stale@7",
+                "r2:lagging->stale@8",
+                "stale.transition_sequence",
+            ),
+        ] {
+            let fresh = parse(&HEALTH_DOC.replace(from, to)).unwrap();
+            let regressions = compare(&base, &fresh, &Tolerances::default());
+            assert_eq!(regressions.len(), 1, "{path}");
+            assert_eq!(regressions[0].path, path);
+        }
+    }
+
     const EFFICIENCY_DOC: &str = r#"{
         "experiment": "datapath",
         "host_cpus": 8,

@@ -155,6 +155,25 @@ impl FaultPlan {
         self
     }
 
+    /// Partitions a set of replicas for every epoch in `epochs`: the
+    /// sustained-outage shape the health plane's staleness alerts are
+    /// tuned for. With `attempts_down` at or past the retry budget the
+    /// listed replicas miss each epoch in the span, their backlogs and
+    /// epoch lag grow, and — provided enough replicas stay connected for
+    /// quorum — the run keeps committing while the health tracker walks
+    /// them `Healthy → Lagging → Stale`.
+    pub fn with_partition_span(
+        mut self,
+        epochs: core::ops::RangeInclusive<u64>,
+        replicas: &[u32],
+        attempts_down: u32,
+    ) -> Self {
+        for epoch in epochs {
+            self = self.with_partition(epoch, replicas, attempts_down);
+        }
+        self
+    }
+
     /// The scheduled faults.
     pub fn events(&self) -> &[FaultEvent] {
         &self.events
@@ -482,6 +501,20 @@ mod tests {
             }
             assert_eq!(chaos.transfer_fault(4, replica, 3), None);
         }
+    }
+
+    #[test]
+    fn partition_span_repeats_the_outage_across_every_epoch() {
+        let plan = FaultPlan::new(1).with_partition_span(4..=6, &[2], 10);
+        assert_eq!(plan.events().len(), 3);
+        let mut chaos = ChaosState::new(plan);
+        for epoch in 4..=6 {
+            assert_eq!(
+                chaos.transfer_fault(epoch, 2, 0),
+                Some(TransferFault::LinkDown)
+            );
+        }
+        assert_eq!(chaos.transfer_fault(7, 2, 0), None);
     }
 
     #[test]

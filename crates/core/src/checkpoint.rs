@@ -80,6 +80,9 @@ pub(crate) fn do_checkpoint(session: &mut Session, period_used: SimDuration) -> 
     session
         .degradation_series
         .record(rel_now, record.degradation * 100.0);
+    // The health plane ticks once per committed epoch, after the acks
+    // have landed in the ledger (a no-op unless the config armed it).
+    session.health_tick(&record, at_nanos);
     session.checkpoints.push(record);
     Ok(())
 }

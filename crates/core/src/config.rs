@@ -340,6 +340,12 @@ pub struct ReplicationConfig {
     /// residue instead of `scan + wire`. Off by default (fingerprints of
     /// existing experiments stay byte-identical).
     pub overlap_transfer: bool,
+    /// Arms the replication health plane: per-epoch windowed series,
+    /// per-replica health state machines, and the deterministic alert
+    /// engine, with replica-labelled metric families and alert spans in
+    /// the trace. Off by default (fingerprints and metric schemas of
+    /// existing experiments stay byte-identical).
+    pub health_plane: bool,
 }
 
 /// Default for [`ReplicationConfig::max_migration_iterations`].
@@ -366,6 +372,7 @@ impl ReplicationConfig {
             encode_chunk_pages: None,
             overlap_channel_depth: None,
             overlap_transfer: false,
+            health_plane: false,
         }
     }
 
@@ -398,6 +405,7 @@ impl ReplicationConfig {
             encode_chunk_pages: None,
             overlap_channel_depth: None,
             overlap_transfer: false,
+            health_plane: false,
         }
     }
 
@@ -417,6 +425,7 @@ impl ReplicationConfig {
             encode_chunk_pages: None,
             overlap_channel_depth: None,
             overlap_transfer: false,
+            health_plane: false,
         }
     }
 
@@ -500,6 +509,13 @@ impl ReplicationConfig {
     /// Transfer stage.
     pub fn with_overlap_transfer(mut self) -> Self {
         self.overlap_transfer = true;
+        self
+    }
+
+    /// Arms the replication health plane (windowed series, per-replica
+    /// health state machines, deterministic alerts).
+    pub fn with_health_plane(mut self) -> Self {
+        self.health_plane = true;
         self
     }
 

@@ -187,6 +187,13 @@ impl CommitLedger {
         self.last_acked[replica as usize]
     }
 
+    /// Epochs `replica` trails the just-committed sequence `seq` by — the
+    /// staleness scan's and the health plane's ack-lag signal. A replica
+    /// that never acked trails by the full `seq`.
+    pub fn lag_of(&self, replica: u32, seq: u64) -> u64 {
+        seq.saturating_sub(self.last_acked(replica).unwrap_or(0))
+    }
+
     /// The replica holding the most recent applied state: the highest
     /// per-replica ack mark, ties broken toward the lowest index. This is
     /// the failover candidate — its state is at least as fresh as the

@@ -98,6 +98,9 @@ pub use period::{
 };
 pub use pipeline::{HereStrategy, RemusStrategy, ReplicationStrategy};
 pub use report::{CheckpointRecord, MigrationOutcome, RunReport};
-pub use telemetry::{SessionTelemetry, TelemetrySnapshot, FLIGHT_RECORDER_CAPACITY};
+pub use telemetry::{
+    HealthSnapshot, SessionTelemetry, TelemetrySnapshot, FLIGHT_RECORDER_CAPACITY,
+    HEALTH_SERIES_WINDOW_NANOS,
+};
 pub use topology::{Replica, ReplicaSet};
 pub use trace::{stage_totals, Stage, StageEvent, StageTrace};

@@ -443,7 +443,7 @@ impl<'s> Translated<'s> {
                         }
                         let backoff = policy.backoff_after(attempt - 1);
                         spent = spent.saturating_add(backoff);
-                        session.note_transfer_retry(seq, attempt, reason, backoff);
+                        session.note_transfer_retry(seq, replica, attempt, reason, backoff);
                     }
                 }
             }

@@ -25,6 +25,7 @@ use here_sim_core::rate::ByteSize;
 use here_sim_core::rng::SimRng;
 use here_sim_core::time::{SimDuration, SimTime};
 use here_simnet::link::Link;
+use here_telemetry::health::HealthObservation;
 use here_telemetry::span::{SpanDraft, SpanId, SpanRecorder, Track};
 use here_vmstate::translate::StateTranslator;
 use here_vmstate::wire::{encode_record_into, Record, ScatterStream, StreamDecoder, StreamEncoder};
@@ -261,7 +262,16 @@ impl Session {
             period_series: TimeSeries::new("period_secs"),
             degradation_series: TimeSeries::new("degradation_pct"),
             latencies: Histogram::new(),
-            telemetry: SessionTelemetry::new(cfg.period),
+            telemetry: if cfg.health_plane {
+                SessionTelemetry::with_health_plane(
+                    cfg.period,
+                    cfg.topology.replicas.max(1),
+                    cfg.topology.effective_quorum(),
+                    cfg.topology.stale_epoch_lag,
+                )
+            } else {
+                SessionTelemetry::new(cfg.period)
+            },
             cfg,
             strategy,
         })
@@ -769,7 +779,7 @@ impl Session {
         let bound = self.cfg.topology.stale_epoch_lag;
         let at_nanos = self.rel(self.clock).as_nanos();
         for index in 0..self.replicas.len() as u32 {
-            let lag = seq.saturating_sub(self.ledger.last_acked(index).unwrap_or(0));
+            let lag = self.ledger.lag_of(index, seq);
             let member = self.replicas.get_mut(index);
             if lag > bound {
                 if !member.stale {
@@ -779,6 +789,47 @@ impl Session {
             } else {
                 member.stale = false;
             }
+        }
+    }
+
+    /// One committed epoch's health-plane tick (no-op unless the config
+    /// armed [`ReplicationConfig::health_plane`]): gathers each replica's
+    /// ack mark, lag and backlog depth from the ledger and replica set,
+    /// hands them to the telemetry bundle's series/health/alert pipeline,
+    /// and lays a zero-width controller span for every alert edge so
+    /// alerts land in the Chrome trace next to the epochs that caused
+    /// them.
+    pub(crate) fn health_tick(&mut self, record: &CheckpointRecord, at_nanos: u64) {
+        if !self.cfg.health_plane {
+            return;
+        }
+        let seq = record.seq;
+        let replica_count = self.replicas.len() as u32;
+        let mut observations = Vec::with_capacity(replica_count as usize);
+        for index in 0..replica_count {
+            observations.push(HealthObservation {
+                replica: index,
+                ack_mark: self.ledger.last_acked(index).unwrap_or(0),
+                lag_epochs: self.ledger.lag_of(index, seq),
+                backlog_pages: self.replicas.get(index).backlog_pages(),
+                retries: 0, // filled in by the telemetry bundle's accounting
+            });
+        }
+        let events = self.telemetry.on_health_tick(
+            seq,
+            at_nanos,
+            record.degradation,
+            record.period.as_nanos(),
+            record.pause.as_nanos(),
+            &observations,
+        );
+        for event in events {
+            self.spans.push(
+                SpanDraft::new(event.rule, "alert", Track::Controller, at_nanos)
+                    .epoch(seq)
+                    .attr_str("state", event.state.label())
+                    .attr_str("severity", event.severity.label()),
+            );
         }
     }
 
@@ -879,6 +930,7 @@ impl Session {
     pub(crate) fn note_transfer_retry(
         &mut self,
         seq: u64,
+        replica: u32,
         attempt: u32,
         reason: &'static str,
         backoff: SimDuration,
@@ -887,8 +939,14 @@ impl Session {
             chaos.stats.transfer_retries += 1;
         }
         let at_nanos = self.rel(self.clock).as_nanos();
-        self.telemetry
-            .on_transfer_retry(seq, attempt, reason, backoff.as_nanos(), at_nanos);
+        self.telemetry.on_transfer_retry(
+            seq,
+            replica,
+            attempt,
+            reason,
+            backoff.as_nanos(),
+            at_nanos,
+        );
         self.spans.push(
             SpanDraft::new("transfer_retry", "fault", Track::Controller, at_nanos)
                 .epoch(seq)

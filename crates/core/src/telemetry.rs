@@ -34,16 +34,35 @@
 //! | `here_encode_lane_wall_nanos` | histogram | wall-clock encode time per lane |
 //! | `here_period_seconds` | gauge | the period `T` chosen for the next epoch |
 //! | `here_degradation_ratio` | gauge | last measured degradation `D_T` |
+//!
+//! With the health plane armed ([`ReplicationConfig::health_plane`]
+//! (crate::config::ReplicationConfig::health_plane)), these
+//! replica-labelled families join the registry (single-replica and
+//! unarmed runs never register them, so the frozen observe-gate metric
+//! schema is untouched):
+//!
+//! | metric | kind | meaning |
+//! |---|---|---|
+//! | `here_replica_lag_epochs{replica=…}` | gauge | epochs each replica trails the just-committed sequence |
+//! | `here_replica_backlog_pages{replica=…}` | gauge | pages parked in each replica's catch-up backlog |
+//! | `here_replica_acked_epoch{replica=…}` | gauge | each replica's ack high-water mark |
+//! | `here_replica_retries_total{replica=…}` | counter | transfer retries charged to each replica |
+//! | `here_flight_recorder_dropped_events` | gauge | events the bounded flight ring has evicted |
 
 use serde::{Deserialize, Serialize};
 
 use here_sim_core::time::SimDuration;
+use here_telemetry::alert::{AlertEngine, AlertEvent, AlertRules, AlertSample};
 use here_telemetry::export::prometheus;
 use here_telemetry::flight::{FlightEvent, FlightRecorder};
+use here_telemetry::health::{
+    HealthObservation, HealthPolicy, HealthState, HealthTracker, HealthTransition,
+};
 use here_telemetry::metrics::{
     CounterHandle, GaugeHandle, HistogramHandle, MetricsRegistry, RegistrySnapshot,
 };
 use here_telemetry::slo::{SloBreach, SloSummary, SloTracker};
+use here_telemetry::timeseries::{SeriesKind, SeriesSet};
 
 use crate::config::PeriodPolicy;
 use crate::failover::FailoverRecord;
@@ -53,6 +72,33 @@ use crate::trace::{Stage, StageEvent};
 
 /// Events the always-on flight recorder retains.
 pub const FLIGHT_RECORDER_CAPACITY: usize = 1024;
+
+/// Virtual-time width of one health-plane series window (2 s, matching
+/// the canonical checkpoint period so one window holds about one epoch).
+pub const HEALTH_SERIES_WINDOW_NANOS: u64 = 2_000_000_000;
+
+/// The health plane: windowed series, per-replica health machines, the
+/// alert engine, and the replica-labelled metric families — present only
+/// when [`ReplicationConfig::health_plane`]
+/// (crate::config::ReplicationConfig::health_plane) armed it.
+#[derive(Debug)]
+struct HealthPlane {
+    replicas: u32,
+    quorum: u32,
+    stale_lag: u64,
+    series: SeriesSet,
+    tracker: HealthTracker,
+    engine: AlertEngine,
+    replica_lag_gauges: Vec<GaugeHandle>,
+    replica_backlog_gauges: Vec<GaugeHandle>,
+    replica_acked_gauges: Vec<GaugeHandle>,
+    replica_retry_counters: Vec<CounterHandle>,
+    flight_dropped_gauge: GaugeHandle,
+    /// Cumulative transfer retries per replica.
+    retry_totals: Vec<u64>,
+    /// `retry_totals` as of the previous health tick (for epoch deltas).
+    last_retry_totals: Vec<u64>,
+}
 
 /// The live observability state of one replication session.
 #[derive(Debug)]
@@ -82,6 +128,7 @@ pub struct SessionTelemetry {
     encode_lane_hist: HistogramHandle,
     period_gauge: GaugeHandle,
     degradation_gauge: GaugeHandle,
+    health: Option<HealthPlane>,
 }
 
 impl SessionTelemetry {
@@ -204,14 +251,94 @@ impl SessionTelemetry {
             encode_lane_hist,
             period_gauge,
             degradation_gauge,
+            health: None,
         }
+    }
+
+    /// Like [`SessionTelemetry::new`], with the health plane armed for a
+    /// `replicas`-way set committing at `quorum`: registers the
+    /// replica-labelled families, builds the per-replica health machines
+    /// (stale threshold `stale_epoch_lag`), and arms the alert engine.
+    /// Under a dynamic policy the SLO burn-rate rule inherits the
+    /// policy's degradation target.
+    pub fn with_health_plane(
+        policy: PeriodPolicy,
+        replicas: u32,
+        quorum: u32,
+        stale_epoch_lag: u64,
+    ) -> Self {
+        let mut t = SessionTelemetry::new(policy);
+        let n = replicas.max(1);
+        let mut replica_lag_gauges = Vec::with_capacity(n as usize);
+        let mut replica_backlog_gauges = Vec::with_capacity(n as usize);
+        let mut replica_acked_gauges = Vec::with_capacity(n as usize);
+        let mut replica_retry_counters = Vec::with_capacity(n as usize);
+        for i in 0..n {
+            let label = i.to_string();
+            replica_lag_gauges.push(t.registry.gauge_with_label(
+                "here_replica_lag_epochs",
+                "Epochs the replica trails the just-committed sequence",
+                Some(("replica", &label)),
+            ));
+            replica_backlog_gauges.push(t.registry.gauge_with_label(
+                "here_replica_backlog_pages",
+                "Pages parked in the replica's catch-up backlog",
+                Some(("replica", &label)),
+            ));
+            replica_acked_gauges.push(t.registry.gauge_with_label(
+                "here_replica_acked_epoch",
+                "The replica's ack high-water mark",
+                Some(("replica", &label)),
+            ));
+            replica_retry_counters.push(t.registry.counter_with_label(
+                "here_replica_retries_total",
+                "Transfer retries charged to the replica",
+                Some(("replica", &label)),
+            ));
+        }
+        let flight_dropped_gauge = t.registry.gauge(
+            "here_flight_recorder_dropped_events",
+            "Events the bounded flight-recorder ring has evicted",
+        );
+        let stale_lag = stale_epoch_lag.max(1);
+        let health_policy = HealthPolicy {
+            lagging_lag: (stale_lag / 4).max(1),
+            stale_lag,
+            recover_epochs: 2,
+        };
+        let mut rules = AlertRules::default();
+        if let PeriodPolicy::Dynamic { d_target, .. } = policy {
+            rules.d_target_ppm = (d_target * 1e6).round() as u64;
+        }
+        t.health = Some(HealthPlane {
+            replicas: n,
+            quorum,
+            stale_lag,
+            series: SeriesSet::new(HEALTH_SERIES_WINDOW_NANOS),
+            tracker: HealthTracker::new(n, health_policy),
+            engine: AlertEngine::new(rules),
+            replica_lag_gauges,
+            replica_backlog_gauges,
+            replica_acked_gauges,
+            replica_retry_counters,
+            flight_dropped_gauge,
+            retry_totals: vec![0; n as usize],
+            last_retry_totals: vec![0; n as usize],
+        });
+        t
     }
 
     /// Discards everything observed so far (used when a warmup window
     /// closes and measurement restarts). Counters are handles shared with
     /// nothing outside this bundle, so a rebuild is the cheapest reset.
+    /// An armed health plane stays armed with the same parameters.
     pub fn reset(&mut self) {
-        *self = SessionTelemetry::new(self.policy);
+        *self = match &self.health {
+            Some(h) => {
+                SessionTelemetry::with_health_plane(self.policy, h.replicas, h.quorum, h.stale_lag)
+            }
+            None => SessionTelemetry::new(self.policy),
+        };
     }
 
     /// One pipeline stage boundary crossed.
@@ -393,17 +520,28 @@ impl SessionTelemetry {
         });
     }
 
-    /// A checkpoint transfer attempt failed and will be retried after
-    /// `backoff_nanos` of exponential backoff.
+    /// A transfer attempt toward `replica` failed and will be retried
+    /// after `backoff_nanos` of exponential backoff. With the health
+    /// plane armed the retry is also charged to the replica's labelled
+    /// counter and to the next health tick's per-replica retry delta.
     pub fn on_transfer_retry(
         &mut self,
         seq: u64,
+        replica: u32,
         attempt: u32,
         reason: &'static str,
         backoff_nanos: u64,
         at_nanos: u64,
     ) {
         self.transfer_retries.incr();
+        if let Some(h) = self.health.as_mut() {
+            if let Some(total) = h.retry_totals.get_mut(replica as usize) {
+                *total += 1;
+            }
+            if let Some(counter) = h.replica_retry_counters.get(replica as usize) {
+                counter.incr();
+            }
+        }
         self.flight.record(FlightEvent::Retry {
             at_nanos,
             seq,
@@ -462,6 +600,127 @@ impl SessionTelemetry {
         });
     }
 
+    /// One committed epoch's health tick (health plane only; a no-op —
+    /// returning no events — when the plane is unarmed).
+    ///
+    /// Records the epoch into the windowed series (degradation in ppm,
+    /// period, pause, per-replica lag/backlog/retries), refreshes the
+    /// replica-labelled gauges and the flight-drop gauge, steps every
+    /// replica's health machine, and evaluates the alert rules. Alert
+    /// edges land on the flight recorder as [`FlightEvent::Alert`] and
+    /// are returned so the session can lay matching spans into the
+    /// trace. `observations` carry each replica's ack mark, lag and
+    /// backlog; retry deltas are filled in from the plane's own
+    /// per-replica retry accounting.
+    pub fn on_health_tick(
+        &mut self,
+        epoch: u64,
+        at_nanos: u64,
+        degradation: f64,
+        period_nanos: u64,
+        pause_nanos: u64,
+        observations: &[HealthObservation],
+    ) -> Vec<AlertEvent> {
+        let Some(h) = self.health.as_mut() else {
+            return Vec::new();
+        };
+        let degradation_ppm = (degradation * 1e6).round() as u64;
+        h.series.record(
+            "here_degradation_ppm",
+            None,
+            SeriesKind::GaugeLast,
+            at_nanos,
+            degradation_ppm,
+        );
+        h.series.record(
+            "here_period_nanos",
+            None,
+            SeriesKind::GaugeLast,
+            at_nanos,
+            period_nanos,
+        );
+        h.series.record(
+            "here_pause_nanos",
+            None,
+            SeriesKind::Histogram,
+            at_nanos,
+            pause_nanos,
+        );
+        let mut epoch_retries = 0u64;
+        let mut obs = Vec::with_capacity(observations.len());
+        for o in observations {
+            let i = o.replica as usize;
+            let retries = h
+                .retry_totals
+                .get(i)
+                .copied()
+                .unwrap_or(0)
+                .saturating_sub(h.last_retry_totals.get(i).copied().unwrap_or(0));
+            epoch_retries += retries;
+            let label = o.replica.to_string();
+            h.series.record(
+                "here_replica_lag_epochs",
+                Some(("replica", &label)),
+                SeriesKind::GaugeLast,
+                at_nanos,
+                o.lag_epochs,
+            );
+            h.series.record(
+                "here_replica_backlog_pages",
+                Some(("replica", &label)),
+                SeriesKind::GaugeLast,
+                at_nanos,
+                o.backlog_pages,
+            );
+            for _ in 0..retries {
+                h.series.record(
+                    "here_transfer_retries",
+                    Some(("replica", &label)),
+                    SeriesKind::CounterRate,
+                    at_nanos,
+                    1,
+                );
+            }
+            if let Some(g) = h.replica_lag_gauges.get(i) {
+                g.set(o.lag_epochs as f64);
+            }
+            if let Some(g) = h.replica_backlog_gauges.get(i) {
+                g.set(o.backlog_pages as f64);
+            }
+            if let Some(g) = h.replica_acked_gauges.get(i) {
+                g.set(o.ack_mark as f64);
+            }
+            obs.push(HealthObservation { retries, ..*o });
+        }
+        h.last_retry_totals.clone_from(&h.retry_totals);
+        h.flight_dropped_gauge.set(self.flight.dropped() as f64);
+        h.tracker.observe(epoch, at_nanos, &obs);
+        let sample = AlertSample {
+            epoch,
+            at_nanos,
+            degradation_ppm,
+            period_nanos,
+            retries: epoch_retries,
+            stale_replicas: h.tracker.stale_replicas(),
+            serviceable: h.tracker.serviceable(),
+            replicas: h.replicas,
+            quorum: h.quorum,
+            flight_dropped: self.flight.dropped(),
+        };
+        let events = h.engine.evaluate(&sample);
+        for event in &events {
+            self.flight.record(FlightEvent::Alert {
+                at_nanos: event.at_nanos,
+                seq: event.epoch,
+                rule: event.rule,
+                severity: event.severity.label(),
+                state: event.state.label(),
+                detail: event.detail.clone(),
+            });
+        }
+        events
+    }
+
     /// Read access for tests and exporters.
     pub fn flight(&self) -> &FlightRecorder {
         &self.flight
@@ -482,6 +741,18 @@ impl SessionTelemetry {
                 .as_ref()
                 .map(|s| s.breaches().to_vec())
                 .unwrap_or_default(),
+            health: self.health.as_ref().map(|h| HealthSnapshot {
+                replicas: h.replicas,
+                quorum: h.quorum,
+                stale_lag: h.stale_lag,
+                series_points: h.series.total_windows() as u64,
+                series_jsonl: h.series.render_jsonl(),
+                states: h.tracker.states(),
+                transitions: h.tracker.transitions().to_vec(),
+                alert_log: h.engine.log().to_vec(),
+                alert_log_jsonl: h.engine.render_jsonl(),
+                active_alerts: h.engine.active().iter().map(|r| r.to_string()).collect(),
+            }),
         }
     }
 }
@@ -512,6 +783,34 @@ pub struct TelemetrySnapshot {
     pub slo: Option<SloSummary>,
     /// Every SLO breach, in order.
     pub slo_breaches: Vec<SloBreach>,
+    /// The frozen health plane (`None` unless the config armed it).
+    pub health: Option<HealthSnapshot>,
+}
+
+/// The frozen health plane of one run: series, health trajectory, and
+/// the ordered alert log.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HealthSnapshot {
+    /// Replicas the plane watched.
+    pub replicas: u32,
+    /// Commit quorum the alert engine judged against.
+    pub quorum: u32,
+    /// Stale threshold (epochs) of the health machines.
+    pub stale_lag: u64,
+    /// Total series windows recorded (live + tail, across all series).
+    pub series_points: u64,
+    /// The windowed series as JSONL, one line per window, byte-stable.
+    pub series_jsonl: String,
+    /// Final health state per replica, in index order.
+    pub states: Vec<HealthState>,
+    /// Every health transition, in firing order.
+    pub transitions: Vec<HealthTransition>,
+    /// The ordered alert log (firing/resolved edges).
+    pub alert_log: Vec<AlertEvent>,
+    /// The alert log as JSONL, one event per line, byte-stable.
+    pub alert_log_jsonl: String,
+    /// Rules still firing when the run ended, in declaration order.
+    pub active_alerts: Vec<String>,
 }
 
 #[cfg(test)]
@@ -685,8 +984,8 @@ mod tests {
     fn retry_hooks_feed_counters_and_flight() {
         let mut t = SessionTelemetry::new(dynamic_policy());
         t.on_fault("crash", true, "injected".into(), 5);
-        t.on_transfer_retry(3, 1, "corrupt_frame", 500_000, 10);
-        t.on_transfer_retry(3, 2, "dropped", 1_000_000, 20);
+        t.on_transfer_retry(3, 0, 1, "corrupt_frame", 500_000, 10);
+        t.on_transfer_retry(3, 0, 2, "dropped", 1_000_000, 20);
         t.on_transfer_recovery(3, 2);
         t.on_epoch_abort(4, 4, 30);
         let snap = t.snapshot();
@@ -707,6 +1006,138 @@ mod tests {
         assert!(snap
             .flight_recorder_json
             .contains("discarded after 4 failed transfer attempts"));
+    }
+
+    fn lag_obs(replica: u32, acked: u64, lag: u64, backlog: u64) -> HealthObservation {
+        HealthObservation {
+            replica,
+            ack_mark: acked,
+            lag_epochs: lag,
+            backlog_pages: backlog,
+            retries: 0,
+        }
+    }
+
+    #[test]
+    fn unarmed_plane_registers_no_extra_families_and_ticks_to_nothing() {
+        let mut plain = SessionTelemetry::new(dynamic_policy());
+        let baseline = plain.snapshot().registry.metrics.len();
+        let events = plain.on_health_tick(
+            1,
+            0,
+            0.02,
+            2_000_000_000,
+            40_000_000,
+            &[lag_obs(0, 1, 0, 0)],
+        );
+        assert!(events.is_empty());
+        let snap = plain.snapshot();
+        assert_eq!(snap.registry.metrics.len(), baseline);
+        assert!(snap.health.is_none());
+        assert!(!snap.prometheus.contains("here_replica_lag_epochs"));
+    }
+
+    #[test]
+    fn armed_plane_labels_metrics_and_tracks_health() {
+        let mut t = SessionTelemetry::with_health_plane(dynamic_policy(), 3, 2, 4);
+        t.on_transfer_retry(2, 2, 1, "link_down", 500_000, 10);
+        let events = t.on_health_tick(
+            2,
+            4_000_000_000,
+            0.02,
+            2_000_000_000,
+            40_000_000,
+            &[
+                lag_obs(0, 2, 0, 0),
+                lag_obs(1, 2, 0, 0),
+                lag_obs(2, 1, 1, 32),
+            ],
+        );
+        assert!(events.is_empty(), "one slow epoch is not an alert");
+        let snap = t.snapshot();
+        let health = snap.health.expect("plane armed");
+        assert_eq!(health.states[2], HealthState::Lagging);
+        assert_eq!(health.transitions.len(), 1);
+        assert!(snap
+            .prometheus
+            .contains("here_replica_lag_epochs{replica=\"2\"} 1.0"));
+        assert!(snap
+            .prometheus
+            .contains("here_replica_backlog_pages{replica=\"2\"} 32.0"));
+        assert!(snap
+            .prometheus
+            .contains("here_replica_retries_total{replica=\"2\"} 1"));
+        assert!(health.series_jsonl.contains("here_degradation_ppm"));
+        assert!(health
+            .series_jsonl
+            .contains("\"metric\":\"here_transfer_retries\",\"label\":{\"replica\":\"2\"}"));
+    }
+
+    #[test]
+    fn stale_replica_fires_and_resolves_through_the_tick() {
+        let mut t = SessionTelemetry::with_health_plane(dynamic_policy(), 3, 2, 4);
+        let mut fired = Vec::new();
+        for epoch in 1..=6 {
+            // Replica 2 misses every epoch: lag grows 1, 2, ..., 6.
+            let at = epoch * 2_000_000_000;
+            fired.extend(t.on_health_tick(
+                epoch,
+                at,
+                0.02,
+                2_000_000_000,
+                40_000_000,
+                &[
+                    lag_obs(0, epoch, 0, 0),
+                    lag_obs(1, epoch, 0, 0),
+                    lag_obs(2, 0, epoch, 128),
+                ],
+            ));
+        }
+        let rules: Vec<&str> = fired.iter().map(|e| e.rule).collect();
+        assert!(rules.contains(&"stale_replica"));
+        assert!(rules.contains(&"quorum_at_risk"));
+        // Replica 2 catches up and stays clean: alerts resolve.
+        for epoch in 7..=10 {
+            let at = epoch * 2_000_000_000;
+            fired.extend(t.on_health_tick(
+                epoch,
+                at,
+                0.02,
+                2_000_000_000,
+                40_000_000,
+                &[
+                    lag_obs(0, epoch, 0, 0),
+                    lag_obs(1, epoch, 0, 0),
+                    lag_obs(2, epoch, 0, 0),
+                ],
+            ));
+        }
+        let snap = t.snapshot();
+        let health = snap.health.expect("plane armed");
+        assert_eq!(health.states, vec![HealthState::Healthy; 3]);
+        assert!(health.active_alerts.is_empty());
+        assert!(health.alert_log_jsonl.contains("\"state\":\"resolved\""));
+        assert!(snap.flight_recorder_json.contains("\"kind\":\"alert\""));
+    }
+
+    #[test]
+    fn armed_reset_keeps_the_plane_and_its_schema() {
+        let mut t = SessionTelemetry::with_health_plane(dynamic_policy(), 2, 2, 8);
+        t.on_health_tick(
+            1,
+            0,
+            0.02,
+            2_000_000_000,
+            40_000_000,
+            &[lag_obs(0, 1, 0, 0)],
+        );
+        let before = t.snapshot();
+        t.reset();
+        let after = t.snapshot();
+        assert_eq!(before.registry.metrics.len(), after.registry.metrics.len());
+        let health = after.health.expect("plane survives reset");
+        assert_eq!(health.series_points, 0);
+        assert!(health.alert_log.is_empty());
     }
 
     #[test]

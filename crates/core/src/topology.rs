@@ -92,6 +92,12 @@ impl Replica {
     pub fn is_stale(&self) -> bool {
         self.stale
     }
+
+    /// Pages parked in the replica's catch-up backlog — the health
+    /// plane's backlog-depth signal.
+    pub fn backlog_pages(&self) -> u64 {
+        self.backlog.len() as u64
+    }
 }
 
 /// The set of replicas a session protects the primary with, plus the

@@ -211,6 +211,21 @@ mod tests {
         h.observe(1_000);
         h.observe(2_000);
         h.observe(500_000);
+        // Per-replica families, as the health plane registers them.
+        for (replica, lag) in [("0", 0.0), ("1", 3.0)] {
+            reg.gauge_with_label(
+                "here_replica_lag_epochs",
+                "Ack lag per replica",
+                Some(("replica", replica)),
+            )
+            .set(lag);
+        }
+        reg.counter_with_label(
+            "here_replica_retries_total",
+            "Transfer retries per replica",
+            Some(("replica", "1")),
+        )
+        .add(2);
         reg
     }
 
@@ -233,6 +248,15 @@ mod tests {
         assert!(text.contains("here_pause_nanos_count 3\n"));
         // Exposition stops at the highest populated bucket.
         assert!(!text.contains("le=\"1048575\""));
+        // Replica-labelled families: one header block, one series per
+        // replica label.
+        assert_eq!(
+            text.matches("# TYPE here_replica_lag_epochs gauge").count(),
+            1
+        );
+        assert!(text.contains("here_replica_lag_epochs{replica=\"0\"} 0.0\n"));
+        assert!(text.contains("here_replica_lag_epochs{replica=\"1\"} 3.0\n"));
+        assert!(text.contains("here_replica_retries_total{replica=\"1\"} 2\n"));
     }
 
     #[test]
@@ -259,6 +283,9 @@ mod tests {
         );
         assert!(json.contains(r#""p50":"#));
         assert!(json.contains(r#""p999":"#));
+        assert!(json.contains(
+            r#"{"name":"here_replica_lag_epochs","label":{"replica":"1"},"kind":"gauge","value":3.0}"#
+        ));
         assert!(json.ends_with("]}"));
     }
 

@@ -124,6 +124,21 @@ pub enum FlightEvent {
         /// Free-form detail (target host, exploit name, ...).
         detail: String,
     },
+    /// A health-plane alert rule fired or resolved.
+    Alert {
+        /// Virtual timestamp (ns).
+        at_nanos: u64,
+        /// Epoch sequence number of the evaluation.
+        seq: u64,
+        /// Rule name (`stale_replica`, `slo_burn_rate`, ...).
+        rule: &'static str,
+        /// Severity label (`warning`, `critical`).
+        severity: &'static str,
+        /// Edge label (`firing`, `resolved`).
+        state: &'static str,
+        /// Deterministic condition summary.
+        detail: String,
+    },
     /// Live-migration progress (seed of the replica).
     Migration {
         /// Virtual timestamp (ns).
@@ -149,6 +164,7 @@ impl FlightEvent {
             | FlightEvent::Failover { at_nanos, .. }
             | FlightEvent::Retry { at_nanos, .. }
             | FlightEvent::Fault { at_nanos, .. }
+            | FlightEvent::Alert { at_nanos, .. }
             | FlightEvent::Migration { at_nanos, .. } => *at_nanos,
         }
     }
@@ -164,6 +180,7 @@ impl FlightEvent {
             FlightEvent::Failover { .. } => "failover",
             FlightEvent::Retry { .. } => "retry",
             FlightEvent::Fault { .. } => "fault",
+            FlightEvent::Alert { .. } => "alert",
             FlightEvent::Migration { .. } => "migration",
         }
     }
@@ -270,6 +287,20 @@ impl FlightEvent {
                 let _ = write!(
                     out,
                     r#"{{"kind":"fault","at_nanos":{at_nanos},"fault":"{fault}","host_down":{host_down},"detail":"{}"}}"#,
+                    json_escape(detail),
+                );
+            }
+            FlightEvent::Alert {
+                at_nanos,
+                seq,
+                rule,
+                severity,
+                state,
+                detail,
+            } => {
+                let _ = write!(
+                    out,
+                    r#"{{"kind":"alert","at_nanos":{at_nanos},"seq":{seq},"rule":"{rule}","severity":"{severity}","state":"{state}","detail":"{}"}}"#,
                     json_escape(detail),
                 );
             }
@@ -494,10 +525,21 @@ mod tests {
             reason: "link_down",
             backoff_nanos: 500_000,
         });
+        rec.record(FlightEvent::Alert {
+            at_nanos: 30,
+            seq: 2,
+            rule: "stale_replica",
+            severity: "warning",
+            state: "firing",
+            detail: "stale replicas [2]".to_string(),
+        });
         let json = rec.dump_json();
         assert!(json.starts_with("{\"capacity\":8,"));
         assert!(json.contains(r#""kind":"stage""#));
         assert!(json.contains(r#""kind":"retry","at_nanos":25,"seq":2,"attempt":1,"reason":"link_down","backoff_nanos":500000"#));
+        assert!(json.contains(
+            r#""kind":"alert","at_nanos":30,"seq":2,"rule":"stale_replica","severity":"warning","state":"firing","detail":"stale replicas [2]""#
+        ));
         assert!(json.contains(r#""wall_nanos":4200"#));
         assert!(json.contains(r#""clamp":null"#));
         assert!(json.contains(r#"heartbeat \"lost\""#));

@@ -25,6 +25,16 @@
 //!   and compact JSONL renderers for span records.
 //! - [`export`]: Prometheus text exposition and a JSON document rendered
 //!   from a registry snapshot.
+//! - [`timeseries`]: fixed-width windowed series on virtual time —
+//!   counter rates, last-write gauges, per-window histograms — keyed by
+//!   metric + label, bit-deterministic for seeded runs.
+//! - [`health`]: the per-replica health state machine
+//!   (`Healthy → Lagging → Stale → Recovering`, with hysteresis) fed by
+//!   ack lag, backlog depth and retry counts.
+//! - [`alert`]: a deterministic alert engine evaluating declarative
+//!   rules (SLO burn rate, stale replica, retry storm, quorum at risk,
+//!   period oscillation, flight-recorder drops) each epoch into an
+//!   ordered firing/resolved log.
 //!
 //! ## Example
 //!
@@ -44,16 +54,21 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod alert;
 pub mod chrome;
 pub mod export;
 pub mod flight;
+pub mod health;
 pub mod metrics;
 pub mod slo;
 pub mod span;
+pub mod timeseries;
 
+pub use alert::{AlertEngine, AlertEvent, AlertRules, AlertSample, AlertSeverity, AlertState};
 pub use chrome::{chrome_trace, spans_jsonl};
 pub use export::{json_escape, json_snapshot, prometheus};
 pub use flight::{FlightEvent, FlightRecorder};
+pub use health::{HealthObservation, HealthPolicy, HealthState, HealthTracker, HealthTransition};
 pub use metrics::{
     CounterHandle, GaugeHandle, HistogramHandle, HistogramSnapshot, MetricSnapshot, MetricValue,
     MetricsRegistry, RegistrySnapshot,
@@ -62,3 +77,4 @@ pub use slo::{BreachKind, SloBreach, SloSummary, SloTracker};
 pub use span::{
     AttrValue, NestingViolation, Span, SpanDraft, SpanId, SpanRecorder, TraceTree, Track, TreeError,
 };
+pub use timeseries::{SeriesKind, SeriesSet, Window, WindowedSeries};

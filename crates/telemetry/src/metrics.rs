@@ -297,12 +297,25 @@ impl MetricsRegistry {
 
     /// Registers a gauge. Panics if `name` + label is already taken.
     pub fn gauge(&mut self, name: &str, help: &str) -> GaugeHandle {
+        self.gauge_with_label(name, help, None)
+    }
+
+    /// Registers a gauge carrying one fixed label pair (e.g.
+    /// `replica="1"`), so one gauge family can cover every replica of a
+    /// set.
+    pub fn gauge_with_label(
+        &mut self,
+        name: &str,
+        help: &str,
+        label: Option<(&str, &str)>,
+    ) -> GaugeHandle {
+        let label = label.map(|(k, v)| (k.to_string(), v.to_string()));
+        self.assert_unregistered(name, &label);
         let handle = GaugeHandle::default();
-        self.assert_unregistered(name, &None);
         self.metrics.push(Metric {
             name: name.to_string(),
             help: help.to_string(),
-            label: None,
+            label,
             cell: MetricCell::Gauge(handle.clone()),
         });
         handle
