@@ -3,13 +3,14 @@
 //! ```text
 //! repro [--quick] [--list] [--format json|prometheus|chrome]
 //!       [--lanes N] [--chunk-pages P] [EXPERIMENT...]
+//! repro replay <bundle>
 //! ```
 //!
 //! With no experiment arguments, runs everything. Experiments: `tab1`,
 //! `tab2`, `tab5`, `demo`, `fig5`, `fig6`, `fig7`, `fig8`, `fig9`, `fig10`,
 //! `fig11`, `fig12`, `fig13`, `fig14`, `fig15`, `fig16`, `fig17`,
 //! `overhead`, `stages`, `datapath`, `observe`, `analyze`, `chaos`,
-//! `topology`, `health`. `--list` prints every experiment with its description and
+//! `topology`, `health`, `postmortem`. `--list` prints every experiment with its description and
 //! artifacts and exits. `--quick` uses scaled-down configurations.
 //! `datapath` measures real wall-clock throughput (not cost-model time)
 //! and writes `target/repro/BENCH_datapath.json`; `--lanes` replaces its
@@ -22,7 +23,12 @@
 //! `topology` sweeps replica count, quorum size and fan-out mode and
 //! writes `target/repro/BENCH_topology.json`; `health` arms the
 //! replication health plane and writes `target/repro/BENCH_health.json`
-//! plus the alert-log and series JSONL exports.
+//! plus the alert-log and series JSONL exports; `postmortem` captures an
+//! incident bundle from an induced quorum-at-risk partition, replays it
+//! byte-identically and diffs it against the fault-stripped baseline,
+//! writing `target/repro/BENCH_postmortem.json` plus the bundle and the
+//! forensics reports. `repro replay <bundle>` re-executes a previously
+//! captured `incident.bundle` and verifies the reproduction.
 //!
 //! Everything printed is also teed to `target/repro/repro_output.txt`.
 //! With `--format`, every scenario run additionally dumps its telemetry
@@ -48,6 +54,7 @@ use here_bench::experiments::migration::{run_fig6_idle, run_fig6_loaded, run_fig
 use here_bench::experiments::network::run_fig17;
 use here_bench::experiments::observe::run_observe;
 use here_bench::experiments::overhead::run_overhead;
+use here_bench::experiments::postmortem::run_postmortem;
 use here_bench::experiments::security::{
     run_heterogeneity_demo, run_table1, run_table2, run_table5,
 };
@@ -58,9 +65,32 @@ use here_bench::Scale;
 use here_core::Strategy;
 
 const ALL: &[&str] = &[
-    "tab1", "tab2", "tab5", "demo", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
-    "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "overhead", "stages", "datapath",
-    "observe", "analyze", "chaos", "topology", "health",
+    "tab1",
+    "tab2",
+    "tab5",
+    "demo",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "overhead",
+    "stages",
+    "datapath",
+    "observe",
+    "analyze",
+    "chaos",
+    "topology",
+    "health",
+    "postmortem",
 ];
 
 /// One-line description and artifacts of every experiment, for `--list`.
@@ -151,6 +181,11 @@ const CATALOG: &[(&str, &str, &str)] = &[
         "health plane: per-replica states, series, deterministic alerts",
         "BENCH_health.json, health_alerts.jsonl, health_series.jsonl",
     ),
+    (
+        "postmortem",
+        "postmortem plane: incident capture, bundle replay, differential forensics",
+        "BENCH_postmortem.json, incident.bundle, postmortem.json, postmortem_report.txt",
+    ),
 ];
 
 /// Directory all artefacts land in (relative to the invocation cwd, like
@@ -227,6 +262,9 @@ fn install_dumper(format: DumpFormat) {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("replay") {
+        return replay_bundle(args.get(1).map(String::as_str));
+    }
     let quick = args.iter().any(|a| a == "--quick");
     let scale = if quick { Scale::Quick } else { Scale::Paper };
     let mut format = None;
@@ -366,6 +404,7 @@ fn run_one(which: &str, scale: Scale, datapath_opts: DatapathOptions) {
         "chaos" => chaos(scale),
         "topology" => topology(scale),
         "health" => health(scale),
+        "postmortem" => postmortem(scale),
         _ => unreachable!("validated in main"),
     }
 }
@@ -1070,6 +1109,117 @@ fn health(scale: Scale) {
     write_artifact("BENCH_health.json", &out.json);
     write_artifact("health_alerts.jsonl", &out.alert_log_jsonl);
     write_artifact("health_series.jsonl", &out.series_jsonl);
+}
+
+fn postmortem(scale: Scale) {
+    outln!("Postmortem — incident capture, bundle replay, differential forensics");
+    let out = run_postmortem(scale);
+    outln!(
+        "  capture: trigger '{}' froze the bundle at epoch {} ({} bytes, hash 0x{:08x})",
+        out.trigger,
+        out.trigger_epoch,
+        out.bundle_bytes,
+        out.bundle_hash,
+    );
+    outln!("    {}", out.trigger_detail);
+    outln!(
+        "  integrity: round-trip {}; rejects version bump {}, truncation {}, tampering {}",
+        out.decode_round_trip,
+        out.rejects_unknown_version,
+        out.rejects_truncation,
+        out.rejects_tampering,
+    );
+    outln!(
+        "  replay fingerprint 0x{:016x}: {}",
+        out.replay_fingerprint,
+        if out.replay_verified {
+            "byte-identical fingerprint, alert log and unresolved alerts"
+        } else {
+            "MISMATCH"
+        },
+    );
+    let p = &out.postmortem;
+    outln!(
+        "  forensics vs fault-stripped baseline: {} vs {} checkpoints, \
+         dominant stage {} vs {}, throughput delta {}%",
+        p.incident_checkpoints,
+        p.baseline_checkpoints,
+        p.dominant_stage_incident,
+        p.dominant_stage_baseline,
+        num(p.throughput_delta_pct, 1),
+    );
+    outln!("  alert timeline: {}\n", p.alert_timeline.join("|"));
+    write_artifact("BENCH_postmortem.json", &out.json);
+    write_artifact("incident.bundle", &out.bundle_text);
+    write_artifact("postmortem.json", &out.postmortem_json);
+    write_artifact("postmortem_report.txt", &out.postmortem_text);
+}
+
+/// `repro replay <bundle>` — re-executes a captured incident bundle and
+/// verifies it reproduces the bundled run byte for byte.
+fn replay_bundle(path: Option<&str>) -> ExitCode {
+    let Some(path) = path else {
+        eprintln!("usage: repro replay <bundle>");
+        return ExitCode::FAILURE;
+    };
+    let doc = match std::fs::read_to_string(path) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("could not read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let bundle = match here_core::IncidentBundle::decode(&doc) {
+        Ok(bundle) => bundle,
+        Err(e) => {
+            eprintln!("could not decode {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "replaying {path}: trigger '{}' at epoch {} — {}",
+        bundle.incident.trigger, bundle.incident.epoch, bundle.incident.detail
+    );
+    let outcome = match bundle.replay() {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("replay failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("  bundled  fingerprint 0x{:016x}", bundle.fingerprint);
+    println!(
+        "  replayed fingerprint 0x{:016x} ({})",
+        outcome.fingerprint,
+        if outcome.fingerprint_matches {
+            "match"
+        } else {
+            "MISMATCH"
+        }
+    );
+    println!(
+        "  alert log: {}",
+        if outcome.alert_log_matches {
+            "byte-identical"
+        } else {
+            "MISMATCH"
+        }
+    );
+    println!(
+        "  unresolved alerts: {}",
+        if outcome.active_alerts_match {
+            "match"
+        } else {
+            "MISMATCH"
+        }
+    );
+    if outcome.verified() {
+        println!("replay verified: the bundle reproduces the incident byte for byte");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("replay FAILED to reproduce the bundled run");
+        ExitCode::FAILURE
+    }
 }
 
 fn overhead(scale: Scale) {

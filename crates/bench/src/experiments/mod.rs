@@ -15,6 +15,7 @@ pub mod migration;
 pub mod network;
 pub mod observe;
 pub mod overhead;
+pub mod postmortem;
 pub mod security;
 pub mod stages;
 pub mod topology;

@@ -510,6 +510,26 @@ pub fn efficiency_gate_file(
 mod tests {
     use super::*;
 
+    /// The shared negative-gate harness every suite leans on: the
+    /// unperturbed document must self-compare clean, then each
+    /// `(from, to, path)` perturbation must be caught as exactly one
+    /// regression at `path`.
+    fn assert_gate_catches(doc: &str, cases: &[(&str, &str, &str)]) {
+        let base = parse(doc).unwrap();
+        assert!(
+            compare(&base, &base, &Tolerances::default()).is_empty(),
+            "document must self-compare clean"
+        );
+        for (from, to, path) in cases {
+            let mutated = doc.replace(from, to);
+            assert_ne!(&mutated, doc, "perturbation '{from}' did not apply");
+            let fresh = parse(&mutated).unwrap();
+            let regressions = compare(&base, &fresh, &Tolerances::default());
+            assert_eq!(regressions.len(), 1, "{path}: {regressions:?}");
+            assert_eq!(regressions[0].path, *path);
+        }
+    }
+
     const DOC: &str = r#"{
         "experiment": "datapath",
         "host_cpus": 8,
@@ -576,29 +596,22 @@ mod tests {
     fn perturbed_deterministic_field_fails() {
         // The negative test the CI gate hinges on: a synthetic
         // perturbation of a deterministic field must be caught.
-        let base = parse(DOC).unwrap();
-        let fresh = parse(&DOC.replace("\"pages\": 4096", "\"pages\": 4097")).unwrap();
-        let regressions = compare(&base, &fresh, &Tolerances::default());
-        assert_eq!(regressions.len(), 1);
-        assert_eq!(regressions[0].path, "pages");
-
-        let fresh = parse(&DOC.replace(
-            "\"analytic_parallelism\": 1.8",
-            "\"analytic_parallelism\": 1.9",
-        ))
-        .unwrap();
-        let regressions = compare(&base, &fresh, &Tolerances::default());
-        assert_eq!(regressions.len(), 1);
-        assert_eq!(regressions[0].path, "workers[1].analytic_parallelism");
+        assert_gate_catches(
+            DOC,
+            &[
+                ("\"pages\": 4096", "\"pages\": 4097", "pages"),
+                (
+                    "\"analytic_parallelism\": 1.8",
+                    "\"analytic_parallelism\": 1.9",
+                    "workers[1].analytic_parallelism",
+                ),
+            ],
+        );
     }
 
     #[test]
     fn runaway_wall_clock_fails_even_with_tolerance() {
-        let base = parse(DOC).unwrap();
-        let fresh = parse(&DOC.replace("10.5", "99.0")).unwrap();
-        let regressions = compare(&base, &fresh, &Tolerances::default());
-        assert_eq!(regressions.len(), 1);
-        assert_eq!(regressions[0].path, "workers[0].total_ms");
+        assert_gate_catches(DOC, &[("10.5", "99.0", "workers[0].total_ms")]);
     }
 
     #[test]
@@ -634,12 +647,6 @@ mod tests {
     }"#;
 
     #[test]
-    fn identical_chaos_documents_pass() {
-        let doc = parse(CHAOS_DOC).unwrap();
-        assert!(compare(&doc, &doc, &Tolerances::default()).is_empty());
-    }
-
-    #[test]
     fn silently_renamed_chaos_key_fails_as_missing_plus_unexpected() {
         // A rename must never slip through as "key went away, key
         // appeared": the gate reports both sides so the diff is loud.
@@ -665,43 +672,39 @@ mod tests {
             Rule::Exact
         );
         assert_eq!(Tolerances::default().rule_for("detection_ms"), Rule::Exact);
-        let base = parse(CHAOS_DOC).unwrap();
-        let drifted = parse(&CHAOS_DOC.replace("4032.445", "4032.545")).unwrap();
-        let regressions = compare(&base, &drifted, &Tolerances::default());
-        assert_eq!(regressions.len(), 1);
-        assert_eq!(regressions[0].path, "sweep.worst_staleness_ms");
+        assert_gate_catches(
+            CHAOS_DOC,
+            &[("4032.445", "4032.545", "sweep.worst_staleness_ms")],
+        );
     }
 
     #[test]
     fn chaos_invariant_and_fingerprint_flips_fail() {
-        let base = parse(CHAOS_DOC).unwrap();
-        for (from, to, path) in [
-            (
-                "\"crash_resumes_last_acked\": true",
-                "\"crash_resumes_last_acked\": false",
-                "crash.crash_resumes_last_acked",
-            ),
-            (
-                "\"deterministic\": true",
-                "\"deterministic\": false",
-                "determinism.deterministic",
-            ),
-            (
-                "0xf95a4248ab7a4570",
-                "0xf95a4248ab7a4571",
-                "determinism.fingerprint",
-            ),
-            (
-                "\"resumed_from_checkpoint\": 4",
-                "\"resumed_from_checkpoint\": 5",
-                "crash.resumed_from_checkpoint",
-            ),
-        ] {
-            let fresh = parse(&CHAOS_DOC.replace(from, to)).unwrap();
-            let regressions = compare(&base, &fresh, &Tolerances::default());
-            assert_eq!(regressions.len(), 1, "{path}");
-            assert_eq!(regressions[0].path, path);
-        }
+        assert_gate_catches(
+            CHAOS_DOC,
+            &[
+                (
+                    "\"crash_resumes_last_acked\": true",
+                    "\"crash_resumes_last_acked\": false",
+                    "crash.crash_resumes_last_acked",
+                ),
+                (
+                    "\"deterministic\": true",
+                    "\"deterministic\": false",
+                    "determinism.deterministic",
+                ),
+                (
+                    "0xf95a4248ab7a4570",
+                    "0xf95a4248ab7a4571",
+                    "determinism.fingerprint",
+                ),
+                (
+                    "\"resumed_from_checkpoint\": 4",
+                    "\"resumed_from_checkpoint\": 5",
+                    "crash.resumed_from_checkpoint",
+                ),
+            ],
+        );
     }
 
     /// The committed `baselines/BENCH_topology.json` shape: every leaf is
@@ -731,12 +734,6 @@ mod tests {
     }"#;
 
     #[test]
-    fn identical_topology_documents_pass() {
-        let doc = parse(TOPOLOGY_DOC).unwrap();
-        assert!(compare(&doc, &doc, &Tolerances::default()).is_empty());
-    }
-
-    #[test]
     fn silently_renamed_topology_key_fails_as_missing_plus_unexpected() {
         // Same loud-rename guarantee as the chaos artifact: dropping
         // `worst_staleness_ms` for a new name must report both sides, in
@@ -760,30 +757,27 @@ mod tests {
 
     #[test]
     fn topology_invariant_and_fingerprint_flips_fail() {
-        let base = parse(TOPOLOGY_DOC).unwrap();
-        for (from, to, path) in [
-            (
-                "\"bit_compatible\": true",
-                "\"bit_compatible\": false",
-                "bit_compat.bit_compatible",
-            ),
-            (
-                "0xb98b61465ee022a7",
-                "0xb98b61465ee022a8",
-                "determinism.fingerprint",
-            ),
-            (
-                "\"stalest_replica\": 2",
-                "\"stalest_replica\": 1",
-                "rows[1].stalest_replica",
-            ),
-            ("2015.823", "2015.824", "rows[1].worst_staleness_ms"),
-        ] {
-            let fresh = parse(&TOPOLOGY_DOC.replace(from, to)).unwrap();
-            let regressions = compare(&base, &fresh, &Tolerances::default());
-            assert_eq!(regressions.len(), 1, "{path}");
-            assert_eq!(regressions[0].path, path);
-        }
+        assert_gate_catches(
+            TOPOLOGY_DOC,
+            &[
+                (
+                    "\"bit_compatible\": true",
+                    "\"bit_compatible\": false",
+                    "bit_compat.bit_compatible",
+                ),
+                (
+                    "0xb98b61465ee022a7",
+                    "0xb98b61465ee022a8",
+                    "determinism.fingerprint",
+                ),
+                (
+                    "\"stalest_replica\": 2",
+                    "\"stalest_replica\": 1",
+                    "rows[1].stalest_replica",
+                ),
+                ("2015.823", "2015.824", "rows[1].worst_staleness_ms"),
+            ],
+        );
         // `mean_commit_latency_ms` is simulated, not wall clock — exact.
         assert_eq!(
             Tolerances::default().rule_for("mean_commit_latency_ms"),
@@ -837,64 +831,143 @@ mod tests {
     }"#;
 
     #[test]
-    fn identical_health_documents_pass() {
-        let doc = parse(HEALTH_DOC).unwrap();
-        assert!(compare(&doc, &doc, &Tolerances::default()).is_empty());
-    }
-
-    #[test]
     fn quiet_run_growing_an_alert_fails() {
         // The plane's core promise: a fault-free run fires nothing. One
         // alert appearing in the quiet scenario must be a regression.
-        let base = parse(HEALTH_DOC).unwrap();
-        let paged = parse(&HEALTH_DOC.replace(
-            "\"commits\": 15,\n            \"alerts_fired\": 0",
-            "\"commits\": 15,\n            \"alerts_fired\": 1",
-        ))
-        .unwrap();
-        let regressions = compare(&base, &paged, &Tolerances::default());
-        assert_eq!(regressions.len(), 1);
-        assert_eq!(regressions[0].path, "quiet.alerts_fired");
+        assert_gate_catches(
+            HEALTH_DOC,
+            &[(
+                "\"commits\": 15,\n            \"alerts_fired\": 0",
+                "\"commits\": 15,\n            \"alerts_fired\": 1",
+                "quiet.alerts_fired",
+            )],
+        );
     }
 
     #[test]
     fn reordered_or_renamed_alert_arcs_fail() {
-        let base = parse(HEALTH_DOC).unwrap();
-        // A different firing epoch for one alert changes the arc string.
-        let shifted =
-            parse(&HEALTH_DOC.replace("stale_replica:firing@7", "stale_replica:firing@8")).unwrap();
-        let regressions = compare(&base, &shifted, &Tolerances::default());
-        assert_eq!(regressions.len(), 1);
-        assert_eq!(regressions[0].path, "stale.alert_sequence");
-        // A renamed rule in the arc is equally loud.
-        let renamed = parse(&HEALTH_DOC.replace("retry_storm:", "retry_flood:")).unwrap();
-        let regressions = compare(&base, &renamed, &Tolerances::default());
-        assert_eq!(regressions.len(), 1);
-        assert_eq!(regressions[0].path, "stale.alert_sequence");
+        assert_gate_catches(
+            HEALTH_DOC,
+            &[
+                // A different firing epoch for one alert changes the arc
+                // string; a renamed rule in the arc is equally loud.
+                (
+                    "stale_replica:firing@7",
+                    "stale_replica:firing@8",
+                    "stale.alert_sequence",
+                ),
+                ("retry_storm:", "retry_flood:", "stale.alert_sequence"),
+            ],
+        );
     }
 
     #[test]
     fn health_hash_and_invariant_flips_fail() {
-        let base = parse(HEALTH_DOC).unwrap();
-        for (from, to, path) in [
-            ("0xbb233055", "0xbb233056", "stale.alert_log_hash"),
-            ("0x9f4e447b", "0x9f4e447c", "quiet.series_hash"),
-            (
-                "\"deterministic\": true",
-                "\"deterministic\": false",
-                "determinism.deterministic",
-            ),
-            (
-                "r2:lagging->stale@7",
-                "r2:lagging->stale@8",
-                "stale.transition_sequence",
-            ),
-        ] {
-            let fresh = parse(&HEALTH_DOC.replace(from, to)).unwrap();
-            let regressions = compare(&base, &fresh, &Tolerances::default());
-            assert_eq!(regressions.len(), 1, "{path}");
-            assert_eq!(regressions[0].path, path);
+        assert_gate_catches(
+            HEALTH_DOC,
+            &[
+                ("0xbb233055", "0xbb233056", "stale.alert_log_hash"),
+                ("0x9f4e447b", "0x9f4e447c", "quiet.series_hash"),
+                (
+                    "\"deterministic\": true",
+                    "\"deterministic\": false",
+                    "determinism.deterministic",
+                ),
+                (
+                    "r2:lagging->stale@7",
+                    "r2:lagging->stale@8",
+                    "stale.transition_sequence",
+                ),
+            ],
+        );
+    }
+
+    /// The committed `baselines/BENCH_postmortem.json` shape: capture
+    /// identity, integrity verdicts, replay verification and the
+    /// forensics diff are all derived from simulated time under fixed
+    /// seeds, so every leaf compares under [`Rule::Exact`] — a bundle
+    /// that stops rejecting corruption or a replay that stops
+    /// reproducing must go red.
+    const POSTMORTEM_DOC: &str = r#"{
+        "experiment": "postmortem",
+        "plan_seed": 7,
+        "run_seed": 42,
+        "capture": {
+            "trigger": "alert",
+            "trigger_epoch": 5,
+            "fingerprint": "0xa3fd381326aeba0f",
+            "bundle_bytes": 19923,
+            "bundle_hash": "0x12979695"
+        },
+        "integrity": {
+            "decode_round_trip": true,
+            "rejects_unknown_version": true,
+            "rejects_truncation": true,
+            "rejects_tampering": true
+        },
+        "replay": {
+            "fingerprint": "0xa3fd381326aeba0f",
+            "verified": true
+        },
+        "forensics": {
+            "baseline_fingerprint": "0x57c29f41d2e88a63",
+            "fingerprint_reproduced": true,
+            "critical_path_shifted": true,
+            "divergence": "r0:acks15/15:lag0/0:retries0/0|r2:acks9/15:lag0/0:retries12/0",
+            "aborted_epochs": 0,
+            "throughput_delta_pct": -0.225,
+            "alert_timeline": "retry_storm:firing@5|stale_replica:firing@7|quorum_at_risk:firing@7"
         }
+    }"#;
+
+    #[test]
+    fn postmortem_integrity_and_replay_flips_fail() {
+        assert_gate_catches(
+            POSTMORTEM_DOC,
+            &[
+                (
+                    "\"rejects_tampering\": true",
+                    "\"rejects_tampering\": false",
+                    "integrity.rejects_tampering",
+                ),
+                (
+                    "\"rejects_unknown_version\": true",
+                    "\"rejects_unknown_version\": false",
+                    "integrity.rejects_unknown_version",
+                ),
+                (
+                    "\"verified\": true",
+                    "\"verified\": false",
+                    "replay.verified",
+                ),
+                (
+                    "\"bundle_hash\": \"0x12979695\"",
+                    "\"bundle_hash\": \"0x12979696\"",
+                    "capture.bundle_hash",
+                ),
+                (
+                    "\"fingerprint_reproduced\": true",
+                    "\"fingerprint_reproduced\": false",
+                    "forensics.fingerprint_reproduced",
+                ),
+                (
+                    "r2:acks9/15:lag0/0:retries12/0",
+                    "r2:acks9/15:lag0/0:retries11/0",
+                    "forensics.divergence",
+                ),
+                (
+                    "quorum_at_risk:firing@7",
+                    "quorum_at_risk:firing@8",
+                    "forensics.alert_timeline",
+                ),
+                ("-0.225", "-0.325", "forensics.throughput_delta_pct"),
+            ],
+        );
+        // The throughput delta is simulated, not wall clock — exact.
+        assert_eq!(
+            Tolerances::default().rule_for("throughput_delta_pct"),
+            Rule::Exact
+        );
     }
 
     const EFFICIENCY_DOC: &str = r#"{

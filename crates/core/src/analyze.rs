@@ -17,12 +17,16 @@
 //!    mean.
 
 use here_sim_core::time::SimDuration;
+use here_telemetry::export::json_escape;
 use here_telemetry::slo::BreachKind;
 use here_telemetry::span::{Span, TraceTree, Track};
 
 use crate::config::{CostModel, Strategy};
+use crate::error::CoreResult;
 use crate::period::{PeriodAction, PeriodDecision};
+use crate::postmortem::IncidentBundle;
 use crate::report::RunReport;
+use crate::trace::{stage_totals, Stage};
 
 /// Tunables for the analyzer.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -427,6 +431,390 @@ impl TraceAnalyzer {
     }
 }
 
+/// One stage's virtual-time total, incident run vs. fault-stripped
+/// baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageDelta {
+    /// Stage label (`pause` … `resume`).
+    pub stage: &'static str,
+    /// Total virtual time the stage took across the incident run.
+    pub incident: SimDuration,
+    /// Same total across the healthy baseline.
+    pub baseline: SimDuration,
+    /// `incident − baseline` in nanoseconds (negative = incident faster).
+    pub delta_nanos: i64,
+}
+
+/// How one replica's progress diverged between the incident run and the
+/// fault-stripped baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplicaDivergence {
+    /// 0-based replica index.
+    pub replica: u32,
+    /// Epochs the replica acked in the incident run.
+    pub incident_acks: u64,
+    /// Epochs the replica acked in the baseline.
+    pub baseline_acks: u64,
+    /// The replica's final ack mark in the incident run.
+    pub incident_last_acked: u64,
+    /// The replica's final ack mark in the baseline.
+    pub baseline_last_acked: u64,
+    /// Final lag (epochs behind the last quorum commit) in the incident.
+    pub incident_lag: u64,
+    /// Final lag in the baseline.
+    pub baseline_lag: u64,
+    /// Transfer retries charged to the replica in the incident run.
+    pub incident_retries: u64,
+    /// Transfer retries charged in the baseline.
+    pub baseline_retries: u64,
+}
+
+/// The differential postmortem: incident run vs. the same seed with the
+/// fault plan stripped.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PostmortemReport {
+    /// What tripped capture (`alert`, `failover`, `epoch_abort`,
+    /// `request`).
+    pub trigger: String,
+    /// Epoch the trigger fired in.
+    pub trigger_epoch: u64,
+    /// Trigger detail line from the capture.
+    pub trigger_detail: String,
+    /// Fingerprint of the re-executed incident run.
+    pub incident_fingerprint: u64,
+    /// Fingerprint of the fault-stripped baseline run.
+    pub baseline_fingerprint: u64,
+    /// True when the incident rerun reproduced the bundled fingerprint —
+    /// the precondition for trusting every diff below.
+    pub fingerprint_reproduced: bool,
+    /// Per-stage virtual-time totals, incident vs. baseline, in pipeline
+    /// order.
+    pub stage_deltas: Vec<StageDelta>,
+    /// The stage dominating total pause time in the incident run.
+    pub dominant_stage_incident: &'static str,
+    /// The stage dominating total pause time in the baseline.
+    pub dominant_stage_baseline: &'static str,
+    /// True when the dominant stage differs — the fault shifted the
+    /// critical path.
+    pub critical_path_shifted: bool,
+    /// Per-replica ack/lag/retry divergence, in index order.
+    pub replicas: Vec<ReplicaDivergence>,
+    /// The incident run's alert arc, `rule:state@epoch` in firing order.
+    pub alert_timeline: Vec<String>,
+    /// Same arc for the baseline (normally empty — that is the point).
+    pub baseline_alerts: Vec<String>,
+    /// Checkpoints the incident run committed.
+    pub incident_checkpoints: u64,
+    /// Checkpoints the baseline committed.
+    pub baseline_checkpoints: u64,
+    /// Epochs the incident run aborted (0 when no fault plan aborted
+    /// any).
+    pub aborted_epochs: u64,
+    /// Throughput delta `(incident − baseline) / baseline`, percent.
+    pub throughput_delta_pct: f64,
+}
+
+impl PostmortemReport {
+    /// Deterministic JSON rendering (`postmortem.json`).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!(
+            "  \"trigger\": \"{}\",\n  \"trigger_epoch\": {},\n  \"trigger_detail\": \"{}\",\n",
+            json_escape(&self.trigger),
+            self.trigger_epoch,
+            json_escape(&self.trigger_detail)
+        ));
+        out.push_str(&format!(
+            "  \"incident_fingerprint\": \"0x{:016x}\",\n  \"baseline_fingerprint\": \"0x{:016x}\",\n  \"fingerprint_reproduced\": {},\n",
+            self.incident_fingerprint, self.baseline_fingerprint, self.fingerprint_reproduced
+        ));
+        out.push_str("  \"stage_deltas\": [\n");
+        for (i, d) in self.stage_deltas.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"stage\": \"{}\", \"incident_nanos\": {}, \"baseline_nanos\": {}, \"delta_nanos\": {}}}{}\n",
+                d.stage,
+                d.incident.as_nanos(),
+                d.baseline.as_nanos(),
+                d.delta_nanos,
+                if i + 1 < self.stage_deltas.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str(&format!(
+            "  \"dominant_stage_incident\": \"{}\",\n  \"dominant_stage_baseline\": \"{}\",\n  \"critical_path_shifted\": {},\n",
+            self.dominant_stage_incident, self.dominant_stage_baseline, self.critical_path_shifted
+        ));
+        out.push_str("  \"replicas\": [\n");
+        for (i, r) in self.replicas.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"replica\": {}, \"incident_acks\": {}, \"baseline_acks\": {}, \"incident_last_acked\": {}, \"baseline_last_acked\": {}, \"incident_lag\": {}, \"baseline_lag\": {}, \"incident_retries\": {}, \"baseline_retries\": {}}}{}\n",
+                r.replica,
+                r.incident_acks,
+                r.baseline_acks,
+                r.incident_last_acked,
+                r.baseline_last_acked,
+                r.incident_lag,
+                r.baseline_lag,
+                r.incident_retries,
+                r.baseline_retries,
+                if i + 1 < self.replicas.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n");
+        let timeline = self
+            .alert_timeline
+            .iter()
+            .map(|a| format!("\"{}\"", json_escape(a)))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let baseline = self
+            .baseline_alerts
+            .iter()
+            .map(|a| format!("\"{}\"", json_escape(a)))
+            .collect::<Vec<_>>()
+            .join(", ");
+        out.push_str(&format!(
+            "  \"alert_timeline\": [{timeline}],\n  \"baseline_alerts\": [{baseline}],\n"
+        ));
+        out.push_str(&format!(
+            "  \"incident_checkpoints\": {},\n  \"baseline_checkpoints\": {},\n  \"aborted_epochs\": {},\n  \"throughput_delta_pct\": {:.3}\n}}\n",
+            self.incident_checkpoints,
+            self.baseline_checkpoints,
+            self.aborted_epochs,
+            self.throughput_delta_pct
+        ));
+        out
+    }
+
+    /// Human-readable postmortem (`postmortem_report.txt`).
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str("POSTMORTEM\n==========\n");
+        out.push_str(&format!(
+            "trigger     : {} at epoch {} ({})\n",
+            self.trigger, self.trigger_epoch, self.trigger_detail
+        ));
+        out.push_str(&format!(
+            "fingerprint : incident 0x{:016x}, baseline 0x{:016x} ({})\n",
+            self.incident_fingerprint,
+            self.baseline_fingerprint,
+            if self.fingerprint_reproduced {
+                "bundle reproduced"
+            } else {
+                "BUNDLE NOT REPRODUCED"
+            }
+        ));
+        out.push_str(&format!(
+            "critical path: {} (incident) vs {} (baseline){}\n",
+            self.dominant_stage_incident,
+            self.dominant_stage_baseline,
+            if self.critical_path_shifted {
+                " — SHIFTED by the fault"
+            } else {
+                ""
+            }
+        ));
+        out.push_str("\nstage deltas (incident − baseline):\n");
+        for d in &self.stage_deltas {
+            out.push_str(&format!(
+                "  {:<10} {:>14} ns vs {:>14} ns  Δ {:>+14} ns\n",
+                d.stage,
+                d.incident.as_nanos(),
+                d.baseline.as_nanos(),
+                d.delta_nanos
+            ));
+        }
+        out.push_str("\nreplica divergence:\n");
+        for r in &self.replicas {
+            out.push_str(&format!(
+                "  r{}: acks {} vs {}, last_acked {} vs {}, lag {} vs {}, retries {} vs {}\n",
+                r.replica,
+                r.incident_acks,
+                r.baseline_acks,
+                r.incident_last_acked,
+                r.baseline_last_acked,
+                r.incident_lag,
+                r.baseline_lag,
+                r.incident_retries,
+                r.baseline_retries
+            ));
+        }
+        out.push_str("\nalert timeline (incident):\n");
+        if self.alert_timeline.is_empty() {
+            out.push_str("  (none)\n");
+        }
+        for a in &self.alert_timeline {
+            out.push_str(&format!("  {a}\n"));
+        }
+        out.push_str(&format!(
+            "baseline alerts: {}\n",
+            if self.baseline_alerts.is_empty() {
+                "(none)".to_string()
+            } else {
+                self.baseline_alerts.join(", ")
+            }
+        ));
+        out.push_str(&format!(
+            "\ncheckpoints {} vs {}, aborted epochs {}, throughput Δ {:+.3}%\n",
+            self.incident_checkpoints,
+            self.baseline_checkpoints,
+            self.aborted_epochs,
+            self.throughput_delta_pct
+        ));
+        out
+    }
+}
+
+/// The differential forensics engine: re-runs a bundle's seed twice —
+/// once as captured and once with the fault plan stripped — and diffs
+/// the two deterministic runs stage by stage, replica by replica.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PostmortemAnalyzer;
+
+impl PostmortemAnalyzer {
+    /// Diffs the bundle's incident run against its fault-stripped
+    /// baseline.
+    pub fn diff(bundle: &IncidentBundle) -> CoreResult<PostmortemReport> {
+        let incident = bundle.execute(true)?;
+        let baseline = bundle.execute(false)?;
+        Ok(Self::diff_reports(bundle, &incident, &baseline))
+    }
+
+    /// The pure diff, for callers that already hold both runs.
+    pub fn diff_reports(
+        bundle: &IncidentBundle,
+        incident: &RunReport,
+        baseline: &RunReport,
+    ) -> PostmortemReport {
+        let inc_totals = stage_totals(&incident.stage_events);
+        let base_totals = stage_totals(&baseline.stage_events);
+        let total_of = |totals: &[(Stage, SimDuration)], stage: Stage| {
+            totals
+                .iter()
+                .find(|(s, _)| *s == stage)
+                .map(|(_, d)| *d)
+                .unwrap_or(SimDuration::ZERO)
+        };
+        let stage_deltas: Vec<StageDelta> = Stage::ALL
+            .into_iter()
+            .map(|stage| {
+                let inc = total_of(&inc_totals, stage);
+                let base = total_of(&base_totals, stage);
+                StageDelta {
+                    stage: stage.label(),
+                    incident: inc,
+                    baseline: base,
+                    delta_nanos: inc.as_nanos() as i64 - base.as_nanos() as i64,
+                }
+            })
+            .collect();
+        let dominant = |totals: &[(Stage, SimDuration)]| {
+            totals
+                .iter()
+                .filter(|(s, _)| s.counts_toward_pause())
+                .max_by_key(|(_, d)| *d)
+                .map(|(s, _)| s.label())
+                .unwrap_or("none")
+        };
+        let dominant_stage_incident = dominant(&inc_totals);
+        let dominant_stage_baseline = dominant(&base_totals);
+
+        let replica_count = incident.replica_acks.len().max(baseline.replica_acks.len());
+        let last_commit = |r: &RunReport| r.commits.last().map(|c| c.seq).unwrap_or(0);
+        let inc_head = last_commit(incident);
+        let base_head = last_commit(baseline);
+        let retries_of = |r: &RunReport, replica: u32| -> u64 {
+            let label = replica.to_string();
+            r.telemetry
+                .as_ref()
+                .map(|t| {
+                    t.registry
+                        .metrics
+                        .iter()
+                        .filter(|m| {
+                            m.name == "here_replica_retries_total"
+                                && m.label
+                                    .as_ref()
+                                    .is_some_and(|(k, v)| k == "replica" && *v == label)
+                        })
+                        .map(|m| match m.value {
+                            here_telemetry::metrics::MetricValue::Counter(n) => n,
+                            _ => 0,
+                        })
+                        .sum()
+                })
+                .unwrap_or(0)
+        };
+        let trail = |r: &RunReport, i: usize| -> (u64, u64) {
+            r.replica_acks
+                .get(i)
+                .map(|t| {
+                    (
+                        t.acks.len() as u64,
+                        t.acks.last().map(|a| a.seq).unwrap_or(0),
+                    )
+                })
+                .unwrap_or((0, 0))
+        };
+        let replicas: Vec<ReplicaDivergence> = (0..replica_count)
+            .map(|i| {
+                let (incident_acks, incident_last_acked) = trail(incident, i);
+                let (baseline_acks, baseline_last_acked) = trail(baseline, i);
+                ReplicaDivergence {
+                    replica: i as u32,
+                    incident_acks,
+                    baseline_acks,
+                    incident_last_acked,
+                    baseline_last_acked,
+                    incident_lag: inc_head.saturating_sub(incident_last_acked),
+                    baseline_lag: base_head.saturating_sub(baseline_last_acked),
+                    incident_retries: retries_of(incident, i as u32),
+                    baseline_retries: retries_of(baseline, i as u32),
+                }
+            })
+            .collect();
+
+        let timeline = |r: &RunReport| -> Vec<String> {
+            r.telemetry
+                .as_ref()
+                .and_then(|t| t.health.as_ref())
+                .map(|h| {
+                    h.alert_log
+                        .iter()
+                        .map(|a| format!("{}:{}@{}", a.rule, a.state.label(), a.epoch))
+                        .collect()
+                })
+                .unwrap_or_default()
+        };
+        let baseline_throughput = baseline.throughput_ops_per_sec;
+        let throughput_delta_pct = if baseline_throughput == 0.0 {
+            0.0
+        } else {
+            (incident.throughput_ops_per_sec - baseline_throughput) / baseline_throughput * 100.0
+        };
+        let incident_fingerprint = incident.fingerprint();
+        PostmortemReport {
+            trigger: bundle.incident.trigger.clone(),
+            trigger_epoch: bundle.incident.epoch,
+            trigger_detail: bundle.incident.detail.clone(),
+            incident_fingerprint,
+            baseline_fingerprint: baseline.fingerprint(),
+            fingerprint_reproduced: incident_fingerprint == bundle.fingerprint,
+            stage_deltas,
+            dominant_stage_incident,
+            dominant_stage_baseline,
+            critical_path_shifted: dominant_stage_incident != dominant_stage_baseline,
+            replicas,
+            alert_timeline: timeline(incident),
+            baseline_alerts: timeline(baseline),
+            incident_checkpoints: incident.checkpoints.len() as u64,
+            baseline_checkpoints: baseline.checkpoints.len() as u64,
+            aborted_epochs: incident.chaos.as_ref().map_or(0, |c| c.epochs_aborted),
+            throughput_delta_pct,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -447,6 +835,60 @@ mod tests {
             .unwrap()
             .run();
         (report, cfg)
+    }
+
+    #[test]
+    fn postmortem_diff_attributes_the_fault_and_reproduces_the_bundle() {
+        use crate::chaos::FaultPlan;
+        use crate::config::{FanoutMode, TopologyConfig};
+        use crate::postmortem::{IncidentBundle, ScenarioSpec, WorkloadSpec};
+
+        let spec = ScenarioSpec {
+            name: "pm-diff".into(),
+            memory_mib: 64,
+            vcpus: 2,
+            workload: WorkloadSpec::MemStress {
+                percent: 30,
+                rate: 20_000,
+            },
+            duration: SimDuration::from_secs(20),
+            seed: 42,
+            verify_consistency: false,
+        };
+        let cfg = ReplicationConfig::fixed_period(SimDuration::from_secs(2))
+            .with_topology(TopologyConfig {
+                replicas: 3,
+                quorum: 2,
+                fanout: FanoutMode::Star,
+                stale_epoch_lag: 4,
+            })
+            .with_health_plane()
+            .with_postmortem_capture();
+        let plan = FaultPlan::new(7).with_partition_span(4..=9, &[2], 10);
+        let report = spec
+            .build_scenario(cfg.clone(), Some(plan.clone()))
+            .unwrap()
+            .run();
+        let bundle = IncidentBundle::capture(spec, &cfg, Some(&plan), &report).unwrap();
+        let pm = PostmortemAnalyzer::diff(&bundle).unwrap();
+        assert!(
+            pm.fingerprint_reproduced,
+            "incident rerun must match bundle"
+        );
+        assert_ne!(pm.incident_fingerprint, pm.baseline_fingerprint);
+        // The partitioned replica fell behind only under the fault plan.
+        let r2 = &pm.replicas[2];
+        assert!(r2.incident_retries > r2.baseline_retries);
+        assert!(r2.incident_acks < r2.baseline_acks);
+        assert!(!pm.alert_timeline.is_empty());
+        assert!(pm.baseline_alerts.is_empty(), "{:?}", pm.baseline_alerts);
+        // Renderings are non-empty and mention the trigger.
+        let json = pm.render_json();
+        assert!(json.contains("\"trigger\": \"alert\""));
+        assert!(json.contains("\"stage_deltas\""));
+        let text = pm.render_text();
+        assert!(text.contains("POSTMORTEM"));
+        assert!(text.contains("alert timeline"));
     }
 
     #[test]

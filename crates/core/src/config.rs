@@ -346,6 +346,16 @@ pub struct ReplicationConfig {
     /// the trace. Off by default (fingerprints and metric schemas of
     /// existing experiments stay byte-identical).
     pub health_plane: bool,
+    /// Arms postmortem incident capture: the first armed trigger (alert
+    /// raised, failover, epoch abort, or explicit request) snapshots a
+    /// replayable [`IncidentBundle`](crate::postmortem::IncidentBundle)
+    /// into the run report. Off by default.
+    pub postmortem_capture: bool,
+    /// Flight-recorder ring capacity in events: `None` keeps the default
+    /// ([`FLIGHT_RECORDER_CAPACITY`](crate::telemetry::FLIGHT_RECORDER_CAPACITY),
+    /// 1024) so existing expositions stay byte-identical; `Some(n)` sizes
+    /// the trailing incident-capture window per run.
+    pub flight_recorder_capacity: Option<usize>,
 }
 
 /// Default for [`ReplicationConfig::max_migration_iterations`].
@@ -373,6 +383,8 @@ impl ReplicationConfig {
             overlap_channel_depth: None,
             overlap_transfer: false,
             health_plane: false,
+            postmortem_capture: false,
+            flight_recorder_capacity: None,
         }
     }
 
@@ -406,6 +418,8 @@ impl ReplicationConfig {
             overlap_channel_depth: None,
             overlap_transfer: false,
             health_plane: false,
+            postmortem_capture: false,
+            flight_recorder_capacity: None,
         }
     }
 
@@ -426,6 +440,8 @@ impl ReplicationConfig {
             overlap_channel_depth: None,
             overlap_transfer: false,
             health_plane: false,
+            postmortem_capture: false,
+            flight_recorder_capacity: None,
         }
     }
 
@@ -516,6 +532,23 @@ impl ReplicationConfig {
     /// health state machines, deterministic alerts).
     pub fn with_health_plane(mut self) -> Self {
         self.health_plane = true;
+        self
+    }
+
+    /// Arms postmortem incident capture: the first armed trigger (alert
+    /// raised, failover, epoch abort, or explicit end-of-run request)
+    /// freezes an [`IncidentSnapshot`](crate::postmortem::IncidentSnapshot)
+    /// into the run report.
+    pub fn with_postmortem_capture(mut self) -> Self {
+        self.postmortem_capture = true;
+        self
+    }
+
+    /// Sizes the flight-recorder ring to `capacity` events for this run
+    /// (clamped to at least 1). Without this, the ring keeps its default
+    /// capacity and all expositions stay byte-identical.
+    pub fn with_flight_capacity(mut self, capacity: usize) -> Self {
+        self.flight_recorder_capacity = Some(capacity.max(1));
         self
     }
 

@@ -399,6 +399,7 @@ fn run_unprotected(scenario: Scenario) -> RunReport {
         chaos: None,
         telemetry: None,
         spans: Vec::new(),
+        incident: None,
     }
 }
 

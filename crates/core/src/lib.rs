@@ -34,6 +34,10 @@
 //! - [`analyze`]: the trace analyzer — per-epoch critical-path
 //!   attribution against `t = αN/P + C`, straggler-lane detection,
 //!   period-oscillation detection and SLO-breach root-causing;
+//! - [`postmortem`]: the postmortem plane — deterministic incident
+//!   capture into checksummed, versioned
+//!   [`IncidentBundle`](postmortem::IncidentBundle)s and byte-identical
+//!   bundle replay;
 //! - [`report`]: the measurements each run produces, derived from the
 //!   stage trace.
 //!
@@ -69,6 +73,7 @@ pub mod failover;
 pub mod migrate;
 pub mod period;
 pub mod pipeline;
+pub mod postmortem;
 pub mod report;
 pub mod session;
 pub mod telemetry;
@@ -77,8 +82,9 @@ pub mod trace;
 pub mod transfer;
 
 pub use analyze::{
-    AnalysisReport, AnalyzerConfig, BreachRoot, EpochAttribution, OscillationReport, StageShare,
-    StragglerLane, TraceAnalyzer,
+    AnalysisReport, AnalyzerConfig, BreachRoot, EpochAttribution, OscillationReport,
+    PostmortemAnalyzer, PostmortemReport, ReplicaDivergence, StageDelta, StageShare, StragglerLane,
+    TraceAnalyzer,
 };
 pub use chaos::{ChaosStats, FaultEvent, FaultKind, FaultPlan};
 pub use config::{
@@ -97,6 +103,9 @@ pub use period::{
     degradation, ClampReason, DynamicPeriodManager, PeriodAction, PeriodDecision, PeriodManager,
 };
 pub use pipeline::{HereStrategy, RemusStrategy, ReplicationStrategy};
+pub use postmortem::{
+    IncidentBundle, IncidentSnapshot, ReplayOutcome, ScenarioSpec, WorkloadSpec, BUNDLE_VERSION,
+};
 pub use report::{CheckpointRecord, MigrationOutcome, RunReport};
 pub use telemetry::{
     HealthSnapshot, SessionTelemetry, TelemetrySnapshot, FLIGHT_RECORDER_CAPACITY,

@@ -1,0 +1,1319 @@
+//! The postmortem plane: deterministic incident capture and bundle replay.
+//!
+//! When a run arms [`ReplicationConfig::postmortem_capture`]
+//! (crate::config::ReplicationConfig::postmortem_capture), the session
+//! snapshots an [`IncidentSnapshot`] the first time an armed trigger fires
+//! — an alert raised, a failover, an epoch abort, or (when nothing fires)
+//! an explicit end-of-run request — freezing the trailing flight-recorder
+//! window, the commit ledger and per-replica acks, the enclosing epoch's
+//! span subtree, the health transitions and windowed-series tail at that
+//! instant.
+//!
+//! [`IncidentBundle`] wraps that snapshot together with everything needed
+//! to *re-execute* the run: the scenario parameters ([`ScenarioSpec`]),
+//! the full [`ReplicationConfig`], the active [`FaultPlan`] and the run's
+//! [`RunReport::fingerprint`]. The bundle serializes to a self-describing,
+//! versioned text document with a checksummed header
+//! ([`IncidentBundle::encode`]); decoding is strict — an unknown version,
+//! a truncated payload or a tampered byte is rejected, never silently
+//! accepted ([`IncidentBundle::decode`]).
+//!
+//! Because every run is seed-deterministic in virtual time, the bundle
+//! *is* the repro: [`IncidentBundle::replay`] rebuilds the scenario from
+//! the bundle alone, re-executes it, and checks the fingerprint and the
+//! alert log byte for byte. The differential side — re-running the same
+//! seed with the fault plan stripped and diffing incident against healthy
+//! baseline — lives in
+//! [`PostmortemAnalyzer`](crate::analyze::PostmortemAnalyzer).
+
+use serde::{Deserialize, Serialize};
+
+use here_sim_core::time::{SimDuration, SimTime};
+use here_vmstate::wire::fnv32;
+use here_workloads::idle::IdleGuest;
+use here_workloads::memstress::MemStress;
+use here_workloads::traits::Workload;
+
+use crate::chaos::{FaultKind, FaultPlan};
+use crate::config::{FanoutMode, PeriodPolicy, ReplicationConfig, Strategy, TopologyConfig};
+use crate::engine::Scenario;
+use crate::error::{CoreError, CoreResult};
+use crate::failover::{CommitEntry, ReplicaAcks};
+use crate::report::RunReport;
+use crate::trace::Stage;
+
+use here_hypervisor::fault::DosOutcome;
+
+/// Bundle format magic (first header line starts with this).
+pub const BUNDLE_MAGIC: &str = "HEREBUNDLE";
+
+/// Bundle format version this build writes and accepts.
+pub const BUNDLE_VERSION: u32 = 1;
+
+/// Lines of the windowed-series JSONL export the snapshot retains (the
+/// *tail* — the newest windows at capture time).
+pub const SERIES_TAIL_LINES: usize = 32;
+
+/// Normalizes the host-noise values out of a flight-recorder dump — the
+/// same keys the bench gate ignores: wall-clock stamps and the
+/// work-stealing pool's scheduler-timing diagnostics. Everything else in
+/// the dump is virtual time, so with these neutralized the captured dump
+/// (and with it the whole encoded bundle) is byte-identical across hosts
+/// and runs.
+pub(crate) fn normalize_flight_dump(json: &str) -> String {
+    let mut out = json.to_string();
+    for (key, neutral) in [
+        ("\"wall_nanos\":", "null"),
+        ("\"steals\":", "0"),
+        ("\"occupancy_pct\":", "0.0"),
+    ] {
+        out = neutralize_values(&out, key, neutral);
+    }
+    out
+}
+
+/// Replaces the numeric value after every occurrence of `key` with
+/// `neutral` (non-numeric values, like an already-`null` stamp, pass
+/// through untouched).
+fn neutralize_values(json: &str, key: &str, neutral: &str) -> String {
+    let mut out = String::with_capacity(json.len());
+    let mut rest = json;
+    while let Some(pos) = rest.find(key) {
+        let after = pos + key.len();
+        out.push_str(&rest[..after]);
+        rest = &rest[after..];
+        let n = rest
+            .bytes()
+            .take_while(|b| b.is_ascii_digit() || matches!(b, b'.' | b'-'))
+            .count();
+        if n > 0 {
+            out.push_str(neutral);
+            rest = &rest[n..];
+        }
+    }
+    out.push_str(rest);
+    out
+}
+
+/// The workload half of a [`ScenarioSpec`] — only workloads the bundle
+/// can reconstruct byte-identically are capturable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WorkloadSpec {
+    /// The idle guest (background dirtying only).
+    Idle,
+    /// [`MemStress`] touching `percent` % of memory at `rate` pages/s.
+    MemStress {
+        /// Memory percentage the stressor walks (1..=100).
+        percent: u8,
+        /// Page writes per second.
+        rate: u64,
+    },
+}
+
+impl WorkloadSpec {
+    /// Builds the live workload this spec describes.
+    pub fn build(&self) -> Box<dyn Workload> {
+        match *self {
+            WorkloadSpec::Idle => Box::new(IdleGuest::new()),
+            WorkloadSpec::MemStress { percent, rate } => {
+                Box::new(MemStress::with_percent(percent).with_rate(rate))
+            }
+        }
+    }
+
+    fn render(&self) -> String {
+        match *self {
+            WorkloadSpec::Idle => "idle".to_string(),
+            WorkloadSpec::MemStress { percent, rate } => format!("memstress:{percent}:{rate}"),
+        }
+    }
+
+    fn parse(s: &str) -> CoreResult<WorkloadSpec> {
+        if s == "idle" {
+            return Ok(WorkloadSpec::Idle);
+        }
+        if let Some(rest) = s.strip_prefix("memstress:") {
+            let mut it = rest.split(':');
+            let percent = parse_num::<u8>(it.next().unwrap_or(""), "workload percent")?;
+            let rate = parse_num::<u64>(it.next().unwrap_or(""), "workload rate")?;
+            if it.next().is_some() {
+                return Err(bundle_err("workload spec has trailing fields"));
+            }
+            return Ok(WorkloadSpec::MemStress { percent, rate });
+        }
+        Err(bundle_err(&format!("unknown workload spec {s:?}")))
+    }
+}
+
+/// Everything needed to rebuild the captured run's [`Scenario`] — the
+/// builder knobs the run was constructed with. The replication config and
+/// fault plan ride separately in the bundle.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioSpec {
+    /// Scenario name (part of the fingerprint).
+    pub name: String,
+    /// Protected VM memory in MiB.
+    pub memory_mib: u64,
+    /// Protected VM vCPU count.
+    pub vcpus: u32,
+    /// The workload, in reconstructible form.
+    pub workload: WorkloadSpec,
+    /// Scenario duration.
+    pub duration: SimDuration,
+    /// Run seed (workload RNG stream).
+    pub seed: u64,
+    /// Whether the run verified replica/primary equality each checkpoint.
+    pub verify_consistency: bool,
+}
+
+impl ScenarioSpec {
+    /// Rebuilds the scenario this spec plus `config` and `plan` describe.
+    pub fn build_scenario(
+        &self,
+        config: ReplicationConfig,
+        plan: Option<FaultPlan>,
+    ) -> CoreResult<Scenario> {
+        let mut builder = Scenario::builder()
+            .name(&self.name)
+            .vm_memory_mib(self.memory_mib)
+            .vcpus(self.vcpus)
+            .workload(self.workload.build())
+            .config(config)
+            .duration(self.duration)
+            .seed(self.seed);
+        if let Some(plan) = plan {
+            builder = builder.chaos(plan);
+        }
+        if self.verify_consistency {
+            builder = builder.verify_consistency();
+        }
+        builder.build()
+    }
+}
+
+/// The point-in-time observability capture the session freezes when the
+/// first armed trigger fires; rides in [`RunReport::incident`]. Excluded
+/// from [`RunReport::fingerprint`] (like telemetry), so arming capture
+/// never perturbs a run's identity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IncidentSnapshot {
+    /// What fired: `alert`, `failover`, `epoch_abort` or `request`.
+    pub trigger: String,
+    /// Epoch the trigger fired in.
+    pub epoch: u64,
+    /// Report-relative virtual instant of the trigger.
+    pub at_nanos: u64,
+    /// Human-readable trigger detail (alert rule, abort attempts, …).
+    pub detail: String,
+    /// The trailing flight-recorder window at capture (JSON dump).
+    pub flight_json: String,
+    /// Committed epochs at capture, oldest first.
+    pub commits: Vec<CommitEntry>,
+    /// Per-replica ack trails at capture, in index order.
+    pub acks: Vec<ReplicaAcks>,
+    /// The enclosing span subtree at capture: every span of the trigger
+    /// epoch plus the failover tree, rendered one line per span.
+    pub spans: Vec<String>,
+    /// Health transitions recorded so far, `rN:from->to@epoch`.
+    pub transitions: Vec<String>,
+    /// Tail of the windowed-series JSONL export at capture.
+    pub series_tail: String,
+    /// Alert rules firing at capture, in declaration order.
+    pub active_alerts: Vec<String>,
+    /// The ordered alert log at capture (JSONL).
+    pub alert_log_jsonl: String,
+}
+
+/// Outcome of one [`IncidentBundle::replay`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayOutcome {
+    /// Fingerprint of the re-executed run.
+    pub fingerprint: u64,
+    /// True when the rerun reproduced the bundled fingerprint.
+    pub fingerprint_matches: bool,
+    /// True when the rerun's final alert log matched byte for byte.
+    pub alert_log_matches: bool,
+    /// True when the rerun's unresolved alerts matched the bundle's.
+    pub active_alerts_match: bool,
+    /// The re-executed run's full report.
+    pub report: RunReport,
+}
+
+impl ReplayOutcome {
+    /// True when every replay assertion held.
+    pub fn verified(&self) -> bool {
+        self.fingerprint_matches && self.alert_log_matches && self.active_alerts_match
+    }
+}
+
+/// A self-describing, versioned, checksummed incident capture — the
+/// one-file repro of a run that paged, failed over or aborted an epoch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IncidentBundle {
+    /// The captured run's scenario parameters.
+    pub spec: ScenarioSpec,
+    /// The captured run's full replication config.
+    pub config: ReplicationConfig,
+    /// The fault plan that was armed, if any.
+    pub plan: Option<FaultPlan>,
+    /// The captured run's [`RunReport::fingerprint`].
+    pub fingerprint: u64,
+    /// The captured run's *final* alert log (JSONL; empty when the health
+    /// plane was unarmed).
+    pub alert_log_jsonl: String,
+    /// Alert rules still firing when the captured run ended — an incident
+    /// the run ended in the middle of, preserved, not dropped.
+    pub active_alerts: Vec<String>,
+    /// The point-in-time capture at the trigger instant.
+    pub incident: IncidentSnapshot,
+}
+
+impl IncidentBundle {
+    /// Assembles the bundle for a finished `report` of the run `spec`,
+    /// `config` and `plan` describe. Fails when the run captured no
+    /// incident (capture was not armed).
+    pub fn capture(
+        spec: ScenarioSpec,
+        config: &ReplicationConfig,
+        plan: Option<&FaultPlan>,
+        report: &RunReport,
+    ) -> CoreResult<IncidentBundle> {
+        let incident = report.incident.clone().ok_or_else(|| {
+            bundle_err("the run captured no incident (arm ReplicationConfig::postmortem_capture)")
+        })?;
+        let (alert_log_jsonl, active_alerts) =
+            match report.telemetry.as_ref().and_then(|t| t.health.as_ref()) {
+                Some(h) => (h.alert_log_jsonl.clone(), h.active_alerts.clone()),
+                None => (String::new(), Vec::new()),
+            };
+        Ok(IncidentBundle {
+            spec,
+            config: config.clone(),
+            plan: plan.cloned(),
+            fingerprint: report.fingerprint(),
+            alert_log_jsonl,
+            active_alerts,
+            incident,
+        })
+    }
+
+    /// Re-executes the captured run: `with_plan` keeps the fault plan
+    /// (the incident), `false` strips it (the healthy baseline the
+    /// differential analyzer diffs against).
+    pub fn execute(&self, with_plan: bool) -> CoreResult<RunReport> {
+        let plan = if with_plan { self.plan.clone() } else { None };
+        Ok(self.spec.build_scenario(self.config.clone(), plan)?.run())
+    }
+
+    /// Replays the bundle — rebuilds the session from the bundle alone,
+    /// re-executes it, and checks the fingerprint and alert log byte for
+    /// byte. The bundle *is* the repro.
+    pub fn replay(&self) -> CoreResult<ReplayOutcome> {
+        let report = self.execute(true)?;
+        let (alert_log, active) = match report.telemetry.as_ref().and_then(|t| t.health.as_ref()) {
+            Some(h) => (h.alert_log_jsonl.clone(), h.active_alerts.clone()),
+            None => (String::new(), Vec::new()),
+        };
+        let fingerprint = report.fingerprint();
+        Ok(ReplayOutcome {
+            fingerprint,
+            fingerprint_matches: fingerprint == self.fingerprint,
+            alert_log_matches: alert_log == self.alert_log_jsonl,
+            active_alerts_match: active == self.active_alerts,
+            report,
+        })
+    }
+
+    /// Serializes the bundle: a three-line checksummed header (magic +
+    /// version, payload length, payload FNV-32), a `---` separator, and
+    /// the line-oriented payload. Everything a decoder needs to validate
+    /// the document is in the header.
+    pub fn encode(&self) -> String {
+        let payload = self.render_payload();
+        format!(
+            "{BUNDLE_MAGIC} v{BUNDLE_VERSION}\nlen={}\ncrc=0x{:08x}\n---\n{payload}",
+            payload.len(),
+            fnv32(payload.as_bytes()),
+        )
+    }
+
+    /// Strictly decodes a bundle document: the magic and version must
+    /// match ([`BUNDLE_VERSION`]), the payload length must equal the
+    /// header's `len` (truncation), the payload FNV-32 must equal the
+    /// header's `crc` (tampering), and every payload field must parse in
+    /// order. Anything else is an error, never a partial bundle.
+    pub fn decode(doc: &str) -> CoreResult<IncidentBundle> {
+        let mut lines = doc.splitn(4, '\n');
+        let magic = lines.next().unwrap_or("");
+        let len_line = lines.next().unwrap_or("");
+        let crc_line = lines.next().unwrap_or("");
+        let rest = lines.next().unwrap_or("");
+        let version = magic
+            .strip_prefix(BUNDLE_MAGIC)
+            .and_then(|v| v.trim().strip_prefix('v'))
+            .ok_or_else(|| bundle_err("not an incident bundle (bad magic)"))?;
+        let version: u32 = version
+            .parse()
+            .map_err(|_| bundle_err("unparseable bundle version"))?;
+        if version != BUNDLE_VERSION {
+            return Err(bundle_err(&format!(
+                "unknown bundle version v{version} (this build reads v{BUNDLE_VERSION})"
+            )));
+        }
+        let want_len: usize = len_line
+            .strip_prefix("len=")
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| bundle_err("malformed len header"))?;
+        let want_crc = crc_line
+            .strip_prefix("crc=0x")
+            .and_then(|v| u32::from_str_radix(v, 16).ok())
+            .ok_or_else(|| bundle_err("malformed crc header"))?;
+        let payload = rest
+            .strip_prefix("---\n")
+            .ok_or_else(|| bundle_err("missing payload separator"))?;
+        if payload.len() != want_len {
+            return Err(bundle_err(&format!(
+                "truncated bundle: header says {want_len} payload bytes, found {}",
+                payload.len()
+            )));
+        }
+        let crc = fnv32(payload.as_bytes());
+        if crc != want_crc {
+            return Err(bundle_err(&format!(
+                "tampered bundle: payload crc 0x{crc:08x}, header says 0x{want_crc:08x}"
+            )));
+        }
+        Self::parse_payload(payload)
+    }
+
+    fn render_payload(&self) -> String {
+        let mut out = String::new();
+        let kv = |out: &mut String, k: &str, v: &str| {
+            out.push_str(k);
+            out.push('=');
+            out.push_str(v);
+            out.push('\n');
+        };
+        // [scenario]
+        kv(&mut out, "name", &esc(&self.spec.name));
+        kv(&mut out, "memory_mib", &self.spec.memory_mib.to_string());
+        kv(&mut out, "vcpus", &self.spec.vcpus.to_string());
+        kv(&mut out, "workload", &self.spec.workload.render());
+        kv(
+            &mut out,
+            "duration_nanos",
+            &self.spec.duration.as_nanos().to_string(),
+        );
+        kv(&mut out, "seed", &self.spec.seed.to_string());
+        kv(
+            &mut out,
+            "verify_consistency",
+            bool_str(self.spec.verify_consistency),
+        );
+        // [config]
+        let c = &self.config;
+        kv(
+            &mut out,
+            "strategy",
+            match c.strategy {
+                Strategy::Here => "here",
+                Strategy::Remus => "remus",
+            },
+        );
+        let period = match c.period {
+            PeriodPolicy::Fixed(t) => format!("fixed:{}", t.as_nanos()),
+            PeriodPolicy::Dynamic {
+                d_target,
+                t_max,
+                sigma,
+            } => format!(
+                "dynamic:0x{:016x}:{}:{}",
+                d_target.to_bits(),
+                t_max.as_nanos(),
+                sigma.as_nanos()
+            ),
+        };
+        kv(&mut out, "period", &period);
+        kv(&mut out, "transfer_threads", &opt_num(c.transfer_threads));
+        kv(&mut out, "encode_lanes", &opt_num(c.encode_lanes));
+        kv(
+            &mut out,
+            "heartbeat",
+            &format!(
+                "{}:{}",
+                c.heartbeat.period.as_nanos(),
+                c.heartbeat.missed_threshold
+            ),
+        );
+        kv(
+            &mut out,
+            "retry",
+            &format!(
+                "{}:{}:{}",
+                c.retry.max_attempts,
+                c.retry.backoff_base.as_nanos(),
+                c.retry.backoff_cap.as_nanos()
+            ),
+        );
+        let m = &c.costs;
+        kv(
+            &mut out,
+            "costs",
+            &format!(
+                "{}:{}:{}:{}:{}:{}:{}:{}:0x{:016x}:0x{:016x}:{}:{}:{}:{}",
+                m.migrate_scan_per_page.as_nanos(),
+                m.migrate_wire_per_page.as_nanos(),
+                m.checkpoint_cpu_per_page.as_nanos(),
+                m.checkpoint_wire_per_page.as_nanos(),
+                m.checkpoint_thread_overhead.as_nanos(),
+                m.checkpoint_const.as_nanos(),
+                m.remus_extra_const.as_nanos(),
+                m.here_migration_setup.as_nanos(),
+                m.parallel_efficiency.to_bits(),
+                m.migration_parallel_efficiency.to_bits(),
+                m.pause_disturbance.as_nanos(),
+                m.device_switch.as_nanos(),
+                m.state_load.as_nanos(),
+                m.rss_base_mib,
+            ),
+        );
+        kv(
+            &mut out,
+            "migration_limits",
+            &format!(
+                "{}:{}",
+                c.max_migration_iterations, c.migration_dirty_threshold
+            ),
+        );
+        kv(
+            &mut out,
+            "topology",
+            &format!(
+                "{}:{}:{}:{}",
+                c.topology.replicas,
+                c.topology.quorum,
+                match c.topology.fanout {
+                    FanoutMode::Star => "star",
+                    FanoutMode::Chain => "chain",
+                },
+                c.topology.stale_epoch_lag
+            ),
+        );
+        kv(
+            &mut out,
+            "encode_chunk_pages",
+            &opt_num(c.encode_chunk_pages),
+        );
+        kv(
+            &mut out,
+            "overlap_channel_depth",
+            &opt_num(c.overlap_channel_depth),
+        );
+        kv(&mut out, "overlap_transfer", bool_str(c.overlap_transfer));
+        kv(&mut out, "health_plane", bool_str(c.health_plane));
+        kv(
+            &mut out,
+            "postmortem_capture",
+            bool_str(c.postmortem_capture),
+        );
+        kv(
+            &mut out,
+            "flight_recorder_capacity",
+            &match c.flight_recorder_capacity {
+                Some(n) => n.to_string(),
+                None => "none".to_string(),
+            },
+        );
+        // [fault plan]
+        match &self.plan {
+            None => kv(&mut out, "plan", "none"),
+            Some(plan) => {
+                kv(&mut out, "plan", &plan.seed.to_string());
+                kv(&mut out, "plan_events", &plan.events().len().to_string());
+                for e in plan.events() {
+                    kv(
+                        &mut out,
+                        "event",
+                        &format!("{}:{}:{}", e.epoch, e.replica, render_kind(&e.kind)),
+                    );
+                }
+            }
+        }
+        // [run identity]
+        kv(
+            &mut out,
+            "fingerprint",
+            &format!("0x{:016x}", self.fingerprint),
+        );
+        kv(&mut out, "alert_log", &esc(&self.alert_log_jsonl));
+        kv(
+            &mut out,
+            "active_alerts",
+            &self.active_alerts.len().to_string(),
+        );
+        for rule in &self.active_alerts {
+            kv(&mut out, "active", &esc(rule));
+        }
+        // [incident capture]
+        let i = &self.incident;
+        kv(&mut out, "trigger", &esc(&i.trigger));
+        kv(&mut out, "trigger_epoch", &i.epoch.to_string());
+        kv(&mut out, "trigger_at_nanos", &i.at_nanos.to_string());
+        kv(&mut out, "trigger_detail", &esc(&i.detail));
+        kv(&mut out, "flight", &esc(&i.flight_json));
+        kv(&mut out, "commits", &i.commits.len().to_string());
+        for commit in &i.commits {
+            kv(
+                &mut out,
+                "commit",
+                &format!("{}:{}", commit.seq, commit.at.as_nanos()),
+            );
+        }
+        kv(&mut out, "acks", &i.acks.len().to_string());
+        for trail in &i.acks {
+            let entries = trail
+                .acks
+                .iter()
+                .map(|a| format!("{}@{}", a.seq, a.at.as_nanos()))
+                .collect::<Vec<_>>()
+                .join(",");
+            kv(&mut out, "ack", &format!("{}:{entries}", trail.replica));
+        }
+        kv(&mut out, "spans", &i.spans.len().to_string());
+        for span in &i.spans {
+            kv(&mut out, "span", &esc(span));
+        }
+        kv(&mut out, "transitions", &i.transitions.len().to_string());
+        for t in &i.transitions {
+            kv(&mut out, "transition", &esc(t));
+        }
+        kv(&mut out, "series_tail", &esc(&i.series_tail));
+        kv(
+            &mut out,
+            "capture_active",
+            &i.active_alerts.len().to_string(),
+        );
+        for rule in &i.active_alerts {
+            kv(&mut out, "capture_active_rule", &esc(rule));
+        }
+        kv(&mut out, "capture_alert_log", &esc(&i.alert_log_jsonl));
+        out
+    }
+
+    fn parse_payload(payload: &str) -> CoreResult<IncidentBundle> {
+        let mut cur = Cursor::new(payload);
+        let name = unesc(&cur.take("name")?)?;
+        let memory_mib = parse_num(&cur.take("memory_mib")?, "memory_mib")?;
+        let vcpus = parse_num(&cur.take("vcpus")?, "vcpus")?;
+        let workload = WorkloadSpec::parse(&cur.take("workload")?)?;
+        let duration =
+            SimDuration::from_nanos(parse_num(&cur.take("duration_nanos")?, "duration_nanos")?);
+        let seed = parse_num(&cur.take("seed")?, "seed")?;
+        let verify_consistency = parse_bool(&cur.take("verify_consistency")?)?;
+        let spec = ScenarioSpec {
+            name,
+            memory_mib,
+            vcpus,
+            workload,
+            duration,
+            seed,
+            verify_consistency,
+        };
+
+        let strategy = match cur.take("strategy")?.as_str() {
+            "here" => Strategy::Here,
+            "remus" => Strategy::Remus,
+            other => return Err(bundle_err(&format!("unknown strategy {other:?}"))),
+        };
+        let period_raw = cur.take("period")?;
+        let period = if let Some(nanos) = period_raw.strip_prefix("fixed:") {
+            PeriodPolicy::Fixed(SimDuration::from_nanos(parse_num(nanos, "fixed period")?))
+        } else if let Some(rest) = period_raw.strip_prefix("dynamic:") {
+            let parts: Vec<&str> = rest.split(':').collect();
+            if parts.len() != 3 {
+                return Err(bundle_err("malformed dynamic period"));
+            }
+            PeriodPolicy::Dynamic {
+                d_target: f64::from_bits(parse_hex_u64(parts[0], "d_target")?),
+                t_max: SimDuration::from_nanos(parse_num(parts[1], "t_max")?),
+                sigma: SimDuration::from_nanos(parse_num(parts[2], "sigma")?),
+            }
+        } else {
+            return Err(bundle_err("unknown period policy"));
+        };
+        let transfer_threads = parse_opt_num(&cur.take("transfer_threads")?, "transfer_threads")?;
+        let encode_lanes = parse_opt_num(&cur.take("encode_lanes")?, "encode_lanes")?;
+        let hb: Vec<String> = split_fields(&cur.take("heartbeat")?, 2, "heartbeat")?;
+        let heartbeat = crate::config::HeartbeatConfig {
+            period: SimDuration::from_nanos(parse_num(&hb[0], "heartbeat period")?),
+            missed_threshold: parse_num(&hb[1], "heartbeat threshold")?,
+        };
+        let rt = split_fields(&cur.take("retry")?, 3, "retry")?;
+        let retry = crate::config::RetryPolicy {
+            max_attempts: parse_num(&rt[0], "retry attempts")?,
+            backoff_base: SimDuration::from_nanos(parse_num(&rt[1], "retry base")?),
+            backoff_cap: SimDuration::from_nanos(parse_num(&rt[2], "retry cap")?),
+        };
+        let cs = split_fields(&cur.take("costs")?, 14, "costs")?;
+        let nanos = |i: usize, what: &str| -> CoreResult<SimDuration> {
+            Ok(SimDuration::from_nanos(parse_num(&cs[i], what)?))
+        };
+        let costs = crate::config::CostModel {
+            migrate_scan_per_page: nanos(0, "costs[0]")?,
+            migrate_wire_per_page: nanos(1, "costs[1]")?,
+            checkpoint_cpu_per_page: nanos(2, "costs[2]")?,
+            checkpoint_wire_per_page: nanos(3, "costs[3]")?,
+            checkpoint_thread_overhead: nanos(4, "costs[4]")?,
+            checkpoint_const: nanos(5, "costs[5]")?,
+            remus_extra_const: nanos(6, "costs[6]")?,
+            here_migration_setup: nanos(7, "costs[7]")?,
+            parallel_efficiency: f64::from_bits(parse_hex_u64(&cs[8], "costs[8]")?),
+            migration_parallel_efficiency: f64::from_bits(parse_hex_u64(&cs[9], "costs[9]")?),
+            pause_disturbance: nanos(10, "costs[10]")?,
+            device_switch: nanos(11, "costs[11]")?,
+            state_load: nanos(12, "costs[12]")?,
+            rss_base_mib: parse_num(&cs[13], "costs[13]")?,
+        };
+        let ml = split_fields(&cur.take("migration_limits")?, 2, "migration_limits")?;
+        let tp = split_fields(&cur.take("topology")?, 4, "topology")?;
+        let topology = TopologyConfig {
+            replicas: parse_num(&tp[0], "topology replicas")?,
+            quorum: parse_num(&tp[1], "topology quorum")?,
+            fanout: match tp[2].as_str() {
+                "star" => FanoutMode::Star,
+                "chain" => FanoutMode::Chain,
+                other => return Err(bundle_err(&format!("unknown fanout {other:?}"))),
+            },
+            stale_epoch_lag: parse_num(&tp[3], "topology stale lag")?,
+        };
+        let encode_chunk_pages =
+            parse_opt_num(&cur.take("encode_chunk_pages")?, "encode_chunk_pages")?;
+        let overlap_channel_depth =
+            parse_opt_num(&cur.take("overlap_channel_depth")?, "overlap_channel_depth")?;
+        let overlap_transfer = parse_bool(&cur.take("overlap_transfer")?)?;
+        let health_plane = parse_bool(&cur.take("health_plane")?)?;
+        let postmortem_capture = parse_bool(&cur.take("postmortem_capture")?)?;
+        let flight_recorder_capacity = {
+            let raw = cur.take("flight_recorder_capacity")?;
+            if raw == "none" {
+                None
+            } else {
+                Some(parse_num(&raw, "flight_recorder_capacity")?)
+            }
+        };
+        let config = ReplicationConfig {
+            strategy,
+            period,
+            transfer_threads,
+            encode_lanes,
+            heartbeat,
+            retry,
+            costs,
+            max_migration_iterations: parse_num(&ml[0], "max_migration_iterations")?,
+            migration_dirty_threshold: parse_num(&ml[1], "migration_dirty_threshold")?,
+            topology,
+            encode_chunk_pages,
+            overlap_channel_depth,
+            overlap_transfer,
+            health_plane,
+            postmortem_capture,
+            flight_recorder_capacity,
+        };
+
+        let plan_raw = cur.take("plan")?;
+        let plan = if plan_raw == "none" {
+            None
+        } else {
+            let mut plan = FaultPlan::new(parse_num(&plan_raw, "plan seed")?);
+            let events: usize = parse_num(&cur.take("plan_events")?, "plan_events")?;
+            for _ in 0..events {
+                let raw = cur.take("event")?;
+                let mut it = raw.splitn(3, ':');
+                let epoch = parse_num(it.next().unwrap_or(""), "event epoch")?;
+                let replica = parse_num(it.next().unwrap_or(""), "event replica")?;
+                let kind = parse_kind(it.next().unwrap_or(""))?;
+                plan = plan.with_event_on(epoch, replica, kind);
+            }
+            Some(plan)
+        };
+
+        let fingerprint = parse_hex_u64(
+            cur.take("fingerprint")?
+                .strip_prefix("0x")
+                .ok_or_else(|| bundle_err("malformed fingerprint"))?,
+            "fingerprint",
+        )?;
+        let alert_log_jsonl = unesc(&cur.take("alert_log")?)?;
+        let n_active: usize = parse_num(&cur.take("active_alerts")?, "active_alerts")?;
+        let mut active_alerts = Vec::with_capacity(n_active);
+        for _ in 0..n_active {
+            active_alerts.push(unesc(&cur.take("active")?)?);
+        }
+
+        let trigger = unesc(&cur.take("trigger")?)?;
+        let epoch = parse_num(&cur.take("trigger_epoch")?, "trigger_epoch")?;
+        let at_nanos = parse_num(&cur.take("trigger_at_nanos")?, "trigger_at_nanos")?;
+        let detail = unesc(&cur.take("trigger_detail")?)?;
+        let flight_json = unesc(&cur.take("flight")?)?;
+        let n_commits: usize = parse_num(&cur.take("commits")?, "commits")?;
+        let mut commits = Vec::with_capacity(n_commits);
+        for _ in 0..n_commits {
+            let raw = cur.take("commit")?;
+            let f = split_fields(&raw, 2, "commit")?;
+            commits.push(CommitEntry {
+                seq: parse_num(&f[0], "commit seq")?,
+                at: SimTime::from_nanos(parse_num(&f[1], "commit at")?),
+            });
+        }
+        let n_acks: usize = parse_num(&cur.take("acks")?, "acks")?;
+        let mut acks = Vec::with_capacity(n_acks);
+        for _ in 0..n_acks {
+            let raw = cur.take("ack")?;
+            let (replica, entries) = raw
+                .split_once(':')
+                .ok_or_else(|| bundle_err("malformed ack trail"))?;
+            let mut trail = Vec::new();
+            if !entries.is_empty() {
+                for part in entries.split(',') {
+                    let (seq, at) = part
+                        .split_once('@')
+                        .ok_or_else(|| bundle_err("malformed ack entry"))?;
+                    trail.push(CommitEntry {
+                        seq: parse_num(seq, "ack seq")?,
+                        at: SimTime::from_nanos(parse_num(at, "ack at")?),
+                    });
+                }
+            }
+            acks.push(ReplicaAcks {
+                replica: parse_num(replica, "ack replica")?,
+                acks: trail,
+            });
+        }
+        let n_spans: usize = parse_num(&cur.take("spans")?, "spans")?;
+        let mut spans = Vec::with_capacity(n_spans);
+        for _ in 0..n_spans {
+            spans.push(unesc(&cur.take("span")?)?);
+        }
+        let n_transitions: usize = parse_num(&cur.take("transitions")?, "transitions")?;
+        let mut transitions = Vec::with_capacity(n_transitions);
+        for _ in 0..n_transitions {
+            transitions.push(unesc(&cur.take("transition")?)?);
+        }
+        let series_tail = unesc(&cur.take("series_tail")?)?;
+        let n_capture_active: usize = parse_num(&cur.take("capture_active")?, "capture_active")?;
+        let mut capture_active = Vec::with_capacity(n_capture_active);
+        for _ in 0..n_capture_active {
+            capture_active.push(unesc(&cur.take("capture_active_rule")?)?);
+        }
+        let capture_alert_log = unesc(&cur.take("capture_alert_log")?)?;
+        cur.finish()?;
+
+        Ok(IncidentBundle {
+            spec,
+            config,
+            plan,
+            fingerprint,
+            alert_log_jsonl,
+            active_alerts,
+            incident: IncidentSnapshot {
+                trigger,
+                epoch,
+                at_nanos,
+                detail,
+                flight_json,
+                commits,
+                acks,
+                spans,
+                transitions,
+                series_tail,
+                active_alerts: capture_active,
+                alert_log_jsonl: capture_alert_log,
+            },
+        })
+    }
+}
+
+/// Sequential `key=value` line reader: every field must appear in the
+/// order the encoder wrote it — a missing, reordered or extra line is a
+/// decode error, not a silently defaulted field.
+struct Cursor<'a> {
+    lines: std::str::Lines<'a>,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(payload: &'a str) -> Self {
+        Cursor {
+            lines: payload.lines(),
+        }
+    }
+
+    fn take(&mut self, key: &str) -> CoreResult<String> {
+        let line = self
+            .lines
+            .next()
+            .ok_or_else(|| bundle_err(&format!("bundle ends before field {key:?}")))?;
+        let (k, v) = line
+            .split_once('=')
+            .ok_or_else(|| bundle_err(&format!("malformed line {line:?}")))?;
+        if k != key {
+            return Err(bundle_err(&format!(
+                "unexpected field {k:?} (wanted {key:?})"
+            )));
+        }
+        Ok(v.to_string())
+    }
+
+    fn finish(mut self) -> CoreResult<()> {
+        match self.lines.next() {
+            None => Ok(()),
+            Some(line) => Err(bundle_err(&format!(
+                "unexpected trailing bundle field {line:?}"
+            ))),
+        }
+    }
+}
+
+fn render_kind(kind: &FaultKind) -> String {
+    match kind {
+        FaultKind::LinkFlap { attempts_down } => format!("link_flap:{attempts_down}"),
+        FaultKind::Drop { attempts } => format!("drop:{attempts}"),
+        FaultKind::Corrupt { attempts } => format!("corrupt:{attempts}"),
+        FaultKind::Delay { by } => format!("delay:{}", by.as_nanos()),
+        FaultKind::DecodeFail { attempts } => format!("decode_fail:{attempts}"),
+        FaultKind::PrimaryFault { outcome, stage } => {
+            let outcome = match outcome {
+                DosOutcome::Crash => "crash",
+                DosOutcome::Hang => "hang",
+                DosOutcome::Starvation => "starvation",
+            };
+            format!("primary_fault:{outcome}:{}", stage.label())
+        }
+        FaultKind::HeartbeatLoss { extra_periods } => format!("heartbeat_loss:{extra_periods}"),
+    }
+}
+
+fn parse_kind(raw: &str) -> CoreResult<FaultKind> {
+    let (head, rest) = raw.split_once(':').unwrap_or((raw, ""));
+    Ok(match head {
+        "link_flap" => FaultKind::LinkFlap {
+            attempts_down: parse_num(rest, "link_flap attempts")?,
+        },
+        "drop" => FaultKind::Drop {
+            attempts: parse_num(rest, "drop attempts")?,
+        },
+        "corrupt" => FaultKind::Corrupt {
+            attempts: parse_num(rest, "corrupt attempts")?,
+        },
+        "delay" => FaultKind::Delay {
+            by: SimDuration::from_nanos(parse_num(rest, "delay nanos")?),
+        },
+        "decode_fail" => FaultKind::DecodeFail {
+            attempts: parse_num(rest, "decode_fail attempts")?,
+        },
+        "primary_fault" => {
+            let (outcome, stage) = rest
+                .split_once(':')
+                .ok_or_else(|| bundle_err("malformed primary_fault"))?;
+            let outcome = match outcome {
+                "crash" => DosOutcome::Crash,
+                "hang" => DosOutcome::Hang,
+                "starvation" => DosOutcome::Starvation,
+                other => return Err(bundle_err(&format!("unknown DoS outcome {other:?}"))),
+            };
+            let stage = Stage::ALL
+                .into_iter()
+                .find(|s| s.label() == stage)
+                .ok_or_else(|| bundle_err(&format!("unknown stage {stage:?}")))?;
+            FaultKind::PrimaryFault { outcome, stage }
+        }
+        "heartbeat_loss" => FaultKind::HeartbeatLoss {
+            extra_periods: parse_num(rest, "heartbeat_loss periods")?,
+        },
+        other => return Err(bundle_err(&format!("unknown fault kind {other:?}"))),
+    })
+}
+
+/// Escapes a value for one-line storage: `\` → `\\`, newline → `\n`,
+/// carriage return → `\r`.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Inverse of [`esc`]; rejects dangling or unknown escapes.
+fn unesc(s: &str) -> CoreResult<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            other => {
+                return Err(bundle_err(&format!(
+                    "invalid escape sequence \\{}",
+                    other.map(String::from).unwrap_or_default()
+                )))
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn bool_str(b: bool) -> &'static str {
+    if b {
+        "true"
+    } else {
+        "false"
+    }
+}
+
+fn parse_bool(s: &str) -> CoreResult<bool> {
+    match s {
+        "true" => Ok(true),
+        "false" => Ok(false),
+        other => Err(bundle_err(&format!("expected bool, got {other:?}"))),
+    }
+}
+
+fn opt_num<T: ToString>(v: Option<T>) -> String {
+    v.map(|n| n.to_string()).unwrap_or_else(|| "none".into())
+}
+
+fn parse_opt_num<T: std::str::FromStr>(s: &str, what: &str) -> CoreResult<Option<T>> {
+    if s == "none" {
+        Ok(None)
+    } else {
+        Ok(Some(parse_num(s, what)?))
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, what: &str) -> CoreResult<T> {
+    s.parse()
+        .map_err(|_| bundle_err(&format!("unparseable {what}: {s:?}")))
+}
+
+fn parse_hex_u64(s: &str, what: &str) -> CoreResult<u64> {
+    u64::from_str_radix(s.strip_prefix("0x").unwrap_or(s), 16)
+        .map_err(|_| bundle_err(&format!("unparseable {what}: {s:?}")))
+}
+
+fn split_fields(raw: &str, want: usize, what: &str) -> CoreResult<Vec<String>> {
+    let parts: Vec<String> = raw.split(':').map(str::to_string).collect();
+    if parts.len() != want {
+        return Err(bundle_err(&format!(
+            "{what} wants {want} fields, got {}",
+            parts.len()
+        )));
+    }
+    Ok(parts)
+}
+
+fn bundle_err(msg: &str) -> CoreError {
+    CoreError::InvalidScenario(format!("incident bundle: {msg}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use here_sim_core::time::SimDuration;
+
+    fn sample_spec() -> ScenarioSpec {
+        ScenarioSpec {
+            name: "pm-test".into(),
+            memory_mib: 64,
+            vcpus: 2,
+            workload: WorkloadSpec::MemStress {
+                percent: 30,
+                rate: 20_000,
+            },
+            duration: SimDuration::from_secs(20),
+            seed: 42,
+            verify_consistency: false,
+        }
+    }
+
+    fn sample_config() -> ReplicationConfig {
+        ReplicationConfig::fixed_period(SimDuration::from_secs(2))
+            .with_topology(TopologyConfig {
+                replicas: 3,
+                quorum: 2,
+                fanout: FanoutMode::Star,
+                stale_epoch_lag: 4,
+            })
+            .with_health_plane()
+            .with_postmortem_capture()
+    }
+
+    fn sample_plan() -> FaultPlan {
+        FaultPlan::new(7)
+            .with_partition_span(4..=9, &[2], 10)
+            .with_event_on(
+                3,
+                1,
+                FaultKind::Delay {
+                    by: SimDuration::from_millis(5),
+                },
+            )
+            .with_event_on(
+                11,
+                0,
+                FaultKind::PrimaryFault {
+                    outcome: DosOutcome::Hang,
+                    stage: Stage::Transfer,
+                },
+            )
+            .with_event_on(11, 0, FaultKind::HeartbeatLoss { extra_periods: 2 })
+    }
+
+    fn sample_bundle() -> IncidentBundle {
+        IncidentBundle {
+            spec: sample_spec(),
+            config: sample_config(),
+            plan: Some(sample_plan()),
+            fingerprint: 0xdead_beef_cafe_f00d,
+            alert_log_jsonl: "{\"rule\":\"stale_replica\"}\n{\"rule\":\"quorum_at_risk\"}\n".into(),
+            active_alerts: vec!["quorum_at_risk".into()],
+            incident: IncidentSnapshot {
+                trigger: "alert".into(),
+                epoch: 6,
+                at_nanos: 12_000_000_000,
+                detail: "stale_replica firing".into(),
+                flight_json: "{\"capacity\":1024,\n\"events\":[]}".into(),
+                commits: vec![CommitEntry {
+                    seq: 1,
+                    at: SimTime::from_nanos(2_000_000_123),
+                }],
+                acks: vec![
+                    ReplicaAcks {
+                        replica: 0,
+                        acks: vec![CommitEntry {
+                            seq: 1,
+                            at: SimTime::from_nanos(2_000_000_123),
+                        }],
+                    },
+                    ReplicaAcks {
+                        replica: 2,
+                        acks: Vec::new(),
+                    },
+                ],
+                spans: vec!["epoch|epoch|1:0|6|12000000000|40".into()],
+                transitions: vec!["r2:healthy->lagging@5".into()],
+                series_tail: "{\"metric\":\"here_degradation_ppm\"}\n".into(),
+                active_alerts: vec!["stale_replica".into()],
+                alert_log_jsonl: "{\"rule\":\"stale_replica\"}\n".into(),
+            },
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trips_every_field() {
+        let bundle = sample_bundle();
+        let doc = bundle.encode();
+        let back = IncidentBundle::decode(&doc).expect("round trip");
+        assert_eq!(bundle, back);
+    }
+
+    #[test]
+    fn decode_rejects_unknown_version() {
+        let doc = sample_bundle().encode().replace("v1", "v2");
+        let err = IncidentBundle::decode(&doc).unwrap_err();
+        assert!(format!("{err:?}").contains("version"), "{err:?}");
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let doc = sample_bundle().encode();
+        let truncated = &doc[..doc.len() - 10];
+        let err = IncidentBundle::decode(truncated).unwrap_err();
+        assert!(format!("{err:?}").contains("truncated"), "{err:?}");
+    }
+
+    #[test]
+    fn decode_rejects_tampering() {
+        let doc = sample_bundle().encode();
+        // Flip one payload character without changing the length.
+        let tampered = doc.replacen("seed=42", "seed=43", 1);
+        assert_eq!(doc.len(), tampered.len());
+        let err = IncidentBundle::decode(&tampered).unwrap_err();
+        assert!(format!("{err:?}").contains("tampered"), "{err:?}");
+    }
+
+    #[test]
+    fn decode_rejects_bad_magic_and_garbage() {
+        for doc in ["", "not a bundle", "HEREBUNDLE vx\nlen=0\ncrc=0x0\n---\n"] {
+            assert!(IncidentBundle::decode(doc).is_err(), "{doc:?}");
+        }
+    }
+
+    #[test]
+    fn every_fault_kind_round_trips() {
+        let kinds = [
+            FaultKind::LinkFlap { attempts_down: 3 },
+            FaultKind::Drop { attempts: 2 },
+            FaultKind::Corrupt { attempts: 1 },
+            FaultKind::Delay {
+                by: SimDuration::from_micros(750),
+            },
+            FaultKind::DecodeFail { attempts: 4 },
+            FaultKind::PrimaryFault {
+                outcome: DosOutcome::Starvation,
+                stage: Stage::Harvest,
+            },
+            FaultKind::HeartbeatLoss { extra_periods: 5 },
+        ];
+        for kind in kinds {
+            assert_eq!(parse_kind(&render_kind(&kind)).unwrap(), kind, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn escaping_round_trips_awkward_strings() {
+        for s in ["", "plain", "line1\nline2", "back\\slash", "\r\n", "a\\nb"] {
+            assert_eq!(unesc(&esc(s)).unwrap(), s, "{s:?}");
+        }
+        assert!(unesc("dangling\\").is_err());
+        assert!(unesc("bad\\x").is_err());
+    }
+
+    #[test]
+    fn host_noise_is_normalized_out_of_the_flight_dump() {
+        // The only host-dependent bytes in a flight dump are the
+        // wall-clock stamps and the encode pool's scheduler diagnostics;
+        // neutralized, the captured dump (and with it the whole encoded
+        // bundle) is byte-stable across runs.
+        let json = r#"{"kind":"stage","wall_nanos":4155,"pages":3}
+{"kind":"stage","wall_nanos":null,"pages":4}
+{"kind":"encode_pool","tasks":16,"steals":3,"occupancy_pct":20.6}
+{"kind":"encode_lane","wall_nanos":266747}"#;
+        let stripped = normalize_flight_dump(json);
+        assert!(!stripped.contains("\"wall_nanos\":4"), "{stripped}");
+        assert!(!stripped.contains("\"wall_nanos\":2"), "{stripped}");
+        assert_eq!(stripped.matches("\"wall_nanos\":null").count(), 3);
+        assert!(stripped.contains("\"steals\":0,"), "{stripped}");
+        assert!(stripped.contains("\"occupancy_pct\":0.0}"), "{stripped}");
+        assert!(stripped.contains("\"tasks\":16"), "{stripped}");
+        assert_eq!(normalize_flight_dump(&stripped), stripped);
+        assert_eq!(normalize_flight_dump("no stamps here"), "no stamps here");
+    }
+
+    #[test]
+    fn capture_requires_an_armed_run() {
+        // A report with no incident snapshot cannot become a bundle.
+        let report = sample_unarmed_report();
+        let err = IncidentBundle::capture(sample_spec(), &sample_config(), None, &report);
+        assert!(err.is_err());
+    }
+
+    fn sample_unarmed_report() -> RunReport {
+        crate::engine::Scenario::builder()
+            .name("pm-unarmed")
+            .vm_memory_mib(64)
+            .vcpus(2)
+            .config(ReplicationConfig::fixed_period(SimDuration::from_secs(2)))
+            .duration(SimDuration::from_secs(6))
+            .build()
+            .expect("valid scenario")
+            .run()
+    }
+
+    #[test]
+    fn armed_run_captures_and_replays_byte_identically() {
+        let spec = sample_spec();
+        let config = sample_config();
+        let plan = FaultPlan::new(7).with_partition_span(4..=9, &[2], 10);
+        let report = spec
+            .build_scenario(config.clone(), Some(plan.clone()))
+            .expect("valid scenario")
+            .run();
+        let incident = report.incident.as_ref().expect("capture armed");
+        assert_eq!(incident.trigger, "alert");
+        assert!(!incident.flight_json.is_empty());
+        assert!(!incident.commits.is_empty());
+        assert_eq!(incident.acks.len(), 3);
+
+        let bundle = IncidentBundle::capture(spec, &config, Some(&plan), &report).expect("bundle");
+        let decoded = IncidentBundle::decode(&bundle.encode()).expect("decode");
+        let outcome = decoded.replay().expect("replay");
+        assert!(outcome.fingerprint_matches, "fingerprint diverged");
+        assert!(outcome.alert_log_matches, "alert log diverged");
+        assert!(outcome.active_alerts_match);
+        assert!(outcome.verified());
+    }
+
+    #[test]
+    fn armed_quiet_run_captures_an_explicit_request() {
+        let mut spec = sample_spec();
+        spec.name = "pm-quiet".into();
+        spec.duration = SimDuration::from_secs(10);
+        let config = sample_config();
+        let report = spec
+            .build_scenario(config.clone(), None)
+            .expect("valid scenario")
+            .run();
+        let incident = report.incident.as_ref().expect("request capture");
+        assert_eq!(incident.trigger, "request");
+        assert!(incident.active_alerts.is_empty());
+    }
+
+    #[test]
+    fn run_ending_mid_incident_surfaces_unresolved_alerts() {
+        // The partition never lifts before the run ends: the alerts that
+        // fired must surface as unresolved in RunReport::health AND in the
+        // bundle — not silently dropped.
+        let mut spec = sample_spec();
+        spec.name = "pm-unresolved".into();
+        spec.duration = SimDuration::from_secs(24);
+        let config = sample_config();
+        let plan = FaultPlan::new(7).with_partition_span(4..=200, &[2], 10);
+        let report = spec
+            .build_scenario(config.clone(), Some(plan.clone()))
+            .expect("valid scenario")
+            .run();
+        let health = report
+            .telemetry
+            .as_ref()
+            .expect("telemetry")
+            .health
+            .as_ref()
+            .expect("health plane armed");
+        assert!(
+            !health.active_alerts.is_empty(),
+            "alerts still firing at run end must stay active: {:?}",
+            health.alert_log_jsonl
+        );
+        assert!(health
+            .active_alerts
+            .iter()
+            .any(|r| r == "stale_replica" || r == "quorum_at_risk"));
+        let fired: usize = health
+            .alert_log
+            .iter()
+            .filter(|a| a.state.label() == "firing")
+            .count();
+        assert!(
+            fired > health.alert_log.len() - fired,
+            "unresolved > resolved"
+        );
+
+        let bundle = IncidentBundle::capture(spec, &config, Some(&plan), &report).expect("bundle");
+        assert_eq!(bundle.active_alerts, health.active_alerts);
+        let decoded = IncidentBundle::decode(&bundle.encode()).expect("decode");
+        assert_eq!(decoded.active_alerts, health.active_alerts);
+        // And the replay reproduces the unresolved state byte for byte.
+        let outcome = decoded.replay().expect("replay");
+        assert!(outcome.verified());
+    }
+}

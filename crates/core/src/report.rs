@@ -15,6 +15,7 @@ use here_sim_core::time::{SimDuration, SimTime};
 use crate::chaos::ChaosStats;
 use crate::failover::{CommitEntry, FailoverRecord, ReplicaAcks};
 use crate::period::{degradation, PeriodDecision};
+use crate::postmortem::IncidentSnapshot;
 use crate::telemetry::TelemetrySnapshot;
 use crate::trace::{Stage, StageEvent};
 use here_telemetry::span::Span;
@@ -181,6 +182,11 @@ pub struct RunReport {
     /// epoch roots, stage and lane children, replica-side applies, and
     /// the failover tree. Empty for unprotected runs.
     pub spans: Vec<Span>,
+    /// The postmortem capture the first armed trigger froze, when
+    /// [`ReplicationConfig::postmortem_capture`](crate::config::ReplicationConfig::postmortem_capture)
+    /// was on. Excluded from [`RunReport::fingerprint`] (like telemetry),
+    /// so arming capture never changes a run's identity.
+    pub incident: Option<IncidentSnapshot>,
 }
 
 impl RunReport {
@@ -409,6 +415,7 @@ mod tests {
             chaos: None,
             telemetry: None,
             spans: Vec::new(),
+            incident: None,
         };
         assert_eq!(report.mean_pause(), Some(SimDuration::from_millis(200)));
         assert_eq!(report.mean_dirty_pages(), Some(20.0));
@@ -471,6 +478,7 @@ mod tests {
             chaos: None,
             telemetry: None,
             spans: Vec::new(),
+            incident: None,
         };
         assert_eq!(report.replica_staleness(0), Some(SimDuration::from_secs(4)));
         assert_eq!(report.replica_staleness(1), Some(SimDuration::from_secs(7)));
@@ -514,6 +522,7 @@ mod tests {
             chaos: None,
             telemetry: None,
             spans: Vec::new(),
+            incident: None,
         };
         assert!(report.mean_pause().is_none());
         assert!(report.mean_degradation().is_none());

@@ -44,6 +44,7 @@ use crate::error::{CoreError, CoreResult};
 use crate::failover::{detection_time_with_loss, CommitLedger, FailoverRecord};
 use crate::period::{PeriodDecision, PeriodManager};
 use crate::pipeline::ReplicationStrategy;
+use crate::postmortem::{IncidentSnapshot, SERIES_TAIL_LINES};
 use crate::report::CheckpointRecord;
 use crate::telemetry::SessionTelemetry;
 use crate::topology::{make_replica_hosts, Replica, ReplicaSet};
@@ -165,6 +166,9 @@ pub(crate) struct Session {
     pub(crate) degradation_series: TimeSeries,
     pub(crate) latencies: Histogram,
     pub(crate) telemetry: SessionTelemetry,
+    /// The first armed postmortem capture, if any fired; drained into
+    /// [`RunReport::incident`](crate::report::RunReport::incident).
+    pub(crate) incident: Option<IncidentSnapshot>,
 }
 
 impl Session {
@@ -262,16 +266,23 @@ impl Session {
             period_series: TimeSeries::new("period_secs"),
             degradation_series: TimeSeries::new("degradation_pct"),
             latencies: Histogram::new(),
-            telemetry: if cfg.health_plane {
-                SessionTelemetry::with_health_plane(
-                    cfg.period,
-                    cfg.topology.replicas.max(1),
-                    cfg.topology.effective_quorum(),
-                    cfg.topology.stale_epoch_lag,
-                )
-            } else {
-                SessionTelemetry::new(cfg.period)
+            telemetry: {
+                let telemetry = if cfg.health_plane {
+                    SessionTelemetry::with_health_plane(
+                        cfg.period,
+                        cfg.topology.replicas.max(1),
+                        cfg.topology.effective_quorum(),
+                        cfg.topology.stale_epoch_lag,
+                    )
+                } else {
+                    SessionTelemetry::new(cfg.period)
+                };
+                match cfg.flight_recorder_capacity {
+                    Some(capacity) => telemetry.with_flight_capacity(capacity),
+                    None => telemetry,
+                }
             },
+            incident: None,
             cfg,
             strategy,
         })
@@ -823,6 +834,10 @@ impl Session {
             record.pause.as_nanos(),
             &observations,
         );
+        let firing = events
+            .iter()
+            .find(|e| e.state.label() == "firing")
+            .map(|e| (e.rule, e.detail.clone()));
         for event in events {
             self.spans.push(
                 SpanDraft::new(event.rule, "alert", Track::Controller, at_nanos)
@@ -831,6 +846,98 @@ impl Session {
                     .attr_str("severity", event.severity.label()),
             );
         }
+        if let Some((rule, detail)) = firing {
+            self.capture_incident("alert", seq, at_nanos, format!("{rule}: {detail}"));
+        }
+    }
+
+    /// Freezes the postmortem [`IncidentSnapshot`] if capture is armed and
+    /// no earlier trigger beat this one: the trailing flight-recorder
+    /// window, the ledger and per-replica ack trails, the trigger epoch's
+    /// span subtree, health transitions and the windowed-series tail — all
+    /// read-only, so arming capture never perturbs the run.
+    pub(crate) fn capture_incident(
+        &mut self,
+        trigger: &'static str,
+        epoch: u64,
+        at_nanos: u64,
+        detail: String,
+    ) {
+        if !self.cfg.postmortem_capture || self.incident.is_some() {
+            return;
+        }
+        let snap = self.telemetry.snapshot();
+        let (transitions, series_tail, active_alerts, alert_log_jsonl) = match snap.health {
+            Some(h) => {
+                let tail_start = h
+                    .series_jsonl
+                    .lines()
+                    .count()
+                    .saturating_sub(SERIES_TAIL_LINES);
+                let tail = h
+                    .series_jsonl
+                    .lines()
+                    .skip(tail_start)
+                    .map(|l| format!("{l}\n"))
+                    .collect::<String>();
+                let transitions = h
+                    .transitions
+                    .iter()
+                    .map(|t| {
+                        format!(
+                            "r{}:{}->{}@{}",
+                            t.replica,
+                            t.from.label(),
+                            t.to.label(),
+                            t.epoch
+                        )
+                    })
+                    .collect();
+                (transitions, tail, h.active_alerts, h.alert_log_jsonl)
+            }
+            None => (Vec::new(), String::new(), Vec::new(), String::new()),
+        };
+        let spans = self
+            .spans
+            .spans()
+            .iter()
+            .filter(|s| s.epoch == Some(epoch) || s.category == "failover")
+            .map(|s| {
+                format!(
+                    "{}|{}|{}:{}|{}|{}|{}",
+                    s.name,
+                    s.category,
+                    s.track.pid(),
+                    s.track.tid(),
+                    s.epoch.map(|e| e.to_string()).unwrap_or_default(),
+                    s.start_nanos,
+                    s.duration_nanos
+                )
+            })
+            .collect();
+        self.incident = Some(IncidentSnapshot {
+            trigger: trigger.to_string(),
+            epoch,
+            at_nanos,
+            detail,
+            flight_json: crate::postmortem::normalize_flight_dump(&snap.flight_recorder_json),
+            commits: self.ledger.entries().to_vec(),
+            acks: self
+                .ledger
+                .ack_trails()
+                .iter()
+                .enumerate()
+                .map(|(i, acks)| crate::failover::ReplicaAcks {
+                    replica: i as u32,
+                    acks: acks.clone(),
+                })
+                .collect(),
+            spans,
+            transitions,
+            series_tail,
+            active_alerts,
+            alert_log_jsonl,
+        });
     }
 
     /// Mutable access to the activated replica's host hypervisor (valid
@@ -997,6 +1104,12 @@ impl Session {
             chaos.stats.epochs_aborted += 1;
         }
         self.telemetry.on_epoch_abort(seq, attempts, at_nanos);
+        self.capture_incident(
+            "epoch_abort",
+            seq,
+            at_nanos,
+            format!("epoch {seq} aborted after {attempts} transfer attempts"),
+        );
         Ok(())
     }
 
@@ -1074,6 +1187,15 @@ impl Session {
             self.devmgr.packets_released(),
             self.devmgr.packets_discarded(),
         );
+        self.capture_incident(
+            "failover",
+            self.seq,
+            record.resumed_at.as_nanos(),
+            format!(
+                "primary failed; replica {best} activated from checkpoint {}",
+                record.resumed_from_checkpoint
+            ),
+        );
         Ok(record)
     }
 
@@ -1140,6 +1262,19 @@ impl Session {
             + self.devmgr.io().high_watermark();
         let cpu_core_pct = self.cpu_work.as_secs_f64() / secs * 100.0;
         let ops_completed = self.ops_committed + self.ops_uncommitted;
+        // An armed run that reached the end without any trigger still
+        // captures — an explicit end-of-run "request" snapshot — so the
+        // bundle workflow works on healthy runs too.
+        if self.incident.is_none() {
+            let at_nanos = self.rel(self.clock).as_nanos();
+            self.capture_incident(
+                "request",
+                self.seq,
+                at_nanos,
+                "explicit end-of-run capture (no trigger fired)".to_string(),
+            );
+        }
+        let incident = self.incident.take();
         let (commits, replica_acks) = self.ledger.into_parts();
         crate::report::RunReport {
             name: self.name,
@@ -1161,6 +1296,7 @@ impl Session {
             chaos: self.chaos.map(|c| c.stats),
             telemetry: Some(self.telemetry.snapshot()),
             spans: self.spans.into_spans(),
+            incident,
         }
     }
 }
