@@ -10,7 +10,7 @@
 //! `tab2`, `tab5`, `demo`, `fig5`, `fig6`, `fig7`, `fig8`, `fig9`, `fig10`,
 //! `fig11`, `fig12`, `fig13`, `fig14`, `fig15`, `fig16`, `fig17`,
 //! `overhead`, `stages`, `datapath`, `observe`, `analyze`, `chaos`,
-//! `topology`, `health`, `postmortem`. `--list` prints every experiment with its description and
+//! `topology`, `health`, `postmortem`, `wire`. `--list` prints every experiment with its description and
 //! artifacts and exits. `--quick` uses scaled-down configurations.
 //! `datapath` measures real wall-clock throughput (not cost-model time)
 //! and writes `target/repro/BENCH_datapath.json`; `--lanes` replaces its
@@ -27,7 +27,10 @@
 //! incident bundle from an induced quorum-at-risk partition, replays it
 //! byte-identically and diffs it against the fault-stripped baseline,
 //! writing `target/repro/BENCH_postmortem.json` plus the bundle and the
-//! forensics reports. `repro replay <bundle>` re-executes a previously
+//! forensics reports; `wire` compares wire format v3 (epoch-delta
+//! columnar records) against the v2 stream on two workloads plus the
+//! negotiation matrix and writes `target/repro/BENCH_wire.json`.
+//! `repro replay <bundle>` re-executes a previously
 //! captured `incident.bundle` and verifies the reproduction.
 //!
 //! Everything printed is also teed to `target/repro/repro_output.txt`.
@@ -60,6 +63,7 @@ use here_bench::experiments::security::{
 };
 use here_bench::experiments::stages::run_stages;
 use here_bench::experiments::topology::run_topology;
+use here_bench::experiments::wire::run_wire;
 use here_bench::tables::{num, render};
 use here_bench::Scale;
 use here_core::Strategy;
@@ -91,6 +95,7 @@ const ALL: &[&str] = &[
     "topology",
     "health",
     "postmortem",
+    "wire",
 ];
 
 /// One-line description and artifacts of every experiment, for `--list`.
@@ -185,6 +190,11 @@ const CATALOG: &[(&str, &str, &str)] = &[
         "postmortem",
         "postmortem plane: incident capture, bundle replay, differential forensics",
         "BENCH_postmortem.json, incident.bundle, postmortem.json, postmortem_report.txt",
+    ),
+    (
+        "wire",
+        "wire format v3 vs v2: bytes per epoch, transfer time, negotiation",
+        "BENCH_wire.json",
     ),
 ];
 
@@ -405,6 +415,7 @@ fn run_one(which: &str, scale: Scale, datapath_opts: DatapathOptions) {
         "topology" => topology(scale),
         "health" => health(scale),
         "postmortem" => postmortem(scale),
+        "wire" => wire(scale),
         _ => unreachable!("validated in main"),
     }
 }
@@ -793,9 +804,15 @@ fn datapath(scale: Scale, opts: DatapathOptions) {
         num(out.analytic_alpha_us_per_page, 3),
     );
     outln!(
-        "  legacy serial reference: {} ms -> new single-lane encode is {}x faster\n",
+        "  legacy serial reference: {} ms -> new single-lane encode is {}x faster",
         num(out.legacy_encode_ms, 1),
         num(out.legacy_speedup, 2),
+    );
+    outln!(
+        "  wire density: v2 meta {} KiB vs v3 columns {} KiB -> {}x fewer bytes\n",
+        num(out.v2_meta_bytes as f64 / 1024.0, 1),
+        num(out.v3_columns_bytes as f64 / 1024.0, 1),
+        num(out.v3_meta_reduction, 2),
     );
     let rows: Vec<Vec<String>> = out
         .rows
@@ -807,6 +824,7 @@ fn datapath(scale: Scale, opts: DatapathOptions) {
                 num(r.encode_ms, 2),
                 num(r.decode_restore_ms, 2),
                 num(r.streamed_ms, 2),
+                num(r.v3_meta_ms, 2),
                 r.steals.to_string(),
                 num(r.occupancy_pct, 0),
                 num(r.total_ms, 2),
@@ -825,6 +843,7 @@ fn datapath(scale: Scale, opts: DatapathOptions) {
                 "Encode (ms)",
                 "Restore (ms)",
                 "Streamed (ms)",
+                "v3 meta (ms)",
                 "Steals",
                 "Occ%",
                 "Total (ms)",
@@ -1153,6 +1172,78 @@ fn postmortem(scale: Scale) {
     write_artifact("incident.bundle", &out.bundle_text);
     write_artifact("postmortem.json", &out.postmortem_json);
     write_artifact("postmortem_report.txt", &out.postmortem_text);
+}
+
+fn wire(scale: Scale) {
+    outln!("Wire — v3 epoch-delta columnar format vs the v2 stream");
+    let out = run_wire(scale);
+    let rows: Vec<Vec<String>> = out
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.workload.to_string(),
+                format!("v{}", r.version),
+                r.checkpoints.to_string(),
+                r.commits.to_string(),
+                num(r.bytes_per_epoch / 1024.0, 1),
+                num(r.mean_transfer_ms, 3),
+            ]
+        })
+        .collect();
+    outln!(
+        "{}",
+        render(
+            &[
+                "Workload",
+                "Wire",
+                "Epochs",
+                "Commits",
+                "KiB/epoch",
+                "Transfer (ms)"
+            ],
+            &rows
+        )
+    );
+    for red in &out.reductions {
+        outln!(
+            "  {}: v3 ships {}x fewer bytes per epoch, transfer {}x shorter",
+            red.workload,
+            num(red.bytes_ratio, 2),
+            num(red.transfer_ratio, 2),
+        );
+    }
+    outln!("  negotiation (N=3, q=2):");
+    for n in &out.negotiation {
+        outln!(
+            "    offer v{} caps [{}] over {}: negotiated [{}], {} commits",
+            n.offer,
+            n.caps,
+            n.fanout,
+            n.negotiated,
+            n.commits,
+        );
+    }
+    outln!(
+        "  bit-compat (v3 offer, v2-capped replica vs default): fingerprints 0x{:016x} / 0x{:016x} -> {}",
+        out.baseline_fingerprint,
+        out.capped_fingerprint,
+        if out.bit_compatible {
+            "IDENTICAL"
+        } else {
+            "DRIFTED"
+        },
+    );
+    outln!(
+        "  same-seed v3 rerun fingerprint 0x{:016x}: {}\n",
+        out.rerun_fingerprint,
+        if out.deterministic {
+            "byte-identical replay"
+        } else {
+            "MISMATCH"
+        },
+    );
+    write_artifact("BENCH_wire.json", &out.json);
 }
 
 /// `repro replay <bundle>` — re-executes a captured incident bundle and

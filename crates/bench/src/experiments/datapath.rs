@@ -60,7 +60,7 @@ use here_hypervisor::PAGE_SIZE;
 use here_sim_core::rate::ByteSize;
 use here_sim_core::time::{SimDuration, SimTime};
 use here_vmstate::translate::StateTranslator;
-use here_vmstate::wire::{fnv32, ScatterStream, StreamEncoder};
+use here_vmstate::wire::{fnv32, ScatterStream, StreamEncoder, VERSION_V3};
 use here_vmstate::MemoryDelta;
 use here_workloads::phased::{Phase, PhasedMemStress};
 use here_workloads::traits::Workload;
@@ -109,6 +109,10 @@ pub struct WorkerRow {
     /// finished chunk decoded into the replica while later chunks are
     /// still encoding.
     pub streamed_ms: f64,
+    /// Wire-v3 columnar meta encode: the page-columns records a v3
+    /// session ships per epoch (all metas contiguous, then the payload
+    /// column), framed on the same lanes.
+    pub v3_meta_ms: f64,
     /// Chunks executed by a lane other than their home lane during the
     /// streamed rounds (work-stealing diagnostic; host-dependent).
     pub steals: u64,
@@ -169,6 +173,14 @@ pub struct DatapathOutput {
     pub legacy_encode_ms: f64,
     /// Legacy encode time over the new path's single-lane encode time.
     pub legacy_speedup: f64,
+    /// Encoded size of the delta as v2 metadata records (single lane),
+    /// bytes — deterministic, gated exactly.
+    pub v2_meta_bytes: u64,
+    /// Encoded size of the same delta as v3 page-columns records
+    /// (single lane), bytes — deterministic, gated exactly.
+    pub v3_columns_bytes: u64,
+    /// `v2_meta_bytes / v3_columns_bytes` — the columnar density win.
+    pub v3_meta_reduction: f64,
     /// Deterministic virtual-time overlap comparisons.
     pub virtual_overlap: Vec<OverlapScenario>,
     /// The same results as a JSON document (`BENCH_datapath.json`).
@@ -275,8 +287,9 @@ pub fn run_datapath_with(scale: Scale, opts: DatapathOptions) -> DatapathOutput 
         let mut pool = BufferPool::new();
         let mut replica = GuestMemory::new(memory.size()).expect("replica size is valid");
         let mut replica_streamed = GuestMemory::new(memory.size()).expect("replica size is valid");
-        let (mut harvest, mut translate, mut encode, mut decode, mut streamed) =
-            (0f64, 0f64, 0f64, 0f64, 0f64);
+        let mut replica_v3 = GuestMemory::new(memory.size()).expect("replica size is valid");
+        let (mut harvest, mut translate, mut encode, mut decode, mut streamed, mut v3_meta) =
+            (0f64, 0f64, 0f64, 0f64, 0f64, 0f64);
         let (mut steals, mut occupancy) = (0u64, 0f64);
         // One warmup round fills the pools; measured rounds then run at
         // steady state.
@@ -351,14 +364,41 @@ pub fn run_datapath_with(scale: Scale, opts: DatapathOptions) -> DatapathOutput 
             for seg in spent {
                 pool.recycle(seg);
             }
+
+            // Wire-v3 columnar path: the meta-only page-columns records a
+            // v3 session ships per epoch, decoded through a v3 restorer.
+            let t = Instant::now();
+            let segments = encode_pages_parallel(
+                &delta,
+                workers,
+                PayloadMode::Columnar { base_epoch: 0 },
+                &mut pool,
+                &lane_pool,
+            );
+            if measured {
+                v3_meta += t.elapsed().as_secs_f64();
+            }
+            let mut restorer = SegmentRestorer::new_versioned(&mut replica_v3, false, VERSION_V3);
+            for seg in &segments {
+                restorer.accept(seg).expect("v3 columnar segment decodes");
+            }
+            assert_eq!(
+                restorer.installed(),
+                pages,
+                "v3 restore must install every page"
+            );
+            for seg in segments {
+                pool.recycle(seg);
+            }
         }
         let n = rounds as f64;
-        let (harvest, translate, encode, decode, streamed) = (
+        let (harvest, translate, encode, decode, streamed, v3_meta) = (
             harvest / n,
             translate / n,
             encode / n,
             decode / n,
             streamed / n,
+            v3_meta / n,
         );
         let total = harvest + translate + streamed;
         rows.push(WorkerRow {
@@ -368,6 +408,7 @@ pub fn run_datapath_with(scale: Scale, opts: DatapathOptions) -> DatapathOutput 
             encode_ms: encode * 1e3,
             decode_restore_ms: decode * 1e3,
             streamed_ms: streamed * 1e3,
+            v3_meta_ms: v3_meta * 1e3,
             steals,
             occupancy_pct: occupancy / n,
             total_ms: total * 1e3,
@@ -397,6 +438,22 @@ pub fn run_datapath_with(scale: Scale, opts: DatapathOptions) -> DatapathOutput 
     let legacy_encode_ms = legacy / rounds as f64 * 1e3;
     let new_single_encode_ms = rows[0].encode_ms;
     let legacy_speedup = legacy_encode_ms / new_single_encode_ms;
+
+    // Deterministic wire-density probe over the same delta: the v2
+    // metadata stream vs the v3 page-columns stream, single lane so the
+    // chunk framing is identical on every host.
+    let mut pool = BufferPool::new();
+    let mut encoded_bytes = |mode| {
+        let segments = encode_pages_parallel(&delta, 1, mode, &mut pool, &lane_pool);
+        let total: u64 = segments.iter().map(|s| s.len() as u64).sum();
+        for seg in segments {
+            pool.recycle(seg);
+        }
+        total
+    };
+    let v2_meta_bytes = encoded_bytes(PayloadMode::Metadata);
+    let v3_columns_bytes = encoded_bytes(PayloadMode::Columnar { base_epoch: 0 });
+    let v3_meta_reduction = v2_meta_bytes as f64 / v3_columns_bytes.max(1) as f64;
     let measured_alpha_us_per_page = rows[0].encode_ms * 1e3 / pages as f64;
     let analytic_alpha_us_per_page = costs.checkpoint_cpu_per_page.as_secs_f64() * 1e6;
 
@@ -415,6 +472,9 @@ pub fn run_datapath_with(scale: Scale, opts: DatapathOptions) -> DatapathOutput 
         costs.parallel_efficiency,
         legacy_encode_ms,
         legacy_speedup,
+        v2_meta_bytes,
+        v3_columns_bytes,
+        v3_meta_reduction,
         &virtual_overlap,
     );
     DatapathOutput {
@@ -429,6 +489,9 @@ pub fn run_datapath_with(scale: Scale, opts: DatapathOptions) -> DatapathOutput 
         analytic_parallel_efficiency: costs.parallel_efficiency,
         legacy_encode_ms,
         legacy_speedup,
+        v2_meta_bytes,
+        v3_columns_bytes,
+        v3_meta_reduction,
         virtual_overlap,
         json,
     }
@@ -530,6 +593,9 @@ fn render_json(
     efficiency: f64,
     legacy_encode_ms: f64,
     legacy_speedup: f64,
+    v2_meta_bytes: u64,
+    v3_columns_bytes: u64,
+    v3_meta_reduction: f64,
     virtual_overlap: &[OverlapScenario],
 ) -> String {
     let mut out = String::new();
@@ -546,6 +612,7 @@ fn render_json(
         out.push_str(&format!(
             "    {{\"workers\": {}, \"harvest_ms\": {:.3}, \"translate_ms\": {:.4}, \
              \"encode_ms\": {:.3}, \"decode_restore_ms\": {:.3}, \"streamed_ms\": {:.3}, \
+             \"v3_meta_ms\": {:.3}, \
              \"steals\": {}, \"occupancy_pct\": {:.1}, \"total_ms\": {:.3}, \
              \"throughput_mib_per_s\": {:.1}, \"measured_parallelism\": {:.3}, \
              \"analytic_parallelism\": {:.3}}}{}\n",
@@ -555,6 +622,7 @@ fn render_json(
             r.encode_ms,
             r.decode_restore_ms,
             r.streamed_ms,
+            r.v3_meta_ms,
             r.steals,
             r.occupancy_pct,
             r.total_ms,
@@ -577,6 +645,11 @@ fn render_json(
     out.push_str(&format!(
         "  \"legacy_reference\": {{\"encode_ms\": {legacy_encode_ms:.3}, \
          \"speedup_vs_legacy\": {legacy_speedup:.2}}},\n"
+    ));
+    out.push_str(&format!(
+        "  \"wire_bytes\": {{\"v2_meta_bytes\": {v2_meta_bytes}, \
+         \"v3_columns_bytes\": {v3_columns_bytes}, \
+         \"reduction_ratio\": {v3_meta_reduction:.2}}},\n"
     ));
     out.push_str("  \"virtual_overlap\": [\n");
     for (i, s) in virtual_overlap.iter().enumerate() {
@@ -611,11 +684,21 @@ mod tests {
         assert_eq!(out.rows.len(), WORKER_SWEEP.len());
         assert!(out.rows.iter().all(|r| r.total_ms > 0.0));
         assert!(out.rows.iter().all(|r| r.streamed_ms > 0.0));
+        assert!(out.rows.iter().all(|r| r.v3_meta_ms > 0.0));
         assert!(out.rows.iter().all(|r| r.throughput_mib_per_s > 0.0));
         assert!((out.rows[0].measured_parallelism - 1.0).abs() < 1e-9);
         assert!(out.legacy_speedup > 0.0);
+        // The columnar layout must pack the same metas into at least 3x
+        // fewer bytes than the fixed 14-byte v2 records.
+        assert!(
+            out.v3_meta_reduction >= 3.0,
+            "columnar density win too small: {:.2}x",
+            out.v3_meta_reduction
+        );
         assert!(out.json.contains("\"host_cpus\""));
         assert!(out.json.contains("\"streamed_ms\""));
+        assert!(out.json.contains("\"v3_meta_ms\""));
+        assert!(out.json.contains("\"wire_bytes\""));
         assert!(out.json.contains("\"speedup_vs_legacy\""));
         assert!(out.json.contains("\"virtual_overlap\""));
     }

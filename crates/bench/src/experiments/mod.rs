@@ -19,6 +19,7 @@ pub mod postmortem;
 pub mod security;
 pub mod stages;
 pub mod topology;
+pub mod wire;
 
 /// Experiment sizing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -235,6 +235,7 @@ pub const MEASURED_KEYS: &[&str] = &[
     "encode_ms",
     "decode_restore_ms",
     "streamed_ms",
+    "v3_meta_ms",
     "total_ms",
     "throughput_mib_per_s",
     "measured_alpha_us_per_page",
@@ -967,6 +968,97 @@ mod tests {
         assert_eq!(
             Tolerances::default().rule_for("throughput_delta_pct"),
             Rule::Exact
+        );
+    }
+
+    /// The committed `baselines/BENCH_wire.json` shape: byte counts,
+    /// virtual transfer times, negotiated version strings and
+    /// fingerprints are all derived from simulated time under fixed
+    /// seeds, so every leaf compares under [`Rule::Exact`] — a single
+    /// extra byte per epoch, a drifted reduction ratio or a replica
+    /// negotiating the wrong version must go red.
+    const WIRE_DOC: &str = r#"{
+        "experiment": "wire",
+        "run_seed": 42,
+        "rows": [
+            {"workload": "phased", "version": 2, "checkpoints": 5, "commits": 5,
+             "bytes_per_epoch": 262144.0, "mean_transfer_ms": 14.4200,
+             "fingerprint": "0x1111111111111111"},
+            {"workload": "phased", "version": 3, "checkpoints": 5, "commits": 5,
+             "bytes_per_epoch": 65536.0, "mean_transfer_ms": 3.6050,
+             "fingerprint": "0x2222222222222222"}
+        ],
+        "reductions": [
+            {"workload": "phased", "bytes_ratio": 4.00, "transfer_ratio": 4.00}
+        ],
+        "negotiation": [
+            {"offer": 3, "caps": "3,2,3", "fanout": "star",
+             "negotiated": "3,2,3", "commits": 5}
+        ],
+        "bit_compat": {
+            "baseline_fingerprint": "0x3333333333333333",
+            "capped_fingerprint": "0x3333333333333333",
+            "bit_compatible": true
+        },
+        "determinism": {
+            "fingerprint": "0x2222222222222222",
+            "deterministic": true
+        }
+    }"#;
+
+    #[test]
+    fn wire_bytes_and_transfer_leaves_are_exact() {
+        // Virtual-time figures must not inherit the wall-clock
+        // tolerance, `*_ms` name notwithstanding.
+        assert_eq!(
+            Tolerances::default().rule_for("bytes_per_epoch"),
+            Rule::Exact
+        );
+        assert_eq!(
+            Tolerances::default().rule_for("mean_transfer_ms"),
+            Rule::Exact
+        );
+        assert_eq!(Tolerances::default().rule_for("bytes_ratio"), Rule::Exact);
+        assert_gate_catches(
+            WIRE_DOC,
+            &[
+                ("65536.0", "65537.0", "rows[1].bytes_per_epoch"),
+                ("3.6050", "3.6051", "rows[1].mean_transfer_ms"),
+                (
+                    "\"bytes_ratio\": 4.00",
+                    "\"bytes_ratio\": 3.90",
+                    "reductions[0].bytes_ratio",
+                ),
+            ],
+        );
+    }
+
+    #[test]
+    fn wire_negotiation_and_bitcompat_flips_fail() {
+        assert_gate_catches(
+            WIRE_DOC,
+            &[
+                (
+                    "\"negotiated\": \"3,2,3\"",
+                    "\"negotiated\": \"3,3,3\"",
+                    "negotiation[0].negotiated",
+                ),
+                (
+                    "\"bit_compatible\": true",
+                    "\"bit_compatible\": false",
+                    "bit_compat.bit_compatible",
+                ),
+                (
+                    "\"deterministic\": true",
+                    "\"deterministic\": false",
+                    "determinism.deterministic",
+                ),
+                (
+                    "0x2222222222222222\",\n            \"deterministic",
+                    "0x2222222222222223\",\n            \"deterministic",
+                    "determinism.fingerprint",
+                ),
+            ],
         );
     }
 

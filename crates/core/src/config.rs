@@ -356,6 +356,15 @@ pub struct ReplicationConfig {
     /// 1024) so existing expositions stay byte-identical; `Some(n)` sizes
     /// the trailing incident-capture window per run.
     pub flight_recorder_capacity: Option<usize>,
+    /// Wire format version the primary *offers* each replica: 2 (default,
+    /// byte-identical to prior releases) or 3 (epoch-delta columnar
+    /// records). Each replica negotiates `min(offer, its capability)`, so
+    /// a v3 offer still speaks v2 to v2-capped replicas.
+    pub wire_version: u16,
+    /// Per-replica wire capability ceilings, indexed like the replica set:
+    /// `None` means every replica is fully capable (negotiates the offer);
+    /// a missing entry defaults to fully capable.
+    pub replica_wire_caps: Option<Vec<u16>>,
 }
 
 /// Default for [`ReplicationConfig::max_migration_iterations`].
@@ -385,6 +394,8 @@ impl ReplicationConfig {
             health_plane: false,
             postmortem_capture: false,
             flight_recorder_capacity: None,
+            wire_version: here_vmstate::wire::VERSION,
+            replica_wire_caps: None,
         }
     }
 
@@ -420,6 +431,8 @@ impl ReplicationConfig {
             health_plane: false,
             postmortem_capture: false,
             flight_recorder_capacity: None,
+            wire_version: here_vmstate::wire::VERSION,
+            replica_wire_caps: None,
         }
     }
 
@@ -442,6 +455,8 @@ impl ReplicationConfig {
             health_plane: false,
             postmortem_capture: false,
             flight_recorder_capacity: None,
+            wire_version: here_vmstate::wire::VERSION,
+            replica_wire_caps: None,
         }
     }
 
@@ -550,6 +565,42 @@ impl ReplicationConfig {
     pub fn with_flight_capacity(mut self, capacity: usize) -> Self {
         self.flight_recorder_capacity = Some(capacity.max(1));
         self
+    }
+
+    /// Offers wire format v3 (epoch-delta columnar records) to the
+    /// replica set; each replica negotiates `min(3, its capability)`.
+    pub fn with_wire_v3(self) -> Self {
+        self.with_wire_version(here_vmstate::wire::VERSION_V3)
+    }
+
+    /// Offers an explicit wire format version, clamped to the supported
+    /// range (v2..=v3).
+    pub fn with_wire_version(mut self, version: u16) -> Self {
+        self.wire_version =
+            version.clamp(here_vmstate::wire::VERSION, here_vmstate::wire::VERSION_V3);
+        self
+    }
+
+    /// Caps each replica's wire capability (indexed like the replica set;
+    /// missing entries stay fully capable) — how a mixed v2/v3 replica
+    /// pool is modelled.
+    pub fn with_replica_wire_caps(mut self, caps: Vec<u16>) -> Self {
+        self.replica_wire_caps = Some(caps);
+        self
+    }
+
+    /// The wire version replica `index` negotiates under this config:
+    /// `min(offer, capability)`, clamped to the supported range.
+    pub fn negotiated_wire_version(&self, index: usize) -> u16 {
+        let cap = self
+            .replica_wire_caps
+            .as_ref()
+            .and_then(|caps| caps.get(index))
+            .copied()
+            .unwrap_or(here_vmstate::wire::VERSION_V3);
+        self.wire_version
+            .min(cap)
+            .clamp(here_vmstate::wire::VERSION, here_vmstate::wire::VERSION_V3)
     }
 
     /// Chunks a `pages`-page epoch will be framed into: one per chunk when
@@ -682,6 +733,24 @@ mod tests {
             .with_retry(retry);
         assert_eq!(cfg.heartbeat, hb);
         assert_eq!(cfg.retry, retry);
+    }
+
+    #[test]
+    fn wire_version_negotiation_clamps_and_caps() {
+        let cfg = ReplicationConfig::fixed_period(SimDuration::from_secs(1));
+        assert_eq!(cfg.wire_version, 2);
+        assert_eq!(cfg.negotiated_wire_version(0), 2);
+        let v3 = cfg
+            .clone()
+            .with_wire_v3()
+            .with_replica_wire_caps(vec![3, 2]);
+        assert_eq!(v3.wire_version, 3);
+        assert_eq!(v3.negotiated_wire_version(0), 3);
+        assert_eq!(v3.negotiated_wire_version(1), 2);
+        // Missing cap entries stay fully capable.
+        assert_eq!(v3.negotiated_wire_version(2), 3);
+        // Offers outside the supported range are clamped.
+        assert_eq!(cfg.with_wire_version(99).wire_version, 3);
     }
 
     #[test]

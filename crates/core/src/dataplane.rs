@@ -30,7 +30,7 @@
 //! allocation once warm. [`CheckpointPools`] bundles all of it for
 //! [`crate::session::Session`].
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -45,8 +45,9 @@ use here_vmstate::cir::CpuStateCir;
 use here_vmstate::simd;
 use here_vmstate::translate::{StateTranslator, TranslateResult};
 use here_vmstate::wire::{
-    encode_page_batch_into, write_preamble, PageDataWriter, Record, ScatterStream, StreamDecoder,
-    PAGE_CONTENT_BYTES, PAGE_META_BYTES,
+    encode_page_batch_into, encode_page_columns_meta_into, write_preamble_versioned,
+    PageDataWriter, PagePayload, Record, ScatterStream, StreamDecoder, PAGE_CONTENT_BYTES,
+    PAGE_META_BYTES, VERSION,
 };
 use here_vmstate::MemoryDelta;
 
@@ -73,6 +74,12 @@ pub enum PayloadMode {
     /// Full materialized 4 KiB page images, as a real hypervisor's stream
     /// would carry — the datapath benchmark path.
     Materialized,
+    /// v3 columnar metadata, delta-encoded against the committed epoch
+    /// named here — the negotiated-v3 replication session's wire format.
+    Columnar {
+        /// Committed epoch the record's deltas are encoded against.
+        base_epoch: u64,
+    },
 }
 
 /// A recycling pool of encode buffers.
@@ -585,6 +592,59 @@ fn worker_main(shared: Arc<PoolShared>, idx: usize) {
     }
 }
 
+/// The committed image of guest memory as of the last *committed* epoch,
+/// tracked symmetrically on the encode (primary) and apply (replica)
+/// sides so v3 epoch-delta streams always agree on their XOR/delta base.
+///
+/// The shadow only advances when an epoch commits (reaches quorum) —
+/// aborted epochs leave it untouched on both sides, which is what makes
+/// re-encoding after an abort safe — and a replica catching up a parked
+/// backlog folds that backlog in via [`EpochShadow::rebase`] before
+/// applying a stream encoded against a newer base.
+#[derive(Debug, Default)]
+pub struct EpochShadow {
+    epoch: u64,
+    pages: HashMap<u64, PageVersion>,
+}
+
+impl EpochShadow {
+    /// The committed epoch this shadow reflects (0 before any commit).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The committed version of `frame`, if the page ever committed.
+    pub fn page(&self, frame: u64) -> Option<PageVersion> {
+        self.pages.get(&frame).copied()
+    }
+
+    /// Pages tracked.
+    pub fn len(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Whether no page ever committed.
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+
+    /// Folds a committed epoch's delta in (newest version wins) and
+    /// advances the base epoch to `epoch`.
+    pub fn commit(&mut self, delta: &MemoryDelta, epoch: u64) {
+        for &(page, rec) in delta.entries() {
+            self.pages.insert(page.frame(), rec);
+        }
+        self.epoch = epoch;
+    }
+
+    /// Re-bases a lagging replica shadow onto `epoch` by folding its
+    /// parked backlog in — the catch-up path for a stream encoded against
+    /// a base the replica missed.
+    pub fn rebase(&mut self, backlog: &MemoryDelta, epoch: u64) {
+        self.commit(backlog, epoch);
+    }
+}
+
 /// All allocation-reuse state one session threads through its checkpoint
 /// loop: the harvest delta, the per-lane collect scratch, the encode
 /// buffer pool and the persistent encode lane pool.
@@ -604,6 +664,9 @@ pub struct CheckpointPools {
     /// memory only after the trailer checks out — a corrupt or truncated
     /// stream can never leave the replica partially updated.
     pub apply: Vec<(here_hypervisor::PageId, PageVersion)>,
+    /// Committed-epoch shadow: the delta base both sides of a v3 session
+    /// encode and apply against. Stays empty under v2.
+    pub shadow: EpochShadow,
 }
 
 impl CheckpointPools {
@@ -615,7 +678,9 @@ impl CheckpointPools {
 
 fn segment_capacity(pages: usize, mode: PayloadMode) -> usize {
     let per_page = match mode {
-        PayloadMode::Metadata => PAGE_META_BYTES,
+        // Columnar metas are denser than v2 metas; the v2 stride is a
+        // safe capacity ceiling for them.
+        PayloadMode::Metadata | PayloadMode::Columnar { .. } => PAGE_META_BYTES,
         PayloadMode::Materialized => PAGE_META_BYTES + PAGE_CONTENT_BYTES,
     };
     pages * per_page + SEGMENT_SLACK
@@ -628,6 +693,9 @@ fn encode_shard(
 ) {
     match mode {
         PayloadMode::Metadata => encode_page_batch_into(shard, out),
+        PayloadMode::Columnar { base_epoch } => {
+            encode_page_columns_meta_into(base_epoch, shard, out)
+        }
         PayloadMode::Materialized => {
             let mut writer = PageDataWriter::new(out);
             let mut scratch = [0u8; PAGE_SIZE as usize];
@@ -905,6 +973,35 @@ fn install_record(
                 pages_installed += 1;
             }
         }
+        Record::PageColumns(batch) => {
+            for (page, rec, payload) in batch.entries() {
+                if verify_content && !matches!(payload, PagePayload::Meta) {
+                    // Reconstruct the content the payload implies (for a
+                    // delta, against the replica's current copy of the
+                    // page) and check it against the deterministic image
+                    // the new `(frame, version)` record mandates.
+                    let mut base = [0u8; PAGE_SIZE as usize];
+                    let base_ref = if matches!(payload, PagePayload::Delta(_)) {
+                        let prev = replica.page(*page)?;
+                        materialize_content_into(*page, prev, &mut base);
+                        Some(&base[..])
+                    } else {
+                        None
+                    };
+                    if let Some(got) = payload.materialize(base_ref)? {
+                        materialize_content_into(*page, *rec, expected);
+                        if !simd::active().bytes_equal(&got, &expected[..]) {
+                            return Err(CoreError::InvalidScenario(format!(
+                                "page {} columnar payload diverged from its version record",
+                                page.frame()
+                            )));
+                        }
+                    }
+                }
+                replica.install_page(*page, *rec)?;
+                pages_installed += 1;
+            }
+        }
         _ => {}
     }
     Ok(pages_installed)
@@ -952,8 +1049,14 @@ pub struct SegmentRestorer<'a> {
 impl<'a> SegmentRestorer<'a> {
     /// A restorer installing into `replica`.
     pub fn new(replica: &'a mut GuestMemory, verify_content: bool) -> Self {
+        Self::new_versioned(replica, verify_content, VERSION)
+    }
+
+    /// A restorer decoding segments under an explicit stream version —
+    /// required for segments carrying v3 page-columns records.
+    pub fn new_versioned(replica: &'a mut GuestMemory, verify_content: bool, version: u16) -> Self {
         let mut head = BytesMut::with_capacity(8);
-        write_preamble(&mut head);
+        write_preamble_versioned(&mut head, version);
         SegmentRestorer {
             replica,
             verify_content,
@@ -995,6 +1098,7 @@ mod tests {
     use here_hypervisor::vcpu::XenVcpuState;
     use here_hypervisor::PageId;
     use here_sim_core::rate::ByteSize;
+    use here_vmstate::wire::write_preamble;
 
     fn delta_of(n: u64) -> MemoryDelta {
         (0..n)

@@ -400,6 +400,7 @@ fn run_unprotected(scenario: Scenario) -> RunReport {
         telemetry: None,
         spans: Vec::new(),
         incident: None,
+        wire_versions: Vec::new(),
     }
 }
 

@@ -33,12 +33,12 @@ use here_hypervisor::{KvmHypervisor, XenHypervisor, PAGE_SIZE};
 use here_sim_core::rate::ByteSize;
 use here_sim_core::time::SimDuration;
 use here_vmstate::translate::StateTranslator;
-use here_vmstate::wire::ScatterStream;
+use here_vmstate::wire::{PAGE_META_BYTES, VERSION_V3};
 use here_vmstate::MemoryDelta;
 
 use crate::config::{CostModel, Strategy};
 use crate::error::CoreResult;
-use crate::session::Session;
+use crate::session::{EpochStreams, Session};
 use crate::trace::Stage;
 use crate::transfer::{collect_chunked_into, ProblematicTracker};
 
@@ -297,7 +297,7 @@ impl<'s> Harvested<'s> {
         } = self;
         session.chaos_primary_fault(seq, Stage::Translate)?;
         let encode_start = std::time::Instant::now();
-        let stream = session.encode_checkpoint(&delta, seq)?;
+        let streams = session.encode_checkpoint(&delta, seq)?;
         let wall = encode_start.elapsed().as_nanos() as u64;
         // The delta's allocation goes back to the pool for the next round.
         session.pools.delta = delta;
@@ -310,7 +310,7 @@ impl<'s> Harvested<'s> {
             cost,
             Some(wall),
             pages,
-            stream.len() as u64,
+            streams.canonical().len() as u64,
         );
         session.clock += cost;
         pause += cost;
@@ -318,7 +318,7 @@ impl<'s> Harvested<'s> {
             session,
             seq,
             pause,
-            stream,
+            streams,
             pages,
             scan,
         })
@@ -330,7 +330,7 @@ pub struct Translated<'s> {
     session: &'s mut Session,
     seq: u64,
     pause: SimDuration,
-    stream: ScatterStream,
+    streams: EpochStreams,
     pages: u64,
     /// The epoch's harvest-scan duration: the window the wire can hide
     /// under when encode/transfer overlap is on.
@@ -364,13 +364,26 @@ impl<'s> Translated<'s> {
             session,
             seq,
             mut pause,
-            stream,
+            streams,
             pages,
             scan,
         } = self;
         session.chaos_primary_fault(seq, Stage::Transfer)?;
-        let bytes = stream.len() as u64;
-        let wire = session.cfg.costs.checkpoint_wire(pages);
+        let bytes = streams.canonical().len() as u64;
+        let wire_v2 = session.cfg.costs.checkpoint_wire(pages);
+        // A v3 link carries the columnar stream's page records instead of
+        // one fixed-size meta per page: its wire time scales by those
+        // bytes expressed in v2 page-meta equivalents (never more than
+        // the v2 page count).
+        let wire_v3 = if streams.v3.is_some() {
+            let equiv = streams
+                .v3_page_bytes
+                .div_ceil(PAGE_META_BYTES as u64)
+                .min(pages);
+            session.cfg.costs.checkpoint_wire(equiv)
+        } else {
+            wire_v2
+        };
         let policy = session.cfg.retry;
         let max_attempts = policy.max_attempts.max(1);
         let fanout = session.cfg.topology.fanout;
@@ -383,6 +396,13 @@ impl<'s> Translated<'s> {
         // allocations.
         let apply_start = std::time::Instant::now();
         for replica in 0..replica_count {
+            let version = session.replicas.get(replica).wire_version();
+            let wire = if version >= VERSION_V3 {
+                wire_v3
+            } else {
+                wire_v2
+            };
+            let stream = streams.for_version(version);
             let mut spent = SimDuration::ZERO;
             let mut attempt = 0u32;
             loop {
@@ -410,7 +430,7 @@ impl<'s> Translated<'s> {
                         segment_salt,
                         byte_salt,
                     }) => {
-                        let corrupted = corrupt_stream(&stream, segment_salt, byte_salt);
+                        let corrupted = corrupt_stream(stream, segment_salt, byte_salt);
                         match session.apply_checkpoint(corrupted, seq, replica) {
                             // The decoder's frame checksums (or the trailer
                             // cross-check) reject the flipped byte — and the
@@ -481,7 +501,7 @@ impl<'s> Translated<'s> {
         if applied.len() < quorum {
             // Not enough replicas hold the epoch for it to ever commit:
             // abort it wholesale, exactly like a single exhausted pair.
-            session.recycle_stream(stream);
+            session.recycle_streams(streams);
             let at = session.clock;
             session.note_overlap_credit(credit);
             session.record_stage(seq, Stage::Transfer, at, visible, Some(wall), pages, bytes);
@@ -508,7 +528,7 @@ impl<'s> Translated<'s> {
                 session.consistency_checks += 1;
             }
         }
-        session.recycle_stream(stream);
+        session.recycle_streams(streams);
         let at = session.clock;
         session.note_overlap_credit(credit);
         session.record_stage(seq, Stage::Transfer, at, visible, Some(wall), pages, bytes);
@@ -576,11 +596,31 @@ impl<'s> Transferred<'s> {
         let at = session.clock;
         session.record_stage(seq, Stage::Ack, at, stage, None, 0, 0);
         session.clock += stage;
+        let mut committed = false;
         for &(rtt, replica) in &arrivals {
             let acked_at = session.rel(at + rtt);
             if session.ledger.ack(replica, seq, acked_at) {
                 session.on_epoch_committed(seq);
+                committed = true;
             }
+        }
+        if committed && session.wire_v3_active() {
+            // The epoch is now the committed base every side agrees on:
+            // fold its delta into the primary's encode-side shadow and
+            // each applied replica's apply-side shadow. Replicas that
+            // missed the epoch keep their old base and re-base from
+            // backlog at their next apply.
+            let delta = std::mem::take(&mut session.pools.delta);
+            session.pools.shadow.commit(&delta, seq);
+            for &replica in &applied {
+                session
+                    .replicas
+                    .get_mut(replica)
+                    .pools
+                    .shadow
+                    .commit(&delta, seq);
+            }
+            session.pools.delta = delta;
         }
         session.update_staleness(seq);
         Acked {

@@ -524,6 +524,19 @@ impl IncidentBundle {
                 None => "none".to_string(),
             },
         );
+        // Wire negotiation: emitted only when it differs from the v2
+        // default, so every pre-v3 bundle stays byte-identical.
+        if c.wire_version != here_vmstate::wire::VERSION || c.replica_wire_caps.is_some() {
+            let caps = match &c.replica_wire_caps {
+                None => "none".to_string(),
+                Some(caps) => caps
+                    .iter()
+                    .map(|v| v.to_string())
+                    .collect::<Vec<_>>()
+                    .join(","),
+            };
+            kv(&mut out, "wire", &format!("{}:{caps}", c.wire_version));
+        }
         // [fault plan]
         match &self.plan {
             None => kv(&mut out, "plan", "none"),
@@ -701,6 +714,30 @@ impl IncidentBundle {
                 Some(parse_num(&raw, "flight_recorder_capacity")?)
             }
         };
+        // The `wire=` line is optional: absent in every pre-v3 bundle
+        // (and in any bundle of a default-v2 session), defaulting to the
+        // legacy negotiation.
+        let (wire_version, replica_wire_caps) = match cur.take_if("wire") {
+            None => (here_vmstate::wire::VERSION, None),
+            Some(raw) => {
+                let (ver, caps) = raw
+                    .split_once(':')
+                    .ok_or_else(|| bundle_err("malformed wire line"))?;
+                let version = parse_num(ver, "wire version")?;
+                let caps = if caps == "none" {
+                    None
+                } else if caps.is_empty() {
+                    Some(Vec::new())
+                } else {
+                    Some(
+                        caps.split(',')
+                            .map(|c| parse_num(c, "wire cap"))
+                            .collect::<CoreResult<Vec<u16>>>()?,
+                    )
+                };
+                (version, caps)
+            }
+        };
         let config = ReplicationConfig {
             strategy,
             period,
@@ -718,6 +755,8 @@ impl IncidentBundle {
             health_plane,
             postmortem_capture,
             flight_recorder_capacity,
+            wire_version,
+            replica_wire_caps,
         };
 
         let plan_raw = cur.take("plan")?;
@@ -861,6 +900,20 @@ impl<'a> Cursor<'a> {
             )));
         }
         Ok(v.to_string())
+    }
+
+    /// Consumes the next line only if it carries `key` — how optional
+    /// fields (added after v1 bundles shipped) decode without breaking
+    /// the strict sequential discipline for everything else.
+    fn take_if(&mut self, key: &str) -> Option<String> {
+        let mut peek = self.lines.clone();
+        let line = peek.next()?;
+        let (k, v) = line.split_once('=')?;
+        if k != key {
+            return None;
+        }
+        self.lines = peek;
+        Some(v.to_string())
     }
 
     fn finish(mut self) -> CoreResult<()> {

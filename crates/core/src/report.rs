@@ -187,6 +187,13 @@ pub struct RunReport {
     /// was on. Excluded from [`RunReport::fingerprint`] (like telemetry),
     /// so arming capture never changes a run's identity.
     pub incident: Option<IncidentSnapshot>,
+    /// The wire format version each replica negotiated with the primary,
+    /// in index order (empty for unprotected runs). Excluded from
+    /// [`RunReport::fingerprint`] — like `replica_acks`, it is derived
+    /// bookkeeping, so a default v2 session stays bit-compatible with
+    /// pre-v3 baselines.
+    #[serde(default)]
+    pub wire_versions: Vec<u16>,
 }
 
 impl RunReport {
@@ -416,6 +423,7 @@ mod tests {
             telemetry: None,
             spans: Vec::new(),
             incident: None,
+            wire_versions: Vec::new(),
         };
         assert_eq!(report.mean_pause(), Some(SimDuration::from_millis(200)));
         assert_eq!(report.mean_dirty_pages(), Some(20.0));
@@ -479,6 +487,7 @@ mod tests {
             telemetry: None,
             spans: Vec::new(),
             incident: None,
+            wire_versions: Vec::new(),
         };
         assert_eq!(report.replica_staleness(0), Some(SimDuration::from_secs(4)));
         assert_eq!(report.replica_staleness(1), Some(SimDuration::from_secs(7)));
@@ -523,6 +532,7 @@ mod tests {
             telemetry: None,
             spans: Vec::new(),
             incident: None,
+            wire_versions: Vec::new(),
         };
         assert!(report.mean_pause().is_none());
         assert!(report.mean_degradation().is_none());

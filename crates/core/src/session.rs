@@ -28,7 +28,9 @@ use here_simnet::link::Link;
 use here_telemetry::health::HealthObservation;
 use here_telemetry::span::{SpanDraft, SpanId, SpanRecorder, Track};
 use here_vmstate::translate::StateTranslator;
-use here_vmstate::wire::{encode_record_into, Record, ScatterStream, StreamDecoder, StreamEncoder};
+use here_vmstate::wire::{
+    encode_record_into, Record, ScatterStream, StreamDecoder, StreamEncoder, VERSION, VERSION_V3,
+};
 use here_vmstate::{reconcile, MemoryDelta};
 use here_workloads::idle::IdleGuest;
 use here_workloads::traits::Workload;
@@ -102,6 +104,48 @@ pub(crate) struct SessionSetup {
     pub(crate) load_during_seed: bool,
     pub(crate) verify_consistency: bool,
     pub(crate) chaos: Option<FaultPlan>,
+}
+
+/// One epoch's encoded checkpoint, in every wire version the replica set
+/// negotiated. A homogeneous set carries exactly one stream; a mixed
+/// v2/v3 set carries both, encoded from the same delta, and each replica
+/// decodes the stream matching its negotiated version.
+#[derive(Debug, Default)]
+pub(crate) struct EpochStreams {
+    /// Legacy v2 stream (present when any replica negotiated v2).
+    pub(crate) v2: Option<ScatterStream>,
+    /// Columnar epoch-delta v3 stream (present when any replica
+    /// negotiated v3).
+    pub(crate) v3: Option<ScatterStream>,
+    /// Bytes of the v3 stream's page records (meta + payload columns,
+    /// framing included) — the wire-cost model's page-equivalent input.
+    pub(crate) v3_page_bytes: u64,
+}
+
+impl EpochStreams {
+    /// The stream a replica that negotiated `version` decodes.
+    pub(crate) fn for_version(&self, version: u16) -> &ScatterStream {
+        let stream = if version >= VERSION_V3 {
+            self.v3.as_ref().or(self.v2.as_ref())
+        } else {
+            self.v2.as_ref()
+        };
+        stream.expect("epoch encoded no stream for a negotiated version")
+    }
+
+    /// The stream whose size the stage trace reports: the newest format
+    /// on the wire this epoch.
+    pub(crate) fn canonical(&self) -> &ScatterStream {
+        self.v3
+            .as_ref()
+            .or(self.v2.as_ref())
+            .expect("epoch encoded no stream")
+    }
+
+    /// Consumes the bundle, yielding every encoded stream.
+    pub(crate) fn into_streams(self) -> impl Iterator<Item = ScatterStream> {
+        [self.v2, self.v3].into_iter().flatten()
+    }
 }
 
 /// Everything mutable during a replicated run.
@@ -214,7 +258,12 @@ impl Session {
         let mut members = Vec::with_capacity(hosts.len());
         for (index, (mut host, failover_translator)) in hosts.into_iter().enumerate() {
             let vm = host.create_shell(vm_cfg.clone())?;
-            members.push(Replica::new(index as u32, host, vm, failover_translator));
+            let mut member = Replica::new(index as u32, host, vm, failover_translator);
+            // Per-session version negotiation: each replica speaks
+            // min(session offer, its capability). The default offer is v2,
+            // so existing sessions negotiate exactly the legacy format.
+            member.wire_version = cfg.negotiated_wire_version(index);
+            members.push(member);
         }
         let replicas = ReplicaSet::from_replicas(members);
         primary.vm_mut(pvm)?.dirty_mut().enable_logging();
@@ -525,11 +574,58 @@ impl Session {
         &mut self,
         delta: &MemoryDelta,
         seq: u64,
-    ) -> CoreResult<ScatterStream> {
+    ) -> CoreResult<EpochStreams> {
+        let need_v3 = self.wire_v3_active();
+        let need_v2 = self.replicas.iter().any(|r| r.wire_version() < VERSION_V3);
+        let mut streams = EpochStreams::default();
+        if need_v3 {
+            // The v3 stream is canonical when present: its encode drives
+            // the lane telemetry and span walls.
+            let (stream, page_bytes) =
+                self.encode_checkpoint_stream(delta, seq, VERSION_V3, true)?;
+            streams.v3 = Some(stream);
+            streams.v3_page_bytes = page_bytes;
+        }
+        if need_v2 {
+            let (stream, _) = self.encode_checkpoint_stream(delta, seq, VERSION, !need_v3)?;
+            streams.v2 = Some(stream);
+        }
+        Ok(streams)
+    }
+
+    /// True when any replica negotiated wire v3 this session — the gate
+    /// for every delta-base shadow bookkeeping path, so an all-v2 session
+    /// does no extra work.
+    pub(crate) fn wire_v3_active(&self) -> bool {
+        self.replicas.iter().any(|r| r.wire_version() >= VERSION_V3)
+    }
+
+    /// Encodes one epoch stream in `version`. Returns the stream and the
+    /// byte count of its page records (the lanes' output, excluding the
+    /// head/tail segments). `canonical` gates lane telemetry so a mixed
+    /// set's double-encode reports each lane exactly once.
+    fn encode_checkpoint_stream(
+        &mut self,
+        delta: &MemoryDelta,
+        seq: u64,
+        version: u16,
+        canonical: bool,
+    ) -> CoreResult<(ScatterStream, u64)> {
         let lanes = self.cfg.effective_encode_lanes(self.threads);
+        let mode = if version >= VERSION_V3 {
+            // Delta records name the committed epoch both sides hold: the
+            // primary's shadow advances only at quorum commit, so an
+            // aborted epoch re-encodes against the same base.
+            PayloadMode::Columnar {
+                base_epoch: self.pools.shadow.epoch(),
+            }
+        } else {
+            PayloadMode::Metadata
+        };
 
         // Head segment: preamble + begin record.
-        let mut head = StreamEncoder::with_buffer(self.pools.buffers.checkout(64));
+        let mut head =
+            StreamEncoder::with_buffer_versioned(self.pools.buffers.checkout(64), version);
         head.push(&Record::CheckpointBegin { seq });
         let mut stream = ScatterStream::from(head.finish());
 
@@ -539,6 +635,7 @@ impl Session {
         let at_nanos = self.rel(self.clock).as_nanos();
         let chunk_pages = self.cfg.encode_chunk_pages;
         let window = self.cfg.overlap_channel_depth;
+        let mut page_bytes = 0u64;
         let lane_walls = if chunk_pages.is_some() || window.is_some() {
             let plan = EncodePlan {
                 lanes: if delta.len() < PARALLEL_ENCODE_MIN_PAGES {
@@ -546,7 +643,7 @@ impl Session {
                 } else {
                     lanes
                 },
-                mode: PayloadMode::Metadata,
+                mode,
                 chunk_pages,
                 window,
             };
@@ -555,27 +652,33 @@ impl Session {
                 &plan,
                 &mut self.pools.buffers,
                 &self.pools.lanes,
-                |_, segment| stream.push(segment),
+                |_, segment| {
+                    page_bytes += segment.len() as u64;
+                    stream.push(segment)
+                },
             );
             walls
         } else {
             let (segments, walls) = encode_pages_parallel_timed(
                 delta,
                 lanes,
-                PayloadMode::Metadata,
+                mode,
                 &mut self.pools.buffers,
                 &self.pools.lanes,
             );
             for segment in segments {
+                page_bytes += segment.len() as u64;
                 stream.push(segment);
             }
             walls
         };
-        for (lane, &wall) in lane_walls.iter().enumerate() {
-            self.telemetry
-                .on_encode_lane(seq, lane as u64, wall, at_nanos);
+        if canonical {
+            for (lane, &wall) in lane_walls.iter().enumerate() {
+                self.telemetry
+                    .on_encode_lane(seq, lane as u64, wall, at_nanos);
+            }
+            self.pending_lane_walls = lane_walls;
         }
-        self.pending_lane_walls = lane_walls;
 
         // Tail segment: vCPU state (capture serial, translate parallel),
         // device identities, and the cross-check trailer.
@@ -606,7 +709,7 @@ impl Session {
             &mut tail,
         );
         stream.push(tail.freeze());
-        Ok(stream)
+        Ok((stream, page_bytes))
     }
 
     /// Decodes a checkpoint stream and installs it on one replica — the
@@ -634,20 +737,41 @@ impl Session {
         // Phase 1: decode + validate, touching nothing of the replica.
         let kind = self.replicas.get(replica).kind();
         let member = self.replicas.get_mut(replica);
+        let negotiated = member.wire_version;
+        let delta_base = member.pools.shadow.epoch();
+        let may_rebase = !member.backlog.is_empty();
         let mut staged = std::mem::take(&mut member.pools.apply);
         staged.clear();
         let mut vcpus: Vec<(u32, VcpuStateBlob)> = Vec::new();
-        let validated = Self::decode_checkpoint(stream, kind, &mut staged, &mut vcpus, seq);
-        if let Err(e) = validated {
-            staged.clear();
-            self.replicas.get_mut(replica).pools.apply = staged;
-            return Err(e);
-        }
+        let validated = Self::decode_checkpoint(
+            stream,
+            kind,
+            &mut staged,
+            &mut vcpus,
+            seq,
+            negotiated,
+            delta_base,
+            may_rebase,
+        );
+        let rebase_to = match validated {
+            Ok(rebase_to) => rebase_to,
+            Err(e) => {
+                staged.clear();
+                self.replicas.get_mut(replica).pools.apply = staged;
+                return Err(e);
+            }
+        };
 
         // Phase 2: install the fully validated epoch — backlog first, so
         // the staged (newer) versions win on overlap.
         let member = self.replicas.get_mut(replica);
         let backlog = std::mem::take(&mut member.backlog);
+        if let Some(base) = rebase_to {
+            // Backlog catch-up under v3: the parked pages *are* the
+            // committed epochs this replica missed, so folding them into
+            // the shadow reconstructs the stream's delta base exactly.
+            member.pools.shadow.rebase(&backlog, base);
+        }
         let vm = member.host.vm_mut(member.vm)?;
         for &(page, rec) in backlog.entries() {
             vm.memory_mut().install_page(page, rec)?;
@@ -668,22 +792,48 @@ impl Session {
     /// Phase 1 of [`Session::apply_checkpoint`]: decodes `stream` into the
     /// staging buffers, validating every frame and the trailer cross-check,
     /// without touching the replica.
+    ///
+    /// The decoder is pinned to the replica's `negotiated` version — a
+    /// stream in any other version is a protocol violation
+    /// ([`WireError::StaleVersion`](here_vmstate::WireError::StaleVersion)).
+    /// Columnar records must name `delta_base` as their delta base; a
+    /// newer base is accepted only when `may_rebase` (the replica holds
+    /// the missed epochs as parked backlog), and the accepted base comes
+    /// back as `Ok(Some(base))` so the caller can fold the backlog into
+    /// its shadow before installing.
+    #[allow(clippy::too_many_arguments)]
     fn decode_checkpoint(
         stream: ScatterStream,
         kind: HypervisorKind,
         staged: &mut Vec<(PageId, PageVersion)>,
         vcpus: &mut Vec<(u32, VcpuStateBlob)>,
         seq: u64,
-    ) -> CoreResult<()> {
-        let mut dec = StreamDecoder::new_scattered(stream)?;
+        negotiated: u16,
+        delta_base: u64,
+        may_rebase: bool,
+    ) -> CoreResult<Option<u64>> {
+        let mut dec = StreamDecoder::new_negotiated(stream, negotiated)?;
         let mut pages_seen = 0u64;
         let mut saw_trailer = false;
+        let mut rebase_to: Option<u64> = None;
         while let Some(record) = dec.next_record()? {
             match record {
                 Record::CheckpointBegin { .. } | Record::StreamHeader { .. } => {}
                 Record::PageBatch(batch) => {
                     pages_seen += batch.len() as u64;
                     staged.extend(batch.entries().iter().copied());
+                }
+                Record::PageColumns(batch) => {
+                    let base = rebase_to.unwrap_or(delta_base);
+                    if batch.base_epoch() != base {
+                        if may_rebase && rebase_to.is_none() && batch.base_epoch() > delta_base {
+                            rebase_to = Some(batch.base_epoch());
+                        } else {
+                            batch.check_base(base)?;
+                        }
+                    }
+                    pages_seen += batch.len() as u64;
+                    staged.extend(batch.entries().iter().map(|&(page, rec, _)| (page, rec)));
                 }
                 Record::PageDataBatch(batch) => {
                     pages_seen += batch.pages().len() as u64;
@@ -722,7 +872,7 @@ impl Session {
             // its trailer is torn — reject it like any truncated frame.
             return Err(CoreError::Wire(here_vmstate::WireError::Truncated));
         }
-        Ok(())
+        Ok(rebase_to)
     }
 
     /// Ships a delta plus vCPU/device state through the wire codec and
@@ -730,11 +880,12 @@ impl Session {
     /// the seeding migration's stop-and-copy uses this; the continuous
     /// phase splits it across the Translate and Transfer stages).
     pub(crate) fn ship_checkpoint(&mut self, delta: &MemoryDelta, seq: u64) -> CoreResult<()> {
-        let stream = self.encode_checkpoint(delta, seq)?;
+        let streams = self.encode_checkpoint(delta, seq)?;
         for replica in 0..self.replicas.len() as u32 {
-            self.apply_checkpoint(stream.clone(), seq, replica)?;
+            let version = self.replicas.get(replica).wire_version();
+            self.apply_checkpoint(streams.for_version(version).clone(), seq, replica)?;
         }
-        self.recycle_stream(stream);
+        self.recycle_streams(streams);
         Ok(())
     }
 
@@ -745,6 +896,13 @@ impl Session {
     pub(crate) fn recycle_stream(&mut self, stream: ScatterStream) {
         for segment in stream.into_segments() {
             self.pools.buffers.recycle(segment);
+        }
+    }
+
+    /// Recycles every stream of an epoch's [`EpochStreams`] bundle.
+    pub(crate) fn recycle_streams(&mut self, streams: EpochStreams) {
+        for stream in streams.into_streams() {
+            self.recycle_stream(stream);
         }
     }
 
@@ -1275,6 +1433,7 @@ impl Session {
             );
         }
         let incident = self.incident.take();
+        let wire_versions = self.replicas.iter().map(Replica::wire_version).collect();
         let (commits, replica_acks) = self.ledger.into_parts();
         crate::report::RunReport {
             name: self.name,
@@ -1297,6 +1456,7 @@ impl Session {
             telemetry: Some(self.telemetry.snapshot()),
             spans: self.spans.into_spans(),
             incident,
+            wire_versions,
         }
     }
 }

@@ -56,6 +56,9 @@ pub struct Replica {
     /// True while the replica trails the primary past the configured
     /// staleness bound.
     pub(crate) stale: bool,
+    /// Wire format version negotiated with the primary for this replica
+    /// (`min(session offer, replica capability)`; defaults to v2).
+    pub(crate) wire_version: u16,
 }
 
 impl Replica {
@@ -74,6 +77,7 @@ impl Replica {
             pools: CheckpointPools::new(),
             backlog: MemoryDelta::new(),
             stale: false,
+            wire_version: here_vmstate::wire::VERSION,
         }
     }
 
@@ -97,6 +101,11 @@ impl Replica {
     /// plane's backlog-depth signal.
     pub fn backlog_pages(&self) -> u64 {
         self.backlog.len() as u64
+    }
+
+    /// The wire format version this replica negotiated with the primary.
+    pub fn wire_version(&self) -> u16 {
+        self.wire_version
     }
 }
 

@@ -41,6 +41,15 @@ pub const MAGIC: u32 = 0x4845_5245;
 /// Current stream format version (2: in-place framing, word-folded
 /// checksums, scatter-gather segments, page-content batches).
 pub const VERSION: u16 = 2;
+/// Opt-in stream format version 3: epoch-delta page columns.
+///
+/// A v3 stream may carry [`Record::PageColumns`] records — a columnar
+/// page layout (all frame gaps contiguous, then the run-length-encoded
+/// mode column, then versions, then writers, then all payloads) encoded
+/// against a named *delta base epoch*, with zero-page suppression and
+/// sparse XOR deltas for low-entropy rewrites. v2 streams remain fully
+/// decodable; sessions negotiate the version per replica.
+pub const VERSION_V3: u16 = 3;
 
 /// Bytes of content carried per page in a [`PageDataBatch`] record.
 pub const PAGE_CONTENT_BYTES: usize = PAGE_SIZE as usize;
@@ -70,6 +79,36 @@ pub enum WireError {
     },
     /// A record payload was structurally invalid.
     BadPayload(&'static str),
+    /// A v3 page-columns record named a delta base epoch the receiver does
+    /// not hold, so its XOR deltas cannot be applied.
+    DeltaBaseMismatch {
+        /// Base epoch the stream encoded against.
+        stream_base: u64,
+        /// Committed epoch the receiver actually holds.
+        replica_base: u64,
+    },
+    /// The stream preamble carries a version other than the one negotiated
+    /// for this session — e.g. a v2 frame arriving after v3 was agreed.
+    StaleVersion {
+        /// Version negotiated for the session.
+        negotiated: u16,
+        /// Version the stream actually carries.
+        actual: u16,
+    },
+    /// The meta column of a page-columns record failed its own checksum.
+    MetaColumnCorrupt {
+        /// Checksum carried by the record header.
+        expected: u32,
+        /// Checksum computed over the received meta column.
+        actual: u32,
+    },
+    /// The payload column of a page-columns record failed its own checksum.
+    PayloadColumnCorrupt {
+        /// Checksum carried by the record header.
+        expected: u32,
+        /// Checksum computed over the received payload column.
+        actual: u32,
+    },
 }
 
 impl fmt::Display for WireError {
@@ -86,6 +125,34 @@ impl fmt::Display for WireError {
                 )
             }
             WireError::BadPayload(msg) => write!(f, "bad record payload: {msg}"),
+            WireError::DeltaBaseMismatch {
+                stream_base,
+                replica_base,
+            } => {
+                write!(
+                    f,
+                    "delta base mismatch: stream encoded against epoch {stream_base}, \
+                     replica holds epoch {replica_base}"
+                )
+            }
+            WireError::StaleVersion { negotiated, actual } => {
+                write!(
+                    f,
+                    "stale stream version: negotiated v{negotiated}, got v{actual}"
+                )
+            }
+            WireError::MetaColumnCorrupt { expected, actual } => {
+                write!(
+                    f,
+                    "meta column checksum mismatch: expected {expected:#010x}, got {actual:#010x}"
+                )
+            }
+            WireError::PayloadColumnCorrupt { expected, actual } => {
+                write!(
+                    f,
+                    "payload column checksum mismatch: expected {expected:#010x}, got {actual:#010x}"
+                )
+            }
         }
     }
 }
@@ -123,6 +190,8 @@ pub enum Record {
     PageBatch(MemoryDelta),
     /// A batch of memory pages carrying their materialized 4 KiB contents.
     PageDataBatch(PageDataBatch),
+    /// A v3 columnar page batch, delta-encoded against a base epoch.
+    PageColumns(PageColumnsBatch),
     /// One vCPU's state in the common format.
     VcpuState {
         /// vCPU index.
@@ -154,6 +223,7 @@ const TAG_DEVICE: u8 = 0x05;
 const TAG_CKPT_END: u8 = 0x06;
 const TAG_ACK: u8 = 0x07;
 const TAG_PAGE_DATA: u8 = 0x08;
+const TAG_PAGE_COLUMNS: u8 = 0x09;
 
 /// A decoded batch of pages with materialized contents.
 ///
@@ -213,6 +283,526 @@ impl PageDataBatch {
     pub fn into_pages(self) -> Vec<(PageId, PageVersion, Bytes)> {
         self.pages
     }
+}
+
+/// Fixed self-describing header of a v3 page-columns record payload:
+/// base epoch `u64` + page count `u32` + meta column length `u32` +
+/// payload column length `u32` + meta column checksum `u32` + payload
+/// column checksum `u32`.
+///
+/// This mirrors the postmortem bundle's `len=`/`crc=` header discipline:
+/// the record's *frame* checksum covers only this header, and each column
+/// carries its own digest, so a flipped bit in the meta column and one in
+/// the payload column are reported as distinct errors.
+pub const COLUMNS_HEADER_BYTES: usize = 28;
+
+const MODE_META: u8 = 0;
+const MODE_ZERO: u8 = 1;
+const MODE_FULL: u8 = 2;
+const MODE_DELTA: u8 = 3;
+
+/// Per-page payload of a v3 page-columns record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PagePayload {
+    /// Metadata only — the page's content does not travel (the session's
+    /// virtual data plane models content cost without materializing it).
+    Meta,
+    /// The page is entirely zero; no bytes travel.
+    Zero,
+    /// Full 4 KiB content, for first-touch pages and high-entropy deltas.
+    Full(Bytes),
+    /// Sparse XOR runs against the base-epoch copy of the page: each run
+    /// is `(byte offset, xor bytes)`; untouched bytes keep the base value.
+    /// An empty run list re-asserts the base content unchanged.
+    Delta(Vec<(u32, Bytes)>),
+}
+
+impl PagePayload {
+    /// Reconstructs the page content, given the base-epoch copy when one
+    /// is required.
+    ///
+    /// Returns `Ok(None)` for [`PagePayload::Meta`] (nothing to apply).
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::BadPayload`] if a delta payload has no base to apply
+    /// against or a run falls outside the page.
+    pub fn materialize(&self, base: Option<&[u8]>) -> WireResult<Option<Vec<u8>>> {
+        match self {
+            PagePayload::Meta => Ok(None),
+            PagePayload::Zero => Ok(Some(vec![0u8; PAGE_CONTENT_BYTES])),
+            PagePayload::Full(content) => Ok(Some(content.to_vec())),
+            PagePayload::Delta(runs) => {
+                let base = base.ok_or(WireError::BadPayload(
+                    "delta page arrived without a base copy",
+                ))?;
+                if base.len() != PAGE_CONTENT_BYTES {
+                    return Err(WireError::BadPayload("delta base is not one page"));
+                }
+                let mut out = base.to_vec();
+                for (offset, xor) in runs {
+                    let start = *offset as usize;
+                    let end = start + xor.len();
+                    if end > PAGE_CONTENT_BYTES {
+                        return Err(WireError::BadPayload("delta run out of page bounds"));
+                    }
+                    for (dst, &x) in out[start..end].iter_mut().zip(xor.iter()) {
+                        *dst ^= x;
+                    }
+                }
+                Ok(Some(out))
+            }
+        }
+    }
+}
+
+/// Gap under which adjacent differing-byte runs are merged into one run,
+/// trading a few identical bytes re-sent for fewer per-run headers.
+const DELTA_RUN_MERGE_GAP: usize = 8;
+/// A sparse delta above this encoded size falls back to a full page.
+const DELTA_MAX_BYTES: usize = PAGE_CONTENT_BYTES / 2;
+
+/// Classifies a page's content against its (optional) base-epoch copy:
+/// all-zero pages are suppressed entirely, low-entropy rewrites become
+/// sparse XOR runs, and first-touch or high-entropy pages travel whole.
+///
+/// # Panics
+///
+/// Panics if `content` (or a provided `base`) is not exactly one page.
+pub fn classify_page(content: &[u8], base: Option<&[u8]>) -> PagePayload {
+    assert_eq!(
+        content.len(),
+        PAGE_CONTENT_BYTES,
+        "page content must be exactly one page"
+    );
+    if content.iter().all(|&b| b == 0) {
+        return PagePayload::Zero;
+    }
+    if let Some(base) = base {
+        assert_eq!(
+            base.len(),
+            PAGE_CONTENT_BYTES,
+            "delta base must be exactly one page"
+        );
+        if let Some(runs) = sparse_xor_runs(content, base) {
+            return PagePayload::Delta(runs);
+        }
+    }
+    PagePayload::Full(Bytes::from(content.to_vec()))
+}
+
+fn sparse_xor_runs(content: &[u8], base: &[u8]) -> Option<Vec<(u32, Bytes)>> {
+    let mut spans: Vec<(usize, usize)> = Vec::new();
+    let mut i = 0;
+    while i < content.len() {
+        if content[i] == base[i] {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        while i < content.len() && content[i] != base[i] {
+            i += 1;
+        }
+        match spans.last_mut() {
+            Some(last) if start - last.1 <= DELTA_RUN_MERGE_GAP => last.1 = i,
+            _ => spans.push((start, i)),
+        }
+    }
+    let cost: usize = spans.iter().map(|&(s, e)| 4 + (e - s)).sum();
+    if cost > DELTA_MAX_BYTES {
+        return None;
+    }
+    Some(
+        spans
+            .into_iter()
+            .map(|(s, e)| {
+                let xored: Vec<u8> = content[s..e]
+                    .iter()
+                    .zip(&base[s..e])
+                    .map(|(&c, &b)| c ^ b)
+                    .collect();
+                (s as u32, Bytes::from(xored))
+            })
+            .collect(),
+    )
+}
+
+/// A v3 columnar page batch, delta-encoded against a named base epoch.
+///
+/// On the wire the batch is laid out column by column — frame gaps, then
+/// the run-length-encoded mode column, then versions, then writers, then
+/// all payloads — behind the self-describing [`COLUMNS_HEADER_BYTES`]
+/// header, so decode walks each column sequentially instead of striding
+/// through interleaved per-page records.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PageColumnsBatch {
+    base_epoch: u64,
+    entries: Vec<(PageId, PageVersion, PagePayload)>,
+}
+
+impl PageColumnsBatch {
+    /// Empty batch encoded against `base_epoch`.
+    pub fn new(base_epoch: u64) -> Self {
+        PageColumnsBatch {
+            base_epoch,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Metadata-only batch straight from a delta-entry slice.
+    pub fn from_metas(base_epoch: u64, entries: &[(PageId, PageVersion)]) -> Self {
+        PageColumnsBatch {
+            base_epoch,
+            entries: entries
+                .iter()
+                .map(|&(page, rec)| (page, rec, PagePayload::Meta))
+                .collect(),
+        }
+    }
+
+    /// Appends one page.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a [`PagePayload::Full`] payload is not exactly one page.
+    pub fn push(&mut self, page: PageId, rec: PageVersion, payload: PagePayload) {
+        if let PagePayload::Full(content) = &payload {
+            assert_eq!(
+                content.len(),
+                PAGE_CONTENT_BYTES,
+                "page content must be exactly one page"
+            );
+        }
+        self.entries.push((page, rec, payload));
+    }
+
+    /// The committed epoch this batch's deltas are encoded against.
+    pub fn base_epoch(&self) -> u64 {
+        self.base_epoch
+    }
+
+    /// Number of pages in the batch.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The pages in wire order.
+    pub fn entries(&self) -> &[(PageId, PageVersion, PagePayload)] {
+        &self.entries
+    }
+
+    /// Consumes the batch into its pages.
+    pub fn into_entries(self) -> Vec<(PageId, PageVersion, PagePayload)> {
+        self.entries
+    }
+
+    /// Verifies the batch was encoded against the base epoch the receiver
+    /// actually holds.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::DeltaBaseMismatch`] when the epochs disagree.
+    pub fn check_base(&self, replica_base: u64) -> WireResult<()> {
+        if self.base_epoch != replica_base {
+            return Err(WireError::DeltaBaseMismatch {
+                stream_base: self.base_epoch,
+                replica_base,
+            });
+        }
+        Ok(())
+    }
+}
+
+fn put_varint(out: &mut BytesMut, mut v: u64) {
+    loop {
+        let b = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.put_u8(b);
+            return;
+        }
+        out.put_u8(b | 0x80);
+    }
+}
+
+fn get_varint(p: &mut Bytes) -> WireResult<u64> {
+    let mut v = 0u64;
+    for shift in (0..64).step_by(7) {
+        if p.remaining() == 0 {
+            return Err(WireError::Truncated);
+        }
+        let b = p.get_u8();
+        v |= u64::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            return Ok(v);
+        }
+    }
+    Err(WireError::BadPayload("varint overflows 64 bits"))
+}
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(u: u64) -> i64 {
+    ((u >> 1) as i64) ^ -((u & 1) as i64)
+}
+
+fn mode_of(payload: &PagePayload) -> u8 {
+    match payload {
+        PagePayload::Meta => MODE_META,
+        PagePayload::Zero => MODE_ZERO,
+        PagePayload::Full(_) => MODE_FULL,
+        PagePayload::Delta(_) => MODE_DELTA,
+    }
+}
+
+fn patch_columns_header(
+    out: &mut BytesMut,
+    header_at: usize,
+    base_epoch: u64,
+    count: u32,
+    meta_at: usize,
+    payload_at: usize,
+) {
+    let end = out.len();
+    let meta_sum = checksum(&out[meta_at..payload_at]);
+    let payload_sum = checksum(&out[payload_at..end]);
+    let h = &mut out[header_at..header_at + COLUMNS_HEADER_BYTES];
+    h[0..8].copy_from_slice(&base_epoch.to_be_bytes());
+    h[8..12].copy_from_slice(&count.to_be_bytes());
+    h[12..16].copy_from_slice(&((payload_at - meta_at) as u32).to_be_bytes());
+    h[16..20].copy_from_slice(&((end - payload_at) as u32).to_be_bytes());
+    h[20..24].copy_from_slice(&meta_sum.to_be_bytes());
+    h[24..28].copy_from_slice(&payload_sum.to_be_bytes());
+}
+
+/// Encodes a v3 page-columns record in place. The frame checksum covers
+/// only the fixed header; each column carries its own digest.
+pub fn encode_page_columns_into(batch: &PageColumnsBatch, out: &mut BytesMut) {
+    let frame_at = reserve_frame(out);
+    let header_at = out.len();
+    out.extend_from_slice(&[0u8; COLUMNS_HEADER_BYTES]);
+    let meta_at = out.len();
+    // Frame column: zigzag gaps from the previous frame (first from zero).
+    let mut prev: i64 = 0;
+    for (page, _, _) in &batch.entries {
+        let f = page.frame() as i64;
+        put_varint(out, zigzag(f.wrapping_sub(prev)));
+        prev = f;
+    }
+    // Mode column, run-length encoded.
+    let mut i = 0;
+    while i < batch.entries.len() {
+        let mode = mode_of(&batch.entries[i].2);
+        let mut run = 1;
+        while i + run < batch.entries.len() && mode_of(&batch.entries[i + run].2) == mode {
+            run += 1;
+        }
+        out.put_u8(mode);
+        put_varint(out, run as u64);
+        i += run;
+    }
+    // Version and writer columns (absolute values, abort-safe).
+    for (_, rec, _) in &batch.entries {
+        put_varint(out, u64::from(rec.version));
+    }
+    for (_, rec, _) in &batch.entries {
+        put_varint(out, u64::from(rec.last_writer));
+    }
+    let payload_at = out.len();
+    for (_, _, payload) in &batch.entries {
+        match payload {
+            PagePayload::Meta | PagePayload::Zero => {}
+            PagePayload::Full(content) => out.extend_from_slice(content),
+            PagePayload::Delta(runs) => {
+                put_varint(out, runs.len() as u64);
+                for (offset, xor) in runs {
+                    put_varint(out, u64::from(*offset));
+                    put_varint(out, xor.len() as u64);
+                    out.extend_from_slice(xor);
+                }
+            }
+        }
+    }
+    patch_columns_header(
+        out,
+        header_at,
+        batch.base_epoch,
+        batch.entries.len() as u32,
+        meta_at,
+        payload_at,
+    );
+    let outer = checksum(&out[header_at..header_at + COLUMNS_HEADER_BYTES]);
+    patch_frame(out, frame_at, header_at, TAG_PAGE_COLUMNS, outer);
+}
+
+/// Encodes a metadata-only v3 page-columns record straight from a delta
+/// shard slice — the hot lane path, byte-identical to framing
+/// [`PageColumnsBatch::from_metas`] but with no owned batch allocated.
+pub fn encode_page_columns_meta_into(
+    base_epoch: u64,
+    entries: &[(PageId, PageVersion)],
+    out: &mut BytesMut,
+) {
+    let frame_at = reserve_frame(out);
+    let header_at = out.len();
+    out.extend_from_slice(&[0u8; COLUMNS_HEADER_BYTES]);
+    let meta_at = out.len();
+    let mut prev: i64 = 0;
+    for &(page, _) in entries {
+        let f = page.frame() as i64;
+        put_varint(out, zigzag(f.wrapping_sub(prev)));
+        prev = f;
+    }
+    if !entries.is_empty() {
+        out.put_u8(MODE_META);
+        put_varint(out, entries.len() as u64);
+    }
+    for &(_, rec) in entries {
+        put_varint(out, u64::from(rec.version));
+    }
+    for &(_, rec) in entries {
+        put_varint(out, u64::from(rec.last_writer));
+    }
+    let payload_at = out.len();
+    patch_columns_header(
+        out,
+        header_at,
+        base_epoch,
+        entries.len() as u32,
+        meta_at,
+        payload_at,
+    );
+    let outer = checksum(&out[header_at..header_at + COLUMNS_HEADER_BYTES]);
+    patch_frame(out, frame_at, header_at, TAG_PAGE_COLUMNS, outer);
+}
+
+fn decode_page_columns(mut p: Bytes) -> WireResult<PageColumnsBatch> {
+    if p.remaining() < COLUMNS_HEADER_BYTES {
+        return Err(WireError::Truncated);
+    }
+    let base_epoch = p.get_u64();
+    let count = p.get_u32() as usize;
+    let meta_len = p.get_u32() as usize;
+    let payload_len = p.get_u32() as usize;
+    let meta_sum = p.get_u32();
+    let payload_sum = p.get_u32();
+    if p.remaining() != meta_len + payload_len {
+        return Err(WireError::BadPayload(
+            "column lengths disagree with record length",
+        ));
+    }
+    let mut meta = p.split_to(meta_len);
+    let mut payload = p.split_to(payload_len);
+    let actual = checksum(&meta);
+    if actual != meta_sum {
+        return Err(WireError::MetaColumnCorrupt {
+            expected: meta_sum,
+            actual,
+        });
+    }
+    let actual = checksum(&payload);
+    if actual != payload_sum {
+        return Err(WireError::PayloadColumnCorrupt {
+            expected: payload_sum,
+            actual,
+        });
+    }
+    let mut frames = Vec::with_capacity(count);
+    let mut prev: i64 = 0;
+    for _ in 0..count {
+        let gap = unzigzag(get_varint(&mut meta)?);
+        let f = prev
+            .checked_add(gap)
+            .filter(|f| *f >= 0)
+            .ok_or(WireError::BadPayload("page frame gap out of range"))?;
+        frames.push(f as u64);
+        prev = f;
+    }
+    let mut modes = Vec::with_capacity(count);
+    while modes.len() < count {
+        if meta.remaining() == 0 {
+            return Err(WireError::Truncated);
+        }
+        let mode = meta.get_u8();
+        if mode > MODE_DELTA {
+            return Err(WireError::BadPayload("unknown page mode"));
+        }
+        let run = get_varint(&mut meta)? as usize;
+        if run == 0 || modes.len() + run > count {
+            return Err(WireError::BadPayload("mode run overflows page count"));
+        }
+        for _ in 0..run {
+            modes.push(mode);
+        }
+    }
+    let mut versions = Vec::with_capacity(count);
+    for _ in 0..count {
+        let v = get_varint(&mut meta)?;
+        versions.push(
+            u32::try_from(v).map_err(|_| WireError::BadPayload("page version overflows u32"))?,
+        );
+    }
+    let mut writers = Vec::with_capacity(count);
+    for _ in 0..count {
+        let w = get_varint(&mut meta)?;
+        writers.push(
+            u16::try_from(w).map_err(|_| WireError::BadPayload("page writer overflows u16"))?,
+        );
+    }
+    if meta.remaining() > 0 {
+        return Err(WireError::BadPayload("trailing bytes in meta column"));
+    }
+    let mut batch = PageColumnsBatch::new(base_epoch);
+    for i in 0..count {
+        let pay = match modes[i] {
+            MODE_META => PagePayload::Meta,
+            MODE_ZERO => PagePayload::Zero,
+            MODE_FULL => {
+                if payload.remaining() < PAGE_CONTENT_BYTES {
+                    return Err(WireError::Truncated);
+                }
+                PagePayload::Full(payload.split_to(PAGE_CONTENT_BYTES))
+            }
+            _ => {
+                let nruns = get_varint(&mut payload)? as usize;
+                if nruns > PAGE_CONTENT_BYTES {
+                    return Err(WireError::BadPayload("delta run count exceeds page size"));
+                }
+                let mut runs = Vec::with_capacity(nruns);
+                for _ in 0..nruns {
+                    let offset = get_varint(&mut payload)? as usize;
+                    let len = get_varint(&mut payload)? as usize;
+                    if offset + len > PAGE_CONTENT_BYTES {
+                        return Err(WireError::BadPayload("delta run out of page bounds"));
+                    }
+                    if payload.remaining() < len {
+                        return Err(WireError::Truncated);
+                    }
+                    runs.push((offset as u32, payload.split_to(len)));
+                }
+                PagePayload::Delta(runs)
+            }
+        };
+        batch.entries.push((
+            PageId::new(frames[i]),
+            PageVersion {
+                version: versions[i],
+                last_writer: writers[i],
+            },
+            pay,
+        ));
+    }
+    if payload.remaining() > 0 {
+        return Err(WireError::BadPayload("trailing bytes in payload column"));
+    }
+    Ok(batch)
 }
 
 /// Byte-serial FNV-1a, the v1 record checksum.
@@ -355,6 +945,15 @@ impl StreamEncoder {
         StreamEncoder { buf }
     }
 
+    /// Like [`with_buffer`](StreamEncoder::with_buffer), but stamping an
+    /// explicit format version into the preamble (e.g. [`VERSION_V3`] for
+    /// a negotiated v3 session).
+    pub fn with_buffer_versioned(mut buf: BytesMut, version: u16) -> Self {
+        buf.clear();
+        write_preamble_versioned(&mut buf, version);
+        StreamEncoder { buf }
+    }
+
     /// Appends one record, framed in place (no scratch buffer).
     pub fn push(&mut self, record: &Record) {
         encode_record_into(record, &mut self.buf);
@@ -395,8 +994,13 @@ const FRAME_HEADER_BYTES: usize = 9;
 
 /// Writes the stream preamble (magic + version) into `out`.
 pub fn write_preamble(out: &mut BytesMut) {
+    write_preamble_versioned(out, VERSION);
+}
+
+/// Writes a stream preamble carrying an explicit format version.
+pub fn write_preamble_versioned(out: &mut BytesMut, version: u16) {
     out.put_u32(MAGIC);
-    out.put_u16(VERSION);
+    out.put_u16(version);
 }
 
 /// Patches a frame header written as placeholders at `frame_at`, once the
@@ -422,6 +1026,11 @@ fn reserve_frame(out: &mut BytesMut) -> usize {
 /// length and checksum are patched over the placeholders. No intermediate
 /// buffer, no copy.
 pub fn encode_record_into(record: &Record, out: &mut BytesMut) {
+    if let Record::PageColumns(batch) = record {
+        // v3 columnar frames follow the header-only checksum discipline.
+        encode_page_columns_into(batch, out);
+        return;
+    }
     let frame_at = reserve_frame(out);
     let payload_at = out.len();
     let tag = encode_payload(record, out);
@@ -632,6 +1241,9 @@ fn encode_payload(record: &Record, out: &mut BytesMut) -> u8 {
             }
             TAG_PAGE_DATA
         }
+        Record::PageColumns(_) => {
+            unreachable!("page-columns records are framed by encode_page_columns_into")
+        }
         Record::VcpuState { index, cir } => {
             out.put_u32(*index);
             out.put_u8(u8::from(cir.online));
@@ -717,6 +1329,7 @@ fn encode_arch_regs(regs: &ArchRegs, out: &mut BytesMut) {
 pub struct StreamDecoder {
     segments: VecDeque<Bytes>,
     remaining: usize,
+    version: u16,
 }
 
 impl StreamDecoder {
@@ -737,6 +1350,7 @@ impl StreamDecoder {
         let mut dec = StreamDecoder {
             remaining: stream.len(),
             segments: stream.into_segments().into(),
+            version: 0,
         };
         if dec.remaining < PREAMBLE_BYTES {
             return Err(WireError::Truncated);
@@ -746,10 +1360,31 @@ impl StreamDecoder {
             return Err(WireError::BadMagic(magic));
         }
         let version = u16::from_be_bytes(dec.read_array::<2>()?);
-        if version != VERSION {
+        if version != VERSION && version != VERSION_V3 {
             return Err(WireError::UnsupportedVersion(version));
         }
+        dec.version = version;
         Ok(dec)
+    }
+
+    /// Like [`new_scattered`](StreamDecoder::new_scattered), but a session
+    /// that has negotiated a version also rejects streams carrying any
+    /// *other* decodable version with [`WireError::StaleVersion`] — e.g. a
+    /// v2 frame arriving after v3 was agreed.
+    pub fn new_negotiated(stream: ScatterStream, negotiated: u16) -> WireResult<Self> {
+        let dec = Self::new_scattered(stream)?;
+        if dec.version != negotiated {
+            return Err(WireError::StaleVersion {
+                negotiated,
+                actual: dec.version,
+            });
+        }
+        Ok(dec)
+    }
+
+    /// Format version carried by the stream preamble.
+    pub fn version(&self) -> u16 {
+        self.version
     }
 
     /// Bytes not yet consumed.
@@ -827,8 +1462,23 @@ impl StreamDecoder {
         let tag = self.read_array::<1>()?[0];
         let len = u32::from_be_bytes(self.read_array::<4>()?) as usize;
         let expected_sum = u32::from_be_bytes(self.read_array::<4>()?);
+        if tag == TAG_PAGE_COLUMNS && self.version < VERSION_V3 {
+            // Columnar records only exist from v3 on; a v2 stream carrying
+            // one is foreign, exactly as a v2 decoder would report it.
+            return Err(WireError::UnknownRecord(tag));
+        }
         let payload = self.take_bytes(len)?;
-        let actual_sum = checksum(&payload);
+        // v3 columnar frames checksum only their fixed header; each column
+        // carries its own digest so meta- and payload-column corruption are
+        // reported as distinct errors.
+        let actual_sum = if tag == TAG_PAGE_COLUMNS {
+            if payload.len() < COLUMNS_HEADER_BYTES {
+                return Err(WireError::Truncated);
+            }
+            checksum(&payload[..COLUMNS_HEADER_BYTES])
+        } else {
+            checksum(&payload)
+        };
         if actual_sum != expected_sum {
             return Err(WireError::ChecksumMismatch {
                 expected: expected_sum,
@@ -928,6 +1578,7 @@ fn decode_payload(tag: u8, mut p: Bytes) -> WireResult<Record> {
             }
             Ok(Record::PageDataBatch(batch))
         }
+        TAG_PAGE_COLUMNS => decode_page_columns(p).map(Record::PageColumns),
         TAG_VCPU => {
             need(&p, 5)?;
             let index = p.get_u32();
@@ -1091,10 +1742,10 @@ mod tests {
     fn future_version_is_rejected() {
         let mut buf = BytesMut::new();
         buf.put_u32(MAGIC);
-        buf.put_u16(VERSION + 1);
+        buf.put_u16(VERSION_V3 + 1);
         assert_eq!(
             StreamDecoder::new(buf.freeze()).unwrap_err(),
-            WireError::UnsupportedVersion(VERSION + 1)
+            WireError::UnsupportedVersion(VERSION_V3 + 1)
         );
     }
 
@@ -1367,6 +2018,211 @@ mod tests {
             enc2.push(r);
         }
         assert_eq!(first, enc2.finish());
+    }
+
+    fn v3_buf() -> BytesMut {
+        let mut buf = BytesMut::new();
+        write_preamble_versioned(&mut buf, VERSION_V3);
+        buf
+    }
+
+    fn sample_columns_batch() -> PageColumnsBatch {
+        let base = page_content(1);
+        let mut touched = base.clone();
+        touched[100] ^= 0xff;
+        touched[2000..2010].copy_from_slice(&[7u8; 10]);
+        let mut batch = PageColumnsBatch::new(4);
+        let rec = |v: u32, w: u16| PageVersion {
+            version: v,
+            last_writer: w,
+        };
+        batch.push(PageId::new(3), rec(1, 0), PagePayload::Meta);
+        batch.push(
+            PageId::new(5),
+            rec(2, 1),
+            classify_page(&vec![0u8; PAGE_CONTENT_BYTES], None),
+        );
+        batch.push(
+            PageId::new(6),
+            rec(3, 0),
+            classify_page(&page_content(9), None),
+        );
+        batch.push(
+            PageId::new(9),
+            rec(4, 1),
+            classify_page(&touched, Some(&base)),
+        );
+        batch
+    }
+
+    #[test]
+    fn v3_page_columns_round_trip() {
+        let batch = sample_columns_batch();
+        let mut buf = v3_buf();
+        encode_record_into(&Record::PageColumns(batch.clone()), &mut buf);
+        let mut dec = StreamDecoder::new(buf.freeze()).unwrap();
+        assert_eq!(dec.version(), VERSION_V3);
+        let Record::PageColumns(decoded) = dec.next_record().unwrap().unwrap() else {
+            panic!("expected a page-columns record");
+        };
+        assert_eq!(decoded, batch);
+        assert_eq!(decoded.base_epoch(), 4);
+    }
+
+    #[test]
+    fn v3_payload_classifier_covers_all_modes() {
+        let base = page_content(2);
+        // Zero page suppressed entirely.
+        assert_eq!(
+            classify_page(&vec![0u8; PAGE_CONTENT_BYTES], Some(&base)),
+            PagePayload::Zero
+        );
+        // First-touch (no base) travels whole.
+        let content = page_content(3);
+        let PagePayload::Full(full) = classify_page(&content, None) else {
+            panic!("first-touch page must travel whole");
+        };
+        assert_eq!(&full[..], &content[..]);
+        // Low-entropy rewrite becomes sparse XOR runs that re-materialize.
+        let mut touched = base.clone();
+        touched[17] = !touched[17];
+        touched[400..420].fill(0xaa);
+        let payload = classify_page(&touched, Some(&base));
+        assert!(matches!(payload, PagePayload::Delta(_)));
+        let restored = payload.materialize(Some(&base)).unwrap().unwrap();
+        assert_eq!(restored, touched);
+        // High-entropy rewrite falls back to a full page.
+        let rewritten = page_content(200);
+        assert!(matches!(
+            classify_page(&rewritten, Some(&base)),
+            PagePayload::Full(_)
+        ));
+        // Unchanged content re-asserts the base with an empty delta.
+        let payload = classify_page(&base, Some(&base));
+        assert_eq!(payload, PagePayload::Delta(Vec::new()));
+        assert_eq!(payload.materialize(Some(&base)).unwrap().unwrap(), base);
+    }
+
+    #[test]
+    fn v3_meta_fast_path_matches_owned_batch() {
+        let entries: Vec<(PageId, PageVersion)> = (0..300u64)
+            .map(|f| {
+                (
+                    PageId::new(f * 7 % 512),
+                    PageVersion {
+                        version: (f % 9) as u32 + 1,
+                        last_writer: (f % 4) as u16,
+                    },
+                )
+            })
+            .collect();
+        let mut direct = BytesMut::new();
+        encode_page_columns_meta_into(11, &entries, &mut direct);
+        let mut via_record = BytesMut::new();
+        encode_record_into(
+            &Record::PageColumns(PageColumnsBatch::from_metas(11, &entries)),
+            &mut via_record,
+        );
+        assert_eq!(&direct[..], &via_record[..]);
+
+        // Columnar metadata must be materially denser than the v2 batch.
+        let mut v2 = BytesMut::new();
+        encode_page_batch_into(&entries, &mut v2);
+        assert!(
+            direct.len() * 3 <= v2.len(),
+            "columnar metas not >=3x denser: v3 {} vs v2 {}",
+            direct.len(),
+            v2.len()
+        );
+    }
+
+    #[test]
+    fn v3_meta_column_corruption_is_distinct_from_payload_corruption() {
+        let batch = sample_columns_batch();
+        let mut buf = v3_buf();
+        encode_record_into(&Record::PageColumns(batch.clone()), &mut buf);
+        let clean = buf.freeze();
+        let header_at = PREAMBLE_BYTES + FRAME_HEADER_BYTES;
+        let meta_at = header_at + COLUMNS_HEADER_BYTES;
+        let meta_len =
+            u32::from_be_bytes(clean[header_at + 12..header_at + 16].try_into().unwrap()) as usize;
+
+        // Bit-flip inside the meta column.
+        let mut corrupt = clean.to_vec();
+        corrupt[meta_at + 1] ^= 0x40;
+        let mut dec = StreamDecoder::new(Bytes::from(corrupt)).unwrap();
+        assert!(matches!(
+            dec.next_record(),
+            Err(WireError::MetaColumnCorrupt { .. })
+        ));
+
+        // Bit-flip inside the payload column.
+        let mut corrupt = clean.to_vec();
+        corrupt[meta_at + meta_len + 5] ^= 0x40;
+        let mut dec = StreamDecoder::new(Bytes::from(corrupt)).unwrap();
+        assert!(matches!(
+            dec.next_record(),
+            Err(WireError::PayloadColumnCorrupt { .. })
+        ));
+
+        // Bit-flip inside the fixed header is caught by the frame checksum.
+        let mut corrupt = clean.to_vec();
+        corrupt[header_at + 9] ^= 0x01;
+        let mut dec = StreamDecoder::new(Bytes::from(corrupt)).unwrap();
+        assert!(matches!(
+            dec.next_record(),
+            Err(WireError::ChecksumMismatch { .. })
+        ));
+
+        // Truncation mid-payload-column.
+        let cut = clean.slice(0..clean.len() - 3);
+        let mut dec = StreamDecoder::new(cut).unwrap();
+        assert_eq!(dec.next_record().unwrap_err(), WireError::Truncated);
+    }
+
+    #[test]
+    fn v3_wrong_delta_base_is_reported() {
+        let batch = sample_columns_batch();
+        assert!(batch.check_base(4).is_ok());
+        assert_eq!(
+            batch.check_base(3).unwrap_err(),
+            WireError::DeltaBaseMismatch {
+                stream_base: 4,
+                replica_base: 3,
+            }
+        );
+    }
+
+    #[test]
+    fn negotiated_decoder_rejects_stale_version() {
+        // A v2 stream after v3 was negotiated is stale, not merely old.
+        let enc = StreamEncoder::new();
+        let stream = ScatterStream::from(enc.finish());
+        assert_eq!(
+            StreamDecoder::new_negotiated(stream, VERSION_V3).unwrap_err(),
+            WireError::StaleVersion {
+                negotiated: VERSION_V3,
+                actual: VERSION,
+            }
+        );
+        // And the agreed version passes.
+        let mut buf = v3_buf();
+        encode_record_into(&Record::Ack { seq: 1 }, &mut buf);
+        let dec =
+            StreamDecoder::new_negotiated(ScatterStream::from(buf.freeze()), VERSION_V3).unwrap();
+        assert_eq!(dec.version(), VERSION_V3);
+    }
+
+    #[test]
+    fn v2_stream_rejects_columnar_record() {
+        let mut buf = BytesMut::new();
+        write_preamble(&mut buf);
+        encode_record_into(&Record::PageColumns(PageColumnsBatch::new(0)), &mut buf);
+        let mut dec = StreamDecoder::new(buf.freeze()).unwrap();
+        assert_eq!(
+            dec.next_record().unwrap_err(),
+            WireError::UnknownRecord(0x09)
+        );
     }
 
     #[test]
